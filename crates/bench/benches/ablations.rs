@@ -1,0 +1,38 @@
+//! Design-choice ablations: Threshold, prefetch priority, pipeline window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsm_bench::print_once;
+use lsm_experiments::{ablations, Scale};
+
+fn bench_ablations(c: &mut Criterion) {
+    print_once(
+        "Ablation A (Threshold)",
+        &ablations::threshold_table(&ablations::run_threshold_ablation(Scale::Quick)),
+    );
+    print_once(
+        "Ablation B (prefetch priority)",
+        &ablations::priority_table(&ablations::run_priority_ablation(Scale::Quick)),
+    );
+    print_once(
+        "Ablation C (pipeline window)",
+        &ablations::window_table(&ablations::run_window_ablation(Scale::Quick)),
+    );
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("threshold", |b| {
+        b.iter(|| std::hint::black_box(ablations::run_threshold_ablation(Scale::Quick).len()))
+    });
+    g.bench_function("priority", |b| {
+        b.iter(|| std::hint::black_box(ablations::run_priority_ablation(Scale::Quick).len()))
+    });
+    g.bench_function("window", |b| {
+        b.iter(|| std::hint::black_box(ablations::run_window_ablation(Scale::Quick).len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

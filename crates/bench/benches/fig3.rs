@@ -1,0 +1,51 @@
+//! Figure 3 (migration of I/O-intensive benchmarks): regenerates panels
+//! (a) migration time, (b) network traffic, (c) normalized throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsm_bench::print_once;
+use lsm_core::policy::StrategyKind;
+use lsm_experiments::{fig3, Scale};
+
+fn bench_fig3(c: &mut Criterion) {
+    // Regenerate and print the full figure once.
+    let full = fig3::run_fig3(Scale::Quick);
+    print_once("Fig 3a", &full.table_time());
+    print_once("Fig 3b", &full.table_traffic());
+    print_once("Fig 3c", &full.table_throughput());
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("migration_time", |b| {
+        b.iter(|| {
+            let r = fig3::run_fig3_strategies(
+                Scale::Quick,
+                &[StrategyKind::Hybrid, StrategyKind::SharedFs],
+            );
+            std::hint::black_box(r.table_time().len())
+        })
+    });
+    g.bench_function("network_traffic", |b| {
+        b.iter(|| {
+            let r = fig3::run_fig3_strategies(
+                Scale::Quick,
+                &[StrategyKind::Hybrid, StrategyKind::Precopy],
+            );
+            std::hint::black_box(r.table_traffic().len())
+        })
+    });
+    g.bench_function("throughput", |b| {
+        b.iter(|| {
+            let r = fig3::run_fig3_strategies(
+                Scale::Quick,
+                &[StrategyKind::Hybrid, StrategyKind::Mirror],
+            );
+            std::hint::black_box(r.table_throughput().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 4 (concurrent migrations): regenerates panels (a) average
+//! migration time, (b) total traffic, (c) compute degradation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsm_bench::print_once;
+use lsm_core::policy::StrategyKind;
+use lsm_experiments::{fig4, Scale};
+
+fn bench_fig4(c: &mut Criterion) {
+    let full = fig4::run_fig4(Scale::Quick);
+    print_once("Fig 4a", &full.table_time());
+    print_once("Fig 4b", &full.table_traffic());
+    print_once("Fig 4c", &full.table_degradation());
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("migration_time", |b| {
+        b.iter(|| {
+            let r = fig4::run_fig4_strategies(Scale::Quick, &[StrategyKind::Hybrid]);
+            std::hint::black_box(r.table_time().len())
+        })
+    });
+    g.bench_function("network_traffic", |b| {
+        b.iter(|| {
+            let r = fig4::run_fig4_strategies(Scale::Quick, &[StrategyKind::Precopy]);
+            std::hint::black_box(r.table_traffic().len())
+        })
+    });
+    g.bench_function("degradation", |b| {
+        b.iter(|| {
+            let r = fig4::run_fig4_strategies(Scale::Quick, &[StrategyKind::SharedFs]);
+            std::hint::black_box(r.table_degradation().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 5 (CM1 under successive migrations): regenerates panels
+//! (a) cumulated migration time, (b) migration traffic, (c) runtime
+//! increase.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lsm_bench::print_once;
+use lsm_core::policy::StrategyKind;
+use lsm_experiments::{fig5, Scale};
+
+fn bench_fig5(c: &mut Criterion) {
+    let full = fig5::run_fig5(Scale::Quick);
+    print_once("Fig 5a", &full.table_time());
+    print_once("Fig 5b", &full.table_traffic());
+    print_once("Fig 5c", &full.table_slowdown());
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("migration_time", |b| {
+        b.iter(|| {
+            let r = fig5::run_fig5_strategies(Scale::Quick, &[StrategyKind::Hybrid]);
+            std::hint::black_box(r.table_time().len())
+        })
+    });
+    g.bench_function("network_traffic", |b| {
+        b.iter(|| {
+            let r = fig5::run_fig5_strategies(Scale::Quick, &[StrategyKind::Postcopy]);
+            std::hint::black_box(r.table_traffic().len())
+        })
+    });
+    g.bench_function("slowdown", |b| {
+        b.iter(|| {
+            let r = fig5::run_fig5_strategies(Scale::Quick, &[StrategyKind::Mirror]);
+            std::hint::black_box(r.table_slowdown().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

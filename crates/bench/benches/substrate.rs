@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the simulator's hot paths: the max–min fair
+//! network allocator, chunk-set algebra, the fair-shared resource, and a
+//! full paper-scale single-migration run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lsm_blockdev::{ChunkId, ChunkSet};
+use lsm_core::config::ClusterConfig;
+use lsm_core::engine::Engine;
+use lsm_core::policy::StrategyKind;
+use lsm_netsim::{FlowNet, NodeId, Topology, TrafficTag};
+use lsm_simcore::resource::SharedResource;
+use lsm_simcore::units::{mb_per_s, MIB};
+use lsm_simcore::SimTime;
+use lsm_workloads::WorkloadSpec;
+
+fn bench_netsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/netsim");
+    // 64 nodes, 128 concurrent flows: the fig5 regime.
+    g.bench_function("maxmin_recompute_128_flows", |b| {
+        b.iter_batched(
+            || {
+                let topo = Topology::symmetric(64, mb_per_s(117.5), mb_per_s(2048.0));
+                let mut net = FlowNet::new(topo);
+                for i in 0..127u32 {
+                    net.start_flow(
+                        SimTime::ZERO,
+                        NodeId(i % 64),
+                        NodeId((i + 1) % 64),
+                        64 * MIB,
+                        None,
+                        TrafficTag::Memory,
+                    );
+                }
+                net
+            },
+            |mut net| {
+                // The 128th flow start triggers a full recompute.
+                net.start_flow(
+                    SimTime::ZERO,
+                    NodeId(3),
+                    NodeId(9),
+                    MIB,
+                    None,
+                    TrafficTag::StoragePush,
+                );
+                std::hint::black_box(net.active())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_blockdev(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/blockdev");
+    g.bench_function("chunkset_insert_iterate_16k", |b| {
+        b.iter(|| {
+            let mut s = ChunkSet::new(16384);
+            for i in (0..16384).step_by(3) {
+                s.insert(ChunkId(i));
+            }
+            std::hint::black_box(s.iter().map(|c| c.0 as u64).sum::<u64>())
+        })
+    });
+    g.bench_function("chunkset_union_subtract_16k", |b| {
+        let a = ChunkSet::from_iter(16384, (0..16384).step_by(2).map(ChunkId));
+        let bset = ChunkSet::from_iter(16384, (0..16384).step_by(3).map(ChunkId));
+        b.iter(|| {
+            let mut x = a.clone();
+            x.union_with(&bset);
+            x.subtract(&a);
+            std::hint::black_box(x.count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_resource(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/resource");
+    g.bench_function("shared_resource_churn_64", |b| {
+        b.iter(|| {
+            let mut r = SharedResource::new(mb_per_s(55.0));
+            let mut t = SimTime::ZERO;
+            for i in 0..64 {
+                r.submit(t, 256 * 1024, None);
+                if i % 4 == 0 {
+                    if let Some((at, id)) = r.next_completion() {
+                        t = at;
+                        r.complete(t, id);
+                    }
+                }
+            }
+            std::hint::black_box(r.active())
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate/engine");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(8));
+    // A full paper-scale hybrid migration of an IOR guest: the headline
+    // end-to-end path (≈300k events).
+    g.bench_function("paper_scale_ior_hybrid_migration", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(ClusterConfig::graphene(8));
+            let vm = eng.add_vm(
+                0,
+                &WorkloadSpec::ior_paper(),
+                StrategyKind::Hybrid,
+                SimTime::ZERO,
+            );
+            eng.schedule_migration(vm, 1, SimTime::from_secs(100));
+            let r = eng.run_until(SimTime::from_secs(400));
+            assert!(r.the_migration().completed);
+            std::hint::black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_netsim,
+    bench_blockdev,
+    bench_resource,
+    bench_full_migration
+);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! Chunk identifiers and dense chunk sets.
+//!
+//! A disk image is divided into fixed-size chunks (the paper uses 256 KB
+//! stripes). All transfer bookkeeping ([`crate::vdisk::VirtualDisk`],
+//! RemainingSet, ModifiedSet, …) works at chunk granularity, so the set
+//! type is a dense bitset: O(1) membership, cache-friendly iteration, and
+//! cheap set algebra over tens of thousands of chunks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a chunk within a virtual disk.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ChunkId(pub u32);
+
+impl ChunkId {
+    /// The chunk index as a usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Convert a byte range into the inclusive range of chunks it touches.
+///
+/// Returns `(first_chunk, last_chunk, first_is_partial, last_is_partial)`.
+/// Partial-chunk information matters because a partial write to an
+/// untouched base chunk forces a read-modify-write fetch from the
+/// repository (§4.2).
+pub fn byte_range_to_chunks(
+    offset: u64,
+    len: u64,
+    chunk_size: u64,
+) -> (ChunkId, ChunkId, bool, bool) {
+    assert!(len > 0, "empty I/O range");
+    assert!(chunk_size > 0);
+    let first = offset / chunk_size;
+    let end = offset + len; // exclusive
+    let last = (end - 1) / chunk_size;
+    let first_partial = offset % chunk_size != 0;
+    let last_partial = end % chunk_size != 0;
+    (
+        ChunkId(first as u32),
+        ChunkId(last as u32),
+        first_partial,
+        last_partial,
+    )
+}
+
+/// A dense bitset over chunk ids.
+#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ChunkSet {
+    words: Vec<u64>,
+    len: u32,
+    count: u32,
+}
+
+impl ChunkSet {
+    /// An empty set sized for `len` chunks.
+    pub fn new(len: u32) -> Self {
+        ChunkSet {
+            words: vec![0; (len as usize + 63) / 64],
+            len,
+            count: 0,
+        }
+    }
+
+    /// Set capacity in chunks.
+    pub fn capacity(&self) -> u32 {
+        self.len
+    }
+
+    /// Number of chunks in the set.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True if no chunk is present.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Test membership.
+    #[inline]
+    pub fn contains(&self, c: ChunkId) -> bool {
+        debug_assert!(c.0 < self.len, "chunk {} out of range {}", c.0, self.len);
+        self.words[c.idx() / 64] & (1u64 << (c.idx() % 64)) != 0
+    }
+
+    /// Insert a chunk; returns true if newly inserted.
+    #[inline]
+    pub fn insert(&mut self, c: ChunkId) -> bool {
+        debug_assert!(c.0 < self.len);
+        let w = &mut self.words[c.idx() / 64];
+        let m = 1u64 << (c.idx() % 64);
+        if *w & m == 0 {
+            *w |= m;
+            self.count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove a chunk; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, c: ChunkId) -> bool {
+        debug_assert!(c.0 < self.len);
+        let w = &mut self.words[c.idx() / 64];
+        let m = 1u64 << (c.idx() % 64);
+        if *w & m != 0 {
+            *w &= !m;
+            self.count -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the lowest-indexed chunk.
+    pub fn pop_first(&mut self) -> Option<ChunkId> {
+        for (wi, w) in self.words.iter_mut().enumerate() {
+            if *w != 0 {
+                let bit = w.trailing_zeros();
+                *w &= !(1u64 << bit);
+                self.count -= 1;
+                return Some(ChunkId((wi as u32) * 64 + bit));
+            }
+        }
+        None
+    }
+
+    /// Iterate chunks in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = ChunkId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(ChunkId((wi as u32) * 64 + b))
+                }
+            })
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &ChunkSet) {
+        assert_eq!(self.len, other.len, "set size mismatch");
+        let mut count = 0u32;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+            count += a.count_ones();
+        }
+        self.count = count;
+    }
+
+    /// In-place difference (`self -= other`).
+    pub fn subtract(&mut self, other: &ChunkSet) {
+        assert_eq!(self.len, other.len, "set size mismatch");
+        let mut count = 0u32;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+            count += a.count_ones();
+        }
+        self.count = count;
+    }
+
+    /// Remove every chunk.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.count = 0;
+    }
+
+    /// Build a set from an iterator of chunks.
+    pub fn from_iter(len: u32, iter: impl IntoIterator<Item = ChunkId>) -> Self {
+        let mut s = ChunkSet::new(len);
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for ChunkSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChunkSet({}/{})", self.count, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ChunkSet::new(200);
+        assert!(s.insert(ChunkId(5)));
+        assert!(!s.insert(ChunkId(5)));
+        assert!(s.contains(ChunkId(5)));
+        assert!(!s.contains(ChunkId(6)));
+        assert_eq!(s.count(), 1);
+        assert!(s.remove(ChunkId(5)));
+        assert!(!s.remove(ChunkId(5)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let mut s = ChunkSet::new(300);
+        for c in [255u32, 0, 64, 63, 299, 128] {
+            s.insert(ChunkId(c));
+        }
+        let got: Vec<u32> = s.iter().map(|c| c.0).collect();
+        assert_eq!(got, vec![0, 63, 64, 128, 255, 299]);
+    }
+
+    #[test]
+    fn pop_first_drains_in_order() {
+        let mut s = ChunkSet::new(128);
+        s.insert(ChunkId(100));
+        s.insert(ChunkId(2));
+        assert_eq!(s.pop_first(), Some(ChunkId(2)));
+        assert_eq!(s.pop_first(), Some(ChunkId(100)));
+        assert_eq!(s.pop_first(), None);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = ChunkSet::from_iter(100, [1, 2, 3].map(ChunkId));
+        let b = ChunkSet::from_iter(100, [3, 4].map(ChunkId));
+        a.union_with(&b);
+        assert_eq!(a.count(), 4);
+        a.subtract(&b);
+        assert_eq!(a.iter().map(|c| c.0).collect::<Vec<_>>(), vec![1, 2]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn byte_ranges() {
+        let ck = 256 * 1024u64;
+        // Aligned full chunk.
+        assert_eq!(
+            byte_range_to_chunks(0, ck, ck),
+            (ChunkId(0), ChunkId(0), false, false)
+        );
+        // Spanning two chunks, both partial.
+        assert_eq!(
+            byte_range_to_chunks(ck / 2, ck, ck),
+            (ChunkId(0), ChunkId(1), true, true)
+        );
+        // Large aligned write.
+        assert_eq!(
+            byte_range_to_chunks(ck * 4, ck * 8, ck),
+            (ChunkId(4), ChunkId(11), false, false)
+        );
+        // Sub-chunk write.
+        assert_eq!(
+            byte_range_to_chunks(ck * 2 + 100, 10, ck),
+            (ChunkId(2), ChunkId(2), true, true)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty I/O")]
+    fn empty_range_rejected() {
+        let _ = byte_range_to_chunks(0, 0, 4096);
+    }
+}

@@ -1,0 +1,367 @@
+//! Copy-on-write virtual disks with version-vector content.
+//!
+//! The paper's migration manager exposes each VM a local view of a shared
+//! **base disk image** (§4.2): reads of never-touched regions fetch chunks
+//! from the repository and cache them locally; writes always create local
+//! chunks. [`VirtualDisk`] is that view.
+//!
+//! Instead of storing chunk payloads, content is a **version number** per
+//! chunk: version 0 is the pristine base content, and every write stamps a
+//! fresh, globally unique version drawn from the disk's monotonic counter.
+//! Two stores hold the same bytes iff they hold the same version — which
+//! gives the test-suite (and the engine's `strict-verify` mode) an exact,
+//! O(#chunks) equality check between the logical disk the VM observed and
+//! the physical replica reconstructed at the migration destination.
+
+use crate::chunk::{ChunkId, ChunkSet};
+use serde::{Deserialize, Serialize};
+
+/// Placement state of a chunk in a VM's local view (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ChunkState {
+    /// Never read or written: lives only in the repository.
+    Untouched,
+    /// Base content fetched from the repository and cached on local disk.
+    CachedBase,
+    /// Locally written content (part of the ModifiedSet).
+    Local,
+}
+
+/// Version of a chunk's content. `0` is the base-image content; larger
+/// values order writes globally within one simulation.
+pub type Version = u64;
+
+/// A physical holder of chunk content (a node's local disk, or the
+/// destination's reconstruction during migration).
+///
+/// `apply` enforces the no-clobber rule used by Algorithm 4: stale content
+/// arriving late (a pull racing a local write) never overwrites newer data.
+#[derive(Clone, Debug)]
+pub struct ChunkStore {
+    versions: Vec<Version>,
+    present: ChunkSet,
+}
+
+impl ChunkStore {
+    /// An empty store for `nchunks` chunks (nothing present).
+    pub fn new(nchunks: u32) -> Self {
+        ChunkStore {
+            versions: vec![0; nchunks as usize],
+            present: ChunkSet::new(nchunks),
+        }
+    }
+
+    /// True if the store holds some version of `c`.
+    pub fn has(&self, c: ChunkId) -> bool {
+        self.present.contains(c)
+    }
+
+    /// Version held for `c` (meaningless if `!has(c)`).
+    pub fn version(&self, c: ChunkId) -> Version {
+        self.versions[c.idx()]
+    }
+
+    /// Store `v` for chunk `c` if it is newer than what is present.
+    /// Returns true if the store changed.
+    pub fn apply(&mut self, c: ChunkId, v: Version) -> bool {
+        if self.present.contains(c) && self.versions[c.idx()] >= v {
+            return false;
+        }
+        self.present.insert(c);
+        self.versions[c.idx()] = v;
+        true
+    }
+
+    /// Unconditionally forget chunk `c` (used when a qcow2 overlay is
+    /// discarded).
+    pub fn evict(&mut self, c: ChunkId) {
+        self.present.remove(c);
+        self.versions[c.idx()] = 0;
+    }
+
+    /// The set of chunks present.
+    pub fn present(&self) -> &ChunkSet {
+        &self.present
+    }
+
+    /// True if this store holds exactly the content of `disk`'s modified
+    /// chunks — the end-of-migration consistency criterion.
+    pub fn covers(&self, disk: &VirtualDisk) -> bool {
+        disk.modified()
+            .iter()
+            .all(|c| self.has(c) && self.version(c) == disk.version(c))
+    }
+
+    /// Chunks of `disk.modified()` that this store is missing or holds
+    /// stale versions of (diagnostic for failed consistency checks).
+    pub fn divergence(&self, disk: &VirtualDisk) -> Vec<ChunkId> {
+        disk.modified()
+            .iter()
+            .filter(|&c| !self.has(c) || self.version(c) != disk.version(c))
+            .collect()
+    }
+}
+
+/// The logical copy-on-write disk a VM reads and writes.
+#[derive(Clone, Debug)]
+pub struct VirtualDisk {
+    chunk_size: u64,
+    state: Vec<ChunkState>,
+    versions: Vec<Version>,
+    modified: ChunkSet,
+    next_version: Version,
+}
+
+impl VirtualDisk {
+    /// A pristine view over a base image of `nchunks` chunks of
+    /// `chunk_size` bytes.
+    pub fn new(nchunks: u32, chunk_size: u64) -> Self {
+        assert!(nchunks > 0 && chunk_size > 0);
+        VirtualDisk {
+            chunk_size,
+            state: vec![ChunkState::Untouched; nchunks as usize],
+            versions: vec![0; nchunks as usize],
+            modified: ChunkSet::new(nchunks),
+            next_version: 1,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn nchunks(&self) -> u32 {
+        self.state.len() as u32
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk_size(&self) -> u64 {
+        self.chunk_size
+    }
+
+    /// Total virtual size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.chunk_size * self.state.len() as u64
+    }
+
+    /// Current placement state of a chunk.
+    pub fn state(&self, c: ChunkId) -> ChunkState {
+        self.state[c.idx()]
+    }
+
+    /// Content version the VM observes for `c` (0 = base content).
+    pub fn version(&self, c: ChunkId) -> Version {
+        self.versions[c.idx()]
+    }
+
+    /// The ModifiedSet of §4.3: all chunks ever written locally.
+    pub fn modified(&self) -> &ChunkSet {
+        &self.modified
+    }
+
+    /// The set of chunks with any local presence (modified or cached base);
+    /// everything a `mirror`/`precopy` bulk phase must copy.
+    pub fn locally_present(&self) -> ChunkSet {
+        let mut s = ChunkSet::new(self.nchunks());
+        for (i, st) in self.state.iter().enumerate() {
+            if !matches!(st, ChunkState::Untouched) {
+                s.insert(ChunkId(i as u32));
+            }
+        }
+        s
+    }
+
+    /// Record a full-chunk write; returns the fresh content version.
+    pub fn write(&mut self, c: ChunkId) -> Version {
+        let v = self.next_version;
+        self.next_version += 1;
+        self.versions[c.idx()] = v;
+        self.state[c.idx()] = ChunkState::Local;
+        self.modified.insert(c);
+        v
+    }
+
+    /// Record that base content for `c` was fetched from the repository
+    /// and cached locally. No-op if the chunk was already local.
+    pub fn cache_base(&mut self, c: ChunkId) {
+        if matches!(self.state[c.idx()], ChunkState::Untouched) {
+            self.state[c.idx()] = ChunkState::CachedBase;
+        }
+    }
+
+    /// Whether reading `c` requires a repository fetch first.
+    pub fn needs_repo_fetch(&self, c: ChunkId) -> bool {
+        matches!(self.state[c.idx()], ChunkState::Untouched)
+    }
+
+    /// Forget local caching of base content (chunks revert to
+    /// `Untouched`). Used at control transfer: base chunks cached on the
+    /// *source's* local disk are not transferred — the destination
+    /// re-fetches them from the repository on demand (§4.1).
+    pub fn demote_cached_base(&mut self) {
+        for st in &mut self.state {
+            if matches!(st, ChunkState::CachedBase) {
+                *st = ChunkState::Untouched;
+            }
+        }
+    }
+}
+
+/// Per-chunk write counts with the paper's `Threshold` semantics.
+///
+/// Algorithm 1 resets counts at migration start; Algorithm 2 increments on
+/// every write; the background push skips chunks whose count reached
+/// `Threshold` (they are "hot" and will be prefetched with priority after
+/// control transfer instead).
+#[derive(Clone, Debug)]
+pub struct WriteCounter {
+    counts: Vec<u32>,
+    threshold: u32,
+}
+
+impl WriteCounter {
+    /// Zeroed counters for `nchunks` chunks with the given push threshold.
+    pub fn new(nchunks: u32, threshold: u32) -> Self {
+        assert!(threshold >= 1, "Threshold must be at least 1");
+        WriteCounter {
+            counts: vec![0; nchunks as usize],
+            threshold,
+        }
+    }
+
+    /// The configured `Threshold`.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Reset all counts to zero (Algorithm 1, lines 3–5).
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+    }
+
+    /// Increment the write count of `c` (Algorithm 2, line 9).
+    pub fn record_write(&mut self, c: ChunkId) {
+        self.counts[c.idx()] = self.counts[c.idx()].saturating_add(1);
+    }
+
+    /// Current count for `c`.
+    pub fn count(&self, c: ChunkId) -> u32 {
+        self.counts[c.idx()]
+    }
+
+    /// Whether the active push may still send `c`
+    /// (Algorithm 1, line 15: `WriteCount[c] < Threshold`).
+    pub fn pushable(&self, c: ChunkId) -> bool {
+        self.counts[c.idx()] < self.threshold
+    }
+
+    /// Snapshot of all counts (sent to the destination with the
+    /// RemainingSet in `TRANSFER_IO_CONTROL`).
+    pub fn snapshot(&self) -> Vec<u32> {
+        self.counts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_disk_is_untouched() {
+        let d = VirtualDisk::new(16, 256 * 1024);
+        assert_eq!(d.nchunks(), 16);
+        assert_eq!(d.size_bytes(), 16 * 256 * 1024);
+        for i in 0..16 {
+            assert_eq!(d.state(ChunkId(i)), ChunkState::Untouched);
+            assert_eq!(d.version(ChunkId(i)), 0);
+        }
+        assert!(d.modified().is_empty());
+    }
+
+    #[test]
+    fn writes_bump_versions_monotonically() {
+        let mut d = VirtualDisk::new(8, 4096);
+        let v1 = d.write(ChunkId(3));
+        let v2 = d.write(ChunkId(3));
+        let v3 = d.write(ChunkId(5));
+        assert!(v1 < v2 && v2 < v3);
+        assert_eq!(d.state(ChunkId(3)), ChunkState::Local);
+        assert_eq!(d.modified().count(), 2);
+    }
+
+    #[test]
+    fn cache_base_does_not_demote_local() {
+        let mut d = VirtualDisk::new(8, 4096);
+        d.write(ChunkId(1));
+        d.cache_base(ChunkId(1));
+        assert_eq!(d.state(ChunkId(1)), ChunkState::Local);
+        d.cache_base(ChunkId(2));
+        assert_eq!(d.state(ChunkId(2)), ChunkState::CachedBase);
+        assert!(!d.needs_repo_fetch(ChunkId(2)));
+        assert!(d.needs_repo_fetch(ChunkId(3)));
+    }
+
+    #[test]
+    fn locally_present_includes_cached_base() {
+        let mut d = VirtualDisk::new(8, 4096);
+        d.write(ChunkId(0));
+        d.cache_base(ChunkId(4));
+        let p = d.locally_present();
+        assert_eq!(p.iter().map(|c| c.0).collect::<Vec<_>>(), vec![0, 4]);
+    }
+
+    #[test]
+    fn store_apply_rejects_stale() {
+        let mut s = ChunkStore::new(8);
+        assert!(s.apply(ChunkId(1), 5));
+        assert!(!s.apply(ChunkId(1), 3), "stale version must not clobber");
+        assert!(!s.apply(ChunkId(1), 5), "equal version is a no-op");
+        assert!(s.apply(ChunkId(1), 9));
+        assert_eq!(s.version(ChunkId(1)), 9);
+    }
+
+    #[test]
+    fn store_covers_and_divergence() {
+        let mut d = VirtualDisk::new(8, 4096);
+        let va = d.write(ChunkId(0));
+        let _old = d.write(ChunkId(1));
+        let vb = d.write(ChunkId(1)); // rewrite
+
+        let mut s = ChunkStore::new(8);
+        s.apply(ChunkId(0), va);
+        s.apply(ChunkId(1), vb - 1); // stale copy of chunk 1
+        assert!(!s.covers(&d));
+        assert_eq!(s.divergence(&d), vec![ChunkId(1)]);
+
+        s.apply(ChunkId(1), vb);
+        assert!(s.covers(&d));
+        assert!(s.divergence(&d).is_empty());
+    }
+
+    #[test]
+    fn store_evict() {
+        let mut s = ChunkStore::new(4);
+        s.apply(ChunkId(2), 7);
+        s.evict(ChunkId(2));
+        assert!(!s.has(ChunkId(2)));
+    }
+
+    #[test]
+    fn write_counter_threshold_semantics() {
+        let mut wc = WriteCounter::new(4, 3);
+        let c = ChunkId(2);
+        assert!(wc.pushable(c));
+        wc.record_write(c);
+        wc.record_write(c);
+        assert!(wc.pushable(c), "below threshold still pushable");
+        wc.record_write(c);
+        assert!(!wc.pushable(c), "at threshold: withheld from push");
+        assert_eq!(wc.count(c), 3);
+        wc.reset();
+        assert_eq!(wc.count(c), 0);
+        assert!(wc.pushable(c));
+    }
+
+    #[test]
+    #[should_panic(expected = "Threshold")]
+    fn zero_threshold_rejected() {
+        let _ = WriteCounter::new(4, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests for the block-device substrate.
+
+use lsm_blockdev::{
+    byte_range_to_chunks, CacheConfig, ChunkId, ChunkSet, ChunkStore, DirtyTracker, PageCache,
+    VirtualDisk, WriteClass, WriteCounter,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const N: u32 = 512;
+
+proptest! {
+    /// ChunkSet behaves exactly like a BTreeSet<u32> reference model.
+    #[test]
+    fn chunkset_matches_reference(ops in prop::collection::vec((0u32..N, prop::bool::ANY), 0..300)) {
+        let mut cs = ChunkSet::new(N);
+        let mut reference = BTreeSet::new();
+        for (c, insert) in ops {
+            if insert {
+                prop_assert_eq!(cs.insert(ChunkId(c)), reference.insert(c));
+            } else {
+                prop_assert_eq!(cs.remove(ChunkId(c)), reference.remove(&c));
+            }
+            prop_assert_eq!(cs.count() as usize, reference.len());
+        }
+        let got: Vec<u32> = cs.iter().map(|c| c.0).collect();
+        let want: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(got, want);
+        // pop_first drains in sorted order.
+        let mut drained = Vec::new();
+        while let Some(c) = cs.pop_first() {
+            drained.push(c.0);
+        }
+        let want: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(drained, want);
+    }
+
+    /// Set algebra agrees with the reference model.
+    #[test]
+    fn chunkset_algebra_matches_reference(
+        a in prop::collection::btree_set(0u32..N, 0..100),
+        b in prop::collection::btree_set(0u32..N, 0..100),
+    ) {
+        let mut ca = ChunkSet::from_iter(N, a.iter().map(|&i| ChunkId(i)));
+        let cb = ChunkSet::from_iter(N, b.iter().map(|&i| ChunkId(i)));
+        ca.union_with(&cb);
+        let union: BTreeSet<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(ca.iter().map(|c| c.0).collect::<BTreeSet<_>>(), union.clone());
+        ca.subtract(&cb);
+        let diff: BTreeSet<u32> = union.difference(&b).copied().collect();
+        prop_assert_eq!(ca.iter().map(|c| c.0).collect::<BTreeSet<_>>(), diff);
+    }
+
+    /// Every byte of an I/O lands in exactly the chunk range reported.
+    #[test]
+    fn byte_range_covers_exactly(offset in 0u64..1_000_000, len in 1u64..500_000, ck_pow in 12u32..20) {
+        let ck = 1u64 << ck_pow;
+        let (first, last, first_partial, last_partial) = byte_range_to_chunks(offset, len, ck);
+        prop_assert!(first.0 <= last.0);
+        prop_assert_eq!(first.0 as u64, offset / ck);
+        prop_assert_eq!(last.0 as u64, (offset + len - 1) / ck);
+        prop_assert_eq!(first_partial, offset % ck != 0);
+        prop_assert_eq!(last_partial, (offset + len) % ck != 0);
+    }
+
+    /// A ChunkStore that applies every write of a disk (in any interleaving
+    /// with stale re-deliveries) ends up covering the disk.
+    #[test]
+    fn store_converges_despite_stale_redeliveries(
+        writes in prop::collection::vec(0u32..64, 1..200),
+        redeliver_every in 1usize..5,
+    ) {
+        let mut disk = VirtualDisk::new(64, 4096);
+        let mut store = ChunkStore::new(64);
+        let mut log: Vec<(ChunkId, u64)> = Vec::new();
+        for (i, c) in writes.iter().enumerate() {
+            let c = ChunkId(*c);
+            let v = disk.write(c);
+            log.push((c, v));
+            store.apply(c, v);
+            // Periodically re-deliver an old version: must never regress.
+            if i % redeliver_every == 0 {
+                let (oc, ov) = log[i / 2];
+                store.apply(oc, ov);
+            }
+        }
+        prop_assert!(store.covers(&disk), "divergence: {:?}", store.divergence(&disk));
+    }
+
+    /// WriteCounter: a chunk becomes unpushable exactly at Threshold.
+    #[test]
+    fn write_counter_threshold(threshold in 1u32..10, hits in 0u32..20) {
+        let mut wc = WriteCounter::new(4, threshold);
+        for _ in 0..hits {
+            wc.record_write(ChunkId(0));
+        }
+        prop_assert_eq!(wc.pushable(ChunkId(0)), hits < threshold);
+        prop_assert_eq!(wc.count(ChunkId(0)), hits);
+    }
+
+    /// Page cache: dirty bytes never exceed the configured limit, and
+    /// resident bytes only exceed capacity when pinned dirty chunks force it.
+    #[test]
+    fn cache_limits_respected(ops in prop::collection::vec((0u32..128, 0u8..3), 1..400)) {
+        let ck = 4096u64;
+        let cfg = CacheConfig {
+            chunk_size: ck,
+            capacity_bytes: 32 * ck,
+            dirty_limit_bytes: 8 * ck,
+            background_limit_bytes: 4 * ck,
+        };
+        let mut pc = PageCache::new(128, cfg);
+        for (c, kind) in ops {
+            let c = ChunkId(c);
+            match kind {
+                0 => {
+                    let class = pc.classify_write(c);
+                    if pc.dirty_bytes() > cfg.dirty_limit_bytes {
+                        prop_assert_eq!(class, WriteClass::Throttled);
+                    }
+                }
+                1 => pc.fill(c),
+                _ => {
+                    if let Some(wb) = pc.start_writeback() {
+                        pc.writeback_done(wb);
+                    }
+                }
+            }
+            prop_assert!(pc.dirty_bytes() <= cfg.dirty_limit_bytes,
+                "dirty {} over limit", pc.dirty_bytes());
+            let dirty_chunks = pc.dirty_bytes() / ck;
+            let slack = dirty_chunks * ck;
+            prop_assert!(pc.resident_bytes() <= cfg.capacity_bytes + slack + ck,
+                "resident {} over capacity", pc.resident_bytes());
+        }
+        // Full drain always terminates and zeroes dirty bytes.
+        while let Some(wb) = pc.start_writeback() {
+            pc.writeback_done(wb);
+        }
+        prop_assert_eq!(pc.dirty_bytes(), 0);
+    }
+
+    /// DirtyTracker: every written chunk is eventually sent, and the number
+    /// of sends of a chunk never exceeds 1 + times it was re-dirtied after
+    /// being sent.
+    #[test]
+    fn dirty_tracker_send_counts(
+        initial in prop::collection::btree_set(0u32..64, 1..32),
+        interleave in prop::collection::vec((0u32..64, prop::bool::ANY), 0..200),
+    ) {
+        let bulk = ChunkSet::from_iter(64, initial.iter().map(|&i| ChunkId(i)));
+        let mut t = DirtyTracker::start(bulk);
+        let mut sent: Vec<u32> = Vec::new();
+        let mut written: BTreeSet<u32> = initial.clone();
+        for (c, send_next) in interleave {
+            if send_next {
+                if let Some(s) = t.next_chunk() {
+                    sent.push(s.0);
+                }
+            } else {
+                t.record_write(ChunkId(c));
+                written.insert(c);
+            }
+        }
+        for s in t.drain_all() {
+            sent.push(s.0);
+        }
+        prop_assert!(t.converged());
+        // Every written chunk was sent at least once.
+        for w in &written {
+            prop_assert!(sent.contains(w), "chunk {w} written but never sent");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! `lsm` — command-line driver for the HPDC'12 reproduction experiments.
+//!
+//! ```text
+//! lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
+//! lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
+//! lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
+//! lsm ablate <threshold|priority|window> [--quick] [--csv]
+//! lsm strategies
+//! lsm demo [--strategy <name>]
+//! ```
+
+use lsm_core::policy::StrategyKind;
+use lsm_experiments::{ablations, fig3, fig4, fig5, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let csv = args.iter().any(|a| a == "--csv");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let panel = flag_value(&args, "--panel");
+
+    match cmd.as_str() {
+        "fig3" => {
+            let r = fig3::run_fig3(scale);
+            let tables = match panel.as_deref() {
+                Some("time") => vec![r.table_time()],
+                Some("traffic") => vec![r.table_traffic()],
+                Some("throughput") => vec![r.table_throughput()],
+                _ => vec![r.table_time(), r.table_traffic(), r.table_throughput()],
+            };
+            emit(&tables, csv);
+        }
+        "fig4" => {
+            let r = fig4::run_fig4(scale);
+            let tables = match panel.as_deref() {
+                Some("time") => vec![r.table_time()],
+                Some("traffic") => vec![r.table_traffic()],
+                Some("degradation") => vec![r.table_degradation()],
+                _ => vec![r.table_time(), r.table_traffic(), r.table_degradation()],
+            };
+            emit(&tables, csv);
+        }
+        "fig5" => {
+            let r = fig5::run_fig5(scale);
+            let tables = match panel.as_deref() {
+                Some("time") => vec![r.table_time()],
+                Some("traffic") => vec![r.table_traffic()],
+                Some("slowdown") => vec![r.table_slowdown()],
+                _ => vec![r.table_time(), r.table_traffic(), r.table_slowdown()],
+            };
+            emit(&tables, csv);
+        }
+        "ablate" => {
+            let Some(which) = args.get(1) else {
+                eprintln!("usage: lsm ablate <threshold|priority|window|memstrategy> [--quick]");
+                return ExitCode::FAILURE;
+            };
+            let t = match which.as_str() {
+                "threshold" => {
+                    ablations::threshold_table(&ablations::run_threshold_ablation(scale))
+                }
+                "priority" => ablations::priority_table(&ablations::run_priority_ablation(scale)),
+                "window" => ablations::window_table(&ablations::run_window_ablation(scale)),
+                "memstrategy" => {
+                    ablations::memstrategy_table(&ablations::run_memstrategy_ablation(scale))
+                }
+                other => {
+                    eprintln!("unknown ablation: {other}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            emit(&[t], csv);
+        }
+        "strategies" => {
+            println!("Storage transfer strategies (paper Table 1):");
+            for s in StrategyKind::ALL {
+                println!(
+                    "  {:<14} ends after control transfer: {:<5}  local storage: {}",
+                    s.label(),
+                    s.ends_after_control_transfer(),
+                    s.uses_local_storage()
+                );
+            }
+        }
+        "demo" => {
+            let strategy = flag_value(&args, "--strategy")
+                .and_then(|s| parse_strategy(&s))
+                .unwrap_or(StrategyKind::Hybrid);
+            demo(strategy);
+        }
+        other => {
+            eprintln!("unknown command: {other}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str =
+    "usage: lsm <fig3|fig4|fig5|ablate|strategies|demo> [--quick] [--panel <p>] [--csv]";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_strategy(s: &str) -> Option<StrategyKind> {
+    StrategyKind::ALL
+        .into_iter()
+        .find(|k| k.label() == s || format!("{k:?}").eq_ignore_ascii_case(s))
+}
+
+fn emit(tables: &[lsm_experiments::table::Table], csv: bool) {
+    for t in tables {
+        if csv {
+            print!("{}", t.to_csv());
+        } else {
+            println!("{}", t.render());
+        }
+    }
+}
+
+/// A narrated single-migration run (the quickstart scenario).
+fn demo(strategy: StrategyKind) {
+    use lsm_experiments::scenario::{run_scenario, ScenarioSpec};
+    use lsm_workloads::WorkloadSpec;
+
+    println!(
+        "live-migrating one AsyncWR VM with `{}`...",
+        strategy.label()
+    );
+    let spec = ScenarioSpec::single_migration(strategy, WorkloadSpec::async_wr_short(), 20.0)
+        .with_horizon(400.0);
+    let r = run_scenario(&spec);
+    let m = r.the_migration();
+    println!("  requested at        : {:.1}s", m.requested_at.as_secs_f64());
+    if let Some(t) = m.control_at {
+        println!("  control transferred : {:.1}s", t.as_secs_f64());
+    }
+    if let Some(t) = m.completed_at {
+        println!("  source relinquished : {:.1}s", t.as_secs_f64());
+    }
+    println!(
+        "  migration time      : {:.1}s",
+        m.migration_time.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN)
+    );
+    println!(
+        "  downtime            : {:.0}ms",
+        m.downtime.as_secs_f64() * 1e3
+    );
+    println!("  memory rounds       : {}", m.mem_rounds);
+    println!(
+        "  chunks pushed/pulled: {}/{}",
+        m.pushed_chunks, m.pulled_chunks
+    );
+    println!("  consistent          : {:?}", m.consistent);
+    println!(
+        "  total traffic       : {}",
+        lsm_simcore::units::fmt_bytes(r.total_traffic)
+    );
+}

@@ -1,0 +1,912 @@
+//! Migration orchestration: memory rounds, the push/pull pipelines,
+//! control transfer, and completion — the engine-side realization of
+//! Figure 2 of the paper.
+
+use super::io;
+use super::report::Milestone;
+use super::types::*;
+use super::Engine;
+use crate::policy::{HybridDest, HybridSource, MirrorSource, PrecopySource, StrategyKind};
+use lsm_blockdev::{ChunkId, ChunkSet};
+use lsm_hypervisor::{MemoryProfile, NextStep, PostcopyMemory, PostcopyStep, PrecopyMemory};
+use lsm_netsim::TrafficTag;
+use lsm_simcore::time::SimDuration;
+use std::collections::HashMap;
+
+/// Poll interval while a stop-and-copy waits on storage convergence.
+const LINGER_POLL: SimDuration = SimDuration::from_millis(100);
+/// Minimum dirtied bytes worth an extra linger memory round.
+const LINGER_ROUND_MIN: u64 = 1 << 20;
+
+pub(crate) fn start_migration(eng: &mut Engine, v: VmIdx, dest: u32) {
+    let now = eng.now();
+    let source = eng.vm(v).vm.host;
+    assert!(source != dest, "migration to the current host");
+    assert!(
+        eng.vm(v).migration.is_none(),
+        "VM is already being migrated"
+    );
+
+    // Memory profile: the workload's guest-RAM footprint. The host page
+    // cache is *not* guest memory and does not migrate — the destination
+    // host starts cold (which is why reads there can need on-demand
+    // pulls, §4.3).
+    let spec = eng.vm(v).driver.as_ref().expect("driver").mem_spec();
+    let ram = eng.vm(v).vm.ram_bytes;
+    let touched = spec.touched_bytes.min(ram);
+    let wss = spec.wss_bytes.min(touched);
+    let profile = MemoryProfile::new(ram, touched, wss, spec.anon_dirty_rate);
+    let mut mem = PrecopyMemory::new(profile, eng.cfg().mem);
+
+    let strategy = eng.vm(v).strategy;
+    let threshold = eng.cfg().threshold;
+    let nchunks = eng.cfg().nchunks();
+    let (hybrid_src, precopy_src, mirror_src) = {
+        let disk = &eng.vm(v).disk;
+        match strategy {
+            StrategyKind::Hybrid => (
+                Some(HybridSource::start(disk.modified(), threshold, true)),
+                None,
+                None,
+            ),
+            StrategyKind::Postcopy => (
+                Some(HybridSource::start(disk.modified(), threshold, false)),
+                None,
+                None,
+            ),
+            StrategyKind::Precopy => (
+                None,
+                Some(PrecopySource::start(disk.locally_present())),
+                None,
+            ),
+            StrategyKind::Mirror => {
+                (None, None, Some(MirrorSource::start(disk.locally_present())))
+            }
+            StrategyKind::SharedFs => (None, None, None),
+        }
+    };
+
+    // Memory strategy: iterative pre-copy (the paper's setting) or
+    // post-copy (§6 future work — the memory-independence ablation).
+    // Pre-copy-style storage strategies cannot work under post-copy
+    // memory: they have no pull path, so the disk *must* converge before
+    // control moves — but post-copy hands control over immediately
+    // (QEMU's block migration is likewise coupled to pre-copy memory).
+    let postcopy_memory = eng.cfg().postcopy_memory;
+    assert!(
+        !(postcopy_memory
+            && matches!(
+                eng.vm(v).strategy,
+                StrategyKind::Precopy | StrategyKind::Mirror
+            )),
+        "{} storage transfer requires pre-copy memory migration",
+        eng.vm(v).strategy.label()
+    );
+    let (first, postcopy_mem) = if postcopy_memory {
+        let hot = (64u64 << 20).min(touched);
+        let mut pm = PostcopyMemory::new(profile, hot);
+        let PostcopyStep::Handover { bytes } = pm.start() else {
+            unreachable!("start returns Handover");
+        };
+        (bytes, Some(pm))
+    } else {
+        (mem.start(), None)
+    };
+    let downtime_before = eng.vm(v).vm.total_downtime();
+    eng.vm_mut(v).dest_store = Some(lsm_blockdev::ChunkStore::new(nchunks));
+    eng.vm_mut(v).migration = Some(MigrationRt {
+        strategy,
+        dest,
+        source,
+        phase: if postcopy_memory {
+            MigPhase::StopAndCopy
+        } else {
+            MigPhase::Active
+        },
+        mem,
+        postcopy_mem,
+        round_started: now,
+        round_bytes: first,
+        io_dirty_accum: 0.0,
+        linger_rounds: 0,
+        pending_stop_bytes: 0,
+        hybrid_src,
+        hybrid_dst: None,
+        precopy_src,
+        mirror_src,
+        push_slots_busy: 0,
+        pull_slots_busy: 0,
+        pulls_inflight: 0,
+        pull_flows: HashMap::new(),
+        pull_waiters: HashMap::new(),
+        source_store: None,
+        final_chunks: Vec::new(),
+        mirror_flows_inflight: 0,
+        handoff_sent: false,
+        requested_at: now,
+        control_at: None,
+        completed_at: None,
+        mem_rounds: 1,
+        throttled: false,
+        pushed_chunks: 0,
+        pulled_chunks: 0,
+        ondemand_chunks: 0,
+        consistent: None,
+        downtime_before,
+        downtime: SimDuration::ZERO,
+        timeline: vec![(now, Milestone::Requested)],
+    });
+
+    eng.send_ctl(source, dest, Ctl::MigrationNotify { vm: v });
+    let cap = Some(eng.cfg().migration_speed_cap());
+    if postcopy_memory {
+        // Post-copy hands control over immediately: pause, ship the hot
+        // set, resume at the destination. The storage push phase gets no
+        // window — the hybrid scheme degenerates to prioritized pulling,
+        // exactly what §6 anticipates examining.
+        eng.vm_mut(v).vm.pause(now);
+        eng.update_compute(v);
+        eng.start_flow(
+            source,
+            dest,
+            first,
+            cap,
+            TrafficTag::Memory,
+            FlowCtx::MemStop { vm: v },
+        );
+        return;
+    }
+    eng.start_flow(
+        source,
+        dest,
+        first,
+        cap,
+        TrafficTag::Memory,
+        FlowCtx::MemRound { vm: v },
+    );
+    pump_push(eng, v);
+    eng.update_compute(v);
+}
+
+pub(crate) fn ctl_arrive(eng: &mut Engine, _node: u32, msg: Ctl) {
+    match msg {
+        Ctl::MigrationNotify { vm: _ } => {
+            // Destination manager now accepts pushed chunks; in the model
+            // the push pipeline handles this implicitly.
+        }
+        Ctl::TransferIoControl {
+            vm,
+            remaining,
+            counts,
+        } => transfer_io_control(eng, vm, remaining, counts),
+        Ctl::PullRequest {
+            vm,
+            chunks,
+            background,
+        } => {
+            // Serve the pull from the source's disk.
+            let source = eng
+                .vm(vm)
+                .migration
+                .as_ref()
+                .expect("pull for a non-migrating VM")
+                .source;
+            let bytes = eng.cfg().chunk_size * chunks.len() as u64;
+            eng.disk_submit(
+                source,
+                bytes,
+                DiskCtx::PullRead {
+                    vm,
+                    chunks,
+                    background,
+                },
+            );
+        }
+    }
+}
+
+// ---------------- memory rounds ----------------
+
+/// Dirty bytes accumulated since the round started: anonymous-memory
+/// churn plus guest page-cache dirtying from buffered writes.
+fn take_round_dirt(eng: &mut Engine, v: VmIdx) -> (u64, f64) {
+    let now = eng.now();
+    let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+    let wall = now.since(mig.round_started).as_secs_f64();
+    let anon = mig.mem.profile().base_dirty_rate * wall;
+    let dirtied = (anon + mig.io_dirty_accum) as u64;
+    mig.io_dirty_accum = 0.0;
+    let rate = if wall > 1e-9 {
+        mig.round_bytes as f64 / wall
+    } else {
+        f64::MAX
+    };
+    (dirtied, rate)
+}
+
+/// Storage-side gate for the stop-and-copy.
+///
+/// Only the strategies whose migration *ends at* control transfer must be
+/// fully converged before the pause (pre-copy block migration and
+/// mirroring, §3) — including any in-flight write-backs, whose manager
+/// writes would otherwise land after the final snapshot. The hybrid and
+/// postcopy schemes never gate the stop-and-copy on storage: that is the
+/// paper's central design point ("storage does not delay in any way the
+/// transfer of control", §4.1) — their write-backs are instead drained
+/// before the remaining-set handoff.
+fn storage_converged(eng: &Engine, v: VmIdx) -> bool {
+    let vm = eng.vm(v);
+    let mig = vm.migration.as_ref().expect("migrating");
+    match mig.strategy {
+        StrategyKind::Precopy => {
+            mig.precopy_src.as_ref().expect("precopy").converged() && mig.push_slots_busy == 0
+        }
+        StrategyKind::Mirror => {
+            mig.mirror_src.as_ref().expect("mirror").converged()
+                && mig.push_slots_busy == 0
+                && mig.mirror_flows_inflight == 0
+        }
+        _ => true,
+    }
+}
+
+pub(crate) fn mem_round_done(eng: &mut Engine, v: VmIdx) {
+    let now = eng.now();
+    let phase = eng.vm(v).migration.as_ref().expect("migrating").phase;
+    let (dirtied, rate) = take_round_dirt(eng, v);
+    match phase {
+        MigPhase::Active => {
+            let step = {
+                let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+                mig.mem.round_done(dirtied, rate)
+            };
+            match step {
+                NextStep::Round { bytes } => {
+                    start_mem_round(eng, v, bytes);
+                }
+                NextStep::StopAndCopy { bytes, throttled } => {
+                    {
+                        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+                        mig.throttled |= throttled;
+                        mig.pending_stop_bytes = bytes;
+                    }
+                    try_stop(eng, v);
+                }
+            }
+        }
+        MigPhase::Linger => {
+            // An engine-driven linger round finished.
+            {
+                let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+                mig.round_bytes = 0;
+                mig.round_started = now;
+                // Linger rounds re-send freshly dirtied memory; the
+                // pending stop stays what the machine computed.
+                let _ = dirtied;
+            }
+            linger_step(eng, v, dirtied);
+        }
+        _ => {
+            // Stale completion after a phase change; nothing to do.
+        }
+    }
+}
+
+fn start_mem_round(eng: &mut Engine, v: VmIdx, bytes: u64) {
+    let now = eng.now();
+    let (source, dest) = {
+        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        mig.mem_rounds += 1;
+        mig.round_started = now;
+        mig.round_bytes = bytes;
+        mig.timeline.push((now, Milestone::MemRound(mig.mem_rounds)));
+        (mig.source, mig.dest)
+    };
+    let cap = Some(eng.cfg().migration_speed_cap());
+    eng.start_flow(
+        source,
+        dest,
+        bytes,
+        cap,
+        TrafficTag::Memory,
+        FlowCtx::MemRound { vm: v },
+    );
+}
+
+/// Attempt the stop-and-copy; if storage has not converged, enter the
+/// linger phase (extra memory rounds while the block/bulk stream drains).
+fn try_stop(eng: &mut Engine, v: VmIdx) {
+    if storage_converged(eng, v) {
+        initiate_stop(eng, v, false);
+        return;
+    }
+    {
+        let now = eng.now();
+        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        mig.phase = MigPhase::Linger;
+        mig.round_started = now;
+        mig.round_bytes = 0;
+    }
+    eng.schedule_in(LINGER_POLL, Ev::ConvergencePoll(v));
+}
+
+/// Linger bookkeeping: either converged (stop), over the cap (force), or
+/// keep re-sending dirtied memory / polling.
+fn linger_step(eng: &mut Engine, v: VmIdx, dirtied: u64) {
+    if storage_converged(eng, v) {
+        initiate_stop(eng, v, false);
+        return;
+    }
+    let (rounds, cap) = {
+        let mig = eng.vm(v).migration.as_ref().expect("migrating");
+        (mig.linger_rounds, eng.cfg().linger_round_cap)
+    };
+    if rounds >= cap {
+        initiate_stop(eng, v, true);
+        return;
+    }
+    if dirtied >= LINGER_ROUND_MIN {
+        // Another memory round carrying the fresh dirt.
+        let now = eng.now();
+        let (source, dest) = {
+            let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+            mig.linger_rounds += 1;
+            mig.mem_rounds += 1;
+            mig.round_started = now;
+            mig.round_bytes = dirtied;
+            (mig.source, mig.dest)
+        };
+        let cap = Some(eng.cfg().migration_speed_cap());
+        eng.start_flow(
+            source,
+            dest,
+            dirtied,
+            cap,
+            TrafficTag::Memory,
+            FlowCtx::MemRound { vm: v },
+        );
+    } else {
+        eng.schedule_in(LINGER_POLL, Ev::ConvergencePoll(v));
+    }
+}
+
+pub(crate) fn convergence_poll(eng: &mut Engine, v: VmIdx) {
+    let in_linger = eng
+        .vm(v)
+        .migration
+        .as_ref()
+        .map(|m| m.phase == MigPhase::Linger && m.round_bytes == 0)
+        .unwrap_or(false);
+    if !in_linger {
+        return; // stale poll
+    }
+    let (dirtied, _) = take_round_dirt(eng, v);
+    let now = eng.now();
+    eng.vm_mut(v)
+        .migration
+        .as_mut()
+        .expect("migrating")
+        .round_started = now;
+    linger_step(eng, v, dirtied);
+}
+
+/// Pause the VM and flush the final memory (plus, on forced convergence,
+/// every chunk the storage stream still owed).
+fn initiate_stop(eng: &mut Engine, v: VmIdx, force_storage: bool) {
+    let now = eng.now();
+    let mut extra_chunks: Vec<ChunkId> = Vec::new();
+    if force_storage {
+        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        mig.throttled = true;
+        if let Some(src) = mig.precopy_src.as_mut() {
+            extra_chunks = src_drain_precopy(src);
+        }
+        if let Some(src) = mig.mirror_src.as_mut() {
+            while let Some(c) = src.next_send() {
+                src.send_done();
+                extra_chunks.push(c);
+            }
+        }
+    }
+    let chunk_size = eng.cfg().chunk_size;
+    let (source, dest, bytes) = {
+        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        mig.phase = MigPhase::StopAndCopy;
+        mig.timeline.push((now, Milestone::StopAndCopy));
+        mig.final_chunks.extend(extra_chunks);
+        let bytes = mig.pending_stop_bytes + mig.final_chunks.len() as u64 * chunk_size;
+        (mig.source, mig.dest, bytes)
+    };
+    eng.vm_mut(v).vm.pause(now);
+    eng.update_compute(v);
+    let cap = Some(eng.cfg().migration_speed_cap());
+    eng.start_flow(
+        source,
+        dest,
+        bytes,
+        cap,
+        TrafficTag::Memory,
+        FlowCtx::MemStop { vm: v },
+    );
+}
+
+fn src_drain_precopy(src: &mut PrecopySource) -> Vec<ChunkId> {
+    let mut out = Vec::new();
+    while let Some(c) = src.next_send() {
+        src.send_done();
+        out.push(c);
+    }
+    out
+}
+
+pub(crate) fn mem_stop_done(eng: &mut Engine, v: VmIdx) {
+    // Apply the force-flushed chunks at the destination (they travelled
+    // inside the stop-and-copy flush).
+    let finals = std::mem::take(
+        &mut eng.vm_mut(v).migration.as_mut().expect("migrating").final_chunks,
+    );
+    if !finals.is_empty() {
+        let vm = eng.vm_mut(v);
+        let mig = vm.migration.as_mut().expect("migrating");
+        let ds = vm.dest_store.as_mut().expect("dest store");
+        for c in &finals {
+            let ver = vm.store.version(*c);
+            ds.apply(*c, ver);
+            mig.pushed_chunks += 1;
+        }
+    }
+    let strategy = {
+        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        if mig.postcopy_mem.is_none() {
+            mig.mem.finish();
+        }
+        mig.strategy
+    };
+    match strategy {
+        StrategyKind::Hybrid | StrategyKind::Postcopy => {
+            eng.vm_mut(v).migration.as_mut().expect("migrating").phase = MigPhase::SyncDrain;
+            maybe_handoff(eng, v);
+        }
+        StrategyKind::Precopy | StrategyKind::Mirror | StrategyKind::SharedFs => {
+            control_transfer(eng, v);
+            maybe_complete(eng, v);
+        }
+    }
+}
+
+/// The hypervisor's `sync`: the source hands the destination the
+/// remaining set and the write counts (Figure 2, "Send list of remaining
+/// chunks").
+fn do_handoff(eng: &mut Engine, v: VmIdx) {
+    let now = eng.now();
+    let (source, dest, remaining, counts) = {
+        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        mig.timeline.push((now, Milestone::RemainingSetSent));
+        let (remaining, counts) = mig.hybrid_src.as_mut().expect("hybrid source").handoff();
+        (mig.source, mig.dest, remaining, counts)
+    };
+    eng.send_ctl(
+        source,
+        dest,
+        Ctl::TransferIoControl {
+            vm: v,
+            remaining,
+            counts,
+        },
+    );
+}
+
+fn transfer_io_control(eng: &mut Engine, v: VmIdx, remaining: ChunkSet, counts: Vec<u32>) {
+    let prioritized = eng.cfg().prefetch_priority;
+    {
+        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        mig.hybrid_dst = Some(HybridDest::start(remaining, &counts, prioritized));
+        mig.phase = MigPhase::PullPhase;
+    }
+    control_transfer(eng, v);
+    pump_pull(eng, v);
+    maybe_complete(eng, v);
+}
+
+/// Control moves to the destination: swap the physical stores, drop the
+/// source's cached base chunks, resume the guest on the new host.
+fn control_transfer(eng: &mut Engine, v: VmIdx) {
+    let now = eng.now();
+    {
+        let vm = eng.vm_mut(v);
+        let mig = vm.migration.as_mut().expect("migrating");
+        mig.control_at = Some(now);
+        mig.timeline.push((now, Milestone::ControlTransferred));
+        let dest_store = vm.dest_store.take().expect("dest store");
+        let source_store = std::mem::replace(&mut vm.store, dest_store);
+        mig.source_store = Some(source_store);
+        let dest = mig.dest;
+        vm.disk.demote_cached_base();
+        // The source host's page cache stays behind; the destination
+        // host starts with exactly the pushed chunks warm (they were
+        // just written through its page cache).
+        vm.cache.clear();
+        vm.kupdate_credit = 0;
+        let pushed: Vec<_> = vm.store.present().iter().collect();
+        for c in pushed {
+            vm.cache.fill(c);
+        }
+        vm.vm.resume(now, Some(dest));
+    }
+    eng.update_compute(v);
+    eng.release_held(v);
+    io::pump_writeback(eng, v);
+
+    // Post-copy memory: kick off the background page pull now that the
+    // guest runs at the destination.
+    let pull = {
+        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        mig.postcopy_mem.as_mut().map(|pm| {
+            let PostcopyStep::BackgroundPull { bytes } = pm.handover_done() else {
+                unreachable!("handover_done returns BackgroundPull");
+            };
+            (mig.source, mig.dest, bytes)
+        })
+    };
+    if let Some((source, dest, bytes)) = pull {
+        let cap = Some(eng.cfg().migration_speed_cap());
+        eng.start_flow(
+            source,
+            dest,
+            bytes,
+            cap,
+            TrafficTag::Memory,
+            FlowCtx::MemPostPull { vm: v },
+        );
+        eng.update_compute(v); // fault slowdown while pulling
+    }
+}
+
+/// The post-copy background memory pull finished.
+pub(crate) fn mem_post_pull_done(eng: &mut Engine, v: VmIdx) {
+    eng.vm_mut(v)
+        .migration
+        .as_mut()
+        .expect("migrating")
+        .postcopy_mem
+        .as_mut()
+        .expect("post-copy memory")
+        .pull_done();
+    eng.update_compute(v);
+    maybe_complete(eng, v);
+}
+
+// ---------------- push pipeline (source side) ----------------
+
+fn next_source_chunk(mig: &mut MigrationRt) -> Option<ChunkId> {
+    if let Some(src) = mig.hybrid_src.as_mut() {
+        return src.next_push();
+    }
+    if let Some(src) = mig.precopy_src.as_mut() {
+        return src.next_send();
+    }
+    if let Some(src) = mig.mirror_src.as_mut() {
+        return src.next_send();
+    }
+    None
+}
+
+pub(crate) fn pump_push(eng: &mut Engine, v: VmIdx) {
+    let batch_max = eng.cfg().transfer_batch as usize;
+    let window = eng.cfg().transfer_window;
+    let chunk_size = eng.cfg().chunk_size;
+    loop {
+        let (batch, source) = {
+            let Some(mig) = eng.vm_mut(v).migration.as_mut() else {
+                return;
+            };
+            if !matches!(mig.phase, MigPhase::Active | MigPhase::Linger) {
+                return;
+            }
+            if mig.push_slots_busy >= window {
+                return;
+            }
+            let mut batch = Vec::with_capacity(batch_max);
+            while batch.len() < batch_max {
+                match next_source_chunk(mig) {
+                    Some(c) => batch.push(c),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                return;
+            }
+            mig.push_slots_busy += 1;
+            (batch, mig.source)
+        };
+        let bytes = chunk_size * batch.len() as u64;
+        eng.disk_submit(
+            source,
+            bytes,
+            DiskCtx::PushRead {
+                vm: v,
+                chunks: batch,
+                slot: 0,
+            },
+        );
+    }
+}
+
+pub(crate) fn push_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, slot: u32) {
+    let (source, dest, withver) = {
+        let vm = eng.vm(v);
+        let mig = vm.migration.as_ref().expect("migrating");
+        let store = mig.source_store.as_ref().unwrap_or(&vm.store);
+        let withver: Vec<(ChunkId, u64)> =
+            chunks.iter().map(|&c| (c, store.version(c))).collect();
+        (mig.source, mig.dest, withver)
+    };
+    let bytes = eng.cfg().chunk_size * chunks.len() as u64;
+    eng.start_flow(
+        source,
+        dest,
+        bytes,
+        None,
+        TrafficTag::StoragePush,
+        FlowCtx::PushBatch {
+            vm: v,
+            chunks: withver,
+            slot,
+        },
+    );
+}
+
+pub(crate) fn push_batch_arrived(
+    eng: &mut Engine,
+    v: VmIdx,
+    chunks: Vec<(ChunkId, u64)>,
+    _slot: u32,
+) {
+    let bytes = eng.cfg().chunk_size * chunks.len() as u64;
+    let dest = {
+        let vm = eng.vm_mut(v);
+        let mig = vm.migration.as_mut().expect("migrating");
+        let store = vm.dest_store.as_mut().unwrap_or(&mut vm.store);
+        for &(c, ver) in &chunks {
+            store.apply(c, ver);
+            if let Some(src) = mig.hybrid_src.as_mut() {
+                src.push_done(c);
+            }
+            if let Some(src) = mig.precopy_src.as_mut() {
+                src.send_done();
+            }
+            if let Some(src) = mig.mirror_src.as_mut() {
+                src.send_done();
+            }
+        }
+        mig.pushed_chunks += chunks.len() as u64;
+        mig.push_slots_busy -= 1;
+        mig.dest
+    };
+    eng.ingest(dest, bytes);
+    pump_push(eng, v);
+    maybe_handoff(eng, v);
+}
+
+/// Fire the remaining-set handoff once the push pipeline has drained
+/// after the stop-and-copy (in-flight pushes finish over TCP before the
+/// source sends the remaining-chunk list, Figure 2).
+pub(crate) fn maybe_handoff(eng: &mut Engine, v: VmIdx) {
+    let ready = {
+        let vm = eng.vm(v);
+        match vm.migration.as_ref() {
+            Some(mig) => {
+                mig.phase == MigPhase::SyncDrain
+                    && !mig.handoff_sent
+                    && mig.push_slots_busy == 0
+            }
+            None => false,
+        }
+    };
+    if ready {
+        eng.vm_mut(v)
+            .migration
+            .as_mut()
+            .expect("migrating")
+            .handoff_sent = true;
+        do_handoff(eng, v);
+    }
+}
+
+// ---------------- pull pipeline (destination side) ----------------
+
+pub(crate) fn pump_pull(eng: &mut Engine, v: VmIdx) {
+    let max_slots = eng.cfg().transfer_window * eng.cfg().transfer_batch;
+    loop {
+        let req = {
+            let Some(mig) = eng.vm_mut(v).migration.as_mut() else {
+                return;
+            };
+            if mig.phase != MigPhase::PullPhase || mig.pull_slots_busy >= max_slots {
+                return;
+            }
+            let Some(c) = mig.hybrid_dst.as_mut().expect("dest state").next_pull() else {
+                return;
+            };
+            mig.pull_slots_busy += 1;
+            mig.pulls_inflight += 1;
+            (mig.dest, mig.source, c)
+        };
+        let (dest, source, c) = req;
+        eng.send_ctl(
+            dest,
+            source,
+            Ctl::PullRequest {
+                vm: v,
+                chunks: vec![c],
+                background: true,
+            },
+        );
+    }
+}
+
+pub(crate) fn pull_read_done(
+    eng: &mut Engine,
+    v: VmIdx,
+    chunks: Vec<ChunkId>,
+    background: bool,
+) {
+    let (source, dest, withver) = {
+        let vm = eng.vm(v);
+        let mig = vm.migration.as_ref().expect("migrating");
+        let store = mig.source_store.as_ref().unwrap_or(&vm.store);
+        let withver: Vec<(ChunkId, u64)> =
+            chunks.iter().map(|&c| (c, store.version(c))).collect();
+        (mig.source, mig.dest, withver)
+    };
+    let bytes = eng.cfg().chunk_size * chunks.len() as u64;
+    let fid = eng.start_flow(
+        source,
+        dest,
+        bytes,
+        None,
+        TrafficTag::StoragePull,
+        FlowCtx::PullBatch {
+            vm: v,
+            chunks: withver.clone(),
+            background,
+        },
+    );
+    let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+    for (c, _) in &withver {
+        mig.pull_flows.insert(*c, fid);
+    }
+}
+
+pub(crate) fn pull_batch_arrived(
+    eng: &mut Engine,
+    v: VmIdx,
+    chunks: Vec<(ChunkId, u64)>,
+    background: bool,
+) {
+    let bytes = eng.cfg().chunk_size * chunks.len() as u64;
+    let mut waiters: Vec<OpId> = Vec::new();
+    let dest = {
+        let vm = eng.vm_mut(v);
+        let mig = vm.migration.as_mut().expect("migrating");
+        for &(c, ver) in &chunks {
+            mig.pull_flows.remove(&c);
+            let applied = vm.store.apply(c, ver);
+            if applied && !vm.cache.is_dirty(c) {
+                // The pulled content just streamed through this host's
+                // page cache: it is resident (and supersedes any stale
+                // clean copy).
+                vm.cache.invalidate(c);
+                vm.cache.fill(c);
+            }
+            if let Some(dst) = mig.hybrid_dst.as_mut() {
+                dst.pull_done(c);
+            }
+            mig.pulled_chunks += 1;
+            if let Some(w) = mig.pull_waiters.remove(&c) {
+                waiters.extend(w);
+            }
+        }
+        if background {
+            mig.pull_slots_busy -= 1;
+        }
+        mig.pulls_inflight -= 1;
+        mig.dest
+    };
+    for op in waiters {
+        eng.op_part_done(op);
+    }
+    eng.ingest(dest, bytes);
+    pump_pull(eng, v);
+    maybe_complete(eng, v);
+}
+
+// ---------------- mirror writes ----------------
+
+pub(crate) fn mirror_write_arrived(
+    eng: &mut Engine,
+    v: VmIdx,
+    op: Option<OpId>,
+    chunks: Vec<(ChunkId, u64)>,
+) {
+    {
+        let vm = eng.vm_mut(v);
+        if let Some(mig) = vm.migration.as_mut() {
+            let store = vm.dest_store.as_mut().unwrap_or(&mut vm.store);
+            for &(c, ver) in &chunks {
+                store.apply(c, ver);
+            }
+            mig.mirror_flows_inflight = mig.mirror_flows_inflight.saturating_sub(1);
+        }
+    }
+    match op {
+        Some(o) => eng.op_part_done(o),
+        // Write-back-driven mirroring no longer exists (the manager
+        // mirrors at guest-write time); nothing to release.
+        None => {}
+    }
+}
+
+// ---------------- completion ----------------
+
+pub(crate) fn maybe_complete(eng: &mut Engine, v: VmIdx) {
+    let done = {
+        let Some(mig) = eng.vm(v).migration.as_ref() else {
+            return;
+        };
+        if mig.phase == MigPhase::Complete {
+            return;
+        }
+        let memory_done = mig.postcopy_mem.as_ref().map(|p| p.is_done()).unwrap_or(true);
+        let storage_done = match mig.strategy {
+            StrategyKind::Hybrid | StrategyKind::Postcopy => {
+                mig.phase == MigPhase::PullPhase
+                    && mig.pulls_inflight == 0
+                    && mig
+                        .hybrid_dst
+                        .as_ref()
+                        .map(|d| d.is_complete())
+                        .unwrap_or(true)
+            }
+            _ => mig.control_at.is_some(),
+        };
+        memory_done && storage_done
+    };
+    if done {
+        complete_migration(eng, v);
+    }
+}
+
+fn complete_migration(eng: &mut Engine, v: VmIdx) {
+    let now = eng.now();
+    let consistent = {
+        let vm = eng.vm(v);
+        if vm.strategy == StrategyKind::SharedFs {
+            true
+        } else {
+            vm.store.covers(&vm.disk)
+        }
+    };
+    {
+        let vm = eng.vm_mut(v);
+        let total_down = vm.vm.total_downtime();
+        let mig = vm.migration.as_mut().expect("migrating");
+        mig.phase = MigPhase::Complete;
+        mig.completed_at = Some(now);
+        mig.consistent = Some(consistent);
+        mig.downtime = total_down - mig.downtime_before;
+        mig.timeline.push((now, Milestone::Completed));
+        mig.source_store = None;
+    }
+    #[cfg(feature = "strict-verify")]
+    {
+        let vm = eng.vm(v);
+        assert!(
+            consistent,
+            "migrated disk state diverged for VM {:?}: {:?}",
+            vm.vm.id(),
+            vm.store.divergence(&vm.disk)
+        );
+    }
+    eng.update_compute(v);
+}

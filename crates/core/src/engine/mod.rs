@@ -1,0 +1,833 @@
+//! The migration engine: a deterministic event loop coupling the network,
+//! disks, page caches, workloads, the hypervisor's memory migration, and
+//! the storage transfer policies.
+//!
+//! The engine is strategy-agnostic where the paper's design is
+//! (§4.1 "transparency"): workloads and the memory migration never know
+//! which storage transfer policy is active; policies only see chunk-level
+//! reads/writes and the `sync` moment, exactly like the FUSE-based
+//! migration manager of §4.4.
+
+mod io;
+mod migration;
+mod pvfs;
+mod report;
+mod types;
+
+pub use report::{MigrationRecord, Milestone, RunReport, VmRecord};
+
+use crate::config::ClusterConfig;
+use crate::policy::StrategyKind;
+use lsm_blockdev::{CacheConfig, ChunkStore, PageCache, VirtualDisk};
+use lsm_hypervisor::{Vm, VmId, VmState};
+use lsm_netsim::{FlowId, FlowNet, NodeId, Topology, TrafficTag};
+use lsm_repo::{PvfsConfig, PvfsFs, RepoConfig, StripedRepo};
+use lsm_simcore::resource::SharedResource;
+use lsm_simcore::time::{SimDuration, SimTime};
+use lsm_simcore::{EventId, EventQueue};
+use lsm_workloads::{Action, ActionToken, WorkloadSpec};
+use std::collections::HashMap;
+use types::*;
+
+/// The simulation engine. Build one per experiment run.
+pub struct Engine {
+    cfg: ClusterConfig,
+    now: SimTime,
+    queue: EventQueue<Ev>,
+    net: FlowNet,
+    net_wake: Option<(EventId, SimTime)>,
+    flow_ctx: HashMap<FlowId, FlowCtx>,
+    nodes: Vec<NodeRt>,
+    vms: Vec<VmRt>,
+    groups: Vec<GroupRt>,
+    repo: StripedRepo,
+    pvfs: PvfsFs,
+    ops: HashMap<OpId, OpRt>,
+    next_op: OpId,
+    /// Downtime-resume bookkeeping: events processed count (progress
+    /// guard against event-loop livelock in buggy configurations).
+    events_processed: u64,
+}
+
+impl Engine {
+    /// Build an engine over a fresh cluster.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let topo = Topology::symmetric(cfg.nodes as usize, cfg.nic_bw, cfg.switch_bw)
+            .with_latency(cfg.net_latency);
+        let net = FlowNet::new(topo);
+        let nodes = (0..cfg.nodes)
+            .map(|_| NodeRt {
+                disk: SharedResource::new(cfg.disk_bw),
+                cache_rd: SharedResource::new(cfg.cache_read_bw),
+                cache_wr: SharedResource::new(cfg.cache_write_bw),
+                ingest_backlog: 0,
+                ingest_inflight: 0,
+                disk_wake: None,
+                cache_rd_wake: None,
+                cache_wr_wake: None,
+                disk_ctx: HashMap::new(),
+                cache_rd_ctx: HashMap::new(),
+                cache_wr_ctx: HashMap::new(),
+            })
+            .collect();
+        let repo = StripedRepo::new(RepoConfig::over_nodes(
+            cfg.nodes,
+            cfg.repo_replication,
+            cfg.chunk_size,
+        ));
+        let pvfs = PvfsFs::new(
+            PvfsConfig::over_nodes(cfg.nodes)
+                .with_op_overhead(cfg.pvfs_op_overhead)
+                .with_write_overhead(cfg.pvfs_write_overhead),
+        );
+        Engine {
+            cfg,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            net,
+            net_wake: None,
+            flow_ctx: HashMap::new(),
+            nodes,
+            vms: Vec::new(),
+            groups: Vec::new(),
+            repo,
+            pvfs,
+            ops: HashMap::new(),
+            next_op: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deploy a VM on `node` running `spec` under the given storage
+    /// transfer strategy. The workload starts at `start_at`.
+    pub fn add_vm(
+        &mut self,
+        node: u32,
+        spec: &WorkloadSpec,
+        strategy: StrategyKind,
+        start_at: SimTime,
+    ) -> VmId {
+        assert!(node < self.cfg.nodes, "node out of range");
+        let id = VmId(self.vms.len() as u32);
+        let driver = spec.build();
+        let nchunks = self.cfg.nchunks();
+        let cache = PageCache::new(nchunks, CacheConfig::for_ram(self.cfg.vm_ram, self.cfg.chunk_size));
+        self.vms.push(VmRt {
+            vm: Vm::new(id, node, self.cfg.vm_ram, 2),
+            strategy,
+            driver: Some(driver),
+            started: false,
+            finished_at: None,
+            disk: VirtualDisk::new(nchunks, self.cfg.chunk_size),
+            cache,
+            store: ChunkStore::new(nchunks),
+            dest_store: None,
+            ops: HashMap::new(),
+            compute: None,
+            held_completions: Default::default(),
+            group: None,
+            migration: None,
+            wb_inflight: 0,
+            kupdate_credit: 0,
+            fsync_waiters: Vec::new(),
+            read_bytes: 0,
+            write_bytes: 0,
+            reads_hit_bytes: 0,
+            reads_miss_bytes: 0,
+            writes_buffered_bytes: 0,
+            writes_throttled_bytes: 0,
+            reads_pull_blocked: 0,
+            read_busy: SimDuration::ZERO,
+            write_busy: SimDuration::ZERO,
+            pvfs_file_base: id.0 as u64 * self.cfg.image_size,
+        });
+        self.queue.schedule(start_at, Ev::VmStart(id.0));
+        let expire = SimDuration::from_secs_f64(self.cfg.dirty_expire_secs);
+        self.queue
+            .schedule(start_at + expire, Ev::KupdateTick(id.0));
+        id
+    }
+
+    /// Deploy a barrier-synchronized workload group (one VM per spec).
+    /// All ranks must carry workloads that emit matching barriers (CM1).
+    pub fn add_group(
+        &mut self,
+        placements: &[(u32, WorkloadSpec)],
+        strategy: StrategyKind,
+        start_at: SimTime,
+    ) -> Vec<VmId> {
+        let gid = self.groups.len() as u32;
+        let mut members = Vec::with_capacity(placements.len());
+        let mut ids = Vec::with_capacity(placements.len());
+        for (rank, (node, spec)) in placements.iter().enumerate() {
+            let id = self.add_vm(*node, spec, strategy, start_at);
+            self.vms[id.0 as usize].group = Some((gid, rank as u32));
+            members.push(id.0);
+            ids.push(id);
+        }
+        self.groups.push(GroupRt {
+            waiting: vec![None; members.len()],
+            members,
+            arrived: 0,
+            episodes: 0,
+        });
+        ids
+    }
+
+    /// Schedule a live migration of `vm` to `dest` at time `at`.
+    pub fn schedule_migration(&mut self, vm: VmId, dest: u32, at: SimTime) {
+        assert!(dest < self.cfg.nodes, "destination out of range");
+        self.queue.schedule(at, Ev::MigrationStart(vm.0, dest));
+    }
+
+    /// Run until `horizon` (or until the event queue drains) and return
+    /// the run report.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event");
+            debug_assert!(now >= self.now, "event time went backwards");
+            self.now = now;
+            self.events_processed += 1;
+            self.dispatch(ev);
+        }
+        self.now = horizon;
+        self.net.advance(horizon);
+        report::build(self)
+    }
+
+    /// Number of events processed so far (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    // ---------------- event dispatch ----------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::NetWake => self.drain_net(),
+            Ev::DiskWake(n) => self.drain_disk(n),
+            Ev::CacheRdWake(n) => self.drain_cache(n, true),
+            Ev::CacheWrWake(n) => self.drain_cache(n, false),
+            Ev::ComputeDone(v) => self.compute_done(v),
+            Ev::CtlArrive(node, msg) => migration::ctl_arrive(self, node, msg),
+            Ev::VmStart(v) => self.vm_start(v),
+            Ev::MigrationStart(v, dest) => migration::start_migration(self, v, dest),
+            Ev::OpTimer(op) => self.op_part_done(op),
+            Ev::ConvergencePoll(v) => migration::convergence_poll(self, v),
+            Ev::KupdateTick(v) => self.kupdate_tick(v),
+        }
+    }
+
+    /// Periodic dirty-expiry sweep: grant the write-back pump credit to
+    /// flush the currently dirty chunks even below the background
+    /// threshold, then re-arm the timer.
+    fn kupdate_tick(&mut self, v: VmIdx) {
+        let expire = SimDuration::from_secs_f64(self.cfg.dirty_expire_secs);
+        {
+            let vm = &mut self.vms[v as usize];
+            if vm.finished_at.is_some() && !vm.cache.has_writeback_work() {
+                return; // workload done and clean: stop ticking
+            }
+            let dirty_chunks = (vm.cache.dirty_bytes() / self.cfg.chunk_size) as u32;
+            vm.kupdate_credit = vm.kupdate_credit.max(dirty_chunks);
+        }
+        io::pump_writeback(self, v);
+        self.schedule_in(expire, Ev::KupdateTick(v));
+    }
+
+    fn vm_start(&mut self, v: VmIdx) {
+        let vm = &mut self.vms[v as usize];
+        if vm.started {
+            return;
+        }
+        vm.started = true;
+        let mut driver = vm.driver.take().expect("driver present");
+        let actions = driver.start(self.now);
+        self.vms[v as usize].driver = Some(driver);
+        self.handle_actions(v, actions);
+    }
+
+    // ---------------- resource wake/drain plumbing ----------------
+
+    pub(crate) fn resync_net(&mut self) {
+        let t = self
+            .net
+            .next_completion()
+            .map(|(t, _)| t)
+            .unwrap_or(SimTime::FAR_FUTURE);
+        if let Some((_, at)) = self.net_wake {
+            if at == t {
+                return;
+            }
+        }
+        if let Some((ev, _)) = self.net_wake.take() {
+            self.queue.cancel(ev);
+        }
+        if t != SimTime::FAR_FUTURE {
+            let ev = self.queue.schedule(t, Ev::NetWake);
+            self.net_wake = Some((ev, t));
+        }
+    }
+
+    fn drain_net(&mut self) {
+        self.net_wake = None;
+        while let Some((t, id)) = self.net.next_completion() {
+            if t > self.now {
+                break;
+            }
+            self.net.complete(self.now, id);
+            let ctx = self.flow_ctx.remove(&id).expect("flow has context");
+            self.flow_done(ctx);
+        }
+        self.resync_net();
+    }
+
+    pub(crate) fn start_flow(
+        &mut self,
+        src: u32,
+        dst: u32,
+        bytes: u64,
+        cap: Option<f64>,
+        tag: TrafficTag,
+        ctx: FlowCtx,
+    ) -> FlowId {
+        let id = self
+            .net
+            .start_flow(self.now, NodeId(src), NodeId(dst), bytes, cap, tag);
+        self.flow_ctx.insert(id, ctx);
+        self.resync_net();
+        id
+    }
+
+    pub(crate) fn cancel_flow(&mut self, id: FlowId) -> Option<FlowCtx> {
+        self.net.cancel_flow(self.now, id);
+        let ctx = self.flow_ctx.remove(&id);
+        self.resync_net();
+        ctx
+    }
+
+    /// Deliver a control message after the fabric latency (loopback
+    /// messages are immediate).
+    pub(crate) fn send_ctl(&mut self, from: u32, to: u32, msg: Ctl) {
+        let delay = if from == to {
+            SimDuration::ZERO
+        } else {
+            self.net.account_control(1500);
+            self.net.latency()
+        };
+        self.queue.schedule(self.now + delay, Ev::CtlArrive(to, msg));
+    }
+
+    fn resync_node_resource(&mut self, node: u32, which: u8) {
+        let t = {
+            let n = &self.nodes[node as usize];
+            let res = match which {
+                0 => &n.disk,
+                1 => &n.cache_rd,
+                _ => &n.cache_wr,
+            };
+            res.next_completion()
+                .map(|(t, _)| t)
+                .unwrap_or(SimTime::FAR_FUTURE)
+        };
+        let prev = {
+            let n = &mut self.nodes[node as usize];
+            let wake = match which {
+                0 => &mut n.disk_wake,
+                1 => &mut n.cache_rd_wake,
+                _ => &mut n.cache_wr_wake,
+            };
+            if let Some((_, at)) = *wake {
+                if at == t {
+                    return;
+                }
+            }
+            wake.take()
+        };
+        if let Some((ev, _)) = prev {
+            self.queue.cancel(ev);
+        }
+        if t != SimTime::FAR_FUTURE {
+            let evk = match which {
+                0 => Ev::DiskWake(node),
+                1 => Ev::CacheRdWake(node),
+                _ => Ev::CacheWrWake(node),
+            };
+            let ev = self.queue.schedule(t, evk);
+            let n = &mut self.nodes[node as usize];
+            let wake = match which {
+                0 => &mut n.disk_wake,
+                1 => &mut n.cache_rd_wake,
+                _ => &mut n.cache_wr_wake,
+            };
+            *wake = Some((ev, t));
+        }
+    }
+
+    pub(crate) fn resync_disk(&mut self, node: u32) {
+        self.resync_node_resource(node, 0);
+    }
+
+    pub(crate) fn resync_cache_rd(&mut self, node: u32) {
+        self.resync_node_resource(node, 1);
+    }
+
+    pub(crate) fn resync_cache_wr(&mut self, node: u32) {
+        self.resync_node_resource(node, 2);
+    }
+
+    pub(crate) fn disk_submit(&mut self, node: u32, bytes: u64, ctx: DiskCtx) {
+        let now = self.now;
+        let n = &mut self.nodes[node as usize];
+        let id = n.disk.submit(now, bytes, None);
+        n.disk_ctx.insert(id, ctx);
+        self.resync_disk(node);
+    }
+
+    pub(crate) fn cache_submit(&mut self, node: u32, bytes: u64, read: bool, op: OpId) {
+        let now = self.now;
+        let n = &mut self.nodes[node as usize];
+        if read {
+            let id = n.cache_rd.submit(now, bytes, None);
+            n.cache_rd_ctx.insert(id, CacheCtx { op });
+            self.resync_cache_rd(node);
+        } else {
+            let id = n.cache_wr.submit(now, bytes, None);
+            n.cache_wr_ctx.insert(id, CacheCtx { op });
+            self.resync_cache_wr(node);
+        }
+    }
+
+    fn drain_disk(&mut self, node: u32) {
+        self.nodes[node as usize].disk_wake = None;
+        loop {
+            let next = self.nodes[node as usize].disk.next_completion();
+            match next {
+                Some((t, id)) if t <= self.now => {
+                    let now = self.now;
+                    let n = &mut self.nodes[node as usize];
+                    n.disk.complete(now, id);
+                    let ctx = n.disk_ctx.remove(&id).expect("disk req has context");
+                    self.disk_done(node, ctx);
+                }
+                _ => break,
+            }
+        }
+        self.resync_disk(node);
+    }
+
+    fn drain_cache(&mut self, node: u32, read: bool) {
+        if read {
+            self.nodes[node as usize].cache_rd_wake = None;
+        } else {
+            self.nodes[node as usize].cache_wr_wake = None;
+        }
+        loop {
+            let now = self.now;
+            let n = &mut self.nodes[node as usize];
+            let res = if read { &mut n.cache_rd } else { &mut n.cache_wr };
+            match res.next_completion() {
+                Some((t, id)) if t <= now => {
+                    res.complete(now, id);
+                    let ctx = if read {
+                        n.cache_rd_ctx.remove(&id)
+                    } else {
+                        n.cache_wr_ctx.remove(&id)
+                    }
+                    .expect("cache req has context");
+                    self.op_part_done(ctx.op);
+                }
+                _ => break,
+            }
+        }
+        if read {
+            self.resync_cache_rd(node);
+        } else {
+            self.resync_cache_wr(node);
+        }
+    }
+
+    // ---------------- completion routing ----------------
+
+    fn flow_done(&mut self, ctx: FlowCtx) {
+        match ctx {
+            FlowCtx::MemRound { vm } => migration::mem_round_done(self, vm),
+            FlowCtx::MemStop { vm } => migration::mem_stop_done(self, vm),
+            FlowCtx::MemPostPull { vm } => migration::mem_post_pull_done(self, vm),
+            FlowCtx::PushBatch { vm, chunks, slot } => {
+                migration::push_batch_arrived(self, vm, chunks, slot)
+            }
+            FlowCtx::PullBatch {
+                vm,
+                chunks,
+                background,
+            } => migration::pull_batch_arrived(self, vm, chunks, background),
+            FlowCtx::MirrorWrite { vm, op, chunks } => {
+                migration::mirror_write_arrived(self, vm, op, chunks)
+            }
+            FlowCtx::RepoFetch {
+                vm,
+                node,
+                chunks,
+                op,
+                replica,
+            } => io::repo_fetch_arrived(self, vm, node, chunks, op, replica),
+            FlowCtx::PvfsLeg {
+                op,
+                server,
+                bytes,
+                write,
+            } => pvfs::leg_flow_done(self, op, server, bytes, write),
+            FlowCtx::Halo { op } => self.op_part_done(op),
+        }
+    }
+
+    fn disk_done(&mut self, _node: u32, ctx: DiskCtx) {
+        match ctx {
+            DiskCtx::VmOp { op } => self.op_part_done(op),
+            DiskCtx::Writeback { vm, chunk } => io::writeback_done(self, vm, chunk),
+            DiskCtx::PushRead { vm, chunks, slot } => {
+                migration::push_read_done(self, vm, chunks, slot)
+            }
+            DiskCtx::PullRead {
+                vm,
+                chunks,
+                background,
+            } => migration::pull_read_done(self, vm, chunks, background),
+            DiskCtx::RepoRead {
+                vm,
+                node,
+                chunks,
+                op,
+                replica,
+            } => io::repo_read_done(self, vm, node, chunks, op, replica),
+            DiskCtx::Ingest { node } => {
+                self.nodes[node as usize].ingest_inflight -= 1;
+                self.pump_ingest(node);
+            }
+            DiskCtx::PvfsServer {
+                op,
+                write,
+                bytes,
+                server,
+            } => pvfs::server_disk_done(self, op, write, bytes, server),
+        }
+    }
+
+    /// Queue network-received bytes for background drain to `node`'s disk
+    /// (host page cache absorbs them; the disk stays busy for exactly the
+    /// received volume without blocking the transfer pipelines).
+    pub(crate) fn ingest(&mut self, node: u32, bytes: u64) {
+        self.nodes[node as usize].ingest_backlog += bytes;
+        self.pump_ingest(node);
+    }
+
+    fn pump_ingest(&mut self, node: u32) {
+        let batch = self.cfg.chunk_size * self.cfg.transfer_batch as u64;
+        loop {
+            let n = &mut self.nodes[node as usize];
+            if n.ingest_inflight >= self.cfg.writeback_depth + 2 || n.ingest_backlog == 0 {
+                break;
+            }
+            let take = batch.min(n.ingest_backlog);
+            n.ingest_backlog -= take;
+            n.ingest_inflight += 1;
+            self.disk_submit(node, take, DiskCtx::Ingest { node });
+        }
+    }
+
+    // ---------------- ops ----------------
+
+    pub(crate) fn new_op(&mut self, vm: VmIdx, token: ActionToken, kind: OpKind, bytes: u64) -> OpId {
+        let id = self.next_op;
+        self.next_op += 1;
+        self.ops.insert(
+            id,
+            OpRt {
+                vm,
+                token,
+                kind,
+                parts: 0,
+                issued: self.now,
+                bytes,
+            },
+        );
+        self.vms[vm as usize].ops.insert(token, id);
+        id
+    }
+
+    pub(crate) fn op_add_parts(&mut self, op: OpId, n: u32) {
+        self.ops.get_mut(&op).expect("live op").parts += n;
+    }
+
+    pub(crate) fn op_parts(&self, op: OpId) -> u32 {
+        self.ops.get(&op).map(|o| o.parts).unwrap_or(0)
+    }
+
+    pub(crate) fn op_vm(&self, op: OpId) -> Option<VmIdx> {
+        self.ops.get(&op).map(|o| o.vm)
+    }
+
+    /// One part of an op finished; completes the op at zero outstanding.
+    pub(crate) fn op_part_done(&mut self, op: OpId) {
+        let done = {
+            let o = self.ops.get_mut(&op).expect("live op");
+            debug_assert!(o.parts > 0, "op part underflow");
+            o.parts -= 1;
+            o.parts == 0
+        };
+        if done {
+            self.finish_op(op);
+        }
+    }
+
+    pub(crate) fn finish_op(&mut self, op: OpId) {
+        let o = self.ops.remove(&op).expect("live op");
+        let vm = &mut self.vms[o.vm as usize];
+        vm.ops.remove(&o.token);
+        let dur = self.now.since(o.issued);
+        match o.kind {
+            OpKind::Read => {
+                vm.read_bytes += o.bytes;
+                vm.read_busy += dur;
+            }
+            OpKind::Write => {
+                vm.write_bytes += o.bytes;
+                vm.write_busy += dur;
+            }
+            _ => {}
+        }
+        self.deliver_completion(o.vm, o.token);
+    }
+
+    // ---------------- driver interaction ----------------
+
+    pub(crate) fn deliver_completion(&mut self, v: VmIdx, token: ActionToken) {
+        let vm = &mut self.vms[v as usize];
+        if vm.vm.state() == VmState::Paused {
+            vm.held_completions.push_back(token);
+            return;
+        }
+        let mut driver = vm.driver.take().expect("driver present");
+        let actions = driver.on_complete(self.now, token);
+        self.vms[v as usize].driver = Some(driver);
+        self.handle_actions(v, actions);
+    }
+
+    pub(crate) fn release_held(&mut self, v: VmIdx) {
+        while let Some(token) = self.vms[v as usize].held_completions.pop_front() {
+            if self.vms[v as usize].vm.state() == VmState::Paused {
+                // Re-paused mid-drain: put it back and stop.
+                self.vms[v as usize].held_completions.push_front(token);
+                break;
+            }
+            let mut driver = self.vms[v as usize].driver.take().expect("driver present");
+            let actions = driver.on_complete(self.now, token);
+            self.vms[v as usize].driver = Some(driver);
+            self.handle_actions(v, actions);
+        }
+    }
+
+    pub(crate) fn handle_actions(&mut self, v: VmIdx, actions: Vec<Action>) {
+        for a in actions {
+            match a {
+                Action::Compute { token, dur } => self.start_compute(v, token, dur),
+                Action::Io {
+                    token,
+                    kind,
+                    offset,
+                    len,
+                } => {
+                    if self.vms[v as usize].strategy == StrategyKind::SharedFs {
+                        pvfs::submit_io(self, v, token, kind, offset, len);
+                    } else {
+                        io::submit_io(self, v, token, kind, offset, len);
+                    }
+                }
+                Action::Fsync { token } => {
+                    if self.vms[v as usize].strategy == StrategyKind::SharedFs {
+                        // PVFS writes are synchronous: fsync is a no-op.
+                        self.deliver_completion(v, token);
+                    } else {
+                        io::submit_fsync(self, v, token);
+                    }
+                }
+                Action::NetSend { token, peer, bytes } => self.net_send(v, token, peer, bytes),
+                Action::Barrier { token } => self.barrier_arrive(v, token),
+                Action::Finish => {
+                    self.vms[v as usize].finished_at = Some(self.now);
+                }
+            }
+        }
+    }
+
+    // ---------------- compute (virtual progress) ----------------
+
+    pub(crate) fn compute_factor(&self, v: VmIdx) -> f64 {
+        let vm = &self.vms[v as usize];
+        if vm.vm.state() == VmState::Paused {
+            return 0.0;
+        }
+        let Some(m) = vm.migration.as_ref() else {
+            return 1.0;
+        };
+        if m.phase == MigPhase::Complete {
+            return 1.0;
+        }
+        let mut f = 1.0 - self.cfg.migration_cpu_steal;
+        // Post-copy memory: remote page faults slow the guest while the
+        // background pull is still running.
+        if m.postcopy_mem.as_ref().map(|p| p.faulting()).unwrap_or(false) {
+            f *= self.cfg.postcopy_fault_slowdown;
+        }
+        f
+    }
+
+    fn start_compute(&mut self, v: VmIdx, token: ActionToken, dur: SimDuration) {
+        debug_assert!(
+            self.vms[v as usize].compute.is_none(),
+            "driver issued overlapping compute bursts"
+        );
+        let factor = self.compute_factor(v);
+        let mut rt = ComputeRt {
+            token,
+            remaining: dur.as_secs_f64(),
+            last: self.now,
+            factor,
+            ev: None,
+        };
+        if factor > 0.0 {
+            let at = self.now + SimDuration::from_secs_f64(rt.remaining / factor);
+            rt.ev = Some(self.queue.schedule(at, Ev::ComputeDone(v)));
+        }
+        self.vms[v as usize].compute = Some(rt);
+    }
+
+    /// Recompute the compute timer after a factor change (pause, resume,
+    /// migration start/stop).
+    pub(crate) fn update_compute(&mut self, v: VmIdx) {
+        let factor = self.compute_factor(v);
+        let now = self.now;
+        let Some(mut rt) = self.vms[v as usize].compute.take() else {
+            return;
+        };
+        // Integrate progress at the old factor.
+        let dt = now.since(rt.last).as_secs_f64();
+        rt.remaining = (rt.remaining - dt * rt.factor).max(0.0);
+        rt.last = now;
+        rt.factor = factor;
+        if let Some(ev) = rt.ev.take() {
+            self.queue.cancel(ev);
+        }
+        if factor > 0.0 {
+            let at = now + SimDuration::from_secs_f64(rt.remaining / factor);
+            rt.ev = Some(self.queue.schedule(at, Ev::ComputeDone(v)));
+        }
+        self.vms[v as usize].compute = Some(rt);
+    }
+
+    fn compute_done(&mut self, v: VmIdx) {
+        let now = self.now;
+        let Some(mut rt) = self.vms[v as usize].compute.take() else {
+            return; // stale timer after cancellation
+        };
+        let dt = now.since(rt.last).as_secs_f64();
+        rt.remaining = (rt.remaining - dt * rt.factor).max(0.0);
+        rt.last = now;
+        if rt.remaining > 1e-9 {
+            // Stale event (factor changed without cancel); reschedule.
+            if rt.factor > 0.0 {
+                let at = now + SimDuration::from_secs_f64(rt.remaining / rt.factor);
+                rt.ev = Some(self.queue.schedule(at, Ev::ComputeDone(v)));
+            }
+            self.vms[v as usize].compute = Some(rt);
+            return;
+        }
+        self.deliver_completion(v, rt.token);
+    }
+
+    // ---------------- group communication ----------------
+
+    fn net_send(&mut self, v: VmIdx, token: ActionToken, peer_rank: u32, bytes: u64) {
+        let (gid, _) = self.vms[v as usize].group.expect("NetSend outside a group");
+        let peer_vm = self.groups[gid as usize].members[peer_rank as usize];
+        let src = self.vms[v as usize].vm.host;
+        let dst = self.vms[peer_vm as usize].vm.host;
+        let op = self.new_op(v, token, OpKind::NetSend, bytes);
+        self.op_add_parts(op, 1);
+        if src == dst {
+            // Same host (e.g. after migration): memory-speed loopback.
+            self.op_part_done(op);
+            return;
+        }
+        self.start_flow(src, dst, bytes, None, TrafficTag::AppNet, FlowCtx::Halo { op });
+    }
+
+    fn barrier_arrive(&mut self, v: VmIdx, token: ActionToken) {
+        let (gid, rank) = self.vms[v as usize].group.expect("Barrier outside a group");
+        let g = &mut self.groups[gid as usize];
+        debug_assert!(g.waiting[rank as usize].is_none(), "double barrier arrival");
+        g.waiting[rank as usize] = Some(token);
+        g.arrived += 1;
+        if g.arrived as usize == g.members.len() {
+            g.arrived = 0;
+            g.episodes += 1;
+            let to_release: Vec<(VmIdx, ActionToken)> = g
+                .members
+                .clone()
+                .into_iter()
+                .zip(g.waiting.iter_mut().map(|w| w.take().expect("arrived")))
+                .collect();
+            for (member, tok) in to_release {
+                self.deliver_completion(member, tok);
+            }
+        }
+    }
+
+    // ---------------- accessors for submodules ----------------
+
+    pub(crate) fn cfg(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn vm(&self, v: VmIdx) -> &VmRt {
+        &self.vms[v as usize]
+    }
+
+    pub(crate) fn vm_mut(&mut self, v: VmIdx) -> &mut VmRt {
+        &mut self.vms[v as usize]
+    }
+
+    pub(crate) fn vms(&self) -> &[VmRt] {
+        &self.vms
+    }
+
+    pub(crate) fn net(&self) -> &FlowNet {
+        &self.net
+    }
+
+    pub(crate) fn repo_mut(&mut self) -> &mut StripedRepo {
+        &mut self.repo
+    }
+
+    pub(crate) fn pvfs_ref(&self) -> &PvfsFs {
+        &self.pvfs
+    }
+
+    pub(crate) fn schedule_in(&mut self, d: SimDuration, ev: Ev) -> EventId {
+        self.queue.schedule(self.now + d, ev)
+    }
+}

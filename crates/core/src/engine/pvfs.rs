@@ -1,0 +1,139 @@
+//! The `pvfs-shared` I/O path: every guest I/O is a synchronous striped
+//! operation against the parallel file system (§5.2.3).
+//!
+//! There is no client-side caching — PVFS semantics, and the reason the
+//! paper measures <10 % read / <5 % write throughput for this baseline:
+//! each operation pays network + server-disk + metadata overhead, during
+//! migration and outside it alike. The upside the paper also shows: the
+//! migration itself only moves memory.
+
+use super::types::*;
+use super::Engine;
+use lsm_netsim::{NodeId, TrafficTag};
+use lsm_workloads::{ActionToken, IoKind};
+
+/// Entry point for a driver `Io` action on a `pvfs-shared` VM.
+pub(crate) fn submit_io(
+    eng: &mut Engine,
+    v: VmIdx,
+    token: ActionToken,
+    kind: IoKind,
+    offset: u64,
+    len: u64,
+) {
+    let client = eng.vm(v).vm.host;
+    let file_offset = eng.vm(v).pvfs_file_base + offset;
+    let legs = eng.pvfs_ref().plan_io(file_offset, len);
+    let write = matches!(kind, IoKind::Write);
+    let overhead = if write {
+        eng.pvfs_ref().write_overhead()
+    } else {
+        eng.pvfs_ref().op_overhead()
+    };
+    let op = eng.new_op(v, token, kind.into(), len);
+    eng.op_add_parts(op, legs.len() as u32 + 1);
+
+    // Fixed per-op cost (metadata lookup, request processing, and for
+    // writes the synchronous qcow2 metadata updates).
+    eng.schedule_in(overhead, Ev::OpTimer(op));
+    for leg in legs {
+        if write {
+            if leg.server.0 == client {
+                // Local stripe: straight to the server disk.
+                eng.disk_submit(
+                    leg.server.0,
+                    leg.bytes,
+                    DiskCtx::PvfsServer {
+                        op,
+                        write: true,
+                        bytes: leg.bytes,
+                        server: leg.server,
+                    },
+                );
+            } else {
+                eng.start_flow(
+                    client,
+                    leg.server.0,
+                    leg.bytes,
+                    None,
+                    TrafficTag::PvfsIo,
+                    FlowCtx::PvfsLeg {
+                        op,
+                        server: leg.server,
+                        bytes: leg.bytes,
+                        write: true,
+                    },
+                );
+            }
+        } else {
+            // Read: server disk first, then the wire back to the client.
+            eng.disk_submit(
+                leg.server.0,
+                leg.bytes,
+                DiskCtx::PvfsServer {
+                    op,
+                    write: false,
+                    bytes: leg.bytes,
+                    server: leg.server,
+                },
+            );
+        }
+    }
+}
+
+/// A client→server write leg finished its network hop: hit the server
+/// disk next.
+pub(crate) fn leg_flow_done(eng: &mut Engine, op: OpId, server: NodeId, bytes: u64, write: bool) {
+    if write {
+        eng.disk_submit(
+            server.0,
+            bytes,
+            DiskCtx::PvfsServer {
+                op,
+                write: true,
+                bytes,
+                server,
+            },
+        );
+    } else {
+        // Read data arrived at the client: leg complete.
+        eng.op_part_done(op);
+    }
+}
+
+/// Server-side disk work finished.
+pub(crate) fn server_disk_done(
+    eng: &mut Engine,
+    op: OpId,
+    write: bool,
+    bytes: u64,
+    server: NodeId,
+) {
+    if write {
+        // Write leg fully durable on the server.
+        eng.op_part_done(op);
+        return;
+    }
+    // Read leg: ship the data back to the client.
+    let client = match eng.op_vm(op) {
+        Some(v) => eng.vm(v).vm.host,
+        None => return, // op already finished (duplicate completion)
+    };
+    if server.0 == client {
+        eng.op_part_done(op);
+        return;
+    }
+    eng.start_flow(
+        server.0,
+        client,
+        bytes,
+        None,
+        TrafficTag::PvfsIo,
+        FlowCtx::PvfsLeg {
+            op,
+            server,
+            bytes,
+            write: false,
+        },
+    );
+}

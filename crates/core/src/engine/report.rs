@@ -1,0 +1,265 @@
+//! Run reports: everything the experiment harness needs to build the
+//! paper's tables and figures.
+
+use super::types::MigPhase;
+use super::Engine;
+use crate::policy::StrategyKind;
+use lsm_netsim::TrafficTag;
+use lsm_simcore::time::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// A milestone in a migration's lifecycle, in the order of Figure 2 of
+/// the paper. The timeline gives operators the phase breakdown behind a
+/// migration-time number.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum Milestone {
+    /// MIGRATION_REQUEST received; push phase armed, memory rounds begin.
+    Requested,
+    /// An iterative memory round started (the value is the round index).
+    MemRound(u32),
+    /// The VM paused for the final memory flush.
+    StopAndCopy,
+    /// SYNC: in-flight pushes drained, remaining-set list sent.
+    RemainingSetSent,
+    /// Control (and the VM) resumed at the destination.
+    ControlTransferred,
+    /// All remaining chunks pulled; source relinquished.
+    Completed,
+}
+
+/// Outcome of one live migration.
+#[derive(Clone, Debug, Serialize)]
+pub struct MigrationRecord {
+    /// Index of the migrated VM.
+    pub vm: u32,
+    /// Storage transfer strategy used.
+    pub strategy: StrategyKind,
+    /// When the migration was requested.
+    pub requested_at: SimTime,
+    /// When control reached the destination (VM resumed there).
+    pub control_at: Option<SimTime>,
+    /// When the source was fully relinquished (the paper's migration-end
+    /// definition: includes the pull phase for hybrid/postcopy).
+    pub completed_at: Option<SimTime>,
+    /// True if the migration finished within the run horizon.
+    pub completed: bool,
+    /// Total migration time (requested → source relinquished).
+    pub migration_time: Option<SimDuration>,
+    /// Stop-and-copy downtime experienced by the guest.
+    pub downtime: SimDuration,
+    /// Memory pre-copy rounds (first pass included).
+    pub mem_rounds: u32,
+    /// Whether forced convergence (guest throttling) fired.
+    pub throttled: bool,
+    /// Chunks moved source→destination before/at control transfer.
+    pub pushed_chunks: u64,
+    /// Chunks pulled by the destination after control transfer.
+    pub pulled_chunks: u64,
+    /// Of those, pulls triggered by on-demand reads.
+    pub ondemand_chunks: u64,
+    /// End-to-end consistency of the destination disk state (None if the
+    /// migration did not complete).
+    pub consistent: Option<bool>,
+    /// Timestamped lifecycle milestones (Figure 2 of the paper).
+    pub timeline: Vec<(SimTime, Milestone)>,
+}
+
+impl MigrationRecord {
+    /// Time spent in a lifecycle interval, if both endpoints were reached.
+    pub fn phase_duration(&self, from: Milestone, to: Milestone) -> Option<SimDuration> {
+        let find = |m: Milestone| {
+            self.timeline
+                .iter()
+                .find(|&&(_, x)| x == m)
+                .map(|&(t, _)| t)
+        };
+        Some(find(to)?.since(find(from)?))
+    }
+}
+
+/// Per-VM workload outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct VmRecord {
+    /// VM index.
+    pub vm: u32,
+    /// Workload label.
+    pub label: String,
+    /// Host node at the end of the run.
+    pub final_host: u32,
+    /// When the workload finished, if it did.
+    pub finished_at: Option<SimTime>,
+    /// Completed iterations.
+    pub iterations: u32,
+    /// Bytes written / read by the workload.
+    pub bytes_written: u64,
+    /// Bytes read by the workload.
+    pub bytes_read: u64,
+    /// Nominal CPU seconds of completed compute (the paper's
+    /// computational-potential counter).
+    pub useful_compute_secs: f64,
+    /// Mean achieved write throughput while write ops were in flight
+    /// (bytes/second; NaN if no writes).
+    pub write_throughput: f64,
+    /// Mean achieved read throughput (bytes/second; NaN if no reads).
+    pub read_throughput: f64,
+    /// Total guest downtime over the run.
+    pub downtime: SimDuration,
+    /// Read bytes served from the guest page cache.
+    pub reads_hit_bytes: u64,
+    /// Read bytes that missed the cache (local disk or remote pull).
+    pub reads_miss_bytes: u64,
+    /// Write bytes absorbed by the page cache.
+    pub writes_buffered_bytes: u64,
+    /// Write bytes throttled to disk speed (dirty limit exceeded).
+    pub writes_throttled_bytes: u64,
+    /// Read ops that had to wait for a chunk pull after control transfer.
+    pub reads_pull_blocked: u64,
+}
+
+/// Full result of one engine run.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunReport {
+    /// The run horizon passed to `run_until`.
+    pub horizon: SimTime,
+    /// One record per scheduled migration.
+    pub migrations: Vec<MigrationRecord>,
+    /// One record per VM.
+    pub vms: Vec<VmRecord>,
+    /// Bytes delivered per traffic class.
+    pub traffic: Vec<(TrafficTag, u64)>,
+    /// Total network traffic (all classes).
+    pub total_traffic: u64,
+    /// Migration-attributable traffic (excludes application traffic, the
+    /// paper's Fig 5b accounting).
+    pub migration_traffic: u64,
+    /// Events processed (simulator diagnostics).
+    pub events: u64,
+}
+
+impl RunReport {
+    /// Bytes delivered for one traffic class.
+    pub fn traffic_for(&self, tag: TrafficTag) -> u64 {
+        self.traffic
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|&(_, b)| b)
+            .unwrap_or(0)
+    }
+
+    /// The single migration record (panics unless exactly one).
+    pub fn the_migration(&self) -> &MigrationRecord {
+        assert_eq!(self.migrations.len(), 1, "expected exactly one migration");
+        &self.migrations[0]
+    }
+
+    /// Mean migration time over completed migrations, seconds.
+    pub fn mean_migration_time(&self) -> f64 {
+        let times: Vec<f64> = self
+            .migrations
+            .iter()
+            .filter_map(|m| m.migration_time.map(|d| d.as_secs_f64()))
+            .collect();
+        if times.is_empty() {
+            f64::NAN
+        } else {
+            times.iter().sum::<f64>() / times.len() as f64
+        }
+    }
+
+    /// Sum of migration times over completed migrations, seconds.
+    pub fn total_migration_time(&self) -> f64 {
+        self.migrations
+            .iter()
+            .filter_map(|m| m.migration_time.map(|d| d.as_secs_f64()))
+            .sum()
+    }
+
+    /// Aggregate useful compute over all VMs, seconds.
+    pub fn total_useful_compute(&self) -> f64 {
+        self.vms.iter().map(|v| v.useful_compute_secs).sum()
+    }
+
+    /// Latest workload finish time, if all finished.
+    pub fn all_finished_at(&self) -> Option<SimTime> {
+        self.vms.iter().map(|v| v.finished_at).collect::<Option<Vec<_>>>()
+            .map(|v| v.into_iter().max().unwrap_or(SimTime::ZERO))
+    }
+}
+
+pub(crate) fn build(eng: &Engine) -> RunReport {
+    let horizon = eng.now();
+    let mut migrations = Vec::new();
+    let mut vms = Vec::new();
+    for (i, vm) in eng.vms().iter().enumerate() {
+        if let Some(mig) = vm.migration.as_ref() {
+            let completed = mig.phase == MigPhase::Complete;
+            migrations.push(MigrationRecord {
+                vm: i as u32,
+                strategy: mig.strategy,
+                requested_at: mig.requested_at,
+                control_at: mig.control_at,
+                completed_at: mig.completed_at,
+                completed,
+                migration_time: mig.completed_at.map(|t| t.since(mig.requested_at)),
+                downtime: mig.downtime,
+                mem_rounds: mig.mem_rounds,
+                throttled: mig.throttled,
+                pushed_chunks: mig.pushed_chunks,
+                pulled_chunks: mig.pulled_chunks,
+                ondemand_chunks: mig.ondemand_chunks,
+                consistent: mig.consistent,
+                timeline: mig.timeline.clone(),
+            });
+        }
+        let progress = vm
+            .driver
+            .as_ref()
+            .map(|d| d.progress())
+            .unwrap_or_default();
+        let wt = if vm.write_busy.as_secs_f64() > 0.0 {
+            vm.write_bytes as f64 / vm.write_busy.as_secs_f64()
+        } else {
+            f64::NAN
+        };
+        let rt = if vm.read_busy.as_secs_f64() > 0.0 {
+            vm.read_bytes as f64 / vm.read_busy.as_secs_f64()
+        } else {
+            f64::NAN
+        };
+        vms.push(VmRecord {
+            vm: i as u32,
+            label: vm
+                .driver
+                .as_ref()
+                .map(|d| d.label().to_string())
+                .unwrap_or_default(),
+            final_host: vm.vm.host,
+            finished_at: vm.finished_at,
+            iterations: progress.iterations,
+            bytes_written: progress.bytes_written,
+            bytes_read: progress.bytes_read,
+            useful_compute_secs: progress.useful_compute_secs,
+            write_throughput: wt,
+            read_throughput: rt,
+            downtime: vm.vm.total_downtime(),
+            reads_hit_bytes: vm.reads_hit_bytes,
+            reads_miss_bytes: vm.reads_miss_bytes,
+            writes_buffered_bytes: vm.writes_buffered_bytes,
+            writes_throttled_bytes: vm.writes_throttled_bytes,
+            reads_pull_blocked: vm.reads_pull_blocked,
+        });
+    }
+    let traffic: Vec<(TrafficTag, u64)> = TrafficTag::ALL
+        .iter()
+        .map(|&t| (t, eng.net().delivered(t)))
+        .collect();
+    RunReport {
+        horizon,
+        migrations,
+        vms,
+        total_traffic: eng.net().total_delivered(),
+        migration_traffic: eng.net().migration_delivered(),
+        traffic,
+        events: eng.events_processed(),
+    }
+}

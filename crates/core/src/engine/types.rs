@@ -1,0 +1,342 @@
+//! Internal runtime state of the engine: events, per-node and per-VM
+//! bookkeeping, in-flight operation contexts.
+
+use crate::policy::{HybridDest, HybridSource, MirrorSource, PrecopySource, StrategyKind};
+use lsm_blockdev::{ChunkId, ChunkSet, PageCache, VirtualDisk};
+use lsm_hypervisor::{PrecopyMemory, Vm};
+use lsm_netsim::{FlowId, NodeId};
+use lsm_simcore::resource::{ReqId, SharedResource};
+use lsm_simcore::time::{SimDuration, SimTime};
+use lsm_workloads::{ActionToken, IoKind, Workload};
+use std::collections::{HashMap, VecDeque};
+
+pub(crate) type VmIdx = u32;
+pub(crate) type OpId = u64;
+
+/// Engine events. Resource "wake" events are drained against the
+/// resource's own completion clock, so stale wakes are harmless.
+#[derive(PartialEq, Eq, Debug)]
+pub(crate) enum Ev {
+    /// The network may have a completion due.
+    NetWake,
+    /// A node's disk may have a completion due.
+    DiskWake(u32),
+    /// A node's cache-read lane may have a completion due.
+    CacheRdWake(u32),
+    /// A node's cache-write lane may have a completion due.
+    CacheWrWake(u32),
+    /// A VM's current compute burst finished (virtual-progress timer).
+    ComputeDone(VmIdx),
+    /// A control message arrives at `node`.
+    CtlArrive(u32, Ctl),
+    /// Start the workload of a VM.
+    VmStart(VmIdx),
+    /// Kick off a scheduled migration.
+    MigrationStart(VmIdx, u32),
+    /// Generic per-operation timer (PVFS op overhead).
+    OpTimer(OpId),
+    /// Re-check a gated stop-and-copy (block stream convergence poll).
+    ConvergencePoll(VmIdx),
+    /// Periodic dirty-expiry write-back sweep (Linux kupdate).
+    KupdateTick(VmIdx),
+}
+
+/// Control-plane messages between migration managers (latency-modeled).
+#[derive(PartialEq, Eq, Debug)]
+pub(crate) enum Ctl {
+    /// Source → destination: assume the destination role (Algorithm 3,
+    /// MIGRATION_NOTIFICATION).
+    MigrationNotify { vm: VmIdx },
+    /// Source → destination: remaining set + write counts (Algorithm 3,
+    /// TRANSFER_IO_CONTROL). The VM resumes at the destination once this
+    /// arrives — the destination must be ready to intercept I/O first.
+    TransferIoControl {
+        vm: VmIdx,
+        remaining: ChunkSet,
+        counts: Vec<u32>,
+    },
+    /// Destination → source: request chunks (prefetch batch or on-demand).
+    PullRequest {
+        vm: VmIdx,
+        chunks: Vec<ChunkId>,
+        /// True for BACKGROUND_PULL slots, false for on-demand reads.
+        background: bool,
+    },
+}
+
+/// Why a network flow exists (completion routing).
+#[derive(Debug)]
+pub(crate) enum FlowCtx {
+    /// Iterative memory round or first pass.
+    MemRound { vm: VmIdx },
+    /// Final stop-and-copy memory flush.
+    MemStop { vm: VmIdx },
+    /// Background memory pull of a post-copy memory migration.
+    MemPostPull { vm: VmIdx },
+    /// A batch of pushed chunks with versions captured at send time.
+    PushBatch {
+        vm: VmIdx,
+        chunks: Vec<(ChunkId, u64)>,
+        slot: u32,
+    },
+    /// A batch of pulled chunks (background prefetch or on-demand).
+    PullBatch {
+        vm: VmIdx,
+        chunks: Vec<(ChunkId, u64)>,
+        background: bool,
+    },
+    /// Mirrored write: `op` is the guest op gated on it (throttled
+    /// writes), or `None` for write-back-driven mirroring.
+    MirrorWrite {
+        vm: VmIdx,
+        op: Option<OpId>,
+        chunks: Vec<(ChunkId, u64)>,
+    },
+    /// Repository chunk fetch for op `op` (None: background prefetch).
+    RepoFetch {
+        vm: VmIdx,
+        node: u32,
+        chunks: Vec<ChunkId>,
+        op: Option<OpId>,
+        replica: NodeId,
+    },
+    /// One stripe leg of a PVFS op.
+    PvfsLeg { op: OpId, server: NodeId, bytes: u64, write: bool },
+    /// Application message (CM1 halo).
+    Halo { op: OpId },
+}
+
+/// Why a disk request exists.
+#[derive(Debug)]
+pub(crate) enum DiskCtx {
+    /// Part of a VM I/O op (cache miss read, or throttled write).
+    VmOp { op: OpId },
+    /// Background write-back of a dirty page-cache chunk.
+    Writeback { vm: VmIdx, chunk: ChunkId },
+    /// Source-side read of a push batch; flow starts when it completes.
+    PushRead {
+        vm: VmIdx,
+        chunks: Vec<ChunkId>,
+        slot: u32,
+    },
+    /// Source-side read serving a pull request; flow follows.
+    PullRead {
+        vm: VmIdx,
+        chunks: Vec<ChunkId>,
+        background: bool,
+    },
+    /// Replica-side read serving a repository fetch; flow follows.
+    RepoRead {
+        vm: VmIdx,
+        node: u32,
+        chunks: Vec<ChunkId>,
+        op: Option<OpId>,
+        replica: NodeId,
+    },
+    /// Ingest of network-received bytes to the local disk (host-cache
+    /// drain); non-blocking for the pipelines.
+    Ingest { node: u32 },
+    /// PVFS server-side disk work for one stripe leg.
+    PvfsServer { op: OpId, write: bool, bytes: u64, server: NodeId },
+}
+
+/// Same routing for the cache lanes (they only ever serve VM ops).
+#[derive(Debug)]
+pub(crate) struct CacheCtx {
+    pub op: OpId,
+}
+
+/// An in-flight VM operation (one driver Action).
+#[derive(Debug)]
+pub(crate) struct OpRt {
+    pub vm: VmIdx,
+    pub token: ActionToken,
+    pub kind: OpKind,
+    /// Outstanding parts; the op completes when this reaches zero.
+    pub parts: u32,
+    pub issued: SimTime,
+    pub bytes: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    Read,
+    Write,
+    Fsync,
+    NetSend,
+}
+
+impl From<IoKind> for OpKind {
+    fn from(k: IoKind) -> Self {
+        match k {
+            IoKind::Read => OpKind::Read,
+            IoKind::Write => OpKind::Write,
+        }
+    }
+}
+
+/// Per-node physical state.
+pub(crate) struct NodeRt {
+    pub disk: SharedResource,
+    pub cache_rd: SharedResource,
+    pub cache_wr: SharedResource,
+    /// Bytes received from the network awaiting drain to disk.
+    pub ingest_backlog: u64,
+    pub ingest_inflight: u32,
+    /// Scheduled wake bookkeeping (event id per resource).
+    pub disk_wake: Option<(lsm_simcore::EventId, SimTime)>,
+    pub cache_rd_wake: Option<(lsm_simcore::EventId, SimTime)>,
+    pub cache_wr_wake: Option<(lsm_simcore::EventId, SimTime)>,
+    pub disk_ctx: HashMap<ReqId, DiskCtx>,
+    pub cache_rd_ctx: HashMap<ReqId, CacheCtx>,
+    pub cache_wr_ctx: HashMap<ReqId, CacheCtx>,
+}
+
+/// Virtual-progress compute timer (stretchable by pause / CPU steal).
+#[derive(Debug)]
+pub(crate) struct ComputeRt {
+    pub token: ActionToken,
+    /// Nominal seconds of work left at `last`.
+    pub remaining: f64,
+    pub last: SimTime,
+    /// Progress rate: 1.0 normal, <1 under migration steal, 0 paused.
+    pub factor: f64,
+    pub ev: Option<lsm_simcore::EventId>,
+}
+
+/// Migration lifecycle phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum MigPhase {
+    /// Memory rounds + strategy push phase in progress.
+    Active,
+    /// Memory wants to stop but the block/bulk stream has not converged
+    /// (precopy/mirror gating); extra engine-driven rounds run.
+    Linger,
+    /// VM paused; final memory flush in flight.
+    StopAndCopy,
+    /// Stop flush done; draining in-flight pushes before handoff.
+    SyncDrain,
+    /// Control at destination; destination pulling remaining chunks.
+    PullPhase,
+    /// Done.
+    Complete,
+}
+
+/// Per-migration runtime state.
+pub(crate) struct MigrationRt {
+    pub strategy: StrategyKind,
+    pub dest: u32,
+    pub source: u32,
+    pub phase: MigPhase,
+    pub mem: PrecopyMemory,
+    /// Post-copy memory migration state (memory-strategy ablation);
+    /// `Some` replaces the pre-copy rounds entirely.
+    pub postcopy_mem: Option<lsm_hypervisor::PostcopyMemory>,
+    pub round_started: SimTime,
+    pub round_bytes: u64,
+    /// Memory dirtied by I/O (guest page cache) since round start.
+    pub io_dirty_accum: f64,
+    /// Engine-driven linger rounds performed (bounded).
+    pub linger_rounds: u32,
+    /// Deferred stop-and-copy bytes from the memory machine.
+    pub pending_stop_bytes: u64,
+    /// Strategy state.
+    pub hybrid_src: Option<HybridSource>,
+    pub hybrid_dst: Option<HybridDest>,
+    pub precopy_src: Option<PrecopySource>,
+    pub mirror_src: Option<MirrorSource>,
+    /// Push pipeline slots currently busy (reading or flowing).
+    pub push_slots_busy: u32,
+    /// Background pull slots currently busy.
+    pub pull_slots_busy: u32,
+    /// All pull requests in the pipeline (background + on-demand),
+    /// counted from request send to arrival or cancellation.
+    pub pulls_inflight: u32,
+    /// In-flight pull flows per chunk (for write-cancellation).
+    pub pull_flows: HashMap<ChunkId, FlowId>,
+    /// The source-side physical store, frozen at control transfer and
+    /// kept while the destination still pulls from it.
+    pub source_store: Option<lsm_blockdev::ChunkStore>,
+    /// Chunks force-flushed during the stop-and-copy (forced convergence
+    /// of precopy/mirror), applied at the destination when the final
+    /// memory flush lands.
+    pub final_chunks: Vec<ChunkId>,
+    /// Reads waiting for a specific chunk to be pulled.
+    pub pull_waiters: HashMap<ChunkId, Vec<OpId>>,
+    /// Synchronous mirror flows currently in flight (mirror gating).
+    pub mirror_flows_inflight: u32,
+    /// Whether TRANSFER_IO_CONTROL has been sent (guards re-handoff).
+    pub handoff_sent: bool,
+    /// Metrics.
+    pub requested_at: SimTime,
+    pub control_at: Option<SimTime>,
+    pub completed_at: Option<SimTime>,
+    pub mem_rounds: u32,
+    pub throttled: bool,
+    pub pushed_chunks: u64,
+    pub pulled_chunks: u64,
+    pub ondemand_chunks: u64,
+    pub consistent: Option<bool>,
+    pub downtime_before: SimDuration,
+    pub downtime: SimDuration,
+    /// Timestamped lifecycle milestones for the report.
+    pub timeline: Vec<(SimTime, crate::engine::report::Milestone)>,
+}
+
+/// Per-VM runtime state.
+pub(crate) struct VmRt {
+    pub vm: Vm,
+    pub strategy: StrategyKind,
+    pub driver: Option<Box<dyn Workload>>,
+    pub started: bool,
+    pub finished_at: Option<SimTime>,
+    /// Manager-level (flushed) disk state.
+    pub disk: VirtualDisk,
+    /// Guest page cache (travels with the VM's memory).
+    pub cache: PageCache,
+    /// Physical chunk store at the current host.
+    pub store: lsm_blockdev::ChunkStore,
+    /// Physical chunk store building up at a migration destination.
+    pub dest_store: Option<lsm_blockdev::ChunkStore>,
+    /// Outstanding ops by token.
+    pub ops: HashMap<ActionToken, OpId>,
+    /// Current compute burst (at most one per VM).
+    pub compute: Option<ComputeRt>,
+    /// Completions held while the VM is paused.
+    pub held_completions: VecDeque<ActionToken>,
+    /// Workload group (CM1) and rank.
+    pub group: Option<(u32, u32)>,
+    /// Active migration, if any.
+    pub migration: Option<MigrationRt>,
+    /// Background write-back requests in flight.
+    pub wb_inflight: u32,
+    /// Chunks the periodic dirty-expiry sweep still wants flushed this
+    /// round (kupdate credit).
+    pub kupdate_credit: u32,
+    /// Fsync ops waiting for a full cache drain.
+    pub fsync_waiters: Vec<OpId>,
+    /// Accumulated I/O metrics.
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    /// I/O-path breakdown counters (cache behaviour observability).
+    pub reads_hit_bytes: u64,
+    pub reads_miss_bytes: u64,
+    pub writes_buffered_bytes: u64,
+    pub writes_throttled_bytes: u64,
+    pub reads_pull_blocked: u64,
+    pub read_busy: SimDuration,
+    pub write_busy: SimDuration,
+    /// File offset base for PVFS planning (vm-disk offsets are used
+    /// directly as file offsets).
+    pub pvfs_file_base: u64,
+}
+
+/// Workload group (barrier domain) state.
+pub(crate) struct GroupRt {
+    pub members: Vec<VmIdx>,
+    /// Tokens waiting at the current barrier, per member slot.
+    pub waiting: Vec<Option<ActionToken>>,
+    pub arrived: u32,
+    /// Completed barrier episodes (diagnostics).
+    pub episodes: u64,
+}

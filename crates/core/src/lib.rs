@@ -1,0 +1,45 @@
+//! # lsm-core — live storage migration engine and transfer policies
+//!
+//! The primary contribution of the reproduced paper (Nicolae & Cappello,
+//! HPDC'12): a **hybrid active push / prioritized prefetch** scheme for
+//! transferring VM local storage during live migration, implemented
+//! alongside the four comparison baselines on a deterministic simulated
+//! cluster.
+//!
+//! * [`policy`] — the transfer strategies as pure, engine-free state
+//!   machines: the paper's Algorithms 1–4 ([`policy::HybridSource`],
+//!   [`policy::HybridDest`]) plus `precopy`, `mirror` and `postcopy`
+//!   source states.
+//! * [`engine`] — the event-driven simulator coupling
+//!   network/disk/page-cache models, workloads, memory pre-copy and the
+//!   policies. One [`engine::Engine`] per experiment run.
+//! * [`config`] — cluster parameters, defaulting to the paper's
+//!   Grid'5000 *graphene* testbed numbers.
+//!
+//! ```
+//! use lsm_core::config::ClusterConfig;
+//! use lsm_core::engine::Engine;
+//! use lsm_core::policy::StrategyKind;
+//! use lsm_simcore::SimTime;
+//! use lsm_workloads::WorkloadSpec;
+//!
+//! let mut eng = Engine::new(ClusterConfig::small_test());
+//! let vm = eng.add_vm(0, &WorkloadSpec::SeqWrite {
+//!     offset: 0, total: 16 << 20, block: 1 << 20, think_secs: 0.05,
+//! }, StrategyKind::Hybrid, SimTime::ZERO);
+//! eng.schedule_migration(vm, 1, SimTime::from_secs(1));
+//! let report = eng.run_until(SimTime::from_secs(120));
+//! let m = report.the_migration();
+//! assert!(m.completed && m.consistent == Some(true));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod engine;
+pub mod policy;
+
+pub use config::ClusterConfig;
+pub use engine::{Engine, MigrationRecord, RunReport, VmRecord};
+pub use policy::StrategyKind;

@@ -1,0 +1,111 @@
+//! Randomized end-to-end consistency fuzzing: arbitrary workload shapes,
+//! strategies, migration timings and cluster knobs — the destination disk
+//! must always match what the guest observed, and every migration must
+//! terminate.
+
+use lsm_core::config::ClusterConfig;
+use lsm_core::engine::Engine;
+use lsm_core::policy::StrategyKind;
+use lsm_simcore::units::MIB;
+use lsm_simcore::SimTime;
+use lsm_workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+fn strategy_strategy() -> impl Strategy<Value = StrategyKind> {
+    prop_oneof![
+        Just(StrategyKind::Hybrid),
+        Just(StrategyKind::Precopy),
+        Just(StrategyKind::Mirror),
+        Just(StrategyKind::Postcopy),
+        Just(StrategyKind::SharedFs),
+    ]
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        // Sequential writer with varying footprint and pacing.
+        (1u64..48, 1u64..4, 0.0f64..0.05).prop_map(|(mb, block_mb, think)| {
+            WorkloadSpec::SeqWrite {
+                offset: 0,
+                total: mb.max(block_mb) * MIB,
+                block: block_mb * MIB,
+                think_secs: think,
+            }
+        }),
+        // Hot overwrites with varying skew.
+        (8u64..128, 50u64..2000, 0.0f64..0.95, 0u64..1000).prop_map(
+            |(blocks, count, theta, seed)| WorkloadSpec::HotspotWrite {
+                offset: 4 * MIB,
+                region_blocks: blocks,
+                block: 256 * 1024,
+                count,
+                theta,
+                think_secs: 0.004,
+                seed,
+            }
+        ),
+        // Mixed read/write hotspot.
+        (8u64..128, 50u64..2000, 0.1f64..0.9, 0u64..1000).prop_map(
+            |(blocks, count, rf, seed)| WorkloadSpec::HotspotMixed {
+                offset: 0,
+                region_blocks: blocks,
+                block: 256 * 1024,
+                count,
+                theta: 0.6,
+                read_fraction: rf,
+                think_secs: 0.004,
+                seed,
+            }
+        ),
+        // Write-then-read-back cycles.
+        (1u64..3, 4u64..64).prop_map(|(iters, mb)| {
+            WorkloadSpec::Ior(lsm_workloads::IorParams {
+                file_size: mb * MIB,
+                block_size: 256 * 1024,
+                iterations: iters as u32,
+                file_offset: 0,
+                fsync_per_phase: mb % 2 == 0,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn migrations_always_terminate_consistently(
+        strategy in strategy_strategy(),
+        wl in workload_strategy(),
+        migrate_at in 0.2f64..20.0,
+        threshold in 1u32..8,
+        window in 1u32..5,
+        expire in 1.0f64..10.0,
+    ) {
+        let mut eng = Engine::new(ClusterConfig {
+            threshold,
+            transfer_window: window,
+            dirty_expire_secs: expire,
+            ..ClusterConfig::small_test()
+        });
+        let vm = eng.add_vm(0, &wl, strategy, SimTime::ZERO);
+        eng.schedule_migration(vm, 1, SimTime::from_secs_f64(migrate_at));
+        let r = eng.run_until(SimTime::from_secs(3600));
+        let m = r.the_migration();
+        prop_assert!(m.completed, "{}: migration did not terminate", strategy.label());
+        prop_assert_eq!(
+            m.consistent, Some(true),
+            "{}: destination diverged", strategy.label()
+        );
+        prop_assert!(
+            r.vms[0].finished_at.is_some(),
+            "{}: workload wedged", strategy.label()
+        );
+        prop_assert_eq!(r.vms[0].final_host, 1);
+        // Downtime is bounded for every strategy in these regimes.
+        prop_assert!(m.downtime.as_secs_f64() < 30.0);
+    }
+}

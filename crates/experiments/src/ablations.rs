@@ -1,0 +1,341 @@
+//! Ablations of the design choices §4.1 motivates but does not plot.
+//!
+//! * **Threshold** — how many times a hot chunk may be pushed before it
+//!   is withheld for the prioritized prefetch. `Threshold = ∞` degrades
+//!   the hybrid scheme into unbounded re-pushing (pre-copy-like);
+//!   `Threshold = 1` pushes everything exactly once (post-copy-like for
+//!   hot data).
+//! * **Prefetch priority** — write-count ordering vs. plain chunk order
+//!   for BACKGROUND_PULL. The paper's claim: hot chunks arrive first, so
+//!   fewer reads block on on-demand pulls.
+//! * **Transfer window** — pipeline depth of the push/pull streams.
+
+use crate::scenario::{run_scenario, ScenarioSpec};
+use crate::sweep::parallel_map;
+use crate::table::{f, Table};
+use crate::Scale;
+use lsm_core::config::ClusterConfig;
+use lsm_core::policy::StrategyKind;
+use lsm_simcore::units::{KIB, MIB};
+use lsm_workloads::WorkloadSpec;
+use serde::Serialize;
+
+/// A hot-overwrite workload that stresses the Threshold logic.
+fn hotspot(scale: Scale) -> (WorkloadSpec, f64, f64) {
+    match scale {
+        Scale::Paper => (
+            WorkloadSpec::HotspotWrite {
+                offset: 0,
+                region_blocks: 2048,
+                block: 256 * KIB,
+                count: 60_000,
+                theta: 0.85,
+                think_secs: 0.002,
+                seed: 11,
+            },
+            30.0,
+            900.0,
+        ),
+        Scale::Quick => (
+            WorkloadSpec::HotspotWrite {
+                offset: 0,
+                region_blocks: 256,
+                block: 256 * KIB,
+                count: 6_000,
+                theta: 0.85,
+                think_secs: 0.005,
+                seed: 11,
+            },
+            5.0,
+            400.0,
+        ),
+    }
+}
+
+fn hot_cluster(scale: Scale, threshold: u32) -> ClusterConfig {
+    let base = match scale {
+        Scale::Paper => ClusterConfig::graphene(8),
+        Scale::Quick => ClusterConfig {
+            nodes: 4,
+            ..ClusterConfig::small_test()
+        },
+    };
+    ClusterConfig {
+        threshold,
+        // Flush hot chunks aggressively so the manager sees the rewrites.
+        dirty_expire_secs: 1.0,
+        ..base
+    }
+}
+
+/// One Threshold data point.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThresholdPoint {
+    /// The Threshold under test (`u32::MAX` = never withhold).
+    pub threshold: u32,
+    /// Migration time, seconds.
+    pub migration_time_s: f64,
+    /// Storage bytes moved (push + pull), MB.
+    pub storage_traffic_mb: f64,
+    /// Chunks pushed before control transfer.
+    pub pushed_chunks: u64,
+    /// Chunks pulled after control transfer.
+    pub pulled_chunks: u64,
+}
+
+/// Sweep the paper's `Threshold` on a hot-overwrite workload.
+pub fn run_threshold_ablation(scale: Scale) -> Vec<ThresholdPoint> {
+    let (wl, migrate_at, horizon) = hotspot(scale);
+    let thresholds = vec![1u32, 2, 3, 5, 8, u32::MAX];
+    parallel_map(thresholds, move |th| {
+        let spec = ScenarioSpec::single_migration(StrategyKind::Hybrid, wl.clone(), migrate_at)
+            .with_cluster(hot_cluster(scale, th))
+            .with_horizon(horizon);
+        let r = run_scenario(&spec);
+        let m = r.the_migration();
+        assert!(m.completed, "threshold {th}: migration incomplete");
+        assert_eq!(m.consistent, Some(true));
+        let storage = r.traffic_for(lsm_netsim::TrafficTag::StoragePush)
+            + r.traffic_for(lsm_netsim::TrafficTag::StoragePull);
+        ThresholdPoint {
+            threshold: th,
+            migration_time_s: m
+                .migration_time
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+            storage_traffic_mb: storage as f64 / MIB as f64,
+            pushed_chunks: m.pushed_chunks,
+            pulled_chunks: m.pulled_chunks,
+        }
+    })
+}
+
+/// Render the Threshold sweep.
+pub fn threshold_table(points: &[ThresholdPoint]) -> Table {
+    let mut t = Table::new(
+        "Ablation A: push Threshold sweep (hot-overwrite workload)",
+        &["Threshold", "migration time (s)", "storage traffic (MB)", "pushed", "pulled"],
+    );
+    for p in points {
+        let th = if p.threshold == u32::MAX {
+            "inf".to_string()
+        } else {
+            p.threshold.to_string()
+        };
+        t.row(vec![
+            th,
+            f(p.migration_time_s),
+            f(p.storage_traffic_mb),
+            p.pushed_chunks.to_string(),
+            p.pulled_chunks.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One prefetch-priority data point.
+#[derive(Clone, Debug, Serialize)]
+pub struct PriorityPoint {
+    /// Write-count prioritization on?
+    pub prioritized: bool,
+    /// On-demand (read-blocking) pulls after control transfer.
+    pub ondemand_chunks: u64,
+    /// Migration time, seconds.
+    pub migration_time_s: f64,
+    /// Achieved read throughput, MB/s.
+    pub read_throughput_mb: f64,
+}
+
+/// Prefetch-priority ablation.
+///
+/// Uses the `postcopy` variant (which shares the hybrid's prefetch
+/// machinery, §5.2.2) so the whole modified set rides the prioritized
+/// prefetch while IOR keeps rewriting and re-reading it: write-count
+/// ordering front-loads exactly the chunks the guest touches next.
+pub fn run_priority_ablation(scale: Scale) -> Vec<PriorityPoint> {
+    let (wl, migrate_at, horizon) = match scale {
+        Scale::Paper => (
+            WorkloadSpec::HotspotMixed {
+                offset: 0,
+                region_blocks: 4096,
+                block: 256 * KIB,
+                count: 120_000,
+                theta: 0.85,
+                read_fraction: 0.5,
+                think_secs: 0.001,
+                seed: 13,
+            },
+            30.0,
+            1200.0,
+        ),
+        Scale::Quick => (
+            WorkloadSpec::HotspotMixed {
+                offset: 0,
+                region_blocks: 2048,
+                block: 256 * KIB,
+                count: 20_000,
+                theta: 0.85,
+                read_fraction: 0.5,
+                think_secs: 0.002,
+                seed: 13,
+            },
+            10.0,
+            600.0,
+        ),
+    };
+    let base = match scale {
+        Scale::Paper => ClusterConfig::graphene(8),
+        Scale::Quick => ClusterConfig::graphene(4),
+    };
+    parallel_map(vec![true, false], move |prioritized| {
+        let cluster = ClusterConfig {
+            prefetch_priority: prioritized,
+            ..base.clone()
+        };
+        let spec = ScenarioSpec::single_migration(StrategyKind::Postcopy, wl.clone(), migrate_at)
+            .with_cluster(cluster)
+            .with_horizon(horizon);
+        let r = run_scenario(&spec);
+        let m = r.the_migration();
+        assert!(m.completed && m.consistent == Some(true));
+        PriorityPoint {
+            prioritized,
+            ondemand_chunks: m.ondemand_chunks,
+            migration_time_s: m
+                .migration_time
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+            read_throughput_mb: r.vms[0].read_throughput / MIB as f64,
+        }
+    })
+}
+
+/// Render the priority ablation.
+pub fn priority_table(points: &[PriorityPoint]) -> Table {
+    let mut t = Table::new(
+        "Ablation B: prefetch prioritization (zipf read/write hotspot)",
+        &["prioritized", "on-demand pulls", "migration time (s)", "read bw (MB/s)"],
+    );
+    for p in points {
+        t.row(vec![
+            p.prioritized.to_string(),
+            p.ondemand_chunks.to_string(),
+            f(p.migration_time_s),
+            f(p.read_throughput_mb),
+        ]);
+    }
+    t
+}
+
+/// One transfer-window data point.
+#[derive(Clone, Debug, Serialize)]
+pub struct WindowPoint {
+    /// Pipeline window (concurrent batches).
+    pub window: u32,
+    /// Migration time, seconds.
+    pub migration_time_s: f64,
+}
+
+/// Pipeline-depth ablation.
+pub fn run_window_ablation(scale: Scale) -> Vec<WindowPoint> {
+    let (wl, migrate_at, horizon) = hotspot(scale);
+    parallel_map(vec![1u32, 2, 4, 8], move |w| {
+        let cluster = ClusterConfig {
+            transfer_window: w,
+            ..hot_cluster(scale, 3)
+        };
+        let spec = ScenarioSpec::single_migration(StrategyKind::Hybrid, wl.clone(), migrate_at)
+            .with_cluster(cluster)
+            .with_horizon(horizon);
+        let r = run_scenario(&spec);
+        let m = r.the_migration();
+        assert!(m.completed && m.consistent == Some(true));
+        WindowPoint {
+            window: w,
+            migration_time_s: m
+                .migration_time
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+        }
+    })
+}
+
+/// Render the window ablation.
+pub fn window_table(points: &[WindowPoint]) -> Table {
+    let mut t = Table::new(
+        "Ablation C: transfer pipeline window",
+        &["window", "migration time (s)"],
+    );
+    for p in points {
+        t.row(vec![p.window.to_string(), f(p.migration_time_s)]);
+    }
+    t
+}
+
+/// One memory-strategy data point.
+#[derive(Clone, Debug, Serialize)]
+pub struct MemStrategyPoint {
+    /// Storage transfer strategy.
+    pub strategy: StrategyKind,
+    /// True = post-copy memory, false = pre-copy memory.
+    pub postcopy_memory: bool,
+    /// Migration time, seconds.
+    pub migration_time_s: f64,
+    /// Guest downtime, milliseconds.
+    pub downtime_ms: f64,
+    /// Destination consistency (must hold under BOTH memory strategies —
+    /// the paper's independence claim).
+    pub consistent: bool,
+}
+
+/// Memory-strategy independence ablation (the paper's §6 future work):
+/// run the hybrid and postcopy storage schemes under pre-copy *and*
+/// post-copy memory migration.
+pub fn run_memstrategy_ablation(scale: Scale) -> Vec<MemStrategyPoint> {
+    let (wl, migrate_at, horizon) = hotspot(scale);
+    let mut jobs = Vec::new();
+    for strategy in [StrategyKind::Hybrid, StrategyKind::Postcopy] {
+        for postcopy_memory in [false, true] {
+            jobs.push((strategy, postcopy_memory));
+        }
+    }
+    parallel_map(jobs, move |(strategy, postcopy_memory)| {
+        let cluster = ClusterConfig {
+            postcopy_memory,
+            ..hot_cluster(scale, 3)
+        };
+        let spec = ScenarioSpec::single_migration(strategy, wl.clone(), migrate_at)
+            .with_cluster(cluster)
+            .with_horizon(horizon);
+        let r = run_scenario(&spec);
+        let m = r.the_migration();
+        MemStrategyPoint {
+            strategy,
+            postcopy_memory,
+            migration_time_s: m
+                .migration_time
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+            downtime_ms: m.downtime.as_secs_f64() * 1e3,
+            consistent: m.completed && m.consistent == Some(true),
+        }
+    })
+}
+
+/// Render the memory-strategy ablation.
+pub fn memstrategy_table(points: &[MemStrategyPoint]) -> Table {
+    let mut t = Table::new(
+        "Ablation D: memory-migration independence (paper §6)",
+        &["storage strategy", "memory strategy", "migration time (s)", "downtime (ms)", "consistent"],
+    );
+    for p in points {
+        t.row(vec![
+            p.strategy.label().to_string(),
+            if p.postcopy_memory { "post-copy" } else { "pre-copy" }.to_string(),
+            f(p.migration_time_s),
+            f(p.downtime_ms),
+            p.consistent.to_string(),
+        ]);
+    }
+    t
+}

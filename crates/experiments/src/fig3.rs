@@ -1,0 +1,217 @@
+//! Figure 3: live migration performance of I/O-intensive benchmarks.
+//!
+//! One VM runs IOR or AsyncWR; after a 100 s warm-up it is live-migrated
+//! under each of the five strategies. Three panels (§5.3):
+//!
+//! * **(a) migration time** — request → source relinquished,
+//! * **(b) total network traffic** (MB) over the experiment,
+//! * **(c) normalized average throughput** — IOR-Read, IOR-Write and
+//!   AsyncWR write throughput as % of the no-migration maxima.
+
+use crate::scenario::{run_scenario, ScenarioSpec};
+use crate::sweep::parallel_map;
+use crate::table::{f, Table};
+use crate::Scale;
+use lsm_core::policy::StrategyKind;
+use lsm_simcore::units::MIB;
+use lsm_workloads::{AsyncWrParams, IorParams, WorkloadSpec};
+use serde::Serialize;
+
+/// One strategy × workload outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig3Row {
+    /// Workload label (IOR / AsyncWR).
+    pub workload: &'static str,
+    /// Strategy under test.
+    pub strategy: StrategyKind,
+    /// Panel (a): migration time in seconds.
+    pub migration_time_s: f64,
+    /// Panel (b): total network traffic in MB.
+    pub traffic_mb: f64,
+    /// Panel (c): read throughput as % of the no-migration maximum
+    /// (NaN for AsyncWR, which the paper reports write-only).
+    pub norm_read_pct: f64,
+    /// Panel (c): write throughput as % of the no-migration maximum.
+    pub norm_write_pct: f64,
+    /// Whether the migration finished before the horizon.
+    pub completed: bool,
+    /// End-to-end consistency of the destination disk.
+    pub consistent: bool,
+}
+
+/// Full Figure 3 dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig3Result {
+    /// All strategy × workload rows.
+    pub rows: Vec<Fig3Row>,
+    /// Baseline (no-migration) read bandwidth per workload, bytes/s.
+    pub base_read: Vec<(&'static str, f64)>,
+    /// Baseline write bandwidth per workload, bytes/s.
+    pub base_write: Vec<(&'static str, f64)>,
+}
+
+fn workloads(scale: Scale) -> Vec<(&'static str, WorkloadSpec, f64, f64)> {
+    // (label, spec, migrate_at, horizon)
+    match scale {
+        Scale::Paper => vec![
+            ("IOR", WorkloadSpec::Ior(IorParams::default()), 100.0, 1000.0),
+            (
+                "AsyncWR",
+                WorkloadSpec::AsyncWr(AsyncWrParams::default()),
+                100.0,
+                1000.0,
+            ),
+        ],
+        Scale::Quick => vec![
+            (
+                "IOR",
+                WorkloadSpec::Ior(IorParams {
+                    file_size: 128 * MIB,
+                    iterations: 3,
+                    ..Default::default()
+                }),
+                8.0,
+                400.0,
+            ),
+            (
+                "AsyncWR",
+                WorkloadSpec::AsyncWr(AsyncWrParams {
+                    iterations: 30,
+                    ..Default::default()
+                }),
+                8.0,
+                400.0,
+            ),
+        ],
+    }
+}
+
+/// Run the whole Figure 3 experiment.
+pub fn run_fig3(scale: Scale) -> Fig3Result {
+    run_fig3_strategies(scale, &StrategyKind::ALL)
+}
+
+/// Run Figure 3 for a subset of strategies (tests use this to stay fast).
+pub fn run_fig3_strategies(scale: Scale, strategies: &[StrategyKind]) -> Fig3Result {
+    let mut base_read = Vec::new();
+    let mut base_write = Vec::new();
+    let mut jobs: Vec<(usize, &'static str, StrategyKind, ScenarioSpec)> = Vec::new();
+
+    for (label, spec, migrate_at, horizon) in workloads(scale) {
+        // No-migration baseline on local storage: the paper's
+        // "maximal achieved values when no live migration is performed".
+        let b = run_scenario(
+            &ScenarioSpec::baseline(StrategyKind::Hybrid, spec.clone()).with_horizon(horizon),
+        );
+        base_read.push((label, b.vms[0].read_throughput));
+        base_write.push((label, b.vms[0].write_throughput));
+
+        for &strategy in strategies {
+            let s = ScenarioSpec::single_migration(strategy, spec.clone(), migrate_at)
+                .with_horizon(horizon);
+            jobs.push((base_read.len() - 1, label, strategy, s));
+        }
+    }
+
+    let reports = parallel_map(jobs, |(bi, label, strategy, s)| {
+        let r = run_scenario(&s);
+        (bi, label, strategy, r)
+    });
+
+    let mut rows = Vec::new();
+    for (bi, label, strategy, r) in reports {
+        let m = r.the_migration();
+        let (_, br) = base_read[bi];
+        let (_, bw) = base_write[bi];
+        rows.push(Fig3Row {
+            workload: label,
+            strategy,
+            migration_time_s: m
+                .migration_time
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+            traffic_mb: r.total_traffic as f64 / MIB as f64,
+            norm_read_pct: 100.0 * r.vms[0].read_throughput / br,
+            norm_write_pct: 100.0 * r.vms[0].write_throughput / bw,
+            completed: m.completed,
+            consistent: m.consistent.unwrap_or(false),
+        });
+    }
+    Fig3Result {
+        rows,
+        base_read,
+        base_write,
+    }
+}
+
+impl Fig3Result {
+    /// Row lookup.
+    pub fn row(&self, workload: &str, strategy: StrategyKind) -> &Fig3Row {
+        self.rows
+            .iter()
+            .find(|r| r.workload == workload && r.strategy == strategy)
+            .expect("row present")
+    }
+
+    /// Panel (a): migration time table.
+    pub fn table_time(&self) -> Table {
+        let mut t = Table::new(
+            "Fig 3a: migration time (s, lower is better)",
+            &["workload", "strategy", "migration time (s)", "completed"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.to_string(),
+                r.strategy.label().to_string(),
+                f(r.migration_time_s),
+                r.completed.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Panel (b): total network traffic table.
+    pub fn table_traffic(&self) -> Table {
+        let mut t = Table::new(
+            "Fig 3b: total network traffic (MB, lower is better)",
+            &["workload", "strategy", "traffic (MB)"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.to_string(),
+                r.strategy.label().to_string(),
+                f(r.traffic_mb),
+            ]);
+        }
+        t
+    }
+
+    /// Panel (c): normalized throughput table.
+    pub fn table_throughput(&self) -> Table {
+        let mut t = Table::new(
+            "Fig 3c: normalized avg throughput (% of no-migration max, higher is better)",
+            &["series", "strategy", "% of max"],
+        );
+        for r in &self.rows {
+            if r.workload == "IOR" {
+                t.row(vec![
+                    "IOR-Read".into(),
+                    r.strategy.label().to_string(),
+                    f(r.norm_read_pct),
+                ]);
+                t.row(vec![
+                    "IOR-Write".into(),
+                    r.strategy.label().to_string(),
+                    f(r.norm_write_pct),
+                ]);
+            } else {
+                t.row(vec![
+                    "AsyncWR".into(),
+                    r.strategy.label().to_string(),
+                    f(r.norm_write_pct),
+                ]);
+            }
+        }
+        t
+    }
+}

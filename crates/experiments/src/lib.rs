@@ -1,0 +1,40 @@
+//! # lsm-experiments — regenerating the paper's evaluation
+//!
+//! One module per figure of Nicolae & Cappello (HPDC'12), §5:
+//!
+//! * [`fig3`] — live migration of one I/O-intensive VM (IOR, AsyncWR):
+//!   migration time, network traffic, normalized throughput.
+//! * [`fig4`] — 30 AsyncWR sources, 1–30 simultaneous migrations:
+//!   average migration time, total traffic, compute degradation.
+//! * [`fig5`] — CM1 on 64 ranks, 1–7 successive migrations: cumulated
+//!   migration time, migration-attributable traffic, runtime increase.
+//! * [`ablations`] — design-choice sweeps the paper motivates but does
+//!   not plot: the push `Threshold`, prefetch prioritization, and the
+//!   transfer pipeline window.
+//!
+//! Every experiment offers two scales: [`Scale::Paper`] reproduces the
+//! paper's parameters; [`Scale::Quick`] is a minutes→seconds reduction
+//! with the same qualitative behaviour, used by integration tests.
+//!
+//! [`scenario`] has the single-run building blocks, [`table`] the plain
+//! text/CSV renderers, and [`sweep`] a crossbeam-parallel run launcher.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod scenario;
+pub mod sweep;
+pub mod table;
+
+/// Experiment scale: the paper's parameters or a fast test reduction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Full parameters from §5 of the paper.
+    Paper,
+    /// Shrunk workloads/cluster for CI and unit tests.
+    Quick,
+}

@@ -1,0 +1,124 @@
+//! Single-run building blocks shared by every experiment.
+
+use lsm_core::config::ClusterConfig;
+use lsm_core::engine::Engine;
+use lsm_core::policy::StrategyKind;
+use lsm_core::RunReport;
+use lsm_simcore::time::SimTime;
+use lsm_workloads::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// A declarative description of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Cluster parameters.
+    pub cluster: ClusterConfig,
+    /// VMs: `(host node, workload)`.
+    pub vms: Vec<(u32, WorkloadSpec)>,
+    /// If set, the VMs form one barrier-synchronized workload group.
+    pub grouped: bool,
+    /// Storage transfer strategy for every VM.
+    pub strategy: StrategyKind,
+    /// Migrations: `(vm index, destination node, time seconds)`.
+    pub migrations: Vec<(u32, u32, f64)>,
+    /// Simulation horizon in seconds.
+    pub horizon_secs: f64,
+}
+
+impl ScenarioSpec {
+    /// One VM on node 0, migrated to node 1 at `migrate_at` seconds —
+    /// the Fig 3 shape.
+    pub fn single_migration(
+        strategy: StrategyKind,
+        workload: WorkloadSpec,
+        migrate_at: f64,
+    ) -> Self {
+        ScenarioSpec {
+            cluster: ClusterConfig::graphene(8),
+            vms: vec![(0, workload)],
+            grouped: false,
+            strategy,
+            migrations: vec![(0, 1, migrate_at)],
+            horizon_secs: 1200.0,
+        }
+    }
+
+    /// Same as [`Self::single_migration`] but without the migration —
+    /// the normalization baseline.
+    pub fn baseline(strategy: StrategyKind, workload: WorkloadSpec) -> Self {
+        let mut s = Self::single_migration(strategy, workload, 0.0);
+        s.migrations.clear();
+        s
+    }
+
+    /// Builder: replace the cluster configuration.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Builder: replace the horizon.
+    pub fn with_horizon(mut self, secs: f64) -> Self {
+        self.horizon_secs = secs;
+        self
+    }
+}
+
+/// Build the engine, deploy, run, and report.
+pub fn run_scenario(spec: &ScenarioSpec) -> RunReport {
+    let mut eng = Engine::new(spec.cluster.clone());
+    let ids = if spec.grouped {
+        eng.add_group(&spec.vms, spec.strategy, SimTime::ZERO)
+    } else {
+        spec.vms
+            .iter()
+            .map(|(node, w)| eng.add_vm(*node, w, spec.strategy, SimTime::ZERO))
+            .collect()
+    };
+    for &(vm, dest, at) in &spec.migrations {
+        eng.schedule_migration(ids[vm as usize], dest, SimTime::from_secs_f64(at));
+    }
+    eng.run_until(SimTime::from_secs_f64(spec.horizon_secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_simcore::units::MIB;
+
+    #[test]
+    fn single_migration_scenario_runs() {
+        let mut spec = ScenarioSpec::single_migration(
+            StrategyKind::Hybrid,
+            WorkloadSpec::SeqWrite {
+                offset: 0,
+                total: 32 * MIB,
+                block: MIB,
+                think_secs: 0.01,
+            },
+            1.0,
+        );
+        spec.cluster = ClusterConfig::small_test();
+        spec.horizon_secs = 300.0;
+        let r = run_scenario(&spec);
+        assert_eq!(r.migrations.len(), 1);
+        assert!(r.migrations[0].completed);
+        assert_eq!(r.migrations[0].consistent, Some(true));
+    }
+
+    #[test]
+    fn baseline_scenario_has_no_migration() {
+        let mut spec = ScenarioSpec::baseline(
+            StrategyKind::Hybrid,
+            WorkloadSpec::Idle {
+                bursts: 3,
+                burst_secs: 0.5,
+            },
+        );
+        spec.cluster = ClusterConfig::small_test();
+        spec.horizon_secs = 30.0;
+        let r = run_scenario(&spec);
+        assert!(r.migrations.is_empty());
+        assert!(r.vms[0].finished_at.is_some());
+    }
+}

@@ -1,0 +1,81 @@
+//! Parallel execution of independent simulation runs.
+//!
+//! The simulator itself is single-threaded for determinism; experiments
+//! are embarrassingly parallel across runs, so the sweep runner fans runs
+//! out over OS threads with crossbeam's scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f` to every item, in parallel, preserving order.
+///
+/// Spawns up to `available_parallelism` worker threads; falls back to
+/// sequential execution on single-core machines with no loss of
+/// determinism (each run is a pure function of its input).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<parking_lot::Mutex<Option<R>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let inputs: Vec<parking_lot::Mutex<Option<T>>> = items
+        .into_iter()
+        .map(|t| parking_lot::Mutex::new(Some(t)))
+        .collect();
+    let next = AtomicUsize::new(0);
+
+    crossbeam::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i].lock().take().expect("item taken once");
+                let out = f(item);
+                *slots[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().expect("slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |i: u64| i + 1), vec![8]);
+    }
+}

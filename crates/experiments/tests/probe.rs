@@ -1,0 +1,94 @@
+//! Diagnostic probes for calibration (run with --nocapture).
+
+use lsm_core::policy::StrategyKind;
+use lsm_experiments::scenario::{run_scenario, ScenarioSpec};
+use lsm_simcore::units::MIB;
+use lsm_workloads::{IorParams, WorkloadSpec};
+
+#[test]
+fn probe_ior_baselines() {
+    let ior = WorkloadSpec::Ior(IorParams::default());
+    for strategy in [StrategyKind::Hybrid, StrategyKind::SharedFs] {
+        let r = run_scenario(&ScenarioSpec::baseline(strategy, ior.clone()).with_horizon(1000.0));
+        let v = &r.vms[0];
+        println!(
+            "{:<12} read {:>7.1} MB/s  write {:>7.1} MB/s  finished {:?} iters {} \
+             hit/miss {}MiB/{}MiB buf/throttle {}MiB/{}MiB",
+            strategy.label(),
+            v.read_throughput / MIB as f64,
+            v.write_throughput / MIB as f64,
+            v.finished_at.map(|t| t.as_secs_f64()),
+            v.iterations,
+            v.reads_hit_bytes / MIB,
+            v.reads_miss_bytes / MIB,
+            v.writes_buffered_bytes / MIB,
+            v.writes_throttled_bytes / MIB,
+        );
+    }
+}
+
+#[test]
+fn probe_single_read_latency() {
+    // 8 writes then 8 reads of 256 KiB; all reads should be cache hits
+    // at ~1 GB/s, i.e. ~0.24 ms per op.
+    let ior = WorkloadSpec::Ior(IorParams {
+        file_size: 8 * 256 * 1024,
+        block_size: 256 * 1024,
+        iterations: 1,
+        file_offset: 0,
+        fsync_per_phase: false,
+    });
+    let r = run_scenario(&ScenarioSpec::baseline(StrategyKind::Hybrid, ior).with_horizon(60.0));
+    let v = &r.vms[0];
+    let read_busy = v.bytes_read as f64 / v.read_throughput;
+    println!(
+        "read {} bytes, throughput {:.1} MB/s, busy {:.3} ms, hit {} miss {}",
+        v.bytes_read,
+        v.read_throughput / MIB as f64,
+        read_busy * 1e3,
+        v.reads_hit_bytes / 1024,
+        v.reads_miss_bytes / 1024
+    );
+}
+
+#[test]
+fn probe_ior_hybrid_migration() {
+    let ior = WorkloadSpec::Ior(IorParams::default());
+    for strategy in [StrategyKind::Hybrid, StrategyKind::Postcopy, StrategyKind::Precopy] {
+        let s = ScenarioSpec::single_migration(strategy, ior.clone(), 100.0).with_horizon(1000.0);
+        let r = run_scenario(&s);
+        let m = r.the_migration();
+        println!(
+            "{:<12} ctl@{:>6.1} end@{:>6.1} rounds {:>3} throttled {:>5} push {:>5} pull {:>5} od {:>4} down {:>6.2}s wl_end {:?}",
+            strategy.label(),
+            m.control_at.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+            m.completed_at.map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+            m.mem_rounds,
+            m.throttled,
+            m.pushed_chunks,
+            m.pulled_chunks,
+            m.ondemand_chunks,
+            m.downtime.as_secs_f64(),
+            r.vms[0].finished_at.map(|t| t.as_secs_f64()),
+        );
+    }
+}
+
+#[test]
+#[ignore]
+fn probe_fig5_single_point_timing() {
+    use lsm_experiments::fig5::Fig5Params;
+    use lsm_experiments::Scale;
+    let p = Fig5Params::for_scale(Scale::Paper);
+    println!("ranks={} iters={}", p.ranks, p.iterations);
+    let start = std::time::Instant::now();
+    let r = lsm_experiments::fig5::run_fig5_strategies(Scale::Paper, &[StrategyKind::Hybrid]);
+    println!("hybrid sweep (7 points + baseline) took {:?}", start.elapsed());
+    for pt in &r.points {
+        println!(
+            "n={} cumul={:.1}s traffic={:.1}GB slowdown={:.1}s ok={}",
+            pt.n, pt.cumulated_migration_time_s, pt.migration_traffic_gb,
+            pt.runtime_increase_s, pt.all_ok
+        );
+    }
+}

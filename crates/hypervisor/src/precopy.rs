@@ -1,0 +1,246 @@
+//! Iterative pre-copy memory migration (QEMU-style), as a pure state
+//! machine driven by the engine.
+//!
+//! Protocol:
+//!
+//! 1. [`PrecopyMemory::start`] returns the first-pass byte count
+//!    (`touched_bytes`). The engine transfers it as a network flow.
+//! 2. When the flow completes, the engine calls
+//!    [`PrecopyMemory::round_done`] with the bytes the guest dirtied during
+//!    the round and the rate the round achieved. The machine answers:
+//!    another [`NextStep::Round`], or [`NextStep::StopAndCopy`] when the
+//!    remainder fits the downtime target (or the round cap fired).
+//! 3. The engine pauses the VM, transfers the final bytes, calls
+//!    [`PrecopyMemory::finish`], and resumes the VM at the destination.
+//!    The *storage* migration manager learns about this moment through the
+//!    hypervisor's `sync`, exactly as in §4.4.
+
+use crate::memory::{MemMigrationConfig, MemoryProfile};
+
+/// What the engine must do after a completed round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NextStep {
+    /// Transfer another iterative round of `bytes` while the VM runs.
+    Round {
+        /// Dirty bytes to re-send.
+        bytes: u64,
+    },
+    /// Pause the VM and transfer the final `bytes`, then hand control to
+    /// the destination. `throttled` is true when the round cap forced
+    /// convergence (the guest was auto-converge throttled for this round).
+    StopAndCopy {
+        /// Remaining dirty bytes flushed during downtime.
+        bytes: u64,
+        /// Whether forced convergence (guest throttling) was applied.
+        throttled: bool,
+    },
+}
+
+/// Phase of the migration, for introspection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Idle,
+    Iterating,
+    StopAndCopy,
+    Done,
+}
+
+/// The pre-copy state machine. See module docs for the driving protocol.
+#[derive(Clone, Debug)]
+pub struct PrecopyMemory {
+    profile: MemoryProfile,
+    cfg: MemMigrationConfig,
+    phase: Phase,
+    round: u32,
+    total_sent: u64,
+}
+
+impl PrecopyMemory {
+    /// Prepare a migration of a guest with the given memory profile.
+    pub fn new(profile: MemoryProfile, cfg: MemMigrationConfig) -> Self {
+        PrecopyMemory {
+            profile,
+            cfg,
+            phase: Phase::Idle,
+            round: 0,
+            total_sent: 0,
+        }
+    }
+
+    /// Begin: returns the first-pass size in bytes.
+    pub fn start(&mut self) -> u64 {
+        assert_eq!(self.phase, Phase::Idle, "migration already started");
+        self.phase = Phase::Iterating;
+        self.round = 1;
+        self.total_sent = self.profile.touched_bytes;
+        self.profile.touched_bytes
+    }
+
+    /// A round's flow completed. `dirtied_bytes` is what the guest dirtied
+    /// while it ran (measured by the engine); `achieved_rate` is the
+    /// round's observed transfer rate in bytes/second.
+    pub fn round_done(&mut self, dirtied_bytes: u64, achieved_rate: f64) -> NextStep {
+        assert_eq!(self.phase, Phase::Iterating, "round_done out of phase");
+        // Re-dirtied pages are bounded by the writable working set.
+        let remaining = dirtied_bytes.min(self.profile.wss_bytes);
+        let downtime_budget_bytes =
+            (achieved_rate * self.cfg.downtime_target.as_secs_f64()).max(0.0) as u64;
+        if remaining <= downtime_budget_bytes {
+            self.phase = Phase::StopAndCopy;
+            self.total_sent += remaining;
+            return NextStep::StopAndCopy {
+                bytes: remaining,
+                throttled: false,
+            };
+        }
+        if self.round >= self.cfg.max_rounds {
+            self.phase = Phase::StopAndCopy;
+            self.total_sent += remaining;
+            return NextStep::StopAndCopy {
+                bytes: remaining,
+                throttled: true,
+            };
+        }
+        self.round += 1;
+        self.total_sent += remaining;
+        NextStep::Round { bytes: remaining }
+    }
+
+    /// The stop-and-copy flow completed; control moves to the destination.
+    pub fn finish(&mut self) {
+        assert_eq!(self.phase, Phase::StopAndCopy, "finish out of phase");
+        self.phase = Phase::Done;
+    }
+
+    /// True once control has been handed over.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Iterative rounds performed so far (first pass counts as round 1).
+    pub fn rounds(&self) -> u32 {
+        self.round
+    }
+
+    /// Total memory bytes queued for transfer so far.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// The memory profile being migrated.
+    pub fn profile(&self) -> &MemoryProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_simcore::time::SimDuration;
+    use lsm_simcore::units::{mb_per_s, GIB, MIB};
+
+    fn profile(touched_mb: u64, wss_mb: u64) -> MemoryProfile {
+        MemoryProfile::new(4 * GIB, touched_mb * MIB, wss_mb * MIB, 0.0)
+    }
+
+    fn cfg(max_rounds: u32) -> MemMigrationConfig {
+        MemMigrationConfig {
+            downtime_target: SimDuration::from_millis(30),
+            max_rounds,
+            speed_cap: None,
+        }
+    }
+
+    #[test]
+    fn idle_guest_converges_after_first_pass() {
+        let mut m = PrecopyMemory::new(profile(1024, 256), cfg(30));
+        assert_eq!(m.start(), 1024 * MIB);
+        // Guest dirtied nothing: immediate stop-and-copy of 0 bytes.
+        let step = m.round_done(0, mb_per_s(100.0));
+        assert_eq!(
+            step,
+            NextStep::StopAndCopy {
+                bytes: 0,
+                throttled: false
+            }
+        );
+        m.finish();
+        assert!(m.is_done());
+        assert_eq!(m.total_sent(), 1024 * MIB);
+    }
+
+    #[test]
+    fn moderate_dirtying_takes_a_few_rounds() {
+        let mut m = PrecopyMemory::new(profile(1024, 256), cfg(30));
+        m.start();
+        // Round 1 took 10s at 100MB/s; guest dirtied 100 MiB.
+        let mut step = m.round_done(100 * MIB, mb_per_s(100.0));
+        let mut rounds = 1;
+        while let NextStep::Round { bytes } = step {
+            rounds += 1;
+            assert!(rounds < 20, "did not converge");
+            // Each round is shorter; dirtying shrinks proportionally.
+            let dirtied = bytes / 10;
+            step = m.round_done(dirtied, mb_per_s(100.0));
+        }
+        match step {
+            NextStep::StopAndCopy { throttled, .. } => assert!(!throttled),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn hot_guest_hits_round_cap_and_throttles() {
+        let mut m = PrecopyMemory::new(profile(1024, 512), cfg(5));
+        m.start();
+        let mut step = m.round_done(512 * MIB, mb_per_s(100.0));
+        loop {
+            match step {
+                NextStep::Round { .. } => {
+                    // Guest keeps dirtying the whole WSS every round.
+                    step = m.round_done(512 * MIB, mb_per_s(100.0));
+                }
+                NextStep::StopAndCopy { bytes, throttled } => {
+                    assert!(throttled, "round cap must force convergence");
+                    assert_eq!(bytes, 512 * MIB);
+                    break;
+                }
+            }
+        }
+        assert_eq!(m.rounds(), 5, "stop-and-copy fired at the round cap");
+    }
+
+    #[test]
+    fn wss_bounds_redirtied_bytes() {
+        let mut m = PrecopyMemory::new(profile(1024, 64), cfg(30));
+        m.start();
+        // Engine reports a huge dirtied count; the WSS caps it.
+        match m.round_done(10 * GIB, mb_per_s(100.0)) {
+            NextStep::Round { bytes } => assert_eq!(bytes, 64 * MIB),
+            NextStep::StopAndCopy { .. } => panic!("should need another round"),
+        }
+    }
+
+    #[test]
+    fn small_remainder_fits_downtime_budget() {
+        let mut m = PrecopyMemory::new(profile(1024, 256), cfg(30));
+        m.start();
+        // 3 MB dirtied, 100 MB/s rate, 30 ms budget = 3 MB: converges.
+        let dirtied = (mb_per_s(100.0) * 0.03) as u64 - 1;
+        match m.round_done(dirtied, mb_per_s(100.0)) {
+            NextStep::StopAndCopy { bytes, throttled } => {
+                assert_eq!(bytes, dirtied);
+                assert!(!throttled);
+            }
+            NextStep::Round { .. } => panic!("should converge"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already started")]
+    fn double_start_panics() {
+        let mut m = PrecopyMemory::new(profile(10, 5), cfg(3));
+        m.start();
+        m.start();
+    }
+}

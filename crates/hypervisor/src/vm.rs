@@ -1,0 +1,144 @@
+//! Virtual machine descriptor and pause/downtime bookkeeping.
+
+use lsm_netsim_shim::NodeId;
+use lsm_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+// The hypervisor crate only needs node identity, not the network model;
+// a one-line shim keeps the dependency edge honest.
+mod lsm_netsim_shim {
+    /// Identifier of a physical node (mirrors `lsm_netsim::NodeId`).
+    pub type NodeId = u32;
+}
+
+/// Identifier of a VM instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+/// Execution state of a VM.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmState {
+    /// Running normally.
+    Running,
+    /// Paused (stop-and-copy downtime or operator action).
+    Paused,
+    /// Terminated (workload finished or VM destroyed).
+    Stopped,
+}
+
+/// A virtual machine: placement, sizing, and downtime accounting.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    id: VmId,
+    /// Node currently hosting the VM (changes at control transfer).
+    pub host: NodeId,
+    /// Configured RAM in bytes.
+    pub ram_bytes: u64,
+    /// Virtual cores.
+    pub vcpus: u32,
+    state: VmState,
+    paused_at: Option<SimTime>,
+    total_downtime: SimDuration,
+    pauses: u32,
+}
+
+impl Vm {
+    /// Create a running VM on `host`.
+    pub fn new(id: VmId, host: NodeId, ram_bytes: u64, vcpus: u32) -> Self {
+        Vm {
+            id,
+            host,
+            ram_bytes,
+            vcpus,
+            state: VmState::Running,
+            paused_at: None,
+            total_downtime: SimDuration::ZERO,
+            pauses: 0,
+        }
+    }
+
+    /// The VM's id.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// Current execution state.
+    pub fn state(&self) -> VmState {
+        self.state
+    }
+
+    /// Pause the VM at `now` (stop-and-copy begins).
+    pub fn pause(&mut self, now: SimTime) {
+        assert_eq!(self.state, VmState::Running, "pausing a non-running VM");
+        self.state = VmState::Paused;
+        self.paused_at = Some(now);
+        self.pauses += 1;
+    }
+
+    /// Resume the VM at `now`, optionally on a new host (control
+    /// transferred to the migration destination).
+    pub fn resume(&mut self, now: SimTime, host: Option<NodeId>) {
+        assert_eq!(self.state, VmState::Paused, "resuming a non-paused VM");
+        let started = self.paused_at.take().expect("paused_at set when paused");
+        self.total_downtime += now.since(started);
+        if let Some(h) = host {
+            self.host = h;
+        }
+        self.state = VmState::Running;
+    }
+
+    /// Stop the VM permanently.
+    pub fn stop(&mut self, now: SimTime) {
+        if self.state == VmState::Paused {
+            let started = self.paused_at.take().expect("paused_at set when paused");
+            self.total_downtime += now.since(started);
+        }
+        self.state = VmState::Stopped;
+    }
+
+    /// Cumulative downtime across all pauses.
+    pub fn total_downtime(&self) -> SimDuration {
+        self.total_downtime
+    }
+
+    /// Number of pauses so far.
+    pub fn pause_count(&self) -> u32 {
+        self.pauses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtime_accumulates_across_pauses() {
+        let mut vm = Vm::new(VmId(0), 0, 4 << 30, 2);
+        assert_eq!(vm.state(), VmState::Running);
+        vm.pause(SimTime::from_secs(10));
+        assert_eq!(vm.state(), VmState::Paused);
+        vm.resume(SimTime::from_secs_f64(10.03), Some(5));
+        assert_eq!(vm.host, 5);
+        vm.pause(SimTime::from_secs(20));
+        vm.resume(SimTime::from_secs_f64(20.01), None);
+        assert!((vm.total_downtime().as_secs_f64() - 0.04).abs() < 1e-9);
+        assert_eq!(vm.pause_count(), 2);
+    }
+
+    #[test]
+    fn stop_while_paused_counts_downtime() {
+        let mut vm = Vm::new(VmId(1), 0, 1 << 30, 1);
+        vm.pause(SimTime::from_secs(1));
+        vm.stop(SimTime::from_secs(2));
+        assert_eq!(vm.state(), VmState::Stopped);
+        assert!((vm.total_downtime().as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pausing a non-running")]
+    fn double_pause_panics() {
+        let mut vm = Vm::new(VmId(2), 0, 1 << 30, 1);
+        vm.pause(SimTime::ZERO);
+        vm.pause(SimTime::ZERO);
+    }
+}

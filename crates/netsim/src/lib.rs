@@ -1,0 +1,42 @@
+//! # lsm-netsim — flow-level datacenter network model
+//!
+//! Models the Grid'5000 *graphene*-style cluster of the paper: every node
+//! has a full-duplex NIC (separate up/down capacities) attached to a single
+//! non-blocking-ish switch with a finite **aggregate** backplane capacity
+//! (the paper cites ≈8 GB/s for its Cisco Catalyst). Bulk transfers are
+//! **flows**; each flow's instantaneous rate is the classic **max–min fair**
+//! allocation over the resources it crosses (source uplink, destination
+//! downlink, switch aggregate, plus an optional per-flow rate cap such as
+//! QEMU's migration speed limit).
+//!
+//! The model is fluid and incremental, like
+//! [`lsm_simcore::SharedResource`]: rates change only when a flow starts,
+//! completes, is cancelled, or is re-capped, so integrating progress between
+//! those boundaries is exact. The embedding event loop asks
+//! [`FlowNet::next_completion`] what to schedule next.
+//!
+//! Max–min fairness is the standard fluid approximation for long-lived TCP
+//! flows sharing an Ethernet switch, which is exactly the regime of the
+//! paper's storage and memory transfers.
+//!
+//! ```
+//! use lsm_netsim::{FlowNet, Topology, TrafficTag, NodeId};
+//! use lsm_simcore::{SimTime, units::{mb_per_s, MIB}};
+//!
+//! let topo = Topology::symmetric(4, mb_per_s(100.0), mb_per_s(1000.0));
+//! let mut net = FlowNet::new(topo);
+//! let f = net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MIB,
+//!                        None, TrafficTag::StoragePush);
+//! let (done, id) = net.next_completion().unwrap();
+//! assert_eq!(id, f);
+//! assert!((done.as_secs_f64() - 1.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod net;
+mod topology;
+
+pub use net::{FlowId, FlowNet, TrafficTag};
+pub use topology::{NodeCaps, NodeId, Topology};

@@ -1,0 +1,510 @@
+//! The flow scheduler: incremental max–min fair rate allocation.
+
+use crate::topology::{NodeId, Topology};
+use lsm_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Handle to an in-flight network flow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// Classification of network traffic, used to reproduce the paper's
+/// per-cause traffic accounting (Figures 3b, 4b, 5b).
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub enum TrafficTag {
+    /// Memory pre-copy / post-copy transfer performed by the hypervisor.
+    Memory,
+    /// Chunks actively pushed source→destination before control transfer.
+    StoragePush,
+    /// Chunks pulled destination←source after control transfer
+    /// (both prioritized prefetch and on-demand pulls).
+    StoragePull,
+    /// Synchronous write mirroring (the `mirror` baseline).
+    Mirror,
+    /// On-demand base-image fetches from the striped repository.
+    RepoFetch,
+    /// I/O redirected to the parallel file system (`pvfs-shared` baseline).
+    PvfsIo,
+    /// Application-level traffic (e.g. CM1 halo exchanges).
+    AppNet,
+    /// Small control messages (migration requests, chunk lists, acks).
+    Control,
+}
+
+impl TrafficTag {
+    /// All tags, for report iteration.
+    pub const ALL: [TrafficTag; 8] = [
+        TrafficTag::Memory,
+        TrafficTag::StoragePush,
+        TrafficTag::StoragePull,
+        TrafficTag::Mirror,
+        TrafficTag::RepoFetch,
+        TrafficTag::PvfsIo,
+        TrafficTag::AppNet,
+        TrafficTag::Control,
+    ];
+
+    /// True if this traffic is attributable to live migration itself
+    /// (the paper's Fig 5b subtracts application traffic).
+    pub fn is_migration(self) -> bool {
+        !matches!(self, TrafficTag::AppNet)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Flow {
+    src: NodeId,
+    dst: NodeId,
+    remaining: f64,
+    rate: f64,
+    cap: Option<f64>,
+    tag: TrafficTag,
+}
+
+/// The flow-level network simulator. See the crate docs for the model.
+#[derive(Debug)]
+pub struct FlowNet {
+    topo: Topology,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    last_advance: SimTime,
+    delivered: BTreeMap<TrafficTag, f64>,
+    total_delivered: f64,
+}
+
+impl FlowNet {
+    /// Create a network over `topo` with no flows.
+    pub fn new(topo: Topology) -> Self {
+        FlowNet {
+            topo,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            last_advance: SimTime::ZERO,
+            delivered: BTreeMap::new(),
+            total_delivered: 0.0,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// One-way control-message latency of the fabric.
+    pub fn latency(&self) -> SimDuration {
+        self.topo.latency
+    }
+
+    /// Number of in-flight flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Start a bulk transfer of `bytes` from `src` to `dst`.
+    ///
+    /// `cap` optionally rate-limits this flow (bytes/second) on top of the
+    /// fair share — this is how QEMU's `migrate_set_speed` is modeled.
+    ///
+    /// Panics if `src == dst`; local data movement never crosses the
+    /// network and must be modeled on the node's disk/cache instead.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        cap: Option<f64>,
+        tag: TrafficTag,
+    ) -> FlowId {
+        assert!(src != dst, "loopback flows are not network flows");
+        assert!(src.idx() < self.topo.len() && dst.idx() < self.topo.len());
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                src,
+                dst,
+                remaining: bytes as f64,
+                rate: 0.0,
+                cap,
+                tag,
+            },
+        );
+        self.recompute();
+        id
+    }
+
+    /// Cancel an in-flight flow, returning the bytes not yet delivered.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
+        self.advance(now);
+        let f = self.flows.remove(&id)?;
+        self.recompute();
+        Some(f.remaining.ceil().max(0.0) as u64)
+    }
+
+    /// Mark a flow complete at `now` (which must be its completion time as
+    /// previously reported by [`Self::next_completion`]).
+    pub fn complete(&mut self, now: SimTime, id: FlowId) {
+        self.advance(now);
+        let f = self.flows.remove(&id).expect("completing unknown flow");
+        debug_assert!(
+            f.remaining < 1.0,
+            "flow completed with {} bytes left",
+            f.remaining
+        );
+        // Account for the sub-byte numerical residue so per-tag totals
+        // equal the requested sizes exactly.
+        *self.delivered.entry(f.tag).or_default() += f.remaining;
+        self.total_delivered += f.remaining;
+        self.recompute();
+    }
+
+    /// Earliest `(finish_time, flow)` among in-flight flows. Deterministic:
+    /// ties resolve to the lowest flow id.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (&id, f) in &self.flows {
+            let t = if f.remaining <= 0.5 {
+                self.last_advance
+            } else if f.rate <= 0.0 {
+                SimTime::FAR_FUTURE
+            } else {
+                self.last_advance + SimDuration::from_secs_f64(f.remaining / f.rate)
+            };
+            match best {
+                None => best = Some((t, id)),
+                Some((bt, _)) if t < bt => best = Some((t, id)),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// Integrate all flows' progress up to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_advance, "network time went backwards");
+        let dt = now.since(self.last_advance).as_secs_f64();
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                *self.delivered.entry(f.tag).or_default() += moved;
+                self.total_delivered += moved;
+            }
+        }
+        self.last_advance = now;
+    }
+
+    /// Bytes delivered so far for a traffic class.
+    pub fn delivered(&self, tag: TrafficTag) -> u64 {
+        self.delivered.get(&tag).copied().unwrap_or(0.0).round() as u64
+    }
+
+    /// Total bytes delivered across all classes.
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered.round() as u64
+    }
+
+    /// Bytes delivered for every migration-attributable class
+    /// (everything except [`TrafficTag::AppNet`]).
+    pub fn migration_delivered(&self) -> u64 {
+        self.delivered
+            .iter()
+            .filter(|(t, _)| t.is_migration())
+            .map(|(_, v)| v)
+            .sum::<f64>()
+            .round() as u64
+    }
+
+    /// Record control-message bytes (modeled latency-only, but the bytes
+    /// still appear in the traffic accounting).
+    pub fn account_control(&mut self, bytes: u64) {
+        *self.delivered.entry(TrafficTag::Control).or_default() += bytes as f64;
+        self.total_delivered += bytes as f64;
+    }
+
+    /// Current rate of a flow in bytes/second, if in flight.
+    pub fn rate_of(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.rate)
+    }
+
+    /// Bytes remaining for a flow, if in flight.
+    pub fn remaining_of(&self, id: FlowId) -> Option<u64> {
+        self.flows.get(&id).map(|f| f.remaining.ceil() as u64)
+    }
+
+    /// Progressive-filling max–min fair allocation.
+    ///
+    /// Resources: per-node uplink (`0..n`), per-node downlink (`n..2n`),
+    /// the switch aggregate (`2n`), and one virtual resource per capped
+    /// flow. Each iteration saturates the currently most-constrained
+    /// resource and freezes the flows crossing it, so the loop runs at most
+    /// `|flows|` times.
+    fn recompute(&mut self) {
+        let n = self.topo.len();
+        let nfix = 2 * n + 1;
+        if self.flows.is_empty() {
+            return;
+        }
+
+        // Build the resource table.
+        let mut cap_left: Vec<f64> = Vec::with_capacity(nfix + self.flows.len());
+        for i in 0..n {
+            cap_left.push(self.topo.caps(NodeId(i as u32)).up);
+        }
+        for i in 0..n {
+            cap_left.push(self.topo.caps(NodeId(i as u32)).down);
+        }
+        cap_left.push(self.topo.switch_capacity);
+
+        // Per-flow resource lists (indices into cap_left).
+        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        let mut flow_res: Vec<[usize; 4]> = Vec::with_capacity(ids.len());
+        let mut flow_nres: Vec<u8> = Vec::with_capacity(ids.len());
+        for id in &ids {
+            let f = &self.flows[id];
+            let mut res = [f.src.idx(), n + f.dst.idx(), 2 * n, 0];
+            let mut cnt = 3u8;
+            if let Some(c) = f.cap {
+                res[3] = cap_left.len();
+                cap_left.push(c);
+                cnt = 4;
+            }
+            flow_res.push(res);
+            flow_nres.push(cnt);
+        }
+
+        let nres = cap_left.len();
+        let mut count = vec![0u32; nres];
+        for (fi, _) in ids.iter().enumerate() {
+            for k in 0..flow_nres[fi] as usize {
+                count[flow_res[fi][k]] += 1;
+            }
+        }
+
+        let mut fixed = vec![false; ids.len()];
+        let mut unfixed_left = ids.len();
+        while unfixed_left > 0 {
+            // Most constrained resource: min fair share, lowest index ties.
+            let mut best: Option<(f64, usize)> = None;
+            for (r, (&cl, &c)) in cap_left.iter().zip(count.iter()).enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let share = (cl / c as f64).max(0.0);
+                match best {
+                    None => best = Some((share, r)),
+                    Some((bs, _)) if share < bs => best = Some((share, r)),
+                    _ => {}
+                }
+            }
+            let (share, bottleneck) = best.expect("unfixed flows must cross a resource");
+
+            for (fi, id) in ids.iter().enumerate() {
+                if fixed[fi] {
+                    continue;
+                }
+                let res = &flow_res[fi][..flow_nres[fi] as usize];
+                if !res.contains(&bottleneck) {
+                    continue;
+                }
+                self.flows.get_mut(id).expect("flow").rate = share;
+                fixed[fi] = true;
+                unfixed_left -= 1;
+                for &r in res {
+                    cap_left[r] = (cap_left[r] - share).max(0.0);
+                    count[r] -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_simcore::units::{mb_per_s, MIB};
+
+    fn topo(n: usize) -> Topology {
+        Topology::symmetric(n, mb_per_s(100.0), mb_per_s(800.0))
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    const Z: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn single_flow_runs_at_nic_speed() {
+        let mut net = FlowNet::new(topo(4));
+        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::Memory);
+        assert!((net.rate_of(f).unwrap() - mb_per_s(100.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_flow_cap_binds() {
+        let mut net = FlowNet::new(topo(4));
+        let f = net.start_flow(
+            Z,
+            NodeId(0),
+            NodeId(1),
+            100 * MIB,
+            Some(mb_per_s(30.0)),
+            TrafficTag::Memory,
+        );
+        assert!((net.rate_of(f).unwrap() - mb_per_s(30.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn shared_uplink_splits_fairly() {
+        let mut net = FlowNet::new(topo(4));
+        let a = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::Memory);
+        let b = net.start_flow(Z, NodeId(0), NodeId(2), 100 * MIB, None, TrafficTag::Memory);
+        assert!((net.rate_of(a).unwrap() - mb_per_s(50.0)).abs() < 1.0);
+        assert!((net.rate_of(b).unwrap() - mb_per_s(50.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn incast_splits_downlink() {
+        let mut net = FlowNet::new(topo(5));
+        let fs: Vec<_> = (1..5)
+            .map(|i| {
+                net.start_flow(
+                    Z,
+                    NodeId(i),
+                    NodeId(0),
+                    100 * MIB,
+                    None,
+                    TrafficTag::RepoFetch,
+                )
+            })
+            .collect();
+        for f in fs {
+            assert!((net.rate_of(f).unwrap() - mb_per_s(25.0)).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn switch_aggregate_binds_many_disjoint_pairs() {
+        // 16 disjoint pairs × 100 MB/s wanted = 1600 > 800 switch capacity.
+        let mut net = FlowNet::new(topo(32));
+        let fs: Vec<_> = (0..16)
+            .map(|i| {
+                net.start_flow(
+                    Z,
+                    NodeId(2 * i),
+                    NodeId(2 * i + 1),
+                    100 * MIB,
+                    None,
+                    TrafficTag::StoragePush,
+                )
+            })
+            .collect();
+        for f in fs {
+            assert!((net.rate_of(f).unwrap() - mb_per_s(50.0)).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn capped_flow_frees_bandwidth_for_peer() {
+        let mut net = FlowNet::new(topo(4));
+        let slow = net.start_flow(
+            Z,
+            NodeId(0),
+            NodeId(1),
+            100 * MIB,
+            Some(mb_per_s(20.0)),
+            TrafficTag::Memory,
+        );
+        let fast = net.start_flow(Z, NodeId(0), NodeId(2), 100 * MIB, None, TrafficTag::Memory);
+        assert!((net.rate_of(slow).unwrap() - mb_per_s(20.0)).abs() < 1.0);
+        assert!((net.rate_of(fast).unwrap() - mb_per_s(80.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn disjoint_pairs_do_not_interact_below_switch_cap() {
+        let mut net = FlowNet::new(topo(4));
+        let a = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::Memory);
+        let b = net.start_flow(Z, NodeId(2), NodeId(3), 100 * MIB, None, TrafficTag::Memory);
+        assert!((net.rate_of(a).unwrap() - mb_per_s(100.0)).abs() < 1.0);
+        assert!((net.rate_of(b).unwrap() - mb_per_s(100.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn completion_and_conservation() {
+        let mut net = FlowNet::new(topo(4));
+        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::StoragePush);
+        let (done, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert!((done.as_secs_f64() - 1.0).abs() < 1e-6);
+        net.complete(done, f);
+        assert_eq!(net.delivered(TrafficTag::StoragePush), 100 * MIB);
+        assert_eq!(net.total_delivered(), 100 * MIB);
+        assert_eq!(net.active(), 0);
+    }
+
+    #[test]
+    fn cancel_reports_partial_delivery() {
+        let mut net = FlowNet::new(topo(4));
+        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::StoragePull);
+        let left = net.cancel_flow(t(0.5), f).unwrap();
+        assert_eq!(left / MIB, 50);
+        assert_eq!(net.delivered(TrafficTag::StoragePull) / MIB, 50);
+    }
+
+    #[test]
+    fn rates_rebalance_when_flow_finishes() {
+        let mut net = FlowNet::new(topo(4));
+        let a = net.start_flow(Z, NodeId(0), NodeId(1), 50 * MIB, None, TrafficTag::Memory);
+        let b = net.start_flow(Z, NodeId(0), NodeId(2), 100 * MIB, None, TrafficTag::Memory);
+        let (ta, ia) = net.next_completion().unwrap();
+        assert_eq!(ia, a);
+        net.complete(ta, a);
+        assert!((net.rate_of(b).unwrap() - mb_per_s(100.0)).abs() < 1.0);
+        let (tb, _) = net.next_completion().unwrap();
+        // b: 50 MiB in the first second, 50 MiB more at full speed.
+        assert!((tb.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn control_accounting() {
+        let mut net = FlowNet::new(topo(2));
+        net.account_control(1500);
+        assert_eq!(net.delivered(TrafficTag::Control), 1500);
+        assert_eq!(net.total_delivered(), 1500);
+    }
+
+    #[test]
+    fn migration_delivered_excludes_app_traffic() {
+        let mut net = FlowNet::new(topo(4));
+        let a = net.start_flow(Z, NodeId(0), NodeId(1), 10 * MIB, None, TrafficTag::AppNet);
+        let b = net.start_flow(Z, NodeId(2), NodeId(3), 10 * MIB, None, TrafficTag::Memory);
+        let (ta, _) = net.next_completion().unwrap();
+        net.complete(ta, a);
+        let (tb, _) = net.next_completion().unwrap();
+        net.complete(tb, b);
+        assert_eq!(net.migration_delivered(), 10 * MIB);
+        assert_eq!(net.total_delivered(), 20 * MIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "loopback")]
+    fn loopback_flows_rejected() {
+        let mut net = FlowNet::new(topo(2));
+        let _ = net.start_flow(Z, NodeId(1), NodeId(1), 1, None, TrafficTag::Memory);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_now() {
+        let mut net = FlowNet::new(topo(2));
+        let f = net.start_flow(t(2.0), NodeId(0), NodeId(1), 0, None, TrafficTag::Control);
+        let (done, id) = net.next_completion().unwrap();
+        assert_eq!((done, id), (t(2.0), f));
+    }
+}

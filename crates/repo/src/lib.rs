@@ -1,0 +1,27 @@
+//! # lsm-repo — shared storage services
+//!
+//! Two network storage systems the paper's evaluation depends on:
+//!
+//! * [`StripedRepo`] — the **BlobSeer-like repository** (§4.4): base disk
+//!   images are split into chunks striped (and optionally replicated)
+//!   across the local disks of all compute nodes. The repository's job in
+//!   the paper is to absorb concurrent on-demand base-image reads without a
+//!   bottleneck; here that means chunk→replica placement, deterministic
+//!   least-loaded replica selection, and per-node load accounting.
+//! * [`PvfsFs`] — the **PVFS-like parallel file system** used by the
+//!   `pvfs-shared` baseline (§5.2.3): files striped over server nodes,
+//!   synchronous client operations without client-side caching, and a
+//!   per-operation metadata overhead. Every VM I/O turns into network
+//!   traffic to the stripe servers — the cost the paper quantifies.
+//!
+//! Both are *planning* models: they decide which nodes serve which bytes;
+//! the engine in `lsm-core` turns plans into flows and disk requests.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod pvfs;
+pub mod striped;
+
+pub use pvfs::{PvfsConfig, PvfsFs, StripeOp};
+pub use striped::{RepoConfig, StripedRepo};

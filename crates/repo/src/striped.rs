@@ -1,0 +1,192 @@
+//! BlobSeer-like striped, replicated chunk repository.
+
+use lsm_blockdev::ChunkId;
+use lsm_netsim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the striped repository.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RepoConfig {
+    /// Nodes contributing storage to the repository (the paper aggregates
+    /// part of every compute node's local disk, §4.2).
+    pub storage_nodes: Vec<NodeId>,
+    /// Number of replicas per chunk (BlobSeer replicates transparently).
+    pub replication: usize,
+    /// Chunk (stripe) size in bytes — 256 KB in the paper.
+    pub chunk_size: u64,
+}
+
+impl RepoConfig {
+    /// Repository over `n` nodes (ids `0..n`) with the given replication.
+    pub fn over_nodes(n: u32, replication: usize, chunk_size: u64) -> Self {
+        assert!(n > 0 && replication >= 1 && replication as u32 <= n);
+        RepoConfig {
+            storage_nodes: (0..n).map(NodeId).collect(),
+            replication,
+            chunk_size,
+        }
+    }
+}
+
+/// The striped repository: placement + load-aware replica selection.
+#[derive(Clone, Debug)]
+pub struct StripedRepo {
+    cfg: RepoConfig,
+    /// In-flight fetches per storage node (index into `cfg.storage_nodes`).
+    load: Vec<u32>,
+    /// Total fetches served per storage node, for balance reporting.
+    served: Vec<u64>,
+}
+
+impl StripedRepo {
+    /// Build the repository.
+    pub fn new(cfg: RepoConfig) -> Self {
+        let n = cfg.storage_nodes.len();
+        StripedRepo {
+            cfg,
+            load: vec![0; n],
+            served: vec![0; n],
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RepoConfig {
+        &self.cfg
+    }
+
+    /// The replica set of `chunk`: `replication` consecutive nodes starting
+    /// from the chunk's home position (classic chained declustering, which
+    /// is how BlobSeer spreads both placement and replica load).
+    pub fn replicas(&self, chunk: ChunkId) -> impl Iterator<Item = NodeId> + '_ {
+        let n = self.cfg.storage_nodes.len();
+        let home = chunk.idx() % n;
+        (0..self.cfg.replication).map(move |k| self.cfg.storage_nodes[(home + k) % n])
+    }
+
+    /// Begin a fetch of `chunk`: picks the least-loaded replica
+    /// (deterministic: ties go to the earliest replica in chain order),
+    /// increments its in-flight load, and returns it.
+    pub fn begin_fetch(&mut self, chunk: ChunkId) -> NodeId {
+        let n = self.cfg.storage_nodes.len();
+        let home = chunk.idx() % n;
+        let mut best_slot = home;
+        let mut best_load = u32::MAX;
+        for k in 0..self.cfg.replication {
+            let slot = (home + k) % n;
+            if self.load[slot] < best_load {
+                best_load = self.load[slot];
+                best_slot = slot;
+            }
+        }
+        self.load[best_slot] += 1;
+        self.served[best_slot] += 1;
+        self.cfg.storage_nodes[best_slot]
+    }
+
+    /// A fetch served by `node` finished.
+    pub fn end_fetch(&mut self, node: NodeId) {
+        let slot = self.slot_of(node);
+        assert!(self.load[slot] > 0, "end_fetch without begin_fetch");
+        self.load[slot] -= 1;
+    }
+
+    /// Current in-flight fetches on `node`.
+    pub fn inflight(&self, node: NodeId) -> u32 {
+        self.load[self.slot_of(node)]
+    }
+
+    /// Total fetches ever served by `node`.
+    pub fn total_served(&self, node: NodeId) -> u64 {
+        self.served[self.slot_of(node)]
+    }
+
+    /// Ratio of the busiest to the average node's served count — 1.0 is a
+    /// perfectly balanced repository.
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.served.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / self.served.len() as f64;
+        let max = *self.served.iter().max().expect("nonempty") as f64;
+        max / avg
+    }
+
+    fn slot_of(&self, node: NodeId) -> usize {
+        self.cfg
+            .storage_nodes
+            .iter()
+            .position(|&x| x == node)
+            .expect("node not part of the repository")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo(n: u32, r: usize) -> StripedRepo {
+        StripedRepo::new(RepoConfig::over_nodes(n, r, 256 * 1024))
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_chained() {
+        let r = repo(5, 3);
+        let reps: Vec<_> = r.replicas(ChunkId(7)).collect();
+        assert_eq!(reps, vec![NodeId(2), NodeId(3), NodeId(4)]);
+        let reps: Vec<_> = r.replicas(ChunkId(4)).collect();
+        assert_eq!(reps, vec![NodeId(4), NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    fn sequential_chunks_spread_over_nodes() {
+        let mut r = repo(4, 1);
+        let nodes: Vec<_> = (0..8).map(|i| r.begin_fetch(ChunkId(i))).collect();
+        assert_eq!(
+            nodes,
+            [0, 1, 2, 3, 0, 1, 2, 3].map(NodeId).to_vec(),
+            "round-robin striping"
+        );
+    }
+
+    #[test]
+    fn least_loaded_replica_wins() {
+        let mut r = repo(3, 2);
+        // Chunk 0's replicas are nodes 0 and 1.
+        let first = r.begin_fetch(ChunkId(0));
+        assert_eq!(first, NodeId(0));
+        let second = r.begin_fetch(ChunkId(0));
+        assert_eq!(second, NodeId(1), "load-aware selection avoids node 0");
+        r.end_fetch(first);
+        let third = r.begin_fetch(ChunkId(0));
+        assert_eq!(third, NodeId(0), "load released");
+    }
+
+    #[test]
+    fn load_accounting() {
+        let mut r = repo(2, 1);
+        let n = r.begin_fetch(ChunkId(0));
+        assert_eq!(r.inflight(n), 1);
+        r.end_fetch(n);
+        assert_eq!(r.inflight(n), 0);
+        assert_eq!(r.total_served(n), 1);
+    }
+
+    #[test]
+    fn concurrent_reads_balance_well() {
+        // 64 concurrent single-chunk fetches over 16 nodes with r=2 should
+        // land within 2x of perfectly even.
+        let mut r = repo(16, 2);
+        for i in 0..64 {
+            r.begin_fetch(ChunkId(i));
+        }
+        assert!(r.imbalance() <= 2.0, "imbalance {}", r.imbalance());
+    }
+
+    #[test]
+    #[should_panic(expected = "end_fetch without begin_fetch")]
+    fn unbalanced_end_fetch_panics() {
+        let mut r = repo(2, 1);
+        r.end_fetch(NodeId(0));
+    }
+}

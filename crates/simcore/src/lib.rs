@@ -1,0 +1,47 @@
+//! # lsm-simcore — deterministic discrete-event simulation kernel
+//!
+//! This crate is the foundation of the HPDC'12 live-storage-migration
+//! reproduction. It provides the pieces every other crate builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//!   integer-based so event ordering is exactly reproducible.
+//! * [`EventQueue`] — a cancellable priority queue of timestamped events with
+//!   stable FIFO tie-breaking for events scheduled at the same instant.
+//! * [`SharedResource`] — a fluid-model processor (disk, memory bus, …) whose
+//!   capacity is max–min fair-shared among outstanding requests. The network
+//!   crate generalizes the same idea to multiple coupled resources.
+//! * [`DetRng`] — a small, seedable RNG wrapper so every simulation run is a
+//!   pure function of its configuration.
+//! * [`metrics`] — counters, time series and histograms used to produce the
+//!   paper's tables and figures.
+//! * [`units`] — byte/bandwidth constants and conversion helpers.
+//!
+//! The kernel is intentionally single-threaded: determinism is a hard
+//! requirement (the paper's experiments are compared run-to-run), and the
+//! experiment harness instead parallelizes across *runs* with crossbeam.
+//!
+//! ```
+//! use lsm_simcore::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_secs(2), "later");
+//! q.schedule(SimTime::ZERO + SimDuration::from_secs(1), "sooner");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t.as_secs_f64(), ev), (1.0, "sooner"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod metrics;
+pub mod resource;
+pub mod rng;
+pub mod time;
+pub mod units;
+
+pub use event::{EventId, EventQueue};
+pub use metrics::{Counter, Histogram, MetricsRegistry, TimeSeries};
+pub use resource::{ReqId, SharedResource};
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};

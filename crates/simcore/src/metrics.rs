@@ -1,0 +1,312 @@
+//! Metric primitives used to assemble the paper's tables and figures.
+//!
+//! Deliberately simple: the experiment harness pulls raw values out of a
+//! [`MetricsRegistry`] at the end of a run and does its own aggregation.
+
+use crate::time::SimTime;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing (or freely adjusted) scalar.
+#[derive(Clone, Copy, Default, Debug, Serialize)]
+pub struct Counter {
+    value: f64,
+}
+
+impl Counter {
+    /// Add `v` to the counter.
+    pub fn add(&mut self, v: f64) {
+        self.value += v;
+    }
+
+    /// Add an integer byte/ops count.
+    pub fn add_u64(&mut self, v: u64) {
+        self.value += v as f64;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+/// A time-stamped series of samples (e.g. instantaneous throughput).
+#[derive(Clone, Default, Debug, Serialize)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Append a sample at time `t`. Samples must be pushed in
+    /// non-decreasing time order (asserted in debug builds).
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.samples.last().map_or(true, |&(lt, _)| lt <= t),
+            "time series samples out of order"
+        );
+        self.samples.push((t, v));
+    }
+
+    /// All samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the sample values (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean of samples within `[from, to)` (NaN if none).
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in &self.samples {
+            if t >= from && t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::NAN
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// Maximum sample value (NaN if empty).
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(f64::NAN, f64::max)
+    }
+}
+
+/// A power-of-two bucketed histogram for latency-like quantities.
+///
+/// Bucket `i` counts values in `[2^i, 2^(i+1))` nanoseconds (bucket 0 also
+/// absorbs zero).
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0.0,
+            max: 0.0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a non-negative value.
+    pub fn record(&mut self, v: f64) {
+        debug_assert!(v >= 0.0);
+        let b = if v < 1.0 { 0 } else { (v as u64).ilog2() as usize };
+        self.buckets[b.min(63)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate quantile (bucket upper-bound based; `q` in `[0,1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 2f64.powi(i as i32 + 1);
+            }
+        }
+        self.max
+    }
+}
+
+/// String-keyed registry of all three metric kinds.
+///
+/// The engine names metrics hierarchically (`"vm0/io/read_bytes"`), and the
+/// experiment harness slices by prefix.
+#[derive(Default, Debug)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    series: BTreeMap<String, TimeSeries>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch-or-create a counter.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters.entry(name.to_owned()).or_default()
+    }
+
+    /// Fetch-or-create a time series.
+    pub fn series(&mut self, name: &str) -> &mut TimeSeries {
+        self.series.entry(name.to_owned()).or_default()
+    }
+
+    /// Fetch-or-create a histogram.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_owned()).or_default()
+    }
+
+    /// Read a counter's value (0 if absent).
+    pub fn counter_value(&self, name: &str) -> f64 {
+        self.counters.get(name).map_or(0.0, |c| c.get())
+    }
+
+    /// Read-only access to a series, if present.
+    pub fn get_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Read-only access to a histogram, if present.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Names of counters starting with `prefix`, with values.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, f64)> {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), v.get()))
+            .collect()
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> f64 {
+        self.counters_with_prefix(prefix)
+            .iter()
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {}", v.get())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut m = MetricsRegistry::new();
+        m.counter("a").add(1.5);
+        m.counter("a").add_u64(2);
+        assert_eq!(m.counter_value("a"), 3.5);
+        assert_eq!(m.counter_value("missing"), 0.0);
+    }
+
+    #[test]
+    fn prefix_queries() {
+        let mut m = MetricsRegistry::new();
+        m.counter("net/push").add(10.0);
+        m.counter("net/pull").add(5.0);
+        m.counter("disk/read").add(99.0);
+        assert_eq!(m.sum_prefix("net/"), 15.0);
+        assert_eq!(m.counters_with_prefix("net/").len(), 2);
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = TimeSeries::default();
+        s.push(SimTime::from_secs(1), 10.0);
+        s.push(SimTime::from_secs(2), 20.0);
+        s.push(SimTime::from_secs(3), 30.0);
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.max(), 30.0);
+        assert_eq!(
+            s.mean_in(SimTime::from_secs(2), SimTime::from_secs(4)),
+            25.0
+        );
+        assert!(s
+            .mean_in(SimTime::from_secs(9), SimTime::from_secs(10))
+            .is_nan());
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 4.0, 8.0, 1024.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 207.8).abs() < 0.1);
+        assert!(h.quantile(0.5) <= 8.0 * 2.0);
+        assert!(h.quantile(1.0) >= 1024.0);
+        assert_eq!(h.max(), 1024.0);
+    }
+
+    #[test]
+    fn histogram_zero_and_small() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(0.5);
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Byte-size and bandwidth units used throughout the workspace.
+//!
+//! Sizes are `u64` bytes; bandwidths are `f64` bytes/second (the fluid flow
+//! models divide by them constantly). The constants mirror the testbed
+//! numbers reported in §5.1 of the paper.
+
+use crate::time::SimDuration;
+
+/// One kibibyte.
+pub const KIB: u64 = 1024;
+/// One mebibyte.
+pub const MIB: u64 = 1024 * KIB;
+/// One gibibyte.
+pub const GIB: u64 = 1024 * MIB;
+
+/// Bandwidth in bytes per second.
+pub type Bandwidth = f64;
+
+/// Megabytes-per-second helper (paper quotes MB/s figures).
+#[inline]
+pub fn mb_per_s(mb: f64) -> Bandwidth {
+    mb * MIB as f64
+}
+
+/// Gigabytes-per-second helper.
+#[inline]
+pub fn gb_per_s(gb: f64) -> Bandwidth {
+    gb * GIB as f64
+}
+
+/// Time to move `bytes` at `bw` bytes/second.
+///
+/// Panics (debug) on non-positive bandwidth; a zero-byte transfer takes
+/// zero time regardless of bandwidth.
+#[inline]
+pub fn transfer_time(bytes: u64, bw: Bandwidth) -> SimDuration {
+    if bytes == 0 {
+        return SimDuration::ZERO;
+    }
+    debug_assert!(bw > 0.0, "transfer over zero-bandwidth resource");
+    SimDuration::from_secs_f64(bytes as f64 / bw)
+}
+
+/// Render a byte count with a human-readable suffix (reports/tables).
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= 10 * GIB {
+        format!("{:.1} GiB", b / GIB as f64)
+    } else if bytes >= 10 * MIB {
+        format!("{:.1} MiB", b / MIB as f64)
+    } else if bytes >= 10 * KIB {
+        format!("{:.1} KiB", b / KIB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(KIB, 1 << 10);
+        assert_eq!(MIB, 1 << 20);
+        assert_eq!(GIB, 1 << 30);
+    }
+
+    #[test]
+    fn transfer_time_basic() {
+        let d = transfer_time(MIB, mb_per_s(1.0));
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(transfer_time(0, mb_per_s(1.0)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(20 * KIB), "20.0 KiB");
+        assert_eq!(fmt_bytes(64 * MIB), "64.0 MiB");
+        assert_eq!(fmt_bytes(16 * GIB), "16.0 GiB");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the DES kernel.
+
+use lsm_simcore::{DetRng, EventQueue, SharedResource, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in (time, insertion) order, whatever the
+    /// scheduling order and cancellations.
+    #[test]
+    fn event_queue_total_order(
+        ops in prop::collection::vec((0u64..1_000_000, prop::bool::ANY), 1..200)
+    ) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        let mut live = Vec::new();
+        for (i, &(at, cancel_prev)) in ops.iter().enumerate() {
+            let id = q.schedule(SimTime::from_nanos(at), i);
+            ids.push((id, at, i));
+            live.push(true);
+            if cancel_prev && i > 0 && live[i - 1] {
+                q.cancel(ids[i - 1].0);
+                live[i - 1] = false;
+            }
+        }
+        let mut popped = Vec::new();
+        while let Some((t, payload)) = q.pop() {
+            popped.push((t.as_nanos(), payload));
+        }
+        // Expected: all live events ordered by (time, insertion seq).
+        let mut expected: Vec<(u64, usize)> = ids
+            .iter()
+            .zip(&live)
+            .filter(|(_, &l)| l)
+            .map(|(&(_, at, i), _)| (at, i))
+            .collect();
+        expected.sort();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// A fair-shared resource conserves bytes: total served equals the
+    /// sum of completed request sizes plus consumed parts of cancelled
+    /// and still-active requests.
+    #[test]
+    fn shared_resource_conserves_bytes(
+        sizes in prop::collection::vec(1u64..64, 1..40),
+        cancel_mask in prop::collection::vec(prop::bool::ANY, 40),
+    ) {
+        const MB: u64 = 1 << 20;
+        let mut r = SharedResource::new(64.0 * MB as f64);
+        let mut now = SimTime::ZERO;
+        let mut completed = 0u64;
+        let mut cancelled_served = 0u64;
+        let mut live = Vec::new();
+        for (i, &mb) in sizes.iter().enumerate() {
+            let id = r.submit(now, mb * MB, None);
+            live.push((id, mb * MB));
+            now = now + SimDuration::from_millis(10);
+            r.advance(now);
+            if cancel_mask[i] && live.len() > 1 {
+                let (victim, size) = live.remove(0);
+                if let Some(left) = r.cancel(now, victim) {
+                    cancelled_served += size - left.min(size);
+                }
+            }
+        }
+        // Drain everything.
+        while let Some((t, id)) = r.next_completion() {
+            now = t.max(now);
+            r.complete(now, id);
+            let pos = live.iter().position(|&(l, _)| l == id).expect("live");
+            completed += live.remove(pos).1;
+        }
+        let served = r.total_served();
+        let expect = completed + cancelled_served;
+        // Tolerance: one byte of rounding per request.
+        prop_assert!(
+            served.abs_diff(expect) <= sizes.len() as u64 + 1,
+            "served {served}, expected {expect}"
+        );
+    }
+
+    /// Completion times are monotone in request size under identical
+    /// competition.
+    #[test]
+    fn larger_requests_finish_later(a in 1u64..1000, b in 1u64..1000) {
+        prop_assume!(a != b);
+        let mut r = SharedResource::new(1e6);
+        let ia = r.submit(SimTime::ZERO, a * 1000, None);
+        let ib = r.submit(SimTime::ZERO, b * 1000, None);
+        let (t1, first) = r.next_completion().expect("two live requests");
+        let smaller = if a < b { ia } else { ib };
+        prop_assert_eq!(first, smaller);
+        r.complete(t1, first);
+        let (t2, _) = r.next_completion().expect("one left");
+        prop_assert!(t2 >= t1);
+    }
+
+    /// Forked RNG streams are reproducible and independent of sibling
+    /// draw counts.
+    #[test]
+    fn rng_fork_stability(seed in 0u64..u64::MAX, salt in 0u64..u64::MAX) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        let mut fa = a.fork(salt);
+        let mut fb = b.fork(salt);
+        for _ in 0..32 {
+            prop_assert_eq!(fa.below(1 << 20), fb.below(1 << 20));
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! AsyncWR: the authors' compute/async-write overlap benchmark (§5.3).
+//!
+//! Fixed number of iterations; each one keeps the CPU busy for a fixed
+//! burst while the *previous* iteration's buffer is written to the file
+//! system asynchronously. The iteration completes when both the burst and
+//! the write finish, so I/O only stalls the application when a write takes
+//! longer than one compute burst — exactly the coupling the paper uses to
+//! show how migration strategies degrade a mixed workload.
+//!
+//! The paper fixes total data at 1800 MB (§5.4) over 180 iterations
+//! (§5.3), i.e. 10 MB per iteration; at the quoted ≈6 MB/s pressure one
+//! iteration is ≈1.67 s of compute.
+
+use crate::{Action, ActionToken, IoKind, MemSpec, Progress, TokenAlloc, Workload};
+use lsm_simcore::time::{SimDuration, SimTime};
+use lsm_simcore::units::MIB;
+use serde::{Deserialize, Serialize};
+
+/// AsyncWR parameters (defaults = the paper's configuration).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AsyncWrParams {
+    /// Number of iterations (180 in the paper).
+    pub iterations: u32,
+    /// Bytes generated (and later written) per iteration (10 MB).
+    pub data_per_iter: u64,
+    /// Nominal CPU burst per iteration (≈1.67 s for 6 MB/s pressure).
+    pub compute_per_iter: SimDuration,
+    /// Disk offset where the output region starts.
+    pub file_offset: u64,
+}
+
+impl Default for AsyncWrParams {
+    fn default() -> Self {
+        AsyncWrParams {
+            iterations: 180,
+            data_per_iter: 10 * MIB,
+            compute_per_iter: SimDuration::from_secs_f64(10.0 / 6.0),
+            file_offset: 512 * MIB,
+        }
+    }
+}
+
+/// The AsyncWR driver.
+pub struct AsyncWr {
+    p: AsyncWrParams,
+    tokens: TokenAlloc,
+    iter: u32,
+    compute_token: Option<ActionToken>,
+    write_token: Option<ActionToken>,
+    progress: Progress,
+    finished: bool,
+}
+
+impl AsyncWr {
+    /// Create an AsyncWR driver.
+    pub fn new(p: AsyncWrParams) -> Self {
+        assert!(p.iterations > 0 && p.data_per_iter > 0);
+        AsyncWr {
+            p,
+            tokens: TokenAlloc::default(),
+            iter: 0,
+            compute_token: None,
+            write_token: None,
+            progress: Progress::default(),
+            finished: false,
+        }
+    }
+
+    /// Begin iteration `self.iter`: compute burst + async write of the
+    /// previous iteration's buffer.
+    fn begin_iteration(&mut self) -> Vec<Action> {
+        let mut out = Vec::with_capacity(2);
+        let ct = self.tokens.next();
+        self.compute_token = Some(ct);
+        out.push(Action::Compute {
+            token: ct,
+            dur: self.p.compute_per_iter,
+        });
+        if self.iter > 0 {
+            // Write the buffer produced by iteration `iter - 1`.
+            let wt = self.tokens.next();
+            self.write_token = Some(wt);
+            out.push(Action::Io {
+                token: wt,
+                kind: IoKind::Write,
+                offset: self.p.file_offset + (self.iter as u64 - 1) * self.p.data_per_iter,
+                len: self.p.data_per_iter,
+            });
+        }
+        out
+    }
+
+    fn iteration_boundary(&mut self) -> Vec<Action> {
+        self.iter += 1;
+        self.progress.iterations = self.iter;
+        if self.iter < self.p.iterations {
+            return self.begin_iteration();
+        }
+        // Flush the final buffer, then finish.
+        let wt = self.tokens.next();
+        self.write_token = Some(wt);
+        vec![Action::Io {
+            token: wt,
+            kind: IoKind::Write,
+            offset: self.p.file_offset + (self.iter as u64 - 1) * self.p.data_per_iter,
+            len: self.p.data_per_iter,
+        }]
+    }
+}
+
+impl Workload for AsyncWr {
+    fn label(&self) -> &'static str {
+        "AsyncWR"
+    }
+
+    fn start(&mut self, _now: SimTime) -> Vec<Action> {
+        self.begin_iteration()
+    }
+
+    fn on_complete(&mut self, _now: SimTime, token: ActionToken) -> Vec<Action> {
+        if self.compute_token == Some(token) {
+            self.compute_token = None;
+            self.progress.useful_compute_secs += self.p.compute_per_iter.as_secs_f64();
+        } else if self.write_token == Some(token) {
+            self.write_token = None;
+            self.progress.bytes_written += self.p.data_per_iter;
+        } else {
+            panic!("unknown token completed");
+        }
+        if self.compute_token.is_some() || self.write_token.is_some() {
+            return vec![]; // iteration still has an outstanding leg
+        }
+        if self.iter >= self.p.iterations {
+            self.finished = true;
+            return vec![Action::Finish];
+        }
+        self.iteration_boundary()
+    }
+
+    fn mem_spec(&self) -> MemSpec {
+        // Guest OS + double buffers; the page cache of recently written
+        // data is added by the engine at migration time. Random-data
+        // generation re-dirties the buffers continuously — the
+        // "memory-intensive operations on the data" of §5.3.
+        MemSpec {
+            touched_bytes: 448 * MIB,
+            wss_bytes: 192 * MIB,
+            anon_dirty_rate: 30.0 * MIB as f64,
+        }
+    }
+
+    fn progress(&self) -> Progress {
+        self.progress
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive with instantaneous completions; writes lag computes by one
+    /// iteration as specified.
+    #[test]
+    fn overlaps_write_with_next_compute() {
+        let p = AsyncWrParams {
+            iterations: 3,
+            data_per_iter: MIB,
+            compute_per_iter: SimDuration::from_secs(1),
+            file_offset: 0,
+        };
+        let mut w = AsyncWr::new(p);
+        let first = w.start(SimTime::ZERO);
+        assert_eq!(first.len(), 1, "iteration 0 has no buffer to write yet");
+        assert!(matches!(first[0], Action::Compute { .. }));
+
+        // Complete compute 0 -> iteration 1 issues compute + write of buf 0.
+        let Action::Compute { token: c0, .. } = first[0] else {
+            unreachable!()
+        };
+        let next = w.on_complete(SimTime::from_secs(1), c0);
+        assert_eq!(next.len(), 2);
+        let off = next
+            .iter()
+            .find_map(|a| match a {
+                Action::Io { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(off, 0, "iteration 1 writes buffer 0");
+    }
+
+    #[test]
+    fn completes_all_iterations_and_bytes() {
+        let p = AsyncWrParams {
+            iterations: 5,
+            data_per_iter: 2 * MIB,
+            compute_per_iter: SimDuration::from_secs(1),
+            file_offset: 0,
+        };
+        let mut w = AsyncWr::new(p);
+        let mut now = SimTime::ZERO;
+        let mut queue: Vec<Action> = w.start(now);
+        let mut finished = false;
+        let mut guard = 0;
+        while !queue.is_empty() {
+            guard += 1;
+            assert!(guard < 1000);
+            let a = queue.remove(0);
+            match a {
+                Action::Compute { token, dur } => {
+                    now = now + dur;
+                    queue.extend(w.on_complete(now, token));
+                }
+                Action::Io { token, .. } => {
+                    queue.extend(w.on_complete(now, token));
+                }
+                Action::Finish => finished = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(finished);
+        assert_eq!(w.progress().iterations, 5);
+        assert_eq!(w.progress().bytes_written, 5 * 2 * MIB);
+        assert!((w.progress().useful_compute_secs - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_pressure_matches_paper_defaults() {
+        let p = AsyncWrParams::default();
+        let pressure =
+            p.data_per_iter as f64 / p.compute_per_iter.as_secs_f64() / MIB as f64;
+        assert!((pressure - 6.0).abs() < 0.01, "≈6 MB/s, got {pressure}");
+        assert_eq!(p.iterations as u64 * p.data_per_iter, 1800 * MIB);
+    }
+}

@@ -1,0 +1,370 @@
+//! CM1: one MPI rank of the atmospheric stencil model (§5.5).
+//!
+//! The paper runs 64 ranks (one per VM) on an 8×8 domain decomposition.
+//! Every output step: ≈40 s of computation with halo exchanges against the
+//! grid neighbours, then a ≈200 MB dump of the subdomain to local storage.
+//! Ranks synchronize at the end of every output step (stencil codes are
+//! lock-stepped), which is why a single slowed VM inflates the runtime of
+//! the whole application — the effect Fig 5c measures.
+//!
+//! Compute is split into segments separated by halo exchanges so that
+//! communication is spread through the phase rather than bursted.
+
+use crate::{Action, ActionToken, IoKind, MemSpec, Progress, TokenAlloc, Workload};
+use lsm_simcore::time::{SimDuration, SimTime};
+use lsm_simcore::units::{GIB, MIB};
+use serde::{Deserialize, Serialize};
+
+/// CM1 parameters (defaults shaped like the paper's §5.5 configuration).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Cm1Params {
+    /// This rank's index in `0..ranks`.
+    pub rank: u32,
+    /// Total ranks (64 in the paper, 8×8 grid).
+    pub ranks: u32,
+    /// Grid width (ranks must equal `grid_w * grid_h`).
+    pub grid_w: u32,
+    /// Output steps to run.
+    pub iterations: u32,
+    /// Wall-clock compute per output step (≈40 s in the paper).
+    pub compute_per_iter: SimDuration,
+    /// Halo exchanges per output step.
+    pub exchanges_per_iter: u32,
+    /// Bytes sent to each neighbour per exchange.
+    pub halo_bytes: u64,
+    /// Bytes dumped to local storage per output step (≈200 MB).
+    pub dump_bytes: u64,
+    /// Dump write block size.
+    pub dump_block: u64,
+    /// Disk offset where dump files start; successive dumps go to
+    /// successive regions (new output file per step), wrapping within
+    /// `dump_region_bytes`.
+    pub dump_offset: u64,
+    /// Size of the scratch region reserved for dumps.
+    pub dump_region_bytes: u64,
+}
+
+impl Default for Cm1Params {
+    fn default() -> Self {
+        Cm1Params {
+            rank: 0,
+            ranks: 64,
+            grid_w: 8,
+            iterations: 6,
+            compute_per_iter: SimDuration::from_secs(40),
+            exchanges_per_iter: 8,
+            halo_bytes: 512 * 1024,
+            dump_bytes: 200 * MIB,
+            dump_block: MIB,
+            dump_offset: 512 * MIB,
+            dump_region_bytes: 2 * GIB,
+        }
+    }
+}
+
+impl Cm1Params {
+    /// Neighbour ranks in the 2D decomposition (4-point stencil).
+    pub fn neighbors(&self) -> Vec<u32> {
+        let w = self.grid_w as i64;
+        let h = (self.ranks / self.grid_w) as i64;
+        let x = (self.rank % self.grid_w) as i64;
+        let y = (self.rank / self.grid_w) as i64;
+        let mut out = Vec::with_capacity(4);
+        for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+            let (nx, ny) = (x + dx, y + dy);
+            if nx >= 0 && nx < w && ny >= 0 && ny < h {
+                out.push((ny * w + nx) as u32);
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Compute,
+    Exchange,
+    Dump,
+    AtBarrier,
+    Done,
+}
+
+/// The CM1 rank driver.
+pub struct Cm1 {
+    p: Cm1Params,
+    neighbors: Vec<u32>,
+    tokens: TokenAlloc,
+    phase: Phase,
+    iter: u32,
+    segment: u32,
+    outstanding: u32,
+    dump_written: u64,
+    progress: Progress,
+    finished: bool,
+}
+
+impl Cm1 {
+    /// Create the driver for one rank.
+    pub fn new(p: Cm1Params) -> Self {
+        assert!(p.ranks % p.grid_w == 0, "non-rectangular decomposition");
+        assert!(p.rank < p.ranks);
+        assert!(p.exchanges_per_iter >= 1);
+        let neighbors = p.neighbors();
+        Cm1 {
+            p,
+            neighbors,
+            tokens: TokenAlloc::default(),
+            phase: Phase::Compute,
+            iter: 0,
+            segment: 0,
+            outstanding: 0,
+            dump_written: 0,
+            progress: Progress::default(),
+            finished: false,
+        }
+    }
+
+    fn segment_duration(&self) -> SimDuration {
+        self.p
+            .compute_per_iter
+            .mul_f64(1.0 / self.p.exchanges_per_iter as f64)
+    }
+
+    fn issue_compute_segment(&mut self) -> Vec<Action> {
+        self.phase = Phase::Compute;
+        self.outstanding = 1;
+        vec![Action::Compute {
+            token: self.tokens.next(),
+            dur: self.segment_duration(),
+        }]
+    }
+
+    fn issue_exchange(&mut self) -> Vec<Action> {
+        self.phase = Phase::Exchange;
+        self.outstanding = self.neighbors.len() as u32;
+        let halo = self.p.halo_bytes;
+        let mut sends = Vec::with_capacity(self.neighbors.len());
+        for i in 0..self.neighbors.len() {
+            let peer = self.neighbors[i];
+            sends.push(Action::NetSend {
+                token: self.tokens.next(),
+                peer,
+                bytes: halo,
+            });
+        }
+        sends
+    }
+
+    fn issue_dump_block(&mut self) -> Vec<Action> {
+        self.phase = Phase::Dump;
+        self.outstanding = 1;
+        let file_index = (self.iter as u64 * self.p.dump_bytes) % self.p.dump_region_bytes;
+        let offset = self.p.dump_offset + file_index + self.dump_written;
+        let len = self.p.dump_block.min(self.p.dump_bytes - self.dump_written);
+        vec![Action::Io {
+            token: self.tokens.next(),
+            kind: IoKind::Write,
+            offset,
+            len,
+        }]
+    }
+
+    fn issue_barrier(&mut self) -> Vec<Action> {
+        self.phase = Phase::AtBarrier;
+        self.outstanding = 1;
+        vec![Action::Barrier {
+            token: self.tokens.next(),
+        }]
+    }
+}
+
+impl Workload for Cm1 {
+    fn label(&self) -> &'static str {
+        "CM1"
+    }
+
+    fn start(&mut self, _now: SimTime) -> Vec<Action> {
+        self.issue_compute_segment()
+    }
+
+    fn on_complete(&mut self, _now: SimTime, _token: ActionToken) -> Vec<Action> {
+        assert!(self.outstanding > 0, "completion without outstanding op");
+        self.outstanding -= 1;
+        if self.outstanding > 0 {
+            return vec![]; // waiting for remaining halo sends
+        }
+        match self.phase {
+            Phase::Compute => {
+                self.progress.useful_compute_secs += self.segment_duration().as_secs_f64();
+                self.segment += 1;
+                if self.neighbors.is_empty() {
+                    // Single-rank run: skip exchanges entirely.
+                    if self.segment < self.p.exchanges_per_iter {
+                        return self.issue_compute_segment();
+                    }
+                    self.dump_written = 0;
+                    return self.issue_dump_block();
+                }
+                self.issue_exchange()
+            }
+            Phase::Exchange => {
+                if self.segment < self.p.exchanges_per_iter {
+                    return self.issue_compute_segment();
+                }
+                self.dump_written = 0;
+                self.issue_dump_block()
+            }
+            Phase::Dump => {
+                let len = self.p.dump_block.min(self.p.dump_bytes - self.dump_written);
+                self.dump_written += len;
+                self.progress.bytes_written += len;
+                if self.dump_written < self.p.dump_bytes {
+                    return self.issue_dump_block();
+                }
+                self.issue_barrier()
+            }
+            Phase::AtBarrier => {
+                self.iter += 1;
+                self.progress.iterations = self.iter;
+                self.segment = 0;
+                if self.iter >= self.p.iterations {
+                    self.phase = Phase::Done;
+                    self.finished = true;
+                    return vec![Action::Finish];
+                }
+                self.issue_compute_segment()
+            }
+            Phase::Done => vec![],
+        }
+    }
+
+    fn mem_spec(&self) -> MemSpec {
+        // The stencil sweeps its whole subdomain (several prognostic
+        // arrays) every internal timestep: high anonymous dirty rate and a
+        // working set of the order of the dump size times the number of
+        // arrays.
+        MemSpec {
+            touched_bytes: GIB,
+            wss_bytes: 400 * MIB,
+            anon_dirty_rate: 60.0 * MIB as f64,
+        }
+    }
+
+    fn progress(&self) -> Progress {
+        self.progress
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_topology_is_a_grid() {
+        let mk = |rank| Cm1Params {
+            rank,
+            ranks: 16,
+            grid_w: 4,
+            ..Default::default()
+        };
+        assert_eq!(mk(0).neighbors(), vec![1, 4]);
+        assert_eq!(mk(5).neighbors(), vec![4, 6, 1, 9]);
+        assert_eq!(mk(15).neighbors(), vec![14, 11]);
+    }
+
+    #[test]
+    fn one_iteration_sequence() {
+        let p = Cm1Params {
+            rank: 0,
+            ranks: 4,
+            grid_w: 2,
+            iterations: 1,
+            compute_per_iter: SimDuration::from_secs(4),
+            exchanges_per_iter: 2,
+            halo_bytes: 1024,
+            dump_bytes: 2 * MIB,
+            dump_block: MIB,
+            dump_offset: 0,
+            dump_region_bytes: 64 * MIB,
+        };
+        let mut w = Cm1::new(p);
+        let mut queue = w.start(SimTime::ZERO);
+        let mut computes = 0;
+        let mut sends = 0;
+        let mut writes = 0;
+        let mut barriers = 0;
+        let mut finished = false;
+        let mut guard = 0;
+        while !queue.is_empty() {
+            guard += 1;
+            assert!(guard < 100);
+            let a = queue.remove(0);
+            match a {
+                Action::Compute { token, .. } => {
+                    computes += 1;
+                    queue.extend(w.on_complete(SimTime::ZERO, token));
+                }
+                Action::NetSend { token, .. } => {
+                    sends += 1;
+                    queue.extend(w.on_complete(SimTime::ZERO, token));
+                }
+                Action::Io { token, .. } => {
+                    writes += 1;
+                    queue.extend(w.on_complete(SimTime::ZERO, token));
+                }
+                Action::Barrier { token } => {
+                    barriers += 1;
+                    queue.extend(w.on_complete(SimTime::ZERO, token));
+                }
+                Action::Finish => finished = true,
+                Action::Fsync { .. } => unreachable!(),
+            }
+        }
+        assert!(finished);
+        assert_eq!(computes, 2, "two segments");
+        assert_eq!(sends, 2 * 2, "two exchanges x two neighbors");
+        assert_eq!(writes, 2, "2 MiB dump in 1 MiB blocks");
+        assert_eq!(barriers, 1);
+        assert_eq!(w.progress().iterations, 1);
+        assert_eq!(w.progress().bytes_written, 2 * MIB);
+        assert!((w.progress().useful_compute_secs - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dumps_rotate_through_region() {
+        let p = Cm1Params {
+            rank: 0,
+            ranks: 1,
+            grid_w: 1,
+            iterations: 3,
+            compute_per_iter: SimDuration::from_secs(1),
+            exchanges_per_iter: 1,
+            halo_bytes: 0,
+            dump_bytes: MIB,
+            dump_block: MIB,
+            dump_offset: 1000,
+            dump_region_bytes: 2 * MIB,
+        };
+        let mut w = Cm1::new(p);
+        let mut offsets = Vec::new();
+        let mut queue = w.start(SimTime::ZERO);
+        while let Some(a) = queue.pop() {
+            match a {
+                Action::Io { token, offset, .. } => {
+                    offsets.push(offset);
+                    queue.extend(w.on_complete(SimTime::ZERO, token));
+                }
+                Action::Compute { token, .. } | Action::Barrier { token } => {
+                    queue.extend(w.on_complete(SimTime::ZERO, token));
+                }
+                Action::Finish => break,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(offsets, vec![1000, 1000 + MIB, 1000], "wraps after region");
+    }
+}

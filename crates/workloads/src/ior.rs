@@ -1,0 +1,271 @@
+//! IOR: the HPC I/O benchmark of §5.3.
+//!
+//! One process inside the VM runs `iterations` passes; each pass writes a
+//! `file_size` file sequentially in `block_size` blocks through POSIX, then
+//! reads it back the same way. Blocks are issued one at a time (IOR's
+//! default single-threaded POSIX mode is a closed loop), so achieved
+//! throughput is `block_size / per-block latency` — which is what the
+//! paper's Fig 3c reports, normalized to the no-migration maximum.
+
+use crate::{Action, ActionToken, IoKind, MemSpec, Progress, TokenAlloc, Workload};
+use lsm_simcore::time::SimTime;
+use lsm_simcore::units::{GIB, KIB, MIB};
+use serde::{Deserialize, Serialize};
+
+/// IOR parameters (defaults = the paper's configuration).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IorParams {
+    /// Bytes written then read per iteration (1 GB in the paper).
+    pub file_size: u64,
+    /// Transfer block size (256 KB in the paper).
+    pub block_size: u64,
+    /// Number of write+read passes (10 in the paper).
+    pub iterations: u32,
+    /// Byte offset of the file within the virtual disk.
+    pub file_offset: u64,
+    /// Issue an fsync at the end of each write phase (IOR `-e`; the paper
+    /// used the default: off — its 266 MB/s write max is a page-cache
+    /// number).
+    pub fsync_per_phase: bool,
+}
+
+impl Default for IorParams {
+    fn default() -> Self {
+        IorParams {
+            file_size: GIB,
+            block_size: 256 * KIB,
+            iterations: 10,
+            file_offset: 512 * MIB,
+            fsync_per_phase: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    Writing,
+    Syncing,
+    Reading,
+    Done,
+}
+
+/// The IOR driver.
+pub struct Ior {
+    p: IorParams,
+    tokens: TokenAlloc,
+    phase: Phase,
+    iter: u32,
+    /// Next block index within the current phase.
+    block: u64,
+    blocks_per_phase: u64,
+    progress: Progress,
+    /// `(phase_kind, start, end)` log used for per-phase throughput.
+    phase_log: Vec<(IoKind, SimTime, SimTime)>,
+    phase_started: SimTime,
+}
+
+impl Ior {
+    /// Create an IOR driver.
+    pub fn new(p: IorParams) -> Self {
+        assert!(p.file_size >= p.block_size && p.block_size > 0);
+        assert!(p.file_size % p.block_size == 0, "file not block-aligned");
+        Ior {
+            p,
+            tokens: TokenAlloc::default(),
+            phase: Phase::Writing,
+            iter: 0,
+            block: 0,
+            blocks_per_phase: p.file_size / p.block_size,
+            progress: Progress::default(),
+            phase_log: Vec::new(),
+            phase_started: SimTime::ZERO,
+        }
+    }
+
+    /// Per-phase `(kind, start, end)` records, for throughput analysis.
+    pub fn phase_log(&self) -> &[(IoKind, SimTime, SimTime)] {
+        &self.phase_log
+    }
+
+    fn issue_block(&mut self, kind: IoKind) -> Action {
+        let offset = self.p.file_offset + self.block * self.p.block_size;
+        self.block += 1;
+        Action::Io {
+            token: self.tokens.next(),
+            kind,
+            offset,
+            len: self.p.block_size,
+        }
+    }
+}
+
+impl Workload for Ior {
+    fn label(&self) -> &'static str {
+        "IOR"
+    }
+
+    fn start(&mut self, now: SimTime) -> Vec<Action> {
+        self.phase_started = now;
+        vec![self.issue_block(IoKind::Write)]
+    }
+
+    fn on_complete(&mut self, now: SimTime, _token: ActionToken) -> Vec<Action> {
+        match self.phase {
+            Phase::Writing => {
+                self.progress.bytes_written += self.p.block_size;
+                if self.block < self.blocks_per_phase {
+                    return vec![self.issue_block(IoKind::Write)];
+                }
+                self.phase_log.push((IoKind::Write, self.phase_started, now));
+                self.block = 0;
+                if self.p.fsync_per_phase {
+                    self.phase = Phase::Syncing;
+                    return vec![Action::Fsync {
+                        token: self.tokens.next(),
+                    }];
+                }
+                self.phase = Phase::Reading;
+                self.phase_started = now;
+                vec![self.issue_block(IoKind::Read)]
+            }
+            Phase::Syncing => {
+                self.phase = Phase::Reading;
+                self.phase_started = now;
+                vec![self.issue_block(IoKind::Read)]
+            }
+            Phase::Reading => {
+                self.progress.bytes_read += self.p.block_size;
+                if self.block < self.blocks_per_phase {
+                    return vec![self.issue_block(IoKind::Read)];
+                }
+                self.phase_log.push((IoKind::Read, self.phase_started, now));
+                self.iter += 1;
+                self.progress.iterations = self.iter;
+                self.block = 0;
+                if self.iter >= self.p.iterations {
+                    self.phase = Phase::Done;
+                    return vec![Action::Finish];
+                }
+                self.phase = Phase::Writing;
+                self.phase_started = now;
+                vec![self.issue_block(IoKind::Write)]
+            }
+            Phase::Done => vec![],
+        }
+    }
+
+    fn mem_spec(&self) -> MemSpec {
+        // Guest OS + IOR itself. The file's page-cache footprint is NOT
+        // counted here: the engine adds the live cache residency at
+        // migration time, and couples write traffic into the dirty rate.
+        MemSpec {
+            touched_bytes: 448 * MIB,
+            wss_bytes: 192 * MIB,
+            anon_dirty_rate: 8.0 * MIB as f64,
+        }
+    }
+
+    fn progress(&self) -> Progress {
+        self.progress
+    }
+
+    fn is_finished(&self) -> bool {
+        self.phase == Phase::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_to_completion(ior: &mut Ior) -> (u64, u64) {
+        let mut now = SimTime::ZERO;
+        let mut pending: Vec<Action> = ior.start(now);
+        let mut ios = 0u64;
+        let mut finished = false;
+        while let Some(a) = pending.pop() {
+            match a {
+                Action::Io { token, .. } | Action::Fsync { token } => {
+                    ios += 1;
+                    now = now + lsm_simcore::SimDuration::from_millis(1);
+                    pending.extend(ior.on_complete(now, token));
+                }
+                Action::Finish => finished = true,
+                _ => panic!("IOR only does I/O"),
+            }
+        }
+        assert!(finished);
+        (ios, ior.progress().bytes_written + ior.progress().bytes_read)
+    }
+
+    #[test]
+    fn issues_expected_block_count() {
+        let p = IorParams {
+            file_size: 8 * 256 * KIB,
+            block_size: 256 * KIB,
+            iterations: 3,
+            file_offset: 0,
+            fsync_per_phase: false,
+        };
+        let mut ior = Ior::new(p);
+        let (ios, bytes) = drive_to_completion(&mut ior);
+        // 3 iterations × (8 writes + 8 reads)
+        assert_eq!(ios, 48);
+        assert_eq!(bytes, 3 * 2 * 8 * 256 * KIB);
+        assert_eq!(ior.progress().iterations, 3);
+        assert_eq!(ior.phase_log().len(), 6, "one record per phase");
+    }
+
+    #[test]
+    fn fsync_inserted_between_phases() {
+        let p = IorParams {
+            file_size: 2 * 256 * KIB,
+            block_size: 256 * KIB,
+            iterations: 1,
+            file_offset: 0,
+            fsync_per_phase: true,
+        };
+        let mut ior = Ior::new(p);
+        let (ios, _) = drive_to_completion(&mut ior);
+        assert_eq!(ios, 2 + 1 + 2, "writes + fsync + reads");
+    }
+
+    #[test]
+    fn offsets_are_sequential_within_file() {
+        let p = IorParams {
+            file_size: 4 * 256 * KIB,
+            block_size: 256 * KIB,
+            iterations: 1,
+            file_offset: 1024 * KIB,
+            fsync_per_phase: false,
+        };
+        let mut ior = Ior::new(p);
+        let mut offsets = Vec::new();
+        let mut actions = ior.start(SimTime::ZERO);
+        while let Some(a) = actions.pop() {
+            match a {
+                Action::Io { token, offset, .. } => {
+                    offsets.push(offset);
+                    actions.extend(ior.on_complete(SimTime::ZERO, token));
+                }
+                Action::Finish => break,
+                _ => unreachable!(),
+            }
+        }
+        let expect: Vec<u64> = (0..4)
+            .map(|i| 1024 * KIB + i * 256 * KIB)
+            .chain((0..4).map(|i| 1024 * KIB + i * 256 * KIB))
+            .collect();
+        assert_eq!(offsets, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn misaligned_file_rejected() {
+        let _ = Ior::new(IorParams {
+            file_size: 1000,
+            block_size: 256,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,164 @@
+//! # lsm-workloads — closed-loop I/O + compute workload drivers
+//!
+//! The paper evaluates live storage migration under three workloads
+//! (§5.3–§5.5), all reproduced here as deterministic closed-loop drivers:
+//!
+//! * [`Ior`] — the HPC I/O benchmark: iterations of *write 1 GB in 256 KB
+//!   blocks, then read it back*, through the POSIX interface.
+//! * [`AsyncWr`] — the authors' own benchmark: fixed-length iterations that
+//!   overlap a CPU burst with an asynchronous write of the previous
+//!   buffer (≈6 MB/s sustained I/O pressure).
+//! * [`Cm1`] — one MPI rank of the CM1 atmospheric model: a long compute
+//!   phase with halo exchanges, then a ~200 MB dump to local storage,
+//!   barrier-synchronized with all other ranks (which is why one slowed VM
+//!   drags the whole application, §5.5).
+//!
+//! plus synthetic drivers ([`SeqWrite`], [`HotspotWrite`], [`IdleWorkload`])
+//! used by unit tests and the Threshold/priority ablations.
+//!
+//! ## Driver model
+//!
+//! A workload is a state machine that the engine drives by completions: it
+//! emits [`Action`]s (compute bursts, disk I/O, fsync, peer messages,
+//! barriers), and the engine calls [`Workload::on_complete`] whenever one
+//! finishes. Drivers never read the clock except through completion
+//! timestamps, so the same driver runs identically under any storage
+//! transfer strategy — the whole point of the comparison.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod asyncwr;
+mod cm1;
+mod ior;
+mod spec;
+mod synthetic;
+
+pub use asyncwr::{AsyncWr, AsyncWrParams};
+pub use cm1::{Cm1, Cm1Params};
+pub use ior::{Ior, IorParams};
+pub use spec::WorkloadSpec;
+pub use synthetic::{HotspotWrite, IdleWorkload, SeqWrite};
+
+use lsm_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Correlates an issued [`Action`] with its completion callback.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActionToken(pub u64);
+
+/// Direction of a disk I/O.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum IoKind {
+    /// Read from the virtual disk.
+    Read,
+    /// Write to the virtual disk.
+    Write,
+}
+
+/// One step a workload asks the engine to perform.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Burn CPU for a nominal duration (stretched by the engine when the
+    /// VM is paused or migration steals cycles).
+    Compute {
+        /// Completion token.
+        token: ActionToken,
+        /// Nominal (unstretched) duration.
+        dur: SimDuration,
+    },
+    /// Disk I/O against the VM's virtual disk.
+    Io {
+        /// Completion token.
+        token: ActionToken,
+        /// Read or write.
+        kind: IoKind,
+        /// Byte offset within the virtual disk.
+        offset: u64,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Flush dirty page-cache state to disk (POSIX `fsync`).
+    Fsync {
+        /// Completion token.
+        token: ActionToken,
+    },
+    /// Send application bytes to a peer rank of the same workload group
+    /// (CM1 halo exchange). Completes when delivered.
+    NetSend {
+        /// Completion token.
+        token: ActionToken,
+        /// Destination rank within the workload group.
+        peer: u32,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Wait until every rank of the group reaches the same barrier index.
+    Barrier {
+        /// Completion token.
+        token: ActionToken,
+    },
+    /// The workload is done; the engine stops scheduling it.
+    Finish,
+}
+
+/// Static memory behaviour a workload exhibits (mapped onto
+/// `lsm_hypervisor::MemoryProfile` by the engine; page-cache dirtying from
+/// disk writes is added dynamically on top of `anon_dirty_rate`).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MemSpec {
+    /// Non-zero guest memory at migration time (OS + app + page cache).
+    pub touched_bytes: u64,
+    /// Writable working set (bounds per-round re-dirtying).
+    pub wss_bytes: u64,
+    /// Anonymous-memory dirty rate while computing, bytes/second.
+    pub anon_dirty_rate: f64,
+}
+
+/// Observable progress counters, read by the experiment harness.
+#[derive(Clone, Copy, Default, Debug, Serialize, Deserialize)]
+pub struct Progress {
+    /// Completed iterations.
+    pub iterations: u32,
+    /// Bytes written to the virtual disk so far.
+    pub bytes_written: u64,
+    /// Bytes read from the virtual disk so far.
+    pub bytes_read: u64,
+    /// Nominal CPU seconds of *completed* compute bursts — the paper's
+    /// "computational potential" counter (Fig 4c).
+    pub useful_compute_secs: f64,
+}
+
+/// A closed-loop workload driver (see module docs).
+pub trait Workload: Send {
+    /// Human-readable name for reports.
+    fn label(&self) -> &'static str;
+
+    /// Begin execution; returns the initial actions.
+    fn start(&mut self, now: SimTime) -> Vec<Action>;
+
+    /// An action completed; returns follow-up actions. The engine calls
+    /// this exactly once per issued token, in completion-time order.
+    fn on_complete(&mut self, now: SimTime, token: ActionToken) -> Vec<Action>;
+
+    /// Memory behaviour for the hypervisor's migration model.
+    fn mem_spec(&self) -> MemSpec;
+
+    /// Progress counters.
+    fn progress(&self) -> Progress;
+
+    /// True once the driver has emitted [`Action::Finish`].
+    fn is_finished(&self) -> bool;
+}
+
+/// Shared helper: monotonically increasing token allocator.
+#[derive(Clone, Copy, Default, Debug)]
+pub(crate) struct TokenAlloc(u64);
+
+impl TokenAlloc {
+    pub(crate) fn next(&mut self) -> ActionToken {
+        let t = ActionToken(self.0);
+        self.0 += 1;
+        t
+    }
+}

@@ -1,0 +1,393 @@
+//! Synthetic drivers for tests and ablations.
+
+use crate::{Action, ActionToken, IoKind, MemSpec, Progress, TokenAlloc, Workload};
+use lsm_simcore::rng::DetRng;
+use lsm_simcore::time::{SimDuration, SimTime};
+use lsm_simcore::units::MIB;
+
+/// Paced sequential writer: writes `block` bytes, then "thinks" long
+/// enough to hold the requested average pressure. A minimal stand-in for
+/// any steady log-structured I/O source.
+pub struct SeqWrite {
+    block: u64,
+    think: SimDuration,
+    total: u64,
+    offset: u64,
+    written: u64,
+    tokens: TokenAlloc,
+    awaiting_io: Option<ActionToken>,
+    progress: Progress,
+    finished: bool,
+}
+
+impl SeqWrite {
+    /// Write `total` bytes at `offset` in `block`-sized ops, pacing with
+    /// `think` between ops.
+    pub fn new(offset: u64, total: u64, block: u64, think: SimDuration) -> Self {
+        assert!(block > 0 && total >= block);
+        SeqWrite {
+            block,
+            think,
+            total,
+            offset,
+            written: 0,
+            tokens: TokenAlloc::default(),
+            awaiting_io: None,
+            progress: Progress::default(),
+            finished: false,
+        }
+    }
+
+    fn next_write(&mut self) -> Action {
+        let t = self.tokens.next();
+        self.awaiting_io = Some(t);
+        Action::Io {
+            token: t,
+            kind: IoKind::Write,
+            offset: self.offset + self.written,
+            len: self.block.min(self.total - self.written),
+        }
+    }
+}
+
+impl Workload for SeqWrite {
+    fn label(&self) -> &'static str {
+        "SeqWrite"
+    }
+
+    fn start(&mut self, _now: SimTime) -> Vec<Action> {
+        vec![self.next_write()]
+    }
+
+    fn on_complete(&mut self, _now: SimTime, token: ActionToken) -> Vec<Action> {
+        if self.awaiting_io == Some(token) {
+            self.awaiting_io = None;
+            self.written += self.block.min(self.total - self.written);
+            self.progress.bytes_written = self.written;
+            if self.written >= self.total {
+                self.finished = true;
+                return vec![Action::Finish];
+            }
+            if self.think.is_zero() {
+                return vec![self.next_write()];
+            }
+            return vec![Action::Compute {
+                token: self.tokens.next(),
+                dur: self.think,
+            }];
+        }
+        // think burst finished
+        self.progress.useful_compute_secs += self.think.as_secs_f64();
+        vec![self.next_write()]
+    }
+
+    fn mem_spec(&self) -> MemSpec {
+        MemSpec {
+            touched_bytes: 256 * MIB,
+            wss_bytes: 64 * MIB,
+            anon_dirty_rate: 4.0 * MIB as f64,
+        }
+    }
+
+    fn progress(&self) -> Progress {
+        self.progress
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+/// Zipf-skewed overwriting writer: a fraction of "hot" blocks is rewritten
+/// over and over — the workload class for which the paper's `Threshold`
+/// exists (repeatedly overwritten content should *not* be pushed again and
+/// again, §4.1).
+pub struct HotspotWrite {
+    region_offset: u64,
+    region_blocks: u64,
+    block: u64,
+    count: u64,
+    theta: f64,
+    /// Probability that an op is a read of the same Zipf distribution
+    /// (0 = pure writer). Hot chunks are then also hot to *read* — the
+    /// access pattern the paper's prioritized prefetch is built for.
+    read_fraction: f64,
+    think: SimDuration,
+    rng: DetRng,
+    issued: u64,
+    last_was_read: bool,
+    tokens: TokenAlloc,
+    awaiting_io: bool,
+    progress: Progress,
+    finished: bool,
+}
+
+impl HotspotWrite {
+    /// `count` writes of `block` bytes into a region of `region_blocks`
+    /// blocks at `region_offset`, with Zipf exponent `theta` (0 = uniform).
+    pub fn new(
+        region_offset: u64,
+        region_blocks: u64,
+        block: u64,
+        count: u64,
+        theta: f64,
+        think: SimDuration,
+        rng: DetRng,
+    ) -> Self {
+        Self::with_reads(region_offset, region_blocks, block, count, theta, 0.0, think, rng)
+    }
+
+    /// Like [`Self::new`] with a fraction of ops issued as reads.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_reads(
+        region_offset: u64,
+        region_blocks: u64,
+        block: u64,
+        count: u64,
+        theta: f64,
+        read_fraction: f64,
+        think: SimDuration,
+        rng: DetRng,
+    ) -> Self {
+        assert!(region_blocks > 0 && block > 0 && count > 0);
+        assert!((0.0..=1.0).contains(&read_fraction));
+        HotspotWrite {
+            region_offset,
+            region_blocks,
+            block,
+            count,
+            theta,
+            read_fraction,
+            think,
+            rng,
+            issued: 0,
+            last_was_read: false,
+            tokens: TokenAlloc::default(),
+            awaiting_io: false,
+            progress: Progress::default(),
+            finished: false,
+        }
+    }
+
+    fn next_op(&mut self) -> Action {
+        let b = if self.theta <= 0.0 {
+            self.rng.below(self.region_blocks)
+        } else {
+            self.rng.zipf(self.region_blocks, self.theta)
+        };
+        let read = self.read_fraction > 0.0 && self.rng.chance(self.read_fraction);
+        self.issued += 1;
+        self.awaiting_io = true;
+        self.last_was_read = read;
+        Action::Io {
+            token: self.tokens.next(),
+            kind: if read { IoKind::Read } else { IoKind::Write },
+            offset: self.region_offset + b * self.block,
+            len: self.block,
+        }
+    }
+}
+
+impl Workload for HotspotWrite {
+    fn label(&self) -> &'static str {
+        "HotspotWrite"
+    }
+
+    fn start(&mut self, _now: SimTime) -> Vec<Action> {
+        vec![self.next_op()]
+    }
+
+    fn on_complete(&mut self, _now: SimTime, _token: ActionToken) -> Vec<Action> {
+        if self.awaiting_io {
+            self.awaiting_io = false;
+            if self.last_was_read {
+                self.progress.bytes_read += self.block;
+            } else {
+                self.progress.bytes_written += self.block;
+            }
+            if self.issued >= self.count {
+                self.finished = true;
+                return vec![Action::Finish];
+            }
+            if self.think.is_zero() {
+                return vec![self.next_op()];
+            }
+            return vec![Action::Compute {
+                token: self.tokens.next(),
+                dur: self.think,
+            }];
+        }
+        self.progress.useful_compute_secs += self.think.as_secs_f64();
+        vec![self.next_op()]
+    }
+
+    fn mem_spec(&self) -> MemSpec {
+        MemSpec {
+            touched_bytes: 256 * MIB,
+            wss_bytes: 64 * MIB,
+            anon_dirty_rate: 4.0 * MIB as f64,
+        }
+    }
+
+    fn progress(&self) -> Progress {
+        self.progress
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+/// Pure-compute workload (no I/O): the memory-migration-only control case,
+/// equivalent to migrating a VM whose storage never changes.
+pub struct IdleWorkload {
+    bursts: u32,
+    burst: SimDuration,
+    done: u32,
+    tokens: TokenAlloc,
+    progress: Progress,
+    finished: bool,
+}
+
+impl IdleWorkload {
+    /// `bursts` compute bursts of `burst` each.
+    pub fn new(bursts: u32, burst: SimDuration) -> Self {
+        IdleWorkload {
+            bursts,
+            burst,
+            done: 0,
+            tokens: TokenAlloc::default(),
+            progress: Progress::default(),
+            finished: false,
+        }
+    }
+}
+
+impl Workload for IdleWorkload {
+    fn label(&self) -> &'static str {
+        "Idle"
+    }
+
+    fn start(&mut self, _now: SimTime) -> Vec<Action> {
+        if self.bursts == 0 {
+            self.finished = true;
+            return vec![Action::Finish];
+        }
+        vec![Action::Compute {
+            token: self.tokens.next(),
+            dur: self.burst,
+        }]
+    }
+
+    fn on_complete(&mut self, _now: SimTime, _token: ActionToken) -> Vec<Action> {
+        self.done += 1;
+        self.progress.iterations = self.done;
+        self.progress.useful_compute_secs += self.burst.as_secs_f64();
+        if self.done >= self.bursts {
+            self.finished = true;
+            return vec![Action::Finish];
+        }
+        vec![Action::Compute {
+            token: self.tokens.next(),
+            dur: self.burst,
+        }]
+    }
+
+    fn mem_spec(&self) -> MemSpec {
+        MemSpec {
+            touched_bytes: 512 * MIB,
+            wss_bytes: 128 * MIB,
+            anon_dirty_rate: 16.0 * MIB as f64,
+        }
+    }
+
+    fn progress(&self) -> Progress {
+        self.progress
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut dyn Workload) -> Progress {
+        let mut queue = w.start(SimTime::ZERO);
+        let mut guard = 0;
+        while let Some(a) = queue.pop() {
+            guard += 1;
+            assert!(guard < 100_000);
+            match a {
+                Action::Io { token, .. }
+                | Action::Compute { token, .. }
+                | Action::Fsync { token }
+                | Action::NetSend { token, .. }
+                | Action::Barrier { token } => queue.extend(w.on_complete(SimTime::ZERO, token)),
+                Action::Finish => break,
+            }
+        }
+        assert!(w.is_finished());
+        w.progress()
+    }
+
+    #[test]
+    fn seq_write_covers_total() {
+        let mut w = SeqWrite::new(0, 10 * MIB, MIB, SimDuration::ZERO);
+        let p = drain(&mut w);
+        assert_eq!(p.bytes_written, 10 * MIB);
+    }
+
+    #[test]
+    fn seq_write_paced_alternates_compute() {
+        let mut w = SeqWrite::new(0, 2 * MIB, MIB, SimDuration::from_millis(10));
+        let first = w.start(SimTime::ZERO);
+        let Action::Io { token, .. } = first[0] else {
+            panic!()
+        };
+        let next = w.on_complete(SimTime::ZERO, token);
+        assert!(matches!(next[0], Action::Compute { .. }));
+    }
+
+    #[test]
+    fn hotspot_write_skews_offsets() {
+        let mut w = HotspotWrite::new(
+            0,
+            1000,
+            MIB,
+            2000,
+            0.9,
+            SimDuration::ZERO,
+            DetRng::new(7),
+        );
+        let mut offsets = Vec::new();
+        let mut queue = w.start(SimTime::ZERO);
+        while let Some(a) = queue.pop() {
+            match a {
+                Action::Io { token, offset, .. } => {
+                    offsets.push(offset / MIB);
+                    queue.extend(w.on_complete(SimTime::ZERO, token));
+                }
+                Action::Finish => break,
+                _ => unreachable!(),
+            }
+        }
+        assert_eq!(offsets.len(), 2000);
+        let low_decile = offsets.iter().filter(|&&b| b < 100).count();
+        assert!(
+            low_decile > 800,
+            "zipf 0.9 should concentrate writes, got {low_decile}/2000 in the lowest decile"
+        );
+    }
+
+    #[test]
+    fn idle_accumulates_compute_only() {
+        let mut w = IdleWorkload::new(4, SimDuration::from_secs(5));
+        let p = drain(&mut w);
+        assert_eq!(p.iterations, 4);
+        assert_eq!(p.bytes_written, 0);
+        assert!((p.useful_compute_secs - 20.0).abs() < 1e-9);
+    }
+}

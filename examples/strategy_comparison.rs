@@ -1,0 +1,47 @@
+//! Compare all five storage transfer strategies on the same IOR workload
+//! (a scaled-down Figure 3 of the paper).
+//!
+//! ```text
+//! cargo run --release --example strategy_comparison
+//! ```
+
+use lsm::core::policy::StrategyKind;
+use lsm::experiments::scenario::{run_scenario, ScenarioSpec};
+use lsm::netsim::TrafficTag;
+use lsm::simcore::units::MIB;
+use lsm::workloads::{IorParams, WorkloadSpec};
+
+fn main() {
+    let ior = WorkloadSpec::Ior(IorParams {
+        file_size: 512 * MIB,
+        iterations: 6,
+        ..Default::default()
+    });
+
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "strategy", "time (s)", "down (ms)", "traffic (MB)", "pushed", "pulled"
+    );
+    for strategy in StrategyKind::ALL {
+        let spec =
+            ScenarioSpec::single_migration(strategy, ior.clone(), 30.0).with_horizon(1000.0);
+        let r = run_scenario(&spec);
+        let m = r.the_migration();
+        assert!(m.completed, "{} did not finish", strategy.label());
+        assert_eq!(m.consistent, Some(true));
+        let storage = r.traffic_for(TrafficTag::StoragePush)
+            + r.traffic_for(TrafficTag::StoragePull)
+            + r.traffic_for(TrafficTag::Mirror);
+        println!(
+            "{:<14} {:>10.2} {:>10.0} {:>12.0} {:>10} {:>10}",
+            strategy.label(),
+            m.migration_time.unwrap().as_secs_f64(),
+            m.downtime.as_secs_f64() * 1e3,
+            (r.traffic_for(TrafficTag::Memory) + storage) as f64 / MIB as f64,
+            m.pushed_chunks,
+            m.pulled_chunks,
+        );
+    }
+    println!("\n(lower migration time and traffic are better; the hybrid");
+    println!(" scheme pushes cold chunks early and prefetches hot ones late)");
+}

@@ -1,0 +1,25 @@
+//! Sweep the hybrid scheme's `Threshold` on a hot-overwrite workload
+//! (ablation A): small thresholds stop pushing hot chunks early and leave
+//! them for the prioritized prefetch; `Threshold = ∞` keeps re-pushing
+//! like pre-copy.
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use lsm::experiments::ablations::{run_threshold_ablation, threshold_table};
+use lsm::experiments::Scale;
+
+fn main() {
+    let points = run_threshold_ablation(Scale::Quick);
+    println!("{}", threshold_table(&points).render());
+    let bounded = points.iter().find(|p| p.threshold == 3).expect("threshold 3");
+    let unbounded = points
+        .iter()
+        .find(|p| p.threshold == u32::MAX)
+        .expect("unbounded");
+    println!(
+        "storage moved at Threshold=3: {:.0} MB vs unbounded push: {:.0} MB",
+        bounded.storage_traffic_mb, unbounded.storage_traffic_mb
+    );
+}

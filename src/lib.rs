@@ -1,0 +1,44 @@
+//! # lsm — Hybrid Local Storage Transfer for Live Migration
+//!
+//! Facade crate re-exporting the full public API of the HPDC'12
+//! reproduction ("A Hybrid Local Storage Transfer Scheme for Live Migration
+//! of I/O Intensive Workloads", Nicolae & Cappello, 2012).
+//!
+//! The workspace is organized bottom-up:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`simcore`] | deterministic DES kernel: time, events, fair-shared resources, metrics |
+//! | [`netsim`] | flow-level datacenter network with max–min fair sharing |
+//! | [`blockdev`] | chunked COW virtual disks, write counters, page cache, disk scheduler |
+//! | [`repo`] | BlobSeer-like striped repository + PVFS-like parallel FS |
+//! | [`hypervisor`] | VM lifecycle and pre-/post-copy memory migration |
+//! | [`workloads`] | IOR, AsyncWR, CM1 and synthetic closed-loop drivers |
+//! | [`core`] | the migration engine and the five storage transfer policies |
+//! | [`experiments`] | scenario harnesses regenerating every figure of the paper |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lsm::experiments::scenario::{ScenarioSpec, run_scenario};
+//! use lsm::core::policy::StrategyKind;
+//! use lsm::workloads::WorkloadSpec;
+//!
+//! // One VM running AsyncWR, migrated at t=20s with the paper's hybrid scheme.
+//! let spec = ScenarioSpec::single_migration(
+//!     StrategyKind::Hybrid,
+//!     WorkloadSpec::async_wr_short(),
+//!     20.0,
+//! );
+//! let report = run_scenario(&spec);
+//! assert!(report.migrations[0].completed);
+//! ```
+
+pub use lsm_blockdev as blockdev;
+pub use lsm_core as core;
+pub use lsm_experiments as experiments;
+pub use lsm_hypervisor as hypervisor;
+pub use lsm_netsim as netsim;
+pub use lsm_repo as repo;
+pub use lsm_simcore as simcore;
+pub use lsm_workloads as workloads;

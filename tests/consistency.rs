@@ -1,0 +1,105 @@
+//! Workspace-level consistency sweep: every strategy × every workload
+//! class must deliver a bit-exact destination disk, across varied
+//! migration timings.
+
+use lsm::core::config::ClusterConfig;
+use lsm::core::engine::Engine;
+use lsm::core::policy::StrategyKind;
+use lsm::simcore::units::MIB;
+use lsm::simcore::SimTime;
+use lsm::workloads::WorkloadSpec;
+
+fn workloads() -> Vec<(&'static str, WorkloadSpec)> {
+    vec![
+        (
+            "seq",
+            WorkloadSpec::SeqWrite {
+                offset: 0,
+                total: 48 * MIB,
+                block: MIB,
+                think_secs: 0.01,
+            },
+        ),
+        (
+            "hotspot",
+            WorkloadSpec::HotspotWrite {
+                offset: 8 * MIB,
+                region_blocks: 64,
+                block: 256 * 1024,
+                count: 2500,
+                theta: 0.8,
+                think_secs: 0.01,
+                seed: 3,
+            },
+        ),
+        (
+            "ior",
+            WorkloadSpec::Ior(lsm::workloads::IorParams {
+                file_size: 24 * MIB,
+                block_size: 256 * 1024,
+                iterations: 4,
+                file_offset: 16 * MIB,
+                fsync_per_phase: true,
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn all_strategies_migrate_consistently_at_various_times() {
+    for strategy in StrategyKind::ALL {
+        for (name, wl) in workloads() {
+            for migrate_at in [0.5, 3.0, 12.0] {
+                let mut eng = Engine::new(ClusterConfig {
+                    dirty_expire_secs: 2.0,
+                    ..ClusterConfig::small_test()
+                });
+                let vm = eng.add_vm(0, &wl, strategy, SimTime::ZERO);
+                eng.schedule_migration(vm, 2, SimTime::from_secs_f64(migrate_at));
+                let r = eng.run_until(SimTime::from_secs(1200));
+                let m = r.the_migration();
+                assert!(
+                    m.completed,
+                    "{}/{name}@{migrate_at}: incomplete",
+                    strategy.label()
+                );
+                assert_eq!(
+                    m.consistent,
+                    Some(true),
+                    "{}/{name}@{migrate_at}: destination diverged",
+                    strategy.label()
+                );
+                assert!(
+                    r.vms[0].finished_at.is_some(),
+                    "{}/{name}@{migrate_at}: workload stuck",
+                    strategy.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn back_to_back_migrations_of_different_vms() {
+    let mut eng = Engine::new(ClusterConfig {
+        nodes: 8,
+        ..ClusterConfig::small_test()
+    });
+    let wl = WorkloadSpec::SeqWrite {
+        offset: 0,
+        total: 32 * MIB,
+        block: MIB,
+        think_secs: 0.02,
+    };
+    let a = eng.add_vm(0, &wl, StrategyKind::Hybrid, SimTime::ZERO);
+    let b = eng.add_vm(1, &wl, StrategyKind::Hybrid, SimTime::ZERO);
+    eng.schedule_migration(a, 4, SimTime::from_secs_f64(1.0));
+    eng.schedule_migration(b, 5, SimTime::from_secs_f64(2.5));
+    let r = eng.run_until(SimTime::from_secs(600));
+    assert_eq!(r.migrations.len(), 2);
+    for m in &r.migrations {
+        assert!(m.completed && m.consistent == Some(true));
+    }
+    assert_eq!(r.vms[0].final_host, 4);
+    assert_eq!(r.vms[1].final_host, 5);
+}

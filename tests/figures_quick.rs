@@ -1,0 +1,87 @@
+//! Workspace-level integration tests: the figure harnesses at Quick scale
+//! must reproduce the paper's qualitative orderings end-to-end through
+//! the public facade.
+
+use lsm::core::policy::StrategyKind;
+use lsm::experiments::{fig3, fig4, fig5, Scale};
+
+#[test]
+fn fig3_quick_shapes() {
+    let r = fig3::run_fig3_strategies(
+        Scale::Quick,
+        &[
+            StrategyKind::Hybrid,
+            StrategyKind::Postcopy,
+            StrategyKind::SharedFs,
+        ],
+    );
+    for row in &r.rows {
+        assert!(row.completed, "{} {}", row.workload, row.strategy.label());
+        assert!(row.consistent, "{} {}", row.workload, row.strategy.label());
+    }
+    // pvfs-shared migrates memory only: fastest migration of the three.
+    for wl in ["IOR", "AsyncWR"] {
+        let pvfs = r.row(wl, StrategyKind::SharedFs).migration_time_s;
+        let hybrid = r.row(wl, StrategyKind::Hybrid).migration_time_s;
+        let postcopy = r.row(wl, StrategyKind::Postcopy).migration_time_s;
+        assert!(
+            pvfs < hybrid,
+            "{wl}: pvfs ({pvfs:.1}s) should beat hybrid ({hybrid:.1}s)"
+        );
+        assert!(
+            hybrid <= postcopy + 0.5,
+            "{wl}: hybrid ({hybrid:.1}s) should not lose to postcopy ({postcopy:.1}s)"
+        );
+    }
+    // pvfs-shared throughput collapses relative to local storage.
+    let pvfs_write = r.row("IOR", StrategyKind::SharedFs).norm_write_pct;
+    let hybrid_write = r.row("IOR", StrategyKind::Hybrid).norm_write_pct;
+    assert!(
+        pvfs_write < hybrid_write / 2.0,
+        "pvfs write {pvfs_write:.0}% vs hybrid {hybrid_write:.0}%"
+    );
+}
+
+#[test]
+fn fig4_quick_shapes() {
+    let r = fig4::run_fig4_strategies(
+        Scale::Quick,
+        &[StrategyKind::Hybrid, StrategyKind::SharedFs],
+    );
+    for pt in &r.points {
+        assert!(pt.all_ok, "{} k={}", pt.strategy.label(), pt.k);
+        assert!(pt.avg_migration_time_s.is_finite());
+    }
+    // Traffic grows with the number of concurrent migrations for the
+    // local-storage scheme (memory + storage per migration)…
+    let t1 = r.point(StrategyKind::Hybrid, 1).total_traffic_gb;
+    let t4 = r.point(StrategyKind::Hybrid, 4).total_traffic_gb;
+    assert!(t4 > 2.0 * t1, "hybrid traffic must scale with k: {t1} -> {t4}");
+    // …while pvfs pays a large I/O tax regardless of k.
+    let p1 = r.point(StrategyKind::SharedFs, 1).total_traffic_gb;
+    assert!(
+        p1 > t1,
+        "pvfs baseline traffic ({p1:.2} GB) should exceed hybrid at k=1 ({t1:.2} GB)"
+    );
+}
+
+#[test]
+fn fig5_quick_shapes() {
+    let r = fig5::run_fig5_strategies(
+        Scale::Quick,
+        &[StrategyKind::Hybrid, StrategyKind::Precopy],
+    );
+    for pt in &r.points {
+        assert!(pt.all_ok, "{} n={}", pt.strategy.label(), pt.n);
+    }
+    // Cumulated migration time grows with the number of migrations.
+    let h1 = r.point(StrategyKind::Hybrid, 1).cumulated_migration_time_s;
+    let h2 = r.point(StrategyKind::Hybrid, 2).cumulated_migration_time_s;
+    assert!(h2 > h1, "cumulated time must grow: {h1:.1} -> {h2:.1}");
+    // Migrations cost application runtime.
+    assert!(
+        r.point(StrategyKind::Hybrid, 2).runtime_increase_s > -1.0,
+        "runtime increase should not be significantly negative"
+    );
+    assert!(r.baseline_runtime_s > 0.0);
+}
