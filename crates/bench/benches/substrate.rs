@@ -105,14 +105,17 @@ fn bench_full_migration(c: &mut Criterion) {
     // end-to-end path (≈300k events).
     g.bench_function("paper_scale_ior_hybrid_migration", |b| {
         b.iter(|| {
-            let mut eng = Engine::new(ClusterConfig::graphene(8));
-            let vm = eng.add_vm(
-                0,
-                &WorkloadSpec::ior_paper(),
-                StrategyKind::Hybrid,
-                SimTime::ZERO,
-            );
-            eng.schedule_migration(vm, 1, SimTime::from_secs(100));
+            let mut eng = Engine::new(ClusterConfig::graphene(8)).unwrap();
+            let vm = eng
+                .add_vm(
+                    0,
+                    &WorkloadSpec::ior_paper(),
+                    StrategyKind::Hybrid,
+                    SimTime::ZERO,
+                )
+                .unwrap();
+            eng.schedule_migration(vm, 1, SimTime::from_secs(100))
+                .unwrap();
             let r = eng.run_until(SimTime::from_secs(400));
             assert!(r.the_migration().completed);
             std::hint::black_box(r.events)

@@ -37,8 +37,8 @@ pub fn byte_range_to_chunks(
     let first = offset / chunk_size;
     let end = offset + len; // exclusive
     let last = (end - 1) / chunk_size;
-    let first_partial = offset % chunk_size != 0;
-    let last_partial = end % chunk_size != 0;
+    let first_partial = !offset.is_multiple_of(chunk_size);
+    let last_partial = !end.is_multiple_of(chunk_size);
     (
         ChunkId(first as u32),
         ChunkId(last as u32),
@@ -59,7 +59,7 @@ impl ChunkSet {
     /// An empty set sized for `len` chunks.
     pub fn new(len: u32) -> Self {
         ChunkSet {
-            words: vec![0; (len as usize + 63) / 64],
+            words: vec![0; (len as usize).div_ceil(64)],
             len,
             count: 0,
         }

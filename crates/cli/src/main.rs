@@ -1,32 +1,158 @@
 //! `lsm` — command-line driver for the HPDC'12 reproduction experiments.
 //!
 //! ```text
+//! lsm run <scenario.toml|scenario.json> [--json] [--progress]
 //! lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
 //! lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
 //! lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
-//! lsm ablate <threshold|priority|window> [--quick] [--csv]
+//! lsm ablate <threshold|priority|window|memstrategy> [--quick] [--csv]
 //! lsm strategies
 //! lsm demo [--strategy <name>]
 //! ```
+//!
+//! Flag parsing is strict: unknown flags, missing flag values and
+//! unknown panel/strategy names are usage errors with a nonzero exit,
+//! never silently ignored.
 
+use lsm_core::engine::{JobId, MigrationProgress, MigrationStatus, Milestone};
+use lsm_core::engine::{Observer, RunControl};
 use lsm_core::policy::StrategyKind;
+use lsm_core::RunReport;
+use lsm_experiments::scenario::{run_scenario, run_scenario_observed, ScenarioSpec};
 use lsm_experiments::{ablations, fig3, fig4, fig5, Scale};
+use lsm_simcore::time::SimTime;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let quick = args.iter().any(|a| a == "--quick");
-    let csv = args.iter().any(|a| a == "--csv");
-    let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let panel = flag_value(&args, "--panel");
+const USAGE: &str = "usage:
+  lsm run <scenario.toml|scenario.json> [--json] [--progress]
+  lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
+  lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
+  lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
+  lsm ablate <threshold|priority|window|memstrategy> [--quick] [--csv]
+  lsm strategies
+  lsm demo [--strategy <name>] [--quiet]";
 
+/// Die quietly (like `cat`) when stdout's reader goes away — Rust
+/// ignores SIGPIPE by default, which turns `lsm run ... | head` into a
+/// broken-pipe panic mid-report.
+#[cfg(unix)]
+fn reset_sigpipe() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    match real_main(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(UsageError(msg)) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct UsageError(String);
+
+impl From<String> for UsageError {
+    fn from(s: String) -> Self {
+        UsageError(s)
+    }
+}
+
+/// Strict flag parser: every argument must be consumed by the command.
+struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    fn new(args: Vec<String>) -> Self {
+        Args { rest: args }
+    }
+
+    /// Consume a boolean flag.
+    fn flag(&mut self, name: &str) -> bool {
+        match self.rest.iter().position(|a| a == name) {
+            Some(i) => {
+                self.rest.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consume a `--flag value` pair; error if the value is missing.
+    fn value(&mut self, name: &str) -> Result<Option<String>, UsageError> {
+        let Some(i) = self.rest.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        if i + 1 >= self.rest.len() || self.rest[i + 1].starts_with("--") {
+            return Err(UsageError(format!("flag {name} requires a value")));
+        }
+        let v = self.rest.remove(i + 1);
+        self.rest.remove(i);
+        Ok(Some(v))
+    }
+
+    /// Consume the next positional argument.
+    fn positional(&mut self, what: &str) -> Result<String, UsageError> {
+        let i = self
+            .rest
+            .iter()
+            .position(|a| !a.starts_with("--"))
+            .ok_or_else(|| UsageError(format!("missing {what}")))?;
+        Ok(self.rest.remove(i))
+    }
+
+    /// Error on anything left over.
+    fn finish(self) -> Result<(), UsageError> {
+        if let Some(a) = self.rest.first() {
+            return Err(UsageError(format!("unrecognized argument `{a}`")));
+        }
+        Ok(())
+    }
+}
+
+fn parse_panel(args: &mut Args, allowed: &[&str]) -> Result<Option<String>, UsageError> {
+    let Some(p) = args.value("--panel")? else {
+        return Ok(None);
+    };
+    if !allowed.contains(&p.as_str()) {
+        return Err(UsageError(format!(
+            "unknown panel `{p}` (expected one of: {})",
+            allowed.join(", ")
+        )));
+    }
+    Ok(Some(p))
+}
+
+fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
+    let mut args = Args::new(raw);
+    let cmd = args.positional("command")?;
     match cmd.as_str() {
+        "run" => {
+            let path = args.positional("scenario file")?;
+            let json = args.flag("--json");
+            let progress = args.flag("--progress");
+            args.finish()?;
+            cmd_run(&path, json, progress)
+        }
         "fig3" => {
-            let r = fig3::run_fig3(scale);
+            let quick = args.flag("--quick");
+            let csv = args.flag("--csv");
+            let panel = parse_panel(&mut args, &["time", "traffic", "throughput"])?;
+            args.finish()?;
+            let r = fig3::run_fig3(scale(quick));
             let tables = match panel.as_deref() {
                 Some("time") => vec![r.table_time()],
                 Some("traffic") => vec![r.table_traffic()],
@@ -34,9 +160,14 @@ fn main() -> ExitCode {
                 _ => vec![r.table_time(), r.table_traffic(), r.table_throughput()],
             };
             emit(&tables, csv);
+            Ok(())
         }
         "fig4" => {
-            let r = fig4::run_fig4(scale);
+            let quick = args.flag("--quick");
+            let csv = args.flag("--csv");
+            let panel = parse_panel(&mut args, &["time", "traffic", "degradation"])?;
+            args.finish()?;
+            let r = fig4::run_fig4(scale(quick));
             let tables = match panel.as_deref() {
                 Some("time") => vec![r.table_time()],
                 Some("traffic") => vec![r.table_traffic()],
@@ -44,9 +175,14 @@ fn main() -> ExitCode {
                 _ => vec![r.table_time(), r.table_traffic(), r.table_degradation()],
             };
             emit(&tables, csv);
+            Ok(())
         }
         "fig5" => {
-            let r = fig5::run_fig5(scale);
+            let quick = args.flag("--quick");
+            let csv = args.flag("--csv");
+            let panel = parse_panel(&mut args, &["time", "traffic", "slowdown"])?;
+            args.finish()?;
+            let r = fig5::run_fig5(scale(quick));
             let tables = match panel.as_deref() {
                 Some("time") => vec![r.table_time()],
                 Some("traffic") => vec![r.table_traffic()],
@@ -54,12 +190,14 @@ fn main() -> ExitCode {
                 _ => vec![r.table_time(), r.table_traffic(), r.table_slowdown()],
             };
             emit(&tables, csv);
+            Ok(())
         }
         "ablate" => {
-            let Some(which) = args.get(1) else {
-                eprintln!("usage: lsm ablate <threshold|priority|window|memstrategy> [--quick]");
-                return ExitCode::FAILURE;
-            };
+            let which = args.positional("ablation name")?;
+            let quick = args.flag("--quick");
+            let csv = args.flag("--csv");
+            args.finish()?;
+            let scale = scale(quick);
             let t = match which.as_str() {
                 "threshold" => {
                     ablations::threshold_table(&ablations::run_threshold_ablation(scale))
@@ -70,13 +208,16 @@ fn main() -> ExitCode {
                     ablations::memstrategy_table(&ablations::run_memstrategy_ablation(scale))
                 }
                 other => {
-                    eprintln!("unknown ablation: {other}");
-                    return ExitCode::FAILURE;
+                    return Err(UsageError(format!(
+                        "unknown ablation `{other}` (expected threshold, priority, window or memstrategy)"
+                    )))
                 }
             };
             emit(&[t], csv);
+            Ok(())
         }
         "strategies" => {
+            args.finish()?;
             println!("Storage transfer strategies (paper Table 1):");
             for s in StrategyKind::ALL {
                 println!(
@@ -86,35 +227,30 @@ fn main() -> ExitCode {
                     s.uses_local_storage()
                 );
             }
+            Ok(())
         }
         "demo" => {
-            let strategy = flag_value(&args, "--strategy")
-                .and_then(|s| parse_strategy(&s))
-                .unwrap_or(StrategyKind::Hybrid);
-            demo(strategy);
+            let strategy = match args.value("--strategy")? {
+                Some(name) => name
+                    .parse::<StrategyKind>()
+                    .map_err(|e| UsageError(e.to_string()))?,
+                None => StrategyKind::Hybrid,
+            };
+            let quiet = args.flag("--quiet");
+            args.finish()?;
+            demo(strategy, quiet);
+            Ok(())
         }
-        other => {
-            eprintln!("unknown command: {other}\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
+        other => Err(UsageError(format!("unknown command `{other}`"))),
     }
-    ExitCode::SUCCESS
 }
 
-const USAGE: &str =
-    "usage: lsm <fig3|fig4|fig5|ablate|strategies|demo> [--quick] [--panel <p>] [--csv]";
-
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn parse_strategy(s: &str) -> Option<StrategyKind> {
-    StrategyKind::ALL
-        .into_iter()
-        .find(|k| k.label() == s || format!("{k:?}").eq_ignore_ascii_case(s))
+fn scale(quick: bool) -> Scale {
+    if quick {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    }
 }
 
 fn emit(tables: &[lsm_experiments::table::Table], csv: bool) {
@@ -127,9 +263,134 @@ fn emit(tables: &[lsm_experiments::table::Table], csv: bool) {
     }
 }
 
-/// A narrated single-migration run (the quickstart scenario).
-fn demo(strategy: StrategyKind) {
-    use lsm_experiments::scenario::{run_scenario, ScenarioSpec};
+// ---------------- `lsm run` ----------------
+
+/// Prints every job status change and milestone as the run progresses.
+struct ProgressPrinter;
+
+impl Observer for ProgressPrinter {
+    fn on_status(
+        &mut self,
+        job: JobId,
+        status: MigrationStatus,
+        now: SimTime,
+        progress: &MigrationProgress,
+    ) -> RunControl {
+        println!(
+            "[{:>9.3}s] job {} (vm {}): {} — {} rounds, {}/{} chunks pushed/pulled, {} remaining",
+            now.as_secs_f64(),
+            job.0,
+            progress.vm,
+            status.label(),
+            progress.mem_rounds,
+            progress.chunks_pushed,
+            progress.chunks_pulled,
+            progress.chunks_remaining,
+        );
+        RunControl::Continue
+    }
+
+    fn on_milestone(&mut self, job: JobId, milestone: Milestone, now: SimTime) -> RunControl {
+        if !matches!(milestone, Milestone::MemRound(_)) {
+            println!(
+                "[{:>9.3}s] job {}: {:?}",
+                now.as_secs_f64(),
+                job.0,
+                milestone
+            );
+        }
+        RunControl::Continue
+    }
+}
+
+fn cmd_run(path: &str, json: bool, progress: bool) -> Result<(), UsageError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+    let spec = if path.ends_with(".json") {
+        ScenarioSpec::from_json(&text)
+    } else {
+        ScenarioSpec::from_toml(&text)
+    }
+    .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))?;
+
+    let report = if progress {
+        run_scenario_observed(&spec, &mut ProgressPrinter)
+    } else {
+        run_scenario(&spec)
+    }
+    .map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report)
+                .map_err(|e| UsageError(format!("cannot serialize report: {e}")))?
+        );
+    } else {
+        print_report(&spec, &report);
+    }
+    Ok(())
+}
+
+fn print_report(spec: &ScenarioSpec, r: &RunReport) {
+    if let Some(name) = &spec.name {
+        println!("scenario: {name}");
+    }
+    println!(
+        "horizon {:.1}s — {} VM(s), {} migration job(s), {} events",
+        r.horizon.as_secs_f64(),
+        r.vms.len(),
+        r.migrations.len(),
+        r.events
+    );
+    for m in &r.migrations {
+        let time = m
+            .migration_time
+            .map(|d| format!("{:.2}s", d.as_secs_f64()))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "  job vm={} [{}] {}: time {}, downtime {:.0}ms, rounds {}, pushed {}, pulled {} (on-demand {}), consistent {:?}{}",
+            m.vm,
+            m.strategy.label(),
+            m.status.label(),
+            time,
+            m.downtime.as_secs_f64() * 1e3,
+            m.mem_rounds,
+            m.pushed_chunks,
+            m.pulled_chunks,
+            m.ondemand_chunks,
+            m.consistent,
+            m.failure
+                .as_ref()
+                .map(|f| format!(" — {f}"))
+                .unwrap_or_default(),
+        );
+    }
+    for v in &r.vms {
+        println!(
+            "  vm {} [{}] on node {}: {} written, {} read, finished {}",
+            v.vm,
+            v.label,
+            v.final_host,
+            lsm_simcore::units::fmt_bytes(v.bytes_written),
+            lsm_simcore::units::fmt_bytes(v.bytes_read),
+            v.finished_at
+                .map(|t| format!("at {:.1}s", t.as_secs_f64()))
+                .unwrap_or_else(|| "no".to_string()),
+        );
+    }
+    println!(
+        "  traffic: total {}, migration-attributable {}",
+        lsm_simcore::units::fmt_bytes(r.total_traffic),
+        lsm_simcore::units::fmt_bytes(r.migration_traffic)
+    );
+}
+
+// ---------------- `lsm demo` ----------------
+
+/// A narrated single-migration run (the quickstart scenario), built on
+/// the observer API so progress is visible while it runs.
+fn demo(strategy: StrategyKind, quiet: bool) {
     use lsm_workloads::WorkloadSpec;
 
     println!(
@@ -137,10 +398,20 @@ fn demo(strategy: StrategyKind) {
         strategy.label()
     );
     let spec = ScenarioSpec::single_migration(strategy, WorkloadSpec::async_wr_short(), 20.0)
-        .with_horizon(400.0);
-    let r = run_scenario(&spec);
+        .with_horizon(400.0)
+        .with_name("demo");
+    let r = if quiet {
+        run_scenario(&spec)
+    } else {
+        run_scenario_observed(&spec, &mut ProgressPrinter)
+    }
+    .expect("demo scenario is valid");
     let m = r.the_migration();
-    println!("  requested at        : {:.1}s", m.requested_at.as_secs_f64());
+    println!("  status              : {}", m.status.label());
+    println!(
+        "  requested at        : {:.1}s",
+        m.requested_at.as_secs_f64()
+    );
     if let Some(t) = m.control_at {
         println!("  control transferred : {:.1}s", t.as_secs_f64());
     }
@@ -149,7 +420,9 @@ fn demo(strategy: StrategyKind) {
     }
     println!(
         "  migration time      : {:.1}s",
-        m.migration_time.map(|d| d.as_secs_f64()).unwrap_or(f64::NAN)
+        m.migration_time
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(f64::NAN)
     );
     println!(
         "  downtime            : {:.0}ms",

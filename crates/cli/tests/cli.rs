@@ -1,0 +1,178 @@
+//! End-to-end tests of the `lsm` binary: strict flag parsing (usage
+//! errors exit nonzero) and the `run <scenario>` path.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lsm(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lsm"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).to_string()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+#[test]
+fn no_command_is_a_usage_error() {
+    let out = lsm(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = lsm(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn panel_without_value_is_a_usage_error() {
+    let out = lsm(&["fig3", "--panel"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--panel requires a value"));
+}
+
+#[test]
+fn unknown_panel_is_a_usage_error() {
+    let out = lsm(&["fig3", "--quick", "--panel", "bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown panel `bogus`"), "stderr: {err}");
+    assert!(err.contains("throughput"), "lists the valid panels: {err}");
+}
+
+#[test]
+fn strategy_without_value_is_a_usage_error() {
+    let out = lsm(&["demo", "--strategy"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--strategy requires a value"));
+}
+
+#[test]
+fn unknown_strategy_is_a_usage_error() {
+    let out = lsm(&["demo", "--strategy", "warp-drive"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown strategy `warp-drive`"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("our-approach"), "lists valid names: {err}");
+}
+
+#[test]
+fn stray_arguments_are_usage_errors() {
+    let out = lsm(&["strategies", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unrecognized argument"));
+}
+
+#[test]
+fn strategies_lists_all_five() {
+    let out = lsm(&["strategies"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for name in [
+        "our-approach",
+        "precopy",
+        "mirror",
+        "postcopy",
+        "pvfs-shared",
+    ] {
+        assert!(text.contains(name), "missing {name}: {text}");
+    }
+}
+
+#[test]
+fn run_missing_file_is_an_error() {
+    let out = lsm(&["run", "/nonexistent/scenario.toml"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot read"));
+}
+
+#[test]
+fn run_invalid_scenario_is_an_error() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("lsm-cli-test-bad-scenario.toml");
+    // Node 99 does not exist in a 4-node cluster.
+    std::fs::write(
+        &path,
+        "strategy = \"our-approach\"\ngrouped = false\nhorizon_secs = 10.0\nmigrations = []\n\
+         [cluster]\nnodes = 4\n\n[[vms]]\nnode = 99\n\
+         workload = { Idle = { bursts = 1, burst_secs = 0.1 } }\n",
+    )
+    .unwrap();
+    let out = lsm(&["run", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("node 99 out of range"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn run_demo_scenario_end_to_end() {
+    let scenario = repo_root().join("scenarios/demo.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("scenario: demo"), "{text}");
+    assert!(text.contains("completed"), "{text}");
+    assert!(text.contains("consistent Some(true)"), "{text}");
+}
+
+#[test]
+fn run_json_output_is_parseable_and_complete() {
+    let scenario = repo_root().join("scenarios/demo.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let v = serde_json::parse(&stdout(&out)).expect("valid JSON report");
+    let migrations = match v.get("migrations") {
+        Some(serde::Value::Seq(items)) => items,
+        other => panic!("migrations missing: {other:?}"),
+    };
+    assert_eq!(migrations.len(), 2);
+    for m in migrations {
+        assert_eq!(m.get("completed"), Some(&serde::Value::Bool(true)));
+        assert_eq!(
+            m.get("status"),
+            Some(&serde::Value::Str("Completed".into()))
+        );
+    }
+    // Mixed strategies went through the job layer.
+    let strategies: Vec<_> = migrations.iter().map(|m| m.get("strategy")).collect();
+    assert!(strategies.contains(&Some(&serde::Value::Str("Hybrid".into()))));
+    assert!(strategies.contains(&Some(&serde::Value::Str("Postcopy".into()))));
+}
+
+#[test]
+fn run_progress_prints_lifecycle() {
+    let scenario = repo_root().join("scenarios/demo.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--progress"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    for needle in [
+        "transferring-memory",
+        "switching-over",
+        "completed",
+        "ControlTransferred",
+    ] {
+        assert!(text.contains(needle), "missing {needle}:\n{text}");
+    }
+}

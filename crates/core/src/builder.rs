@@ -1,0 +1,203 @@
+//! The checked, declarative front door to the engine.
+//!
+//! [`SimulationBuilder`] validates everything user input can get wrong —
+//! cluster configuration, node indices, workload footprints, migration
+//! targets — and returns typed errors instead of panicking. [`build`]
+//! yields a [`Simulation`]: a deployed cluster whose migration jobs can
+//! be run to a horizon, watched through an [`Observer`], queried for
+//! per-job [`MigrationProgress`] mid-run, and aborted cooperatively.
+//!
+//! ```
+//! use lsm_core::builder::SimulationBuilder;
+//! use lsm_core::config::ClusterConfig;
+//! use lsm_core::policy::StrategyKind;
+//! use lsm_core::NodeId;
+//! use lsm_simcore::SimTime;
+//! use lsm_workloads::WorkloadSpec;
+//!
+//! # fn main() -> Result<(), lsm_core::EngineError> {
+//! let mut b = SimulationBuilder::new(ClusterConfig::small_test())?;
+//! let vm = b.add_vm(
+//!     NodeId(0),
+//!     WorkloadSpec::SeqWrite { offset: 0, total: 16 << 20, block: 1 << 20, think_secs: 0.05 },
+//!     StrategyKind::Hybrid,
+//!     SimTime::ZERO,
+//! )?;
+//! let job = b.migrate(vm, NodeId(1), SimTime::from_secs(1))?;
+//! let mut sim = b.build()?;
+//! let report = sim.run_until(SimTime::from_secs(120));
+//! assert_eq!(sim.status(job), Some(lsm_core::MigrationStatus::Completed));
+//! assert!(report.the_migration().consistent == Some(true));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`build`]: SimulationBuilder::build
+
+use crate::config::ClusterConfig;
+use crate::engine::{
+    Engine, JobId, MigrationProgress, MigrationStatus, NullObserver, Observer, RunReport,
+};
+use crate::error::EngineError;
+use crate::policy::StrategyKind;
+use lsm_netsim::NodeId;
+use lsm_simcore::time::SimTime;
+use lsm_workloads::WorkloadSpec;
+
+/// Typed handle to a VM added to a [`SimulationBuilder`] (and, after
+/// [`SimulationBuilder::build`], to the same VM in the [`Simulation`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VmHandle(u32);
+
+impl VmHandle {
+    /// The VM's dense index (matches `RunReport::vms` order).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Fallible builder for a simulation. Each call validates eagerly
+/// (delegating to the engine's own checked API, so there is exactly
+/// one copy of the rules) and errors point at the offending request.
+pub struct SimulationBuilder {
+    eng: Engine,
+}
+
+impl SimulationBuilder {
+    /// Start building over a cluster configuration.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] for unusable configurations.
+    pub fn new(cfg: ClusterConfig) -> Result<Self, EngineError> {
+        Ok(SimulationBuilder {
+            eng: Engine::new(cfg)?,
+        })
+    }
+
+    /// The configuration this simulation will run on.
+    pub fn config(&self) -> &ClusterConfig {
+        self.eng.config()
+    }
+
+    /// Deploy a VM on `node` running `spec` under `strategy`, with its
+    /// workload starting at `start_at`.
+    ///
+    /// # Errors
+    /// Out-of-range node, multi-rank workload (use
+    /// [`SimulationBuilder::add_group`]), or a workload larger than the
+    /// disk image.
+    pub fn add_vm(
+        &mut self,
+        node: NodeId,
+        spec: WorkloadSpec,
+        strategy: StrategyKind,
+        start_at: SimTime,
+    ) -> Result<VmHandle, EngineError> {
+        let id = self.eng.add_vm(node.0, &spec, strategy, start_at)?;
+        Ok(VmHandle(id.0))
+    }
+
+    /// Deploy a barrier-synchronized workload group (one VM per
+    /// placement), all under one strategy.
+    ///
+    /// # Errors
+    /// Empty group, rank-count mismatch, out-of-range nodes, or
+    /// oversized workloads.
+    pub fn add_group(
+        &mut self,
+        placements: &[(NodeId, WorkloadSpec)],
+        strategy: StrategyKind,
+        start_at: SimTime,
+    ) -> Result<Vec<VmHandle>, EngineError> {
+        let raw: Vec<(u32, WorkloadSpec)> = placements
+            .iter()
+            .map(|(node, spec)| (node.0, spec.clone()))
+            .collect();
+        let ids = self.eng.add_group(&raw, strategy, start_at)?;
+        Ok(ids.into_iter().map(|id| VmHandle(id.0)).collect())
+    }
+
+    /// Schedule a live migration of `vm` to `dest` at `at`, returning
+    /// the job handle it will have in the built [`Simulation`].
+    ///
+    /// # Errors
+    /// Unknown VM, out-of-range destination, destination equal to the
+    /// VM's placement node, duplicate migration for the VM, or a
+    /// strategy incompatible with post-copy memory migration.
+    pub fn migrate(
+        &mut self,
+        vm: VmHandle,
+        dest: NodeId,
+        at: SimTime,
+    ) -> Result<JobId, EngineError> {
+        self.eng
+            .schedule_migration(lsm_hypervisor::VmId(vm.0), dest.0, at)
+    }
+
+    /// Finish building: everything was validated (and deployed) as it
+    /// was added, so this cannot fail.
+    pub fn build(self) -> Result<Simulation, EngineError> {
+        Ok(Simulation { eng: self.eng })
+    }
+}
+
+/// A deployed cluster with scheduled migration jobs: run it (optionally
+/// observed), query job status/progress between or during runs, and
+/// read the final [`RunReport`].
+pub struct Simulation {
+    eng: Engine,
+}
+
+impl Simulation {
+    /// Run until `horizon` (or until the event queue drains).
+    ///
+    /// Can be called repeatedly with growing horizons; job status and
+    /// progress are queryable in between.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        self.eng.run_until(horizon)
+    }
+
+    /// Like [`Simulation::run_until`] but with observer callbacks on
+    /// every job status change and migration milestone; the observer can
+    /// abort the run.
+    pub fn run_observed(&mut self, horizon: SimTime, obs: &mut dyn Observer) -> RunReport {
+        self.eng.run_until_observed(horizon, obs)
+    }
+
+    /// Run with the null observer — alias of [`Simulation::run_until`]
+    /// for symmetry.
+    pub fn run(&mut self, horizon: SimTime) -> RunReport {
+        self.run_observed(horizon, &mut NullObserver)
+    }
+
+    /// All migration jobs, in scheduling order.
+    pub fn jobs(&self) -> Vec<JobId> {
+        self.eng.job_ids()
+    }
+
+    /// Lifecycle status of a job.
+    pub fn status(&self, job: JobId) -> Option<MigrationStatus> {
+        self.eng.job_status(job)
+    }
+
+    /// Point-in-time progress snapshot of a job.
+    pub fn progress(&self, job: JobId) -> Option<MigrationProgress> {
+        self.eng.job_progress(job)
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// Event-level access for power users (the engine API is itself
+    /// fallible; nothing here can bypass validation).
+    pub fn engine(&self) -> &Engine {
+        &self.eng
+    }
+
+    /// Mutable event-level access.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.eng
+    }
+}

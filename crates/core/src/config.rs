@@ -6,13 +6,17 @@
 //! 4 GB base image striped in 256 KB chunks, and the QEMU migration speed
 //! cap raised to the full NIC.
 
+use crate::error::EngineError;
 use lsm_hypervisor::MemMigrationConfig;
 use lsm_simcore::time::SimDuration;
 use lsm_simcore::units::{gb_per_s, mb_per_s, Bandwidth, GIB, KIB, MIB};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// Everything needed to build a cluster and run migrations on it.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Deserialization fills absent fields from [`ClusterConfig::default`],
+/// so a scenario file only has to spell out the knobs it changes.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct ClusterConfig {
     /// Number of physical nodes.
     pub nodes: u32,
@@ -122,6 +126,84 @@ impl Default for ClusterConfig {
     }
 }
 
+/// The single authoritative field list for the hand-written
+/// `Deserialize` impl: the strict unknown-key check and the per-field
+/// constructor below are both generated from it, so they cannot drift
+/// apart (a field missing here fails to compile the struct literal).
+macro_rules! cluster_config_fields {
+    ($action:ident) => {
+        $action!(
+            nodes,
+            nic_bw,
+            switch_bw,
+            net_latency,
+            disk_bw,
+            cache_read_bw,
+            cache_write_bw,
+            vm_ram,
+            image_size,
+            chunk_size,
+            repo_replication,
+            mem,
+            postcopy_memory,
+            postcopy_fault_slowdown,
+            threshold,
+            transfer_batch,
+            transfer_window,
+            migration_cpu_steal,
+            io_mem_dirty_factor,
+            writeback_depth,
+            dirty_expire_secs,
+            prefetch_priority,
+            linger_round_cap,
+            pvfs_stripe,
+            pvfs_op_overhead,
+            pvfs_write_overhead,
+            seed
+        )
+    };
+}
+
+impl serde::Deserialize for ClusterConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Map(_)) {
+            return Err(serde::Error::new(format!(
+                "expected map for ClusterConfig, found {}",
+                v.kind()
+            )));
+        }
+        macro_rules! names {
+            ($($f:ident),*) => { &[$(stringify!($f)),*] };
+        }
+        const KNOWN: &[&str] = cluster_config_fields!(names);
+        if let serde::Value::Map(entries) = v {
+            for (k, _) in entries {
+                if !KNOWN.contains(&k.as_str()) {
+                    // A typoed knob must fail loudly, not silently run
+                    // with the default value.
+                    return Err(serde::Error::new(format!(
+                        "unknown ClusterConfig field `{k}` (expected one of: {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+        }
+        let d = ClusterConfig::default();
+        macro_rules! build {
+            ($($f:ident),*) => {
+                ClusterConfig {
+                    $($f: match v.get(stringify!($f)) {
+                        Some(x) => serde::Deserialize::from_value(x)
+                            .map_err(|e| e.ctx(concat!("ClusterConfig.", stringify!($f))))?,
+                        None => d.$f,
+                    }),*
+                }
+            };
+        }
+        Ok(cluster_config_fields!(build))
+    }
+}
+
 impl ClusterConfig {
     /// Grid'5000 graphene parameters with `n` nodes.
     pub fn graphene(n: u32) -> Self {
@@ -140,6 +222,106 @@ impl ClusterConfig {
     /// NIC, so the cap equals `nic_bw` unless `mem.speed_cap` overrides.
     pub fn migration_speed_cap(&self) -> f64 {
         self.mem.speed_cap.unwrap_or(self.nic_bw)
+    }
+
+    /// Check every field for usability. [`crate::engine::Engine::new`]
+    /// and [`crate::builder::SimulationBuilder::new`] call this, so a
+    /// bad configuration surfaces as [`EngineError::InvalidConfig`]
+    /// instead of a panic (or a hang) deep inside a run.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        fn fail(reason: impl Into<String>) -> Result<(), EngineError> {
+            Err(EngineError::InvalidConfig {
+                reason: reason.into(),
+            })
+        }
+        if self.nodes == 0 {
+            return fail("cluster has zero nodes");
+        }
+        for (name, bw) in [
+            ("nic_bw", self.nic_bw),
+            ("switch_bw", self.switch_bw),
+            ("disk_bw", self.disk_bw),
+            ("cache_read_bw", self.cache_read_bw),
+            ("cache_write_bw", self.cache_write_bw),
+        ] {
+            if !(bw.is_finite() && bw > 0.0) {
+                return fail(format!("{name} must be positive and finite, got {bw}"));
+            }
+        }
+        if self.chunk_size == 0 {
+            return fail("chunk_size is zero");
+        }
+        if self.image_size == 0 {
+            return fail("image_size is zero");
+        }
+        if !self.image_size.is_multiple_of(self.chunk_size) {
+            return fail(format!(
+                "image_size {} is not a multiple of chunk_size {}",
+                self.image_size, self.chunk_size
+            ));
+        }
+        if self.image_size / self.chunk_size > u32::MAX as u64 {
+            return fail("image has more chunks than a u32 can index");
+        }
+        if self.vm_ram == 0 {
+            return fail("vm_ram is zero");
+        }
+        if self.transfer_batch == 0 {
+            return fail("transfer_batch is zero");
+        }
+        if self.transfer_window == 0 {
+            return fail("transfer_window is zero");
+        }
+        if self.threshold == 0 {
+            return fail("threshold is zero (no chunk would ever be pushable)");
+        }
+        if self.writeback_depth == 0 {
+            return fail("writeback_depth is zero (dirty data could never drain)");
+        }
+        if !(self.dirty_expire_secs.is_finite() && self.dirty_expire_secs > 0.0) {
+            return fail(format!(
+                "dirty_expire_secs must be positive and finite, got {}",
+                self.dirty_expire_secs
+            ));
+        }
+        if self.repo_replication == 0 || self.repo_replication > self.nodes as usize {
+            return fail(format!(
+                "repo_replication {} must be in 1..={}",
+                self.repo_replication, self.nodes
+            ));
+        }
+        if self.pvfs_stripe == 0 {
+            return fail("pvfs_stripe is zero");
+        }
+        if self.mem.max_rounds == 0 {
+            return fail("mem.max_rounds is zero");
+        }
+        if let Some(cap) = self.mem.speed_cap {
+            if !(cap.is_finite() && cap > 0.0) {
+                return fail(format!(
+                    "mem.speed_cap must be positive and finite, got {cap}"
+                ));
+            }
+        }
+        if !(0.0..1.0).contains(&self.migration_cpu_steal) {
+            return fail(format!(
+                "migration_cpu_steal {} must be in [0, 1)",
+                self.migration_cpu_steal
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.io_mem_dirty_factor) {
+            return fail(format!(
+                "io_mem_dirty_factor {} must be in [0, 1]",
+                self.io_mem_dirty_factor
+            ));
+        }
+        if !(self.postcopy_fault_slowdown > 0.0 && self.postcopy_fault_slowdown <= 1.0) {
+            return fail(format!(
+                "postcopy_fault_slowdown {} must be in (0, 1]",
+                self.postcopy_fault_slowdown
+            ));
+        }
+        Ok(())
     }
 
     /// A downsized configuration for fast unit/integration tests:

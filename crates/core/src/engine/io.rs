@@ -29,8 +29,7 @@ pub(crate) fn submit_io(
         offset + len <= image,
         "I/O beyond the virtual disk: {offset}+{len} > {image}"
     );
-    let (first, last, first_partial, last_partial) =
-        byte_range_to_chunks(offset, len, chunk_size);
+    let (first, last, first_partial, last_partial) = byte_range_to_chunks(offset, len, chunk_size);
     let op = eng.new_op(v, token, kind.into(), len);
     let nchunks_in_op = (last.0 - first.0 + 1) as u64;
     let bytes_per_chunk = (len / nchunks_in_op).max(1);
@@ -80,11 +79,8 @@ fn submit_write(
         // A partial write to an untouched base chunk is a
         // read-modify-write: base content must come from the repository
         // first (§4.2) — unless the host cache already holds the chunk.
-        let is_edge_partial =
-            (raw == first.0 && first_partial) || (raw == last.0 && last_partial);
-        if is_edge_partial
-            && eng.vm(v).disk.needs_repo_fetch(c)
-            && !eng.vm(v).cache.is_resident(c)
+        let is_edge_partial = (raw == first.0 && first_partial) || (raw == last.0 && last_partial);
+        if is_edge_partial && eng.vm(v).disk.needs_repo_fetch(c) && !eng.vm(v).cache.is_resident(c)
         {
             fetch_chunks.push(c);
         }

@@ -1,0 +1,116 @@
+//! First-class migration jobs: lifecycle status, queryable progress.
+//!
+//! Production orchestrators model a live migration as a serializable job
+//! with explicit lifecycle states that operators can watch, not as a
+//! fire-and-forget event. [`JobId`] names one scheduled migration;
+//! [`MigrationStatus`] is its lifecycle state and [`MigrationProgress`]
+//! a point-in-time snapshot (bytes moved, rounds, ETA) that can be
+//! queried mid-run — from an [`crate::engine::Observer`] callback or
+//! between stepped `run_until` horizons.
+
+use crate::policy::StrategyKind;
+use lsm_simcore::time::SimDuration;
+use serde::Serialize;
+
+/// Handle to one scheduled migration (dense, in scheduling order).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+pub struct JobId(pub u32);
+
+/// Lifecycle state of a migration job.
+///
+/// The nominal path is `Queued → TransferringMemory →
+/// SwitchingOver → TransferringStorage → Completed`; strategies whose
+/// storage moves *before* control transfer (precopy, mirror) go straight
+/// from `SwitchingOver` to `Completed` (their bulk stream rides the
+/// `TransferringMemory` phase), and `SharedFs` never transfers storage
+/// at all. Any runtime rejection parks the job at `Failed` with a
+/// reason, instead of panicking the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+pub enum MigrationStatus {
+    /// Scheduled; the start event has not fired yet.
+    Queued,
+    /// Iterative memory rounds (and, for push-style strategies, the
+    /// storage push pipeline) are running; the guest still runs at the
+    /// source.
+    TransferringMemory,
+    /// The destination is pulling the remaining chunks; the guest
+    /// already runs at the destination (hybrid/postcopy only).
+    TransferringStorage,
+    /// The guest is paused for the final memory flush, or in-flight
+    /// pushes are draining before the remaining-set handoff.
+    SwitchingOver,
+    /// Finished: the source has been relinquished.
+    Completed,
+    /// Rejected or aborted at runtime; see the failure reason.
+    Failed,
+}
+
+impl MigrationStatus {
+    /// Whether the job can still make progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, MigrationStatus::Completed | MigrationStatus::Failed)
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MigrationStatus::Queued => "queued",
+            MigrationStatus::TransferringMemory => "transferring-memory",
+            MigrationStatus::TransferringStorage => "transferring-storage",
+            MigrationStatus::SwitchingOver => "switching-over",
+            MigrationStatus::Completed => "completed",
+            MigrationStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Point-in-time snapshot of one migration job.
+#[derive(Clone, Debug, Serialize)]
+pub struct MigrationProgress {
+    /// The job.
+    pub job: u32,
+    /// The migrating VM.
+    pub vm: u32,
+    /// Source node (the VM's host when the job was scheduled or started).
+    pub source: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Storage transfer strategy.
+    pub strategy: StrategyKind,
+    /// Lifecycle state.
+    pub status: MigrationStatus,
+    /// Memory pre-copy rounds so far (0 before start).
+    pub mem_rounds: u32,
+    /// Chunks actively pushed source→destination so far.
+    pub chunks_pushed: u64,
+    /// Chunks pulled destination←source so far.
+    pub chunks_pulled: u64,
+    /// Bytes actively pushed source→destination so far.
+    pub bytes_pushed: u64,
+    /// Bytes pulled destination←source so far.
+    pub bytes_pulled: u64,
+    /// Chunks the destination still needs (upper bound before the
+    /// remaining-set handoff; exact during the pull phase).
+    pub chunks_remaining: u64,
+    /// Crude remaining-transfer estimate at NIC speed, if the job is
+    /// still running.
+    pub eta: Option<SimDuration>,
+    /// Guest downtime attributable to this migration so far.
+    pub downtime: SimDuration,
+    /// Failure reason, when `status == Failed`.
+    pub failure: Option<String>,
+}
+
+impl MigrationProgress {
+    /// Fraction of chunk transfer completed, in `[0, 1]` (1 when there
+    /// is nothing left to move).
+    pub fn storage_fraction(&self) -> f64 {
+        let moved = self.chunks_pushed + self.chunks_pulled;
+        let total = moved + self.chunks_remaining;
+        if total == 0 {
+            1.0
+        } else {
+            moved as f64 / total as f64
+        }
+    }
+}

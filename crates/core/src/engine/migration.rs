@@ -3,9 +3,11 @@
 //! Figure 2 of the paper.
 
 use super::io;
+use super::job::{JobId, MigrationStatus};
 use super::report::Milestone;
 use super::types::*;
 use super::Engine;
+use crate::error::EngineError;
 use crate::policy::{HybridDest, HybridSource, MirrorSource, PrecopySource, StrategyKind};
 use lsm_blockdev::{ChunkId, ChunkSet};
 use lsm_hypervisor::{MemoryProfile, NextStep, PostcopyMemory, PostcopyStep, PrecopyMemory};
@@ -18,14 +20,31 @@ const LINGER_POLL: SimDuration = SimDuration::from_millis(100);
 /// Minimum dirtied bytes worth an extra linger memory round.
 const LINGER_ROUND_MIN: u64 = 1 << 20;
 
-pub(crate) fn start_migration(eng: &mut Engine, v: VmIdx, dest: u32) {
+pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
     let now = eng.now();
+    let (v, dest) = {
+        let j = eng.job(job);
+        (j.vm, j.dest)
+    };
     let source = eng.vm(v).vm.host;
-    assert!(source != dest, "migration to the current host");
-    assert!(
-        eng.vm(v).migration.is_none(),
-        "VM is already being migrated"
-    );
+    // Schedule-time validation rejects these up front; they can recur
+    // here only when the engine is driven below the checked API (e.g. a
+    // VM migrated by external state mutation between schedule and
+    // start). Runtime policy: park the job at Failed, never panic.
+    if source == dest {
+        eng.fail_job(job, EngineError::SameHost { vm: v, node: dest });
+        return;
+    }
+    match eng.vm(v).migration.as_ref().map(|m| m.phase) {
+        // A finished migration moves into its job's archive so this one
+        // can use the per-VM slot (migrate-again support).
+        Some(MigPhase::Complete) => eng.archive_vm_migration(v, job),
+        Some(_) => {
+            eng.fail_job(job, EngineError::DuplicateMigration { vm: v });
+            return;
+        }
+        None => {}
+    }
 
     // Memory profile: the workload's guest-RAM footprint. The host page
     // cache is *not* guest memory and does not migrate — the destination
@@ -59,9 +78,11 @@ pub(crate) fn start_migration(eng: &mut Engine, v: VmIdx, dest: u32) {
                 Some(PrecopySource::start(disk.locally_present())),
                 None,
             ),
-            StrategyKind::Mirror => {
-                (None, None, Some(MirrorSource::start(disk.locally_present())))
-            }
+            StrategyKind::Mirror => (
+                None,
+                None,
+                Some(MirrorSource::start(disk.locally_present())),
+            ),
             StrategyKind::SharedFs => (None, None, None),
         }
     };
@@ -73,15 +94,16 @@ pub(crate) fn start_migration(eng: &mut Engine, v: VmIdx, dest: u32) {
     // control moves — but post-copy hands control over immediately
     // (QEMU's block migration is likewise coupled to pre-copy memory).
     let postcopy_memory = eng.cfg().postcopy_memory;
-    assert!(
-        !(postcopy_memory
-            && matches!(
-                eng.vm(v).strategy,
-                StrategyKind::Precopy | StrategyKind::Mirror
-            )),
-        "{} storage transfer requires pre-copy memory migration",
-        eng.vm(v).strategy.label()
-    );
+    if postcopy_memory
+        && matches!(
+            eng.vm(v).strategy,
+            StrategyKind::Precopy | StrategyKind::Mirror
+        )
+    {
+        let strategy = eng.vm(v).strategy;
+        eng.fail_job(job, EngineError::IncompatibleMemoryStrategy { strategy });
+        return;
+    }
     let (first, postcopy_mem) = if postcopy_memory {
         let hot = (64u64 << 20).min(touched);
         let mut pm = PostcopyMemory::new(profile, hot);
@@ -134,8 +156,10 @@ pub(crate) fn start_migration(eng: &mut Engine, v: VmIdx, dest: u32) {
         consistent: None,
         downtime_before,
         downtime: SimDuration::ZERO,
-        timeline: vec![(now, Milestone::Requested)],
+        timeline: Vec::new(),
     });
+    eng.note_milestone(v, Milestone::Requested);
+    eng.set_job_status(job, MigrationStatus::TransferringMemory);
 
     eng.send_ctl(source, dest, Ctl::MigrationNotify { vm: v });
     let cap = Some(eng.cfg().migration_speed_cap());
@@ -145,6 +169,8 @@ pub(crate) fn start_migration(eng: &mut Engine, v: VmIdx, dest: u32) {
         // window — the hybrid scheme degenerates to prioritized pulling,
         // exactly what §6 anticipates examining.
         eng.vm_mut(v).vm.pause(now);
+        eng.note_milestone(v, Milestone::StopAndCopy);
+        eng.set_job_status(job, MigrationStatus::SwitchingOver);
         eng.update_compute(v);
         eng.start_flow(
             source,
@@ -294,14 +320,14 @@ pub(crate) fn mem_round_done(eng: &mut Engine, v: VmIdx) {
 
 fn start_mem_round(eng: &mut Engine, v: VmIdx, bytes: u64) {
     let now = eng.now();
-    let (source, dest) = {
+    let (source, dest, round) = {
         let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
         mig.mem_rounds += 1;
         mig.round_started = now;
         mig.round_bytes = bytes;
-        mig.timeline.push((now, Milestone::MemRound(mig.mem_rounds)));
-        (mig.source, mig.dest)
+        (mig.source, mig.dest, mig.mem_rounds)
     };
+    eng.note_milestone(v, Milestone::MemRound(round));
     let cap = Some(eng.cfg().migration_speed_cap());
     eng.start_flow(
         source,
@@ -412,11 +438,14 @@ fn initiate_stop(eng: &mut Engine, v: VmIdx, force_storage: bool) {
     let (source, dest, bytes) = {
         let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
         mig.phase = MigPhase::StopAndCopy;
-        mig.timeline.push((now, Milestone::StopAndCopy));
         mig.final_chunks.extend(extra_chunks);
         let bytes = mig.pending_stop_bytes + mig.final_chunks.len() as u64 * chunk_size;
         (mig.source, mig.dest, bytes)
     };
+    eng.note_milestone(v, Milestone::StopAndCopy);
+    if let Some(job) = eng.job_for_vm(lsm_hypervisor::VmId(v)) {
+        eng.set_job_status(job, MigrationStatus::SwitchingOver);
+    }
     eng.vm_mut(v).vm.pause(now);
     eng.update_compute(v);
     let cap = Some(eng.cfg().migration_speed_cap());
@@ -443,7 +472,12 @@ pub(crate) fn mem_stop_done(eng: &mut Engine, v: VmIdx) {
     // Apply the force-flushed chunks at the destination (they travelled
     // inside the stop-and-copy flush).
     let finals = std::mem::take(
-        &mut eng.vm_mut(v).migration.as_mut().expect("migrating").final_chunks,
+        &mut eng
+            .vm_mut(v)
+            .migration
+            .as_mut()
+            .expect("migrating")
+            .final_chunks,
     );
     if !finals.is_empty() {
         let vm = eng.vm_mut(v);
@@ -478,13 +512,12 @@ pub(crate) fn mem_stop_done(eng: &mut Engine, v: VmIdx) {
 /// remaining set and the write counts (Figure 2, "Send list of remaining
 /// chunks").
 fn do_handoff(eng: &mut Engine, v: VmIdx) {
-    let now = eng.now();
     let (source, dest, remaining, counts) = {
         let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
-        mig.timeline.push((now, Milestone::RemainingSetSent));
         let (remaining, counts) = mig.hybrid_src.as_mut().expect("hybrid source").handoff();
         (mig.source, mig.dest, remaining, counts)
     };
+    eng.note_milestone(v, Milestone::RemainingSetSent);
     eng.send_ctl(
         source,
         dest,
@@ -503,6 +536,9 @@ fn transfer_io_control(eng: &mut Engine, v: VmIdx, remaining: ChunkSet, counts: 
         mig.hybrid_dst = Some(HybridDest::start(remaining, &counts, prioritized));
         mig.phase = MigPhase::PullPhase;
     }
+    if let Some(job) = eng.job_for_vm(lsm_hypervisor::VmId(v)) {
+        eng.set_job_status(job, MigrationStatus::TransferringStorage);
+    }
     control_transfer(eng, v);
     pump_pull(eng, v);
     maybe_complete(eng, v);
@@ -516,7 +552,6 @@ fn control_transfer(eng: &mut Engine, v: VmIdx) {
         let vm = eng.vm_mut(v);
         let mig = vm.migration.as_mut().expect("migrating");
         mig.control_at = Some(now);
-        mig.timeline.push((now, Milestone::ControlTransferred));
         let dest_store = vm.dest_store.take().expect("dest store");
         let source_store = std::mem::replace(&mut vm.store, dest_store);
         mig.source_store = Some(source_store);
@@ -533,6 +568,7 @@ fn control_transfer(eng: &mut Engine, v: VmIdx) {
         }
         vm.vm.resume(now, Some(dest));
     }
+    eng.note_milestone(v, Milestone::ControlTransferred);
     eng.update_compute(v);
     eng.release_held(v);
     io::pump_writeback(eng, v);
@@ -637,8 +673,7 @@ pub(crate) fn push_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, s
         let vm = eng.vm(v);
         let mig = vm.migration.as_ref().expect("migrating");
         let store = mig.source_store.as_ref().unwrap_or(&vm.store);
-        let withver: Vec<(ChunkId, u64)> =
-            chunks.iter().map(|&c| (c, store.version(c))).collect();
+        let withver: Vec<(ChunkId, u64)> = chunks.iter().map(|&c| (c, store.version(c))).collect();
         (mig.source, mig.dest, withver)
     };
     let bytes = eng.cfg().chunk_size * chunks.len() as u64;
@@ -696,9 +731,7 @@ pub(crate) fn maybe_handoff(eng: &mut Engine, v: VmIdx) {
         let vm = eng.vm(v);
         match vm.migration.as_ref() {
             Some(mig) => {
-                mig.phase == MigPhase::SyncDrain
-                    && !mig.handoff_sent
-                    && mig.push_slots_busy == 0
+                mig.phase == MigPhase::SyncDrain && !mig.handoff_sent && mig.push_slots_busy == 0
             }
             None => false,
         }
@@ -745,18 +778,12 @@ pub(crate) fn pump_pull(eng: &mut Engine, v: VmIdx) {
     }
 }
 
-pub(crate) fn pull_read_done(
-    eng: &mut Engine,
-    v: VmIdx,
-    chunks: Vec<ChunkId>,
-    background: bool,
-) {
+pub(crate) fn pull_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, background: bool) {
     let (source, dest, withver) = {
         let vm = eng.vm(v);
         let mig = vm.migration.as_ref().expect("migrating");
         let store = mig.source_store.as_ref().unwrap_or(&vm.store);
-        let withver: Vec<(ChunkId, u64)> =
-            chunks.iter().map(|&c| (c, store.version(c))).collect();
+        let withver: Vec<(ChunkId, u64)> = chunks.iter().map(|&c| (c, store.version(c))).collect();
         (mig.source, mig.dest, withver)
     };
     let bytes = eng.cfg().chunk_size * chunks.len() as u64;
@@ -839,11 +866,11 @@ pub(crate) fn mirror_write_arrived(
             mig.mirror_flows_inflight = mig.mirror_flows_inflight.saturating_sub(1);
         }
     }
-    match op {
-        Some(o) => eng.op_part_done(o),
-        // Write-back-driven mirroring no longer exists (the manager
-        // mirrors at guest-write time); nothing to release.
-        None => {}
+    // `op` is None for write-back-driven mirroring, which no longer
+    // exists (the manager mirrors at guest-write time): nothing to
+    // release then.
+    if let Some(o) = op {
+        eng.op_part_done(o);
     }
 }
 
@@ -857,7 +884,11 @@ pub(crate) fn maybe_complete(eng: &mut Engine, v: VmIdx) {
         if mig.phase == MigPhase::Complete {
             return;
         }
-        let memory_done = mig.postcopy_mem.as_ref().map(|p| p.is_done()).unwrap_or(true);
+        let memory_done = mig
+            .postcopy_mem
+            .as_ref()
+            .map(|p| p.is_done())
+            .unwrap_or(true);
         let storage_done = match mig.strategy {
             StrategyKind::Hybrid | StrategyKind::Postcopy => {
                 mig.phase == MigPhase::PullPhase
@@ -895,8 +926,11 @@ fn complete_migration(eng: &mut Engine, v: VmIdx) {
         mig.completed_at = Some(now);
         mig.consistent = Some(consistent);
         mig.downtime = total_down - mig.downtime_before;
-        mig.timeline.push((now, Milestone::Completed));
         mig.source_store = None;
+    }
+    eng.note_milestone(v, Milestone::Completed);
+    if let Some(job) = eng.job_for_vm(lsm_hypervisor::VmId(v)) {
+        eng.set_job_status(job, MigrationStatus::Completed);
     }
     #[cfg(feature = "strict-verify")]
     {

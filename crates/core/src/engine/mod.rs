@@ -9,14 +9,19 @@
 //! migration manager of §4.4.
 
 mod io;
+mod job;
 mod migration;
+mod observer;
 mod pvfs;
 mod report;
 mod types;
 
+pub use job::{JobId, MigrationProgress, MigrationStatus};
+pub use observer::{NullObserver, Observer, RecordingObserver, RunControl};
 pub use report::{MigrationRecord, Milestone, RunReport, VmRecord};
 
 use crate::config::ClusterConfig;
+use crate::error::EngineError;
 use crate::policy::StrategyKind;
 use lsm_blockdev::{CacheConfig, ChunkStore, PageCache, VirtualDisk};
 use lsm_hypervisor::{Vm, VmId, VmState};
@@ -44,6 +49,10 @@ pub struct Engine {
     pvfs: PvfsFs,
     ops: HashMap<OpId, OpRt>,
     next_op: OpId,
+    /// Migration jobs in scheduling order (JobId is the index).
+    jobs: Vec<JobRt>,
+    /// Job status changes / milestones awaiting observer delivery.
+    job_events: Vec<JobEvent>,
     /// Downtime-resume bookkeeping: events processed count (progress
     /// guard against event-loop livelock in buggy configurations).
     events_processed: u64,
@@ -51,7 +60,13 @@ pub struct Engine {
 
 impl Engine {
     /// Build an engine over a fresh cluster.
-    pub fn new(cfg: ClusterConfig) -> Self {
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidConfig`] when the configuration is unusable
+    /// (zero nodes, non-positive capacities, chunk size not dividing the
+    /// image, ...).
+    pub fn new(cfg: ClusterConfig) -> Result<Self, EngineError> {
+        cfg.validate()?;
         let topo = Topology::symmetric(cfg.nodes as usize, cfg.nic_bw, cfg.switch_bw)
             .with_latency(cfg.net_latency);
         let net = FlowNet::new(topo);
@@ -80,7 +95,7 @@ impl Engine {
                 .with_op_overhead(cfg.pvfs_op_overhead)
                 .with_write_overhead(cfg.pvfs_write_overhead),
         );
-        Engine {
+        Ok(Engine {
             cfg,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
@@ -94,8 +109,10 @@ impl Engine {
             pvfs,
             ops: HashMap::new(),
             next_op: 0,
+            jobs: Vec::new(),
+            job_events: Vec::new(),
             events_processed: 0,
-        }
+        })
     }
 
     /// The cluster configuration.
@@ -110,18 +127,71 @@ impl Engine {
 
     /// Deploy a VM on `node` running `spec` under the given storage
     /// transfer strategy. The workload starts at `start_at`.
+    ///
+    /// # Errors
+    /// * [`EngineError::NodeOutOfRange`] — `node` is not in the cluster.
+    /// * [`EngineError::GroupWorkloadOutsideGroup`] — `spec` is a
+    ///   multi-rank workload (use [`Engine::add_group`]).
+    /// * [`EngineError::WorkloadExceedsImage`] — the workload writes
+    ///   beyond the configured image size.
     pub fn add_vm(
         &mut self,
         node: u32,
         spec: &WorkloadSpec,
         strategy: StrategyKind,
         start_at: SimTime,
-    ) -> VmId {
-        assert!(node < self.cfg.nodes, "node out of range");
+    ) -> Result<VmId, EngineError> {
+        if spec.group_ranks().is_some() {
+            return Err(EngineError::GroupWorkloadOutsideGroup {
+                workload: spec.label().to_string(),
+            });
+        }
+        self.add_vm_inner(node, spec, strategy, start_at)
+    }
+
+    /// Everything that can be wrong about one `(node, workload)` pair —
+    /// shared by `add_vm_inner` and `add_group`'s pre-pass so the two
+    /// paths cannot drift apart.
+    fn validate_placement(&self, node: u32, spec: &WorkloadSpec) -> Result<(), EngineError> {
+        if node >= self.cfg.nodes {
+            return Err(EngineError::NodeOutOfRange {
+                node,
+                nodes: self.cfg.nodes,
+            });
+        }
+        if let Err(reason) = spec.validate() {
+            return Err(EngineError::InvalidWorkload {
+                workload: spec.label().to_string(),
+                reason,
+            });
+        }
+        let needs = spec.disk_footprint();
+        if needs > self.cfg.image_size {
+            return Err(EngineError::WorkloadExceedsImage {
+                workload: spec.label().to_string(),
+                needs,
+                image: self.cfg.image_size,
+            });
+        }
+        Ok(())
+    }
+
+    /// `add_vm` minus the group-workload check (group members land here).
+    fn add_vm_inner(
+        &mut self,
+        node: u32,
+        spec: &WorkloadSpec,
+        strategy: StrategyKind,
+        start_at: SimTime,
+    ) -> Result<VmId, EngineError> {
+        self.validate_placement(node, spec)?;
         let id = VmId(self.vms.len() as u32);
         let driver = spec.build();
         let nchunks = self.cfg.nchunks();
-        let cache = PageCache::new(nchunks, CacheConfig::for_ram(self.cfg.vm_ram, self.cfg.chunk_size));
+        let cache = PageCache::new(
+            nchunks,
+            CacheConfig::for_ram(self.cfg.vm_ram, self.cfg.chunk_size),
+        );
         self.vms.push(VmRt {
             vm: Vm::new(id, node, self.cfg.vm_ram, 2),
             strategy,
@@ -155,22 +225,46 @@ impl Engine {
         let expire = SimDuration::from_secs_f64(self.cfg.dirty_expire_secs);
         self.queue
             .schedule(start_at + expire, Ev::KupdateTick(id.0));
-        id
+        Ok(id)
     }
 
     /// Deploy a barrier-synchronized workload group (one VM per spec).
     /// All ranks must carry workloads that emit matching barriers (CM1).
+    ///
+    /// # Errors
+    /// * [`EngineError::EmptyGroup`] — no placements given.
+    /// * [`EngineError::GroupRankMismatch`] — a spec declares a rank
+    ///   count that differs from the group size.
+    /// * Everything [`Engine::add_vm`] can report per member.
     pub fn add_group(
         &mut self,
         placements: &[(u32, WorkloadSpec)],
         strategy: StrategyKind,
         start_at: SimTime,
-    ) -> Vec<VmId> {
+    ) -> Result<Vec<VmId>, EngineError> {
+        if placements.is_empty() {
+            return Err(EngineError::EmptyGroup);
+        }
+        for (_, spec) in placements {
+            if let Some(expected) = spec.group_ranks() {
+                if expected as usize != placements.len() {
+                    return Err(EngineError::GroupRankMismatch {
+                        expected,
+                        got: placements.len() as u32,
+                    });
+                }
+            }
+        }
+        // Validate all placements before deploying any, so a failed
+        // group leaves the engine unchanged.
+        for (node, spec) in placements {
+            self.validate_placement(*node, spec)?;
+        }
         let gid = self.groups.len() as u32;
         let mut members = Vec::with_capacity(placements.len());
         let mut ids = Vec::with_capacity(placements.len());
         for (rank, (node, spec)) in placements.iter().enumerate() {
-            let id = self.add_vm(*node, spec, strategy, start_at);
+            let id = self.add_vm_inner(*node, spec, strategy, start_at)?;
             self.vms[id.0 as usize].group = Some((gid, rank as u32));
             members.push(id.0);
             ids.push(id);
@@ -181,18 +275,83 @@ impl Engine {
             arrived: 0,
             episodes: 0,
         });
-        ids
+        Ok(ids)
     }
 
-    /// Schedule a live migration of `vm` to `dest` at time `at`.
-    pub fn schedule_migration(&mut self, vm: VmId, dest: u32, at: SimTime) {
-        assert!(dest < self.cfg.nodes, "destination out of range");
-        self.queue.schedule(at, Ev::MigrationStart(vm.0, dest));
+    /// Schedule a live migration of `vm` to `dest` at time `at` and
+    /// return its job handle.
+    ///
+    /// # Errors
+    /// * [`EngineError::UnknownVm`] — `vm` was not deployed here.
+    /// * [`EngineError::NodeOutOfRange`] — `dest` is not in the cluster.
+    /// * [`EngineError::SameHost`] — `dest` is the VM's current host.
+    /// * [`EngineError::DuplicateMigration`] — the VM already has a job.
+    /// * [`EngineError::IncompatibleMemoryStrategy`] — pre-copy-style
+    ///   storage transfer under post-copy memory migration.
+    pub fn schedule_migration(
+        &mut self,
+        vm: VmId,
+        dest: u32,
+        at: SimTime,
+    ) -> Result<JobId, EngineError> {
+        let Some(vmrt) = self.vms.get(vm.0 as usize) else {
+            return Err(EngineError::UnknownVm { vm: vm.0 });
+        };
+        if dest >= self.cfg.nodes {
+            return Err(EngineError::NodeOutOfRange {
+                node: dest,
+                nodes: self.cfg.nodes,
+            });
+        }
+        if dest == vmrt.vm.host {
+            return Err(EngineError::SameHost {
+                vm: vm.0,
+                node: dest,
+            });
+        }
+        // A VM may migrate again once its previous job is terminal
+        // (stepped-horizon workflows re-schedule between runs); two
+        // *live* jobs for one VM are a duplicate.
+        if self
+            .jobs
+            .iter()
+            .any(|j| j.vm == vm.0 && !j.status.is_terminal())
+        {
+            return Err(EngineError::DuplicateMigration { vm: vm.0 });
+        }
+        if self.cfg.postcopy_memory
+            && matches!(vmrt.strategy, StrategyKind::Precopy | StrategyKind::Mirror)
+        {
+            return Err(EngineError::IncompatibleMemoryStrategy {
+                strategy: vmrt.strategy,
+            });
+        }
+        let job = JobId(self.jobs.len() as u32);
+        self.jobs.push(JobRt {
+            vm: vm.0,
+            dest,
+            requested_at: at,
+            status: MigrationStatus::Queued,
+            failure: None,
+            archived: None,
+        });
+        self.queue.schedule(at, Ev::MigrationStart(job.0));
+        Ok(job)
     }
 
     /// Run until `horizon` (or until the event queue drains) and return
     /// the run report.
     pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        self.run_until_observed(horizon, &mut NullObserver)
+    }
+
+    /// Like [`Engine::run_until`], but delivering every job status
+    /// change and migration milestone to `obs` as it happens. The
+    /// observer can stop the run early by returning
+    /// [`RunControl::Stop`]; the report then reflects the state at the
+    /// abort instant.
+    pub fn run_until_observed(&mut self, horizon: SimTime, obs: &mut dyn Observer) -> RunReport {
+        let mut stopped = false;
         while let Some(t) = self.queue.peek_time() {
             if t > horizon {
                 break;
@@ -202,10 +361,174 @@ impl Engine {
             self.now = now;
             self.events_processed += 1;
             self.dispatch(ev);
+            if self.drain_job_events(obs) == RunControl::Stop {
+                stopped = true;
+                break;
+            }
         }
-        self.now = horizon;
-        self.net.advance(horizon);
+        if !stopped {
+            self.now = horizon;
+        }
+        self.net.advance(self.now);
         report::build(self)
+    }
+
+    /// Deliver pending job events to the observer.
+    fn drain_job_events(&mut self, obs: &mut dyn Observer) -> RunControl {
+        let mut control = RunControl::Continue;
+        while !self.job_events.is_empty() {
+            let batch = std::mem::take(&mut self.job_events);
+            for ev in batch {
+                let outcome = match ev.kind {
+                    JobEventKind::Status(status) => {
+                        let progress = self.job_progress(ev.job).expect("event names a live job");
+                        obs.on_status(ev.job, status, ev.at, &progress)
+                    }
+                    JobEventKind::Milestone(m) => obs.on_milestone(ev.job, m, ev.at),
+                };
+                if outcome == RunControl::Stop {
+                    control = RunControl::Stop;
+                }
+            }
+        }
+        control
+    }
+
+    // ---------------- job bookkeeping ----------------
+
+    /// Handles of all scheduled migration jobs, in scheduling order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        (0..self.jobs.len() as u32).map(JobId).collect()
+    }
+
+    /// The job scheduled for `vm`, if any.
+    pub fn job_for_vm(&self, vm: VmId) -> Option<JobId> {
+        // Latest wins: the live MigrationRt always belongs to the most
+        // recently scheduled job of the VM.
+        self.jobs
+            .iter()
+            .rposition(|j| j.vm == vm.0)
+            .map(|i| JobId(i as u32))
+    }
+
+    /// Current lifecycle status of a job.
+    pub fn job_status(&self, job: JobId) -> Option<MigrationStatus> {
+        self.jobs.get(job.0 as usize).map(|j| j.status)
+    }
+
+    /// Point-in-time progress snapshot of a job (queryable mid-run from
+    /// an observer callback or between stepped horizons).
+    pub fn job_progress(&self, job: JobId) -> Option<MigrationProgress> {
+        let j = self.jobs.get(job.0 as usize)?;
+        let vm = &self.vms[j.vm as usize];
+        let chunk = self.cfg.chunk_size;
+        let mut p = MigrationProgress {
+            job: job.0,
+            vm: j.vm,
+            source: vm.vm.host,
+            dest: j.dest,
+            strategy: vm.strategy,
+            status: j.status,
+            mem_rounds: 0,
+            chunks_pushed: 0,
+            chunks_pulled: 0,
+            bytes_pushed: 0,
+            bytes_pulled: 0,
+            chunks_remaining: 0,
+            eta: None,
+            downtime: SimDuration::ZERO,
+            failure: j.failure.clone(),
+        };
+        let latest_for_vm = self
+            .jobs
+            .iter()
+            .rposition(|x| x.vm == j.vm)
+            .map(|i| i as u32 == job.0)
+            .unwrap_or(false);
+        let mig_slot = j.archived.as_ref().or(if latest_for_vm {
+            vm.migration.as_ref()
+        } else {
+            None
+        });
+        if let Some(mig) = mig_slot {
+            p.source = mig.source;
+            p.mem_rounds = mig.mem_rounds;
+            p.chunks_pushed = mig.pushed_chunks;
+            p.chunks_pulled = mig.pulled_chunks;
+            p.bytes_pushed = mig.pushed_chunks * chunk;
+            p.bytes_pulled = mig.pulled_chunks * chunk;
+            p.chunks_remaining = mig.chunks_remaining();
+            p.downtime = mig.downtime_so_far(&vm.vm);
+            if !j.status.is_terminal() {
+                let bytes_left = p.chunks_remaining * chunk;
+                p.eta = Some(lsm_simcore::units::transfer_time(
+                    bytes_left,
+                    self.cfg.migration_speed_cap(),
+                ));
+            }
+        }
+        Some(p)
+    }
+
+    pub(crate) fn set_job_status(&mut self, job: JobId, status: MigrationStatus) {
+        let j = &mut self.jobs[job.0 as usize];
+        if j.status == status {
+            return;
+        }
+        j.status = status;
+        self.job_events.push(JobEvent {
+            job,
+            at: self.now,
+            kind: JobEventKind::Status(status),
+        });
+    }
+
+    /// Park a job at `Failed` with a reason (runtime rejection path; the
+    /// schedule-time validations catch these earlier, so hitting this
+    /// means the engine was driven below the checked API).
+    pub(crate) fn fail_job(&mut self, job: JobId, err: EngineError) {
+        self.jobs[job.0 as usize].failure = Some(err.to_string());
+        self.set_job_status(job, MigrationStatus::Failed);
+    }
+
+    /// Record a migration milestone on the VM's timeline and notify the
+    /// observer.
+    pub(crate) fn note_milestone(&mut self, v: VmIdx, milestone: Milestone) {
+        let now = self.now;
+        if let Some(mig) = self.vms[v as usize].migration.as_mut() {
+            mig.timeline.push((now, milestone));
+        }
+        if let Some(i) = self.jobs.iter().rposition(|j| j.vm == v) {
+            self.job_events.push(JobEvent {
+                job: JobId(i as u32),
+                at: now,
+                kind: JobEventKind::Milestone(milestone),
+            });
+        }
+    }
+
+    /// Move a VM's *finished* migration state out of the per-VM slot and
+    /// into the job it belongs to, so a later job (`current`) can reuse
+    /// the slot.
+    pub(crate) fn archive_vm_migration(&mut self, v: VmIdx, current: JobId) {
+        let prev = self
+            .jobs
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(i, j)| *i as u32 != current.0 && j.vm == v && j.archived.is_none())
+            .map(|(i, _)| i);
+        if let Some(prev) = prev {
+            self.jobs[prev].archived = self.vms[v as usize].migration.take();
+        }
+    }
+
+    pub(crate) fn job(&self, job: JobId) -> &JobRt {
+        &self.jobs[job.0 as usize]
+    }
+
+    pub(crate) fn jobs(&self) -> &[JobRt] {
+        &self.jobs
     }
 
     /// Number of events processed so far (diagnostics).
@@ -224,7 +547,7 @@ impl Engine {
             Ev::ComputeDone(v) => self.compute_done(v),
             Ev::CtlArrive(node, msg) => migration::ctl_arrive(self, node, msg),
             Ev::VmStart(v) => self.vm_start(v),
-            Ev::MigrationStart(v, dest) => migration::start_migration(self, v, dest),
+            Ev::MigrationStart(job) => migration::start_migration(self, JobId(job)),
             Ev::OpTimer(op) => self.op_part_done(op),
             Ev::ConvergencePoll(v) => migration::convergence_poll(self, v),
             Ev::KupdateTick(v) => self.kupdate_tick(v),
@@ -328,7 +651,8 @@ impl Engine {
             self.net.account_control(1500);
             self.net.latency()
         };
-        self.queue.schedule(self.now + delay, Ev::CtlArrive(to, msg));
+        self.queue
+            .schedule(self.now + delay, Ev::CtlArrive(to, msg));
     }
 
     fn resync_node_resource(&mut self, node: u32, which: u8) {
@@ -438,7 +762,11 @@ impl Engine {
         loop {
             let now = self.now;
             let n = &mut self.nodes[node as usize];
-            let res = if read { &mut n.cache_rd } else { &mut n.cache_wr };
+            let res = if read {
+                &mut n.cache_rd
+            } else {
+                &mut n.cache_wr
+            };
             match res.next_completion() {
                 Some((t, id)) if t <= now => {
                     res.complete(now, id);
@@ -551,7 +879,13 @@ impl Engine {
 
     // ---------------- ops ----------------
 
-    pub(crate) fn new_op(&mut self, vm: VmIdx, token: ActionToken, kind: OpKind, bytes: u64) -> OpId {
+    pub(crate) fn new_op(
+        &mut self,
+        vm: VmIdx,
+        token: ActionToken,
+        kind: OpKind,
+        bytes: u64,
+    ) -> OpId {
         let id = self.next_op;
         self.next_op += 1;
         self.ops.insert(
@@ -690,7 +1024,11 @@ impl Engine {
         let mut f = 1.0 - self.cfg.migration_cpu_steal;
         // Post-copy memory: remote page faults slow the guest while the
         // background pull is still running.
-        if m.postcopy_mem.as_ref().map(|p| p.faulting()).unwrap_or(false) {
+        if m.postcopy_mem
+            .as_ref()
+            .map(|p| p.faulting())
+            .unwrap_or(false)
+        {
             f *= self.cfg.postcopy_fault_slowdown;
         }
         f
@@ -773,7 +1111,14 @@ impl Engine {
             self.op_part_done(op);
             return;
         }
-        self.start_flow(src, dst, bytes, None, TrafficTag::AppNet, FlowCtx::Halo { op });
+        self.start_flow(
+            src,
+            dst,
+            bytes,
+            None,
+            TrafficTag::AppNet,
+            FlowCtx::Halo { op },
+        );
     }
 
     fn barrier_arrive(&mut self, v: VmIdx, token: ActionToken) {

@@ -1,0 +1,82 @@
+//! Run observers: milestone callbacks and cooperative abort.
+//!
+//! An [`Observer`] is handed to [`crate::engine::Engine::run_until_observed`]
+//! (or [`crate::builder::Simulation::run_observed`]) and receives every
+//! job status change and lifecycle milestone as it happens, together
+//! with a queryable [`MigrationProgress`] snapshot. Returning
+//! [`RunControl::Stop`] from any callback aborts the run at the current
+//! simulated instant; the report then reflects the partial state —
+//! callers can watch, log, or cancel instead of waiting for a post-hoc
+//! `RunReport`.
+
+use super::job::{JobId, MigrationProgress, MigrationStatus};
+use super::report::Milestone;
+use lsm_simcore::time::SimTime;
+
+/// Whether the run should keep going after a callback.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunControl {
+    /// Keep simulating.
+    Continue,
+    /// Stop the event loop at the current simulated time.
+    Stop,
+}
+
+/// Callbacks invoked by the engine while a run is in flight.
+///
+/// All methods default to no-ops that continue the run, so an observer
+/// implements only what it cares about.
+pub trait Observer {
+    /// A job's lifecycle status changed. `progress` is the snapshot at
+    /// the moment of the change.
+    fn on_status(
+        &mut self,
+        job: JobId,
+        status: MigrationStatus,
+        now: SimTime,
+        progress: &MigrationProgress,
+    ) -> RunControl {
+        let _ = (job, status, now, progress);
+        RunControl::Continue
+    }
+
+    /// A migration hit a Figure-2 lifecycle milestone.
+    fn on_milestone(&mut self, job: JobId, milestone: Milestone, now: SimTime) -> RunControl {
+        let _ = (job, milestone, now);
+        RunControl::Continue
+    }
+}
+
+/// The do-nothing observer used by plain `run_until`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// An observer that records every callback (useful in tests and for
+/// post-hoc inspection of a watched run).
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    /// `(time, job, status)` for every status change.
+    pub statuses: Vec<(SimTime, JobId, MigrationStatus)>,
+    /// `(time, job, milestone)` for every milestone.
+    pub milestones: Vec<(SimTime, JobId, Milestone)>,
+}
+
+impl Observer for RecordingObserver {
+    fn on_status(
+        &mut self,
+        job: JobId,
+        status: MigrationStatus,
+        now: SimTime,
+        _progress: &MigrationProgress,
+    ) -> RunControl {
+        self.statuses.push((now, job, status));
+        RunControl::Continue
+    }
+
+    fn on_milestone(&mut self, job: JobId, milestone: Milestone, now: SimTime) -> RunControl {
+        self.milestones.push((now, job, milestone));
+        RunControl::Continue
+    }
+}

@@ -1,6 +1,7 @@
 //! Run reports: everything the experiment harness needs to build the
 //! paper's tables and figures.
 
+use super::job::MigrationStatus;
 use super::types::MigPhase;
 use super::Engine;
 use crate::policy::StrategyKind;
@@ -32,6 +33,11 @@ pub enum Milestone {
 pub struct MigrationRecord {
     /// Index of the migrated VM.
     pub vm: u32,
+    /// Final lifecycle status of the job (`Queued` if the start time lay
+    /// beyond the horizon, `Failed` with a reason on runtime rejection).
+    pub status: MigrationStatus,
+    /// Failure reason, when `status` is `Failed`.
+    pub failure: Option<String>,
     /// Storage transfer strategy used.
     pub strategy: StrategyKind,
     /// When the migration was requested.
@@ -181,7 +187,10 @@ impl RunReport {
 
     /// Latest workload finish time, if all finished.
     pub fn all_finished_at(&self) -> Option<SimTime> {
-        self.vms.iter().map(|v| v.finished_at).collect::<Option<Vec<_>>>()
+        self.vms
+            .iter()
+            .map(|v| v.finished_at)
+            .collect::<Option<Vec<_>>>()
             .map(|v| v.into_iter().max().unwrap_or(SimTime::ZERO))
     }
 }
@@ -190,11 +199,28 @@ pub(crate) fn build(eng: &Engine) -> RunReport {
     let horizon = eng.now();
     let mut migrations = Vec::new();
     let mut vms = Vec::new();
-    for (i, vm) in eng.vms().iter().enumerate() {
-        if let Some(mig) = vm.migration.as_ref() {
+    for (ji, job) in eng.jobs().iter().enumerate() {
+        let vm = &eng.vms()[job.vm as usize];
+        // Per-job event-level state: the archive if a later migration of
+        // the same VM displaced it, else the live per-VM slot (which
+        // always belongs to the VM's most recent job).
+        let latest_for_vm = eng
+            .jobs()
+            .iter()
+            .rposition(|x| x.vm == job.vm)
+            .map(|i| i == ji)
+            .unwrap_or(false);
+        let mig_slot = job.archived.as_ref().or(if latest_for_vm {
+            vm.migration.as_ref()
+        } else {
+            None
+        });
+        if let Some(mig) = mig_slot {
             let completed = mig.phase == MigPhase::Complete;
             migrations.push(MigrationRecord {
-                vm: i as u32,
+                vm: job.vm,
+                status: job.status,
+                failure: job.failure.clone(),
                 strategy: mig.strategy,
                 requested_at: mig.requested_at,
                 control_at: mig.control_at,
@@ -210,12 +236,32 @@ pub(crate) fn build(eng: &Engine) -> RunReport {
                 consistent: mig.consistent,
                 timeline: mig.timeline.clone(),
             });
+        } else {
+            // The job never built event-level state: still queued beyond
+            // the horizon, or rejected at start time.
+            migrations.push(MigrationRecord {
+                vm: job.vm,
+                status: job.status,
+                failure: job.failure.clone(),
+                strategy: vm.strategy,
+                requested_at: job.requested_at,
+                control_at: None,
+                completed_at: None,
+                completed: false,
+                migration_time: None,
+                downtime: SimDuration::ZERO,
+                mem_rounds: 0,
+                throttled: false,
+                pushed_chunks: 0,
+                pulled_chunks: 0,
+                ondemand_chunks: 0,
+                consistent: None,
+                timeline: Vec::new(),
+            });
         }
-        let progress = vm
-            .driver
-            .as_ref()
-            .map(|d| d.progress())
-            .unwrap_or_default();
+    }
+    for (i, vm) in eng.vms().iter().enumerate() {
+        let progress = vm.driver.as_ref().map(|d| d.progress()).unwrap_or_default();
         let wt = if vm.write_busy.as_secs_f64() > 0.0 {
             vm.write_bytes as f64 / vm.write_busy.as_secs_f64()
         } else {

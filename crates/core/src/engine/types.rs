@@ -1,6 +1,8 @@
 //! Internal runtime state of the engine: events, per-node and per-VM
 //! bookkeeping, in-flight operation contexts.
 
+use super::job::{JobId, MigrationStatus};
+use super::report::Milestone;
 use crate::policy::{HybridDest, HybridSource, MirrorSource, PrecopySource, StrategyKind};
 use lsm_blockdev::{ChunkId, ChunkSet, PageCache, VirtualDisk};
 use lsm_hypervisor::{PrecopyMemory, Vm};
@@ -31,8 +33,8 @@ pub(crate) enum Ev {
     CtlArrive(u32, Ctl),
     /// Start the workload of a VM.
     VmStart(VmIdx),
-    /// Kick off a scheduled migration.
-    MigrationStart(VmIdx, u32),
+    /// Kick off a scheduled migration job (the index into `Engine::jobs`).
+    MigrationStart(u32),
     /// Generic per-operation timer (PVFS op overhead).
     OpTimer(OpId),
     /// Re-check a gated stop-and-copy (block stream convergence poll).
@@ -101,7 +103,12 @@ pub(crate) enum FlowCtx {
         replica: NodeId,
     },
     /// One stripe leg of a PVFS op.
-    PvfsLeg { op: OpId, server: NodeId, bytes: u64, write: bool },
+    PvfsLeg {
+        op: OpId,
+        server: NodeId,
+        bytes: u64,
+        write: bool,
+    },
     /// Application message (CM1 halo).
     Halo { op: OpId },
 }
@@ -137,7 +144,12 @@ pub(crate) enum DiskCtx {
     /// drain); non-blocking for the pipelines.
     Ingest { node: u32 },
     /// PVFS server-side disk work for one stripe leg.
-    PvfsServer { op: OpId, write: bool, bytes: u64, server: NodeId },
+    PvfsServer {
+        op: OpId,
+        write: bool,
+        bytes: u64,
+        server: NodeId,
+    },
 }
 
 /// Same routing for the cache lanes (they only ever serve VM ops).
@@ -202,6 +214,33 @@ pub(crate) struct ComputeRt {
     /// Progress rate: 1.0 normal, <1 under migration steal, 0 paused.
     pub factor: f64,
     pub ev: Option<lsm_simcore::EventId>,
+}
+
+/// One scheduled migration job (the orchestration-level view; the
+/// event-level state lives in [`MigrationRt`] once the job starts).
+pub(crate) struct JobRt {
+    pub vm: VmIdx,
+    pub dest: u32,
+    pub requested_at: SimTime,
+    pub status: MigrationStatus,
+    /// Failure reason, once `status == Failed`.
+    pub failure: Option<String>,
+    /// The finished event-level state, moved out of the VM slot when a
+    /// later migration of the same VM starts (a VM can migrate again
+    /// once its previous job is terminal).
+    pub archived: Option<MigrationRt>,
+}
+
+/// A job status change or milestone awaiting observer delivery.
+pub(crate) struct JobEvent {
+    pub job: JobId,
+    pub at: SimTime,
+    pub kind: JobEventKind,
+}
+
+pub(crate) enum JobEventKind {
+    Status(MigrationStatus),
+    Milestone(Milestone),
 }
 
 /// Migration lifecycle phase.
@@ -281,6 +320,35 @@ pub(crate) struct MigrationRt {
     pub downtime: SimDuration,
     /// Timestamped lifecycle milestones for the report.
     pub timeline: Vec<(SimTime, crate::engine::report::Milestone)>,
+}
+
+impl MigrationRt {
+    /// Chunks the destination still needs: exact during the pull phase,
+    /// the strategy source's remaining set before the handoff.
+    pub fn chunks_remaining(&self) -> u64 {
+        if let Some(dst) = self.hybrid_dst.as_ref() {
+            return dst.remaining_count() as u64;
+        }
+        if let Some(src) = self.hybrid_src.as_ref() {
+            return src.remaining_count() as u64;
+        }
+        if let Some(src) = self.precopy_src.as_ref() {
+            return src.remaining() as u64;
+        }
+        if let Some(src) = self.mirror_src.as_ref() {
+            return src.remaining() as u64;
+        }
+        0
+    }
+
+    /// Downtime attributable to this migration so far.
+    pub fn downtime_so_far(&self, vm: &Vm) -> SimDuration {
+        if self.completed_at.is_some() {
+            self.downtime
+        } else {
+            vm.total_downtime() - self.downtime_before
+        }
+    }
 }
 
 /// Per-VM runtime state.

@@ -6,6 +6,11 @@
 //! alongside the four comparison baselines on a deterministic simulated
 //! cluster.
 //!
+//! * [`builder`] — the checked orchestration API:
+//!   [`SimulationBuilder`] validates every request and returns
+//!   [`EngineError`] on misuse; [`builder::Simulation`] runs the cluster
+//!   and exposes per-job [`MigrationStatus`]/[`MigrationProgress`],
+//!   watchable (and abortable) through an [`engine::Observer`].
 //! * [`policy`] — the transfer strategies as pure, engine-free state
 //!   machines: the paper's Algorithms 1–4 ([`policy::HybridSource`],
 //!   [`policy::HybridDest`]) plus `precopy`, `mirror` and `postcopy`
@@ -17,29 +22,50 @@
 //!   Grid'5000 *graphene* testbed numbers.
 //!
 //! ```
+//! use lsm_core::builder::SimulationBuilder;
 //! use lsm_core::config::ClusterConfig;
-//! use lsm_core::engine::Engine;
 //! use lsm_core::policy::StrategyKind;
+//! use lsm_core::{MigrationStatus, NodeId};
 //! use lsm_simcore::SimTime;
 //! use lsm_workloads::WorkloadSpec;
 //!
-//! let mut eng = Engine::new(ClusterConfig::small_test());
-//! let vm = eng.add_vm(0, &WorkloadSpec::SeqWrite {
-//!     offset: 0, total: 16 << 20, block: 1 << 20, think_secs: 0.05,
-//! }, StrategyKind::Hybrid, SimTime::ZERO);
-//! eng.schedule_migration(vm, 1, SimTime::from_secs(1));
-//! let report = eng.run_until(SimTime::from_secs(120));
+//! # fn main() -> Result<(), lsm_core::EngineError> {
+//! let mut b = SimulationBuilder::new(ClusterConfig::small_test())?;
+//! let vm = b.add_vm(
+//!     NodeId(0),
+//!     WorkloadSpec::SeqWrite { offset: 0, total: 16 << 20, block: 1 << 20, think_secs: 0.05 },
+//!     StrategyKind::Hybrid,
+//!     SimTime::ZERO,
+//! )?;
+//! let job = b.migrate(vm, NodeId(1), SimTime::from_secs(1))?;
+//!
+//! // Misuse is an error, not a panic:
+//! assert!(b.migrate(vm, NodeId(1), SimTime::from_secs(2)).is_err());
+//!
+//! let mut sim = b.build()?;
+//! let report = sim.run_until(SimTime::from_secs(120));
+//! assert_eq!(sim.status(job), Some(MigrationStatus::Completed));
 //! let m = report.the_migration();
 //! assert!(m.completed && m.consistent == Some(true));
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod builder;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod policy;
 
+pub use builder::{Simulation, SimulationBuilder, VmHandle};
 pub use config::ClusterConfig;
-pub use engine::{Engine, MigrationRecord, RunReport, VmRecord};
+pub use engine::{
+    Engine, JobId, MigrationProgress, MigrationRecord, MigrationStatus, Observer, RunControl,
+    RunReport, VmRecord,
+};
+pub use error::EngineError;
+pub use lsm_netsim::NodeId;
 pub use policy::StrategyKind;

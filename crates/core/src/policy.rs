@@ -7,11 +7,14 @@
 //! `RemainingSet` / `WriteCount` bookkeeping of §4.3.
 
 use lsm_blockdev::{ChunkId, ChunkSet, DirtyTracker, WriteCounter};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use std::collections::BinaryHeap;
 
 /// The five storage transfer strategies compared in the paper (Table 1).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+///
+/// Deserialization accepts the variant name (`"Hybrid"`) or the paper's
+/// plot label (`"our-approach"`), case-insensitively.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
 pub enum StrategyKind {
     /// The paper's hybrid active push / prioritized prefetch (§4).
     Hybrid,
@@ -58,6 +61,37 @@ impl StrategyKind {
     /// Whether VM I/O goes to local storage (vs. the parallel FS).
     pub fn uses_local_storage(self) -> bool {
         !matches!(self, StrategyKind::SharedFs)
+    }
+}
+
+impl serde::Deserialize for StrategyKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) => s
+                .parse::<StrategyKind>()
+                .map_err(|e| serde::Error::new(e.to_string())),
+            other => Err(serde::Error::new(format!(
+                "expected strategy name string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = crate::error::EngineError;
+
+    /// Parse either the paper's plot label (`our-approach`, `precopy`,
+    /// `mirror`, `postcopy`, `pvfs-shared`) or the variant name, case
+    /// insensitively. `hybrid` is accepted as an alias of
+    /// `our-approach`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        StrategyKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(s) || format!("{k:?}").eq_ignore_ascii_case(s))
+            .ok_or_else(|| crate::error::EngineError::UnknownStrategy {
+                name: s.to_string(),
+            })
     }
 }
 

@@ -25,9 +25,11 @@ fn busy_writer() -> WorkloadSpec {
 }
 
 fn run_one(strategy: StrategyKind, migrate_at: f64, horizon: f64) -> lsm_core::RunReport {
-    let mut eng = Engine::new(ClusterConfig::small_test());
-    let vm = eng.add_vm(0, &busy_writer(), strategy, SimTime::ZERO);
-    eng.schedule_migration(vm, 1, t(migrate_at));
+    let mut eng = Engine::new(ClusterConfig::small_test()).unwrap();
+    let vm = eng
+        .add_vm(0, &busy_writer(), strategy, SimTime::ZERO)
+        .unwrap();
+    eng.schedule_migration(vm, 1, t(migrate_at)).unwrap();
     eng.run_until(t(horizon))
 }
 
@@ -101,13 +103,22 @@ fn workload_survives_migration_and_finishes() {
             strategy.label()
         );
         assert_eq!(vm.bytes_written, 48 * MIB, "{}", strategy.label());
-        assert_eq!(vm.final_host, 1, "{}: VM not at destination", strategy.label());
+        assert_eq!(
+            vm.final_host,
+            1,
+            "{}: VM not at destination",
+            strategy.label()
+        );
     }
 }
 
 #[test]
 fn downtime_is_small_for_live_strategies() {
-    for strategy in [StrategyKind::Hybrid, StrategyKind::Postcopy, StrategyKind::SharedFs] {
+    for strategy in [
+        StrategyKind::Hybrid,
+        StrategyKind::Postcopy,
+        StrategyKind::SharedFs,
+    ] {
         let r = run_one(strategy, 1.0, 600.0);
         let m = r.the_migration();
         assert!(
@@ -139,9 +150,10 @@ fn hybrid_bounds_retransmissions_under_hotspot() {
         let mut eng = Engine::new(ClusterConfig {
             dirty_expire_secs: 1.0,
             ..ClusterConfig::small_test()
-        });
-        let vm = eng.add_vm(0, &hotspot, strategy, SimTime::ZERO);
-        eng.schedule_migration(vm, 1, t(5.0));
+        })
+        .unwrap();
+        let vm = eng.add_vm(0, &hotspot, strategy, SimTime::ZERO).unwrap();
+        eng.schedule_migration(vm, 1, t(5.0)).unwrap();
         eng.run_until(t(900.0))
     };
     let hybrid = run(StrategyKind::Hybrid);
@@ -151,8 +163,8 @@ fn hybrid_bounds_retransmissions_under_hotspot() {
     assert!(hm.completed && pm.completed);
     assert_eq!(hm.consistent, Some(true));
     assert_eq!(pm.consistent, Some(true));
-    let h_storage = hybrid.traffic_for(TrafficTag::StoragePush)
-        + hybrid.traffic_for(TrafficTag::StoragePull);
+    let h_storage =
+        hybrid.traffic_for(TrafficTag::StoragePush) + hybrid.traffic_for(TrafficTag::StoragePull);
     let p_storage = precopy.traffic_for(TrafficTag::StoragePush);
     assert!(
         h_storage < p_storage,
@@ -162,17 +174,19 @@ fn hybrid_bounds_retransmissions_under_hotspot() {
 
 #[test]
 fn migration_of_idle_vm_is_memory_only_and_fast() {
-    let mut eng = Engine::new(ClusterConfig::small_test());
-    let vm = eng.add_vm(
-        0,
-        &WorkloadSpec::Idle {
-            bursts: 100,
-            burst_secs: 1.0,
-        },
-        StrategyKind::Hybrid,
-        SimTime::ZERO,
-    );
-    eng.schedule_migration(vm, 2, t(5.0));
+    let mut eng = Engine::new(ClusterConfig::small_test()).unwrap();
+    let vm = eng
+        .add_vm(
+            0,
+            &WorkloadSpec::Idle {
+                bursts: 100,
+                burst_secs: 1.0,
+            },
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    eng.schedule_migration(vm, 2, t(5.0)).unwrap();
     let r = eng.run_until(t(300.0));
     let m = r.the_migration();
     assert!(m.completed);
@@ -208,9 +222,11 @@ fn reads_after_postcopy_control_transfer_are_served() {
         file_offset: 0,
         fsync_per_phase: true,
     });
-    let mut eng = Engine::new(ClusterConfig::small_test());
-    let vm = eng.add_vm(0, &ior, StrategyKind::Postcopy, SimTime::ZERO);
-    eng.schedule_migration(vm, 1, t(1.0));
+    let mut eng = Engine::new(ClusterConfig::small_test()).unwrap();
+    let vm = eng
+        .add_vm(0, &ior, StrategyKind::Postcopy, SimTime::ZERO)
+        .unwrap();
+    eng.schedule_migration(vm, 1, t(1.0)).unwrap();
     let r = eng.run_until(t(900.0));
     let m = r.the_migration();
     assert!(m.completed);
@@ -224,14 +240,17 @@ fn concurrent_migrations_all_complete() {
     let mut eng = Engine::new(ClusterConfig {
         nodes: 8,
         ..ClusterConfig::small_test()
-    });
+    })
+    .unwrap();
     let mut vms = Vec::new();
     for i in 0..4 {
-        let vm = eng.add_vm(i, &busy_writer(), StrategyKind::Hybrid, SimTime::ZERO);
+        let vm = eng
+            .add_vm(i, &busy_writer(), StrategyKind::Hybrid, SimTime::ZERO)
+            .unwrap();
         vms.push(vm);
     }
     for (i, vm) in vms.iter().enumerate() {
-        eng.schedule_migration(*vm, 4 + i as u32, t(1.0));
+        eng.schedule_migration(*vm, 4 + i as u32, t(1.0)).unwrap();
     }
     let r = eng.run_until(t(900.0));
     assert_eq!(r.migrations.len(), 4);
@@ -248,12 +267,15 @@ fn cm1_group_barrier_couples_ranks() {
     let mut eng = Engine::new(ClusterConfig {
         nodes: 6,
         ..ClusterConfig::small_test()
-    });
+    })
+    .unwrap();
     let placements: Vec<(u32, WorkloadSpec)> = (0..4)
         .map(|r| (r, WorkloadSpec::cm1_small(r, 4, 2, 3)))
         .collect();
-    let ids = eng.add_group(&placements, StrategyKind::Hybrid, SimTime::ZERO);
-    eng.schedule_migration(ids[0], 4, t(2.0));
+    let ids = eng
+        .add_group(&placements, StrategyKind::Hybrid, SimTime::ZERO)
+        .unwrap();
+    eng.schedule_migration(ids[0], 4, t(2.0)).unwrap();
     let r = eng.run_until(t(900.0));
     let m = r.the_migration();
     assert!(m.completed);
@@ -269,7 +291,10 @@ fn cm1_group_barrier_couples_ranks() {
         spread < 1.0,
         "barrier should couple rank finish times, spread {spread:.2}s"
     );
-    assert!(r.traffic_for(TrafficTag::AppNet) > 0, "halo traffic missing");
+    assert!(
+        r.traffic_for(TrafficTag::AppNet) > 0,
+        "halo traffic missing"
+    );
 }
 
 #[test]
@@ -277,12 +302,15 @@ fn migration_traffic_excludes_app_traffic() {
     let mut eng = Engine::new(ClusterConfig {
         nodes: 6,
         ..ClusterConfig::small_test()
-    });
+    })
+    .unwrap();
     let placements: Vec<(u32, WorkloadSpec)> = (0..4)
         .map(|r| (r, WorkloadSpec::cm1_small(r, 4, 2, 2)))
         .collect();
-    let ids = eng.add_group(&placements, StrategyKind::Hybrid, SimTime::ZERO);
-    eng.schedule_migration(ids[1], 4, t(2.0));
+    let ids = eng
+        .add_group(&placements, StrategyKind::Hybrid, SimTime::ZERO)
+        .unwrap();
+    eng.schedule_migration(ids[1], 4, t(2.0)).unwrap();
     let r = eng.run_until(t(900.0));
     assert!(r.migration_traffic < r.total_traffic);
     assert_eq!(
@@ -305,12 +333,19 @@ fn postcopy_memory_preserves_storage_consistency() {
         let mut eng = Engine::new(ClusterConfig {
             postcopy_memory: true,
             ..ClusterConfig::small_test()
-        });
-        let vm = eng.add_vm(0, &busy_writer(), strategy, SimTime::ZERO);
-        eng.schedule_migration(vm, 1, t(1.0));
+        })
+        .unwrap();
+        let vm = eng
+            .add_vm(0, &busy_writer(), strategy, SimTime::ZERO)
+            .unwrap();
+        eng.schedule_migration(vm, 1, t(1.0)).unwrap();
         let r = eng.run_until(t(900.0));
         let m = r.the_migration();
-        assert!(m.completed, "{}: incomplete under post-copy memory", strategy.label());
+        assert!(
+            m.completed,
+            "{}: incomplete under post-copy memory",
+            strategy.label()
+        );
         assert_eq!(m.consistent, Some(true), "{}", strategy.label());
         assert!(r.vms[0].finished_at.is_some(), "{}", strategy.label());
         assert_eq!(r.vms[0].final_host, 1, "{}", strategy.label());
@@ -323,9 +358,12 @@ fn postcopy_memory_transfers_control_quickly() {
         let mut eng = Engine::new(ClusterConfig {
             postcopy_memory,
             ..ClusterConfig::small_test()
-        });
-        let vm = eng.add_vm(0, &busy_writer(), StrategyKind::Hybrid, SimTime::ZERO);
-        eng.schedule_migration(vm, 1, t(1.0));
+        })
+        .unwrap();
+        let vm = eng
+            .add_vm(0, &busy_writer(), StrategyKind::Hybrid, SimTime::ZERO)
+            .unwrap();
+        eng.schedule_migration(vm, 1, t(1.0)).unwrap();
         let r = eng.run_until(t(900.0));
         r.the_migration()
             .control_at
@@ -341,15 +379,24 @@ fn postcopy_memory_transfers_control_quickly() {
 }
 
 #[test]
-#[should_panic(expected = "requires pre-copy memory")]
 fn mirror_rejects_postcopy_memory() {
+    use lsm_core::EngineError;
     let mut eng = Engine::new(ClusterConfig {
         postcopy_memory: true,
         ..ClusterConfig::small_test()
-    });
-    let vm = eng.add_vm(0, &busy_writer(), StrategyKind::Mirror, SimTime::ZERO);
-    eng.schedule_migration(vm, 1, t(1.0));
-    let _ = eng.run_until(t(60.0));
+    })
+    .unwrap();
+    let vm = eng
+        .add_vm(0, &busy_writer(), StrategyKind::Mirror, SimTime::ZERO)
+        .unwrap();
+    let err = eng.schedule_migration(vm, 1, t(1.0)).unwrap_err();
+    assert_eq!(
+        err,
+        EngineError::IncompatibleMemoryStrategy {
+            strategy: StrategyKind::Mirror
+        }
+    );
+    assert!(err.to_string().contains("requires pre-copy memory"));
 }
 
 #[test]
@@ -360,9 +407,7 @@ fn report_helpers_are_coherent() {
     assert_eq!(sum, r.total_traffic);
     // mean over one migration equals its own time.
     let m = r.the_migration();
-    assert!(
-        (r.mean_migration_time() - m.migration_time.unwrap().as_secs_f64()).abs() < 1e-9
-    );
+    assert!((r.mean_migration_time() - m.migration_time.unwrap().as_secs_f64()).abs() < 1e-9);
     assert!((r.total_migration_time() - r.mean_migration_time()).abs() < 1e-9);
     // all_finished_at equals the single VM's finish time.
     assert_eq!(r.all_finished_at(), r.vms[0].finished_at);
@@ -374,7 +419,10 @@ fn report_helpers_are_coherent() {
 #[test]
 fn traffic_tag_totals_are_exclusive_and_exhaustive() {
     let r = run_one(StrategyKind::Mirror, 1.0, 600.0);
-    assert!(r.traffic_for(TrafficTag::Mirror) > 0, "mirror writes must flow");
+    assert!(
+        r.traffic_for(TrafficTag::Mirror) > 0,
+        "mirror writes must flow"
+    );
     assert_eq!(
         r.migration_traffic,
         r.total_traffic - r.traffic_for(TrafficTag::AppNet)

@@ -45,8 +45,8 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
             }
         ),
         // Mixed read/write hotspot.
-        (8u64..128, 50u64..2000, 0.1f64..0.9, 0u64..1000).prop_map(
-            |(blocks, count, rf, seed)| WorkloadSpec::HotspotMixed {
+        (8u64..128, 50u64..2000, 0.1f64..0.9, 0u64..1000).prop_map(|(blocks, count, rf, seed)| {
+            WorkloadSpec::HotspotMixed {
                 offset: 0,
                 region_blocks: blocks,
                 block: 256 * 1024,
@@ -56,7 +56,7 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
                 think_secs: 0.004,
                 seed,
             }
-        ),
+        }),
         // Write-then-read-back cycles.
         (1u64..3, 4u64..64).prop_map(|(iters, mb)| {
             WorkloadSpec::Ior(lsm_workloads::IorParams {
@@ -71,10 +71,7 @@ fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn migrations_always_terminate_consistently(
@@ -90,9 +87,9 @@ proptest! {
             transfer_window: window,
             dirty_expire_secs: expire,
             ..ClusterConfig::small_test()
-        });
-        let vm = eng.add_vm(0, &wl, strategy, SimTime::ZERO);
-        eng.schedule_migration(vm, 1, SimTime::from_secs_f64(migrate_at));
+        }).unwrap();
+        let vm = eng.add_vm(0, &wl, strategy, SimTime::ZERO).unwrap();
+        eng.schedule_migration(vm, 1, SimTime::from_secs_f64(migrate_at)).unwrap();
         let r = eng.run_until(SimTime::from_secs(3600));
         let m = r.the_migration();
         prop_assert!(m.completed, "{}: migration did not terminate", strategy.label());

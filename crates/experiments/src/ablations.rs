@@ -91,7 +91,7 @@ pub fn run_threshold_ablation(scale: Scale) -> Vec<ThresholdPoint> {
         let spec = ScenarioSpec::single_migration(StrategyKind::Hybrid, wl.clone(), migrate_at)
             .with_cluster(hot_cluster(scale, th))
             .with_horizon(horizon);
-        let r = run_scenario(&spec);
+        let r = run_scenario(&spec).expect("experiment scenario is valid");
         let m = r.the_migration();
         assert!(m.completed, "threshold {th}: migration incomplete");
         assert_eq!(m.consistent, Some(true));
@@ -114,7 +114,13 @@ pub fn run_threshold_ablation(scale: Scale) -> Vec<ThresholdPoint> {
 pub fn threshold_table(points: &[ThresholdPoint]) -> Table {
     let mut t = Table::new(
         "Ablation A: push Threshold sweep (hot-overwrite workload)",
-        &["Threshold", "migration time (s)", "storage traffic (MB)", "pushed", "pulled"],
+        &[
+            "Threshold",
+            "migration time (s)",
+            "storage traffic (MB)",
+            "pushed",
+            "pulled",
+        ],
     );
     for p in points {
         let th = if p.threshold == u32::MAX {
@@ -195,7 +201,7 @@ pub fn run_priority_ablation(scale: Scale) -> Vec<PriorityPoint> {
         let spec = ScenarioSpec::single_migration(StrategyKind::Postcopy, wl.clone(), migrate_at)
             .with_cluster(cluster)
             .with_horizon(horizon);
-        let r = run_scenario(&spec);
+        let r = run_scenario(&spec).expect("experiment scenario is valid");
         let m = r.the_migration();
         assert!(m.completed && m.consistent == Some(true));
         PriorityPoint {
@@ -214,7 +220,12 @@ pub fn run_priority_ablation(scale: Scale) -> Vec<PriorityPoint> {
 pub fn priority_table(points: &[PriorityPoint]) -> Table {
     let mut t = Table::new(
         "Ablation B: prefetch prioritization (zipf read/write hotspot)",
-        &["prioritized", "on-demand pulls", "migration time (s)", "read bw (MB/s)"],
+        &[
+            "prioritized",
+            "on-demand pulls",
+            "migration time (s)",
+            "read bw (MB/s)",
+        ],
     );
     for p in points {
         t.row(vec![
@@ -247,7 +258,7 @@ pub fn run_window_ablation(scale: Scale) -> Vec<WindowPoint> {
         let spec = ScenarioSpec::single_migration(StrategyKind::Hybrid, wl.clone(), migrate_at)
             .with_cluster(cluster)
             .with_horizon(horizon);
-        let r = run_scenario(&spec);
+        let r = run_scenario(&spec).expect("experiment scenario is valid");
         let m = r.the_migration();
         assert!(m.completed && m.consistent == Some(true));
         WindowPoint {
@@ -307,7 +318,7 @@ pub fn run_memstrategy_ablation(scale: Scale) -> Vec<MemStrategyPoint> {
         let spec = ScenarioSpec::single_migration(strategy, wl.clone(), migrate_at)
             .with_cluster(cluster)
             .with_horizon(horizon);
-        let r = run_scenario(&spec);
+        let r = run_scenario(&spec).expect("experiment scenario is valid");
         let m = r.the_migration();
         MemStrategyPoint {
             strategy,
@@ -326,12 +337,23 @@ pub fn run_memstrategy_ablation(scale: Scale) -> Vec<MemStrategyPoint> {
 pub fn memstrategy_table(points: &[MemStrategyPoint]) -> Table {
     let mut t = Table::new(
         "Ablation D: memory-migration independence (paper §6)",
-        &["storage strategy", "memory strategy", "migration time (s)", "downtime (ms)", "consistent"],
+        &[
+            "storage strategy",
+            "memory strategy",
+            "migration time (s)",
+            "downtime (ms)",
+            "consistent",
+        ],
     );
     for p in points {
         t.row(vec![
             p.strategy.label().to_string(),
-            if p.postcopy_memory { "post-copy" } else { "pre-copy" }.to_string(),
+            if p.postcopy_memory {
+                "post-copy"
+            } else {
+                "pre-copy"
+            }
+            .to_string(),
             f(p.migration_time_s),
             f(p.downtime_ms),
             p.consistent.to_string(),

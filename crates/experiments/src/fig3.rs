@@ -54,7 +54,12 @@ fn workloads(scale: Scale) -> Vec<(&'static str, WorkloadSpec, f64, f64)> {
     // (label, spec, migrate_at, horizon)
     match scale {
         Scale::Paper => vec![
-            ("IOR", WorkloadSpec::Ior(IorParams::default()), 100.0, 1000.0),
+            (
+                "IOR",
+                WorkloadSpec::Ior(IorParams::default()),
+                100.0,
+                1000.0,
+            ),
             (
                 "AsyncWR",
                 WorkloadSpec::AsyncWr(AsyncWrParams::default()),
@@ -102,7 +107,8 @@ pub fn run_fig3_strategies(scale: Scale, strategies: &[StrategyKind]) -> Fig3Res
         // "maximal achieved values when no live migration is performed".
         let b = run_scenario(
             &ScenarioSpec::baseline(StrategyKind::Hybrid, spec.clone()).with_horizon(horizon),
-        );
+        )
+        .expect("experiment scenario is valid");
         base_read.push((label, b.vms[0].read_throughput));
         base_write.push((label, b.vms[0].write_throughput));
 
@@ -114,7 +120,7 @@ pub fn run_fig3_strategies(scale: Scale, strategies: &[StrategyKind]) -> Fig3Res
     }
 
     let reports = parallel_map(jobs, |(bi, label, strategy, s)| {
-        let r = run_scenario(&s);
+        let r = run_scenario(&s).expect("experiment scenario is valid");
         (bi, label, strategy, r)
     });
 

@@ -9,7 +9,7 @@
 //! * **(c) performance degradation** — aggregate compute counters of all
 //!   30 VMs vs. a migration-free run, in % of the maximum.
 
-use crate::scenario::{run_scenario, ScenarioSpec};
+use crate::scenario::{run_scenario, MigrationSpec, ScenarioSpec, VmSpec};
 use crate::sweep::parallel_map;
 use crate::table::{f, Table};
 use crate::Scale;
@@ -85,19 +85,25 @@ pub struct Fig4Result {
     pub baseline_compute: f64,
 }
 
-fn scenario(p: &Fig4Params, strategy: StrategyKind, k: u32) -> ScenarioSpec {
+/// Produce the Figure 4 scenario for `(strategy, k)` — `k = 0` is the
+/// migration-free baseline shape.
+pub fn scenario(p: &Fig4Params, strategy: StrategyKind, k: u32) -> ScenarioSpec {
     // Sources on nodes 0..sources, destinations after them; repository
     // spans all nodes (the paper aggregates every local disk).
     let nodes = 2 * p.sources + 1;
-    let mut vms = Vec::new();
-    for i in 0..p.sources {
-        vms.push((i, WorkloadSpec::AsyncWr(p.workload)));
-    }
+    let vms = (0..p.sources)
+        .map(|i| VmSpec::new(i, WorkloadSpec::AsyncWr(p.workload)))
+        .collect();
     let migrations = (0..k)
-        .map(|i| (i, p.sources + i, p.migrate_at))
+        .map(|i| MigrationSpec {
+            vm: i,
+            dest: p.sources + i,
+            at_secs: p.migrate_at,
+        })
         .collect();
     ScenarioSpec {
-        cluster: ClusterConfig::graphene(nodes),
+        name: Some(format!("fig4-{}-k{k}", strategy.label())),
+        cluster: Some(ClusterConfig::graphene(nodes)),
         vms,
         grouped: false,
         strategy,
@@ -127,7 +133,7 @@ pub fn run_fig4_strategies(scale: Scale, strategies: &[StrategyKind]) -> Fig4Res
     let baselines = parallel_map(strategies.to_vec(), |strategy| {
         let mut base = scenario(&p, strategy, 0);
         base.migrations.clear();
-        let r = run_scenario(&base);
+        let r = run_scenario(&base).expect("experiment scenario is valid");
         let end = r
             .all_finished_at()
             .map(|t| t.as_secs_f64())
@@ -146,7 +152,7 @@ pub fn run_fig4_strategies(scale: Scale, strategies: &[StrategyKind]) -> Fig4Res
         }
     }
     let points = parallel_map(jobs, |(strategy, k, base_compute, s)| {
-        let r = run_scenario(&s);
+        let r = run_scenario(&s).expect("experiment scenario is valid");
         let all_ok = r
             .migrations
             .iter()

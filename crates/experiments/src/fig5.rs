@@ -10,7 +10,7 @@
 //! * **(c) increase in application execution time** vs. a migration-free
 //!   run.
 
-use crate::scenario::{run_scenario, ScenarioSpec};
+use crate::scenario::{run_scenario, MigrationSpec, ScenarioSpec, VmSpec};
 use crate::sweep::parallel_map;
 use crate::table::{f, Table};
 use crate::Scale;
@@ -92,9 +92,11 @@ pub struct Fig5Result {
     pub baseline_runtime_s: f64,
 }
 
-fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec {
+/// Produce the Figure 5 scenario for `(strategy, n)` — `n = 0` is the
+/// migration-free baseline shape.
+pub fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec {
     let nodes = p.ranks + p.ns.iter().copied().max().unwrap_or(1);
-    let vms: Vec<(u32, WorkloadSpec)> = (0..p.ranks)
+    let vms: Vec<VmSpec> = (0..p.ranks)
         .map(|r| {
             let spec = if p.small {
                 WorkloadSpec::cm1_small(r, p.ranks, p.grid_w, p.iterations)
@@ -107,11 +109,15 @@ fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec {
                     ..Default::default()
                 })
             };
-            (r, spec)
+            VmSpec::new(r, spec)
         })
         .collect();
     let migrations = (0..n)
-        .map(|i| (i, p.ranks + i, p.interval * (i + 1) as f64))
+        .map(|i| MigrationSpec {
+            vm: i,
+            dest: p.ranks + i,
+            at_secs: p.interval * (i + 1) as f64,
+        })
         .collect();
     let mut cluster = ClusterConfig::graphene(nodes);
     if p.small {
@@ -121,7 +127,8 @@ fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec {
         };
     }
     ScenarioSpec {
-        cluster,
+        name: Some(format!("fig5-{}-n{n}", strategy.label())),
+        cluster: Some(cluster),
         vms,
         grouped: true,
         strategy,
@@ -145,10 +152,12 @@ pub fn run_fig5_strategies(scale: Scale, strategies: &[StrategyKind]) -> Fig5Res
     let baselines = parallel_map(strategies.to_vec(), |strategy| {
         let mut base = scenario(&p, strategy, 0);
         base.migrations.clear();
-        let r = run_scenario(&base);
+        let r = run_scenario(&base).expect("experiment scenario is valid");
         (
             strategy,
-            r.all_finished_at().map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+            r.all_finished_at()
+                .map(|t| t.as_secs_f64())
+                .unwrap_or(f64::NAN),
             r.migration_traffic as f64 / GIB as f64,
         )
     });
@@ -160,7 +169,7 @@ pub fn run_fig5_strategies(scale: Scale, strategies: &[StrategyKind]) -> Fig5Res
         }
     }
     let points = parallel_map(jobs, |(strategy, n, base_runtime, s)| {
-        let r = run_scenario(&s);
+        let r = run_scenario(&s).expect("experiment scenario is valid");
         let runtime = r.all_finished_at().map(|t| t.as_secs_f64());
         let all_ok = runtime.is_some()
             && r.migrations
@@ -182,10 +191,13 @@ pub fn run_fig5_strategies(scale: Scale, strategies: &[StrategyKind]) -> Fig5Res
 
     Fig5Result {
         points,
-        baseline_runtime_s: baselines
-            .iter()
-            .map(|&(_, t, _)| t)
-            .fold(f64::NAN, |a, b| if a.is_nan() { b } else { a.min(b) }),
+        baseline_runtime_s: baselines.iter().map(|&(_, t, _)| t).fold(f64::NAN, |a, b| {
+            if a.is_nan() {
+                b
+            } else {
+                a.min(b)
+            }
+        }),
     }
 }
 

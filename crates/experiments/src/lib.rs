@@ -16,8 +16,10 @@
 //! paper's parameters; [`Scale::Quick`] is a minutes→seconds reduction
 //! with the same qualitative behaviour, used by integration tests.
 //!
-//! [`scenario`] has the single-run building blocks, [`table`] the plain
-//! text/CSV renderers, and [`sweep`] a crossbeam-parallel run launcher.
+//! [`scenario`] has the declarative, TOML/JSON-serializable run
+//! descriptions ([`scenario::ScenarioSpec`]) and the checked runner
+//! every experiment goes through, [`table`] the plain text/CSV
+//! renderers, and [`sweep`] a scoped-thread parallel run launcher.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -1,26 +1,77 @@
-//! Single-run building blocks shared by every experiment.
+//! Declarative scenarios: the serializable description of one
+//! simulation run, and the checked runner that executes it through
+//! [`SimulationBuilder`].
+//!
+//! A [`ScenarioSpec`] round-trips through TOML and JSON (see
+//! [`ScenarioSpec::to_toml`] / [`ScenarioSpec::from_toml`]), so a run
+//! that today is a Rust program can be checked into a file and replayed
+//! with `lsm run scenario.toml` — producing the same [`RunReport`] as
+//! the equivalent builder-API program. Multi-VM, multi-migration and
+//! mixed-strategy scenarios are first-class: each VM may override the
+//! scenario-wide default strategy.
 
+use lsm_core::builder::{Simulation, SimulationBuilder};
 use lsm_core::config::ClusterConfig;
-use lsm_core::engine::Engine;
+use lsm_core::engine::Observer;
+use lsm_core::error::EngineError;
 use lsm_core::policy::StrategyKind;
-use lsm_core::RunReport;
+use lsm_core::{NodeId, RunReport};
 use lsm_simcore::time::SimTime;
 use lsm_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
+/// One VM in a scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Host node.
+    pub node: u32,
+    /// The workload it runs.
+    pub workload: WorkloadSpec,
+    /// Per-VM strategy override (`None` → the scenario default).
+    pub strategy: Option<StrategyKind>,
+    /// Workload start time in seconds (`None` → 0).
+    pub start_secs: Option<f64>,
+}
+
+impl VmSpec {
+    /// A VM with the scenario-default strategy starting at t = 0.
+    pub fn new(node: u32, workload: WorkloadSpec) -> Self {
+        VmSpec {
+            node,
+            workload,
+            strategy: None,
+            start_secs: None,
+        }
+    }
+}
+
+/// One scheduled migration in a scenario.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MigrationSpec {
+    /// Index into [`ScenarioSpec::vms`].
+    pub vm: u32,
+    /// Destination node.
+    pub dest: u32,
+    /// Request time in seconds.
+    pub at_secs: f64,
+}
+
 /// A declarative description of one simulation run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
-    /// Cluster parameters.
-    pub cluster: ClusterConfig,
-    /// VMs: `(host node, workload)`.
-    pub vms: Vec<(u32, WorkloadSpec)>,
-    /// If set, the VMs form one barrier-synchronized workload group.
-    pub grouped: bool,
-    /// Storage transfer strategy for every VM.
+    /// Optional human-readable name (shown by the CLI).
+    pub name: Option<String>,
+    /// Cluster parameters (`None` → the paper's 8-node graphene cluster).
+    pub cluster: Option<ClusterConfig>,
+    /// Default storage transfer strategy for every VM.
     pub strategy: StrategyKind,
-    /// Migrations: `(vm index, destination node, time seconds)`.
-    pub migrations: Vec<(u32, u32, f64)>,
+    /// If true, the VMs form one barrier-synchronized workload group
+    /// (all under the default strategy).
+    pub grouped: bool,
+    /// The VMs.
+    pub vms: Vec<VmSpec>,
+    /// The migrations.
+    pub migrations: Vec<MigrationSpec>,
     /// Simulation horizon in seconds.
     pub horizon_secs: f64,
 }
@@ -34,11 +85,16 @@ impl ScenarioSpec {
         migrate_at: f64,
     ) -> Self {
         ScenarioSpec {
-            cluster: ClusterConfig::graphene(8),
-            vms: vec![(0, workload)],
-            grouped: false,
+            name: None,
+            cluster: Some(ClusterConfig::graphene(8)),
             strategy,
-            migrations: vec![(0, 1, migrate_at)],
+            grouped: false,
+            vms: vec![VmSpec::new(0, workload)],
+            migrations: vec![MigrationSpec {
+                vm: 0,
+                dest: 1,
+                at_secs: migrate_at,
+            }],
             horizon_secs: 1200.0,
         }
     }
@@ -51,9 +107,15 @@ impl ScenarioSpec {
         s
     }
 
+    /// Builder: name the scenario.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = Some(name.to_string());
+        self
+    }
+
     /// Builder: replace the cluster configuration.
     pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
-        self.cluster = cluster;
+        self.cluster = Some(cluster);
         self
     }
 
@@ -62,23 +124,121 @@ impl ScenarioSpec {
         self.horizon_secs = secs;
         self
     }
+
+    /// The effective cluster configuration.
+    pub fn cluster_config(&self) -> ClusterConfig {
+        self.cluster
+            .clone()
+            .unwrap_or_else(|| ClusterConfig::graphene(8))
+    }
+
+    /// The effective strategy of VM `i`.
+    pub fn vm_strategy(&self, i: usize) -> StrategyKind {
+        self.vms
+            .get(i)
+            .and_then(|v| v.strategy)
+            .unwrap_or(self.strategy)
+    }
+
+    /// Serialize to a TOML document.
+    pub fn to_toml(&self) -> Result<String, serde::Error> {
+        toml::to_string(self)
+    }
+
+    /// Parse from a TOML document.
+    pub fn from_toml(s: &str) -> Result<Self, serde::Error> {
+        toml::from_str(s)
+    }
+
+    /// Serialize to pretty-printed JSON.
+    pub fn to_json(&self) -> Result<String, serde::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(s)
+    }
 }
 
-/// Build the engine, deploy, run, and report.
-pub fn run_scenario(spec: &ScenarioSpec) -> RunReport {
-    let mut eng = Engine::new(spec.cluster.clone());
-    let ids = if spec.grouped {
-        eng.add_group(&spec.vms, spec.strategy, SimTime::ZERO)
-    } else {
-        spec.vms
-            .iter()
-            .map(|(node, w)| eng.add_vm(*node, w, spec.strategy, SimTime::ZERO))
-            .collect()
-    };
-    for &(vm, dest, at) in &spec.migrations {
-        eng.schedule_migration(ids[vm as usize], dest, SimTime::from_secs_f64(at));
+fn secs(what: &str, value: f64) -> Result<SimTime, EngineError> {
+    if !(value.is_finite() && value >= 0.0) {
+        return Err(EngineError::InvalidTime {
+            what: what.to_string(),
+            value,
+        });
     }
-    eng.run_until(SimTime::from_secs_f64(spec.horizon_secs))
+    Ok(SimTime::from_secs_f64(value))
+}
+
+/// Build (and validate) the simulation a spec describes, without
+/// running it — callers can then attach observers, poll progress, or
+/// step the horizon themselves.
+pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
+    let mut b = SimulationBuilder::new(spec.cluster_config())?;
+    let mut handles = Vec::with_capacity(spec.vms.len());
+    if spec.grouped {
+        // A group runs under one strategy and one start time; silently
+        // dropping per-VM overrides would run a different experiment
+        // than the file describes.
+        let start0 = spec.vms.first().and_then(|v| v.start_secs).unwrap_or(0.0);
+        for (i, v) in spec.vms.iter().enumerate() {
+            if v.strategy.is_some() {
+                return Err(EngineError::InvalidScenario {
+                    reason: format!(
+                        "grouped scenarios use the scenario-wide strategy, but vm {i} overrides it"
+                    ),
+                });
+            }
+            if v.start_secs.unwrap_or(0.0) != start0 {
+                return Err(EngineError::InvalidScenario {
+                    reason: format!(
+                        "grouped scenarios start all ranks together, but vm {i} sets its own start_secs"
+                    ),
+                });
+            }
+        }
+        let start = secs("group start", start0)?;
+        let placements: Vec<(NodeId, WorkloadSpec)> = spec
+            .vms
+            .iter()
+            .map(|v| (NodeId(v.node), v.workload.clone()))
+            .collect();
+        handles.extend(b.add_group(&placements, spec.strategy, start)?);
+    } else {
+        for (i, v) in spec.vms.iter().enumerate() {
+            let start = secs("workload start", v.start_secs.unwrap_or(0.0))?;
+            handles.push(b.add_vm(
+                NodeId(v.node),
+                v.workload.clone(),
+                spec.vm_strategy(i),
+                start,
+            )?);
+        }
+    }
+    for m in &spec.migrations {
+        let Some(&vm) = handles.get(m.vm as usize) else {
+            return Err(EngineError::UnknownVm { vm: m.vm });
+        };
+        b.migrate(vm, NodeId(m.dest), secs("migration", m.at_secs)?)?;
+    }
+    b.build()
+}
+
+/// Build, run to the horizon, and report.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<RunReport, EngineError> {
+    let mut sim = build_scenario(spec)?;
+    Ok(sim.run_until(secs("horizon", spec.horizon_secs)?))
+}
+
+/// Like [`run_scenario`], with observer callbacks on every job status
+/// change and milestone.
+pub fn run_scenario_observed(
+    spec: &ScenarioSpec,
+    obs: &mut dyn Observer,
+) -> Result<RunReport, EngineError> {
+    let mut sim = build_scenario(spec)?;
+    Ok(sim.run_observed(secs("horizon", spec.horizon_secs)?, obs))
 }
 
 #[cfg(test)]
@@ -86,9 +246,8 @@ mod tests {
     use super::*;
     use lsm_simcore::units::MIB;
 
-    #[test]
-    fn single_migration_scenario_runs() {
-        let mut spec = ScenarioSpec::single_migration(
+    fn small_single() -> ScenarioSpec {
+        ScenarioSpec::single_migration(
             StrategyKind::Hybrid,
             WorkloadSpec::SeqWrite {
                 offset: 0,
@@ -97,10 +256,14 @@ mod tests {
                 think_secs: 0.01,
             },
             1.0,
-        );
-        spec.cluster = ClusterConfig::small_test();
-        spec.horizon_secs = 300.0;
-        let r = run_scenario(&spec);
+        )
+        .with_cluster(ClusterConfig::small_test())
+        .with_horizon(300.0)
+    }
+
+    #[test]
+    fn single_migration_scenario_runs() {
+        let r = run_scenario(&small_single()).expect("valid scenario");
         assert_eq!(r.migrations.len(), 1);
         assert!(r.migrations[0].completed);
         assert_eq!(r.migrations[0].consistent, Some(true));
@@ -115,10 +278,139 @@ mod tests {
                 burst_secs: 0.5,
             },
         );
-        spec.cluster = ClusterConfig::small_test();
+        spec.cluster = Some(ClusterConfig::small_test());
         spec.horizon_secs = 30.0;
-        let r = run_scenario(&spec);
+        let r = run_scenario(&spec).expect("valid scenario");
         assert!(r.migrations.is_empty());
         assert!(r.vms[0].finished_at.is_some());
+    }
+
+    #[test]
+    fn mixed_strategy_scenario_runs_both() {
+        let mut spec = small_single();
+        spec.vms.push(VmSpec {
+            node: 1,
+            workload: WorkloadSpec::Idle {
+                bursts: 2,
+                burst_secs: 0.5,
+            },
+            strategy: Some(StrategyKind::Postcopy),
+            start_secs: None,
+        });
+        spec.migrations.push(MigrationSpec {
+            vm: 1,
+            dest: 2,
+            at_secs: 2.0,
+        });
+        let r = run_scenario(&spec).expect("valid scenario");
+        assert_eq!(r.migrations.len(), 2);
+        assert_eq!(r.migrations[0].strategy, StrategyKind::Hybrid);
+        assert_eq!(r.migrations[1].strategy, StrategyKind::Postcopy);
+        assert!(r.migrations.iter().all(|m| m.completed));
+    }
+
+    #[test]
+    fn bad_scenarios_are_errors_not_panics() {
+        // Migration of an unknown VM index.
+        let mut spec = small_single();
+        spec.migrations[0].vm = 7;
+        assert_eq!(
+            run_scenario(&spec).unwrap_err(),
+            EngineError::UnknownVm { vm: 7 }
+        );
+        // Destination out of range.
+        let mut spec = small_single();
+        spec.migrations[0].dest = 99;
+        assert!(matches!(
+            run_scenario(&spec).unwrap_err(),
+            EngineError::NodeOutOfRange { node: 99, .. }
+        ));
+        // Negative migration time.
+        let mut spec = small_single();
+        spec.migrations[0].at_secs = -3.0;
+        assert!(matches!(
+            run_scenario(&spec).unwrap_err(),
+            EngineError::InvalidTime { .. }
+        ));
+        // Workload larger than the image.
+        let mut spec = small_single();
+        spec.vms[0].workload = WorkloadSpec::SeqWrite {
+            offset: 0,
+            total: 10 << 30,
+            block: MIB,
+            think_secs: 0.0,
+        };
+        assert!(matches!(
+            run_scenario(&spec).unwrap_err(),
+            EngineError::WorkloadExceedsImage { .. }
+        ));
+    }
+
+    #[test]
+    fn grouped_scenarios_reject_per_vm_overrides() {
+        let mut spec = small_single();
+        spec.grouped = true;
+        spec.migrations.clear();
+        spec.vms[0].workload = WorkloadSpec::cm1_small(0, 2, 1, 1);
+        spec.vms
+            .push(VmSpec::new(1, WorkloadSpec::cm1_small(1, 2, 1, 1)));
+        spec.vms[1].strategy = Some(StrategyKind::Postcopy);
+        assert!(matches!(
+            run_scenario(&spec).unwrap_err(),
+            EngineError::InvalidScenario { .. }
+        ));
+        spec.vms[1].strategy = None;
+        spec.vms[1].start_secs = Some(3.0);
+        assert!(matches!(
+            run_scenario(&spec).unwrap_err(),
+            EngineError::InvalidScenario { .. }
+        ));
+        // Without the overrides the group runs.
+        spec.vms[1].start_secs = None;
+        assert!(run_scenario(&spec).is_ok());
+    }
+
+    #[test]
+    fn unknown_scenario_fields_are_rejected() {
+        let toml = "strategy = \"our-approach\"\ngrouped = false\nhorizon_secs = 1.0\nvms = []\nmigrations = []\nhorizn = 2.0\n";
+        let err = ScenarioSpec::from_toml(toml).unwrap_err().to_string();
+        assert!(err.contains("unknown field `horizn`"), "{err}");
+        let toml = "strategy = \"our-approach\"\ngrouped = false\nhorizon_secs = 1.0\nvms = []\nmigrations = []\n[cluster]\nchunksize = 65536\n";
+        let err = ScenarioSpec::from_toml(toml).unwrap_err().to_string();
+        assert!(
+            err.contains("unknown ClusterConfig field `chunksize`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn toml_roundtrip_preserves_spec() {
+        let spec = small_single().with_name("unit");
+        let text = spec.to_toml().expect("serializes");
+        let back = ScenarioSpec::from_toml(&text).expect("parses");
+        assert_eq!(back, spec, "TOML:\n{text}");
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_spec() {
+        let spec = small_single();
+        let text = spec.to_json().expect("serializes");
+        let back = ScenarioSpec::from_json(&text).expect("parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn toml_run_equals_builder_run() {
+        let spec = small_single();
+        let direct = run_scenario(&spec).expect("runs");
+        let via_toml =
+            run_scenario(&ScenarioSpec::from_toml(&spec.to_toml().unwrap()).expect("parses"))
+                .expect("runs");
+        assert_eq!(direct.events, via_toml.events);
+        assert_eq!(direct.total_traffic, via_toml.total_traffic);
+        assert_eq!(
+            direct.the_migration().completed_at,
+            via_toml.the_migration().completed_at
+        );
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! The simulator itself is single-threaded for determinism; experiments
 //! are embarrassingly parallel across runs, so the sweep runner fans runs
-//! out over OS threads with crossbeam's scoped threads.
+//! out over OS threads with `std::thread::scope`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Apply `f` to every item, in parallel, preserving order.
 ///
@@ -29,32 +30,31 @@ where
         return items.into_iter().map(f).collect();
     }
 
-    let slots: Vec<parking_lot::Mutex<Option<R>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let inputs: Vec<parking_lot::Mutex<Option<T>>> = items
-        .into_iter()
-        .map(|t| parking_lot::Mutex::new(Some(t)))
-        .collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = inputs[i].lock().take().expect("item taken once");
+                let item = inputs[i]
+                    .lock()
+                    .expect("input lock")
+                    .take()
+                    .expect("item taken once");
                 let out = f(item);
-                *slots[i].lock() = Some(out);
+                *slots[i].lock().expect("slot lock") = Some(out);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     slots
         .into_iter()
-        .map(|m| m.into_inner().expect("slot filled"))
+        .map(|m| m.into_inner().expect("slot lock").expect("slot filled"))
         .collect()
 }
 

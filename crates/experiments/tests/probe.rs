@@ -9,7 +9,8 @@ use lsm_workloads::{IorParams, WorkloadSpec};
 fn probe_ior_baselines() {
     let ior = WorkloadSpec::Ior(IorParams::default());
     for strategy in [StrategyKind::Hybrid, StrategyKind::SharedFs] {
-        let r = run_scenario(&ScenarioSpec::baseline(strategy, ior.clone()).with_horizon(1000.0));
+        let r = run_scenario(&ScenarioSpec::baseline(strategy, ior.clone()).with_horizon(1000.0))
+            .expect("probe scenario is valid");
         let v = &r.vms[0];
         println!(
             "{:<12} read {:>7.1} MB/s  write {:>7.1} MB/s  finished {:?} iters {} \
@@ -38,7 +39,8 @@ fn probe_single_read_latency() {
         file_offset: 0,
         fsync_per_phase: false,
     });
-    let r = run_scenario(&ScenarioSpec::baseline(StrategyKind::Hybrid, ior).with_horizon(60.0));
+    let r = run_scenario(&ScenarioSpec::baseline(StrategyKind::Hybrid, ior).with_horizon(60.0))
+        .expect("probe scenario is valid");
     let v = &r.vms[0];
     let read_busy = v.bytes_read as f64 / v.read_throughput;
     println!(
@@ -54,9 +56,13 @@ fn probe_single_read_latency() {
 #[test]
 fn probe_ior_hybrid_migration() {
     let ior = WorkloadSpec::Ior(IorParams::default());
-    for strategy in [StrategyKind::Hybrid, StrategyKind::Postcopy, StrategyKind::Precopy] {
+    for strategy in [
+        StrategyKind::Hybrid,
+        StrategyKind::Postcopy,
+        StrategyKind::Precopy,
+    ] {
         let s = ScenarioSpec::single_migration(strategy, ior.clone(), 100.0).with_horizon(1000.0);
-        let r = run_scenario(&s);
+        let r = run_scenario(&s).expect("probe scenario is valid");
         let m = r.the_migration();
         println!(
             "{:<12} ctl@{:>6.1} end@{:>6.1} rounds {:>3} throttled {:>5} push {:>5} pull {:>5} od {:>4} down {:>6.2}s wl_end {:?}",
@@ -83,12 +89,18 @@ fn probe_fig5_single_point_timing() {
     println!("ranks={} iters={}", p.ranks, p.iterations);
     let start = std::time::Instant::now();
     let r = lsm_experiments::fig5::run_fig5_strategies(Scale::Paper, &[StrategyKind::Hybrid]);
-    println!("hybrid sweep (7 points + baseline) took {:?}", start.elapsed());
+    println!(
+        "hybrid sweep (7 points + baseline) took {:?}",
+        start.elapsed()
+    );
     for pt in &r.points {
         println!(
             "n={} cumul={:.1}s traffic={:.1}GB slowdown={:.1}s ok={}",
-            pt.n, pt.cumulated_migration_time_s, pt.migration_traffic_gb,
-            pt.runtime_increase_s, pt.all_ok
+            pt.n,
+            pt.cumulated_migration_time_s,
+            pt.migration_traffic_gb,
+            pt.runtime_increase_s,
+            pt.all_ok
         );
     }
 }

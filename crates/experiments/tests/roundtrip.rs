@@ -1,0 +1,156 @@
+//! Property test: arbitrary scenarios survive TOML and JSON round-trips
+//! bit-exactly (including float fields), and parsing rejects garbage
+//! with errors rather than panics.
+
+use lsm_core::config::ClusterConfig;
+use lsm_core::policy::StrategyKind;
+use lsm_experiments::scenario::{MigrationSpec, ScenarioSpec, VmSpec};
+use lsm_workloads::{AsyncWrParams, IorParams, WorkloadSpec};
+use proptest::prelude::*;
+
+fn strategy_strategy() -> impl Strategy<Value = StrategyKind> {
+    prop_oneof![
+        Just(StrategyKind::Hybrid),
+        Just(StrategyKind::Precopy),
+        Just(StrategyKind::Mirror),
+        Just(StrategyKind::Postcopy),
+        Just(StrategyKind::SharedFs),
+    ]
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        (0u64..64, 1u64..64, 1u64..8, 0.0f64..0.1).prop_map(|(off, mb, block, think)| {
+            WorkloadSpec::SeqWrite {
+                offset: off << 20,
+                total: mb << 20,
+                block: block << 20,
+                think_secs: think,
+            }
+        }),
+        (1u64..2048, 1u64..512, 0.0f64..0.95, 0u64..9999).prop_map(
+            |(blocks, count, theta, seed)| WorkloadSpec::HotspotWrite {
+                offset: 0,
+                region_blocks: blocks,
+                block: 256 * 1024,
+                count,
+                theta,
+                think_secs: 0.004,
+                seed,
+            }
+        ),
+        (1u64..64, 1u32..8).prop_map(|(mb, iters)| {
+            WorkloadSpec::Ior(IorParams {
+                file_size: mb << 20,
+                block_size: 256 * 1024,
+                iterations: iters,
+                file_offset: 0,
+                fsync_per_phase: mb % 2 == 0,
+            })
+        }),
+        (1u32..200).prop_map(|iters| {
+            WorkloadSpec::AsyncWr(AsyncWrParams {
+                iterations: iters,
+                ..Default::default()
+            })
+        }),
+        (1u32..10, 0.01f64..5.0).prop_map(|(bursts, secs)| WorkloadSpec::Idle {
+            bursts,
+            burst_secs: secs,
+        }),
+    ]
+}
+
+fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        strategy_strategy(),
+        prop::collection::vec(
+            (
+                0u32..8,
+                workload_strategy(),
+                prop::option::of(strategy_strategy()),
+            ),
+            1..5,
+        ),
+        prop::collection::vec((0u32..8, 0.1f64..100.0), 0..4),
+        1.0f64..2000.0,
+        prop::bool::ANY,
+        prop::option::of(0u64..99),
+    )
+        .prop_map(|(strategy, vms, migs, horizon, default_cluster, name)| {
+            let nvms = vms.len() as u32;
+            ScenarioSpec {
+                name: name.map(|n| format!("scenario-{n}")),
+                cluster: if default_cluster {
+                    None
+                } else {
+                    Some(ClusterConfig::graphene(8))
+                },
+                strategy,
+                grouped: false,
+                vms: vms
+                    .into_iter()
+                    .map(|(node, workload, strategy)| VmSpec {
+                        node,
+                        workload,
+                        strategy,
+                        start_secs: None,
+                    })
+                    .collect(),
+                migrations: migs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (dest, at))| MigrationSpec {
+                        vm: i as u32 % nvms,
+                        dest,
+                        at_secs: at,
+                    })
+                    .collect(),
+                horizon_secs: horizon,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn toml_roundtrip_is_exact(spec in scenario_strategy()) {
+        let text = spec.to_toml().expect("every spec serializes");
+        let back = ScenarioSpec::from_toml(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(&back, &spec, "TOML document:\n{}", text);
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact(spec in scenario_strategy()) {
+        let text = spec.to_json().expect("every spec serializes");
+        let back = ScenarioSpec::from_json(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn toml_to_json_to_toml_is_exact(spec in scenario_strategy()) {
+        let via = ScenarioSpec::from_json(&spec.to_json().unwrap()).unwrap();
+        let text = via.to_toml().unwrap();
+        prop_assert_eq!(ScenarioSpec::from_toml(&text).unwrap(), spec);
+    }
+}
+
+#[test]
+fn garbage_input_is_an_error_not_a_panic() {
+    for bad in [
+        "",
+        "strategy = 12",
+        "vms = 3",
+        "[[vms]]\nnode = \"zero\"",
+        "strategy = \"NoSuchStrategy\"\ngrouped = false\nvms = []\nmigrations = []\nhorizon_secs = 1.0",
+        "{ not toml at all",
+    ] {
+        assert!(ScenarioSpec::from_toml(bad).is_err(), "accepted: {bad:?}");
+    }
+    for bad in ["", "[1, 2", "{\"strategy\": 4}", "null"] {
+        assert!(ScenarioSpec::from_json(bad).is_err(), "accepted: {bad:?}");
+    }
+}

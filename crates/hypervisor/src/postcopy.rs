@@ -100,9 +100,7 @@ mod tests {
         assert!(!m.faulting());
         assert_eq!(
             m.handover_done(),
-            PostcopyStep::BackgroundPull {
-                bytes: 960 * MIB
-            }
+            PostcopyStep::BackgroundPull { bytes: 960 * MIB }
         );
         assert!(m.faulting());
         m.pull_done();

@@ -1,30 +1,41 @@
 //! A small CM1 cluster (2×2 ranks) with two successive live migrations —
-//! the Figure 5 scenario at laptop scale. Shows how one migrated rank
-//! drags the whole barrier-synchronized application.
+//! the Figure 5 scenario at laptop scale, on the checked builder API.
+//! Shows how one migrated rank drags the whole barrier-synchronized
+//! application.
 //!
 //! ```text
 //! cargo run --release --example cm1_cluster
 //! ```
 
+use lsm::core::builder::SimulationBuilder;
 use lsm::core::config::ClusterConfig;
-use lsm::core::engine::Engine;
 use lsm::core::policy::StrategyKind;
+use lsm::core::NodeId;
 use lsm::simcore::SimTime;
 use lsm::workloads::WorkloadSpec;
 
 fn run(migrations: u32) -> (f64, f64) {
-    let mut eng = Engine::new(ClusterConfig {
+    let mut b = SimulationBuilder::new(ClusterConfig {
         nodes: 8,
         ..ClusterConfig::small_test()
-    });
-    let placements: Vec<(u32, WorkloadSpec)> = (0..4)
-        .map(|r| (r, WorkloadSpec::cm1_small(r, 4, 2, 4)))
+    })
+    .expect("config is valid");
+    let placements: Vec<(NodeId, WorkloadSpec)> = (0..4)
+        .map(|r| (NodeId(r), WorkloadSpec::cm1_small(r, 4, 2, 4)))
         .collect();
-    let ids = eng.add_group(&placements, StrategyKind::Hybrid, SimTime::ZERO);
+    let ids = b
+        .add_group(&placements, StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("group is valid");
     for i in 0..migrations {
-        eng.schedule_migration(ids[i as usize], 4 + i, SimTime::from_secs_f64(10.0 * (i + 1) as f64));
+        b.migrate(
+            ids[i as usize],
+            NodeId(4 + i),
+            SimTime::from_secs_f64(10.0 * (i + 1) as f64),
+        )
+        .expect("migration is valid");
     }
-    let r = eng.run_until(SimTime::from_secs(900));
+    let mut sim = b.build().expect("simulation builds");
+    let r = sim.run_until(SimTime::from_secs(900));
     for m in &r.migrations {
         assert!(m.completed && m.consistent == Some(true));
     }
@@ -39,7 +50,10 @@ fn run(migrations: u32) -> (f64, f64) {
 fn main() {
     let (base, _) = run(0);
     println!("CM1 2x2, hybrid storage migration");
-    println!("{:>12} {:>14} {:>22}", "#migrations", "app runtime", "cumulated migr. time");
+    println!(
+        "{:>12} {:>14} {:>22}",
+        "#migrations", "app runtime", "cumulated migr. time"
+    );
     println!("{:>12} {:>12.1} s {:>20} s", 0, base, "-");
     for n in 1..=2 {
         let (runtime, cumul) = run(n);

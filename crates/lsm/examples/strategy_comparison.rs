@@ -23,9 +23,8 @@ fn main() {
         "strategy", "time (s)", "down (ms)", "traffic (MB)", "pushed", "pulled"
     );
     for strategy in StrategyKind::ALL {
-        let spec =
-            ScenarioSpec::single_migration(strategy, ior.clone(), 30.0).with_horizon(1000.0);
-        let r = run_scenario(&spec);
+        let spec = ScenarioSpec::single_migration(strategy, ior.clone(), 30.0).with_horizon(1000.0);
+        let r = run_scenario(&spec).expect("scenario is valid");
         let m = r.the_migration();
         assert!(m.completed, "{} did not finish", strategy.label());
         assert_eq!(m.consistent, Some(true));

@@ -13,7 +13,10 @@ use lsm::experiments::Scale;
 fn main() {
     let points = run_threshold_ablation(Scale::Quick);
     println!("{}", threshold_table(&points).render());
-    let bounded = points.iter().find(|p| p.threshold == 3).expect("threshold 3");
+    let bounded = points
+        .iter()
+        .find(|p| p.threshold == 3)
+        .expect("threshold 3");
     let unbounded = points
         .iter()
         .find(|p| p.threshold == u32::MAX)

@@ -53,9 +53,11 @@ fn all_strategies_migrate_consistently_at_various_times() {
                 let mut eng = Engine::new(ClusterConfig {
                     dirty_expire_secs: 2.0,
                     ..ClusterConfig::small_test()
-                });
-                let vm = eng.add_vm(0, &wl, strategy, SimTime::ZERO);
-                eng.schedule_migration(vm, 2, SimTime::from_secs_f64(migrate_at));
+                })
+                .unwrap();
+                let vm = eng.add_vm(0, &wl, strategy, SimTime::ZERO).unwrap();
+                eng.schedule_migration(vm, 2, SimTime::from_secs_f64(migrate_at))
+                    .unwrap();
                 let r = eng.run_until(SimTime::from_secs(1200));
                 let m = r.the_migration();
                 assert!(
@@ -84,17 +86,24 @@ fn back_to_back_migrations_of_different_vms() {
     let mut eng = Engine::new(ClusterConfig {
         nodes: 8,
         ..ClusterConfig::small_test()
-    });
+    })
+    .unwrap();
     let wl = WorkloadSpec::SeqWrite {
         offset: 0,
         total: 32 * MIB,
         block: MIB,
         think_secs: 0.02,
     };
-    let a = eng.add_vm(0, &wl, StrategyKind::Hybrid, SimTime::ZERO);
-    let b = eng.add_vm(1, &wl, StrategyKind::Hybrid, SimTime::ZERO);
-    eng.schedule_migration(a, 4, SimTime::from_secs_f64(1.0));
-    eng.schedule_migration(b, 5, SimTime::from_secs_f64(2.5));
+    let a = eng
+        .add_vm(0, &wl, StrategyKind::Hybrid, SimTime::ZERO)
+        .unwrap();
+    let b = eng
+        .add_vm(1, &wl, StrategyKind::Hybrid, SimTime::ZERO)
+        .unwrap();
+    eng.schedule_migration(a, 4, SimTime::from_secs_f64(1.0))
+        .unwrap();
+    eng.schedule_migration(b, 5, SimTime::from_secs_f64(2.5))
+        .unwrap();
     let r = eng.run_until(SimTime::from_secs(600));
     assert_eq!(r.migrations.len(), 2);
     for m in &r.migrations {

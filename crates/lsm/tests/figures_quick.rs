@@ -56,7 +56,10 @@ fn fig4_quick_shapes() {
     // local-storage scheme (memory + storage per migration)…
     let t1 = r.point(StrategyKind::Hybrid, 1).total_traffic_gb;
     let t4 = r.point(StrategyKind::Hybrid, 4).total_traffic_gb;
-    assert!(t4 > 2.0 * t1, "hybrid traffic must scale with k: {t1} -> {t4}");
+    assert!(
+        t4 > 2.0 * t1,
+        "hybrid traffic must scale with k: {t1} -> {t4}"
+    );
     // …while pvfs pays a large I/O tax regardless of k.
     let p1 = r.point(StrategyKind::SharedFs, 1).total_traffic_gb;
     assert!(
@@ -67,10 +70,7 @@ fn fig4_quick_shapes() {
 
 #[test]
 fn fig5_quick_shapes() {
-    let r = fig5::run_fig5_strategies(
-        Scale::Quick,
-        &[StrategyKind::Hybrid, StrategyKind::Precopy],
-    );
+    let r = fig5::run_fig5_strategies(Scale::Quick, &[StrategyKind::Hybrid, StrategyKind::Precopy]);
     for pt in &r.points {
         assert!(pt.all_ok, "{} n={}", pt.strategy.label(), pt.n);
     }

@@ -1,0 +1,75 @@
+//! The shipped `scenarios/demo.toml` must parse, run end-to-end, and
+//! produce exactly the same report as the equivalent builder-API
+//! program.
+
+use lsm::core::builder::SimulationBuilder;
+use lsm::core::{MigrationStatus, NodeId, StrategyKind};
+use lsm::experiments::scenario::{run_scenario, ScenarioSpec};
+use lsm::simcore::SimTime;
+
+const DEMO: &str = include_str!("../../../scenarios/demo.toml");
+
+#[test]
+fn demo_file_parses_and_roundtrips() {
+    let spec = ScenarioSpec::from_toml(DEMO).expect("demo.toml parses");
+    assert_eq!(spec.name.as_deref(), Some("demo"));
+    assert_eq!(spec.vms.len(), 2);
+    assert_eq!(spec.migrations.len(), 2);
+    // Partial [cluster] override: explicit fields stick, the rest
+    // default.
+    let cluster = spec.cluster_config();
+    assert_eq!(cluster.nodes, 4);
+    assert_eq!(cluster.image_size, 64 << 20);
+    assert_eq!(cluster.disk_bw, lsm::simcore::units::mb_per_s(55.0));
+    // Mixed strategies: scenario default + per-VM override.
+    assert_eq!(spec.vm_strategy(0), StrategyKind::Hybrid);
+    assert_eq!(spec.vm_strategy(1), StrategyKind::Postcopy);
+    // Round-trip.
+    let back = ScenarioSpec::from_toml(&spec.to_toml().unwrap()).unwrap();
+    assert_eq!(back, spec);
+}
+
+#[test]
+fn demo_file_runs_identically_to_the_builder_program() {
+    let spec = ScenarioSpec::from_toml(DEMO).expect("demo.toml parses");
+    let from_file = run_scenario(&spec).expect("runs");
+
+    // The same scenario, written against the builder API directly.
+    let mut b = SimulationBuilder::new(spec.cluster_config()).unwrap();
+    let a = b
+        .add_vm(
+            NodeId(0),
+            spec.vms[0].workload.clone(),
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let c = b
+        .add_vm(
+            NodeId(1),
+            spec.vms[1].workload.clone(),
+            StrategyKind::Postcopy,
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let ja = b
+        .migrate(a, NodeId(2), SimTime::from_secs_f64(1.0))
+        .unwrap();
+    let jc = b
+        .migrate(c, NodeId(3), SimTime::from_secs_f64(2.0))
+        .unwrap();
+    let mut sim = b.build().unwrap();
+    let from_builder = sim.run_until(SimTime::from_secs_f64(300.0));
+
+    assert_eq!(from_file.events, from_builder.events);
+    assert_eq!(from_file.total_traffic, from_builder.total_traffic);
+    assert_eq!(from_file.migrations.len(), from_builder.migrations.len());
+    for (x, y) in from_file.migrations.iter().zip(&from_builder.migrations) {
+        assert_eq!(x.completed_at, y.completed_at);
+        assert_eq!(x.downtime, y.downtime);
+        assert_eq!(x.pushed_chunks, y.pushed_chunks);
+        assert_eq!(x.pulled_chunks, y.pulled_chunks);
+    }
+    assert_eq!(sim.status(ja), Some(MigrationStatus::Completed));
+    assert_eq!(sim.status(jc), Some(MigrationStatus::Completed));
+}

@@ -11,9 +11,7 @@ pub struct FlowId(pub u64);
 
 /// Classification of network traffic, used to reproduce the paper's
 /// per-cause traffic accounting (Figures 3b, 4b, 5b).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub enum TrafficTag {
     /// Memory pre-copy / post-copy transfer performed by the hypervisor.
     Memory,
@@ -439,7 +437,14 @@ mod tests {
     #[test]
     fn completion_and_conservation() {
         let mut net = FlowNet::new(topo(4));
-        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::StoragePush);
+        let f = net.start_flow(
+            Z,
+            NodeId(0),
+            NodeId(1),
+            100 * MIB,
+            None,
+            TrafficTag::StoragePush,
+        );
         let (done, id) = net.next_completion().unwrap();
         assert_eq!(id, f);
         assert!((done.as_secs_f64() - 1.0).abs() < 1e-6);
@@ -452,7 +457,14 @@ mod tests {
     #[test]
     fn cancel_reports_partial_delivery() {
         let mut net = FlowNet::new(topo(4));
-        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::StoragePull);
+        let f = net.start_flow(
+            Z,
+            NodeId(0),
+            NodeId(1),
+            100 * MIB,
+            None,
+            TrafficTag::StoragePull,
+        );
         let left = net.cancel_flow(t(0.5), f).unwrap();
         assert_eq!(left / MIB, 50);
         assert_eq!(net.delivered(TrafficTag::StoragePull) / MIB, 50);

@@ -20,7 +20,12 @@ fn topo() -> Topology {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Start { src: u32, dst: u32, mib: u64, cap: Option<f64> },
+    Start {
+        src: u32,
+        dst: u32,
+        mib: u64,
+        cap: Option<f64>,
+    },
     CancelOldest,
     RunToNextCompletion,
 }
@@ -45,8 +50,8 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 ///     that is saturated and on which no other flow gets a higher rate.
 fn check_maxmin(net: &FlowNet, live: &BTreeMap<FlowId, (u32, u32, Option<f64>)>) {
     const EPS: f64 = 1e-3;
-    let mut up = vec![0.0f64; NODES];
-    let mut down = vec![0.0f64; NODES];
+    let mut up = [0.0f64; NODES];
+    let mut down = [0.0f64; NODES];
     let mut agg = 0.0f64;
     for (&id, &(src, dst, cap)) in live {
         let r = net.rate_of(id).expect("live flow has a rate");

@@ -142,7 +142,13 @@ mod tests {
     fn single_stripe_hits_one_server() {
         let fs = fs(4, 64 * 1024);
         let plan = fs.plan_io(0, 1000);
-        assert_eq!(plan, vec![StripeOp { server: NodeId(0), bytes: 1000 }]);
+        assert_eq!(
+            plan,
+            vec![StripeOp {
+                server: NodeId(0),
+                bytes: 1000
+            }]
+        );
     }
 
     #[test]
@@ -159,7 +165,13 @@ mod tests {
     fn offset_rotates_starting_server() {
         let fs = fs(4, 64 * 1024);
         let plan = fs.plan_io(2 * 64 * 1024, 64 * 1024);
-        assert_eq!(plan, vec![StripeOp { server: NodeId(2), bytes: 64 * 1024 }]);
+        assert_eq!(
+            plan,
+            vec![StripeOp {
+                server: NodeId(2),
+                bytes: 64 * 1024
+            }]
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!
 //! The kernel is intentionally single-threaded: determinism is a hard
 //! requirement (the paper's experiments are compared run-to-run), and the
-//! experiment harness instead parallelizes across *runs* with crossbeam.
+//! experiment harness instead parallelizes across *runs* with scoped threads.
 //!
 //! ```
 //! use lsm_simcore::{EventQueue, SimTime, SimDuration};

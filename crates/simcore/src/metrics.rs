@@ -42,7 +42,7 @@ impl TimeSeries {
     /// non-decreasing time order (asserted in debug builds).
     pub fn push(&mut self, t: SimTime, v: f64) {
         debug_assert!(
-            self.samples.last().map_or(true, |&(lt, _)| lt <= t),
+            self.samples.last().is_none_or(|&(lt, _)| lt <= t),
             "time series samples out of order"
         );
         self.samples.push((t, v));
@@ -129,7 +129,11 @@ impl Histogram {
     /// Record a non-negative value.
     pub fn record(&mut self, v: f64) {
         debug_assert!(v >= 0.0);
-        let b = if v < 1.0 { 0 } else { (v as u64).ilog2() as usize };
+        let b = if v < 1.0 {
+            0
+        } else {
+            (v as u64).ilog2() as usize
+        };
         self.buckets[b.min(63)] += 1;
         self.count += 1;
         self.sum += v;

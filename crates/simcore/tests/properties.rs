@@ -54,7 +54,7 @@ proptest! {
         for (i, &mb) in sizes.iter().enumerate() {
             let id = r.submit(now, mb * MB, None);
             live.push((id, mb * MB));
-            now = now + SimDuration::from_millis(10);
+            now += SimDuration::from_millis(10);
             r.advance(now);
             if cancel_mask[i] && live.len() > 1 {
                 let (victim, size) = live.remove(0);

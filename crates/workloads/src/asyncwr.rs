@@ -17,7 +17,7 @@ use lsm_simcore::units::MIB;
 use serde::{Deserialize, Serialize};
 
 /// AsyncWR parameters (defaults = the paper's configuration).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct AsyncWrParams {
     /// Number of iterations (180 in the paper).
     pub iterations: u32,
@@ -212,7 +212,7 @@ mod tests {
             let a = queue.remove(0);
             match a {
                 Action::Compute { token, dur } => {
-                    now = now + dur;
+                    now += dur;
                     queue.extend(w.on_complete(now, token));
                 }
                 Action::Io { token, .. } => {
@@ -231,8 +231,7 @@ mod tests {
     #[test]
     fn io_pressure_matches_paper_defaults() {
         let p = AsyncWrParams::default();
-        let pressure =
-            p.data_per_iter as f64 / p.compute_per_iter.as_secs_f64() / MIB as f64;
+        let pressure = p.data_per_iter as f64 / p.compute_per_iter.as_secs_f64() / MIB as f64;
         assert!((pressure - 6.0).abs() < 0.01, "≈6 MB/s, got {pressure}");
         assert_eq!(p.iterations as u64 * p.data_per_iter, 1800 * MIB);
     }

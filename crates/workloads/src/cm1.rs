@@ -16,7 +16,7 @@ use lsm_simcore::units::{GIB, MIB};
 use serde::{Deserialize, Serialize};
 
 /// CM1 parameters (defaults shaped like the paper's §5.5 configuration).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Cm1Params {
     /// This rank's index in `0..ranks`.
     pub rank: u32,
@@ -106,7 +106,10 @@ pub struct Cm1 {
 impl Cm1 {
     /// Create the driver for one rank.
     pub fn new(p: Cm1Params) -> Self {
-        assert!(p.ranks % p.grid_w == 0, "non-rectangular decomposition");
+        assert!(
+            p.ranks.is_multiple_of(p.grid_w),
+            "non-rectangular decomposition"
+        );
         assert!(p.rank < p.ranks);
         assert!(p.exchanges_per_iter >= 1);
         let neighbors = p.neighbors();

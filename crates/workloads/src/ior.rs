@@ -13,7 +13,7 @@ use lsm_simcore::units::{GIB, KIB, MIB};
 use serde::{Deserialize, Serialize};
 
 /// IOR parameters (defaults = the paper's configuration).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct IorParams {
     /// Bytes written then read per iteration (1 GB in the paper).
     pub file_size: u64,
@@ -68,7 +68,10 @@ impl Ior {
     /// Create an IOR driver.
     pub fn new(p: IorParams) -> Self {
         assert!(p.file_size >= p.block_size && p.block_size > 0);
-        assert!(p.file_size % p.block_size == 0, "file not block-aligned");
+        assert!(
+            p.file_size.is_multiple_of(p.block_size),
+            "file not block-aligned"
+        );
         Ior {
             p,
             tokens: TokenAlloc::default(),
@@ -116,7 +119,8 @@ impl Workload for Ior {
                 if self.block < self.blocks_per_phase {
                     return vec![self.issue_block(IoKind::Write)];
                 }
-                self.phase_log.push((IoKind::Write, self.phase_started, now));
+                self.phase_log
+                    .push((IoKind::Write, self.phase_started, now));
                 self.block = 0;
                 if self.p.fsync_per_phase {
                     self.phase = Phase::Syncing;
@@ -187,7 +191,7 @@ mod tests {
             match a {
                 Action::Io { token, .. } | Action::Fsync { token } => {
                     ios += 1;
-                    now = now + lsm_simcore::SimDuration::from_millis(1);
+                    now += lsm_simcore::SimDuration::from_millis(1);
                     pending.extend(ior.on_complete(now, token));
                 }
                 Action::Finish => finished = true,
@@ -195,7 +199,10 @@ mod tests {
             }
         }
         assert!(finished);
-        (ios, ior.progress().bytes_written + ior.progress().bytes_read)
+        (
+            ios,
+            ior.progress().bytes_written + ior.progress().bytes_read,
+        )
     }
 
     #[test]

@@ -14,7 +14,7 @@ use lsm_simcore::units::MIB;
 use serde::{Deserialize, Serialize};
 
 /// A description of a workload, sufficient to build its driver.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// The IOR benchmark (§5.3).
     Ior(IorParams),
@@ -186,6 +186,165 @@ impl WorkloadSpec {
     /// planning in scenario builders).
     pub fn mem_spec(&self) -> MemSpec {
         self.build().mem_spec()
+    }
+
+    /// Check the parameters the driver constructors would otherwise
+    /// `assert!` on (plus the hang/NaN traps they would not catch), so
+    /// a bad scenario file is an error at deployment time rather than a
+    /// panic or a wedged run.
+    pub fn validate(&self) -> Result<(), String> {
+        fn time(name: &str, secs: f64) -> Result<(), String> {
+            if secs.is_finite() && secs >= 0.0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{name} must be finite and non-negative, got {secs}"
+                ))
+            }
+        }
+        fn hotspot(
+            region_blocks: u64,
+            block: u64,
+            count: u64,
+            theta: f64,
+            think_secs: f64,
+        ) -> Result<(), String> {
+            if region_blocks == 0 || block == 0 || count == 0 {
+                return Err("region_blocks, block and count must be positive".into());
+            }
+            if !(0.0..1.0).contains(&theta) {
+                return Err(format!("theta must be in [0, 1), got {theta}"));
+            }
+            time("think_secs", think_secs)
+        }
+        match self {
+            WorkloadSpec::Ior(p) => {
+                if p.block_size == 0 || p.file_size < p.block_size {
+                    return Err(format!(
+                        "file_size ({}) must be at least block_size ({}) and block_size positive",
+                        p.file_size, p.block_size
+                    ));
+                }
+                if p.file_size % p.block_size != 0 {
+                    return Err(format!(
+                        "file_size {} is not a multiple of block_size {}",
+                        p.file_size, p.block_size
+                    ));
+                }
+                if p.iterations == 0 {
+                    return Err("iterations must be positive".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::AsyncWr(p) => {
+                if p.iterations == 0 || p.data_per_iter == 0 {
+                    return Err("iterations and data_per_iter must be positive".into());
+                }
+                Ok(())
+            }
+            WorkloadSpec::Cm1(p) => {
+                if p.grid_w == 0 || p.ranks == 0 {
+                    return Err("ranks and grid_w must be positive".into());
+                }
+                if p.ranks % p.grid_w != 0 {
+                    return Err(format!(
+                        "non-rectangular decomposition: {} ranks, grid width {}",
+                        p.ranks, p.grid_w
+                    ));
+                }
+                if p.rank >= p.ranks {
+                    return Err(format!("rank {} out of 0..{}", p.rank, p.ranks));
+                }
+                if p.exchanges_per_iter == 0 {
+                    return Err("exchanges_per_iter must be positive".into());
+                }
+                if p.dump_block == 0 || p.dump_bytes == 0 || p.dump_region_bytes == 0 {
+                    return Err(
+                        "dump_block, dump_bytes and dump_region_bytes must be positive".into(),
+                    );
+                }
+                Ok(())
+            }
+            WorkloadSpec::SeqWrite {
+                total,
+                block,
+                think_secs,
+                ..
+            } => {
+                if *block == 0 || total < block {
+                    return Err(format!(
+                        "total ({total}) must be at least block ({block}) and block positive"
+                    ));
+                }
+                time("think_secs", *think_secs)
+            }
+            WorkloadSpec::HotspotWrite {
+                region_blocks,
+                block,
+                count,
+                theta,
+                think_secs,
+                ..
+            } => hotspot(*region_blocks, *block, *count, *theta, *think_secs),
+            WorkloadSpec::HotspotMixed {
+                region_blocks,
+                block,
+                count,
+                theta,
+                read_fraction,
+                think_secs,
+                ..
+            } => {
+                hotspot(*region_blocks, *block, *count, *theta, *think_secs)?;
+                if !(0.0..=1.0).contains(read_fraction) {
+                    return Err(format!(
+                        "read_fraction must be in [0, 1], got {read_fraction}"
+                    ));
+                }
+                Ok(())
+            }
+            WorkloadSpec::Idle { bursts, burst_secs } => {
+                if *bursts == 0 {
+                    return Err("bursts must be positive".into());
+                }
+                time("burst_secs", *burst_secs)
+            }
+        }
+    }
+
+    /// Upper bound on the virtual-disk bytes this workload touches
+    /// (exclusive end offset of its I/O range). Deployment validates it
+    /// against the configured image size, so an oversized workload is an
+    /// [`Err`] at `add_vm` time instead of a panic mid-run.
+    pub fn disk_footprint(&self) -> u64 {
+        match self {
+            WorkloadSpec::Ior(p) => p.file_offset + p.file_size,
+            WorkloadSpec::AsyncWr(p) => p.file_offset + p.iterations as u64 * p.data_per_iter,
+            WorkloadSpec::Cm1(p) => {
+                // Dumps rotate through the region in `dump_bytes` steps;
+                // only a region misaligned to the dump size can overhang.
+                let overhang = if p.dump_bytes > 0 && p.dump_region_bytes % p.dump_bytes == 0 {
+                    0
+                } else {
+                    p.dump_bytes
+                };
+                p.dump_offset + p.dump_region_bytes + overhang
+            }
+            WorkloadSpec::SeqWrite { offset, total, .. } => offset + total,
+            WorkloadSpec::HotspotWrite {
+                offset,
+                region_blocks,
+                block,
+                ..
+            }
+            | WorkloadSpec::HotspotMixed {
+                offset,
+                region_blocks,
+                block,
+                ..
+            } => offset + region_blocks * block,
+            WorkloadSpec::Idle { .. } => 0,
+        }
     }
 
     /// Rank count if this is a multi-rank (group) workload.

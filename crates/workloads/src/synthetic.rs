@@ -134,7 +134,16 @@ impl HotspotWrite {
         think: SimDuration,
         rng: DetRng,
     ) -> Self {
-        Self::with_reads(region_offset, region_blocks, block, count, theta, 0.0, think, rng)
+        Self::with_reads(
+            region_offset,
+            region_blocks,
+            block,
+            count,
+            theta,
+            0.0,
+            think,
+            rng,
+        )
     }
 
     /// Like [`Self::new`] with a fraction of ops issued as reads.
@@ -353,15 +362,7 @@ mod tests {
 
     #[test]
     fn hotspot_write_skews_offsets() {
-        let mut w = HotspotWrite::new(
-            0,
-            1000,
-            MIB,
-            2000,
-            0.9,
-            SimDuration::ZERO,
-            DetRng::new(7),
-        );
+        let mut w = HotspotWrite::new(0, 1000, MIB, 2000, 0.9, SimDuration::ZERO, DetRng::new(7));
         let mut offsets = Vec::new();
         let mut queue = w.start(SimTime::ZERO);
         while let Some(a) = queue.pop() {
