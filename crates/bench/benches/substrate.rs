@@ -7,34 +7,56 @@ use lsm_blockdev::{ChunkId, ChunkSet};
 use lsm_core::config::ClusterConfig;
 use lsm_core::engine::Engine;
 use lsm_core::policy::StrategyKind;
-use lsm_netsim::{FlowNet, NodeId, Topology, TrafficTag};
+use lsm_netsim::{FlowNet, NodeId, SolverMode, Topology, TrafficTag};
 use lsm_simcore::resource::SharedResource;
 use lsm_simcore::units::{mb_per_s, MIB};
 use lsm_simcore::SimTime;
 use lsm_workloads::WorkloadSpec;
 
+fn net_with_127_flows(solver: SolverMode) -> FlowNet {
+    let topo = Topology::symmetric(64, mb_per_s(117.5), mb_per_s(2048.0));
+    let mut net = FlowNet::new(topo);
+    net.set_solver(solver);
+    for i in 0..127u32 {
+        net.start_flow(
+            SimTime::ZERO,
+            NodeId(i % 64),
+            NodeId((i + 1) % 64),
+            64 * MIB,
+            None,
+            TrafficTag::Memory,
+        );
+    }
+    net
+}
+
 fn bench_netsim(c: &mut Criterion) {
     let mut g = c.benchmark_group("substrate/netsim");
-    // 64 nodes, 128 concurrent flows: the fig5 regime.
+    // 64 nodes, 128 concurrent flows: the fig5 regime. The 128th flow
+    // start triggers a recompute over the full flow set.
     g.bench_function("maxmin_recompute_128_flows", |b| {
         b.iter_batched(
-            || {
-                let topo = Topology::symmetric(64, mb_per_s(117.5), mb_per_s(2048.0));
-                let mut net = FlowNet::new(topo);
-                for i in 0..127u32 {
-                    net.start_flow(
-                        SimTime::ZERO,
-                        NodeId(i % 64),
-                        NodeId((i + 1) % 64),
-                        64 * MIB,
-                        None,
-                        TrafficTag::Memory,
-                    );
-                }
-                net
-            },
+            || net_with_127_flows(SolverMode::Incremental),
             |mut net| {
-                // The 128th flow start triggers a full recompute.
+                net.start_flow(
+                    SimTime::ZERO,
+                    NodeId(3),
+                    NodeId(9),
+                    MIB,
+                    None,
+                    TrafficTag::StoragePush,
+                );
+                std::hint::black_box(net.active())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The from-scratch oracle on the same workload, for the trajectory
+    // comparison (this is what every recompute cost before PR 2).
+    g.bench_function("maxmin_recompute_128_flows_reference", |b| {
+        b.iter_batched(
+            || net_with_127_flows(SolverMode::Reference),
+            |mut net| {
                 net.start_flow(
                     SimTime::ZERO,
                     NodeId(3),

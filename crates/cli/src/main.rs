@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! lsm run <scenario.toml|scenario.json> [--json] [--progress]
+//! lsm bench [--quick] [--scenario <file>] [--out <path>]
 //! lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
 //! lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
 //! lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
@@ -21,10 +22,12 @@ use lsm_core::RunReport;
 use lsm_experiments::scenario::{run_scenario, run_scenario_observed, ScenarioSpec};
 use lsm_experiments::{ablations, fig3, fig4, fig5, Scale};
 use lsm_simcore::time::SimTime;
+use serde::Serialize;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   lsm run <scenario.toml|scenario.json> [--json] [--progress]
+  lsm bench [--quick] [--scenario <file>] [--out <path>]
   lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
   lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
   lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
@@ -146,6 +149,15 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let progress = args.flag("--progress");
             args.finish()?;
             cmd_run(&path, json, progress)
+        }
+        "bench" => {
+            let quick = args.flag("--quick");
+            let scenario = args.value("--scenario")?;
+            let out = args
+                .value("--out")?
+                .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+            args.finish()?;
+            cmd_bench(quick, scenario.as_deref(), &out)
         }
         "fig3" => {
             let quick = args.flag("--quick");
@@ -384,6 +396,102 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
         lsm_simcore::units::fmt_bytes(r.total_traffic),
         lsm_simcore::units::fmt_bytes(r.migration_traffic)
     );
+}
+
+// ---------------- `lsm bench` ----------------
+
+/// The machine-readable record `lsm bench` writes (`BENCH_PR2.json` by
+/// default): the performance-trajectory numbers tracked across PRs.
+#[derive(Debug, Serialize)]
+struct BenchSummary {
+    /// Scenario name (`scale64`, `scale64-quick`, or the loaded file's).
+    scenario: String,
+    /// Cluster size.
+    nodes: u32,
+    /// Deployed VMs.
+    vms: usize,
+    /// Scheduled migrations.
+    migrations: usize,
+    /// Migrations that completed within the horizon.
+    migrations_completed: usize,
+    /// Simulated horizon, seconds.
+    sim_horizon_secs: f64,
+    /// Wall-clock time of the run, seconds.
+    wall_time_secs: f64,
+    /// Events processed.
+    events: u64,
+    /// Events per wall-clock second (the headline throughput number).
+    events_per_sec: f64,
+    /// Peak number of concurrently live network flows.
+    peak_live_flows: u64,
+    /// Total simulated network traffic, bytes.
+    total_traffic_bytes: u64,
+}
+
+/// Run the paper-scale stress scenario under a wall clock and record
+/// the trajectory numbers.
+fn cmd_bench(quick: bool, scenario: Option<&str>, out: &str) -> Result<(), UsageError> {
+    if quick && scenario.is_some() {
+        return Err(UsageError(
+            "--quick selects the built-in smoke scenario and cannot be combined with --scenario"
+                .to_string(),
+        ));
+    }
+    let spec = match scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+            if path.ends_with(".json") {
+                ScenarioSpec::from_json(&text)
+            } else {
+                ScenarioSpec::from_toml(&text)
+            }
+            .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))?
+        }
+        None if quick => lsm_experiments::stress::scale64_quick_spec(),
+        None => lsm_experiments::stress::scale64_spec(),
+    };
+    let name = spec.name.clone().unwrap_or_else(|| "unnamed".to_string());
+    eprintln!(
+        "bench: {name} — {} node(s), {} VM(s), {} migration(s), horizon {:.0}s",
+        spec.cluster_config().nodes,
+        spec.vms.len(),
+        spec.migrations.len(),
+        spec.horizon_secs
+    );
+
+    let started = std::time::Instant::now();
+    let report = run_scenario(&spec).map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
+    let wall = started.elapsed().as_secs_f64();
+
+    let summary = BenchSummary {
+        scenario: name,
+        nodes: spec.cluster_config().nodes,
+        vms: report.vms.len(),
+        migrations: report.migrations.len(),
+        migrations_completed: report.migrations.iter().filter(|m| m.completed).count(),
+        sim_horizon_secs: report.horizon.as_secs_f64(),
+        wall_time_secs: wall,
+        events: report.events,
+        events_per_sec: report.events as f64 / wall.max(1e-9),
+        peak_live_flows: report.peak_flows,
+        total_traffic_bytes: report.total_traffic,
+    };
+    let json = serde_json::to_string_pretty(&summary)
+        .map_err(|e| UsageError(format!("cannot serialize summary: {e}")))?;
+    std::fs::write(out, format!("{json}\n"))
+        .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
+    println!(
+        "{} events in {:.2}s wall — {:.0} events/s, peak {} live flows, {}/{} migrations completed → {}",
+        summary.events,
+        summary.wall_time_secs,
+        summary.events_per_sec,
+        summary.peak_live_flows,
+        summary.migrations_completed,
+        summary.migrations,
+        out
+    );
+    Ok(())
 }
 
 // ---------------- `lsm demo` ----------------

@@ -176,3 +176,64 @@ fn run_progress_prints_lifecycle() {
         assert!(text.contains(needle), "missing {needle}:\n{text}");
     }
 }
+
+// ---------------- `lsm bench` ----------------
+
+#[test]
+fn bench_quick_writes_machine_readable_summary() {
+    let out_dir = std::env::temp_dir().join("lsm-bench-test");
+    std::fs::create_dir_all(&out_dir).expect("temp dir");
+    let out_path = out_dir.join("BENCH_PR2.json");
+    let out = lsm(&["bench", "--quick", "--out", out_path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&out_path).expect("summary written");
+    for key in [
+        "\"scenario\"",
+        "\"wall_time_secs\"",
+        "\"events_per_sec\"",
+        "\"peak_live_flows\"",
+        "\"migrations_completed\"",
+    ] {
+        assert!(text.contains(key), "missing {key} in: {text}");
+    }
+    let human = stdout(&out);
+    assert!(human.contains("events/s"), "stdout: {human}");
+    std::fs::remove_file(&out_path).ok();
+}
+
+#[test]
+fn bench_rejects_unknown_flags() {
+    let out = lsm(&["bench", "--fast"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unrecognized argument"));
+}
+
+#[test]
+fn bench_rejects_quick_combined_with_scenario() {
+    let out = lsm(&["bench", "--quick", "--scenario", "scenarios/scale64.toml"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("cannot be combined"), "stderr: {err}");
+}
+
+#[test]
+fn bench_runs_a_scenario_file() {
+    let scenario = repo_root().join("scenarios/scale64.toml");
+    // The full scale64 run finishes in seconds; drive it through the
+    // checked-in file to cover the --scenario path end to end.
+    let out_dir = std::env::temp_dir().join("lsm-bench-test");
+    std::fs::create_dir_all(&out_dir).expect("temp dir");
+    let out_path = out_dir.join("BENCH_SCALE64.json");
+    let out = lsm(&[
+        "bench",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = std::fs::read_to_string(&out_path).expect("summary written");
+    assert!(text.contains("\"scenario\": \"scale64\""), "{text}");
+    assert!(text.contains("\"migrations_completed\": 128"), "{text}");
+    std::fs::remove_file(&out_path).ok();
+}

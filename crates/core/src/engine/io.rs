@@ -203,7 +203,6 @@ fn submit_read(
                         vm.reads_pull_blocked += 1;
                         let mig = vm.migration.as_mut().expect("pull phase");
                         mig.pull_waiters.entry(c).or_default().push(op);
-                        mig.pulls_inflight += 1;
                         mig.ondemand_chunks += 1;
                     }
                     ondemand.push(c);
@@ -225,21 +224,22 @@ fn submit_read(
     }
 
     if !ondemand.is_empty() {
+        // All on-demand chunks of this read op travel as one request —
+        // one source disk read, one flow, one completion event.
         let (src, dst) = {
-            let mig = eng.vm(v).migration.as_ref().expect("pull phase");
+            let mig = eng.vm_mut(v).migration.as_mut().expect("pull phase");
+            mig.pulls_inflight += 1;
             (mig.source, mig.dest)
         };
-        for c in ondemand {
-            eng.send_ctl(
-                dst,
-                src,
-                Ctl::PullRequest {
-                    vm: v,
-                    chunks: vec![c],
-                    background: false,
-                },
-            );
-        }
+        eng.send_ctl(
+            dst,
+            src,
+            Ctl::PullRequest {
+                vm: v,
+                chunks: ondemand,
+                background: false,
+            },
+        );
     }
     if !fetch_chunks.is_empty() {
         repo_fetch(eng, v, Some(op), fetch_chunks);
@@ -264,7 +264,7 @@ pub(crate) fn manager_write(eng: &mut Engine, v: VmIdx, c: ChunkId) -> (u64, boo
     let ver = eng.vm_mut(v).disk.write(c);
     eng.vm_mut(v).store.apply(c, ver);
     let mut mirror = false;
-    let mut cancel_flow = None;
+    let mut superseded_pull = false;
     let mut pump_needed = false;
     let mut maybe_done = false;
     if let Some(mig) = eng.vm_mut(v).migration.as_mut() {
@@ -285,28 +285,19 @@ pub(crate) fn manager_write(eng: &mut Engine, v: VmIdx, c: ChunkId) -> (u64, boo
             }
             MigPhase::PullPhase => {
                 if let Some(dst) = mig.hybrid_dst.as_mut() {
-                    if dst.on_write(c) {
-                        cancel_flow = mig.pull_flows.remove(&c);
-                    }
+                    superseded_pull = dst.on_write(c);
                     maybe_done = true;
                 }
             }
             MigPhase::Complete => {}
         }
     }
-    if let Some(fid) = cancel_flow {
-        // The cancelled flow's context tells us whether it occupied a
-        // background prefetch slot — that slot must be released or the
-        // prefetch pump starves.
-        let was_background = matches!(
-            eng.cancel_flow(fid),
-            Some(FlowCtx::PullBatch {
-                background: true,
-                ..
-            })
-        );
-        // The write supersedes the pull: release any reads that were
-        // waiting for it (they observe the freshly written content).
+    if superseded_pull {
+        // The write supersedes an in-flight pull of this chunk: the
+        // content is local now, so reads waiting on the pull complete
+        // immediately. The chunk's batch flow keeps running (it carries
+        // the rest of its manifest); the superseded chunk arrives with a
+        // stale version, which the store rejects.
         let waiters = eng
             .vm_mut(v)
             .migration
@@ -316,15 +307,6 @@ pub(crate) fn manager_write(eng: &mut Engine, v: VmIdx, c: ChunkId) -> (u64, boo
         for op in waiters {
             eng.op_part_done(op);
         }
-        // The cancelled pull's in-flight accounting is released here (the
-        // flow will never arrive).
-        if let Some(mig) = eng.vm_mut(v).migration.as_mut() {
-            mig.pulls_inflight = mig.pulls_inflight.saturating_sub(1);
-            if was_background {
-                mig.pull_slots_busy = mig.pull_slots_busy.saturating_sub(1);
-            }
-        }
-        super::migration::pump_pull(eng, v);
     }
     if pump_needed {
         super::migration::pump_push(eng, v);
@@ -416,15 +398,27 @@ pub(crate) fn repo_fetch(eng: &mut Engine, v: VmIdx, op: Option<OpId>, chunks: V
         eng.op_add_parts(o, chunks.len() as u32);
     }
     let chunk_size = eng.cfg().chunk_size;
+    // Striping sends different chunks to different replicas; coalesce
+    // per replica so each serves one disk read + one flow per fetch
+    // instead of one per chunk. Replica count is small: a linear probe
+    // beats a map.
+    let mut groups: Vec<(NodeId, Vec<ChunkId>)> = Vec::new();
     for c in chunks {
         let replica = eng.repo_mut().begin_fetch(c);
+        match groups.iter_mut().find(|(r, _)| *r == replica) {
+            Some((_, g)) => g.push(c),
+            None => groups.push((replica, vec![c])),
+        }
+    }
+    for (replica, group) in groups {
+        let bytes = chunk_size * group.len() as u64;
         eng.disk_submit(
             replica.0,
-            chunk_size,
+            bytes,
             DiskCtx::RepoRead {
                 vm: v,
                 node,
-                chunks: vec![c],
+                chunks: group,
                 op,
                 replica,
             },
@@ -471,7 +465,11 @@ pub(crate) fn repo_fetch_arrived(
     op: Option<OpId>,
     replica: NodeId,
 ) {
-    eng.repo_mut().end_fetch(replica);
+    // Fetch load is accounted per chunk (begin_fetch in `repo_fetch`),
+    // so a batched arrival releases one unit per carried chunk.
+    for _ in &chunks {
+        eng.repo_mut().end_fetch(replica);
+    }
     let bytes = eng.cfg().chunk_size * chunks.len() as u64;
     for &c in &chunks {
         eng.vm_mut(v).disk.cache_base(c);

@@ -139,7 +139,6 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
         push_slots_busy: 0,
         pull_slots_busy: 0,
         pulls_inflight: 0,
-        pull_flows: HashMap::new(),
         pull_waiters: HashMap::new(),
         source_store: None,
         final_chunks: Vec::new(),
@@ -559,12 +558,13 @@ fn control_transfer(eng: &mut Engine, v: VmIdx) {
         vm.disk.demote_cached_base();
         // The source host's page cache stays behind; the destination
         // host starts with exactly the pushed chunks warm (they were
-        // just written through its page cache).
+        // just written through its page cache). Disjoint field borrows:
+        // no intermediate collection of the (possibly huge) present set.
         vm.cache.clear();
         vm.kupdate_credit = 0;
-        let pushed: Vec<_> = vm.store.present().iter().collect();
-        for c in pushed {
-            vm.cache.fill(c);
+        let (store, cache) = (&vm.store, &mut vm.cache);
+        for c in store.present().iter() {
+            cache.fill(c);
         }
         vm.vm.resume(now, Some(dest));
     }
@@ -642,10 +642,12 @@ pub(crate) fn pump_push(eng: &mut Engine, v: VmIdx) {
             if mig.push_slots_busy >= window {
                 return;
             }
-            let mut batch = Vec::with_capacity(batch_max);
+            // Versions are placeholders here; they are stamped in place
+            // when the source disk read completes (send time).
+            let mut batch: Vec<(ChunkId, u64)> = Vec::with_capacity(batch_max);
             while batch.len() < batch_max {
                 match next_source_chunk(mig) {
-                    Some(c) => batch.push(c),
+                    Some(c) => batch.push((c, 0)),
                     None => break,
                 }
             }
@@ -668,13 +670,22 @@ pub(crate) fn pump_push(eng: &mut Engine, v: VmIdx) {
     }
 }
 
-pub(crate) fn push_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, slot: u32) {
-    let (source, dest, withver) = {
+pub(crate) fn push_read_done(
+    eng: &mut Engine,
+    v: VmIdx,
+    mut chunks: Vec<(ChunkId, u64)>,
+    slot: u32,
+) {
+    let (source, dest) = {
         let vm = eng.vm(v);
         let mig = vm.migration.as_ref().expect("migrating");
         let store = mig.source_store.as_ref().unwrap_or(&vm.store);
-        let withver: Vec<(ChunkId, u64)> = chunks.iter().map(|&c| (c, store.version(c))).collect();
-        (mig.source, mig.dest, withver)
+        // Stamp versions at send time, in place: the manifest allocation
+        // made at pump time travels through disk read and flow untouched.
+        for e in &mut chunks {
+            e.1 = store.version(e.0);
+        }
+        (mig.source, mig.dest)
     };
     let bytes = eng.cfg().chunk_size * chunks.len() as u64;
     eng.start_flow(
@@ -685,7 +696,7 @@ pub(crate) fn push_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, s
         TrafficTag::StoragePush,
         FlowCtx::PushBatch {
             vm: v,
-            chunks: withver,
+            chunks,
             slot,
         },
     );
@@ -749,29 +760,42 @@ pub(crate) fn maybe_handoff(eng: &mut Engine, v: VmIdx) {
 // ---------------- pull pipeline (destination side) ----------------
 
 pub(crate) fn pump_pull(eng: &mut Engine, v: VmIdx) {
-    let max_slots = eng.cfg().transfer_window * eng.cfg().transfer_batch;
+    // One request (and later one flow + one completion event) carries up
+    // to `transfer_batch` chunks; `transfer_window` batches may be in
+    // flight, so the outstanding-chunk budget matches the pre-batching
+    // pipeline (window × batch single-chunk requests).
+    let window = eng.cfg().transfer_window;
+    let batch_max = eng.cfg().transfer_batch as usize;
     loop {
         let req = {
             let Some(mig) = eng.vm_mut(v).migration.as_mut() else {
                 return;
             };
-            if mig.phase != MigPhase::PullPhase || mig.pull_slots_busy >= max_slots {
+            if mig.phase != MigPhase::PullPhase || mig.pull_slots_busy >= window {
                 return;
             }
-            let Some(c) = mig.hybrid_dst.as_mut().expect("dest state").next_pull() else {
+            let dst_state = mig.hybrid_dst.as_mut().expect("dest state");
+            let mut batch = Vec::with_capacity(batch_max);
+            while batch.len() < batch_max {
+                match dst_state.next_pull() {
+                    Some(c) => batch.push(c),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
                 return;
-            };
+            }
             mig.pull_slots_busy += 1;
             mig.pulls_inflight += 1;
-            (mig.dest, mig.source, c)
+            (mig.dest, mig.source, batch)
         };
-        let (dest, source, c) = req;
+        let (dest, source, batch) = req;
         eng.send_ctl(
             dest,
             source,
             Ctl::PullRequest {
                 vm: v,
-                chunks: vec![c],
+                chunks: batch,
                 background: true,
             },
         );
@@ -783,11 +807,14 @@ pub(crate) fn pull_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, b
         let vm = eng.vm(v);
         let mig = vm.migration.as_ref().expect("migrating");
         let store = mig.source_store.as_ref().unwrap_or(&vm.store);
+        // The only manifest allocation of the pull path: versions are
+        // captured at send time and the vector moves into the flow
+        // context (no clone, no per-chunk flow registry).
         let withver: Vec<(ChunkId, u64)> = chunks.iter().map(|&c| (c, store.version(c))).collect();
         (mig.source, mig.dest, withver)
     };
     let bytes = eng.cfg().chunk_size * chunks.len() as u64;
-    let fid = eng.start_flow(
+    eng.start_flow(
         source,
         dest,
         bytes,
@@ -795,14 +822,10 @@ pub(crate) fn pull_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, b
         TrafficTag::StoragePull,
         FlowCtx::PullBatch {
             vm: v,
-            chunks: withver.clone(),
+            chunks: withver,
             background,
         },
     );
-    let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
-    for (c, _) in &withver {
-        mig.pull_flows.insert(*c, fid);
-    }
 }
 
 pub(crate) fn pull_batch_arrived(
@@ -816,8 +839,11 @@ pub(crate) fn pull_batch_arrived(
     let dest = {
         let vm = eng.vm_mut(v);
         let mig = vm.migration.as_mut().expect("migrating");
+        // Per-chunk completions delivered from the batch manifest, in
+        // manifest (chunk-request) order. A chunk superseded by a local
+        // write mid-flight arrives with a stale version: the store
+        // rejects it and the destination state saw `on_write` already.
         for &(c, ver) in &chunks {
-            mig.pull_flows.remove(&c);
             let applied = vm.store.apply(c, ver);
             if applied && !vm.cache.is_dirty(c) {
                 // The pulled content just streamed through this host's

@@ -536,6 +536,14 @@ impl Engine {
         self.events_processed
     }
 
+    /// Select the network rate solver. The default incremental solver is
+    /// the production path; [`lsm_netsim::SolverMode::Reference`] re-runs
+    /// the original from-scratch allocation on every change and exists so
+    /// tests can assert the two produce bit-identical runs.
+    pub fn set_solver_mode(&mut self, mode: lsm_netsim::SolverMode) {
+        self.net.set_solver(mode);
+    }
+
     // ---------------- event dispatch ----------------
 
     fn dispatch(&mut self, ev: Ev) {
@@ -633,13 +641,6 @@ impl Engine {
         self.flow_ctx.insert(id, ctx);
         self.resync_net();
         id
-    }
-
-    pub(crate) fn cancel_flow(&mut self, id: FlowId) -> Option<FlowCtx> {
-        self.net.cancel_flow(self.now, id);
-        let ctx = self.flow_ctx.remove(&id);
-        self.resync_net();
-        ctx
     }
 
     /// Deliver a control message after the fabric latency (loopback

@@ -140,6 +140,9 @@ pub struct RunReport {
     pub migration_traffic: u64,
     /// Events processed (simulator diagnostics).
     pub events: u64,
+    /// Highest number of concurrently live network flows (simulator
+    /// load diagnostics; the `lsm bench` harness records it).
+    pub peak_flows: u64,
 }
 
 impl RunReport {
@@ -307,5 +310,6 @@ pub(crate) fn build(eng: &Engine) -> RunReport {
         migration_traffic: eng.net().migration_delivered(),
         traffic,
         events: eng.events_processed(),
+        peak_flows: eng.net().peak_active() as u64,
     }
 }

@@ -6,7 +6,7 @@ use super::report::Milestone;
 use crate::policy::{HybridDest, HybridSource, MirrorSource, PrecopySource, StrategyKind};
 use lsm_blockdev::{ChunkId, ChunkSet, PageCache, VirtualDisk};
 use lsm_hypervisor::{PrecopyMemory, Vm};
-use lsm_netsim::{FlowId, NodeId};
+use lsm_netsim::NodeId;
 use lsm_simcore::resource::{ReqId, SharedResource};
 use lsm_simcore::time::{SimDuration, SimTime};
 use lsm_workloads::{ActionToken, IoKind, Workload};
@@ -76,12 +76,15 @@ pub(crate) enum FlowCtx {
     /// Background memory pull of a post-copy memory migration.
     MemPostPull { vm: VmIdx },
     /// A batch of pushed chunks with versions captured at send time.
+    /// One flow + one completion event per batch; the manifest delivers
+    /// per-chunk completions in chunk order on arrival.
     PushBatch {
         vm: VmIdx,
         chunks: Vec<(ChunkId, u64)>,
         slot: u32,
     },
-    /// A batch of pulled chunks (background prefetch or on-demand).
+    /// A batch of pulled chunks (background prefetch or on-demand),
+    /// with the same one-flow-per-batch manifest scheme as `PushBatch`.
     PullBatch {
         vm: VmIdx,
         chunks: Vec<(ChunkId, u64)>,
@@ -121,9 +124,11 @@ pub(crate) enum DiskCtx {
     /// Background write-back of a dirty page-cache chunk.
     Writeback { vm: VmIdx, chunk: ChunkId },
     /// Source-side read of a push batch; flow starts when it completes.
+    /// Versions are zero placeholders until the read finishes (captured
+    /// at send time, in place — no per-stage manifest rebuild).
     PushRead {
         vm: VmIdx,
-        chunks: Vec<ChunkId>,
+        chunks: Vec<(ChunkId, u64)>,
         slot: u32,
     },
     /// Source-side read serving a pull request; flow follows.
@@ -288,11 +293,9 @@ pub(crate) struct MigrationRt {
     pub push_slots_busy: u32,
     /// Background pull slots currently busy.
     pub pull_slots_busy: u32,
-    /// All pull requests in the pipeline (background + on-demand),
-    /// counted from request send to arrival or cancellation.
+    /// Pull *requests* in the pipeline (background + on-demand batches),
+    /// counted from request send to batch arrival.
     pub pulls_inflight: u32,
-    /// In-flight pull flows per chunk (for write-cancellation).
-    pub pull_flows: HashMap<ChunkId, FlowId>,
     /// The source-side physical store, frozen at control transfer and
     /// kept while the destination still pulls from it.
     pub source_store: Option<lsm_blockdev::ChunkStore>,

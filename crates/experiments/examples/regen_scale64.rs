@@ -1,0 +1,18 @@
+//! Regenerate the checked-in paper-scale bench scenario:
+//!
+//! ```text
+//! cargo run --release -p lsm-experiments --example regen_scale64 > scenarios/scale64.toml
+//! ```
+//!
+//! `scenarios/scale64.toml` must stay byte-identical to
+//! [`lsm_experiments::stress::scale64_spec`] — a test asserts it, so
+//! edit the generator, rerun this, and commit both.
+
+fn main() {
+    print!(
+        "{}",
+        lsm_experiments::stress::scale64_spec()
+            .to_toml()
+            .expect("scenario serializes")
+    );
+}

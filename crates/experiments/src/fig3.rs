@@ -91,6 +91,21 @@ fn workloads(scale: Scale) -> Vec<(&'static str, WorkloadSpec, f64, f64)> {
     }
 }
 
+/// The Figure 3 migration scenarios for one strategy, as
+/// `(workload label, scenario)` pairs — the exact shapes
+/// [`run_fig3`] executes (also driven by the solver-equivalence suite).
+pub fn scenarios(scale: Scale, strategy: StrategyKind) -> Vec<(&'static str, ScenarioSpec)> {
+    workloads(scale)
+        .into_iter()
+        .map(|(label, spec, migrate_at, horizon)| {
+            (
+                label,
+                ScenarioSpec::single_migration(strategy, spec, migrate_at).with_horizon(horizon),
+            )
+        })
+        .collect()
+}
+
 /// Run the whole Figure 3 experiment.
 pub fn run_fig3(scale: Scale) -> Fig3Result {
     run_fig3_strategies(scale, &StrategyKind::ALL)

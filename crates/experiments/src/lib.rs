@@ -11,6 +11,8 @@
 //! * [`ablations`] — design-choice sweeps the paper motivates but does
 //!   not plot: the push `Threshold`, prefetch prioritization, and the
 //!   transfer pipeline window.
+//! * [`stress`] — paper-scale performance scenarios (`scale64`: 64
+//!   nodes, 128 VMs, 128 staggered migrations) driven by `lsm bench`.
 //!
 //! Every experiment offers two scales: [`Scale::Paper`] reproduces the
 //! paper's parameters; [`Scale::Quick`] is a minutes→seconds reduction
@@ -29,6 +31,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod scenario;
+pub mod stress;
 pub mod sweep;
 pub mod table;
 

@@ -231,6 +231,21 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<RunReport, EngineError> {
     Ok(sim.run_until(secs("horizon", spec.horizon_secs)?))
 }
 
+/// Like [`run_scenario`], but forcing the network rate solver — used by
+/// the solver-equivalence tests, which run the same scenario under
+/// [`lsm_netsim::SolverMode::Incremental`] and
+/// [`lsm_netsim::SolverMode::Reference`] and assert the serialized
+/// [`RunReport`]s (rates, traffic, milestone timelines, event counts)
+/// are bit-identical.
+pub fn run_scenario_with_solver(
+    spec: &ScenarioSpec,
+    solver: lsm_netsim::SolverMode,
+) -> Result<RunReport, EngineError> {
+    let mut sim = build_scenario(spec)?;
+    sim.engine_mut().set_solver_mode(solver);
+    Ok(sim.run_until(secs("horizon", spec.horizon_secs)?))
+}
+
 /// Like [`run_scenario`], with observer callbacks on every job status
 /// change and milestone.
 pub fn run_scenario_observed(

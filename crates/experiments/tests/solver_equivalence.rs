@@ -1,0 +1,72 @@
+//! The allocator-rewrite contract at experiment scale: running the
+//! fig3 / fig4 / fig5 scenarios under the incremental solver and under
+//! the from-scratch reference solver must produce **bit-identical**
+//! reports — traffic totals, per-tag byte counts, event counts, and
+//! every milestone timestamp of every migration.
+//!
+//! Equality is asserted on the serialized [`RunReport`], so any field —
+//! present or future — that diverges fails the test.
+
+use lsm_core::policy::StrategyKind;
+use lsm_core::RunReport;
+use lsm_experiments::scenario::{run_scenario_with_solver, ScenarioSpec};
+use lsm_experiments::{fig3, fig4, fig5, Scale};
+use lsm_netsim::SolverMode;
+
+fn assert_solver_equivalent(name: &str, spec: &ScenarioSpec) {
+    let inc = run_scenario_with_solver(spec, SolverMode::Incremental).expect("scenario runs");
+    let refr = run_scenario_with_solver(spec, SolverMode::Reference).expect("scenario runs");
+    let ser = |r: &RunReport| serde_json::to_string_pretty(r).expect("report serializes");
+    let (a, b) = (ser(&inc), ser(&refr));
+    if a != b {
+        // Keep the failure readable: find the first diverging line.
+        let diff = a
+            .lines()
+            .zip(b.lines())
+            .enumerate()
+            .find(|(_, (x, y))| x != y);
+        panic!(
+            "{name}: incremental vs reference reports diverge at {:?}",
+            diff
+        );
+    }
+    // Belt and braces on the fields the paper's figures are built from.
+    assert_eq!(inc.events, refr.events, "{name}: event counts");
+    assert_eq!(inc.total_traffic, refr.total_traffic, "{name}: traffic");
+    for (m_inc, m_ref) in inc.migrations.iter().zip(refr.migrations.iter()) {
+        assert_eq!(m_inc.timeline, m_ref.timeline, "{name}: milestone timeline");
+    }
+}
+
+#[test]
+fn fig3_reports_identical_under_both_solvers() {
+    // Hybrid exercises push + pull + memory flows; mirror adds the
+    // synchronous mirror-write flows; shared-fs the PVFS stripe legs.
+    for strategy in [
+        StrategyKind::Hybrid,
+        StrategyKind::Mirror,
+        StrategyKind::SharedFs,
+    ] {
+        for (label, spec) in fig3::scenarios(Scale::Quick, strategy) {
+            assert_solver_equivalent(&format!("fig3/{label}/{}", strategy.label()), &spec);
+        }
+    }
+}
+
+#[test]
+fn fig4_reports_identical_under_both_solvers() {
+    let p = fig4::Fig4Params::for_scale(Scale::Quick);
+    let k = *p.ks.last().expect("quick sweep is non-empty");
+    for strategy in [StrategyKind::Hybrid, StrategyKind::Postcopy] {
+        let spec = fig4::scenario(&p, strategy, k);
+        assert_solver_equivalent(&format!("fig4/{}/k{k}", strategy.label()), &spec);
+    }
+}
+
+#[test]
+fn fig5_reports_identical_under_both_solvers() {
+    let p = fig5::Fig5Params::for_scale(Scale::Quick);
+    let n = *p.ns.last().expect("quick sweep is non-empty");
+    let spec = fig5::scenario(&p, StrategyKind::Hybrid, n);
+    assert_solver_equivalent(&format!("fig5/our-approach/n{n}"), &spec);
+}

@@ -73,3 +73,32 @@ fn demo_file_runs_identically_to_the_builder_program() {
     assert_eq!(sim.status(ja), Some(MigrationStatus::Completed));
     assert_eq!(sim.status(jc), Some(MigrationStatus::Completed));
 }
+
+// ---------------- scenarios/scale64.toml ----------------
+
+const SCALE64: &str = include_str!("../../../scenarios/scale64.toml");
+
+/// The checked-in paper-scale bench scenario must stay byte-identical
+/// to its generator, so `lsm bench` (which defaults to the generator)
+/// and `lsm bench --scenario scenarios/scale64.toml` run the same
+/// experiment.
+#[test]
+fn scale64_file_matches_generator() {
+    let expected = lsm::experiments::stress::scale64_spec()
+        .to_toml()
+        .expect("scenario serializes");
+    assert!(
+        SCALE64 == expected,
+        "scenarios/scale64.toml drifted from stress::scale64_spec(); \
+         regenerate with `cargo run -p lsm-experiments --example regen_scale64 \
+         > scenarios/scale64.toml`"
+    );
+}
+
+#[test]
+fn scale64_file_parses_to_the_paper_scale_shape() {
+    let spec = ScenarioSpec::from_toml(SCALE64).expect("scale64.toml parses");
+    assert_eq!(spec.cluster_config().nodes, 64);
+    assert_eq!(spec.vms.len(), 128);
+    assert_eq!(spec.migrations.len(), 128);
+}

@@ -36,7 +36,8 @@
 #![warn(rust_2018_idioms)]
 
 mod net;
+mod reference;
 mod topology;
 
-pub use net::{FlowId, FlowNet, TrafficTag};
+pub use net::{FlowId, FlowNet, SolverMode, TrafficTag};
 pub use topology::{NodeCaps, NodeId, Topology};

@@ -1,9 +1,40 @@
 //! The flow scheduler: incremental max–min fair rate allocation.
+//!
+//! # Allocator architecture
+//!
+//! Rates are the classic progressive-filling max–min fair allocation over
+//! the resources each flow crosses (source uplink, destination downlink,
+//! the switch aggregate, and an optional per-flow cap). Two solvers
+//! produce that allocation:
+//!
+//! * [`SolverMode::Incremental`] (the default) keeps persistent
+//!   bookkeeping — flat flow storage, reusable scratch tables, per-node
+//!   flow indices — so a recompute allocates nothing. When the switch
+//!   aggregate provably cannot be a bottleneck (capacity at least twice
+//!   the summed NIC capacity, see [`FlowNet::switch_decoupled`]), a
+//!   change re-solves only the flows transitively sharing a node with
+//!   the changed flow (dirty-marking by connected component); everyone
+//!   else keeps their rate bit-for-bit.
+//! * [`SolverMode::Reference`] re-runs the original from-scratch
+//!   water-filling on every change. It is kept as a test oracle: the
+//!   incremental solver must produce **bit-identical** rates, reports and
+//!   completion times (asserted by the `equivalence` proptest suite and
+//!   the fig3/fig4/fig5 report-identity tests).
+//!
+//! # Epoch-based progress accounting
+//!
+//! [`FlowNet::advance`] is O(1): it only moves the network clock. Each
+//! flow remembers `(rate, remaining, touched)` from the last time its
+//! rate changed; delivered bytes are materialized lazily — when the
+//! solver assigns a *different* rate, when the flow completes or is
+//! cancelled, or projected on the fly for queries. Between rate changes
+//! a flow's progress is exactly linear, so nothing is lost by not
+//! walking every flow on every event.
 
+use crate::reference;
 use crate::topology::{NodeId, Topology};
 use lsm_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Handle to an in-flight network flow.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -45,6 +76,12 @@ impl TrafficTag {
         TrafficTag::Control,
     ];
 
+    /// Dense index of the tag (position in [`TrafficTag::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// True if this traffic is attributable to live migration itself
     /// (the paper's Fig 5b subtracts application traffic).
     pub fn is_migration(self) -> bool {
@@ -52,38 +89,180 @@ impl TrafficTag {
     }
 }
 
+/// Number of traffic classes (length of [`TrafficTag::ALL`]).
+const NTAGS: usize = TrafficTag::ALL.len();
+
+/// Sentinel padding a flow's fixed-width resource row (uncapped flows
+/// cross three resources, capped flows four).
+const NO_RES: u32 = u32::MAX;
+
+/// Sentinel rate marking a flow not yet frozen by the water-filling
+/// (fair shares are clamped non-negative, so this can never collide).
+const UNFIXED: f64 = -1.0;
+
+/// Which max–min solver computes flow rates. See the module docs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SolverMode {
+    /// Persistent-state incremental solver with component dirty-marking
+    /// (the production path).
+    #[default]
+    Incremental,
+    /// From-scratch progressive filling on every change — the original
+    /// implementation, kept as a correctness oracle for tests.
+    Reference,
+}
+
 #[derive(Debug, Clone)]
-struct Flow {
-    src: NodeId,
-    dst: NodeId,
-    remaining: f64,
-    rate: f64,
-    cap: Option<f64>,
-    tag: TrafficTag,
+pub(crate) struct Flow {
+    pub(crate) id: FlowId,
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    /// Bytes left at `touched` (not at the network clock!).
+    pub(crate) remaining: f64,
+    pub(crate) rate: f64,
+    pub(crate) cap: Option<f64>,
+    pub(crate) tag: TrafficTag,
+    /// Instant of the last materialization (rate change / creation).
+    pub(crate) touched: SimTime,
+}
+
+impl Flow {
+    /// Bytes moved between `touched` and `at` (projection, no mutation).
+    #[inline]
+    fn moved_until(&self, at: SimTime) -> f64 {
+        let dt = at.since(self.touched).as_secs_f64();
+        (self.rate * dt).min(self.remaining)
+    }
+}
+
+/// Reusable solver state: everything the incremental allocator needs
+/// across recomputes, so a recompute performs no allocation once the
+/// buffers reached steady-state capacity.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Residual capacity per resource (uplinks, downlinks, switch, then
+    /// one virtual resource per capped member flow).
+    cap_left: Vec<f64>,
+    /// Unfixed member flows crossing each resource.
+    count: Vec<u32>,
+    /// Per-member-flow resource index rows ([`NO_RES`]-padded).
+    flow_res: Vec<[u32; 4]>,
+    /// Solved rates per member flow; [`UNFIXED`] marks not-yet-frozen
+    /// flows during the water-filling (real shares are never negative).
+    new_rates: Vec<f64>,
+    /// Member flow indices (into `FlowNet::flows`), ascending.
+    mflows: Vec<u32>,
+    /// Component membership per flow index.
+    member: Vec<bool>,
+    /// CSR of flow indices by source node / by destination node
+    /// (`*_cur` are the fill cursors, persisted to stay allocation-free).
+    src_off: Vec<u32>,
+    src_cur: Vec<u32>,
+    src_idx: Vec<u32>,
+    dst_off: Vec<u32>,
+    dst_cur: Vec<u32>,
+    dst_idx: Vec<u32>,
+    /// BFS state over nodes.
+    node_seen: Vec<bool>,
+    stack: Vec<u32>,
 }
 
 /// The flow-level network simulator. See the crate docs for the model.
 #[derive(Debug)]
 pub struct FlowNet {
     topo: Topology,
-    flows: BTreeMap<FlowId, Flow>,
+    /// Active flows, ascending by id (ids are issued monotonically, so
+    /// insertion is a push; removal is a binary search + shift).
+    flows: Vec<Flow>,
+    /// Persistent per-flow resource rows, parallel to `flows`:
+    /// `[src uplink, dst downlink, switch, virtual-cap or NO_RES]`. Rows
+    /// are constants except the virtual-cap index, which shifts when an
+    /// earlier capped flow leaves (fixed up during removal).
+    rows: Vec<[u32; 4]>,
+    /// Caps of the capped flows, in flow order — the tail of `cap_left`
+    /// after the physical resources.
+    caps_list: Vec<f64>,
     next_id: u64,
     last_advance: SimTime,
-    delivered: BTreeMap<TrafficTag, f64>,
+    /// Materialized bytes per traffic class (indexed by
+    /// [`TrafficTag::index`]); queries add the lazy projection on top.
+    delivered: [f64; NTAGS],
     total_delivered: f64,
+    peak_active: usize,
+    solver: SolverMode,
+    /// True when the switch aggregate can never be the binding resource
+    /// (see [`FlowNet::switch_decoupled`]); enables component-restricted
+    /// re-solves.
+    decoupled: bool,
+    /// Pristine capacities of the `2n + 1` physical resources (uplinks,
+    /// downlinks, switch), so a full solve initializes `cap_left` with a
+    /// memcpy instead of per-node lookups.
+    caps_flat: Vec<f64>,
+    /// Live-flow counts per physical resource, maintained on every flow
+    /// insert/remove — the full solve's `count` table starts as a copy.
+    count_all: Vec<u32>,
+    scratch: Scratch,
 }
 
 impl FlowNet {
     /// Create a network over `topo` with no flows.
     pub fn new(topo: Topology) -> Self {
+        let decoupled = Self::switch_decoupled(&topo);
+        let n = topo.len();
+        let mut caps_flat = Vec::with_capacity(2 * n + 1);
+        for i in 0..n {
+            caps_flat.push(topo.caps(NodeId(i as u32)).up);
+        }
+        for i in 0..n {
+            caps_flat.push(topo.caps(NodeId(i as u32)).down);
+        }
+        caps_flat.push(topo.switch_capacity);
         FlowNet {
             topo,
-            flows: BTreeMap::new(),
+            flows: Vec::new(),
+            rows: Vec::new(),
+            caps_list: Vec::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
-            delivered: BTreeMap::new(),
+            delivered: [0.0; NTAGS],
             total_delivered: 0.0,
+            peak_active: 0,
+            solver: SolverMode::default(),
+            decoupled,
+            caps_flat,
+            count_all: vec![0; 2 * n + 1],
+            scratch: Scratch::default(),
         }
+    }
+
+    /// Whether the switch aggregate is provably never the most
+    /// constrained resource: its capacity is at least **twice** the
+    /// summed uplink and downlink capacities. (The mediant inequality
+    /// gives `min_i up_i/c_i ≤ Σup/Σc ≤ switch_left/Σc` whenever
+    /// `switch ≥ Σup`; the factor two keeps the comparison safely out of
+    /// floating-point rounding range.) When true, flows on disjoint node
+    /// sets are genuinely independent and the incremental solver
+    /// re-solves only the changed component.
+    pub fn switch_decoupled(topo: &Topology) -> bool {
+        let mut sum_up = 0.0f64;
+        let mut sum_down = 0.0f64;
+        for n in topo.node_ids() {
+            let caps = topo.caps(n);
+            sum_up += caps.up;
+            sum_down += caps.down;
+        }
+        topo.switch_capacity >= 2.0 * sum_up.max(sum_down)
+    }
+
+    /// Select the rate solver. The reference solver is a from-scratch
+    /// oracle for tests; both must produce bit-identical allocations.
+    pub fn set_solver(&mut self, mode: SolverMode) {
+        self.solver = mode;
+    }
+
+    /// The active solver.
+    pub fn solver(&self) -> SolverMode {
+        self.solver
     }
 
     /// The underlying topology.
@@ -99,6 +278,16 @@ impl FlowNet {
     /// Number of in-flight flows.
     pub fn active(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Highest number of concurrently live flows seen so far.
+    pub fn peak_active(&self) -> usize {
+        self.peak_active
+    }
+
+    #[inline]
+    fn flow_pos(&self, id: FlowId) -> Option<usize> {
+        self.flows.binary_search_by_key(&id, |f| f.id).ok()
     }
 
     /// Start a bulk transfer of `bytes` from `src` to `dst`.
@@ -122,26 +311,66 @@ impl FlowNet {
         self.advance(now);
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        self.flows.insert(
+        self.flows.push(Flow {
             id,
-            Flow {
-                src,
-                dst,
-                remaining: bytes as f64,
-                rate: 0.0,
-                cap,
-                tag,
-            },
-        );
-        self.recompute();
+            src,
+            dst,
+            remaining: bytes as f64,
+            rate: 0.0,
+            cap,
+            tag,
+            touched: now,
+        });
+        let n = self.topo.len();
+        let vres = match cap {
+            Some(c) => {
+                self.caps_list.push(c);
+                (2 * n + self.caps_list.len()) as u32
+            }
+            None => NO_RES,
+        };
+        self.rows
+            .push([src.0, n as u32 + dst.0, 2 * n as u32, vres]);
+        self.count_all[src.idx()] += 1;
+        self.count_all[n + dst.idx()] += 1;
+        self.count_all[2 * n] += 1;
+        self.peak_active = self.peak_active.max(self.flows.len());
+        self.reallocate(src, dst);
         id
+    }
+
+    /// Drop the physical-resource counts of a removed flow.
+    fn uncount(&mut self, src: NodeId, dst: NodeId) {
+        let n = self.topo.len();
+        self.count_all[src.idx()] -= 1;
+        self.count_all[n + dst.idx()] -= 1;
+        self.count_all[2 * n] -= 1;
+    }
+
+    /// Remove a flow's resource row, shifting later capped flows'
+    /// virtual-resource indices down if the flow was capped.
+    fn remove_row(&mut self, pos: usize) {
+        let row = self.rows.remove(pos);
+        if row[3] != NO_RES {
+            let base = (2 * self.topo.len() + 1) as u32;
+            self.caps_list.remove((row[3] - base) as usize);
+            for r in &mut self.rows[pos..] {
+                if r[3] != NO_RES {
+                    r[3] -= 1;
+                }
+            }
+        }
     }
 
     /// Cancel an in-flight flow, returning the bytes not yet delivered.
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<u64> {
         self.advance(now);
-        let f = self.flows.remove(&id)?;
-        self.recompute();
+        let pos = self.flow_pos(id)?;
+        self.materialize(pos);
+        let f = self.flows.remove(pos);
+        self.remove_row(pos);
+        self.uncount(f.src, f.dst);
+        self.reallocate(f.src, f.dst);
         Some(f.remaining.ceil().max(0.0) as u64)
     }
 
@@ -149,7 +378,10 @@ impl FlowNet {
     /// previously reported by [`Self::next_completion`]).
     pub fn complete(&mut self, now: SimTime, id: FlowId) {
         self.advance(now);
-        let f = self.flows.remove(&id).expect("completing unknown flow");
+        let pos = self.flow_pos(id).expect("completing unknown flow");
+        self.materialize(pos);
+        let f = self.flows.remove(pos);
+        self.remove_row(pos);
         debug_assert!(
             f.remaining < 1.0,
             "flow completed with {} bytes left",
@@ -157,64 +389,88 @@ impl FlowNet {
         );
         // Account for the sub-byte numerical residue so per-tag totals
         // equal the requested sizes exactly.
-        *self.delivered.entry(f.tag).or_default() += f.remaining;
+        self.delivered[f.tag.index()] += f.remaining;
         self.total_delivered += f.remaining;
-        self.recompute();
+        self.uncount(f.src, f.dst);
+        self.reallocate(f.src, f.dst);
     }
 
     /// Earliest `(finish_time, flow)` among in-flight flows. Deterministic:
     /// ties resolve to the lowest flow id.
     pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
         let mut best: Option<(SimTime, FlowId)> = None;
-        for (&id, f) in &self.flows {
+        for f in &self.flows {
             let t = if f.remaining <= 0.5 {
+                // Sub-byte residue: effectively already done.
                 self.last_advance
             } else if f.rate <= 0.0 {
                 SimTime::FAR_FUTURE
             } else {
-                self.last_advance + SimDuration::from_secs_f64(f.remaining / f.rate)
+                // `remaining` is the value at `touched`; the rate has
+                // been constant since, so the finish time is exact.
+                (f.touched + SimDuration::from_secs_f64(f.remaining / f.rate))
+                    .max(self.last_advance)
             };
             match best {
-                None => best = Some((t, id)),
-                Some((bt, _)) if t < bt => best = Some((t, id)),
+                None => best = Some((t, f.id)),
+                Some((bt, _)) if t < bt => best = Some((t, f.id)),
                 _ => {}
             }
         }
         best
     }
 
-    /// Integrate all flows' progress up to `now`.
+    /// Move the network clock to `now`. O(1): per-flow progress is
+    /// tracked lazily from `(rate, touched)` and materialized only when a
+    /// flow's rate changes (or on completion/cancellation/queries).
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_advance, "network time went backwards");
-        let dt = now.since(self.last_advance).as_secs_f64();
-        if dt > 0.0 {
-            for f in self.flows.values_mut() {
-                let moved = (f.rate * dt).min(f.remaining);
-                f.remaining -= moved;
-                *self.delivered.entry(f.tag).or_default() += moved;
-                self.total_delivered += moved;
+        self.last_advance = now;
+    }
+
+    /// Materialize flow `pos`'s progress up to the network clock.
+    fn materialize(&mut self, pos: usize) {
+        let now = self.last_advance;
+        let f = &mut self.flows[pos];
+        let moved = f.moved_until(now);
+        f.remaining -= moved;
+        f.touched = now;
+        self.delivered[f.tag.index()] += moved;
+        self.total_delivered += moved;
+    }
+
+    /// Delivered bytes of one class including un-materialized progress.
+    fn delivered_f64(&self, tag: TrafficTag) -> f64 {
+        let mut v = self.delivered[tag.index()];
+        for f in &self.flows {
+            if f.tag == tag {
+                v += f.moved_until(self.last_advance);
             }
         }
-        self.last_advance = now;
+        v
     }
 
     /// Bytes delivered so far for a traffic class.
     pub fn delivered(&self, tag: TrafficTag) -> u64 {
-        self.delivered.get(&tag).copied().unwrap_or(0.0).round() as u64
+        self.delivered_f64(tag).round() as u64
     }
 
     /// Total bytes delivered across all classes.
     pub fn total_delivered(&self) -> u64 {
-        self.total_delivered.round() as u64
+        let mut v = self.total_delivered;
+        for f in &self.flows {
+            v += f.moved_until(self.last_advance);
+        }
+        v.round() as u64
     }
 
     /// Bytes delivered for every migration-attributable class
     /// (everything except [`TrafficTag::AppNet`]).
     pub fn migration_delivered(&self) -> u64 {
-        self.delivered
+        TrafficTag::ALL
             .iter()
-            .filter(|(t, _)| t.is_migration())
-            .map(|(_, v)| v)
+            .filter(|t| t.is_migration())
+            .map(|&t| self.delivered_f64(t))
             .sum::<f64>()
             .round() as u64
     }
@@ -222,102 +478,336 @@ impl FlowNet {
     /// Record control-message bytes (modeled latency-only, but the bytes
     /// still appear in the traffic accounting).
     pub fn account_control(&mut self, bytes: u64) {
-        *self.delivered.entry(TrafficTag::Control).or_default() += bytes as f64;
+        self.delivered[TrafficTag::Control.index()] += bytes as f64;
         self.total_delivered += bytes as f64;
     }
 
     /// Current rate of a flow in bytes/second, if in flight.
     pub fn rate_of(&self, id: FlowId) -> Option<f64> {
-        self.flows.get(&id).map(|f| f.rate)
+        self.flow_pos(id).map(|i| self.flows[i].rate)
     }
 
     /// Bytes remaining for a flow, if in flight.
     pub fn remaining_of(&self, id: FlowId) -> Option<u64> {
-        self.flows.get(&id).map(|f| f.remaining.ceil() as u64)
+        self.flow_pos(id).map(|i| {
+            let f = &self.flows[i];
+            (f.remaining - f.moved_until(self.last_advance)).ceil() as u64
+        })
     }
 
-    /// Progressive-filling max–min fair allocation.
-    ///
-    /// Resources: per-node uplink (`0..n`), per-node downlink (`n..2n`),
-    /// the switch aggregate (`2n`), and one virtual resource per capped
-    /// flow. Each iteration saturates the currently most-constrained
-    /// resource and freezes the flows crossing it, so the loop runs at most
-    /// `|flows|` times.
-    fn recompute(&mut self) {
-        let n = self.topo.len();
-        let nfix = 2 * n + 1;
+    // ---------------- rate allocation ----------------
+
+    /// Recompute rates after a flow set change touching `(src, dst)`.
+    fn reallocate(&mut self, src: NodeId, dst: NodeId) {
         if self.flows.is_empty() {
             return;
         }
+        match self.solver {
+            SolverMode::Reference => {
+                self.scratch.new_rates = reference::rates(&self.topo, &self.flows);
+                self.apply_rates_all();
+            }
+            SolverMode::Incremental => {
+                if self.decoupled {
+                    self.mark_component(src, dst);
+                    self.solve_members();
+                    self.apply_member_rates();
+                } else {
+                    // The switch couples every flow: full solve, but over
+                    // persistent tables (memcpy-initialized, no lookups).
+                    self.solve_all();
+                    self.apply_rates_all();
+                }
+            }
+        }
+    }
 
-        // Build the resource table.
-        let mut cap_left: Vec<f64> = Vec::with_capacity(nfix + self.flows.len());
+    /// Fill `scratch.mflows` with the connected component (via shared
+    /// nodes) of the changed endpoints — only these flows' rates can
+    /// change when the switch is decoupled.
+    fn mark_component(&mut self, src: NodeId, dst: NodeId) {
+        let m = self.flows.len();
+        let s = &mut self.scratch;
+        s.mflows.clear();
+        let n = self.topo.len();
+        // CSR of flow indices per source node and per destination node.
+        s.src_off.clear();
+        s.src_off.resize(n + 1, 0);
+        s.dst_off.clear();
+        s.dst_off.resize(n + 1, 0);
+        for row in &self.rows {
+            s.src_off[row[0] as usize + 1] += 1;
+            s.dst_off[(row[1] as usize - n) + 1] += 1;
+        }
         for i in 0..n {
-            cap_left.push(self.topo.caps(NodeId(i as u32)).up);
+            s.src_off[i + 1] += s.src_off[i];
+            s.dst_off[i + 1] += s.dst_off[i];
         }
-        for i in 0..n {
-            cap_left.push(self.topo.caps(NodeId(i as u32)).down);
+        s.src_idx.clear();
+        s.src_idx.resize(m, 0);
+        s.dst_idx.clear();
+        s.dst_idx.resize(m, 0);
+        // Second pass fills slots; the cursors are persistent scratch
+        // copies of the offsets, so no per-recompute allocation.
+        s.src_cur.clear();
+        s.src_cur.extend_from_slice(&s.src_off);
+        s.dst_cur.clear();
+        s.dst_cur.extend_from_slice(&s.dst_off);
+        for (i, row) in self.rows.iter().enumerate() {
+            let su = row[0] as usize;
+            s.src_idx[s.src_cur[su] as usize] = i as u32;
+            s.src_cur[su] += 1;
+            let du = row[1] as usize - n;
+            s.dst_idx[s.dst_cur[du] as usize] = i as u32;
+            s.dst_cur[du] += 1;
         }
-        cap_left.push(self.topo.switch_capacity);
-
-        // Per-flow resource lists (indices into cap_left).
-        let ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        let mut flow_res: Vec<[usize; 4]> = Vec::with_capacity(ids.len());
-        let mut flow_nres: Vec<u8> = Vec::with_capacity(ids.len());
-        for id in &ids {
-            let f = &self.flows[id];
-            let mut res = [f.src.idx(), n + f.dst.idx(), 2 * n, 0];
-            let mut cnt = 3u8;
-            if let Some(c) = f.cap {
-                res[3] = cap_left.len();
-                cap_left.push(c);
-                cnt = 4;
+        s.member.clear();
+        s.member.resize(m, false);
+        s.node_seen.clear();
+        s.node_seen.resize(n, false);
+        s.stack.clear();
+        for u in [src.idx(), dst.idx()] {
+            if !s.node_seen[u] {
+                s.node_seen[u] = true;
+                s.stack.push(u as u32);
             }
-            flow_res.push(res);
-            flow_nres.push(cnt);
         }
-
-        let nres = cap_left.len();
-        let mut count = vec![0u32; nres];
-        for (fi, _) in ids.iter().enumerate() {
-            for k in 0..flow_nres[fi] as usize {
-                count[flow_res[fi][k]] += 1;
-            }
-        }
-
-        let mut fixed = vec![false; ids.len()];
-        let mut unfixed_left = ids.len();
-        while unfixed_left > 0 {
-            // Most constrained resource: min fair share, lowest index ties.
-            let mut best: Option<(f64, usize)> = None;
-            for (r, (&cl, &c)) in cap_left.iter().zip(count.iter()).enumerate() {
-                if c == 0 {
-                    continue;
-                }
-                let share = (cl / c as f64).max(0.0);
-                match best {
-                    None => best = Some((share, r)),
-                    Some((bs, _)) if share < bs => best = Some((share, r)),
-                    _ => {}
+        while let Some(u) = s.stack.pop() {
+            let u = u as usize;
+            for k in s.src_off[u]..s.src_off[u + 1] {
+                let fi = s.src_idx[k as usize] as usize;
+                if !s.member[fi] {
+                    s.member[fi] = true;
+                    let other = self.rows[fi][1] as usize - n;
+                    if !s.node_seen[other] {
+                        s.node_seen[other] = true;
+                        s.stack.push(other as u32);
+                    }
                 }
             }
-            let (share, bottleneck) = best.expect("unfixed flows must cross a resource");
+            for k in s.dst_off[u]..s.dst_off[u + 1] {
+                let fi = s.dst_idx[k as usize] as usize;
+                if !s.member[fi] {
+                    s.member[fi] = true;
+                    let other = self.rows[fi][0] as usize;
+                    if !s.node_seen[other] {
+                        s.node_seen[other] = true;
+                        s.stack.push(other as u32);
+                    }
+                }
+            }
+        }
+        for (i, &is_member) in s.member.iter().enumerate() {
+            if is_member {
+                s.mflows.push(i as u32);
+            }
+        }
+    }
 
-            for (fi, id) in ids.iter().enumerate() {
-                if fixed[fi] {
-                    continue;
+    /// Progressive-filling max–min fair allocation over the member flows,
+    /// into `scratch.new_rates` (indexed like `scratch.mflows`).
+    ///
+    /// Resources: per-node uplink (`0..n`), per-node downlink (`n..2n`),
+    /// the switch aggregate (`2n`), and one virtual resource per capped
+    /// member flow. Each iteration saturates the currently most
+    /// constrained resource and freezes the flows crossing it, so the
+    /// loop runs at most `|members|` times. The arithmetic — table
+    /// layout, iteration order, subtraction order, tie-breaking — is
+    /// exactly the reference solver's, restricted to the member set, so
+    /// the resulting rates are bit-identical (see `reference.rs`).
+    fn solve_members(&mut self) {
+        let n = self.topo.len();
+        let s = &mut self.scratch;
+        let m = s.mflows.len();
+        if m == 0 {
+            return;
+        }
+
+        s.cap_left.clear();
+        s.cap_left.extend_from_slice(&self.caps_flat);
+
+        let vbase = (2 * n + 1) as u32;
+        s.flow_res.clear();
+        for &fi in &s.mflows {
+            // `NO_RES` pads uncapped flows so every row is a flat [u32; 4]
+            // (no per-flow length array, no slice re-borrows in the hot
+            // loop). The sentinel never equals a real resource index.
+            // Member-restricted solves renumber the virtual-cap slots
+            // compactly (reference layout over the member set).
+            let mut res = self.rows[fi as usize];
+            if res[3] != NO_RES {
+                let cap = self.caps_list[(res[3] - vbase) as usize];
+                res[3] = s.cap_left.len() as u32;
+                s.cap_left.push(cap);
+            }
+            s.flow_res.push(res);
+        }
+
+        let nres = s.cap_left.len();
+        s.count.clear();
+        s.count.resize(nres, 0);
+        for res in &s.flow_res {
+            for &r in res {
+                if r == NO_RES {
+                    break;
                 }
-                let res = &flow_res[fi][..flow_nres[fi] as usize];
-                if !res.contains(&bottleneck) {
-                    continue;
+                s.count[r as usize] += 1;
+            }
+        }
+
+        s.new_rates.clear();
+        s.new_rates.resize(m, UNFIXED);
+        waterfill(&mut s.cap_left, &mut s.count, &s.flow_res, &mut s.new_rates);
+    }
+
+    /// Full-set solve over the persistent tables: `cap_left` and the
+    /// physical-resource counts start as memcpys of the pristine arrays
+    /// maintained on every insert/remove.
+    fn solve_all(&mut self) {
+        let m = self.flows.len();
+        let s = &mut self.scratch;
+        s.cap_left.clear();
+        s.cap_left.extend_from_slice(&self.caps_flat);
+        s.cap_left.extend_from_slice(&self.caps_list);
+        s.count.clear();
+        s.count.extend_from_slice(&self.count_all);
+        s.count.resize(s.count.len() + self.caps_list.len(), 1);
+        s.new_rates.clear();
+        s.new_rates.resize(m, UNFIXED);
+        waterfill(&mut s.cap_left, &mut s.count, &self.rows, &mut s.new_rates);
+    }
+
+    /// Commit `scratch.new_rates` (parallel to `flows`), materializing
+    /// progress only for flows whose rate actually changed.
+    fn apply_rates_all(&mut self) {
+        let now = self.last_advance;
+        let new_rates = std::mem::take(&mut self.scratch.new_rates);
+        for (f, &new_rate) in self.flows.iter_mut().zip(new_rates.iter()) {
+            commit_rate(
+                f,
+                new_rate,
+                now,
+                &mut self.delivered,
+                &mut self.total_delivered,
+            );
+        }
+        self.scratch.new_rates = new_rates;
+    }
+
+    /// Commit `scratch.new_rates` to the member flows, materializing
+    /// progress only for flows whose rate actually changed.
+    fn apply_member_rates(&mut self) {
+        let now = self.last_advance;
+        // `scratch` and `flows` are disjoint fields; take the member list
+        // out to keep the borrow checker out of the inner loop.
+        let mflows = std::mem::take(&mut self.scratch.mflows);
+        for (&fi, &new_rate) in mflows.iter().zip(self.scratch.new_rates.iter()) {
+            commit_rate(
+                &mut self.flows[fi as usize],
+                new_rate,
+                now,
+                &mut self.delivered,
+                &mut self.total_delivered,
+            );
+        }
+        self.scratch.mflows = mflows;
+    }
+}
+
+/// Commit one solved rate: materialize the flow's progress only when the
+/// rate actually changed (bitwise) and time has passed since the last
+/// materialization. Shared by the full-set and member-solve commit paths
+/// so their accounting cannot drift apart.
+#[inline]
+fn commit_rate(
+    f: &mut Flow,
+    new_rate: f64,
+    now: SimTime,
+    delivered: &mut [f64; NTAGS],
+    total_delivered: &mut f64,
+) {
+    if f.rate.to_bits() == new_rate.to_bits() {
+        return;
+    }
+    if f.touched == now {
+        // Rate changed again within the same instant: nothing moved,
+        // no need to touch the accounting.
+        f.rate = new_rate;
+        return;
+    }
+    let moved = f.moved_until(now);
+    f.remaining -= moved;
+    f.touched = now;
+    f.rate = new_rate;
+    delivered[f.tag.index()] += moved;
+    *total_delivered += moved;
+}
+
+/// The progressive-filling core shared by the full-set and component
+/// solves. Each round saturates the most constrained resource (minimum
+/// fair share `cap_left / count`, lowest index on ties) and freezes the
+/// flows crossing it. Bit-identical to [`reference::rates`]:
+///
+/// * the division memo only reuses a quotient when *both* operands are
+///   bit-equal to the previous resource's — the result is the value the
+///   division would produce;
+/// * the full-cover fast path fires when every still-unfixed flow
+///   crosses the bottleneck (`count[bottleneck] == unfixed`); they all
+///   freeze at `share` this round, and the skipped `cap_left`/`count`
+///   updates are dead writes since the loop terminates.
+fn waterfill(
+    cap_left: &mut [f64],
+    count: &mut [u32],
+    flow_res: &[[u32; 4]],
+    new_rates: &mut [f64],
+) {
+    let mut unfixed_left = flow_res.len();
+    while unfixed_left > 0 {
+        let mut best: Option<(f64, usize)> = None;
+        let mut memo: (u64, u32, f64) = (0, 0, 0.0);
+        for (r, (&cl, &c)) in cap_left.iter().zip(count.iter()).enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let share = if (cl.to_bits(), c) == (memo.0, memo.1) {
+                memo.2
+            } else {
+                let s = (cl / c as f64).max(0.0);
+                memo = (cl.to_bits(), c, s);
+                s
+            };
+            match best {
+                None => best = Some((share, r)),
+                Some((bs, _)) if share < bs => best = Some((share, r)),
+                _ => {}
+            }
+        }
+        let (share, bottleneck) = best.expect("unfixed flows must cross a resource");
+
+        if count[bottleneck] as usize == unfixed_left {
+            // Final round: every unfixed flow crosses the bottleneck.
+            for rate in new_rates.iter_mut() {
+                if *rate == UNFIXED {
+                    *rate = share;
                 }
-                self.flows.get_mut(id).expect("flow").rate = share;
-                fixed[fi] = true;
-                unfixed_left -= 1;
-                for &r in res {
-                    cap_left[r] = (cap_left[r] - share).max(0.0);
-                    count[r] -= 1;
+            }
+            return;
+        }
+
+        let bottleneck = bottleneck as u32;
+        for (res, rate) in flow_res.iter().zip(new_rates.iter_mut()) {
+            if *rate != UNFIXED || !res.contains(&bottleneck) {
+                continue;
+            }
+            *rate = share;
+            unfixed_left -= 1;
+            for &r in res {
+                if r == NO_RES {
+                    break;
                 }
+                let r = r as usize;
+                cap_left[r] = (cap_left[r] - share).max(0.0);
+                count[r] -= 1;
             }
         }
     }
@@ -518,5 +1008,56 @@ mod tests {
         let f = net.start_flow(t(2.0), NodeId(0), NodeId(1), 0, None, TrafficTag::Control);
         let (done, id) = net.next_completion().unwrap();
         assert_eq!((done, id), (t(2.0), f));
+    }
+
+    #[test]
+    fn lazy_advance_projects_delivered_bytes() {
+        // advance() alone must not lose progress: queries project from
+        // (rate, touched) without materializing.
+        let mut net = FlowNet::new(topo(4));
+        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::Memory);
+        net.advance(t(0.25));
+        assert_eq!(net.delivered(TrafficTag::Memory) / MIB, 25);
+        assert_eq!(net.total_delivered() / MIB, 25);
+        assert_eq!(net.remaining_of(f).unwrap() / MIB, 75);
+        net.advance(t(0.5));
+        assert_eq!(net.delivered(TrafficTag::Memory) / MIB, 50);
+    }
+
+    #[test]
+    fn peak_active_tracks_high_water_mark() {
+        let mut net = FlowNet::new(topo(4));
+        let a = net.start_flow(Z, NodeId(0), NodeId(1), MIB, None, TrafficTag::Memory);
+        let _b = net.start_flow(Z, NodeId(2), NodeId(3), MIB, None, TrafficTag::Memory);
+        net.cancel_flow(t(0.001), a);
+        assert_eq!(net.active(), 1);
+        assert_eq!(net.peak_active(), 2);
+    }
+
+    #[test]
+    fn decoupled_switch_detection() {
+        // 800 MB/s switch vs 4 × 100 MB/s NICs: 800 ≥ 2·400 → decoupled.
+        assert!(FlowNet::switch_decoupled(&topo(4)));
+        // 32 nodes: 800 < 2·3200 → coupled.
+        assert!(!FlowNet::switch_decoupled(&topo(32)));
+    }
+
+    #[test]
+    fn reference_mode_matches_incremental_small_case() {
+        for mode in [SolverMode::Incremental, SolverMode::Reference] {
+            let mut net = FlowNet::new(topo(4));
+            net.set_solver(mode);
+            let a = net.start_flow(Z, NodeId(0), NodeId(1), 60 * MIB, None, TrafficTag::Memory);
+            let b = net.start_flow(
+                Z,
+                NodeId(0),
+                NodeId(2),
+                80 * MIB,
+                Some(mb_per_s(30.0)),
+                TrafficTag::StoragePush,
+            );
+            assert!((net.rate_of(a).unwrap() - mb_per_s(70.0)).abs() < 1.0);
+            assert!((net.rate_of(b).unwrap() - mb_per_s(30.0)).abs() < 1.0);
+        }
     }
 }

@@ -1,0 +1,206 @@
+//! Property test: the incremental max–min allocator must be
+//! **bit-identical** to the from-scratch reference solver.
+//!
+//! Two [`FlowNet`]s over the same random topology — one per
+//! [`SolverMode`] — are driven in lockstep through a random schedule of
+//! flow starts, cancellations, completions and clock advances. After
+//! every step, rates, remaining bytes, per-tag delivered bytes and the
+//! next completion `(time, flow)` must match exactly (rates down to the
+//! bit pattern). Topologies cover both regimes: switch-coupled (full
+//! re-solve) and switch-decoupled (component dirty-marking).
+
+use lsm_netsim::{FlowId, FlowNet, NodeCaps, NodeId, SolverMode, Topology, TrafficTag};
+use lsm_simcore::time::SimTime;
+use lsm_simcore::units::{mb_per_s, MIB};
+use proptest::prelude::*;
+
+/// One encoded schedule step; interpreted against the live flow set.
+type RawOp = (u8, u32, u32, u64, f64);
+
+struct Lockstep {
+    inc: FlowNet,
+    refr: FlowNet,
+    live: Vec<FlowId>,
+    now: SimTime,
+}
+
+impl Lockstep {
+    fn new(topo: Topology) -> Self {
+        let mut inc = FlowNet::new(topo.clone());
+        inc.set_solver(SolverMode::Incremental);
+        let mut refr = FlowNet::new(topo);
+        refr.set_solver(SolverMode::Reference);
+        Lockstep {
+            inc,
+            refr,
+            live: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn check(&self) -> Result<(), TestCaseError> {
+        for &id in &self.live {
+            let ri = self.inc.rate_of(id).expect("live in incremental");
+            let rr = self.refr.rate_of(id).expect("live in reference");
+            prop_assert_eq!(
+                ri.to_bits(),
+                rr.to_bits(),
+                "rate diverged for {:?}: incremental {} vs reference {}",
+                id,
+                ri,
+                rr
+            );
+            prop_assert_eq!(self.inc.remaining_of(id), self.refr.remaining_of(id));
+        }
+        prop_assert_eq!(self.inc.next_completion(), self.refr.next_completion());
+        for tag in TrafficTag::ALL {
+            prop_assert_eq!(self.inc.delivered(tag), self.refr.delivered(tag));
+        }
+        prop_assert_eq!(self.inc.total_delivered(), self.refr.total_delivered());
+        Ok(())
+    }
+
+    fn step(&mut self, op: RawOp) -> Result<(), TestCaseError> {
+        let (code, a, b, bytes, x) = op;
+        let n = self.inc.topology().len() as u32;
+        // Every step first moves the clock a little (exercises the lazy
+        // advance against the eager-equivalent projection).
+        self.now += lsm_simcore::time::SimDuration::from_nanos(1 + (bytes % 50_000_000));
+        self.inc.advance(self.now);
+        self.refr.advance(self.now);
+        match code % 4 {
+            0 | 1 => {
+                // Start a flow.
+                let src = a % n;
+                let mut dst = b % n;
+                if dst == src {
+                    dst = (dst + 1) % n;
+                }
+                let cap = if x < 0.3 {
+                    Some(mb_per_s(1.0 + x * 200.0))
+                } else {
+                    None
+                };
+                let tag = TrafficTag::ALL[(a as usize + b as usize) % TrafficTag::ALL.len()];
+                let sz = bytes % (64 * MIB);
+                let fi = self
+                    .inc
+                    .start_flow(self.now, NodeId(src), NodeId(dst), sz, cap, tag);
+                let fr = self
+                    .refr
+                    .start_flow(self.now, NodeId(src), NodeId(dst), sz, cap, tag);
+                prop_assert_eq!(fi, fr, "flow id streams diverged");
+                self.live.push(fi);
+            }
+            2 => {
+                // Complete the earliest completion, if one is due.
+                let Some((ti, id)) = self.inc.next_completion() else {
+                    return Ok(());
+                };
+                prop_assert_eq!(Some((ti, id)), self.refr.next_completion());
+                if ti == SimTime::FAR_FUTURE {
+                    return Ok(());
+                }
+                let at = ti.max(self.now);
+                self.now = at;
+                self.inc.complete(at, id);
+                self.refr.complete(at, id);
+                self.live.retain(|&f| f != id);
+            }
+            _ => {
+                // Cancel a random live flow.
+                if self.live.is_empty() {
+                    return Ok(());
+                }
+                let id = self.live[a as usize % self.live.len()];
+                let li = self.inc.cancel_flow(self.now, id);
+                let lr = self.refr.cancel_flow(self.now, id);
+                prop_assert_eq!(li, lr, "cancel leftovers diverged for {:?}", id);
+                self.live.retain(|&f| f != id);
+            }
+        }
+        self.check()
+    }
+}
+
+fn run_schedule(topo: Topology, ops: &[RawOp]) -> Result<(), TestCaseError> {
+    let mut ls = Lockstep::new(topo);
+    for &op in ops {
+        ls.step(op)?;
+    }
+    // Drain everything so completion-path accounting is fully covered.
+    while let Some((t, id)) = ls.inc.next_completion() {
+        if t == SimTime::FAR_FUTURE {
+            break;
+        }
+        prop_assert_eq!(Some((t, id)), ls.refr.next_completion());
+        let at = t.max(ls.now);
+        ls.now = at;
+        ls.inc.complete(at, id);
+        ls.refr.complete(at, id);
+        ls.live.retain(|&f| f != id);
+        ls.check()?;
+    }
+    Ok(())
+}
+
+fn raw_op() -> impl Strategy<Value = RawOp> {
+    (
+        0u8..=255,
+        0u32..1024,
+        0u32..1024,
+        0u64..u64::MAX,
+        0.0f64..1.0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Switch-coupled regime: the aggregate can bind, every change
+    /// re-solves the full flow set (but with persistent buffers).
+    #[test]
+    fn coupled_switch_lockstep(
+        nodes in 2usize..9,
+        nic in 20.0f64..200.0,
+        ops in prop::collection::vec(raw_op(), 10..60),
+    ) {
+        // Switch below the summed NIC capacity: contention is real.
+        let switch = nic * (nodes as f64) * 0.6;
+        let topo = Topology::symmetric(nodes, mb_per_s(nic), mb_per_s(switch));
+        prop_assert!(!FlowNet::switch_decoupled(&topo));
+        run_schedule(topo, &ops)?;
+    }
+
+    /// Switch-decoupled regime: component dirty-marking is active, so
+    /// flows outside the changed component keep rates without re-solving
+    /// — and must still match the full reference solve bit-for-bit.
+    #[test]
+    fn decoupled_switch_lockstep(
+        nodes in 2usize..9,
+        nic in 20.0f64..200.0,
+        ops in prop::collection::vec(raw_op(), 10..60),
+    ) {
+        let switch = nic * (nodes as f64) * 4.0;
+        let topo = Topology::symmetric(nodes, mb_per_s(nic), mb_per_s(switch));
+        prop_assert!(FlowNet::switch_decoupled(&topo));
+        run_schedule(topo, &ops)?;
+    }
+
+    /// Heterogeneous NICs (asymmetric up/down) in the decoupled regime.
+    #[test]
+    fn heterogeneous_caps_lockstep(
+        nodes in 2usize..7,
+        caps in prop::collection::vec((10.0f64..150.0, 10.0f64..150.0), 6),
+        ops in prop::collection::vec(raw_op(), 10..50),
+    ) {
+        let mut topo = Topology::symmetric(nodes, mb_per_s(100.0), mb_per_s(100.0 * 14.0 * 2.0));
+        for (i, &(up, down)) in caps.iter().take(nodes).enumerate() {
+            topo = topo.with_node_caps(
+                NodeId(i as u32),
+                NodeCaps { up: mb_per_s(up), down: mb_per_s(down) },
+            );
+        }
+        run_schedule(topo, &ops)?;
+    }
+}

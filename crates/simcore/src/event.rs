@@ -7,7 +7,7 @@
 
 use crate::time::SimTime;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 
 /// Handle to a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -37,9 +37,17 @@ impl<E: Eq> PartialOrd for Slot<E> {
 /// `E` is the event payload type chosen by the embedding simulator.
 /// Cancellation is lazy: cancelled events stay in the heap and are skipped
 /// on pop, which keeps both operations `O(log n)` amortized.
+///
+/// Cancellation state lives in `pending`, which tracks exactly the
+/// events still in the heap (`seq → cancelled?`). Cancelling an
+/// already-fired (or never-heaped) event is rejected up front instead of
+/// inserting a tombstone that nothing would ever prune — long-running
+/// simulations cancel stale timer events constantly, and an
+/// insert-always set would grow without bound.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Slot<E>>>,
-    cancelled: HashSet<u64>,
+    /// One entry per heap slot: `true` once cancelled.
+    pending: HashMap<u64, bool>,
     next_seq: u64,
     scheduled: u64,
     fired: u64,
@@ -56,7 +64,7 @@ impl<E: Eq> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending: HashMap::new(),
             next_seq: 0,
             scheduled: 0,
             fired: 0,
@@ -76,23 +84,30 @@ impl<E: Eq> EventQueue<E> {
                 seq,
                 payload,
             }));
+            self.pending.insert(seq, false);
             self.scheduled += 1;
         }
         EventId(seq)
     }
 
-    /// Cancel a previously scheduled event. Cancelling an already-fired or
-    /// unknown event is a no-op (and returns `false`).
+    /// Cancel a previously scheduled event. Cancelling an already-fired,
+    /// already-cancelled or unknown event is a no-op (and returns
+    /// `false`) — in particular it cannot grow the queue's state.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // We cannot cheaply tell "already fired" from "pending"; the
-        // cancelled set is consulted (and cleaned) on pop.
-        self.cancelled.insert(id.0)
+        match self.pending.get_mut(&id.0) {
+            Some(cancelled @ false) => {
+                *cancelled = true;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Remove and return the earliest live event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(Reverse(slot)) = self.heap.pop() {
-            if self.cancelled.remove(&slot.seq) {
+            let cancelled = self.pending.remove(&slot.seq).unwrap_or(false);
+            if cancelled {
                 continue;
             }
             self.fired += 1;
@@ -106,13 +121,19 @@ impl<E: Eq> EventQueue<E> {
         loop {
             match self.heap.peek() {
                 None => return None,
-                Some(Reverse(slot)) if self.cancelled.contains(&slot.seq) => {
+                Some(Reverse(slot)) if self.pending.get(&slot.seq) == Some(&true) => {
                     let Reverse(slot) = self.heap.pop().expect("peeked");
-                    self.cancelled.remove(&slot.seq);
+                    self.pending.remove(&slot.seq);
                 }
                 Some(Reverse(slot)) => return Some(slot.time),
             }
         }
+    }
+
+    /// Cancelled-but-not-yet-pruned entries still occupying the heap
+    /// (diagnostics; bounded by [`EventQueue::len`] by construction).
+    pub fn tombstones(&self) -> usize {
+        self.pending.values().filter(|&&c| c).count()
     }
 
     /// Number of events currently pending (including not-yet-skipped
@@ -217,5 +238,52 @@ mod tests {
         assert_eq!(q.total_scheduled(), 2);
         assert_eq!(q.total_fired(), 1);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancelling_fired_events_cannot_leak_tombstones() {
+        // Regression: cancel() of an already-fired event used to insert
+        // into the cancelled set forever. A long-running simulation that
+        // reschedules timers (cancelling the stale event after it fired)
+        // would grow that set without bound.
+        let mut q = EventQueue::new();
+        let mut fired_ids = Vec::new();
+        for round in 0..1000u64 {
+            let id = q.schedule(t(round), round);
+            assert_eq!(q.pop(), Some((t(round), round)));
+            fired_ids.push(id);
+        }
+        for id in fired_ids {
+            assert!(!q.cancel(id), "cancel of a fired event must be a no-op");
+        }
+        assert_eq!(q.tombstones(), 0);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn tombstones_are_bounded_by_pending_and_pruned_on_pop() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..100u64).map(|i| q.schedule(t(i), i)).collect();
+        for id in &ids[..50] {
+            assert!(q.cancel(*id), "first cancel of a pending event");
+            assert!(!q.cancel(*id), "second cancel is a no-op");
+        }
+        assert_eq!(q.tombstones(), 50);
+        assert!(q.tombstones() <= q.len());
+        let mut live = 0;
+        while q.pop().is_some() {
+            live += 1;
+        }
+        assert_eq!(live, 50);
+        assert_eq!(q.tombstones(), 0);
+    }
+
+    #[test]
+    fn far_future_events_leave_no_state_and_cancel_false() {
+        let mut q = EventQueue::new();
+        let id = q.schedule(SimTime::FAR_FUTURE, 1u32);
+        assert_eq!(q.len(), 0);
+        assert!(!q.cancel(id), "never-heaped event has nothing to cancel");
+        assert_eq!(q.tombstones(), 0);
     }
 }

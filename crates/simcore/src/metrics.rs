@@ -101,12 +101,33 @@ impl TimeSeries {
 ///
 /// Bucket `i` counts values in `[2^i, 2^(i+1))` nanoseconds (bucket 0 also
 /// absorbs zero).
-#[derive(Clone, Debug, Serialize)]
+///
+/// Quantile queries binary-search a cached cumulative-count table that
+/// is rebuilt lazily, only when values were recorded since the last
+/// query — so harnesses that poll several quantiles per sampling tick
+/// (p50/p90/p99 dashboards) do not rescan (or, in a sorted-sample
+/// implementation, re-sort) the data on every call.
+#[derive(Clone, Debug)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: f64,
     max: f64,
+    /// Cached inclusive prefix sums of `buckets`; empty means stale.
+    /// Query-side state only — excluded from serialization (see the
+    /// manual [`Serialize`] impl below).
+    cumulative: std::cell::RefCell<Vec<u64>>,
+}
+
+impl Serialize for Histogram {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("buckets".to_string(), self.buckets.to_value()),
+            ("count".to_string(), self.count.to_value()),
+            ("sum".to_string(), self.sum.to_value()),
+            ("max".to_string(), self.max.to_value()),
+        ])
+    }
 }
 
 impl Default for Histogram {
@@ -116,6 +137,7 @@ impl Default for Histogram {
             count: 0,
             sum: 0.0,
             max: 0.0,
+            cumulative: std::cell::RefCell::new(Vec::new()),
         }
     }
 }
@@ -140,6 +162,7 @@ impl Histogram {
         if v > self.max {
             self.max = v;
         }
+        self.cumulative.get_mut().clear();
     }
 
     /// Number of recorded values.
@@ -161,21 +184,31 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate quantile (bucket upper-bound based; `q` in `[0,1]`).
+    /// Approximate quantile (`q` in `[0,1]`): the upper bound `2^(i+1)`
+    /// of the first bucket at which the cumulative count reaches
+    /// `ceil(q · count)`. NaN when empty. `quantile(0)` degenerates to
+    /// the smallest bucket's upper bound; `quantile(1)` always covers
+    /// the largest recorded sample.
     pub fn quantile(&self, q: f64) -> f64 {
         debug_assert!((0.0..=1.0).contains(&q));
         if self.count == 0 {
             return f64::NAN;
         }
-        let target = (q * self.count as f64).ceil() as u64;
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return 2f64.powi(i as i32 + 1);
+        let mut cum = self.cumulative.borrow_mut();
+        if cum.is_empty() {
+            cum.reserve(self.buckets.len());
+            let mut seen = 0u64;
+            for &c in &self.buckets {
+                seen += c;
+                cum.push(seen);
             }
         }
-        self.max
+        let target = (q * self.count as f64).ceil() as u64;
+        // First bucket whose cumulative count reaches the target rank.
+        match cum.partition_point(|&seen| seen < target) {
+            i if i < cum.len() => 2f64.powi(i as i32 + 1),
+            _ => self.max,
+        }
     }
 }
 
@@ -312,5 +345,38 @@ mod tests {
         h.record(0.0);
         h.record(0.5);
         assert_eq!(h.count(), 2);
+    }
+
+    /// Pins the quantile contract: rank `ceil(q·count)` against inclusive
+    /// cumulative bucket counts, reported as the bucket's upper bound
+    /// `2^(i+1)`, NaN when empty — and record() must invalidate any
+    /// cached query state.
+    #[test]
+    fn histogram_quantile_semantics_pinned() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).is_nan(), "empty histogram has no quantile");
+
+        let mut h = Histogram::new();
+        // Buckets: [1,2): one sample; [2,4): one; [4,8): two.
+        for v in [1.0, 2.0, 4.0, 5.0] {
+            h.record(v);
+        }
+        // Ranks: q=0.25 → rank 1 → bucket 0 → upper bound 2.
+        assert_eq!(h.quantile(0.25), 2.0);
+        // q=0.5 → rank 2 → bucket 1 → upper bound 4.
+        assert_eq!(h.quantile(0.5), 4.0);
+        // q=0.75 and q=1.0 → ranks 3 and 4 → bucket 2 → upper bound 8.
+        assert_eq!(h.quantile(0.75), 8.0);
+        assert_eq!(h.quantile(1.0), 8.0);
+        // Repeated queries (cached path) agree with the first.
+        for _ in 0..3 {
+            assert_eq!(h.quantile(0.5), 4.0);
+        }
+        // Recording invalidates the cache: the median moves.
+        for _ in 0..10 {
+            h.record(100.0);
+        }
+        assert_eq!(h.quantile(0.5), 128.0, "median follows the new mass");
+        assert_eq!(h.quantile(0.0), 2.0, "q=0 is the smallest upper bound");
     }
 }
