@@ -1,0 +1,453 @@
+//! # lsm-check — invariant-checking observer
+//!
+//! An [`InvariantObserver`] hangs off [`lsm_core::Observer::on_tick`]
+//! and audits conservation laws after **every** dispatched engine event.
+//! It is the verification half of the fault-injection subsystem: faults
+//! tear at the engine from every angle (severed flows, dead nodes,
+//! stalled pipelines, aborted jobs), and these laws say what must
+//! survive the tearing:
+//!
+//! * **Rate conservation** — at every instant, the summed rate of flows
+//!   crossing each uplink, each downlink, and the switch aggregate stays
+//!   within that resource's *current* (possibly degraded) capacity.
+//! * **Delivered ≤ capacity × time** — cumulative bytes delivered by
+//!   flows never exceed what the switch aggregate could have carried in
+//!   the elapsed simulated time (control messages are latency-modeled,
+//!   not capacity-modeled, and excluded).
+//! * **No flow references a crashed node** — a crash severs its flows in
+//!   the same instant; nothing may keep transferring to or from a dead
+//!   host, and nothing may start to.
+//! * **Chunk versions are monotone and causal** — the logical disk
+//!   version of a chunk never decreases, and no physical store (current
+//!   host or staging destination) ever holds a version the guest never
+//!   wrote.
+//! * **Terminal jobs never regress** — once `Completed`/`Failed`, a
+//!   job's status never changes again, and every transition before that
+//!   follows the documented lifecycle.
+//!
+//! Violations are collected (bounded) with timestamps and law names;
+//! [`InvariantObserver::finish`] runs a final full audit and
+//! [`InvariantObserver::assert_clean`] panics with a readable digest —
+//! the shape integration tests and the scenario fuzzer want.
+//!
+//! The expensive audit (every chunk of every VM) is throttled: it runs
+//! on every job status change (targeted at that VM), every
+//! `deep_scan_interval` events (full), and at `finish`. The cheap
+//! audits run on every event.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use lsm_core::engine::{Engine, JobId, MigrationProgress, MigrationStatus, Milestone};
+use lsm_core::{Observer, RunControl};
+use lsm_simcore::time::SimTime;
+
+/// Tuning for the checker (defaults are right for tests and CI).
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Relative tolerance for capacity comparisons (the solver's
+    /// arithmetic is exact per water-fill round, but sums of many flows
+    /// accumulate rounding).
+    pub rel_epsilon: f64,
+    /// Absolute slack in bytes for the delivered-bytes law (sub-byte
+    /// completion residues are accounted exactly; rounding of queries is
+    /// not).
+    pub delivered_slack: f64,
+    /// Run the full chunk-version audit every this many events
+    /// (`0` disables the periodic audit; job-status-targeted and final
+    /// audits still run).
+    pub deep_scan_interval: u64,
+    /// Stop the run at the first violation instead of collecting.
+    pub fail_fast: bool,
+    /// Keep at most this many violations (the first ones matter most).
+    pub max_violations: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            rel_epsilon: 1e-6,
+            delivered_slack: 64.0 * 1024.0,
+            deep_scan_interval: 8192,
+            fail_fast: false,
+            max_violations: 64,
+        }
+    }
+}
+
+/// One observed violation of a conservation law.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Simulated instant of the observation.
+    pub at: SimTime,
+    /// Which law was broken (stable, grep-able name).
+    pub law: &'static str,
+    /// Human-readable specifics (ids, values, bounds).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.6}s] {}: {}",
+            self.at.as_secs_f64(),
+            self.law,
+            self.detail
+        )
+    }
+}
+
+/// The invariant-checking observer. Attach to
+/// [`lsm_core::builder::Simulation::run_observed`] (or the engine's
+/// `run_until_observed`); call [`InvariantObserver::finish`] after the
+/// run for the final audit.
+#[derive(Debug, Default)]
+pub struct InvariantObserver {
+    cfg: CheckConfig,
+    violations: Vec<Violation>,
+    /// Total violations seen (may exceed `violations.len()` when capped).
+    total_violations: u64,
+    ticks: u64,
+    checks: u64,
+    /// Last seen status per job (terminal-regression + legality).
+    statuses: Vec<Option<MigrationStatus>>,
+    /// VMs owed a targeted deep scan at the next tick (status changed).
+    scan_queue: Vec<u32>,
+    /// High-water logical disk version per (vm, chunk).
+    disk_marks: Vec<Vec<u64>>,
+    /// Reused per-tick scratch: summed rates per up/down link.
+    up_sum: Vec<f64>,
+    down_sum: Vec<f64>,
+}
+
+impl InvariantObserver {
+    /// Checker with default tuning.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checker with explicit tuning.
+    pub fn with_config(cfg: CheckConfig) -> Self {
+        InvariantObserver {
+            cfg,
+            ..Self::default()
+        }
+    }
+
+    /// Violations observed so far (bounded by `max_violations`).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations observed, including any beyond the storage cap.
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// True if no law was broken.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+
+    /// Number of individual law evaluations performed (sanity signal:
+    /// a "clean" run with zero checks checked nothing).
+    pub fn checks_run(&self) -> u64 {
+        self.checks
+    }
+
+    /// Run the final full audit against the post-run engine state.
+    pub fn finish(&mut self, eng: &Engine) {
+        self.deep_scan(eng, None);
+        self.cheap_audit(eng);
+    }
+
+    /// Panic with a digest of the first violations unless clean.
+    /// `context` names the scenario for the failure message.
+    pub fn assert_clean(&self, context: &str) {
+        if self.is_clean() {
+            return;
+        }
+        let mut msg = format!(
+            "{context}: {} invariant violation(s) ({} recorded):\n",
+            self.total_violations,
+            self.violations.len()
+        );
+        for v in self.violations.iter().take(16) {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        panic!("{msg}");
+    }
+
+    fn violate(&mut self, at: SimTime, law: &'static str, detail: String) -> RunControl {
+        self.total_violations += 1;
+        if self.violations.len() < self.cfg.max_violations {
+            self.violations.push(Violation { at, law, detail });
+        }
+        if self.cfg.fail_fast {
+            RunControl::Stop
+        } else {
+            RunControl::Continue
+        }
+    }
+
+    // ---------------- cheap per-event audits ----------------
+
+    fn cheap_audit(&mut self, eng: &Engine) -> RunControl {
+        let now = eng.now();
+        let net = eng.network();
+        let topo = net.topology();
+        let n = topo.len();
+        self.up_sum.clear();
+        self.up_sum.resize(n, 0.0);
+        self.down_sum.clear();
+        self.down_sum.resize(n, 0.0);
+        let mut total = 0.0f64;
+        let mut control = RunControl::Continue;
+        let eps = self.cfg.rel_epsilon;
+
+        for f in net.flow_views() {
+            self.checks += 1;
+            if f.rate < 0.0 || !f.rate.is_finite() {
+                control = self.violate(
+                    now,
+                    "rate-sane",
+                    format!("flow {:?} has rate {}", f.id, f.rate),
+                );
+            }
+            if let Some(cap) = f.cap {
+                if f.rate > cap * (1.0 + eps) {
+                    control = self.violate(
+                        now,
+                        "flow-cap",
+                        format!("flow {:?} rate {} exceeds its cap {}", f.id, f.rate, cap),
+                    );
+                }
+            }
+            for (node, what) in [(f.src, "source"), (f.dst, "destination")] {
+                if eng.node_crashed(node.0) {
+                    control = self.violate(
+                        now,
+                        "no-flow-on-crashed-node",
+                        format!(
+                            "flow {:?} ({:?}) still references crashed {what} node {}",
+                            f.id, f.tag, node.0
+                        ),
+                    );
+                }
+            }
+            self.up_sum[f.src.idx()] += f.rate;
+            self.down_sum[f.dst.idx()] += f.rate;
+            total += f.rate;
+        }
+
+        for i in 0..n {
+            let caps = topo.caps(lsm_netsim::NodeId(i as u32));
+            self.checks += 2;
+            if self.up_sum[i] > caps.up * (1.0 + eps) {
+                control = self.violate(
+                    now,
+                    "uplink-conservation",
+                    format!(
+                        "node {i} uplink carries {} > capacity {}",
+                        self.up_sum[i], caps.up
+                    ),
+                );
+            }
+            if self.down_sum[i] > caps.down * (1.0 + eps) {
+                control = self.violate(
+                    now,
+                    "downlink-conservation",
+                    format!(
+                        "node {i} downlink carries {} > capacity {}",
+                        self.down_sum[i], caps.down
+                    ),
+                );
+            }
+        }
+        self.checks += 1;
+        if total > topo.switch_capacity * (1.0 + eps) {
+            control = self.violate(
+                now,
+                "switch-conservation",
+                format!("switch carries {total} > capacity {}", topo.switch_capacity),
+            );
+        }
+
+        // Delivered bytes ≤ what the switch could have carried since t=0.
+        // (Per-instant rate conservation plus exact fluid integration
+        // makes this the integral form of the same law; checking both
+        // catches accounting bugs that conserve rates but not bytes.)
+        self.checks += 1;
+        let carried =
+            net.total_delivered() as f64 - net.delivered(lsm_netsim::TrafficTag::Control) as f64;
+        let bound =
+            topo.switch_capacity * now.as_secs_f64() * (1.0 + eps) + self.cfg.delivered_slack;
+        if carried > bound {
+            control = self.violate(
+                now,
+                "delivered-bytes-bound",
+                format!("{carried} bytes delivered > switch capacity x time = {bound}"),
+            );
+        }
+
+        // Terminal jobs must stay terminal (statuses recorded on_status;
+        // this catches regressions that bypass the observer callback).
+        for (i, job) in eng.job_ids().into_iter().enumerate() {
+            if let Some(prev) = self.statuses.get(i).copied().flatten() {
+                if prev.is_terminal() {
+                    self.checks += 1;
+                    let cur = eng.job_status(job).expect("job exists");
+                    if cur != prev {
+                        control = self.violate(
+                            now,
+                            "terminal-job-regressed",
+                            format!("job {i} left terminal {prev:?} for {cur:?}"),
+                        );
+                    }
+                }
+            }
+        }
+        control
+    }
+
+    // ---------------- deep (chunk-version) audit ----------------
+
+    /// Audit chunk versions: logical disk versions never decrease, and
+    /// no physical store holds a version the guest never wrote.
+    /// `only_vm` narrows the scan (status-change-targeted audits).
+    fn deep_scan(&mut self, eng: &Engine, only_vm: Option<u32>) {
+        let now = eng.now();
+        let vms: Vec<u32> = match only_vm {
+            Some(v) => vec![v],
+            None => (0..eng.vm_count()).collect(),
+        };
+        if self.disk_marks.len() < eng.vm_count() as usize {
+            self.disk_marks.resize(eng.vm_count() as usize, Vec::new());
+        }
+        for v in vms {
+            let Some(ins) = eng.inspect_vm(v) else {
+                continue;
+            };
+            let nchunks = ins.nchunks();
+            let marks = &mut self.disk_marks[v as usize];
+            if marks.len() < nchunks as usize {
+                marks.resize(nchunks as usize, 0);
+            }
+            for c in 0..nchunks {
+                self.checks += 1;
+                let dv = ins.disk_version(c);
+                let mark = self.disk_marks[v as usize][c as usize];
+                if dv < mark {
+                    self.violate(
+                        now,
+                        "disk-version-monotone",
+                        format!("vm {v} chunk {c}: version {dv} < previously seen {mark}"),
+                    );
+                } else {
+                    self.disk_marks[v as usize][c as usize] = dv;
+                }
+                for (sv, store) in [
+                    (ins.store_version(c), "store"),
+                    (ins.dest_store_version(c), "dest-store"),
+                ] {
+                    if let Some(sv) = sv {
+                        if sv > dv {
+                            self.violate(
+                                now,
+                                "store-version-causal",
+                                format!(
+                                    "vm {v} chunk {c}: {store} holds version {sv} never written (disk at {dv})"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Observer for InvariantObserver {
+    fn on_status(
+        &mut self,
+        job: JobId,
+        status: MigrationStatus,
+        now: SimTime,
+        progress: &MigrationProgress,
+    ) -> RunControl {
+        let idx = job.0 as usize;
+        if self.statuses.len() <= idx {
+            self.statuses.resize(idx + 1, None);
+        }
+        let prev = self.statuses[idx];
+        self.checks += 1;
+        let legal = match (prev, status) {
+            (None, MigrationStatus::Queued | MigrationStatus::TransferringMemory) => true,
+            // A job can fail straight out of any non-terminal state
+            // (crash faults, runtime rejections, deadlines).
+            (None, MigrationStatus::Failed) => true,
+            (Some(p), s) if p.is_terminal() => {
+                return self.violate(
+                    now,
+                    "terminal-job-regressed",
+                    format!("job {} left terminal {p:?} for {s:?}", job.0),
+                );
+            }
+            (Some(MigrationStatus::Queued), MigrationStatus::TransferringMemory) => true,
+            (Some(MigrationStatus::TransferringMemory), MigrationStatus::SwitchingOver) => true,
+            (Some(MigrationStatus::SwitchingOver), MigrationStatus::TransferringStorage) => true,
+            (
+                Some(MigrationStatus::SwitchingOver | MigrationStatus::TransferringStorage),
+                MigrationStatus::Completed,
+            ) => true,
+            (Some(_), MigrationStatus::Failed) => true,
+            _ => false,
+        };
+        if !legal {
+            let v = self.violate(
+                now,
+                "illegal-status-transition",
+                format!("job {}: {prev:?} -> {status:?}", job.0),
+            );
+            self.statuses[idx] = Some(status);
+            return v;
+        }
+        self.statuses[idx] = Some(status);
+        // A status change is exactly when migration machinery rewires
+        // stores: audit this VM's chunk state at the next tick (when the
+        // engine reference is available).
+        self.scan_queue.push(progress.vm);
+        if status == MigrationStatus::Failed && progress.failure.is_none() {
+            return self.violate(
+                now,
+                "failed-without-reason",
+                format!("job {} failed with no FailureReason", job.0),
+            );
+        }
+        RunControl::Continue
+    }
+
+    fn on_milestone(&mut self, _job: JobId, _m: Milestone, _now: SimTime) -> RunControl {
+        RunControl::Continue
+    }
+
+    fn on_tick(&mut self, eng: &Engine) -> RunControl {
+        self.ticks += 1;
+        let mut control = self.cheap_audit(eng);
+        if !self.scan_queue.is_empty() {
+            let queued = std::mem::take(&mut self.scan_queue);
+            for v in queued {
+                self.deep_scan(eng, Some(v));
+            }
+        }
+        if self.cfg.deep_scan_interval > 0 && self.ticks.is_multiple_of(self.cfg.deep_scan_interval)
+        {
+            self.deep_scan(eng, None);
+        }
+        if self.cfg.fail_fast && !self.is_clean() {
+            control = RunControl::Stop;
+        }
+        control
+    }
+}

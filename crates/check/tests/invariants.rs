@@ -1,0 +1,182 @@
+//! The invariant observer against real engine runs — clean migrations,
+//! faulted migrations — plus detection tests proving the checker is not
+//! vacuously green.
+
+use lsm_check::{CheckConfig, InvariantObserver};
+use lsm_core::builder::SimulationBuilder;
+use lsm_core::config::ClusterConfig;
+use lsm_core::engine::{JobId, MigrationProgress, MigrationStatus};
+use lsm_core::policy::StrategyKind;
+use lsm_core::{FaultKind, NodeId, Observer};
+use lsm_simcore::time::SimTime;
+use lsm_simcore::units::MIB;
+use lsm_workloads::WorkloadSpec;
+
+fn secs(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+fn writer() -> WorkloadSpec {
+    WorkloadSpec::SeqWrite {
+        offset: 0,
+        total: 48 * MIB,
+        block: MIB,
+        think_secs: 0.05,
+    }
+}
+
+fn checker() -> InvariantObserver {
+    InvariantObserver::with_config(CheckConfig {
+        deep_scan_interval: 64, // small runs: audit aggressively
+        ..CheckConfig::default()
+    })
+}
+
+#[test]
+fn clean_migration_upholds_every_law() {
+    for strategy in [
+        StrategyKind::Hybrid,
+        StrategyKind::Precopy,
+        StrategyKind::Mirror,
+        StrategyKind::Postcopy,
+        StrategyKind::SharedFs,
+    ] {
+        let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+        let vm = b
+            .add_vm(NodeId(0), writer(), strategy, SimTime::ZERO)
+            .expect("vm");
+        b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+        let mut sim = b.build().expect("builds");
+        let mut obs = checker();
+        sim.run_observed(secs(600.0), &mut obs);
+        obs.finish(sim.engine());
+        assert!(
+            obs.checks_run() > 1000,
+            "{}: audit barely ran",
+            strategy.label()
+        );
+        obs.assert_clean(strategy.label());
+    }
+}
+
+#[test]
+fn faulted_migrations_uphold_every_law() {
+    // Crash + degradation + stall in one run; the engine's recovery
+    // paths must not bend any conservation law while tearing down.
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    let vm0 = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let _vm1 = b
+        .add_vm(NodeId(2), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    b.migrate(vm0, NodeId(1), secs(1.0)).expect("job");
+    b.inject_fault(
+        secs(0.8),
+        FaultKind::LinkDegrade {
+            node: 1,
+            factor: 0.3,
+        },
+    )
+    .expect("valid");
+    b.inject_fault(secs(1.1), FaultKind::TransferStall { vm: 0, secs: 0.5 })
+        .expect("valid");
+    b.inject_fault(secs(1.6), FaultKind::NodeCrash { node: 1 })
+        .expect("valid");
+    let mut sim = b.build().expect("builds");
+    let mut obs = checker();
+    sim.run_observed(secs(600.0), &mut obs);
+    obs.finish(sim.engine());
+    obs.assert_clean("fault cocktail");
+}
+
+fn progress(job: u32, status: MigrationStatus) -> MigrationProgress {
+    MigrationProgress {
+        job,
+        vm: 0,
+        source: 0,
+        dest: 1,
+        strategy: StrategyKind::Hybrid,
+        status,
+        mem_rounds: 0,
+        chunks_pushed: 0,
+        chunks_pulled: 0,
+        bytes_pushed: 0,
+        bytes_pulled: 0,
+        chunks_remaining: 0,
+        eta: None,
+        downtime: lsm_simcore::time::SimDuration::ZERO,
+        failure: None,
+    }
+}
+
+#[test]
+fn checker_detects_terminal_regression() {
+    let mut obs = InvariantObserver::new();
+    let p = |s| progress(0, s);
+    for s in [
+        MigrationStatus::Queued,
+        MigrationStatus::TransferringMemory,
+        MigrationStatus::SwitchingOver,
+        MigrationStatus::Completed,
+    ] {
+        obs.on_status(JobId(0), s, secs(0.5), &p(s));
+    }
+    assert!(obs.is_clean(), "legal prefix must be clean");
+    obs.on_status(
+        JobId(0),
+        MigrationStatus::TransferringMemory,
+        secs(2.0),
+        &p(MigrationStatus::TransferringMemory),
+    );
+    assert!(!obs.is_clean(), "terminal regression must be flagged");
+    assert_eq!(obs.violations()[0].law, "terminal-job-regressed");
+}
+
+#[test]
+fn checker_detects_illegal_transition_and_missing_reason() {
+    let mut obs = InvariantObserver::new();
+    let p = |s| progress(0, s);
+    obs.on_status(
+        JobId(0),
+        MigrationStatus::Queued,
+        secs(0.0),
+        &p(MigrationStatus::Queued),
+    );
+    // Queued cannot jump straight to TransferringStorage.
+    obs.on_status(
+        JobId(0),
+        MigrationStatus::TransferringStorage,
+        secs(1.0),
+        &p(MigrationStatus::TransferringStorage),
+    );
+    assert!(!obs.is_clean());
+    assert_eq!(obs.violations()[0].law, "illegal-status-transition");
+
+    // A Failed status with no typed reason is itself a violation.
+    let mut obs = InvariantObserver::new();
+    obs.on_status(
+        JobId(1),
+        MigrationStatus::Failed,
+        secs(1.0),
+        &progress(1, MigrationStatus::Failed),
+    );
+    assert!(!obs.is_clean());
+    assert_eq!(obs.violations()[0].law, "failed-without-reason");
+}
+
+#[test]
+fn violation_digest_is_readable_and_bounded() {
+    let mut obs = InvariantObserver::with_config(CheckConfig {
+        max_violations: 4,
+        ..CheckConfig::default()
+    });
+    for i in 0..10u32 {
+        let p = progress(i, MigrationStatus::Failed);
+        obs.on_status(JobId(i), MigrationStatus::Failed, secs(i as f64), &p);
+    }
+    assert_eq!(obs.total_violations(), 10);
+    assert_eq!(obs.violations().len(), 4, "storage is capped");
+    let shown = format!("{}", obs.violations()[0]);
+    assert!(shown.contains("failed-without-reason"), "{shown}");
+}

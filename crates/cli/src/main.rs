@@ -1,7 +1,7 @@
 //! `lsm` — command-line driver for the HPDC'12 reproduction experiments.
 //!
 //! ```text
-//! lsm run <scenario.toml|scenario.json> [--json] [--progress]
+//! lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check]
 //! lsm bench [--quick] [--scenario <file>] [--out <path>]
 //! lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
 //! lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
@@ -26,7 +26,7 @@ use serde::Serialize;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  lsm run <scenario.toml|scenario.json> [--json] [--progress]
+  lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check]
   lsm bench [--quick] [--scenario <file>] [--out <path>]
   lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
   lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
@@ -147,8 +147,9 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let path = args.positional("scenario file")?;
             let json = args.flag("--json");
             let progress = args.flag("--progress");
+            let check = args.flag("--check");
             args.finish()?;
-            cmd_run(&path, json, progress)
+            cmd_run(&path, json, progress, check)
         }
         "bench" => {
             let quick = args.flag("--quick");
@@ -315,7 +316,48 @@ impl Observer for ProgressPrinter {
     }
 }
 
-fn cmd_run(path: &str, json: bool, progress: bool) -> Result<(), UsageError> {
+/// Forwards callbacks to both observers; either can stop the run.
+struct Chain<'a>(&'a mut dyn Observer, &'a mut dyn Observer);
+
+impl Observer for Chain<'_> {
+    fn on_status(
+        &mut self,
+        job: JobId,
+        status: MigrationStatus,
+        now: SimTime,
+        progress: &MigrationProgress,
+    ) -> RunControl {
+        let a = self.0.on_status(job, status, now, progress);
+        let b = self.1.on_status(job, status, now, progress);
+        if a == RunControl::Stop || b == RunControl::Stop {
+            RunControl::Stop
+        } else {
+            RunControl::Continue
+        }
+    }
+
+    fn on_milestone(&mut self, job: JobId, milestone: Milestone, now: SimTime) -> RunControl {
+        let a = self.0.on_milestone(job, milestone, now);
+        let b = self.1.on_milestone(job, milestone, now);
+        if a == RunControl::Stop || b == RunControl::Stop {
+            RunControl::Stop
+        } else {
+            RunControl::Continue
+        }
+    }
+
+    fn on_tick(&mut self, eng: &lsm_core::Engine) -> RunControl {
+        let a = self.0.on_tick(eng);
+        let b = self.1.on_tick(eng);
+        if a == RunControl::Stop || b == RunControl::Stop {
+            RunControl::Stop
+        } else {
+            RunControl::Continue
+        }
+    }
+}
+
+fn cmd_run(path: &str, json: bool, progress: bool, check: bool) -> Result<(), UsageError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
     let spec = if path.ends_with(".json") {
@@ -325,12 +367,36 @@ fn cmd_run(path: &str, json: bool, progress: bool) -> Result<(), UsageError> {
     }
     .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))?;
 
-    let report = if progress {
-        run_scenario_observed(&spec, &mut ProgressPrinter)
+    let (report, verdict) = if check {
+        // Invariant-audited run: keep the simulation handle so the
+        // final full audit can inspect the post-run engine state.
+        if !(spec.horizon_secs.is_finite() && spec.horizon_secs >= 0.0) {
+            return Err(UsageError(format!(
+                "invalid horizon_secs: {}",
+                spec.horizon_secs
+            )));
+        }
+        let mut sim = lsm_experiments::scenario::build_scenario(&spec)
+            .map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
+        let mut checker = lsm_check::InvariantObserver::new();
+        let horizon = SimTime::from_secs_f64(spec.horizon_secs);
+        let report = if progress {
+            let mut printer = ProgressPrinter;
+            sim.run_observed(horizon, &mut Chain(&mut printer, &mut checker))
+        } else {
+            sim.run_observed(horizon, &mut checker)
+        };
+        checker.finish(sim.engine());
+        (report, Some(checker))
     } else {
-        run_scenario(&spec)
-    }
-    .map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
+        let report = if progress {
+            run_scenario_observed(&spec, &mut ProgressPrinter)
+        } else {
+            run_scenario(&spec)
+        }
+        .map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
+        (report, None)
+    };
 
     if json {
         println!(
@@ -340,6 +406,27 @@ fn cmd_run(path: &str, json: bool, progress: bool) -> Result<(), UsageError> {
         );
     } else {
         print_report(&spec, &report);
+    }
+    if let Some(checker) = verdict {
+        if checker.is_clean() {
+            let line = format!(
+                "  invariants: clean ({} checks across {} event(s))",
+                checker.checks_run(),
+                report.events
+            );
+            if json {
+                // Keep stdout parseable: `--json` owns it exclusively.
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+        } else {
+            eprintln!("  invariants: {} violation(s):", checker.total_violations());
+            for v in checker.violations().iter().take(16) {
+                eprintln!("    {v}");
+            }
+            return Err(UsageError("invariant violations detected".to_string()));
+        }
     }
     Ok(())
 }
@@ -355,6 +442,13 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
         r.migrations.len(),
         r.events
     );
+    let plan = spec.fault_plan();
+    if !plan.is_empty() {
+        println!("  fault plan ({} event(s)):", plan.len());
+        for f in plan {
+            println!("    [{:>9.3}s] {}: {:?}", f.at_secs, f.kind.label(), f.kind);
+        }
+    }
     for m in &r.migrations {
         let time = m
             .migration_time

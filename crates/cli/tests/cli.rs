@@ -237,3 +237,39 @@ fn bench_runs_a_scenario_file() {
     assert!(text.contains("\"migrations_completed\": 128"), "{text}");
     std::fs::remove_file(&out_path).ok();
 }
+
+// ---------------- fault scenarios ----------------
+
+#[test]
+fn run_fault_scenario_surfaces_typed_failure_and_plan() {
+    let scenario = repo_root().join("scenarios/fault_dest_crash.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("fault plan (1 event(s))"), "{text}");
+    assert!(text.contains("node-crash"), "{text}");
+    assert!(
+        text.contains("destination node 1 crashed"),
+        "typed failure reason must be printed: {text}"
+    );
+    assert!(text.contains("failed"), "{text}");
+}
+
+#[test]
+fn run_with_check_reports_clean_invariants() {
+    let scenario = repo_root().join("scenarios/fault_degraded_link.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--check"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("invariants: clean"), "{text}");
+    assert!(text.contains("completed"), "{text}");
+}
+
+#[test]
+fn run_deadline_scenario_reports_deadline_reason() {
+    let scenario = repo_root().join("scenarios/fault_deadline.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("DeadlineExceeded"), "{text}");
+}

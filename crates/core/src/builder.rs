@@ -36,12 +36,12 @@
 
 use crate::config::ClusterConfig;
 use crate::engine::{
-    Engine, JobId, MigrationProgress, MigrationStatus, NullObserver, Observer, RunReport,
+    Engine, FaultKind, JobId, MigrationProgress, MigrationStatus, NullObserver, Observer, RunReport,
 };
 use crate::error::EngineError;
 use crate::policy::StrategyKind;
 use lsm_netsim::NodeId;
-use lsm_simcore::time::SimTime;
+use lsm_simcore::time::{SimDuration, SimTime};
 use lsm_workloads::WorkloadSpec;
 
 /// Typed handle to a VM added to a [`SimulationBuilder`] (and, after
@@ -132,6 +132,41 @@ impl SimulationBuilder {
     ) -> Result<JobId, EngineError> {
         self.eng
             .schedule_migration(lsm_hypervisor::VmId(vm.0), dest.0, at)
+    }
+
+    /// Like [`SimulationBuilder::migrate`], additionally arming an abort
+    /// deadline: a job still running `deadline` after its request time
+    /// is aborted with [`crate::engine::FailureReason::DeadlineExceeded`]
+    /// and its partial progress preserved in the report.
+    ///
+    /// # Errors
+    /// Everything [`SimulationBuilder::migrate`] reports, plus
+    /// [`EngineError::InvalidFault`] for a zero deadline.
+    pub fn migrate_with_deadline(
+        &mut self,
+        vm: VmHandle,
+        dest: NodeId,
+        at: SimTime,
+        deadline: SimDuration,
+    ) -> Result<JobId, EngineError> {
+        self.eng.schedule_migration_with_deadline(
+            lsm_hypervisor::VmId(vm.0),
+            dest.0,
+            at,
+            Some(deadline),
+        )
+    }
+
+    /// Schedule a fault (link degradation/restoration, node crash, or
+    /// transfer stall) to fire at `at`. Faults interleave
+    /// deterministically with every other event; two runs of the same
+    /// plan are bit-identical.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidFault`] for out-of-range nodes/VMs, link
+    /// factors outside `(0, 1]`, or non-positive stall durations.
+    pub fn inject_fault(&mut self, at: SimTime, kind: FaultKind) -> Result<(), EngineError> {
+        self.eng.schedule_fault(at, kind)
     }
 
     /// Finish building: everything was validated (and deployed) as it

@@ -1,0 +1,514 @@
+//! Fault execution and recovery semantics.
+//!
+//! [`apply_fault`] is the engine half of the fault-injection subsystem:
+//! the scenario layer schedules [`FaultKind`] events, and this module
+//! makes them *mean* something — links degrade under live flows, nodes
+//! crash taking guests and transfers with them, storage pipelines stall
+//! and resume from the surviving chunk manifest, and deadlines abort
+//! overrunning jobs with their partial progress preserved.
+//!
+//! Recovery policy, in the paper's terms:
+//!
+//! * **Destination crash before control transfer** — the job fails with
+//!   [`FailureReason::DestinationCrashed`]; the guest (resumed if the
+//!   crash interrupted a stop-and-copy) keeps running at the source,
+//!   which still holds the authoritative disk. A later job may migrate
+//!   the VM again.
+//! * **Source crash before control transfer** — the guest dies with its
+//!   host; the job fails with [`FailureReason::SourceCrashed`].
+//! * **Source crash during the pull phase** — the guest survives at the
+//!   destination (control already moved, §4.1), but the remaining pull
+//!   stream is severed: the job fails with partial progress, reads
+//!   blocked on pulls unblock, and base content keeps coming from the
+//!   (replicated) repository.
+//! * **Transfer stall** — in-flight push/pull batches are lost; their
+//!   chunks return to the remaining manifest, and after the stall the
+//!   pipelines resume from it. Chunks whose versions were already
+//!   stamped at the destination are never re-sent unless the guest
+//!   rewrote them — the write-supersede design doing double duty as
+//!   crash-resume bookkeeping.
+//! * **Deadline** — like a destination crash without the crash: every
+//!   transfer flow of the job is cancelled and the guest continues
+//!   wherever control currently is.
+
+use super::job::{FailureReason, JobId};
+use super::types::*;
+use super::{io, migration, Engine};
+use lsm_hypervisor::VmState;
+use lsm_netsim::{FlowId, NodeId};
+use lsm_simcore::fault::FaultKind;
+use lsm_simcore::time::SimDuration;
+
+/// Execute one fault event at the current simulated time.
+pub(crate) fn apply_fault(eng: &mut Engine, kind: FaultKind) {
+    match kind {
+        FaultKind::LinkDegrade { node, factor } => set_link(eng, node, factor),
+        FaultKind::LinkRestore { node } => set_link(eng, node, 1.0),
+        FaultKind::NodeCrash { node } => crash_node(eng, node),
+        FaultKind::TransferStall { vm, secs } => stall_transfer(eng, vm, secs),
+    }
+}
+
+fn set_link(eng: &mut Engine, node: u32, factor: f64) {
+    if eng.nodes[node as usize].crashed {
+        return; // a dead node's NIC has no capacity to mutate
+    }
+    let now = eng.now;
+    eng.net.set_link_factor(now, NodeId(node), factor);
+    // Every affected flow's completion time moved; re-arm the wake.
+    eng.resync_net();
+}
+
+// ---------------- node crash ----------------
+
+fn crash_node(eng: &mut Engine, node: u32) {
+    if eng.nodes[node as usize].crashed {
+        return;
+    }
+    eng.nodes[node as usize].crashed = true;
+    // The repository stops routing fetches to the dead replica.
+    eng.repo.set_down(NodeId(node), true);
+
+    // 1. Sever every flow touching the node. Contexts are stashed and
+    // handled *after* guests and jobs below know about the crash, so the
+    // loss handlers see consistent state.
+    let lost = sever_node_flows(eng, node);
+
+    // 2. Guests hosted on the node die with it.
+    let dead: Vec<VmIdx> = (0..eng.vms.len() as u32)
+        .filter(|&v| eng.vms[v as usize].vm.host == node && !eng.vms[v as usize].crashed)
+        .collect();
+    for v in dead {
+        crash_vm(eng, v);
+    }
+
+    // 3. Live migration jobs using the node as source or destination
+    // fail with a typed reason (queued jobs included: their start event
+    // would only discover the crash later).
+    for ji in 0..eng.jobs.len() as u32 {
+        let job = JobId(ji);
+        let (v, job_dest, terminal) = {
+            let j = &eng.jobs[ji as usize];
+            (j.vm, j.dest, j.status.is_terminal())
+        };
+        if terminal {
+            continue;
+        }
+        // A job that has not started yet is judged by its *own*
+        // scheduled endpoints; only a started job owns the VM's live
+        // migration slot. (At most one non-terminal job exists per VM,
+        // so the slot can never belong to a different job — this split
+        // keeps that true by construction rather than by invariant.)
+        let queued = eng.jobs[ji as usize].status == super::job::MigrationStatus::Queued;
+        let live = eng.vms[v as usize]
+            .migration
+            .as_ref()
+            .filter(|m| !queued && !matches!(m.phase, MigPhase::Complete | MigPhase::Aborted))
+            .map(|m| (m.source, m.dest));
+        let reason = match live {
+            Some((_, dst)) if dst == node => Some(FailureReason::DestinationCrashed { node }),
+            Some((src, _)) if src == node => Some(FailureReason::SourceCrashed { node }),
+            Some(_) => None,
+            // Not started yet: judge by the scheduled endpoints.
+            None if job_dest == node => Some(FailureReason::DestinationCrashed { node }),
+            None if eng.vms[v as usize].vm.host == node => {
+                Some(FailureReason::SourceCrashed { node })
+            }
+            None => None,
+        };
+        if let Some(reason) = reason {
+            abort_migration(eng, job, reason);
+        }
+    }
+
+    // 4. Now that ownership is settled, recover the severed flows.
+    for ctx in lost {
+        flow_lost(eng, ctx);
+    }
+}
+
+/// Cancel every flow with `node` as an endpoint, returning their
+/// contexts in ascending flow-id order (determinism: two identical runs
+/// sever in the same order).
+fn sever_node_flows(eng: &mut Engine, node: u32) -> Vec<FlowCtx> {
+    let now = eng.now;
+    let ids = eng.net.flows_touching(NodeId(node));
+    let mut lost = Vec::with_capacity(ids.len());
+    for id in ids {
+        eng.net.cancel_flow(now, id);
+        lost.push(eng.flow_ctx.remove(&id).expect("severed flow has context"));
+    }
+    eng.resync_net();
+    lost
+}
+
+/// The guest on `v` dies: stop the VM, cancel its compute timer, purge
+/// its in-flight ops (completions already in the pipe become no-ops),
+/// and drop everything that would re-enter its driver.
+fn crash_vm(eng: &mut Engine, v: VmIdx) {
+    let now = eng.now;
+    let compute_ev = {
+        let vm = &mut eng.vms[v as usize];
+        vm.crashed = true;
+        if vm.vm.state() != VmState::Stopped {
+            vm.vm.stop(now);
+        }
+        vm.held_completions.clear();
+        vm.fsync_waiters.clear();
+        vm.kupdate_credit = 0;
+        vm.compute.take().and_then(|rt| rt.ev)
+    };
+    if let Some(ev) = compute_ev {
+        eng.queue.cancel(ev);
+    }
+    let ops: Vec<OpId> = {
+        let vm = &mut eng.vms[v as usize];
+        let mut ids: Vec<OpId> = vm.ops.values().copied().collect();
+        ids.sort_unstable();
+        vm.ops.clear();
+        ids
+    };
+    for op in ops {
+        eng.ops.remove(&op);
+    }
+}
+
+/// Recovery for one severed flow, after crash ownership is settled.
+/// Also the routing target for flows that would have *started* toward a
+/// dead endpoint (see `Engine::start_flow`).
+pub(crate) fn flow_lost(eng: &mut Engine, ctx: FlowCtx) {
+    match ctx {
+        // Migration transfers: the owning job was already aborted (a
+        // migration flow always touches the crashed source or
+        // destination); the state teardown happened in abort_migration.
+        FlowCtx::MemRound { .. }
+        | FlowCtx::MemStop { .. }
+        | FlowCtx::MemPostPull { .. }
+        | FlowCtx::PushBatch { .. }
+        | FlowCtx::PullBatch { .. } => {}
+        // A mirrored write gates a guest op: if the guest survived (the
+        // destination crashed), the write completes locally — degraded,
+        // not hung. For a dead guest the op was purged and this no-ops.
+        FlowCtx::MirrorWrite { op, .. } => {
+            if let Some(op) = op {
+                eng.op_part_done(op);
+            }
+        }
+        // A repository fetch lost its wire: release the replica's load
+        // and retry from a surviving replica (selection now avoids the
+        // dead node, and the retry re-resolves the VM's *current* host —
+        // the recorded requester node may be a host the VM migrated off
+        // of). Only a dead guest drops the fetch (its op was purged).
+        FlowCtx::RepoFetch {
+            vm,
+            node: _,
+            chunks,
+            op,
+            replica,
+        } => {
+            for _ in &chunks {
+                eng.repo.end_fetch(replica);
+            }
+            if eng.vms[vm as usize].crashed {
+                return;
+            }
+            io::repo_refetch(eng, vm, op, chunks);
+        }
+        // One stripe leg of a PVFS op: complete the part degraded so the
+        // guest does not hang on a dead server (full PVFS failover is
+        // out of scope; the repository models replication, PVFS does
+        // not).
+        FlowCtx::PvfsLeg { op, .. } => eng.op_part_done(op),
+        // Application message to/from a dead peer: the op completes as
+        // an error-return to the guest (no payload modeling).
+        FlowCtx::Halo { op } => eng.op_part_done(op),
+    }
+}
+
+/// Recovery for a disk completion on a crashed node (the device died
+/// mid-request; the context routes to a loss handler instead of its
+/// normal completion path).
+pub(crate) fn disk_lost(eng: &mut Engine, node: u32, ctx: DiskCtx) {
+    match ctx {
+        // Reads feeding migration transfers on a dead node: the owning
+        // job was aborted when the node crashed; nothing to do.
+        DiskCtx::PushRead { .. } | DiskCtx::PullRead { .. } => {}
+        // Guest op on the dead host: the op was purged with the guest.
+        DiskCtx::VmOp { op } => eng.op_part_done(op),
+        DiskCtx::Writeback { vm, .. } => {
+            // The write-back pump died with the guest kernel; keep the
+            // inflight counter honest for the (dead) bookkeeping.
+            let vmrt = &mut eng.vms[vm as usize];
+            vmrt.wb_inflight = vmrt.wb_inflight.saturating_sub(1);
+        }
+        // Replica-side read for a repository fetch: release the load and
+        // retry from a live replica while the requesting guest lives
+        // (the retry re-resolves its current host).
+        DiskCtx::RepoRead {
+            vm,
+            node: _,
+            chunks,
+            op,
+            replica,
+        } => {
+            for _ in &chunks {
+                eng.repo.end_fetch(replica);
+            }
+            if eng.vms[vm as usize].crashed {
+                return;
+            }
+            io::repo_refetch(eng, vm, op, chunks);
+        }
+        DiskCtx::Ingest { .. } => {
+            let n = &mut eng.nodes[node as usize];
+            n.ingest_inflight = n.ingest_inflight.saturating_sub(1);
+            n.ingest_backlog = 0; // received bytes die with the host cache
+        }
+        // PVFS server-side work on a dead server: degraded completion.
+        DiskCtx::PvfsServer { op, .. } => eng.op_part_done(op),
+    }
+}
+
+// ---------------- migration abort ----------------
+
+/// Abort a migration job: cancel its transfer flows, tear down the
+/// per-phase state (resuming a paused guest at the source when it
+/// survives), release reads blocked on pulls, and park the job at
+/// `Failed` with `reason`. Partial progress (chunks pushed/pulled,
+/// rounds, timeline) survives in the migration slot for the report.
+pub(crate) fn abort_migration(eng: &mut Engine, job: JobId, reason: FailureReason) {
+    let v = eng.jobs[job.0 as usize].vm;
+    let now = eng.now;
+
+    // Sever the job's remaining transfer flows (the crash path already
+    // removed those touching the crashed node; deadlines sever all).
+    let lost = sever_migration_flows(eng, v);
+
+    let phase = eng.vms[v as usize].migration.as_ref().map(|m| m.phase);
+    match phase {
+        None | Some(MigPhase::Complete) | Some(MigPhase::Aborted) => {}
+        Some(MigPhase::Active | MigPhase::Linger | MigPhase::StopAndCopy | MigPhase::SyncDrain) => {
+            // Control never moved: the source keeps the guest (if it is
+            // alive) and its authoritative disk; the half-built
+            // destination replica is discarded.
+            let resumed = {
+                let vm = &mut eng.vms[v as usize];
+                vm.dest_store = None;
+                let mig = vm.migration.as_mut().expect("live migration");
+                mig.phase = MigPhase::Aborted;
+                mig.stalled_until = None;
+                mig.source_store = None;
+                if !vm.crashed && vm.vm.state() == VmState::Paused {
+                    vm.vm.resume(now, None);
+                    true
+                } else {
+                    false
+                }
+            };
+            if resumed {
+                eng.release_held(v);
+                io::pump_writeback(eng, v);
+            }
+        }
+        Some(MigPhase::PullPhase) => {
+            // Control already moved: the guest (if alive) keeps running
+            // at the destination. Reads blocked on severed pulls
+            // unblock; never-pulled chunks surface as `consistent:
+            // false` bookkeeping, not as a hang.
+            let waiters: Vec<OpId> = {
+                let vm = &mut eng.vms[v as usize];
+                let mig = vm.migration.as_mut().expect("live migration");
+                mig.phase = MigPhase::Aborted;
+                mig.stalled_until = None;
+                mig.source_store = None;
+                let mut keys: Vec<_> = mig.pull_waiters.keys().copied().collect();
+                keys.sort_unstable();
+                let mut out = Vec::new();
+                for k in keys {
+                    out.extend(mig.pull_waiters.remove(&k).expect("keyed"));
+                }
+                out
+            };
+            for op in waiters {
+                eng.op_part_done(op);
+            }
+        }
+    }
+    for ctx in lost {
+        migration_flow_lost(eng, v, ctx);
+    }
+    eng.fail_job_reason(job, reason);
+    eng.update_compute(v);
+}
+
+/// Cancel every transfer flow belonging to VM `v`'s migration (memory
+/// rounds, push/pull batches, mirror writes), ascending by flow id for
+/// determinism. Guest I/O flows (repo fetches, PVFS legs, halos) are
+/// untouched — aborting a migration must not break the workload.
+fn sever_migration_flows(eng: &mut Engine, v: VmIdx) -> Vec<FlowCtx> {
+    let now = eng.now;
+    let mut ids: Vec<FlowId> = eng
+        .flow_ctx
+        .iter()
+        .filter(|(_, ctx)| {
+            matches!(ctx,
+                FlowCtx::MemRound { vm }
+                | FlowCtx::MemStop { vm }
+                | FlowCtx::MemPostPull { vm }
+                | FlowCtx::PushBatch { vm, .. }
+                | FlowCtx::PullBatch { vm, .. }
+                | FlowCtx::MirrorWrite { vm, .. } if *vm == v)
+        })
+        .map(|(&id, _)| id)
+        .collect();
+    ids.sort_unstable();
+    let mut lost = Vec::with_capacity(ids.len());
+    for id in ids {
+        eng.net.cancel_flow(now, id);
+        lost.push(eng.flow_ctx.remove(&id).expect("severed flow has context"));
+    }
+    if !lost.is_empty() {
+        eng.resync_net();
+    }
+    lost
+}
+
+/// Loss handling for a severed flow of an *aborted* migration: only
+/// op-gated contexts need releasing, everything else died with the job.
+fn migration_flow_lost(eng: &mut Engine, _v: VmIdx, ctx: FlowCtx) {
+    if let FlowCtx::MirrorWrite { op: Some(op), .. } = ctx {
+        eng.op_part_done(op);
+    }
+}
+
+// ---------------- transfer stall ----------------
+
+/// Sever the in-flight storage batches of `v`'s migration and suspend
+/// its push/pull pipelines (and the remaining-set handoff) until the
+/// stall clears. Lost chunks return to the surviving manifest: the
+/// hybrid source re-queues them subject to the same `Threshold`, the
+/// destination re-heaps them under their write counts, and the
+/// precopy/mirror bulk streams re-mark them dirty. Nothing already
+/// stamped at the destination is re-sent unless rewritten.
+fn stall_transfer(eng: &mut Engine, v: VmIdx, secs: f64) {
+    let now = eng.now;
+    {
+        let Some(mig) = eng.vms[v as usize].migration.as_ref() else {
+            return;
+        };
+        if matches!(mig.phase, MigPhase::Complete | MigPhase::Aborted) {
+            return;
+        }
+    }
+    // Sever in-flight storage batches (push and pull; memory flows ride
+    // the hypervisor's own channel and are not storage transfers).
+    let mut ids: Vec<FlowId> = eng
+        .flow_ctx
+        .iter()
+        .filter(|(_, ctx)| {
+            matches!(ctx,
+                FlowCtx::PushBatch { vm, .. } | FlowCtx::PullBatch { vm, .. } if *vm == v)
+        })
+        .map(|(&id, _)| id)
+        .collect();
+    ids.sort_unstable();
+    let had_losses = !ids.is_empty();
+    for id in ids {
+        eng.net.cancel_flow(now, id);
+        let ctx = eng.flow_ctx.remove(&id).expect("severed flow has context");
+        let vm = &mut eng.vms[v as usize];
+        let mig = vm.migration.as_mut().expect("live migration");
+        match ctx {
+            FlowCtx::PushBatch { chunks, .. } => {
+                mig.push_slots_busy -= 1;
+                for (c, _) in chunks {
+                    migration::requeue_lost_push(mig, c);
+                }
+            }
+            FlowCtx::PullBatch {
+                chunks, background, ..
+            } => {
+                if background {
+                    mig.pull_slots_busy -= 1;
+                }
+                mig.pulls_inflight -= 1;
+                if let Some(dst) = mig.hybrid_dst.as_mut() {
+                    for (c, _) in chunks {
+                        dst.pull_lost(c);
+                    }
+                }
+            }
+            other => unreachable!("stall severed a non-storage flow: {other:?}"),
+        }
+    }
+    if had_losses {
+        eng.resync_net();
+    }
+    let until = now + SimDuration::from_secs_f64(secs);
+    let mig = eng.vms[v as usize].migration.as_mut().expect("live");
+    // Overlapping stalls extend, never shorten.
+    let until = match mig.stalled_until {
+        Some(t) if t > until => t,
+        _ => until,
+    };
+    mig.stalled_until = Some(until);
+    eng.queue.schedule(until, Ev::StallOver(v));
+}
+
+/// A stall window ended: resume the pipelines from the surviving
+/// manifest (stale timers from superseded, longer stalls are ignored),
+/// and re-issue the on-demand pulls that were deferred mid-stall.
+pub(crate) fn stall_over(eng: &mut Engine, v: VmIdx) {
+    let now = eng.now;
+    let deferred = {
+        let Some(mig) = eng.vms[v as usize].migration.as_mut() else {
+            return;
+        };
+        match mig.stalled_until {
+            Some(t) if t <= now => mig.stalled_until = None,
+            _ => return, // superseded by a longer stall, or not stalled
+        }
+        std::mem::take(&mut mig.stalled_ondemand)
+    };
+    if !deferred.is_empty() {
+        // Their reads are still parked as pull waiters; one batch
+        // re-requests the lot with on-demand priority.
+        let (src, dst, epoch) = {
+            let vm = &mut eng.vms[v as usize];
+            let mig = vm.migration.as_mut().expect("checked above");
+            mig.pulls_inflight += 1;
+            (mig.source, mig.dest, vm.mig_epoch)
+        };
+        eng.send_ctl(
+            dst,
+            src,
+            Ctl::PullRequest {
+                vm: v,
+                chunks: deferred,
+                background: false,
+                epoch,
+            },
+        );
+    }
+    migration::pump_push(eng, v);
+    migration::pump_pull(eng, v);
+    migration::maybe_handoff(eng, v);
+    migration::maybe_complete(eng, v);
+}
+
+// ---------------- deadlines ----------------
+
+/// A job's configured deadline fired: abort unless it already finished.
+pub(crate) fn job_deadline(eng: &mut Engine, job: JobId) {
+    let (terminal, deadline) = {
+        let j = &eng.jobs[job.0 as usize];
+        (j.status.is_terminal(), j.deadline)
+    };
+    if terminal {
+        return;
+    }
+    let deadline_secs = deadline
+        .expect("deadline event implies a deadline")
+        .as_secs_f64();
+    abort_migration(eng, job, FailureReason::DeadlineExceeded { deadline_secs });
+}

@@ -225,21 +225,37 @@ fn submit_read(
 
     if !ondemand.is_empty() {
         // All on-demand chunks of this read op travel as one request —
-        // one source disk read, one flow, one completion event.
-        let (src, dst) = {
+        // one source disk read, one flow, one completion event. During
+        // a transfer stall the request is deferred instead: the reads
+        // stay parked as pull waiters and the batch goes out when the
+        // stall clears (the outage window admits *no* storage traffic).
+        let stalled = {
             let mig = eng.vm_mut(v).migration.as_mut().expect("pull phase");
-            mig.pulls_inflight += 1;
-            (mig.source, mig.dest)
+            if mig.stalled_until.is_some() {
+                mig.stalled_ondemand.extend(ondemand.iter().copied());
+                true
+            } else {
+                mig.pulls_inflight += 1;
+                false
+            }
         };
-        eng.send_ctl(
-            dst,
-            src,
-            Ctl::PullRequest {
-                vm: v,
-                chunks: ondemand,
-                background: false,
-            },
-        );
+        if !stalled {
+            let (src, dst, epoch) = {
+                let vm = eng.vm(v);
+                let mig = vm.migration.as_ref().expect("pull phase");
+                (mig.source, mig.dest, vm.mig_epoch)
+            };
+            eng.send_ctl(
+                dst,
+                src,
+                Ctl::PullRequest {
+                    vm: v,
+                    chunks: ondemand,
+                    background: false,
+                    epoch,
+                },
+            );
+        }
     }
     if !fetch_chunks.is_empty() {
         repo_fetch(eng, v, Some(op), fetch_chunks);
@@ -289,7 +305,7 @@ pub(crate) fn manager_write(eng: &mut Engine, v: VmIdx, c: ChunkId) -> (u64, boo
                     maybe_done = true;
                 }
             }
-            MigPhase::Complete => {}
+            MigPhase::Complete | MigPhase::Aborted => {}
         }
     }
     if superseded_pull {
@@ -321,7 +337,7 @@ pub(crate) fn manager_write(eng: &mut Engine, v: VmIdx, c: ChunkId) -> (u64, boo
 /// current host's disk, bounded by `writeback_depth`. Frozen while the
 /// guest is paused (write-back is guest-kernel activity).
 pub(crate) fn pump_writeback(eng: &mut Engine, v: VmIdx) {
-    if eng.vm(v).vm.state() == VmState::Paused {
+    if eng.vm(v).crashed || eng.vm(v).vm.state() == VmState::Paused {
         return;
     }
     let depth = eng.cfg().writeback_depth;
@@ -393,10 +409,22 @@ fn check_fsync(eng: &mut Engine, v: VmIdx) {
 /// a network flow to the requesting node (skipped when the replica is the
 /// node itself).
 pub(crate) fn repo_fetch(eng: &mut Engine, v: VmIdx, op: Option<OpId>, chunks: Vec<ChunkId>) {
-    let node = eng.vm(v).vm.host;
     if let Some(o) = op {
         eng.op_add_parts(o, chunks.len() as u32);
     }
+    repo_dispatch(eng, v, op, chunks);
+}
+
+/// Re-issue a fetch whose replica or wire was lost to a crash: the op's
+/// outstanding parts were already counted by the original
+/// [`repo_fetch`], so only the dispatch repeats — now avoiding the dead
+/// replica.
+pub(crate) fn repo_refetch(eng: &mut Engine, v: VmIdx, op: Option<OpId>, chunks: Vec<ChunkId>) {
+    repo_dispatch(eng, v, op, chunks);
+}
+
+fn repo_dispatch(eng: &mut Engine, v: VmIdx, op: Option<OpId>, chunks: Vec<ChunkId>) {
+    let node = eng.vm(v).vm.host;
     let chunk_size = eng.cfg().chunk_size;
     // Striping sends different chunks to different replicas; coalesce
     // per replica so each serves one disk read + one flow per fetch
@@ -411,6 +439,21 @@ pub(crate) fn repo_fetch(eng: &mut Engine, v: VmIdx, op: Option<OpId>, chunks: V
         }
     }
     for (replica, group) in groups {
+        if eng.node_crashed(replica.0) {
+            // Selection fell back to a dead node: every replica of these
+            // chunks is down. Degrade the read instead of hanging the
+            // guest (content unavailability is a repository-durability
+            // event, not a simulation deadlock).
+            for _ in &group {
+                eng.repo_mut().end_fetch(replica);
+            }
+            if let Some(o) = op {
+                for _ in &group {
+                    eng.op_part_done(o);
+                }
+            }
+            continue;
+        }
         let bytes = chunk_size * group.len() as u64;
         eng.disk_submit(
             replica.0,

@@ -10,11 +10,71 @@
 
 use crate::policy::StrategyKind;
 use lsm_simcore::time::SimDuration;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Handle to one scheduled migration (dense, in scheduling order).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
 pub struct JobId(pub u32);
+
+/// Why a migration job ended at [`MigrationStatus::Failed`].
+///
+/// Typed so orchestrating callers can branch on the cause (retry on a
+/// crashed destination, alert on a deadline, surface validation bugs)
+/// instead of parsing a message. Serializes into reports and progress
+/// snapshots; [`fmt::Display`] renders the operator-facing line.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum FailureReason {
+    /// The request was rejected at runtime (engine driven below the
+    /// checked API); carries the rendered [`crate::error::EngineError`].
+    Rejected {
+        /// Human-readable rejection, from the underlying error.
+        error: String,
+    },
+    /// The node hosting the guest crashed: before control transfer the
+    /// source is the host, after it the destination is — either way the
+    /// VM is gone and the job cannot finish.
+    SourceCrashed {
+        /// The crashed node.
+        node: u32,
+    },
+    /// The migration destination crashed while the guest still ran at
+    /// the source. The job fails cleanly: the guest resumes (if the
+    /// crash interrupted a stop-and-copy) and keeps running at the
+    /// source; a new migration may be scheduled once this job is
+    /// terminal.
+    DestinationCrashed {
+        /// The crashed node.
+        node: u32,
+    },
+    /// The job exceeded its configured deadline and was aborted with
+    /// partial progress (see the chunk counters in
+    /// [`MigrationProgress`] / [`crate::engine::MigrationRecord`]).
+    DeadlineExceeded {
+        /// The configured deadline, seconds from the request time.
+        deadline_secs: f64,
+    },
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureReason::Rejected { error } => write!(f, "{error}"),
+            FailureReason::SourceCrashed { node } => {
+                write!(f, "node {node} hosting the guest crashed")
+            }
+            FailureReason::DestinationCrashed { node } => {
+                write!(
+                    f,
+                    "destination node {node} crashed; guest kept running at the source"
+                )
+            }
+            FailureReason::DeadlineExceeded { deadline_secs } => {
+                write!(f, "migration exceeded its {deadline_secs}s deadline; aborted with partial progress")
+            }
+        }
+    }
+}
 
 /// Lifecycle state of a migration job.
 ///
@@ -98,7 +158,7 @@ pub struct MigrationProgress {
     /// Guest downtime attributable to this migration so far.
     pub downtime: SimDuration,
     /// Failure reason, when `status == Failed`.
-    pub failure: Option<String>,
+    pub failure: Option<FailureReason>,
 }
 
 impl MigrationProgress {

@@ -3,7 +3,7 @@
 //! Figure 2 of the paper.
 
 use super::io;
-use super::job::{JobId, MigrationStatus};
+use super::job::{FailureReason, JobId, MigrationStatus};
 use super::report::Milestone;
 use super::types::*;
 use super::Engine;
@@ -24,8 +24,24 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
     let now = eng.now();
     let (v, dest) = {
         let j = eng.job(job);
+        if j.status.is_terminal() {
+            // Failed before it began (e.g. the destination crashed while
+            // the job was still queued).
+            return;
+        }
         (j.vm, j.dest)
     };
+    // Faults may have raced the start event: a migration cannot begin
+    // toward a dead destination or from under a dead guest.
+    if eng.node_crashed(dest) {
+        eng.fail_job_reason(job, FailureReason::DestinationCrashed { node: dest });
+        return;
+    }
+    if eng.vm(v).crashed {
+        let node = eng.vm(v).vm.host;
+        eng.fail_job_reason(job, FailureReason::SourceCrashed { node });
+        return;
+    }
     let source = eng.vm(v).vm.host;
     // Schedule-time validation rejects these up front; they can recur
     // here only when the engine is driven below the checked API (e.g. a
@@ -36,9 +52,10 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
         return;
     }
     match eng.vm(v).migration.as_ref().map(|m| m.phase) {
-        // A finished migration moves into its job's archive so this one
-        // can use the per-VM slot (migrate-again support).
-        Some(MigPhase::Complete) => eng.archive_vm_migration(v, job),
+        // A finished (or aborted) migration moves into its job's archive
+        // so this one can use the per-VM slot (migrate-again support —
+        // including re-migration after a destination crash or deadline).
+        Some(MigPhase::Complete | MigPhase::Aborted) => eng.archive_vm_migration(v, job),
         Some(_) => {
             eng.fail_job(job, EngineError::DuplicateMigration { vm: v });
             return;
@@ -116,6 +133,10 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
     };
     let downtime_before = eng.vm(v).vm.total_downtime();
     eng.vm_mut(v).dest_store = Some(lsm_blockdev::ChunkStore::new(nchunks));
+    // New migration generation: completions of any still-in-flight disk
+    // reads issued by a previous (aborted) migration of this VM now
+    // carry a stale epoch and will be dropped on arrival.
+    eng.vm_mut(v).mig_epoch += 1;
     eng.vm_mut(v).migration = Some(MigrationRt {
         strategy,
         dest,
@@ -144,6 +165,8 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
         final_chunks: Vec::new(),
         mirror_flows_inflight: 0,
         handoff_sent: false,
+        stalled_until: None,
+        stalled_ondemand: Vec::new(),
         requested_at: now,
         control_at: None,
         completed_at: None,
@@ -208,14 +231,21 @@ pub(crate) fn ctl_arrive(eng: &mut Engine, _node: u32, msg: Ctl) {
             vm,
             chunks,
             background,
+            epoch,
         } => {
-            // Serve the pull from the source's disk.
-            let source = eng
-                .vm(vm)
-                .migration
-                .as_ref()
-                .expect("pull for a non-migrating VM")
-                .source;
+            // Serve the pull from the source's disk — unless the
+            // migration was aborted (fault/deadline) while the request
+            // was on the wire (possibly with a successor migration
+            // already running: the epoch check catches that), in which
+            // case it is dropped like any other message for a dead
+            // transfer.
+            if eng.vm(vm).mig_epoch != epoch {
+                return;
+            }
+            let source = match eng.vm(vm).migration.as_ref() {
+                Some(mig) if mig.phase == MigPhase::PullPhase => mig.source,
+                _ => return,
+            };
             let bytes = eng.cfg().chunk_size * chunks.len() as u64;
             eng.disk_submit(
                 source,
@@ -224,6 +254,7 @@ pub(crate) fn ctl_arrive(eng: &mut Engine, _node: u32, msg: Ctl) {
                     vm,
                     chunks,
                     background,
+                    epoch,
                 },
             );
         }
@@ -277,7 +308,14 @@ fn storage_converged(eng: &Engine, v: VmIdx) -> bool {
 
 pub(crate) fn mem_round_done(eng: &mut Engine, v: VmIdx) {
     let now = eng.now();
-    let phase = eng.vm(v).migration.as_ref().expect("migrating").phase;
+    // Defensive: a fault may have aborted the migration while this
+    // round's completion was already being delivered.
+    let Some(phase) = eng.vm(v).migration.as_ref().map(|m| m.phase) else {
+        return;
+    };
+    if matches!(phase, MigPhase::Complete | MigPhase::Aborted) {
+        return;
+    }
     let (dirtied, rate) = take_round_dirt(eng, v);
     match phase {
         MigPhase::Active => {
@@ -468,6 +506,10 @@ fn src_drain_precopy(src: &mut PrecopySource) -> Vec<ChunkId> {
 }
 
 pub(crate) fn mem_stop_done(eng: &mut Engine, v: VmIdx) {
+    match eng.vm(v).migration.as_ref().map(|m| m.phase) {
+        None | Some(MigPhase::Complete | MigPhase::Aborted) => return,
+        Some(_) => {}
+    }
     // Apply the force-flushed chunks at the destination (they travelled
     // inside the stop-and-copy flush).
     let finals = std::mem::take(
@@ -531,7 +573,14 @@ fn do_handoff(eng: &mut Engine, v: VmIdx) {
 fn transfer_io_control(eng: &mut Engine, v: VmIdx, remaining: ChunkSet, counts: Vec<u32>) {
     let prioritized = eng.cfg().prefetch_priority;
     {
-        let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+        // The handoff message may arrive after a fault aborted the
+        // migration: control then *stays* at the source.
+        let Some(mig) = eng.vm_mut(v).migration.as_mut() else {
+            return;
+        };
+        if mig.phase != MigPhase::SyncDrain {
+            return;
+        }
         mig.hybrid_dst = Some(HybridDest::start(remaining, &counts, prioritized));
         mig.phase = MigPhase::PullPhase;
     }
@@ -600,11 +649,13 @@ fn control_transfer(eng: &mut Engine, v: VmIdx) {
 
 /// The post-copy background memory pull finished.
 pub(crate) fn mem_post_pull_done(eng: &mut Engine, v: VmIdx) {
-    eng.vm_mut(v)
-        .migration
-        .as_mut()
-        .expect("migrating")
-        .postcopy_mem
+    let Some(mig) = eng.vm_mut(v).migration.as_mut() else {
+        return;
+    };
+    if matches!(mig.phase, MigPhase::Complete | MigPhase::Aborted) {
+        return;
+    }
+    mig.postcopy_mem
         .as_mut()
         .expect("post-copy memory")
         .pull_done();
@@ -639,6 +690,9 @@ pub(crate) fn pump_push(eng: &mut Engine, v: VmIdx) {
             if !matches!(mig.phase, MigPhase::Active | MigPhase::Linger) {
                 return;
             }
+            if mig.stalled_until.is_some() {
+                return; // transfer stall: initiate nothing until it clears
+            }
             if mig.push_slots_busy >= window {
                 return;
             }
@@ -657,6 +711,7 @@ pub(crate) fn pump_push(eng: &mut Engine, v: VmIdx) {
             mig.push_slots_busy += 1;
             (batch, mig.source)
         };
+        let epoch = eng.vm(v).mig_epoch;
         let bytes = chunk_size * batch.len() as u64;
         eng.disk_submit(
             source,
@@ -665,6 +720,7 @@ pub(crate) fn pump_push(eng: &mut Engine, v: VmIdx) {
                 vm: v,
                 chunks: batch,
                 slot: 0,
+                epoch,
             },
         );
     }
@@ -675,10 +731,33 @@ pub(crate) fn push_read_done(
     v: VmIdx,
     mut chunks: Vec<(ChunkId, u64)>,
     slot: u32,
+    epoch: u64,
 ) {
+    if eng.vm(v).mig_epoch != epoch {
+        return; // issued by an aborted predecessor migration: drop
+    }
+    {
+        // A transfer stall declared while the source read was in flight:
+        // the wire is down, so the batch never leaves — its chunks go
+        // back to the surviving manifest like a severed flow's.
+        let vm = eng.vm_mut(v);
+        let Some(mig) = vm.migration.as_mut() else {
+            return;
+        };
+        if matches!(mig.phase, MigPhase::Complete | MigPhase::Aborted) {
+            return; // aborted while the source read was in flight
+        }
+        if mig.stalled_until.is_some() {
+            mig.push_slots_busy -= 1;
+            for (c, _) in chunks {
+                requeue_lost_push(mig, c);
+            }
+            return;
+        }
+    }
     let (source, dest) = {
         let vm = eng.vm(v);
-        let mig = vm.migration.as_ref().expect("migrating");
+        let mig = vm.migration.as_ref().expect("checked above");
         let store = mig.source_store.as_ref().unwrap_or(&vm.store);
         // Stamp versions at send time, in place: the manifest allocation
         // made at pump time travels through disk read and flow untouched.
@@ -698,8 +777,22 @@ pub(crate) fn push_read_done(
             vm: v,
             chunks,
             slot,
+            epoch,
         },
     );
+}
+
+/// Return one lost pushed chunk to whichever strategy source owns it.
+pub(crate) fn requeue_lost_push(mig: &mut MigrationRt, c: ChunkId) {
+    if let Some(src) = mig.hybrid_src.as_mut() {
+        src.push_lost(c);
+    }
+    if let Some(src) = mig.precopy_src.as_mut() {
+        src.send_lost(c);
+    }
+    if let Some(src) = mig.mirror_src.as_mut() {
+        src.send_lost(c);
+    }
 }
 
 pub(crate) fn push_batch_arrived(
@@ -707,11 +800,20 @@ pub(crate) fn push_batch_arrived(
     v: VmIdx,
     chunks: Vec<(ChunkId, u64)>,
     _slot: u32,
+    epoch: u64,
 ) {
+    if eng.vm(v).mig_epoch != epoch {
+        return; // stale batch of an aborted predecessor migration
+    }
     let bytes = eng.cfg().chunk_size * chunks.len() as u64;
     let dest = {
         let vm = eng.vm_mut(v);
-        let mig = vm.migration.as_mut().expect("migrating");
+        let Some(mig) = vm.migration.as_mut() else {
+            return;
+        };
+        if matches!(mig.phase, MigPhase::Complete | MigPhase::Aborted) {
+            return;
+        }
         let store = vm.dest_store.as_mut().unwrap_or(&mut vm.store);
         for &(c, ver) in &chunks {
             store.apply(c, ver);
@@ -742,7 +844,12 @@ pub(crate) fn maybe_handoff(eng: &mut Engine, v: VmIdx) {
         let vm = eng.vm(v);
         match vm.migration.as_ref() {
             Some(mig) => {
-                mig.phase == MigPhase::SyncDrain && !mig.handoff_sent && mig.push_slots_busy == 0
+                mig.phase == MigPhase::SyncDrain
+                    && !mig.handoff_sent
+                    && mig.push_slots_busy == 0
+                    // A stall blocks the handoff too: chunks of severed
+                    // batches must be back in the remaining set first.
+                    && mig.stalled_until.is_none()
             }
             None => false,
         }
@@ -774,6 +881,9 @@ pub(crate) fn pump_pull(eng: &mut Engine, v: VmIdx) {
             if mig.phase != MigPhase::PullPhase || mig.pull_slots_busy >= window {
                 return;
             }
+            if mig.stalled_until.is_some() {
+                return; // transfer stall: initiate nothing until it clears
+            }
             let dst_state = mig.hybrid_dst.as_mut().expect("dest state");
             let mut batch = Vec::with_capacity(batch_max);
             while batch.len() < batch_max {
@@ -790,6 +900,7 @@ pub(crate) fn pump_pull(eng: &mut Engine, v: VmIdx) {
             (mig.dest, mig.source, batch)
         };
         let (dest, source, batch) = req;
+        let epoch = eng.vm(v).mig_epoch;
         eng.send_ctl(
             dest,
             source,
@@ -797,15 +908,50 @@ pub(crate) fn pump_pull(eng: &mut Engine, v: VmIdx) {
                 vm: v,
                 chunks: batch,
                 background: true,
+                epoch,
             },
         );
     }
 }
 
-pub(crate) fn pull_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, background: bool) {
+pub(crate) fn pull_read_done(
+    eng: &mut Engine,
+    v: VmIdx,
+    chunks: Vec<ChunkId>,
+    background: bool,
+    epoch: u64,
+) {
+    if eng.vm(v).mig_epoch != epoch {
+        return; // issued by an aborted predecessor migration: drop
+    }
+    {
+        // Stall declared while the source read was in flight: the wire
+        // is down — release the pipeline slot and return the chunks to
+        // the prefetch manifest (their waiters stay parked; the resumed
+        // pull re-delivers).
+        let vm = eng.vm_mut(v);
+        let Some(mig) = vm.migration.as_mut() else {
+            return;
+        };
+        if mig.phase != MigPhase::PullPhase {
+            return; // aborted while the source read was in flight
+        }
+        if mig.stalled_until.is_some() {
+            if background {
+                mig.pull_slots_busy -= 1;
+            }
+            mig.pulls_inflight -= 1;
+            if let Some(dst) = mig.hybrid_dst.as_mut() {
+                for c in chunks {
+                    dst.pull_lost(c);
+                }
+            }
+            return;
+        }
+    }
     let (source, dest, withver) = {
         let vm = eng.vm(v);
-        let mig = vm.migration.as_ref().expect("migrating");
+        let mig = vm.migration.as_ref().expect("checked above");
         let store = mig.source_store.as_ref().unwrap_or(&vm.store);
         // The only manifest allocation of the pull path: versions are
         // captured at send time and the vector moves into the flow
@@ -824,6 +970,7 @@ pub(crate) fn pull_read_done(eng: &mut Engine, v: VmIdx, chunks: Vec<ChunkId>, b
             vm: v,
             chunks: withver,
             background,
+            epoch,
         },
     );
 }
@@ -833,12 +980,21 @@ pub(crate) fn pull_batch_arrived(
     v: VmIdx,
     chunks: Vec<(ChunkId, u64)>,
     background: bool,
+    epoch: u64,
 ) {
+    if eng.vm(v).mig_epoch != epoch {
+        return; // stale batch of an aborted predecessor migration
+    }
     let bytes = eng.cfg().chunk_size * chunks.len() as u64;
     let mut waiters: Vec<OpId> = Vec::new();
     let dest = {
         let vm = eng.vm_mut(v);
-        let mig = vm.migration.as_mut().expect("migrating");
+        let Some(mig) = vm.migration.as_mut() else {
+            return;
+        };
+        if mig.phase != MigPhase::PullPhase {
+            return;
+        }
         // Per-chunk completions delivered from the batch manifest, in
         // manifest (chunk-request) order. A chunk superseded by a local
         // write mid-flight arrives with a stale version: the store
@@ -885,11 +1041,13 @@ pub(crate) fn mirror_write_arrived(
     {
         let vm = eng.vm_mut(v);
         if let Some(mig) = vm.migration.as_mut() {
-            let store = vm.dest_store.as_mut().unwrap_or(&mut vm.store);
-            for &(c, ver) in &chunks {
-                store.apply(c, ver);
+            if !matches!(mig.phase, MigPhase::Complete | MigPhase::Aborted) {
+                let store = vm.dest_store.as_mut().unwrap_or(&mut vm.store);
+                for &(c, ver) in &chunks {
+                    store.apply(c, ver);
+                }
+                mig.mirror_flows_inflight = mig.mirror_flows_inflight.saturating_sub(1);
             }
-            mig.mirror_flows_inflight = mig.mirror_flows_inflight.saturating_sub(1);
         }
     }
     // `op` is None for write-back-driven mirroring, which no longer
@@ -907,7 +1065,7 @@ pub(crate) fn maybe_complete(eng: &mut Engine, v: VmIdx) {
         let Some(mig) = eng.vm(v).migration.as_ref() else {
             return;
         };
-        if mig.phase == MigPhase::Complete {
+        if matches!(mig.phase, MigPhase::Complete | MigPhase::Aborted) {
             return;
         }
         let memory_done = mig

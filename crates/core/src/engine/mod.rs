@@ -8,6 +8,7 @@
 //! reads/writes and the `sync` moment, exactly like the FUSE-based
 //! migration manager of §4.4.
 
+mod fault;
 mod io;
 mod job;
 mod migration;
@@ -16,7 +17,8 @@ mod pvfs;
 mod report;
 mod types;
 
-pub use job::{JobId, MigrationProgress, MigrationStatus};
+pub use job::{FailureReason, JobId, MigrationProgress, MigrationStatus};
+pub use lsm_simcore::fault::FaultKind;
 pub use observer::{NullObserver, Observer, RecordingObserver, RunControl};
 pub use report::{MigrationRecord, Milestone, RunReport, VmRecord};
 
@@ -56,6 +58,9 @@ pub struct Engine {
     /// Downtime-resume bookkeeping: events processed count (progress
     /// guard against event-loop livelock in buggy configurations).
     events_processed: u64,
+    /// Payloads of scheduled fault events, indexed by `Ev::Fault` (fault
+    /// kinds carry floats, which the `Eq`-requiring queue cannot hold).
+    faults: Vec<FaultKind>,
 }
 
 impl Engine {
@@ -72,6 +77,7 @@ impl Engine {
         let net = FlowNet::new(topo);
         let nodes = (0..cfg.nodes)
             .map(|_| NodeRt {
+                crashed: false,
                 disk: SharedResource::new(cfg.disk_bw),
                 cache_rd: SharedResource::new(cfg.cache_read_bw),
                 cache_wr: SharedResource::new(cfg.cache_write_bw),
@@ -112,6 +118,7 @@ impl Engine {
             jobs: Vec::new(),
             job_events: Vec::new(),
             events_processed: 0,
+            faults: Vec::new(),
         })
     }
 
@@ -194,6 +201,7 @@ impl Engine {
         );
         self.vms.push(VmRt {
             vm: Vm::new(id, node, self.cfg.vm_ram, 2),
+            crashed: false,
             strategy,
             driver: Some(driver),
             started: false,
@@ -207,6 +215,7 @@ impl Engine {
             held_completions: Default::default(),
             group: None,
             migration: None,
+            mig_epoch: 0,
             wb_inflight: 0,
             kupdate_credit: 0,
             fsync_waiters: Vec::new(),
@@ -294,6 +303,34 @@ impl Engine {
         dest: u32,
         at: SimTime,
     ) -> Result<JobId, EngineError> {
+        self.schedule_migration_with_deadline(vm, dest, at, None)
+    }
+
+    /// Like [`Engine::schedule_migration`], additionally arming an abort
+    /// deadline: if the job is not terminal `deadline` after `at`, it is
+    /// aborted — in-flight transfers are cancelled, a paused guest
+    /// resumes at the source, and the job parks at
+    /// [`MigrationStatus::Failed`] with
+    /// [`FailureReason::DeadlineExceeded`] and its partial progress
+    /// preserved in the report.
+    ///
+    /// # Errors
+    /// Everything [`Engine::schedule_migration`] reports, plus
+    /// [`EngineError::InvalidFault`] for a non-positive deadline.
+    pub fn schedule_migration_with_deadline(
+        &mut self,
+        vm: VmId,
+        dest: u32,
+        at: SimTime,
+        deadline: Option<SimDuration>,
+    ) -> Result<JobId, EngineError> {
+        if let Some(d) = deadline {
+            if d == SimDuration::ZERO {
+                return Err(EngineError::InvalidFault {
+                    reason: "migration deadline must be positive".to_string(),
+                });
+            }
+        }
         let Some(vmrt) = self.vms.get(vm.0 as usize) else {
             return Err(EngineError::UnknownVm { vm: vm.0 });
         };
@@ -332,11 +369,60 @@ impl Engine {
             dest,
             requested_at: at,
             status: MigrationStatus::Queued,
+            deadline,
             failure: None,
             archived: None,
         });
         self.queue.schedule(at, Ev::MigrationStart(job.0));
+        if let Some(d) = deadline {
+            self.queue.schedule(at + d, Ev::JobDeadline(job.0));
+        }
         Ok(job)
+    }
+
+    /// Schedule a fault to fire at `at`. Faults are first-class events:
+    /// they interleave deterministically with every other event, and two
+    /// runs with the same fault plan are bit-identical.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidFault`] for out-of-range nodes or VMs, a
+    /// link factor outside `(0, 1]`, or a non-positive stall duration.
+    pub fn schedule_fault(&mut self, at: SimTime, kind: FaultKind) -> Result<(), EngineError> {
+        let fail = |reason: String| Err(EngineError::InvalidFault { reason });
+        if let Some(node) = kind.node() {
+            if node >= self.cfg.nodes {
+                return fail(format!(
+                    "{} targets node {node}, but the cluster has {} nodes",
+                    kind.label(),
+                    self.cfg.nodes
+                ));
+            }
+        }
+        match kind {
+            FaultKind::LinkDegrade { factor, .. } => {
+                if !(factor > 0.0 && factor <= 1.0) {
+                    return fail(format!("link factor {factor} outside (0, 1]"));
+                }
+            }
+            FaultKind::TransferStall { vm, secs } => {
+                if vm as usize >= self.vms.len() {
+                    return fail(format!(
+                        "transfer-stall targets VM {vm}, but only {} are deployed",
+                        self.vms.len()
+                    ));
+                }
+                if !(secs.is_finite() && secs > 0.0) {
+                    return fail(format!(
+                        "stall duration {secs}s must be positive and finite"
+                    ));
+                }
+            }
+            FaultKind::LinkRestore { .. } | FaultKind::NodeCrash { .. } => {}
+        }
+        let idx = self.faults.len() as u32;
+        self.faults.push(kind);
+        self.queue.schedule(at, Ev::Fault(idx));
+        Ok(())
     }
 
     /// Run until `horizon` (or until the event queue drains) and return
@@ -362,6 +448,12 @@ impl Engine {
             self.events_processed += 1;
             self.dispatch(ev);
             if self.drain_job_events(obs) == RunControl::Stop {
+                stopped = true;
+                break;
+            }
+            // Post-event audit hook: invariant checkers (lsm-check) read
+            // the full engine state after every dispatched event.
+            if obs.on_tick(self) == RunControl::Stop {
                 stopped = true;
                 break;
             }
@@ -483,11 +575,21 @@ impl Engine {
         });
     }
 
-    /// Park a job at `Failed` with a reason (runtime rejection path; the
+    /// Park a job at `Failed` with a runtime rejection (the
     /// schedule-time validations catch these earlier, so hitting this
     /// means the engine was driven below the checked API).
     pub(crate) fn fail_job(&mut self, job: JobId, err: EngineError) {
-        self.jobs[job.0 as usize].failure = Some(err.to_string());
+        self.fail_job_reason(
+            job,
+            FailureReason::Rejected {
+                error: err.to_string(),
+            },
+        );
+    }
+
+    /// Park a job at `Failed` with a typed reason (fault/deadline path).
+    pub(crate) fn fail_job_reason(&mut self, job: JobId, reason: FailureReason) {
+        self.jobs[job.0 as usize].failure = Some(reason);
         self.set_job_status(job, MigrationStatus::Failed);
     }
 
@@ -536,6 +638,42 @@ impl Engine {
         self.events_processed
     }
 
+    // ---------------- read-only inspection (invariant checkers) ----------------
+
+    /// Whether a node has been taken down by a crash fault.
+    pub fn node_crashed(&self, node: u32) -> bool {
+        self.nodes
+            .get(node as usize)
+            .map(|n| n.crashed)
+            .unwrap_or(false)
+    }
+
+    /// Nodes currently down, ascending.
+    pub fn crashed_nodes(&self) -> Vec<u32> {
+        (0..self.nodes.len() as u32)
+            .filter(|&n| self.nodes[n as usize].crashed)
+            .collect()
+    }
+
+    /// Number of deployed VMs.
+    pub fn vm_count(&self) -> u32 {
+        self.vms.len() as u32
+    }
+
+    /// Read-only snapshot handle for one VM's disk/store state, used by
+    /// invariant checkers ([`Observer::on_tick`]) to audit conservation
+    /// laws — chunk-version monotonicity, store/disk coverage — without
+    /// reaching into engine internals.
+    pub fn inspect_vm(&self, vm: u32) -> Option<VmInspect<'_>> {
+        self.vms.get(vm as usize).map(|v| VmInspect { vm: v })
+    }
+
+    /// The network model (read-only): flow views, topology, delivered
+    /// bytes — everything a conservation audit needs.
+    pub fn network(&self) -> &FlowNet {
+        &self.net
+    }
+
     /// Select the network rate solver. The default incremental solver is
     /// the production path; [`lsm_netsim::SolverMode::Reference`] re-runs
     /// the original from-scratch allocation on every change and exists so
@@ -553,12 +691,21 @@ impl Engine {
             Ev::CacheRdWake(n) => self.drain_cache(n, true),
             Ev::CacheWrWake(n) => self.drain_cache(n, false),
             Ev::ComputeDone(v) => self.compute_done(v),
-            Ev::CtlArrive(node, msg) => migration::ctl_arrive(self, node, msg),
+            Ev::CtlArrive(node, msg) => {
+                // Control messages addressed to a crashed node are lost
+                // with it.
+                if !self.nodes[node as usize].crashed {
+                    migration::ctl_arrive(self, node, msg);
+                }
+            }
             Ev::VmStart(v) => self.vm_start(v),
             Ev::MigrationStart(job) => migration::start_migration(self, JobId(job)),
             Ev::OpTimer(op) => self.op_part_done(op),
             Ev::ConvergencePoll(v) => migration::convergence_poll(self, v),
             Ev::KupdateTick(v) => self.kupdate_tick(v),
+            Ev::Fault(idx) => fault::apply_fault(self, self.faults[idx as usize]),
+            Ev::JobDeadline(job) => fault::job_deadline(self, JobId(job)),
+            Ev::StallOver(v) => fault::stall_over(self, v),
         }
     }
 
@@ -569,6 +716,9 @@ impl Engine {
         let expire = SimDuration::from_secs_f64(self.cfg.dirty_expire_secs);
         {
             let vm = &mut self.vms[v as usize];
+            if vm.crashed {
+                return; // the guest kernel died with its host
+            }
             if vm.finished_at.is_some() && !vm.cache.has_writeback_work() {
                 return; // workload done and clean: stop ticking
             }
@@ -581,7 +731,7 @@ impl Engine {
 
     fn vm_start(&mut self, v: VmIdx) {
         let vm = &mut self.vms[v as usize];
-        if vm.started {
+        if vm.started || vm.crashed {
             return;
         }
         vm.started = true;
@@ -626,6 +776,10 @@ impl Engine {
         self.resync_net();
     }
 
+    /// Start a bulk transfer with completion routing. A flow toward (or
+    /// from) a crashed node never enters the network: it is treated as
+    /// severed on the spot and its context routed through the same loss
+    /// handler a crash uses, so callers need no per-site crash checks.
     pub(crate) fn start_flow(
         &mut self,
         src: u32,
@@ -634,13 +788,16 @@ impl Engine {
         cap: Option<f64>,
         tag: TrafficTag,
         ctx: FlowCtx,
-    ) -> FlowId {
+    ) {
+        if self.nodes[src as usize].crashed || self.nodes[dst as usize].crashed {
+            fault::flow_lost(self, ctx);
+            return;
+        }
         let id = self
             .net
             .start_flow(self.now, NodeId(src), NodeId(dst), bytes, cap, tag);
         self.flow_ctx.insert(id, ctx);
         self.resync_net();
-        id
     }
 
     /// Deliver a control message after the fabric latency (loopback
@@ -796,14 +953,18 @@ impl Engine {
             FlowCtx::MemRound { vm } => migration::mem_round_done(self, vm),
             FlowCtx::MemStop { vm } => migration::mem_stop_done(self, vm),
             FlowCtx::MemPostPull { vm } => migration::mem_post_pull_done(self, vm),
-            FlowCtx::PushBatch { vm, chunks, slot } => {
-                migration::push_batch_arrived(self, vm, chunks, slot)
-            }
+            FlowCtx::PushBatch {
+                vm,
+                chunks,
+                slot,
+                epoch,
+            } => migration::push_batch_arrived(self, vm, chunks, slot, epoch),
             FlowCtx::PullBatch {
                 vm,
                 chunks,
                 background,
-            } => migration::pull_batch_arrived(self, vm, chunks, background),
+                epoch,
+            } => migration::pull_batch_arrived(self, vm, chunks, background, epoch),
             FlowCtx::MirrorWrite { vm, op, chunks } => {
                 migration::mirror_write_arrived(self, vm, op, chunks)
             }
@@ -824,18 +985,28 @@ impl Engine {
         }
     }
 
-    fn disk_done(&mut self, _node: u32, ctx: DiskCtx) {
+    fn disk_done(&mut self, node: u32, ctx: DiskCtx) {
+        if self.nodes[node as usize].crashed {
+            // The device died mid-request: route the context through the
+            // loss handler instead of its normal completion path.
+            fault::disk_lost(self, node, ctx);
+            return;
+        }
         match ctx {
             DiskCtx::VmOp { op } => self.op_part_done(op),
             DiskCtx::Writeback { vm, chunk } => io::writeback_done(self, vm, chunk),
-            DiskCtx::PushRead { vm, chunks, slot } => {
-                migration::push_read_done(self, vm, chunks, slot)
-            }
+            DiskCtx::PushRead {
+                vm,
+                chunks,
+                slot,
+                epoch,
+            } => migration::push_read_done(self, vm, chunks, slot, epoch),
             DiskCtx::PullRead {
                 vm,
                 chunks,
                 background,
-            } => migration::pull_read_done(self, vm, chunks, background),
+                epoch,
+            } => migration::pull_read_done(self, vm, chunks, background, epoch),
             DiskCtx::RepoRead {
                 vm,
                 node,
@@ -917,9 +1088,14 @@ impl Engine {
     }
 
     /// One part of an op finished; completes the op at zero outstanding.
+    /// Tolerates unknown ops: a node crash purges the ops of its VMs,
+    /// but completions already in flight (other nodes' disks, timers)
+    /// still land here afterwards.
     pub(crate) fn op_part_done(&mut self, op: OpId) {
         let done = {
-            let o = self.ops.get_mut(&op).expect("live op");
+            let Some(o) = self.ops.get_mut(&op) else {
+                return;
+            };
             debug_assert!(o.parts > 0, "op part underflow");
             o.parts -= 1;
             o.parts == 0
@@ -930,7 +1106,9 @@ impl Engine {
     }
 
     pub(crate) fn finish_op(&mut self, op: OpId) {
-        let o = self.ops.remove(&op).expect("live op");
+        let Some(o) = self.ops.remove(&op) else {
+            return; // purged by a crash while a completion was in flight
+        };
         let vm = &mut self.vms[o.vm as usize];
         vm.ops.remove(&o.token);
         let dur = self.now.since(o.issued);
@@ -952,6 +1130,9 @@ impl Engine {
 
     pub(crate) fn deliver_completion(&mut self, v: VmIdx, token: ActionToken) {
         let vm = &mut self.vms[v as usize];
+        if vm.crashed {
+            return; // the driver died with its host
+        }
         if vm.vm.state() == VmState::Paused {
             vm.held_completions.push_back(token);
             return;
@@ -963,6 +1144,9 @@ impl Engine {
     }
 
     pub(crate) fn release_held(&mut self, v: VmIdx) {
+        if self.vms[v as usize].crashed {
+            return;
+        }
         while let Some(token) = self.vms[v as usize].held_completions.pop_front() {
             if self.vms[v as usize].vm.state() == VmState::Paused {
                 // Re-paused mid-drain: put it back and stop.
@@ -1019,7 +1203,7 @@ impl Engine {
         let Some(m) = vm.migration.as_ref() else {
             return 1.0;
         };
-        if m.phase == MigPhase::Complete {
+        if matches!(m.phase, MigPhase::Complete | MigPhase::Aborted) {
             return 1.0;
         }
         let mut f = 1.0 - self.cfg.migration_cpu_steal;
@@ -1175,5 +1359,63 @@ impl Engine {
 
     pub(crate) fn schedule_in(&mut self, d: SimDuration, ev: Ev) -> EventId {
         self.queue.schedule(self.now + d, ev)
+    }
+}
+
+/// Read-only view of one VM's state for invariant checkers (see
+/// [`Engine::inspect_vm`]).
+pub struct VmInspect<'a> {
+    vm: &'a VmRt,
+}
+
+impl VmInspect<'_> {
+    /// The node currently hosting the VM.
+    pub fn host(&self) -> u32 {
+        self.vm.vm.host
+    }
+
+    /// Whether the VM died with its host.
+    pub fn crashed(&self) -> bool {
+        self.vm.crashed
+    }
+
+    /// Number of chunks in the VM's virtual disk.
+    pub fn nchunks(&self) -> u32 {
+        self.vm.disk.nchunks()
+    }
+
+    /// Logical content version the guest observes for a chunk
+    /// (0 = pristine base content; strictly increasing across writes).
+    pub fn disk_version(&self, chunk: u32) -> u64 {
+        self.vm.disk.version(lsm_blockdev::ChunkId(chunk))
+    }
+
+    /// Version physically present for a chunk at the VM's current host
+    /// (`None` if the store holds nothing for it).
+    pub fn store_version(&self, chunk: u32) -> Option<u64> {
+        let c = lsm_blockdev::ChunkId(chunk);
+        self.vm.store.has(c).then(|| self.vm.store.version(c))
+    }
+
+    /// Version building up at a migration destination, if a migration
+    /// is staging one.
+    pub fn dest_store_version(&self, chunk: u32) -> Option<u64> {
+        let c = lsm_blockdev::ChunkId(chunk);
+        self.vm
+            .dest_store
+            .as_ref()
+            .and_then(|s| s.has(c).then(|| s.version(c)))
+    }
+
+    /// Chunks ever written by the guest.
+    pub fn modified_count(&self) -> u32 {
+        self.vm.disk.modified().count()
+    }
+
+    /// True when every modified chunk is physically present at the
+    /// current host with its latest version (the end-of-migration
+    /// consistency criterion; trivially true outside migrations).
+    pub fn store_covers_disk(&self) -> bool {
+        self.vm.store.covers(&self.vm.disk)
     }
 }

@@ -45,6 +45,18 @@ pub trait Observer {
         let _ = (job, milestone, now);
         RunControl::Continue
     }
+
+    /// Called after **every** dispatched engine event with read-only
+    /// access to the full engine state (network flow views, job
+    /// progress, per-VM chunk versions via
+    /// [`crate::engine::Engine::inspect_vm`]). This is the audit hook
+    /// invariant checkers (the `lsm-check` crate) hang off; the default
+    /// no-op keeps ordinary observers free of per-event overhead beyond
+    /// the virtual call.
+    fn on_tick(&mut self, eng: &crate::engine::Engine) -> RunControl {
+        let _ = eng;
+        RunControl::Continue
+    }
 }
 
 /// The do-nothing observer used by plain `run_until`.

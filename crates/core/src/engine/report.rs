@@ -1,7 +1,7 @@
 //! Run reports: everything the experiment harness needs to build the
 //! paper's tables and figures.
 
-use super::job::MigrationStatus;
+use super::job::{FailureReason, MigrationStatus};
 use super::types::MigPhase;
 use super::Engine;
 use crate::policy::StrategyKind;
@@ -36,8 +36,8 @@ pub struct MigrationRecord {
     /// Final lifecycle status of the job (`Queued` if the start time lay
     /// beyond the horizon, `Failed` with a reason on runtime rejection).
     pub status: MigrationStatus,
-    /// Failure reason, when `status` is `Failed`.
-    pub failure: Option<String>,
+    /// Typed failure reason, when `status` is `Failed`.
+    pub failure: Option<FailureReason>,
     /// Storage transfer strategy used.
     pub strategy: StrategyKind,
     /// When the migration was requested.

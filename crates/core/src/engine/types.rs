@@ -41,6 +41,14 @@ pub(crate) enum Ev {
     ConvergencePoll(VmIdx),
     /// Periodic dirty-expiry write-back sweep (Linux kupdate).
     KupdateTick(VmIdx),
+    /// A scheduled fault fires (the index into `Engine::faults`; the
+    /// payload lives there because fault kinds carry floats, which the
+    /// `Eq`-requiring event queue cannot).
+    Fault(u32),
+    /// A job's configured deadline expires (index into `Engine::jobs`).
+    JobDeadline(u32),
+    /// A transfer stall on this VM's migration ends.
+    StallOver(VmIdx),
 }
 
 /// Control-plane messages between migration managers (latency-modeled).
@@ -63,6 +71,10 @@ pub(crate) enum Ctl {
         chunks: Vec<ChunkId>,
         /// True for BACKGROUND_PULL slots, false for on-demand reads.
         background: bool,
+        /// Migration generation that issued the request (see
+        /// `VmRt::mig_epoch`): a request raced by an abort + re-migration
+        /// must not be served against the successor migration's state.
+        epoch: u64,
     },
 }
 
@@ -82,6 +94,8 @@ pub(crate) enum FlowCtx {
         vm: VmIdx,
         chunks: Vec<(ChunkId, u64)>,
         slot: u32,
+        /// Issuing migration generation (stale batches are dropped).
+        epoch: u64,
     },
     /// A batch of pulled chunks (background prefetch or on-demand),
     /// with the same one-flow-per-batch manifest scheme as `PushBatch`.
@@ -89,6 +103,8 @@ pub(crate) enum FlowCtx {
         vm: VmIdx,
         chunks: Vec<(ChunkId, u64)>,
         background: bool,
+        /// Issuing migration generation (stale batches are dropped).
+        epoch: u64,
     },
     /// Mirrored write: `op` is the guest op gated on it (throttled
     /// writes), or `None` for write-back-driven mirroring.
@@ -130,12 +146,20 @@ pub(crate) enum DiskCtx {
         vm: VmIdx,
         chunks: Vec<(ChunkId, u64)>,
         slot: u32,
+        /// Issuing migration generation. Aborts cancel a migration's
+        /// *flows* but cannot cancel in-flight disk requests; a read
+        /// completing after its migration died (and possibly after a new
+        /// one started for the same VM) must be dropped, not attributed
+        /// to the successor's pipeline counters.
+        epoch: u64,
     },
     /// Source-side read serving a pull request; flow follows.
     PullRead {
         vm: VmIdx,
         chunks: Vec<ChunkId>,
         background: bool,
+        /// Issuing migration generation (stale reads are dropped).
+        epoch: u64,
     },
     /// Replica-side read serving a repository fetch; flow follows.
     RepoRead {
@@ -194,6 +218,8 @@ impl From<IoKind> for OpKind {
 
 /// Per-node physical state.
 pub(crate) struct NodeRt {
+    /// True once a crash fault took the node down (permanent).
+    pub crashed: bool,
     pub disk: SharedResource,
     pub cache_rd: SharedResource,
     pub cache_wr: SharedResource,
@@ -228,8 +254,10 @@ pub(crate) struct JobRt {
     pub dest: u32,
     pub requested_at: SimTime,
     pub status: MigrationStatus,
+    /// Abort-by deadline measured from `requested_at`, if configured.
+    pub deadline: Option<SimDuration>,
     /// Failure reason, once `status == Failed`.
-    pub failure: Option<String>,
+    pub failure: Option<crate::engine::job::FailureReason>,
     /// The finished event-level state, moved out of the VM slot when a
     /// later migration of the same VM starts (a VM can migrate again
     /// once its previous job is terminal).
@@ -264,6 +292,10 @@ pub(crate) enum MigPhase {
     PullPhase,
     /// Done.
     Complete,
+    /// Aborted by a fault or deadline: the job is `Failed`, the state is
+    /// kept only for partial-progress reporting. Terminal like
+    /// `Complete` — no event handler advances an aborted migration.
+    Aborted,
 }
 
 /// Per-migration runtime state.
@@ -309,6 +341,14 @@ pub(crate) struct MigrationRt {
     pub mirror_flows_inflight: u32,
     /// Whether TRANSFER_IO_CONTROL has been sent (guards re-handoff).
     pub handoff_sent: bool,
+    /// End of the current transfer stall, if one is in force: the push
+    /// and pull pipelines initiate nothing (and the remaining-set
+    /// handoff waits) until the stall clears.
+    pub stalled_until: Option<SimTime>,
+    /// On-demand pull chunks deferred because the stall hit between the
+    /// guest read and the request send; re-requested (one batch, with
+    /// their reads still parked as pull waiters) when the stall clears.
+    pub stalled_ondemand: Vec<ChunkId>,
     /// Metrics.
     pub requested_at: SimTime,
     pub control_at: Option<SimTime>,
@@ -357,6 +397,9 @@ impl MigrationRt {
 /// Per-VM runtime state.
 pub(crate) struct VmRt {
     pub vm: Vm,
+    /// True once the VM's host crashed under it: the guest is gone, its
+    /// driver never runs again, completions addressed to it are dropped.
+    pub crashed: bool,
     pub strategy: StrategyKind,
     pub driver: Option<Box<dyn Workload>>,
     pub started: bool,
@@ -379,6 +422,12 @@ pub(crate) struct VmRt {
     pub group: Option<(u32, u32)>,
     /// Active migration, if any.
     pub migration: Option<MigrationRt>,
+    /// Migration generation counter: bumped every time a fresh
+    /// [`MigrationRt`] is installed. Transfer contexts (disk reads,
+    /// batch flows, pull requests) carry the epoch they were issued
+    /// under; completions with a stale epoch are dropped instead of
+    /// mutating the successor migration's pipeline state.
+    pub mig_epoch: u64,
     /// Background write-back requests in flight.
     pub wb_inflight: u32,
     /// Chunks the periodic dirty-expiry sweep still wants flushed this

@@ -100,6 +100,12 @@ pub enum EngineError {
         /// The offending value, seconds.
         value: f64,
     },
+    /// A fault-plan entry is unusable (out-of-range node or VM, a link
+    /// factor outside `(0, 1]`, a non-positive stall duration, ...).
+    InvalidFault {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -159,6 +165,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidTime { what, value } => {
                 write!(f, "invalid {what} timestamp: {value}")
+            }
+            EngineError::InvalidFault { reason } => {
+                write!(f, "invalid fault: {reason}")
             }
         }
     }

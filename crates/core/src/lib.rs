@@ -63,8 +63,8 @@ pub mod policy;
 pub use builder::{Simulation, SimulationBuilder, VmHandle};
 pub use config::ClusterConfig;
 pub use engine::{
-    Engine, JobId, MigrationProgress, MigrationRecord, MigrationStatus, Observer, RunControl,
-    RunReport, VmRecord,
+    Engine, FailureReason, FaultKind, JobId, MigrationProgress, MigrationRecord, MigrationStatus,
+    Observer, RunControl, RunReport, VmRecord,
 };
 pub use error::EngineError;
 pub use lsm_netsim::NodeId;

@@ -165,6 +165,19 @@ impl HybridSource {
         self.inflight.remove(c);
     }
 
+    /// A pushed chunk was *lost* in flight (severed transfer): it goes
+    /// back to the remaining set — and, subject to the same `Threshold`,
+    /// back to the push queue — so the pipeline resumes from the
+    /// surviving manifest without re-sending anything already delivered.
+    pub fn push_lost(&mut self, c: ChunkId) {
+        if self.inflight.remove(c) {
+            self.remaining.insert(c);
+            if self.push_enabled && self.wc.pushable(c) {
+                self.queue.insert(c);
+            }
+        }
+    }
+
     /// True while pushed chunks are still in the pipeline.
     pub fn push_inflight(&self) -> bool {
         !self.inflight.is_empty()
@@ -203,6 +216,9 @@ pub struct HybridDest {
     /// deterministic low-id tie-breaking. Entries are validated lazily
     /// against `remaining` on pop.
     heap: BinaryHeap<(u32, std::cmp::Reverse<u32>)>,
+    /// The handed-over write counts, kept so chunks lost in flight can
+    /// be re-heaped under their original priority.
+    counts: Vec<u32>,
     /// Chunks currently being pulled (background or on-demand).
     inflight: ChunkSet,
     /// If false, prefetch in arrival order instead of write-count order
@@ -226,6 +242,7 @@ impl HybridDest {
         HybridDest {
             remaining,
             heap,
+            counts: counts.to_vec(),
             inflight: ChunkSet::new(n),
             prioritized,
             background_pulls: 0,
@@ -271,6 +288,23 @@ impl HybridDest {
     /// A pull (background or on-demand) delivered chunk `c`.
     pub fn pull_done(&mut self, c: ChunkId) {
         self.inflight.remove(c);
+    }
+
+    /// An in-flight pull of `c` was lost (severed transfer): the chunk
+    /// returns to the remaining set and re-enters the prefetch heap
+    /// under its original write count, so the pull phase resumes from
+    /// the surviving manifest. No-op if the chunk was not in flight
+    /// (e.g. a local write superseded it first).
+    pub fn pull_lost(&mut self, c: ChunkId) {
+        if self.inflight.remove(c) {
+            self.remaining.insert(c);
+            let wc = if self.prioritized {
+                self.counts[c.idx()]
+            } else {
+                0
+            };
+            self.heap.push((wc, std::cmp::Reverse(c.0)));
+        }
     }
 
     /// True when the source is no longer needed: nothing remaining and
@@ -348,6 +382,14 @@ impl PrecopySource {
         self.inflight -= 1;
     }
 
+    /// A sent chunk was lost in flight (severed transfer): it re-enters
+    /// the dirty stream, exactly as if the guest had re-dirtied it.
+    pub fn send_lost(&mut self, c: ChunkId) {
+        debug_assert!(self.inflight > 0);
+        self.inflight -= 1;
+        self.tracker.record_write(c);
+    }
+
     /// Chunks still owed (queued, not counting in-flight).
     pub fn remaining(&self) -> u32 {
         self.tracker.remaining()
@@ -398,6 +440,14 @@ impl MirrorSource {
     pub fn send_done(&mut self) {
         debug_assert!(self.inflight > 0);
         self.inflight -= 1;
+    }
+
+    /// A bulk chunk was lost in flight (severed transfer): back into
+    /// the bulk queue for another pass.
+    pub fn send_lost(&mut self, c: ChunkId) {
+        debug_assert!(self.inflight > 0);
+        self.inflight -= 1;
+        self.bulk.insert(c);
     }
 
     /// A guest write during migration: it is mirrored synchronously; if

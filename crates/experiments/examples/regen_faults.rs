@@ -1,0 +1,18 @@
+//! Regenerate the checked-in fault-injection scenarios:
+//!
+//! ```text
+//! cargo run --release -p lsm-experiments --example regen_faults
+//! ```
+//!
+//! Each `scenarios/fault_*.toml` must stay byte-identical to its
+//! producer in [`lsm_experiments::faults`] — a test asserts it, so edit
+//! the producer, rerun this, and commit both.
+
+fn main() {
+    for (file, spec) in lsm_experiments::faults::all() {
+        let path = format!("scenarios/{file}");
+        let toml = spec.to_toml().expect("scenario serializes");
+        std::fs::write(&path, &toml).expect("write scenario file");
+        eprintln!("wrote {path} ({} bytes)", toml.len());
+    }
+}

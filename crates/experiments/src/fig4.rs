@@ -99,6 +99,7 @@ pub fn scenario(p: &Fig4Params, strategy: StrategyKind, k: u32) -> ScenarioSpec 
             vm: i,
             dest: p.sources + i,
             at_secs: p.migrate_at,
+            deadline_secs: None,
         })
         .collect();
     ScenarioSpec {
@@ -108,6 +109,7 @@ pub fn scenario(p: &Fig4Params, strategy: StrategyKind, k: u32) -> ScenarioSpec 
         grouped: false,
         strategy,
         migrations,
+        faults: None,
         horizon_secs: p.horizon,
     }
 }

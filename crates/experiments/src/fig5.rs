@@ -117,6 +117,7 @@ pub fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec 
             vm: i,
             dest: p.ranks + i,
             at_secs: p.interval * (i + 1) as f64,
+            deadline_secs: None,
         })
         .collect();
     let mut cluster = ClusterConfig::graphene(nodes);
@@ -133,6 +134,7 @@ pub fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec 
         grouped: true,
         strategy,
         migrations,
+        faults: None,
         horizon_secs: p.horizon,
     }
 }

@@ -13,6 +13,10 @@
 //!   transfer pipeline window.
 //! * [`stress`] — paper-scale performance scenarios (`scale64`: 64
 //!   nodes, 128 VMs, 128 staggered migrations) driven by `lsm bench`.
+//! * [`faults`] — migrations under degraded and failing conditions
+//!   (destination crashes, link-degradation windows, transfer stalls,
+//!   deadlines), with the recovery contract pinned by tests and the
+//!   `lsm-check` invariant observer.
 //!
 //! Every experiment offers two scales: [`Scale::Paper`] reproduces the
 //! paper's parameters; [`Scale::Quick`] is a minutes→seconds reduction
@@ -27,6 +31,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -15,8 +15,8 @@ use lsm_core::config::ClusterConfig;
 use lsm_core::engine::Observer;
 use lsm_core::error::EngineError;
 use lsm_core::policy::StrategyKind;
-use lsm_core::{NodeId, RunReport};
-use lsm_simcore::time::SimTime;
+use lsm_core::{FaultKind, NodeId, RunReport};
+use lsm_simcore::time::{SimDuration, SimTime};
 use lsm_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +54,24 @@ pub struct MigrationSpec {
     pub dest: u32,
     /// Request time in seconds.
     pub at_secs: f64,
+    /// Abort deadline in seconds from `at_secs` (`None` → no deadline).
+    /// An overrunning job fails with
+    /// [`lsm_core::FailureReason::DeadlineExceeded`] and partial
+    /// progress in the report.
+    pub deadline_secs: Option<f64>,
+}
+
+/// One timed fault in a scenario's fault plan.
+///
+/// The plan rides in the spec (`[[faults]]` in TOML) and round-trips
+/// exactly like everything else, so a degraded-conditions experiment is
+/// as declarative and replayable as a clean one.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// When the fault fires, seconds.
+    pub at_secs: f64,
+    /// What breaks (see [`FaultKind`]).
+    pub kind: FaultKind,
 }
 
 /// A declarative description of one simulation run.
@@ -72,6 +90,9 @@ pub struct ScenarioSpec {
     pub vms: Vec<VmSpec>,
     /// The migrations.
     pub migrations: Vec<MigrationSpec>,
+    /// Timed fault plan (`None` — the common, fault-free case — keeps
+    /// the key out of serialized documents entirely).
+    pub faults: Option<Vec<FaultSpec>>,
     /// Simulation horizon in seconds.
     pub horizon_secs: f64,
 }
@@ -94,7 +115,9 @@ impl ScenarioSpec {
                 vm: 0,
                 dest: 1,
                 at_secs: migrate_at,
+                deadline_secs: None,
             }],
+            faults: None,
             horizon_secs: 1200.0,
         }
     }
@@ -123,6 +146,19 @@ impl ScenarioSpec {
     pub fn with_horizon(mut self, secs: f64) -> Self {
         self.horizon_secs = secs;
         self
+    }
+
+    /// Builder: append one fault to the plan.
+    pub fn with_fault(mut self, at_secs: f64, kind: FaultKind) -> Self {
+        self.faults
+            .get_or_insert_with(Vec::new)
+            .push(FaultSpec { at_secs, kind });
+        self
+    }
+
+    /// The fault plan (empty slice when none is declared).
+    pub fn fault_plan(&self) -> &[FaultSpec] {
+        self.faults.as_deref().unwrap_or(&[])
     }
 
     /// The effective cluster configuration.
@@ -220,7 +256,22 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
         let Some(&vm) = handles.get(m.vm as usize) else {
             return Err(EngineError::UnknownVm { vm: m.vm });
         };
-        b.migrate(vm, NodeId(m.dest), secs("migration", m.at_secs)?)?;
+        let at = secs("migration", m.at_secs)?;
+        match m.deadline_secs {
+            None => b.migrate(vm, NodeId(m.dest), at)?,
+            Some(d) => {
+                let d = secs("migration deadline", d)?;
+                b.migrate_with_deadline(
+                    vm,
+                    NodeId(m.dest),
+                    at,
+                    SimDuration::from_secs_f64(d.as_secs_f64()),
+                )?
+            }
+        };
+    }
+    for f in spec.fault_plan() {
+        b.inject_fault(secs("fault", f.at_secs)?, f.kind)?;
     }
     b.build()
 }
@@ -254,6 +305,23 @@ pub fn run_scenario_observed(
 ) -> Result<RunReport, EngineError> {
     let mut sim = build_scenario(spec)?;
     Ok(sim.run_observed(secs("horizon", spec.horizon_secs)?, obs))
+}
+
+/// Observed run under an explicit solver — what the scenario fuzzer
+/// uses: the same random cluster/fault plan under both [`SolverMode`]s,
+/// each watched by an invariant checker, asserting report identity and
+/// invariant cleanliness.
+///
+/// [`SolverMode`]: lsm_netsim::SolverMode
+pub fn run_scenario_observed_with_solver(
+    spec: &ScenarioSpec,
+    solver: lsm_netsim::SolverMode,
+    obs: &mut dyn Observer,
+) -> Result<RunReport, EngineError> {
+    let mut sim = build_scenario(spec)?;
+    sim.engine_mut().set_solver_mode(solver);
+    let report = sim.run_observed(secs("horizon", spec.horizon_secs)?, obs);
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -316,6 +384,7 @@ mod tests {
             vm: 1,
             dest: 2,
             at_secs: 2.0,
+            deadline_secs: None,
         });
         let r = run_scenario(&spec).expect("valid scenario");
         assert_eq!(r.migrations.len(), 2);

@@ -101,6 +101,7 @@ impl StressParams {
                 vm: i,
                 dest: (i % self.nodes + self.nodes / 2) % self.nodes,
                 at_secs: self.migrate_start + self.stagger * i as f64,
+                deadline_secs: None,
             })
             .collect();
         ScenarioSpec {
@@ -110,6 +111,7 @@ impl StressParams {
             grouped: false,
             vms,
             migrations,
+            faults: None,
             horizon_secs: self.horizon,
         }
     }

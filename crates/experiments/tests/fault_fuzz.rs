@@ -1,0 +1,272 @@
+//! The scenario fuzzer: random cluster/workload/migration/fault plans,
+//! each run under **both** network solvers with an invariant checker
+//! attached. Every case must produce bit-identical serialized
+//! `RunReport`s across solvers and zero invariant violations — the
+//! engine's recovery paths hold the conservation laws no matter what
+//! the plan throws at them.
+//!
+//! Deterministic: the compat proptest derives its seed from the test
+//! name (override with `PROPTEST_SEED`), and case counts are bounded
+//! (`fuzz-smoke` in CI runs exactly this file).
+
+use lsm_check::{CheckConfig, InvariantObserver};
+use lsm_core::config::ClusterConfig;
+use lsm_core::policy::StrategyKind;
+use lsm_core::FaultKind;
+use lsm_experiments::scenario::{
+    run_scenario_observed_with_solver, FaultSpec, MigrationSpec, ScenarioSpec, VmSpec,
+};
+use lsm_netsim::SolverMode;
+use lsm_simcore::units::MIB;
+use lsm_workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+const NODES: u32 = 4;
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    prop_oneof![
+        (1u64..24, 1u64..3, 0.01f64..0.08).prop_map(|(mb, block, think)| {
+            WorkloadSpec::SeqWrite {
+                offset: 0,
+                total: mb << 20,
+                block: block << 20,
+                think_secs: think,
+            }
+        }),
+        (8u64..64, 50u64..600, 0.3f64..0.9, 0u64..999).prop_map(|(blocks, count, theta, seed)| {
+            WorkloadSpec::HotspotWrite {
+                offset: 0,
+                region_blocks: blocks,
+                block: 256 * 1024,
+                count,
+                theta,
+                think_secs: 0.01,
+                seed,
+            }
+        }),
+        (1u32..4, 0.2f64..1.5).prop_map(|(bursts, secs)| WorkloadSpec::Idle {
+            bursts,
+            burst_secs: secs,
+        }),
+    ]
+}
+
+fn strategy_strategy() -> impl Strategy<Value = StrategyKind> {
+    prop_oneof![
+        3 => Just(StrategyKind::Hybrid),
+        1 => Just(StrategyKind::Postcopy),
+        1 => Just(StrategyKind::Precopy),
+        1 => Just(StrategyKind::Mirror),
+    ]
+}
+
+fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+    (0.2f64..20.0, 0u8..4, 0u32..NODES, 0.05f64..1.0).prop_map(|(at, kind, node, x)| FaultSpec {
+        at_secs: at,
+        kind: match kind {
+            0 => FaultKind::LinkDegrade { node, factor: x },
+            1 => FaultKind::LinkRestore { node },
+            2 => FaultKind::NodeCrash { node },
+            _ => FaultKind::TransferStall {
+                vm: node % 3, // may exceed the VM count: rejected specs are skipped
+                secs: x * 4.0,
+            },
+        },
+    })
+}
+
+fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        strategy_strategy(),
+        prop::collection::vec((0u32..NODES, workload_strategy()), 1..4),
+        prop::collection::vec(
+            (0u32..NODES, 0.2f64..8.0, prop::option::of(0.3f64..30.0)),
+            0..3,
+        ),
+        prop::collection::vec(fault_strategy(), 0..5),
+        30.0f64..90.0,
+    )
+        .prop_map(|(strategy, vms, migs, faults, horizon)| {
+            let nvms = vms.len() as u32;
+            ScenarioSpec {
+                name: None,
+                cluster: Some(ClusterConfig::small_test()),
+                strategy,
+                grouped: false,
+                vms: vms
+                    .into_iter()
+                    .map(|(node, workload)| VmSpec::new(node, workload))
+                    .collect(),
+                migrations: migs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (dest, at, deadline))| MigrationSpec {
+                        vm: i as u32 % nvms,
+                        dest,
+                        at_secs: at,
+                        deadline_secs: deadline,
+                    })
+                    .collect(),
+                faults: if faults.is_empty() {
+                    None
+                } else {
+                    Some(faults)
+                },
+                horizon_secs: horizon,
+            }
+        })
+}
+
+fn checker() -> InvariantObserver {
+    InvariantObserver::with_config(CheckConfig {
+        deep_scan_interval: 512,
+        ..CheckConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline fuzz property: any valid random cluster/fault plan
+    /// yields bit-identical reports under both solver modes and breaks
+    /// no conservation law in either.
+    #[test]
+    fn random_fault_plans_are_solver_identical_and_invariant_clean(
+        spec in scenario_strategy()
+    ) {
+        // Some generated plans are (deliberately) invalid — e.g. a
+        // migration whose destination equals the VM's node, or a stall
+        // naming a VM index that does not exist. Those must reject
+        // cleanly; valid ones must run clean.
+        let mut reports = Vec::new();
+        for solver in [SolverMode::Incremental, SolverMode::Reference] {
+            let mut obs = checker();
+            match run_scenario_observed_with_solver(&spec, solver, &mut obs) {
+                Err(_) => {
+                    prop_assume!(false); // invalid plan: rejected, skip
+                }
+                Ok(r) => {
+                    if !obs.is_clean() {
+                        return Err(TestCaseError::fail(format!(
+                            "invariant violations under {solver:?}:\n{}",
+                            obs.violations()
+                                .iter()
+                                .map(|v| format!("  {v}"))
+                                .collect::<Vec<_>>()
+                                .join("\n")
+                        )));
+                    }
+                    reports.push(serde_json::to_string_pretty(&r).expect("serializes"));
+                }
+            }
+        }
+        prop_assert_eq!(reports.len(), 2);
+        if reports[0] != reports[1] {
+            let diff = reports[0]
+                .lines()
+                .zip(reports[1].lines())
+                .enumerate()
+                .find(|(_, (a, b))| a != b);
+            return Err(TestCaseError::fail(format!(
+                "solver reports diverge at {diff:?}"
+            )));
+        }
+    }
+
+    /// Determinism under fuzzing: the same plan run twice (same solver)
+    /// is bit-identical — fault handling introduces no hidden
+    /// nondeterminism (hash-map iteration, allocation order, ...).
+    #[test]
+    fn random_fault_plans_are_run_to_run_deterministic(spec in scenario_strategy()) {
+        let run = || {
+            let mut obs = checker();
+            run_scenario_observed_with_solver(&spec, SolverMode::Incremental, &mut obs)
+                .map(|r| serde_json::to_string_pretty(&r).expect("serializes"))
+        };
+        match (run(), run()) {
+            (Err(_), Err(_)) => prop_assume!(false),
+            (a, b) => prop_assert_eq!(a.ok(), b.ok(), "re-run diverged"),
+        }
+    }
+}
+
+/// A fixed worst-case cocktail kept outside the random sweep so it is
+/// exercised on every single test run: crash the destination during a
+/// stall inside a degradation window, with a second migration on a
+/// deadline.
+#[test]
+fn fixed_fault_cocktail_is_clean() {
+    let spec = ScenarioSpec {
+        name: Some("cocktail".into()),
+        cluster: Some(ClusterConfig::small_test()),
+        strategy: StrategyKind::Hybrid,
+        grouped: false,
+        vms: vec![
+            VmSpec::new(
+                0,
+                WorkloadSpec::HotspotWrite {
+                    offset: 0,
+                    region_blocks: 48,
+                    block: 256 * 1024,
+                    count: 800,
+                    theta: 0.8,
+                    think_secs: 0.01,
+                    seed: 3,
+                },
+            ),
+            VmSpec::new(
+                2,
+                WorkloadSpec::SeqWrite {
+                    offset: 0,
+                    total: 24 * MIB,
+                    block: MIB,
+                    think_secs: 0.05,
+                },
+            ),
+        ],
+        migrations: vec![
+            MigrationSpec {
+                vm: 0,
+                dest: 1,
+                at_secs: 1.0,
+                deadline_secs: None,
+            },
+            MigrationSpec {
+                vm: 1,
+                dest: 3,
+                at_secs: 1.5,
+                deadline_secs: Some(0.8),
+            },
+        ],
+        faults: Some(vec![
+            FaultSpec {
+                at_secs: 1.1,
+                kind: FaultKind::LinkDegrade {
+                    node: 1,
+                    factor: 0.2,
+                },
+            },
+            FaultSpec {
+                at_secs: 1.4,
+                kind: FaultKind::TransferStall { vm: 0, secs: 0.7 },
+            },
+            FaultSpec {
+                at_secs: 1.9,
+                kind: FaultKind::NodeCrash { node: 1 },
+            },
+            FaultSpec {
+                at_secs: 2.5,
+                kind: FaultKind::LinkRestore { node: 3 },
+            },
+        ]),
+        horizon_secs: 90.0,
+    };
+    let mut reports = Vec::new();
+    for solver in [SolverMode::Incremental, SolverMode::Reference] {
+        let mut obs = checker();
+        let r = run_scenario_observed_with_solver(&spec, solver, &mut obs).expect("runs");
+        obs.assert_clean("cocktail");
+        reports.push(serde_json::to_string_pretty(&r).expect("serializes"));
+    }
+    assert_eq!(reports[0], reports[1], "cocktail reports diverge");
+}

@@ -4,9 +4,25 @@
 
 use lsm_core::config::ClusterConfig;
 use lsm_core::policy::StrategyKind;
-use lsm_experiments::scenario::{MigrationSpec, ScenarioSpec, VmSpec};
+use lsm_core::FaultKind;
+use lsm_experiments::scenario::{FaultSpec, MigrationSpec, ScenarioSpec, VmSpec};
 use lsm_workloads::{AsyncWrParams, IorParams, WorkloadSpec};
 use proptest::prelude::*;
+
+fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+    (0.0f64..100.0, 0u8..4, 0u32..8, 0.01f64..1.0).prop_map(|(at, kind, node, x)| FaultSpec {
+        at_secs: at,
+        kind: match kind {
+            0 => FaultKind::LinkDegrade { node, factor: x },
+            1 => FaultKind::LinkRestore { node },
+            2 => FaultKind::NodeCrash { node },
+            _ => FaultKind::TransferStall {
+                vm: node,
+                secs: x * 10.0,
+            },
+        },
+    })
+}
 
 fn strategy_strategy() -> impl Strategy<Value = StrategyKind> {
     prop_oneof![
@@ -72,43 +88,51 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             ),
             1..5,
         ),
-        prop::collection::vec((0u32..8, 0.1f64..100.0), 0..4),
+        prop::collection::vec(
+            (0u32..8, 0.1f64..100.0, prop::option::of(0.5f64..60.0)),
+            0..4,
+        ),
         1.0f64..2000.0,
         prop::bool::ANY,
         prop::option::of(0u64..99),
+        prop::option::of(prop::collection::vec(fault_strategy(), 0..5)),
     )
-        .prop_map(|(strategy, vms, migs, horizon, default_cluster, name)| {
-            let nvms = vms.len() as u32;
-            ScenarioSpec {
-                name: name.map(|n| format!("scenario-{n}")),
-                cluster: if default_cluster {
-                    None
-                } else {
-                    Some(ClusterConfig::graphene(8))
-                },
-                strategy,
-                grouped: false,
-                vms: vms
-                    .into_iter()
-                    .map(|(node, workload, strategy)| VmSpec {
-                        node,
-                        workload,
-                        strategy,
-                        start_secs: None,
-                    })
-                    .collect(),
-                migrations: migs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (dest, at))| MigrationSpec {
-                        vm: i as u32 % nvms,
-                        dest,
-                        at_secs: at,
-                    })
-                    .collect(),
-                horizon_secs: horizon,
-            }
-        })
+        .prop_map(
+            |(strategy, vms, migs, horizon, default_cluster, name, faults)| {
+                let nvms = vms.len() as u32;
+                ScenarioSpec {
+                    name: name.map(|n| format!("scenario-{n}")),
+                    cluster: if default_cluster {
+                        None
+                    } else {
+                        Some(ClusterConfig::graphene(8))
+                    },
+                    strategy,
+                    grouped: false,
+                    vms: vms
+                        .into_iter()
+                        .map(|(node, workload, strategy)| VmSpec {
+                            node,
+                            workload,
+                            strategy,
+                            start_secs: None,
+                        })
+                        .collect(),
+                    migrations: migs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (dest, at, deadline))| MigrationSpec {
+                            vm: i as u32 % nvms,
+                            dest,
+                            at_secs: at,
+                            deadline_secs: deadline,
+                        })
+                        .collect(),
+                    faults,
+                    horizon_secs: horizon,
+                }
+            },
+        )
 }
 
 proptest! {

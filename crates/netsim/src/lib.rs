@@ -11,9 +11,12 @@
 //!
 //! The model is fluid and incremental, like
 //! [`lsm_simcore::SharedResource`]: rates change only when a flow starts,
-//! completes, is cancelled, or is re-capped, so integrating progress between
-//! those boundaries is exact. The embedding event loop asks
-//! [`FlowNet::next_completion`] what to schedule next.
+//! completes, is cancelled, is re-capped, or a link's capacity mutates at
+//! runtime ([`FlowNet::set_link_factor`], the fault-injection hook), so
+//! integrating progress between those boundaries is exact. The embedding
+//! event loop asks [`FlowNet::next_completion`] what to schedule next —
+//! a fallible query, like the rest of the API: an idle network has
+//! nothing due, and callers match on the `Option` instead of unwrapping.
 //!
 //! Max–min fairness is the standard fluid approximation for long-lived TCP
 //! flows sharing an Ethernet switch, which is exactly the regime of the
@@ -25,11 +28,21 @@
 //!
 //! let topo = Topology::symmetric(4, mb_per_s(100.0), mb_per_s(1000.0));
 //! let mut net = FlowNet::new(topo);
+//! assert!(net.next_completion().is_none(), "idle network: nothing due");
+//!
 //! let f = net.start_flow(SimTime::ZERO, NodeId(0), NodeId(1), 100 * MIB,
 //!                        None, TrafficTag::StoragePush);
-//! let (done, id) = net.next_completion().unwrap();
+//! let Some((done, id)) = net.next_completion() else {
+//!     panic!("one flow is in flight");
+//! };
 //! assert_eq!(id, f);
 //! assert!((done.as_secs_f64() - 1.0).abs() < 1e-6);
+//!
+//! // Links can degrade mid-run (fault injection): halving node 0's NIC
+//! // halves the flow's rate, and its completion moves out accordingly.
+//! net.set_link_factor(SimTime::ZERO, NodeId(0), 0.5);
+//! let (later, _) = net.next_completion().expect("flow still in flight");
+//! assert!((later.as_secs_f64() - 2.0).abs() < 1e-6);
 //! ```
 
 #![warn(missing_docs)]
@@ -39,5 +52,5 @@ mod net;
 mod reference;
 mod topology;
 
-pub use net::{FlowId, FlowNet, SolverMode, TrafficTag};
+pub use net::{FlowId, FlowNet, FlowView, SolverMode, TrafficTag};
 pub use topology::{NodeCaps, NodeId, Topology};

@@ -112,6 +112,26 @@ pub enum SolverMode {
     Reference,
 }
 
+/// Read-only snapshot of one in-flight flow (see
+/// [`FlowNet::flow_views`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FlowView {
+    /// The flow's handle.
+    pub id: FlowId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Current allocated rate, bytes/second.
+    pub rate: f64,
+    /// Bytes not yet delivered, projected to the network clock.
+    pub remaining: f64,
+    /// Per-flow rate cap, if any.
+    pub cap: Option<f64>,
+    /// Traffic classification.
+    pub tag: TrafficTag,
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Flow {
     pub(crate) id: FlowId,
@@ -194,10 +214,16 @@ pub struct FlowNet {
     /// (see [`FlowNet::switch_decoupled`]); enables component-restricted
     /// re-solves.
     decoupled: bool,
-    /// Pristine capacities of the `2n + 1` physical resources (uplinks,
+    /// *Current* capacities of the `2n + 1` physical resources (uplinks,
     /// downlinks, switch), so a full solve initializes `cap_left` with a
-    /// memcpy instead of per-node lookups.
+    /// memcpy instead of per-node lookups. Kept in lockstep with the
+    /// topology when [`FlowNet::set_link_factor`] mutates capacities.
     caps_flat: Vec<f64>,
+    /// Pristine per-node NIC capacities captured at construction: the
+    /// restore target for runtime link degradation.
+    base_caps: Vec<crate::topology::NodeCaps>,
+    /// Current degradation factor per node (1.0 = pristine).
+    factors: Vec<f64>,
     /// Live-flow counts per physical resource, maintained on every flow
     /// insert/remove — the full solve's `count` table starts as a copy.
     count_all: Vec<u32>,
@@ -217,6 +243,8 @@ impl FlowNet {
             caps_flat.push(topo.caps(NodeId(i as u32)).down);
         }
         caps_flat.push(topo.switch_capacity);
+        let base_caps: Vec<crate::topology::NodeCaps> =
+            topo.node_ids().map(|i| topo.caps(i)).collect();
         FlowNet {
             topo,
             flows: Vec::new(),
@@ -230,6 +258,8 @@ impl FlowNet {
             solver: SolverMode::default(),
             decoupled,
             caps_flat,
+            base_caps,
+            factors: vec![1.0; n],
             count_all: vec![0; 2 * n + 1],
             scratch: Scratch::default(),
         }
@@ -493,6 +523,92 @@ impl FlowNet {
             let f = &self.flows[i];
             (f.remaining - f.moved_until(self.last_advance)).ceil() as u64
         })
+    }
+
+    // ---------------- runtime capacity mutation ----------------
+
+    /// Scale a node's NIC capacities (uplink and downlink) to `factor`
+    /// times their *pristine* value — the network half of a link
+    /// degradation (`factor < 1`) or restoration (`factor == 1`) fault.
+    ///
+    /// Factors are absolute, not cumulative: two successive
+    /// `set_link_factor(.., 0.5)` calls leave the link at half capacity,
+    /// not a quarter. Every in-flight flow whose rate can change is
+    /// re-solved immediately under the active [`SolverMode`]; the
+    /// incremental solver re-solves only the affected component when the
+    /// switch aggregate permits, and stays bit-identical to
+    /// [`SolverMode::Reference`] (asserted by the equivalence proptests).
+    ///
+    /// Panics if `factor` is not in `(0, 1]` — a zero-capacity link
+    /// would park its flows at rate 0 forever; model a dead node with a
+    /// crash fault instead.
+    pub fn set_link_factor(&mut self, now: SimTime, node: NodeId, factor: f64) {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "link factor {factor} outside (0, 1]"
+        );
+        self.advance(now);
+        let base = self.base_caps[node.idx()];
+        let caps = crate::topology::NodeCaps {
+            up: base.up * factor,
+            down: base.down * factor,
+        };
+        self.factors[node.idx()] = factor;
+        // The topology is what the reference solver reads; the flat table
+        // is what the incremental solver memcpys. Both must move together.
+        self.topo.set_caps(node, caps);
+        let n = self.topo.len();
+        self.caps_flat[node.idx()] = caps.up;
+        self.caps_flat[n + node.idx()] = caps.down;
+        // Capacity sums changed, so re-derive whether the switch can bind.
+        let was_decoupled = self.decoupled;
+        self.decoupled = Self::switch_decoupled(&self.topo);
+        if self.decoupled && !was_decoupled {
+            // The switch may have been binding flows in *other*
+            // components until this very change; a component-restricted
+            // re-solve would leave their now-stale rates in place. One
+            // full solve re-establishes the per-component regime.
+            if !self.flows.is_empty() && self.solver == SolverMode::Incremental {
+                self.solve_all();
+                self.apply_rates_all();
+                return;
+            }
+        }
+        // Only flows in this node's component can change rate.
+        self.reallocate(node, node);
+    }
+
+    /// Current degradation factor of a node's NIC (1.0 = pristine).
+    pub fn link_factor(&self, node: NodeId) -> f64 {
+        self.factors[node.idx()]
+    }
+
+    // ---------------- flow inspection ----------------
+
+    /// Read-only snapshots of every in-flight flow, ascending by id.
+    /// Rates are the current allocation; `remaining` projects progress
+    /// up to the network clock. Used by invariant checkers to audit
+    /// conservation laws without touching solver state.
+    pub fn flow_views(&self) -> impl Iterator<Item = FlowView> + '_ {
+        self.flows.iter().map(move |f| FlowView {
+            id: f.id,
+            src: f.src,
+            dst: f.dst,
+            rate: f.rate,
+            remaining: (f.remaining - f.moved_until(self.last_advance)).max(0.0),
+            cap: f.cap,
+            tag: f.tag,
+        })
+    }
+
+    /// Ids of every in-flight flow with `node` as source or destination
+    /// (ascending). A node-crash fault severs exactly these.
+    pub fn flows_touching(&self, node: NodeId) -> Vec<FlowId> {
+        self.flows
+            .iter()
+            .filter(|f| f.src == node || f.dst == node)
+            .map(|f| f.id)
+            .collect()
     }
 
     // ---------------- rate allocation ----------------
@@ -1032,6 +1148,76 @@ mod tests {
         net.cancel_flow(t(0.001), a);
         assert_eq!(net.active(), 1);
         assert_eq!(net.peak_active(), 2);
+    }
+
+    #[test]
+    fn degrade_halves_rate_and_restore_recovers_it() {
+        let mut net = FlowNet::new(topo(4));
+        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::Memory);
+        assert!((net.rate_of(f).unwrap() - mb_per_s(100.0)).abs() < 1.0);
+        net.set_link_factor(t(0.5), NodeId(0), 0.5);
+        assert_eq!(net.link_factor(NodeId(0)), 0.5);
+        assert!((net.rate_of(f).unwrap() - mb_per_s(50.0)).abs() < 1.0);
+        // 50 MiB moved before the degrade; delivery accounting is intact.
+        assert_eq!(net.delivered(TrafficTag::Memory) / MIB, 50);
+        net.set_link_factor(t(0.75), NodeId(0), 1.0);
+        assert!((net.rate_of(f).unwrap() - mb_per_s(100.0)).abs() < 1.0);
+        // 50 MiB at full + 12.5 MiB at half: 37.5 MiB left at t=0.75,
+        // finishing 0.375 s later.
+        let (done, id) = net.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert!((done.as_secs_f64() - 1.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degrade_is_absolute_not_cumulative() {
+        let mut net = FlowNet::new(topo(4));
+        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::Memory);
+        net.set_link_factor(Z, NodeId(0), 0.5);
+        net.set_link_factor(Z, NodeId(0), 0.5);
+        assert!((net.rate_of(f).unwrap() - mb_per_s(50.0)).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "link factor")]
+    fn zero_factor_rejected() {
+        let mut net = FlowNet::new(topo(2));
+        net.set_link_factor(Z, NodeId(0), 0.0);
+    }
+
+    #[test]
+    fn degraded_downlink_binds_incast() {
+        let mut net = FlowNet::new(topo(5));
+        net.set_link_factor(Z, NodeId(0), 0.4);
+        let f = net.start_flow(Z, NodeId(1), NodeId(0), MIB, None, TrafficTag::StoragePull);
+        assert!((net.rate_of(f).unwrap() - mb_per_s(40.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn flows_touching_selects_by_endpoint() {
+        let mut net = FlowNet::new(topo(4));
+        let a = net.start_flow(Z, NodeId(0), NodeId(1), MIB, None, TrafficTag::Memory);
+        let b = net.start_flow(Z, NodeId(2), NodeId(0), MIB, None, TrafficTag::Memory);
+        let c = net.start_flow(Z, NodeId(2), NodeId(3), MIB, None, TrafficTag::Memory);
+        assert_eq!(net.flows_touching(NodeId(0)), vec![a, b]);
+        assert_eq!(net.flows_touching(NodeId(3)), vec![c]);
+        assert!(net.flows_touching(NodeId(1)).contains(&a));
+    }
+
+    #[test]
+    fn flow_views_expose_rates_and_projected_remaining() {
+        let mut net = FlowNet::new(topo(4));
+        let f = net.start_flow(Z, NodeId(0), NodeId(1), 100 * MIB, None, TrafficTag::Memory);
+        net.advance(t(0.25));
+        let views: Vec<_> = net.flow_views().collect();
+        assert_eq!(views.len(), 1);
+        let v = &views[0];
+        assert_eq!(
+            (v.id, v.src, v.dst, v.tag),
+            (f, NodeId(0), NodeId(1), TrafficTag::Memory)
+        );
+        assert!((v.rate - mb_per_s(100.0)).abs() < 1.0);
+        assert!((v.remaining - 75.0 * MIB as f64).abs() < mb_per_s(1.0) * 0.01);
     }
 
     #[test]

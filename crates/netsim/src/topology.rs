@@ -78,6 +78,19 @@ impl Topology {
         self.nodes[node.idx()]
     }
 
+    /// Overwrite a node's NIC capacities at runtime (link degradation /
+    /// restoration). [`crate::FlowNet::set_link_factor`] drives this and
+    /// keeps its own derived tables in sync; mutating a topology that is
+    /// already inside a `FlowNet` by other means would desynchronize the
+    /// solver.
+    pub fn set_caps(&mut self, node: NodeId, caps: NodeCaps) {
+        assert!(
+            caps.up > 0.0 && caps.down > 0.0 && caps.up.is_finite() && caps.down.is_finite(),
+            "NIC capacities must be positive and finite"
+        );
+        self.nodes[node.idx()] = caps;
+    }
+
     /// Iterate over all node ids.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.nodes.len() as u32).map(NodeId)

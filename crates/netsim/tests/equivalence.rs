@@ -3,11 +3,13 @@
 //!
 //! Two [`FlowNet`]s over the same random topology — one per
 //! [`SolverMode`] — are driven in lockstep through a random schedule of
-//! flow starts, cancellations, completions and clock advances. After
-//! every step, rates, remaining bytes, per-tag delivered bytes and the
-//! next completion `(time, flow)` must match exactly (rates down to the
-//! bit pattern). Topologies cover both regimes: switch-coupled (full
-//! re-solve) and switch-decoupled (component dirty-marking).
+//! flow starts, cancellations, completions, clock advances and runtime
+//! link degradations/restorations. After every step, rates, remaining
+//! bytes, per-tag delivered bytes and the next completion `(time, flow)`
+//! must match exactly (rates down to the bit pattern). Topologies cover
+//! both regimes: switch-coupled (full re-solve) and switch-decoupled
+//! (component dirty-marking) — and the capacity mutations drive
+//! transitions *between* the regimes mid-run.
 
 use lsm_netsim::{FlowId, FlowNet, NodeCaps, NodeId, SolverMode, Topology, TrafficTag};
 use lsm_simcore::time::SimTime;
@@ -68,7 +70,7 @@ impl Lockstep {
         self.now += lsm_simcore::time::SimDuration::from_nanos(1 + (bytes % 50_000_000));
         self.inc.advance(self.now);
         self.refr.advance(self.now);
-        match code % 4 {
+        match code % 5 {
             0 | 1 => {
                 // Start a flow.
                 let src = a % n;
@@ -93,6 +95,23 @@ impl Lockstep {
                 self.live.push(fi);
             }
             2 => {
+                // Degrade (or restore) a node's NIC at runtime.
+                let node = NodeId(a % n);
+                // Quantized factors so restore (1.0) actually occurs.
+                let factor = match b % 4 {
+                    0 => 1.0,
+                    1 => 0.5,
+                    2 => 0.1 + x * 0.8,
+                    _ => 0.05,
+                };
+                self.inc.set_link_factor(self.now, node, factor);
+                self.refr.set_link_factor(self.now, node, factor);
+                prop_assert_eq!(
+                    self.inc.link_factor(node).to_bits(),
+                    self.refr.link_factor(node).to_bits()
+                );
+            }
+            3 => {
                 // Complete the earliest completion, if one is due.
                 let Some((ti, id)) = self.inc.next_completion() else {
                     return Ok(());

@@ -36,6 +36,9 @@ pub struct StripedRepo {
     load: Vec<u32>,
     /// Total fetches served per storage node, for balance reporting.
     served: Vec<u64>,
+    /// Nodes marked down by a crash fault: replica selection skips them
+    /// while at least one live replica exists.
+    down: Vec<bool>,
 }
 
 impl StripedRepo {
@@ -46,6 +49,7 @@ impl StripedRepo {
             cfg,
             load: vec![0; n],
             served: vec![0; n],
+            down: vec![false; n],
         }
     }
 
@@ -63,24 +67,48 @@ impl StripedRepo {
         (0..self.cfg.replication).map(move |k| self.cfg.storage_nodes[(home + k) % n])
     }
 
-    /// Begin a fetch of `chunk`: picks the least-loaded replica
+    /// Begin a fetch of `chunk`: picks the least-loaded *live* replica
     /// (deterministic: ties go to the earliest replica in chain order),
-    /// increments its in-flight load, and returns it.
+    /// increments its in-flight load, and returns it. Replicas marked
+    /// down by [`StripedRepo::set_down`] are skipped; if every replica
+    /// of the chunk is down, selection falls back to the full replica
+    /// set (the caller is expected to notice the returned node is down
+    /// and degrade the read — the repository stays deterministic either
+    /// way).
     pub fn begin_fetch(&mut self, chunk: ChunkId) -> NodeId {
         let n = self.cfg.storage_nodes.len();
         let home = chunk.idx() % n;
-        let mut best_slot = home;
-        let mut best_load = u32::MAX;
-        for k in 0..self.cfg.replication {
-            let slot = (home + k) % n;
-            if self.load[slot] < best_load {
-                best_load = self.load[slot];
-                best_slot = slot;
+        let pick = |skip_down: bool, load: &[u32], down: &[bool]| -> Option<usize> {
+            let mut best: Option<(u32, usize)> = None;
+            for k in 0..self.cfg.replication {
+                let slot = (home + k) % n;
+                if skip_down && down[slot] {
+                    continue;
+                }
+                if best.map(|(bl, _)| load[slot] < bl).unwrap_or(true) {
+                    best = Some((load[slot], slot));
+                }
             }
-        }
+            best.map(|(_, s)| s)
+        };
+        let best_slot = pick(true, &self.load, &self.down)
+            .or_else(|| pick(false, &self.load, &self.down))
+            .expect("replication >= 1");
         self.load[best_slot] += 1;
         self.served[best_slot] += 1;
         self.cfg.storage_nodes[best_slot]
+    }
+
+    /// Mark a storage node down (crash fault) or back up. Down nodes are
+    /// avoided by replica selection but keep their load/served counters.
+    pub fn set_down(&mut self, node: NodeId, down: bool) {
+        let slot = self.slot_of(node);
+        self.down[slot] = down;
+    }
+
+    /// Whether a storage node is currently marked down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down[self.slot_of(node)]
     }
 
     /// A fetch served by `node` finished.
@@ -188,5 +216,31 @@ mod tests {
     fn unbalanced_end_fetch_panics() {
         let mut r = repo(2, 1);
         r.end_fetch(NodeId(0));
+    }
+
+    #[test]
+    fn down_replicas_are_skipped_while_one_lives() {
+        let mut r = repo(3, 2);
+        // Chunk 0's replicas are nodes 0 and 1.
+        r.set_down(NodeId(0), true);
+        assert!(r.is_down(NodeId(0)));
+        for _ in 0..3 {
+            assert_eq!(r.begin_fetch(ChunkId(0)), NodeId(1), "live replica wins");
+        }
+        // Recovery: node 0 is preferred again once back up and less loaded.
+        r.set_down(NodeId(0), false);
+        assert_eq!(r.begin_fetch(ChunkId(0)), NodeId(0));
+    }
+
+    #[test]
+    fn all_replicas_down_falls_back_deterministically() {
+        let mut r = repo(3, 2);
+        r.set_down(NodeId(0), true);
+        r.set_down(NodeId(1), true);
+        // Both replicas of chunk 0 are down: the chain-order fallback
+        // still answers (callers degrade the read).
+        let n = r.begin_fetch(ChunkId(0));
+        assert_eq!(n, NodeId(0));
+        assert!(r.is_down(n));
     }
 }

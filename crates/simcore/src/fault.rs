@@ -1,0 +1,117 @@
+//! Fault-event vocabulary shared by the engine and the scenario layer.
+//!
+//! A fault plan is a list of timed [`FaultKind`] events injected into a
+//! simulation: link degradation windows, node crashes, and transfer
+//! stalls. The kinds live here — in the simulation substrate, next to
+//! time and events — so the engine (which executes them), the scenario
+//! layer (which serializes them) and the invariant checker (which
+//! audits their consequences) all speak one vocabulary without a
+//! dependency cycle.
+//!
+//! The kinds are deliberately *mechanical*: they describe what breaks
+//! (a NIC, a host, a transfer pipeline), not what should happen to any
+//! particular migration. Recovery semantics — which jobs fail with
+//! which reason, what resumes from where — belong to the engine.
+
+use serde::{Deserialize, Serialize};
+
+/// One kind of scheduled fault.
+///
+/// Nodes are cluster indices (`0..nodes`), VMs are deployment indices
+/// (`0..vms`), matching the scenario layer's conventions.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Scale a node's NIC capacities (uplink and downlink) to `factor`
+    /// times their pristine value. `factor` must be in `(0, 1]`;
+    /// repeated degradations are absolute, not cumulative.
+    LinkDegrade {
+        /// The affected node.
+        node: u32,
+        /// Fraction of pristine capacity left, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Restore a node's NIC to its pristine capacity (equivalent to
+    /// `LinkDegrade { factor: 1.0 }`).
+    LinkRestore {
+        /// The affected node.
+        node: u32,
+    },
+    /// Crash a node: VMs hosted there stop permanently, flows touching
+    /// it are severed, and live migrations using it as source or
+    /// destination fail with a typed reason.
+    NodeCrash {
+        /// The crashed node.
+        node: u32,
+    },
+    /// Sever and suspend the storage-transfer pipelines (push or pull)
+    /// of the given VM's live migration for `secs` seconds. In-flight
+    /// transfer batches are lost; their chunks return to the surviving
+    /// manifest and the pipeline resumes from it afterwards — chunks
+    /// already stamped at the destination are never re-sent unless the
+    /// guest rewrote them.
+    TransferStall {
+        /// The VM whose migration is stalled.
+        vm: u32,
+        /// Stall duration in seconds (must be positive and finite).
+        secs: f64,
+    },
+}
+
+impl FaultKind {
+    /// The node this fault targets directly, if it targets one.
+    pub fn node(&self) -> Option<u32> {
+        match *self {
+            FaultKind::LinkDegrade { node, .. }
+            | FaultKind::LinkRestore { node }
+            | FaultKind::NodeCrash { node } => Some(node),
+            FaultKind::TransferStall { .. } => None,
+        }
+    }
+
+    /// Short human-readable label for logs and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDegrade { .. } => "link-degrade",
+            FaultKind::LinkRestore { .. } => "link-restore",
+            FaultKind::NodeCrash { .. } => "node-crash",
+            FaultKind::TransferStall { .. } => "transfer-stall",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeted_node_and_labels() {
+        assert_eq!(FaultKind::NodeCrash { node: 3 }.node(), Some(3));
+        assert_eq!(
+            FaultKind::LinkDegrade {
+                node: 1,
+                factor: 0.5
+            }
+            .node(),
+            Some(1)
+        );
+        assert_eq!(FaultKind::TransferStall { vm: 0, secs: 1.0 }.node(), None);
+        assert_eq!(FaultKind::LinkRestore { node: 0 }.label(), "link-restore");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for k in [
+            FaultKind::LinkDegrade {
+                node: 2,
+                factor: 0.25,
+            },
+            FaultKind::LinkRestore { node: 2 },
+            FaultKind::NodeCrash { node: 7 },
+            FaultKind::TransferStall { vm: 1, secs: 3.5 },
+        ] {
+            let v = serde::Serialize::to_value(&k);
+            let back: FaultKind = serde::Deserialize::from_value(&v).expect("roundtrips");
+            assert_eq!(back, k);
+        }
+    }
+}

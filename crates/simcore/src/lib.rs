@@ -34,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod event;
+pub mod fault;
 pub mod metrics;
 pub mod resource;
 pub mod rng;
@@ -41,6 +42,7 @@ pub mod time;
 pub mod units;
 
 pub use event::{EventId, EventQueue};
+pub use fault::FaultKind;
 pub use metrics::{Counter, Histogram, MetricsRegistry, TimeSeries};
 pub use resource::{ReqId, SharedResource};
 pub use rng::DetRng;
