@@ -24,6 +24,13 @@
 //! * **Terminal jobs never regress** — once `Completed`/`Failed`, a
 //!   job's status never changes again, and every transition before that
 //!   follows the documented lifecycle.
+//! * **The admission cap is never violated** — when the orchestrator is
+//!   configured with `max_concurrent`, the number of jobs past
+//!   admission (running, not yet terminal) never exceeds it.
+//! * **Placements are legal** — every running job's destination is an
+//!   in-range, non-crashed node (planner-placed evacuations and
+//!   rebalances included; same-host requests are rejected at schedule
+//!   time, before this law applies).
 //!
 //! Violations are collected (bounded) with timestamps and law names;
 //! [`InvariantObserver::finish`] runs a final full audit and
@@ -293,6 +300,10 @@ impl InvariantObserver {
 
         // Terminal jobs must stay terminal (statuses recorded on_status;
         // this catches regressions that bypass the observer callback).
+        // The same sweep audits the orchestration laws: running jobs
+        // are counted against the admission cap, and every running
+        // job's placement must still be legal.
+        let mut running = 0u32;
         for (i, job) in eng.job_ids().into_iter().enumerate() {
             if let Some(prev) = self.statuses.get(i).copied().flatten() {
                 if prev.is_terminal() {
@@ -306,6 +317,42 @@ impl InvariantObserver {
                         );
                     }
                 }
+            }
+            let status = eng.job_status(job).expect("job exists");
+            let started = matches!(
+                status,
+                MigrationStatus::TransferringMemory
+                    | MigrationStatus::SwitchingOver
+                    | MigrationStatus::TransferringStorage
+            );
+            if !started {
+                continue;
+            }
+            running += 1;
+            let dest = eng.job_dest(job).expect("job exists");
+            self.checks += 1;
+            if dest >= n as u32 {
+                control = self.violate(
+                    now,
+                    "placement-legal",
+                    format!("job {i} runs toward out-of-range node {dest} (cluster has {n})"),
+                );
+            } else if eng.node_crashed(dest) {
+                control = self.violate(
+                    now,
+                    "placement-legal",
+                    format!("job {i} still runs toward crashed node {dest}"),
+                );
+            }
+        }
+        if let Some(cap) = eng.admission_cap() {
+            self.checks += 1;
+            if running > cap {
+                control = self.violate(
+                    now,
+                    "admission-cap",
+                    format!("{running} migrations running under a cap of {cap}"),
+                );
             }
         }
         control

@@ -90,6 +90,97 @@ fn faulted_migrations_uphold_every_law() {
     obs.assert_clean("fault cocktail");
 }
 
+/// A capped, orchestrated run is clean — and the new laws actually
+/// evaluated (the positive half of the detection pair below).
+#[test]
+fn capped_orchestrated_run_upholds_every_law() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_orchestrator(lsm_core::OrchestratorConfig {
+        max_concurrent: Some(1),
+        ..lsm_core::OrchestratorConfig::default()
+    })
+    .expect("configures");
+    let vm0 = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let vm1 = b
+        .add_vm(NodeId(1), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    b.migrate(vm0, NodeId(2), secs(1.0)).expect("job");
+    b.migrate(vm1, NodeId(3), secs(1.0)).expect("job");
+    b.request_evacuation(NodeId(0), secs(60.0))
+        .expect("request");
+    let mut sim = b.build().expect("builds");
+    let mut obs = checker();
+    let report = sim.run_observed(secs(900.0), &mut obs);
+    obs.finish(sim.engine());
+    obs.assert_clean("capped orchestrated run");
+    assert!(
+        report.migrations.iter().all(|m| m.completed),
+        "cap must defer, not starve"
+    );
+    assert!(report.planner.iter().any(|d| d.deferred));
+}
+
+/// Deliberately breaking the admission cap mid-run (through the
+/// engine's testing hook) must be flagged — the law is not vacuous.
+#[test]
+fn checker_detects_admission_cap_violation() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    let vm0 = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let vm1 = b
+        .add_vm(NodeId(1), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    b.migrate(vm0, NodeId(2), secs(1.0)).expect("job");
+    b.migrate(vm1, NodeId(3), secs(1.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    // Let both migrations start under the unlimited default...
+    sim.run_until(secs(3.0));
+    assert_eq!(sim.engine().active_migrations(), 2, "both must be running");
+    // ...then shrink the cap under them without re-admission checks.
+    sim.engine_mut().testing_force_admission_cap(Some(1));
+    let mut obs = checker();
+    sim.run_observed(secs(60.0), &mut obs);
+    assert!(
+        !obs.is_clean(),
+        "2 running under a cap of 1 must be flagged"
+    );
+    assert!(
+        obs.violations().iter().any(|v| v.law == "admission-cap"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
+/// Deliberately pointing a running job at an out-of-range destination
+/// must be flagged by the placement law.
+#[test]
+fn checker_detects_illegal_placement() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    let vm0 = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let job = b.migrate(vm0, NodeId(1), secs(1.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(3.0));
+    assert_eq!(
+        sim.status(job),
+        Some(MigrationStatus::TransferringMemory),
+        "the job must be mid-flight for the law to apply"
+    );
+    sim.engine_mut().testing_force_job_dest(job, 99);
+    let mut obs = checker();
+    sim.run_observed(secs(60.0), &mut obs);
+    assert!(!obs.is_clean());
+    assert!(
+        obs.violations().iter().any(|v| v.law == "placement-legal"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
 fn progress(job: u32, status: MigrationStatus) -> MigrationProgress {
     MigrationProgress {
         job,
@@ -98,6 +189,7 @@ fn progress(job: u32, status: MigrationStatus) -> MigrationProgress {
         dest: 1,
         strategy: StrategyKind::Hybrid,
         status,
+        planner_held: false,
         mem_rounds: 0,
         chunks_pushed: 0,
         chunks_pulled: 0,

@@ -156,7 +156,7 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let scenario = args.value("--scenario")?;
             let out = args
                 .value("--out")?
-                .unwrap_or_else(|| "BENCH_PR2.json".to_string());
+                .unwrap_or_else(|| "BENCH_PR4.json".to_string());
             args.finish()?;
             cmd_bench(quick, scenario.as_deref(), &out)
         }
@@ -304,7 +304,15 @@ impl Observer for ProgressPrinter {
     }
 
     fn on_milestone(&mut self, job: JobId, milestone: Milestone, now: SimTime) -> RunControl {
-        if !matches!(milestone, Milestone::MemRound(_)) {
+        if milestone == Milestone::PlannerDeferred {
+            // Distinct from engine-queued (start time not reached):
+            // this job is ready but held by the admission cap.
+            println!(
+                "[{:>9.3}s] job {}: planner-queued (admission cap reached)",
+                now.as_secs_f64(),
+                job.0
+            );
+        } else if !matches!(milestone, Milestone::MemRound(_)) {
             println!(
                 "[{:>9.3}s] job {}: {:?}",
                 now.as_secs_f64(),
@@ -449,6 +457,45 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
             println!("    [{:>9.3}s] {}: {:?}", f.at_secs, f.kind.label(), f.kind);
         }
     }
+    let requests = spec.request_plan();
+    if !requests.is_empty() {
+        println!("  request plan ({} intent(s)):", requests.len());
+        for r in requests {
+            println!(
+                "    [{:>9.3}s] {}: {:?}",
+                r.at_secs,
+                r.intent.label(),
+                r.intent
+            );
+        }
+    }
+    if let Some(orch) = &spec.orchestrator {
+        let cap = orch
+            .max_concurrent
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "unlimited".to_string());
+        println!(
+            "  planner decisions ({} — planner \"{}\", cap {}):",
+            r.planner.len(),
+            orch.planner.label(),
+            cap
+        );
+        for d in &r.planner {
+            println!(
+                "    [{:>9.3}s] job {} vm {}: node {} -> {}, {}{}{}",
+                d.decided_at.as_secs_f64(),
+                d.job,
+                d.vm,
+                d.source,
+                d.dest,
+                d.strategy.label(),
+                d.request
+                    .map(|req| format!(" (request {req})"))
+                    .unwrap_or_default(),
+                if d.deferred { " [deferred]" } else { "" },
+            );
+        }
+    }
     for m in &r.migrations {
         let time = m
             .migration_time
@@ -494,8 +541,10 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
 
 // ---------------- `lsm bench` ----------------
 
-/// The machine-readable record `lsm bench` writes (`BENCH_PR2.json` by
-/// default): the performance-trajectory numbers tracked across PRs.
+/// One entry of the machine-readable record `lsm bench` writes
+/// (`BENCH_PR4.json` by default — a JSON array with one entry per
+/// benched scenario): the performance-trajectory numbers tracked
+/// across PRs.
 #[derive(Debug, Serialize)]
 struct BenchSummary {
     /// Scenario name (`scale64`, `scale64-quick`, or the loaded file's).
@@ -520,44 +569,26 @@ struct BenchSummary {
     peak_live_flows: u64,
     /// Total simulated network traffic, bytes.
     total_traffic_bytes: u64,
+    /// Planner decisions recorded — one per admitted migration,
+    /// explicit or intent-expanded (the default fixed planner records
+    /// them too).
+    planner_decisions: usize,
 }
 
-/// Run the paper-scale stress scenario under a wall clock and record
-/// the trajectory numbers.
-fn cmd_bench(quick: bool, scenario: Option<&str>, out: &str) -> Result<(), UsageError> {
-    if quick && scenario.is_some() {
-        return Err(UsageError(
-            "--quick selects the built-in smoke scenario and cannot be combined with --scenario"
-                .to_string(),
-        ));
-    }
-    let spec = match scenario {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
-            if path.ends_with(".json") {
-                ScenarioSpec::from_json(&text)
-            } else {
-                ScenarioSpec::from_toml(&text)
-            }
-            .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))?
-        }
-        None if quick => lsm_experiments::stress::scale64_quick_spec(),
-        None => lsm_experiments::stress::scale64_spec(),
-    };
+/// Bench one scenario under a wall clock.
+fn bench_one(spec: &ScenarioSpec) -> Result<BenchSummary, UsageError> {
     let name = spec.name.clone().unwrap_or_else(|| "unnamed".to_string());
     eprintln!(
-        "bench: {name} — {} node(s), {} VM(s), {} migration(s), horizon {:.0}s",
+        "bench: {name} — {} node(s), {} VM(s), {} migration(s), {} request(s), horizon {:.0}s",
         spec.cluster_config().nodes,
         spec.vms.len(),
         spec.migrations.len(),
+        spec.request_plan().len(),
         spec.horizon_secs
     );
-
     let started = std::time::Instant::now();
-    let report = run_scenario(&spec).map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
+    let report = run_scenario(spec).map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
     let wall = started.elapsed().as_secs_f64();
-
     let summary = BenchSummary {
         scenario: name,
         nodes: spec.cluster_config().nodes,
@@ -570,21 +601,66 @@ fn cmd_bench(quick: bool, scenario: Option<&str>, out: &str) -> Result<(), Usage
         events_per_sec: report.events as f64 / wall.max(1e-9),
         peak_live_flows: report.peak_flows,
         total_traffic_bytes: report.total_traffic,
+        planner_decisions: report.planner.len(),
     };
-    let json = serde_json::to_string_pretty(&summary)
-        .map_err(|e| UsageError(format!("cannot serialize summary: {e}")))?;
-    std::fs::write(out, format!("{json}\n"))
-        .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
     println!(
-        "{} events in {:.2}s wall — {:.0} events/s, peak {} live flows, {}/{} migrations completed → {}",
+        "{}: {} events in {:.2}s wall — {:.0} events/s, peak {} live flows, {}/{} migrations completed, {} planner decision(s)",
+        summary.scenario,
         summary.events,
         summary.wall_time_secs,
         summary.events_per_sec,
         summary.peak_live_flows,
         summary.migrations_completed,
         summary.migrations,
-        out
+        summary.planner_decisions,
     );
+    Ok(summary)
+}
+
+/// Run the tracked benchmark set — the paper-scale stress scenario plus
+/// the orchestrated scenarios (evacuation, adaptive fleet) — under a
+/// wall clock and record the trajectory numbers.
+fn cmd_bench(quick: bool, scenario: Option<&str>, out: &str) -> Result<(), UsageError> {
+    if quick && scenario.is_some() {
+        return Err(UsageError(
+            "--quick selects the built-in smoke set and cannot be combined with --scenario"
+                .to_string(),
+        ));
+    }
+    let specs: Vec<ScenarioSpec> = match scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+            let spec = if path.ends_with(".json") {
+                ScenarioSpec::from_json(&text)
+            } else {
+                ScenarioSpec::from_toml(&text)
+            }
+            .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))?;
+            vec![spec]
+        }
+        None => {
+            let scale = if quick {
+                lsm_experiments::stress::scale64_quick_spec()
+            } else {
+                lsm_experiments::stress::scale64_spec()
+            };
+            vec![
+                scale,
+                lsm_experiments::orchestration::evacuate_spec(),
+                lsm_experiments::orchestration::adaptive64_spec(),
+            ]
+        }
+    };
+    let mut summaries = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        summaries.push(bench_one(spec)?);
+    }
+    let json = serde_json::to_string_pretty(&summaries)
+        .map_err(|e| UsageError(format!("cannot serialize summary: {e}")))?;
+    std::fs::write(out, format!("{json}\n"))
+        .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
+    println!("{} scenario(s) benched → {}", summaries.len(), out);
     Ok(())
 }
 

@@ -183,7 +183,7 @@ fn run_progress_prints_lifecycle() {
 fn bench_quick_writes_machine_readable_summary() {
     let out_dir = std::env::temp_dir().join("lsm-bench-test");
     std::fs::create_dir_all(&out_dir).expect("temp dir");
-    let out_path = out_dir.join("BENCH_PR2.json");
+    let out_path = out_dir.join("BENCH_PR4.json");
     let out = lsm(&["bench", "--quick", "--out", out_path.to_str().unwrap()]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let text = std::fs::read_to_string(&out_path).expect("summary written");
@@ -193,8 +193,24 @@ fn bench_quick_writes_machine_readable_summary() {
         "\"events_per_sec\"",
         "\"peak_live_flows\"",
         "\"migrations_completed\"",
+        "\"planner_decisions\"",
     ] {
         assert!(text.contains(key), "missing {key} in: {text}");
+    }
+    // The tracked set is an array covering the stress scenario and
+    // both orchestrated scenarios.
+    let v = serde_json::parse(&text).expect("valid JSON");
+    let entries = match &v {
+        serde::Value::Seq(items) => items,
+        other => panic!("expected array, got {other:?}"),
+    };
+    assert_eq!(entries.len(), 3, "{text}");
+    let names: Vec<_> = entries.iter().map(|e| e.get("scenario").cloned()).collect();
+    for want in ["scale64-quick", "evacuate", "adaptive64"] {
+        assert!(
+            names.contains(&Some(serde::Value::Str(want.into()))),
+            "missing {want}: {names:?}"
+        );
     }
     let human = stdout(&out);
     assert!(human.contains("events/s"), "stdout: {human}");
@@ -236,6 +252,62 @@ fn bench_runs_a_scenario_file() {
     assert!(text.contains("\"scenario\": \"scale64\""), "{text}");
     assert!(text.contains("\"migrations_completed\": 128"), "{text}");
     std::fs::remove_file(&out_path).ok();
+}
+
+// ---------------- orchestrated scenarios ----------------
+
+#[test]
+fn run_evacuation_reports_planner_decisions() {
+    let scenario = repo_root().join("scenarios/evacuate.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--check"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("request plan (1 intent(s))"), "{text}");
+    assert!(text.contains("evacuate"), "{text}");
+    assert!(
+        text.contains("planner decisions (3 — planner \"adaptive\", cap 2)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("[deferred]"),
+        "the cap of 2 must defer one: {text}"
+    );
+    assert!(text.contains("invariants: clean"), "{text}");
+}
+
+#[test]
+fn run_json_includes_planner_decisions() {
+    let scenario = repo_root().join("scenarios/evacuate.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let v = serde_json::parse(&stdout(&out)).expect("valid JSON report");
+    let decisions = match v.get("planner") {
+        Some(serde::Value::Seq(items)) => items,
+        other => panic!("planner decisions missing: {other:?}"),
+    };
+    assert_eq!(decisions.len(), 3);
+    for d in decisions {
+        // Chosen strategy + destination per request, as promised.
+        assert!(matches!(d.get("dest"), Some(serde::Value::U64(_))), "{d:?}");
+        assert!(
+            matches!(d.get("strategy"), Some(serde::Value::Str(_))),
+            "{d:?}"
+        );
+        assert_eq!(d.get("request"), Some(&serde::Value::U64(0)));
+    }
+}
+
+#[test]
+fn run_progress_distinguishes_planner_queued_jobs() {
+    let scenario = repo_root().join("scenarios/adaptive64.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--progress"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("planner-queued (admission cap reached)"),
+        "missing planner-queued line:\n{text}"
+    );
+    assert!(text.contains("transferring-memory"), "{text}");
 }
 
 // ---------------- fault scenarios ----------------

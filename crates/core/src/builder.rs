@@ -39,6 +39,7 @@ use crate::engine::{
     Engine, FaultKind, JobId, MigrationProgress, MigrationStatus, NullObserver, Observer, RunReport,
 };
 use crate::error::EngineError;
+use crate::planner::{OrchestratorConfig, RequestIntent};
 use crate::policy::StrategyKind;
 use lsm_netsim::NodeId;
 use lsm_simcore::time::{SimDuration, SimTime};
@@ -77,6 +78,49 @@ impl SimulationBuilder {
     /// The configuration this simulation will run on.
     pub fn config(&self) -> &ClusterConfig {
         self.eng.config()
+    }
+
+    /// Configure the orchestration layer: the admission cap
+    /// (max concurrently running migrations), the planner (fixed or
+    /// adaptive) and the telemetry window. Must be called before any
+    /// migration or request is scheduled.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an unusable configuration or
+    /// when work is already queued.
+    pub fn with_orchestrator(&mut self, cfg: OrchestratorConfig) -> Result<(), EngineError> {
+        self.eng.configure_orchestrator(cfg)
+    }
+
+    /// Submit a high-level orchestration request (see
+    /// [`RequestIntent`]) to fire at `at`: the planner expands it into
+    /// concrete migrations, choosing each VM's destination (and, under
+    /// the adaptive planner, its strategy) under the admission cap.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an out-of-range node or an
+    /// unknown workload group.
+    pub fn request(&mut self, at: SimTime, intent: RequestIntent) -> Result<u32, EngineError> {
+        self.eng.submit_request(at, intent)
+    }
+
+    /// Submit a node-evacuation request: migrate every live VM off
+    /// `node` starting at `at` (sugar for
+    /// [`SimulationBuilder::request`]).
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an out-of-range node.
+    pub fn request_evacuation(&mut self, node: NodeId, at: SimTime) -> Result<u32, EngineError> {
+        self.request(at, RequestIntent::Evacuate { node: node.0 })
+    }
+
+    /// Submit a group-rebalance request: spread workload group `group`
+    /// (by deployment order) across the least-loaded healthy nodes.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an unknown group.
+    pub fn request_rebalance(&mut self, group: u32, at: SimTime) -> Result<u32, EngineError> {
+        self.request(at, RequestIntent::Rebalance { group })
     }
 
     /// Deploy a VM on `node` running `spec` under `strategy`, with its
@@ -155,6 +199,41 @@ impl SimulationBuilder {
             at,
             Some(deadline),
         )
+    }
+
+    /// Like [`SimulationBuilder::migrate`], but leaving the transfer
+    /// strategy open: the adaptive planner resolves it from the VM's
+    /// windowed write intensity at admission time (the paper's §4
+    /// decision rule, operationalized).
+    ///
+    /// # Errors
+    /// Everything [`SimulationBuilder::migrate`] reports, plus
+    /// [`EngineError::InvalidRequest`] unless the orchestrator was
+    /// configured with the adaptive planner.
+    pub fn migrate_adaptive(
+        &mut self,
+        vm: VmHandle,
+        dest: NodeId,
+        at: SimTime,
+    ) -> Result<JobId, EngineError> {
+        self.eng
+            .schedule_migration_adaptive(lsm_hypervisor::VmId(vm.0), dest.0, at, None)
+    }
+
+    /// [`SimulationBuilder::migrate_adaptive`] with an abort deadline
+    /// (see [`SimulationBuilder::migrate_with_deadline`]).
+    ///
+    /// # Errors
+    /// The union of what the two combined methods report.
+    pub fn migrate_adaptive_with_deadline(
+        &mut self,
+        vm: VmHandle,
+        dest: NodeId,
+        at: SimTime,
+        deadline: SimDuration,
+    ) -> Result<JobId, EngineError> {
+        self.eng
+            .schedule_migration_adaptive(lsm_hypervisor::VmId(vm.0), dest.0, at, Some(deadline))
     }
 
     /// Schedule a fault (link degradation/restoration, node crash, or

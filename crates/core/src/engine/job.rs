@@ -139,6 +139,10 @@ pub struct MigrationProgress {
     pub strategy: StrategyKind,
     /// Lifecycle state.
     pub status: MigrationStatus,
+    /// True while the job is ready but deferred by the orchestrator's
+    /// admission cap (planner-queued), as opposed to engine-queued
+    /// before its start time.
+    pub planner_held: bool,
     /// Memory pre-copy rounds so far (0 before start).
     pub mem_rounds: u32,
     /// Chunks actively pushed source→destination so far.

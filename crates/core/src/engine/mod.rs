@@ -13,6 +13,7 @@ mod io;
 mod job;
 mod migration;
 mod observer;
+mod orchestrator;
 mod pvfs;
 mod report;
 mod types;
@@ -21,6 +22,8 @@ pub use job::{FailureReason, JobId, MigrationProgress, MigrationStatus};
 pub use lsm_simcore::fault::FaultKind;
 pub use observer::{NullObserver, Observer, RecordingObserver, RunControl};
 pub use report::{MigrationRecord, Milestone, RunReport, VmRecord};
+
+use orchestrator::{JobEvent, JobEventKind, JobRt, OrchestratorRt};
 
 use crate::config::ClusterConfig;
 use crate::error::EngineError;
@@ -61,6 +64,10 @@ pub struct Engine {
     /// Payloads of scheduled fault events, indexed by `Ev::Fault` (fault
     /// kinds carry floats, which the `Eq`-requiring queue cannot hold).
     faults: Vec<FaultKind>,
+    /// Orchestration state: the planner, the admission-controlled
+    /// request queue, telemetry, and recorded decisions (see the
+    /// `orchestrator` module).
+    orch: OrchestratorRt,
 }
 
 impl Engine {
@@ -119,6 +126,7 @@ impl Engine {
             job_events: Vec::new(),
             events_processed: 0,
             faults: Vec::new(),
+            orch: OrchestratorRt::default(),
         })
     }
 
@@ -229,6 +237,11 @@ impl Engine {
             read_busy: SimDuration::ZERO,
             write_busy: SimDuration::ZERO,
             pvfs_file_base: id.0 as u64 * self.cfg.image_size,
+            tele_last_at: SimTime::ZERO,
+            tele_last_write: 0,
+            tele_last_read: 0,
+            tele_write_rate: 0.0,
+            tele_read_rate: 0.0,
         });
         self.queue.schedule(start_at, Ev::VmStart(id.0));
         let expire = SimDuration::from_secs_f64(self.cfg.dirty_expire_secs);
@@ -285,99 +298,6 @@ impl Engine {
             episodes: 0,
         });
         Ok(ids)
-    }
-
-    /// Schedule a live migration of `vm` to `dest` at time `at` and
-    /// return its job handle.
-    ///
-    /// # Errors
-    /// * [`EngineError::UnknownVm`] — `vm` was not deployed here.
-    /// * [`EngineError::NodeOutOfRange`] — `dest` is not in the cluster.
-    /// * [`EngineError::SameHost`] — `dest` is the VM's current host.
-    /// * [`EngineError::DuplicateMigration`] — the VM already has a job.
-    /// * [`EngineError::IncompatibleMemoryStrategy`] — pre-copy-style
-    ///   storage transfer under post-copy memory migration.
-    pub fn schedule_migration(
-        &mut self,
-        vm: VmId,
-        dest: u32,
-        at: SimTime,
-    ) -> Result<JobId, EngineError> {
-        self.schedule_migration_with_deadline(vm, dest, at, None)
-    }
-
-    /// Like [`Engine::schedule_migration`], additionally arming an abort
-    /// deadline: if the job is not terminal `deadline` after `at`, it is
-    /// aborted — in-flight transfers are cancelled, a paused guest
-    /// resumes at the source, and the job parks at
-    /// [`MigrationStatus::Failed`] with
-    /// [`FailureReason::DeadlineExceeded`] and its partial progress
-    /// preserved in the report.
-    ///
-    /// # Errors
-    /// Everything [`Engine::schedule_migration`] reports, plus
-    /// [`EngineError::InvalidFault`] for a non-positive deadline.
-    pub fn schedule_migration_with_deadline(
-        &mut self,
-        vm: VmId,
-        dest: u32,
-        at: SimTime,
-        deadline: Option<SimDuration>,
-    ) -> Result<JobId, EngineError> {
-        if let Some(d) = deadline {
-            if d == SimDuration::ZERO {
-                return Err(EngineError::InvalidFault {
-                    reason: "migration deadline must be positive".to_string(),
-                });
-            }
-        }
-        let Some(vmrt) = self.vms.get(vm.0 as usize) else {
-            return Err(EngineError::UnknownVm { vm: vm.0 });
-        };
-        if dest >= self.cfg.nodes {
-            return Err(EngineError::NodeOutOfRange {
-                node: dest,
-                nodes: self.cfg.nodes,
-            });
-        }
-        if dest == vmrt.vm.host {
-            return Err(EngineError::SameHost {
-                vm: vm.0,
-                node: dest,
-            });
-        }
-        // A VM may migrate again once its previous job is terminal
-        // (stepped-horizon workflows re-schedule between runs); two
-        // *live* jobs for one VM are a duplicate.
-        if self
-            .jobs
-            .iter()
-            .any(|j| j.vm == vm.0 && !j.status.is_terminal())
-        {
-            return Err(EngineError::DuplicateMigration { vm: vm.0 });
-        }
-        if self.cfg.postcopy_memory
-            && matches!(vmrt.strategy, StrategyKind::Precopy | StrategyKind::Mirror)
-        {
-            return Err(EngineError::IncompatibleMemoryStrategy {
-                strategy: vmrt.strategy,
-            });
-        }
-        let job = JobId(self.jobs.len() as u32);
-        self.jobs.push(JobRt {
-            vm: vm.0,
-            dest,
-            requested_at: at,
-            status: MigrationStatus::Queued,
-            deadline,
-            failure: None,
-            archived: None,
-        });
-        self.queue.schedule(at, Ev::MigrationStart(job.0));
-        if let Some(d) = deadline {
-            self.queue.schedule(at + d, Ev::JobDeadline(job.0));
-        }
-        Ok(job)
     }
 
     /// Schedule a fault to fire at `at`. Faults are first-class events:
@@ -486,153 +406,6 @@ impl Engine {
         control
     }
 
-    // ---------------- job bookkeeping ----------------
-
-    /// Handles of all scheduled migration jobs, in scheduling order.
-    pub fn job_ids(&self) -> Vec<JobId> {
-        (0..self.jobs.len() as u32).map(JobId).collect()
-    }
-
-    /// The job scheduled for `vm`, if any.
-    pub fn job_for_vm(&self, vm: VmId) -> Option<JobId> {
-        // Latest wins: the live MigrationRt always belongs to the most
-        // recently scheduled job of the VM.
-        self.jobs
-            .iter()
-            .rposition(|j| j.vm == vm.0)
-            .map(|i| JobId(i as u32))
-    }
-
-    /// Current lifecycle status of a job.
-    pub fn job_status(&self, job: JobId) -> Option<MigrationStatus> {
-        self.jobs.get(job.0 as usize).map(|j| j.status)
-    }
-
-    /// Point-in-time progress snapshot of a job (queryable mid-run from
-    /// an observer callback or between stepped horizons).
-    pub fn job_progress(&self, job: JobId) -> Option<MigrationProgress> {
-        let j = self.jobs.get(job.0 as usize)?;
-        let vm = &self.vms[j.vm as usize];
-        let chunk = self.cfg.chunk_size;
-        let mut p = MigrationProgress {
-            job: job.0,
-            vm: j.vm,
-            source: vm.vm.host,
-            dest: j.dest,
-            strategy: vm.strategy,
-            status: j.status,
-            mem_rounds: 0,
-            chunks_pushed: 0,
-            chunks_pulled: 0,
-            bytes_pushed: 0,
-            bytes_pulled: 0,
-            chunks_remaining: 0,
-            eta: None,
-            downtime: SimDuration::ZERO,
-            failure: j.failure.clone(),
-        };
-        let latest_for_vm = self
-            .jobs
-            .iter()
-            .rposition(|x| x.vm == j.vm)
-            .map(|i| i as u32 == job.0)
-            .unwrap_or(false);
-        let mig_slot = j.archived.as_ref().or(if latest_for_vm {
-            vm.migration.as_ref()
-        } else {
-            None
-        });
-        if let Some(mig) = mig_slot {
-            p.source = mig.source;
-            p.mem_rounds = mig.mem_rounds;
-            p.chunks_pushed = mig.pushed_chunks;
-            p.chunks_pulled = mig.pulled_chunks;
-            p.bytes_pushed = mig.pushed_chunks * chunk;
-            p.bytes_pulled = mig.pulled_chunks * chunk;
-            p.chunks_remaining = mig.chunks_remaining();
-            p.downtime = mig.downtime_so_far(&vm.vm);
-            if !j.status.is_terminal() {
-                let bytes_left = p.chunks_remaining * chunk;
-                p.eta = Some(lsm_simcore::units::transfer_time(
-                    bytes_left,
-                    self.cfg.migration_speed_cap(),
-                ));
-            }
-        }
-        Some(p)
-    }
-
-    pub(crate) fn set_job_status(&mut self, job: JobId, status: MigrationStatus) {
-        let j = &mut self.jobs[job.0 as usize];
-        if j.status == status {
-            return;
-        }
-        j.status = status;
-        self.job_events.push(JobEvent {
-            job,
-            at: self.now,
-            kind: JobEventKind::Status(status),
-        });
-    }
-
-    /// Park a job at `Failed` with a runtime rejection (the
-    /// schedule-time validations catch these earlier, so hitting this
-    /// means the engine was driven below the checked API).
-    pub(crate) fn fail_job(&mut self, job: JobId, err: EngineError) {
-        self.fail_job_reason(
-            job,
-            FailureReason::Rejected {
-                error: err.to_string(),
-            },
-        );
-    }
-
-    /// Park a job at `Failed` with a typed reason (fault/deadline path).
-    pub(crate) fn fail_job_reason(&mut self, job: JobId, reason: FailureReason) {
-        self.jobs[job.0 as usize].failure = Some(reason);
-        self.set_job_status(job, MigrationStatus::Failed);
-    }
-
-    /// Record a migration milestone on the VM's timeline and notify the
-    /// observer.
-    pub(crate) fn note_milestone(&mut self, v: VmIdx, milestone: Milestone) {
-        let now = self.now;
-        if let Some(mig) = self.vms[v as usize].migration.as_mut() {
-            mig.timeline.push((now, milestone));
-        }
-        if let Some(i) = self.jobs.iter().rposition(|j| j.vm == v) {
-            self.job_events.push(JobEvent {
-                job: JobId(i as u32),
-                at: now,
-                kind: JobEventKind::Milestone(milestone),
-            });
-        }
-    }
-
-    /// Move a VM's *finished* migration state out of the per-VM slot and
-    /// into the job it belongs to, so a later job (`current`) can reuse
-    /// the slot.
-    pub(crate) fn archive_vm_migration(&mut self, v: VmIdx, current: JobId) {
-        let prev = self
-            .jobs
-            .iter()
-            .enumerate()
-            .rev()
-            .find(|(i, j)| *i as u32 != current.0 && j.vm == v && j.archived.is_none())
-            .map(|(i, _)| i);
-        if let Some(prev) = prev {
-            self.jobs[prev].archived = self.vms[v as usize].migration.take();
-        }
-    }
-
-    pub(crate) fn job(&self, job: JobId) -> &JobRt {
-        &self.jobs[job.0 as usize]
-    }
-
-    pub(crate) fn jobs(&self) -> &[JobRt] {
-        &self.jobs
-    }
-
     /// Number of events processed so far (diagnostics).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -699,7 +472,10 @@ impl Engine {
                 }
             }
             Ev::VmStart(v) => self.vm_start(v),
-            Ev::MigrationStart(job) => migration::start_migration(self, JobId(job)),
+            Ev::MigrationStart(job) => orchestrator::job_ready(self, JobId(job)),
+            Ev::RequestReady(req) => orchestrator::intent_ready(self, req),
+            Ev::PlannerDrain => orchestrator::planner_drain(self),
+            Ev::TelemetryTick => orchestrator::telemetry_tick(self),
             Ev::OpTimer(op) => self.op_part_done(op),
             Ev::ConvergencePoll(v) => migration::convergence_poll(self, v),
             Ev::KupdateTick(v) => self.kupdate_tick(v),

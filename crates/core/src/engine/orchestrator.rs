@@ -1,0 +1,891 @@
+//! The engine's orchestration layer: migration jobs, the planner-drained
+//! request queue, the admission cap, and per-VM I/O telemetry.
+//!
+//! Every migration — explicitly scheduled or expanded from a high-level
+//! [`RequestIntent`] (evacuate a node, rebalance a group) — flows
+//! through one queue: when a request's time arrives it becomes *ready*,
+//! and ready requests are admitted in FIFO order while the configured
+//! [`OrchestratorConfig::max_concurrent`] cap has room. At admission the
+//! configured [`Planner`] decides destination placement (for intents)
+//! and, for adaptive requests, which transfer scheme to use — reading
+//! windowed per-VM write/read rates sampled on a telemetry tick. Every
+//! decision is recorded as a [`PlannerDecision`] and lands in the
+//! [`RunReport`](super::report::RunReport).
+//!
+//! The historical `Engine::schedule_migration` semantics are exactly
+//! this machinery under the default configuration ([`FixedPlanner`],
+//! unlimited cap): a ready job admits immediately, in the same event,
+//! with its requested destination and the VM's configured strategy.
+//!
+//! [`FixedPlanner`]: crate::planner::FixedPlanner
+
+use super::job::{FailureReason, JobId, MigrationProgress, MigrationStatus};
+use super::migration;
+use super::report::Milestone;
+use super::types::{Ev, MigrationRt, VmIdx};
+use super::Engine;
+use crate::error::EngineError;
+use crate::planner::{
+    NodeView, OrchestratorConfig, PlanContext, Planner, PlannerDecision, PlannerKind,
+    RequestIntent, VmView,
+};
+use crate::policy::StrategyKind;
+use lsm_hypervisor::VmId;
+use lsm_simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One scheduled migration job (the orchestration-level view; the
+/// event-level state lives in [`MigrationRt`] once the job starts).
+pub(crate) struct JobRt {
+    pub vm: VmIdx,
+    pub dest: u32,
+    pub requested_at: SimTime,
+    pub status: MigrationStatus,
+    /// Abort-by deadline measured from `requested_at`, if configured.
+    pub deadline: Option<SimDuration>,
+    /// Failure reason, once `status == Failed`.
+    pub failure: Option<FailureReason>,
+    /// The finished event-level state, moved out of the VM slot when a
+    /// later migration of the same VM starts (a VM can migrate again
+    /// once its previous job is terminal).
+    pub archived: Option<MigrationRt>,
+    /// The planner resolves this job's strategy from telemetry at
+    /// admission instead of using the VM's configured one.
+    pub adaptive: bool,
+    /// True while the job occupies an admission slot (admission →
+    /// terminal status); keeps the slot release exactly-once.
+    pub counted: bool,
+    /// True while admission is deferred by the concurrency cap
+    /// (planner-queued, as opposed to engine-queued before its start
+    /// time). Cleared at admission.
+    pub held: bool,
+    /// The orchestrator request this job realizes, if it was expanded
+    /// from an intent.
+    pub origin: Option<u32>,
+}
+
+/// A job status change or milestone awaiting observer delivery.
+pub(crate) struct JobEvent {
+    pub job: JobId,
+    pub at: SimTime,
+    pub kind: JobEventKind,
+}
+
+pub(crate) enum JobEventKind {
+    Status(MigrationStatus),
+    Milestone(Milestone),
+}
+
+/// A submitted high-level request (evacuation / rebalance intent).
+pub(crate) struct IntentRt {
+    pub intent: RequestIntent,
+    pub at: SimTime,
+}
+
+/// One entry of the ready queue, admitted in FIFO order under the cap.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ReadyItem {
+    /// An explicitly scheduled job whose start time arrived.
+    Job(JobId),
+    /// An intent to expand into per-VM steps.
+    Intent(u32),
+    /// One VM's migration expanded from intent `origin`.
+    IntentVm { vm: VmIdx, origin: u32 },
+}
+
+/// Orchestration runtime state (one per [`Engine`]).
+pub(crate) struct OrchestratorRt {
+    pub cfg: OrchestratorConfig,
+    pub planner: Box<dyn Planner>,
+    /// Submitted intents, by request id.
+    pub intents: Vec<IntentRt>,
+    /// Requests whose time arrived, awaiting admission.
+    pub ready: VecDeque<ReadyItem>,
+    /// Jobs currently counted against the admission cap.
+    pub active: u32,
+    /// Planner decisions in admission order (reported).
+    pub decisions: Vec<PlannerDecision>,
+    /// A `PlannerDrain` event is already queued.
+    pub drain_scheduled: bool,
+    /// A `TelemetryTick` event is already queued.
+    pub telemetry_armed: bool,
+}
+
+impl Default for OrchestratorRt {
+    fn default() -> Self {
+        let cfg = OrchestratorConfig::default();
+        let planner = cfg.build_planner();
+        OrchestratorRt {
+            cfg,
+            planner,
+            intents: Vec::new(),
+            ready: VecDeque::new(),
+            active: 0,
+            decisions: Vec::new(),
+            drain_scheduled: false,
+            telemetry_armed: false,
+        }
+    }
+}
+
+impl OrchestratorRt {
+    fn cap_reached(&self) -> bool {
+        match self.cfg.max_concurrent {
+            Some(cap) => self.active >= cap,
+            None => false,
+        }
+    }
+}
+
+// ---------------- public scheduling API (on Engine) ----------------
+
+impl Engine {
+    /// Replace the orchestrator configuration (admission cap, planner,
+    /// telemetry window). Must happen before any migration or request
+    /// is scheduled, so every decision in a run is made by one planner.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an unusable configuration or
+    /// when work is already queued.
+    pub fn configure_orchestrator(&mut self, cfg: OrchestratorConfig) -> Result<(), EngineError> {
+        cfg.validate()?;
+        if !self.jobs.is_empty() || !self.orch.intents.is_empty() {
+            return Err(EngineError::InvalidRequest {
+                reason: "configure the orchestrator before scheduling migrations or requests"
+                    .to_string(),
+            });
+        }
+        self.orch.planner = cfg.build_planner();
+        self.orch.cfg = cfg;
+        if self.orch.cfg.planner == PlannerKind::Adaptive {
+            arm_telemetry(self);
+        }
+        Ok(())
+    }
+
+    /// The configured admission cap (`None`: unlimited).
+    pub fn admission_cap(&self) -> Option<u32> {
+        self.orch.cfg.max_concurrent
+    }
+
+    /// Jobs currently holding an admission slot (admitted, not yet
+    /// terminal).
+    pub fn active_migrations(&self) -> u32 {
+        self.orch.active
+    }
+
+    /// Name of the configured planner.
+    pub fn planner_name(&self) -> &'static str {
+        self.orch.planner.name()
+    }
+
+    /// Planner decisions made so far, in admission order.
+    pub fn planner_decisions(&self) -> &[PlannerDecision] {
+        &self.orch.decisions
+    }
+
+    /// Windowed `(write, read)` I/O rates of a VM, bytes/second — the
+    /// telemetry the adaptive planner reads. Zero until the first
+    /// telemetry tick (armed by the adaptive planner) has sampled.
+    pub fn vm_io_rates(&self, vm: u32) -> Option<(f64, f64)> {
+        self.vms
+            .get(vm as usize)
+            .map(|v| (v.tele_write_rate, v.tele_read_rate))
+    }
+
+    /// Submit a high-level orchestration request to fire at `at`; the
+    /// planner expands it into concrete migrations (placing each VM and
+    /// choosing its strategy) under the admission cap. Returns the
+    /// request id recorded on the resulting [`PlannerDecision`]s.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an out-of-range node or an
+    /// unknown workload group.
+    pub fn submit_request(
+        &mut self,
+        at: SimTime,
+        intent: RequestIntent,
+    ) -> Result<u32, EngineError> {
+        let fail = |reason: String| Err(EngineError::InvalidRequest { reason });
+        match intent {
+            RequestIntent::Evacuate { node } => {
+                if node >= self.cfg.nodes {
+                    return fail(format!(
+                        "evacuation targets node {node}, but the cluster has {} nodes",
+                        self.cfg.nodes
+                    ));
+                }
+            }
+            RequestIntent::Rebalance { group } => {
+                if group as usize >= self.groups.len() {
+                    return fail(format!(
+                        "rebalance targets group {group}, but only {} are deployed",
+                        self.groups.len()
+                    ));
+                }
+            }
+        }
+        let id = self.orch.intents.len() as u32;
+        self.orch.intents.push(IntentRt { intent, at });
+        self.queue.schedule(at, Ev::RequestReady(id));
+        if self.orch.cfg.planner == PlannerKind::Adaptive {
+            arm_telemetry(self);
+        }
+        Ok(id)
+    }
+
+    /// Schedule a live migration of `vm` to `dest` at time `at` and
+    /// return its job handle. The job enters the orchestrator's request
+    /// queue: it starts at `at` if the admission cap has room, or as
+    /// soon after as a slot frees (visible as a planner-queued job).
+    ///
+    /// # Errors
+    /// * [`EngineError::UnknownVm`] — `vm` was not deployed here.
+    /// * [`EngineError::NodeOutOfRange`] — `dest` is not in the cluster.
+    /// * [`EngineError::SameHost`] — `dest` is the VM's current host.
+    /// * [`EngineError::DuplicateMigration`] — the VM already has a job.
+    /// * [`EngineError::IncompatibleMemoryStrategy`] — pre-copy-style
+    ///   storage transfer under post-copy memory migration.
+    pub fn schedule_migration(
+        &mut self,
+        vm: VmId,
+        dest: u32,
+        at: SimTime,
+    ) -> Result<JobId, EngineError> {
+        self.schedule_migration_inner(vm, dest, at, None, false)
+    }
+
+    /// Like [`Engine::schedule_migration`], additionally arming an abort
+    /// deadline: if the job is not terminal `deadline` after `at`, it is
+    /// aborted — in-flight transfers are cancelled, a paused guest
+    /// resumes at the source, and the job parks at
+    /// [`MigrationStatus::Failed`] with
+    /// [`FailureReason::DeadlineExceeded`] and its partial progress
+    /// preserved in the report. The deadline clock starts at `at` even
+    /// if admission is deferred by the concurrency cap.
+    ///
+    /// # Errors
+    /// Everything [`Engine::schedule_migration`] reports, plus
+    /// [`EngineError::InvalidFault`] for a non-positive deadline.
+    pub fn schedule_migration_with_deadline(
+        &mut self,
+        vm: VmId,
+        dest: u32,
+        at: SimTime,
+        deadline: Option<SimDuration>,
+    ) -> Result<JobId, EngineError> {
+        self.schedule_migration_inner(vm, dest, at, deadline, false)
+    }
+
+    /// Like [`Engine::schedule_migration`], but leaving the transfer
+    /// strategy open: the adaptive planner resolves it from the VM's
+    /// windowed write intensity at admission time (the paper's §4
+    /// decision, operationalized).
+    ///
+    /// # Errors
+    /// Everything [`Engine::schedule_migration`] reports, plus
+    /// [`EngineError::InvalidRequest`] unless the orchestrator runs the
+    /// adaptive planner.
+    pub fn schedule_migration_adaptive(
+        &mut self,
+        vm: VmId,
+        dest: u32,
+        at: SimTime,
+        deadline: Option<SimDuration>,
+    ) -> Result<JobId, EngineError> {
+        if self.orch.cfg.planner != PlannerKind::Adaptive {
+            return Err(EngineError::InvalidRequest {
+                reason: "adaptive strategy selection requires planner = \"adaptive\" \
+                         in the orchestrator configuration"
+                    .to_string(),
+            });
+        }
+        self.schedule_migration_inner(vm, dest, at, deadline, true)
+    }
+
+    fn schedule_migration_inner(
+        &mut self,
+        vm: VmId,
+        dest: u32,
+        at: SimTime,
+        deadline: Option<SimDuration>,
+        adaptive: bool,
+    ) -> Result<JobId, EngineError> {
+        if let Some(d) = deadline {
+            if d == SimDuration::ZERO {
+                return Err(EngineError::InvalidFault {
+                    reason: "migration deadline must be positive".to_string(),
+                });
+            }
+        }
+        let Some(vmrt) = self.vms.get(vm.0 as usize) else {
+            return Err(EngineError::UnknownVm { vm: vm.0 });
+        };
+        if dest >= self.cfg.nodes {
+            return Err(EngineError::NodeOutOfRange {
+                node: dest,
+                nodes: self.cfg.nodes,
+            });
+        }
+        if dest == vmrt.vm.host {
+            return Err(EngineError::SameHost {
+                vm: vm.0,
+                node: dest,
+            });
+        }
+        // A VM may migrate again once its previous job is terminal
+        // (stepped-horizon workflows re-schedule between runs); two
+        // *live* jobs for one VM are a duplicate.
+        if self
+            .jobs
+            .iter()
+            .any(|j| j.vm == vm.0 && !j.status.is_terminal())
+        {
+            return Err(EngineError::DuplicateMigration { vm: vm.0 });
+        }
+        if self.cfg.postcopy_memory
+            && !adaptive
+            && matches!(vmrt.strategy, StrategyKind::Precopy | StrategyKind::Mirror)
+        {
+            return Err(EngineError::IncompatibleMemoryStrategy {
+                strategy: vmrt.strategy,
+            });
+        }
+        let job = JobId(self.jobs.len() as u32);
+        self.jobs.push(JobRt {
+            vm: vm.0,
+            dest,
+            requested_at: at,
+            status: MigrationStatus::Queued,
+            deadline,
+            failure: None,
+            archived: None,
+            adaptive,
+            counted: false,
+            held: false,
+            origin: None,
+        });
+        self.queue.schedule(at, Ev::MigrationStart(job.0));
+        if let Some(d) = deadline {
+            self.queue.schedule(at + d, Ev::JobDeadline(job.0));
+        }
+        if adaptive {
+            // The sampling loop disarms itself once all work drains; an
+            // adaptive job scheduled after that (stepped-horizon
+            // re-scheduling) must restart it, or its strategy would be
+            // chosen from rates frozen at the earlier drain.
+            arm_telemetry(self);
+        }
+        Ok(job)
+    }
+
+    // ---------------- job bookkeeping ----------------
+
+    /// Handles of all scheduled migration jobs, in scheduling order.
+    pub fn job_ids(&self) -> Vec<JobId> {
+        (0..self.jobs.len() as u32).map(JobId).collect()
+    }
+
+    /// The job scheduled for `vm`, if any.
+    pub fn job_for_vm(&self, vm: VmId) -> Option<JobId> {
+        // Latest wins: the live MigrationRt always belongs to the most
+        // recently scheduled job of the VM.
+        self.jobs
+            .iter()
+            .rposition(|j| j.vm == vm.0)
+            .map(|i| JobId(i as u32))
+    }
+
+    /// Current lifecycle status of a job.
+    pub fn job_status(&self, job: JobId) -> Option<MigrationStatus> {
+        self.jobs.get(job.0 as usize).map(|j| j.status)
+    }
+
+    /// The job's destination node (for placement audits).
+    pub fn job_dest(&self, job: JobId) -> Option<u32> {
+        self.jobs.get(job.0 as usize).map(|j| j.dest)
+    }
+
+    /// Point-in-time progress snapshot of a job (queryable mid-run from
+    /// an observer callback or between stepped horizons).
+    pub fn job_progress(&self, job: JobId) -> Option<MigrationProgress> {
+        let j = self.jobs.get(job.0 as usize)?;
+        let vm = &self.vms[j.vm as usize];
+        let chunk = self.cfg.chunk_size;
+        let mut p = MigrationProgress {
+            job: job.0,
+            vm: j.vm,
+            source: vm.vm.host,
+            dest: j.dest,
+            strategy: vm.strategy,
+            status: j.status,
+            planner_held: j.held,
+            mem_rounds: 0,
+            chunks_pushed: 0,
+            chunks_pulled: 0,
+            bytes_pushed: 0,
+            bytes_pulled: 0,
+            chunks_remaining: 0,
+            eta: None,
+            downtime: SimDuration::ZERO,
+            failure: j.failure.clone(),
+        };
+        let latest_for_vm = self
+            .jobs
+            .iter()
+            .rposition(|x| x.vm == j.vm)
+            .map(|i| i as u32 == job.0)
+            .unwrap_or(false);
+        let mig_slot = j.archived.as_ref().or(if latest_for_vm {
+            vm.migration.as_ref()
+        } else {
+            None
+        });
+        if let Some(mig) = mig_slot {
+            p.source = mig.source;
+            p.mem_rounds = mig.mem_rounds;
+            p.chunks_pushed = mig.pushed_chunks;
+            p.chunks_pulled = mig.pulled_chunks;
+            p.bytes_pushed = mig.pushed_chunks * chunk;
+            p.bytes_pulled = mig.pulled_chunks * chunk;
+            p.chunks_remaining = mig.chunks_remaining();
+            p.downtime = mig.downtime_so_far(&vm.vm);
+            if !j.status.is_terminal() {
+                let bytes_left = p.chunks_remaining * chunk;
+                p.eta = Some(lsm_simcore::units::transfer_time(
+                    bytes_left,
+                    self.cfg.migration_speed_cap(),
+                ));
+            }
+        }
+        Some(p)
+    }
+
+    pub(crate) fn set_job_status(&mut self, job: JobId, status: MigrationStatus) {
+        let j = &mut self.jobs[job.0 as usize];
+        if j.status == status {
+            return;
+        }
+        j.status = status;
+        self.job_events.push(JobEvent {
+            job,
+            at: self.now,
+            kind: JobEventKind::Status(status),
+        });
+        if status.is_terminal() {
+            job_terminal(self, job);
+        }
+    }
+
+    /// Park a job at `Failed` with a runtime rejection (the
+    /// schedule-time validations catch these earlier, so hitting this
+    /// means the engine was driven below the checked API).
+    pub(crate) fn fail_job(&mut self, job: JobId, err: EngineError) {
+        self.fail_job_reason(
+            job,
+            FailureReason::Rejected {
+                error: err.to_string(),
+            },
+        );
+    }
+
+    /// Park a job at `Failed` with a typed reason (fault/deadline path).
+    pub(crate) fn fail_job_reason(&mut self, job: JobId, reason: FailureReason) {
+        self.jobs[job.0 as usize].failure = Some(reason);
+        self.set_job_status(job, MigrationStatus::Failed);
+    }
+
+    /// Record a migration milestone on the VM's timeline and notify the
+    /// observer.
+    pub(crate) fn note_milestone(&mut self, v: VmIdx, milestone: Milestone) {
+        let now = self.now;
+        if let Some(mig) = self.vms[v as usize].migration.as_mut() {
+            mig.timeline.push((now, milestone));
+        }
+        if let Some(i) = self.jobs.iter().rposition(|j| j.vm == v) {
+            self.job_events.push(JobEvent {
+                job: JobId(i as u32),
+                at: now,
+                kind: JobEventKind::Milestone(milestone),
+            });
+        }
+    }
+
+    /// Move a VM's *finished* migration state out of the per-VM slot and
+    /// into the job it belongs to, so a later job (`current`) can reuse
+    /// the slot.
+    pub(crate) fn archive_vm_migration(&mut self, v: VmIdx, current: JobId) {
+        let prev = self
+            .jobs
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(i, j)| *i as u32 != current.0 && j.vm == v && j.archived.is_none())
+            .map(|(i, _)| i);
+        if let Some(prev) = prev {
+            self.jobs[prev].archived = self.vms[v as usize].migration.take();
+        }
+    }
+
+    pub(crate) fn job(&self, job: JobId) -> &JobRt {
+        &self.jobs[job.0 as usize]
+    }
+
+    pub(crate) fn jobs(&self) -> &[JobRt] {
+        &self.jobs
+    }
+
+    // ---------------- testing hooks (invariant detection) ----------------
+
+    /// Overwrite the admission cap **without** re-checking already
+    /// admitted jobs. Exists so `lsm-check`'s admission-cap law can be
+    /// detection-tested against a deliberately broken state; never call
+    /// it from production code.
+    #[doc(hidden)]
+    pub fn testing_force_admission_cap(&mut self, cap: Option<u32>) {
+        self.orch.cfg.max_concurrent = cap;
+    }
+
+    /// Overwrite a job's destination **without** validation (placement
+    /// law detection testing).
+    #[doc(hidden)]
+    pub fn testing_force_job_dest(&mut self, job: JobId, dest: u32) {
+        self.jobs[job.0 as usize].dest = dest;
+    }
+}
+
+// ---------------- event handlers ----------------
+
+/// `Ev::MigrationStart`: an explicitly scheduled job's time arrived —
+/// it becomes ready and the queue drains.
+pub(crate) fn job_ready(eng: &mut Engine, job: JobId) {
+    if eng.jobs[job.0 as usize].status.is_terminal() {
+        // Failed before it began (e.g. the destination crashed while
+        // the job was still queued).
+        return;
+    }
+    eng.orch.ready.push_back(ReadyItem::Job(job));
+    drain(eng);
+}
+
+/// `Ev::RequestReady`: a submitted intent's time arrived.
+pub(crate) fn intent_ready(eng: &mut Engine, req: u32) {
+    eng.orch.ready.push_back(ReadyItem::Intent(req));
+    drain(eng);
+}
+
+/// `Ev::PlannerDrain`: a slot freed earlier in this instant; retry
+/// admission.
+pub(crate) fn planner_drain(eng: &mut Engine) {
+    eng.orch.drain_scheduled = false;
+    drain(eng);
+}
+
+/// A job reached a terminal status: release its admission slot (if it
+/// held one) and schedule a drain so a held request can take it.
+fn job_terminal(eng: &mut Engine, job: JobId) {
+    let j = &mut eng.jobs[job.0 as usize];
+    // A terminal job is no longer deferred, whatever ends it (a
+    // deadline or crash can kill a job while it is still planner-held).
+    j.held = false;
+    if !j.counted {
+        return;
+    }
+    j.counted = false;
+    debug_assert!(eng.orch.active > 0, "admission slot underflow");
+    eng.orch.active -= 1;
+    if !eng.orch.ready.is_empty() && !eng.orch.drain_scheduled {
+        eng.orch.drain_scheduled = true;
+        let now = eng.now;
+        eng.queue.schedule(now, Ev::PlannerDrain);
+    }
+}
+
+/// Admit ready requests in FIFO order while the cap has room; mark the
+/// rest planner-held (once, with a visible milestone).
+fn drain(eng: &mut Engine) {
+    loop {
+        if eng.orch.ready.is_empty() {
+            return;
+        }
+        if eng.orch.cap_reached() {
+            mark_held(eng);
+            return;
+        }
+        match eng.orch.ready.pop_front().expect("checked non-empty") {
+            ReadyItem::Job(job) => admit_job(eng, job),
+            ReadyItem::Intent(req) => expand_intent(eng, req),
+            ReadyItem::IntentVm { vm, origin } => admit_intent_vm(eng, vm, origin),
+        }
+    }
+}
+
+/// Flag every ready-but-deferred explicit job as planner-held and emit
+/// a [`Milestone::PlannerDeferred`] the first time (so `--progress`
+/// runs show planner-queued jobs distinctly from engine-queued ones).
+fn mark_held(eng: &mut Engine) {
+    let now = eng.now;
+    let newly_held: Vec<JobId> = eng
+        .orch
+        .ready
+        .iter()
+        .filter_map(|item| match item {
+            ReadyItem::Job(job) if !eng.jobs[job.0 as usize].held => Some(*job),
+            _ => None,
+        })
+        .collect();
+    for job in newly_held {
+        eng.jobs[job.0 as usize].held = true;
+        eng.job_events.push(JobEvent {
+            job,
+            at: now,
+            kind: JobEventKind::Milestone(Milestone::PlannerDeferred),
+        });
+    }
+}
+
+/// Admit one explicitly scheduled job: resolve its strategy (adaptive
+/// jobs ask the planner), record the decision, take a slot, start.
+fn admit_job(eng: &mut Engine, job: JobId) {
+    let (v, dest, adaptive, ready_at, origin) = {
+        let j = &eng.jobs[job.0 as usize];
+        if j.status.is_terminal() {
+            return; // died while held (crash fault, deadline)
+        }
+        (j.vm, j.dest, j.adaptive, j.requested_at, j.origin)
+    };
+    let strategy = if adaptive {
+        choose_strategy(eng, v)
+    } else {
+        eng.vms[v as usize].strategy
+    };
+    admit(eng, job, v, dest, strategy, ready_at, origin);
+}
+
+/// Admit one intent-expanded VM migration: the planner places it, the
+/// strategy is resolved (adaptive planner: from telemetry), a job is
+/// created on the spot and started.
+fn admit_intent_vm(eng: &mut Engine, v: VmIdx, origin: u32) {
+    let vmrt = &eng.vms[v as usize];
+    if vmrt.crashed {
+        return; // died while the request was queued
+    }
+    if eng
+        .jobs
+        .iter()
+        .any(|j| j.vm == v && !j.status.is_terminal())
+    {
+        return; // already migrating (e.g. an explicit job raced the intent)
+    }
+    let host = vmrt.vm.host;
+    let intent = eng.orch.intents[origin as usize].intent;
+    if let RequestIntent::Evacuate { node } = intent {
+        if host != node {
+            return; // already off the drained node
+        }
+    }
+    let Some(dest) = place(eng, v) else {
+        return; // no healthy destination exists right now
+    };
+    if let RequestIntent::Rebalance { .. } = intent {
+        // Move only while it improves the spread: the host must carry
+        // more than the target even after the move.
+        let views = node_views(eng);
+        if views[host as usize].load <= views[dest as usize].load + 1 {
+            return;
+        }
+    }
+    let strategy = choose_strategy(eng, v);
+    let now = eng.now;
+    let job = JobId(eng.jobs.len() as u32);
+    eng.jobs.push(JobRt {
+        vm: v,
+        dest,
+        requested_at: now,
+        status: MigrationStatus::Queued,
+        deadline: None,
+        failure: None,
+        archived: None,
+        adaptive: eng.orch.cfg.planner == PlannerKind::Adaptive,
+        counted: false,
+        held: false,
+        origin: Some(origin),
+    });
+    // "Deferred" is measured against the intent's fire time: a step
+    // admitted in a later instant than its request waited for a slot.
+    let ready_at = eng.orch.intents[origin as usize].at;
+    admit(eng, job, v, dest, strategy, ready_at, Some(origin));
+}
+
+/// Shared admission tail: install the strategy, record the decision,
+/// take the slot, and hand the job to the migration machinery (which
+/// may immediately fail it — failing releases the slot again).
+fn admit(
+    eng: &mut Engine,
+    job: JobId,
+    v: VmIdx,
+    dest: u32,
+    strategy: StrategyKind,
+    ready_at: SimTime,
+    origin: Option<u32>,
+) {
+    let now = eng.now;
+    eng.vms[v as usize].strategy = strategy;
+    let decision = PlannerDecision {
+        request: origin,
+        job: job.0,
+        vm: v,
+        source: eng.vms[v as usize].vm.host,
+        dest,
+        strategy,
+        decided_at: now,
+        deferred: now > ready_at,
+        planner: eng.orch.planner.name(),
+    };
+    eng.orch.decisions.push(decision);
+    {
+        let j = &mut eng.jobs[job.0 as usize];
+        j.held = false;
+        j.counted = true;
+    }
+    eng.orch.active += 1;
+    migration::start_migration(eng, job);
+}
+
+/// Expand an intent into per-VM steps, pushed at the *front* of the
+/// ready queue in ascending VM order so the intent completes before
+/// later requests are considered.
+fn expand_intent(eng: &mut Engine, req: u32) {
+    let intent = eng.orch.intents[req as usize].intent;
+    let vms: Vec<VmIdx> = match intent {
+        RequestIntent::Evacuate { node } => (0..eng.vms.len() as u32)
+            .filter(|&v| {
+                let vm = &eng.vms[v as usize];
+                !vm.crashed && vm.vm.host == node
+            })
+            .collect(),
+        RequestIntent::Rebalance { group } => eng.groups[group as usize].members.clone(),
+    };
+    for &vm in vms.iter().rev() {
+        eng.orch
+            .ready
+            .push_front(ReadyItem::IntentVm { vm, origin: req });
+    }
+}
+
+// ---------------- planner context ----------------
+
+/// Per-node load. A live VM counts at its host — unless an admitted
+/// migration is moving it, in which case it counts at the migration's
+/// destination (it is leaving the source and arriving there), so
+/// back-to-back placements see the loads earlier decisions created.
+fn node_views(eng: &Engine) -> Vec<NodeView> {
+    let mut moving_to = vec![None::<u32>; eng.vms.len()];
+    for j in &eng.jobs {
+        if j.counted && !j.status.is_terminal() {
+            moving_to[j.vm as usize] = Some(j.dest);
+        }
+    }
+    let mut load = vec![0u32; eng.cfg.nodes as usize];
+    for (v, vm) in eng.vms.iter().enumerate() {
+        if !vm.crashed {
+            let at = moving_to[v].unwrap_or(vm.vm.host);
+            load[at as usize] += 1;
+        }
+    }
+    (0..eng.cfg.nodes)
+        .map(|n| NodeView {
+            node: n,
+            crashed: eng.nodes[n as usize].crashed,
+            load: load[n as usize],
+        })
+        .collect()
+}
+
+fn vm_view(eng: &Engine, v: VmIdx) -> VmView {
+    let vm = &eng.vms[v as usize];
+    VmView {
+        vm: v,
+        host: vm.vm.host,
+        strategy: vm.strategy,
+        write_rate: vm.tele_write_rate,
+        read_rate: vm.tele_read_rate,
+    }
+}
+
+fn place(eng: &mut Engine, v: VmIdx) -> Option<u32> {
+    let nodes = node_views(eng);
+    let ctx = PlanContext {
+        now: eng.now,
+        nic_bw: eng.cfg.nic_bw,
+        postcopy_memory: eng.cfg.postcopy_memory,
+        cfg: &eng.orch.cfg,
+        nodes: &nodes,
+        vm: vm_view(eng, v),
+    };
+    eng.orch.planner.place(&ctx)
+}
+
+fn choose_strategy(eng: &mut Engine, v: VmIdx) -> StrategyKind {
+    // A shared-FS guest has no local storage to transfer; no planner
+    // may move its I/O path mid-run.
+    if eng.vms[v as usize].strategy == StrategyKind::SharedFs {
+        return StrategyKind::SharedFs;
+    }
+    let nodes = node_views(eng);
+    let ctx = PlanContext {
+        now: eng.now,
+        nic_bw: eng.cfg.nic_bw,
+        postcopy_memory: eng.cfg.postcopy_memory,
+        cfg: &eng.orch.cfg,
+        nodes: &nodes,
+        vm: vm_view(eng, v),
+    };
+    eng.orch.planner.choose_strategy(&ctx)
+}
+
+// ---------------- telemetry ----------------
+
+/// Schedule the next telemetry tick (idempotent while one is pending).
+fn arm_telemetry(eng: &mut Engine) {
+    if eng.orch.telemetry_armed {
+        return;
+    }
+    eng.orch.telemetry_armed = true;
+    let window = SimDuration::from_secs_f64(eng.orch.cfg.telemetry_window_secs);
+    let at = eng.now + window;
+    eng.queue.schedule(at, Ev::TelemetryTick);
+}
+
+/// `Ev::TelemetryTick`: sample every VM's cumulative I/O counters into
+/// windowed rates, then re-arm while orchestration work remains.
+pub(crate) fn telemetry_tick(eng: &mut Engine) {
+    eng.orch.telemetry_armed = false;
+    let now = eng.now;
+    for vm in &mut eng.vms {
+        let dt = now.since(vm.tele_last_at).as_secs_f64();
+        if dt <= 0.0 {
+            continue;
+        }
+        vm.tele_write_rate = (vm.write_bytes - vm.tele_last_write) as f64 / dt;
+        vm.tele_read_rate = (vm.read_bytes - vm.tele_last_read) as f64 / dt;
+        vm.tele_last_at = now;
+        vm.tele_last_write = vm.write_bytes;
+        vm.tele_last_read = vm.read_bytes;
+    }
+    let work_remains = !eng.orch.ready.is_empty()
+        || eng.jobs.iter().any(|j| !j.status.is_terminal())
+        || has_unexpanded_intents(eng);
+    if work_remains {
+        arm_telemetry(eng);
+    }
+}
+
+/// Whether any submitted intent has not fired yet. (Fired intents left
+/// the queue; their residue is ordinary jobs, covered above.)
+fn has_unexpanded_intents(eng: &Engine) -> bool {
+    // An intent is pending exactly while its RequestReady event is in
+    // the queue; approximating by "its fire time is in the future" is
+    // deterministic and errs toward one extra tick.
+    eng.orch.intents.iter().any(|i| i.at > eng.now)
+}

@@ -14,6 +14,9 @@ use serde::Serialize;
 /// migration-time number.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
 pub enum Milestone {
+    /// The job's start time arrived but the orchestrator's admission
+    /// cap was full: the job is planner-queued until a slot frees.
+    PlannerDeferred,
     /// MIGRATION_REQUEST received; push phase armed, memory rounds begin.
     Requested,
     /// An iterative memory round started (the value is the round index).
@@ -131,6 +134,10 @@ pub struct RunReport {
     pub migrations: Vec<MigrationRecord>,
     /// One record per VM.
     pub vms: Vec<VmRecord>,
+    /// Planner decisions in admission order: chosen destination and
+    /// strategy per admitted request, with deferral marks (the
+    /// orchestration layer's audit trail; `lsm run --json` exposes it).
+    pub planner: Vec<crate::planner::PlannerDecision>,
     /// Bytes delivered per traffic class.
     pub traffic: Vec<(TrafficTag, u64)>,
     /// Total network traffic (all classes).
@@ -306,6 +313,7 @@ pub(crate) fn build(eng: &Engine) -> RunReport {
         horizon,
         migrations,
         vms,
+        planner: eng.planner_decisions().to_vec(),
         total_traffic: eng.net().total_delivered(),
         migration_traffic: eng.net().migration_delivered(),
         traffic,

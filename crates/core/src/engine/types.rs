@@ -1,8 +1,6 @@
 //! Internal runtime state of the engine: events, per-node and per-VM
 //! bookkeeping, in-flight operation contexts.
 
-use super::job::{JobId, MigrationStatus};
-use super::report::Milestone;
 use crate::policy::{HybridDest, HybridSource, MirrorSource, PrecopySource, StrategyKind};
 use lsm_blockdev::{ChunkId, ChunkSet, PageCache, VirtualDisk};
 use lsm_hypervisor::{PrecopyMemory, Vm};
@@ -33,8 +31,18 @@ pub(crate) enum Ev {
     CtlArrive(u32, Ctl),
     /// Start the workload of a VM.
     VmStart(VmIdx),
-    /// Kick off a scheduled migration job (the index into `Engine::jobs`).
+    /// A scheduled migration job's start time arrived: the job becomes
+    /// ready for planner admission (the index into `Engine::jobs`).
     MigrationStart(u32),
+    /// A submitted orchestration request's time arrived (the index into
+    /// the orchestrator's intent table).
+    RequestReady(u32),
+    /// An admission slot freed earlier in this instant; the orchestrator
+    /// re-drains its ready queue.
+    PlannerDrain,
+    /// Periodic per-VM I/O telemetry sampling (windowed write/read rates
+    /// for the adaptive planner).
+    TelemetryTick,
     /// Generic per-operation timer (PVFS op overhead).
     OpTimer(OpId),
     /// Re-check a gated stop-and-copy (block stream convergence poll).
@@ -247,35 +255,6 @@ pub(crate) struct ComputeRt {
     pub ev: Option<lsm_simcore::EventId>,
 }
 
-/// One scheduled migration job (the orchestration-level view; the
-/// event-level state lives in [`MigrationRt`] once the job starts).
-pub(crate) struct JobRt {
-    pub vm: VmIdx,
-    pub dest: u32,
-    pub requested_at: SimTime,
-    pub status: MigrationStatus,
-    /// Abort-by deadline measured from `requested_at`, if configured.
-    pub deadline: Option<SimDuration>,
-    /// Failure reason, once `status == Failed`.
-    pub failure: Option<crate::engine::job::FailureReason>,
-    /// The finished event-level state, moved out of the VM slot when a
-    /// later migration of the same VM starts (a VM can migrate again
-    /// once its previous job is terminal).
-    pub archived: Option<MigrationRt>,
-}
-
-/// A job status change or milestone awaiting observer delivery.
-pub(crate) struct JobEvent {
-    pub job: JobId,
-    pub at: SimTime,
-    pub kind: JobEventKind,
-}
-
-pub(crate) enum JobEventKind {
-    Status(MigrationStatus),
-    Milestone(Milestone),
-}
-
 /// Migration lifecycle phase.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum MigPhase {
@@ -449,6 +428,16 @@ pub(crate) struct VmRt {
     /// File offset base for PVFS planning (vm-disk offsets are used
     /// directly as file offsets).
     pub pvfs_file_base: u64,
+    /// I/O telemetry snapshot: when the last sample was taken, and the
+    /// cumulative counters at that instant (the orchestrator's
+    /// telemetry tick turns the deltas into windowed rates).
+    pub tele_last_at: SimTime,
+    pub tele_last_write: u64,
+    pub tele_last_read: u64,
+    /// Windowed write/read rates, bytes/second (what the adaptive
+    /// planner reads; zero until the first tick).
+    pub tele_write_rate: f64,
+    pub tele_read_rate: f64,
 }
 
 /// Workload group (barrier domain) state.

@@ -106,6 +106,14 @@ pub enum EngineError {
         /// Human-readable reason.
         reason: String,
     },
+    /// An orchestration request is unusable (evacuating a node outside
+    /// the cluster, rebalancing an unknown group, adaptive strategy
+    /// without the adaptive planner, an unusable orchestrator
+    /// configuration, ...).
+    InvalidRequest {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -168,6 +176,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidFault { reason } => {
                 write!(f, "invalid fault: {reason}")
+            }
+            EngineError::InvalidRequest { reason } => {
+                write!(f, "invalid orchestration request: {reason}")
             }
         }
     }

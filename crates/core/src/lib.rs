@@ -20,6 +20,12 @@
 //!   policies. One [`engine::Engine`] per experiment run.
 //! * [`config`] — cluster parameters, defaulting to the paper's
 //!   Grid'5000 *graphene* testbed numbers.
+//! * [`planner`] — the cluster orchestration layer: a pluggable
+//!   [`planner::Planner`] decides placement, admission order (under a
+//!   configurable max-concurrent cap) and — for adaptive requests —
+//!   which transfer scheme to use from live per-VM I/O telemetry;
+//!   high-level intents ([`planner::RequestIntent`]) express node
+//!   evacuation and group rebalancing.
 //!
 //! ```
 //! use lsm_core::builder::SimulationBuilder;
@@ -58,6 +64,7 @@ pub mod builder;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod planner;
 pub mod policy;
 
 pub use builder::{Simulation, SimulationBuilder, VmHandle};
@@ -68,4 +75,8 @@ pub use engine::{
 };
 pub use error::EngineError;
 pub use lsm_netsim::NodeId;
+pub use planner::{
+    AdaptivePlanner, FixedPlanner, OrchestratorConfig, Planner, PlannerDecision, PlannerKind,
+    RequestIntent,
+};
 pub use policy::StrategyKind;

@@ -1,0 +1,31 @@
+//! The trivial planner: what the engine did before the orchestration
+//! layer existed, expressed as a [`Planner`].
+
+use super::{PlanContext, Planner};
+use crate::policy::StrategyKind;
+
+/// Admits requests exactly as given: explicit migrations keep their
+/// destination and strategy; intent-driven placements take the first
+/// healthy node other than the VM's host (lowest index — deterministic,
+/// load-blind). The historical `Engine::schedule_migration` behaviour
+/// is this planner under an unlimited admission cap.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FixedPlanner;
+
+impl Planner for FixedPlanner {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn place(&mut self, ctx: &PlanContext<'_>) -> Option<u32> {
+        ctx.nodes
+            .iter()
+            .find(|n| !n.crashed && n.node != ctx.vm.host)
+            .map(|n| n.node)
+    }
+
+    fn choose_strategy(&mut self, ctx: &PlanContext<'_>) -> StrategyKind {
+        // Never second-guesses the configured strategy.
+        ctx.vm.strategy
+    }
+}

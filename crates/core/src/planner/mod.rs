@@ -1,0 +1,497 @@
+//! Cluster-level migration planning: the pluggable layer between
+//! scenario intent and the engine.
+//!
+//! The paper's central claim is that the *right* storage-transfer scheme
+//! depends on the workload's I/O intensity (§4, §5.2). At cluster scale
+//! a second decision dominates end-to-end cost: *when* and *how many*
+//! migrations run concurrently (Baruchi et al., Voorsluys et al.). This
+//! module makes both decisions first-class:
+//!
+//! * A [`Planner`] receives migration requests — explicit jobs as well
+//!   as high-level intents like "evacuate node N" or "rebalance group G"
+//!   ([`RequestIntent`]) — together with live per-VM I/O telemetry
+//!   (windowed write/read rates sampled from the workload hooks) and
+//!   per-node load, and decides **destination placement** and, for
+//!   adaptive requests, **which of the transfer schemes to use**.
+//! * The engine's orchestration layer (`engine::orchestrator`) drains a
+//!   request queue through the planner under a configurable
+//!   max-concurrent-migrations **admission cap**
+//!   ([`OrchestratorConfig::max_concurrent`]): ready requests past the
+//!   cap are held (visible as planner-queued jobs) and admitted in
+//!   deterministic FIFO order as slots free up.
+//!
+//! Two planners ship: [`FixedPlanner`] — the trivial planner that
+//! reproduces the engine's historical explicit scheduling — and the
+//! load-aware [`AdaptivePlanner`], which places onto the least-loaded
+//! healthy node and operationalizes the paper's §4 decision rule by
+//! picking the transfer scheme from observed write intensity.
+//!
+//! Everything here is deterministic: no randomness, ties broken by the
+//! lowest index, so two runs of the same scenario produce bit-identical
+//! reports (the property `lsm/tests/determinism.rs` pins).
+
+mod adaptive;
+mod fixed;
+
+pub use adaptive::AdaptivePlanner;
+pub use fixed::FixedPlanner;
+
+use crate::policy::StrategyKind;
+use lsm_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A high-level migration intent submitted to the orchestrator.
+///
+/// Unlike an explicit migration (one VM, one destination), an intent
+/// names an *outcome*; the planner expands it into concrete per-VM
+/// migrations — choosing destinations and, under the adaptive planner,
+/// strategies — when the request becomes ready.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RequestIntent {
+    /// Migrate every live VM off `node` (decommission / maintenance).
+    /// VMs are evacuated in ascending index order; each placement is
+    /// decided when the VM is admitted, so later placements see the
+    /// load the earlier ones created.
+    Evacuate {
+        /// The node to drain.
+        node: u32,
+    },
+    /// Even out the placement of workload group `group`: members whose
+    /// host carries a load exceeding the best alternative by more than
+    /// one VM are migrated to the planner's placement choice.
+    Rebalance {
+        /// The workload-group index (deployment order).
+        group: u32,
+    },
+}
+
+impl RequestIntent {
+    /// Short human-readable label for logs and CLI output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestIntent::Evacuate { .. } => "evacuate",
+            RequestIntent::Rebalance { .. } => "rebalance",
+        }
+    }
+}
+
+/// Which planner the orchestrator uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlannerKind {
+    /// [`FixedPlanner`]: explicit requests as given, first-healthy-node
+    /// placement for intents, never overrides strategies.
+    Fixed,
+    /// [`AdaptivePlanner`]: least-loaded placement, write-intensity
+    /// strategy selection for adaptive requests.
+    Adaptive,
+}
+
+impl PlannerKind {
+    /// Lowercase name (the serialized form).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlannerKind::Fixed => "fixed",
+            PlannerKind::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl serde::Serialize for PlannerKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_string())
+    }
+}
+
+impl serde::Deserialize for PlannerKind {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Str(s) if s.eq_ignore_ascii_case("fixed") => Ok(PlannerKind::Fixed),
+            serde::Value::Str(s) if s.eq_ignore_ascii_case("adaptive") => Ok(PlannerKind::Adaptive),
+            serde::Value::Str(s) => Err(serde::Error::new(format!(
+                "unknown planner `{s}` (expected `fixed` or `adaptive`)"
+            ))),
+            other => Err(serde::Error::new(format!(
+                "expected planner name string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Orchestrator tuning: the admission cap, the placement/strategy
+/// planner, and the telemetry window the adaptive decision reads.
+///
+/// Deserialization fills absent fields from
+/// [`OrchestratorConfig::default`], so a scenario's `[orchestrator]`
+/// section only spells out the knobs it changes (like `[cluster]`).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct OrchestratorConfig {
+    /// Maximum concurrently running migrations (`None` — the default —
+    /// admits everything immediately, reproducing the engine's
+    /// historical behaviour). Ready requests beyond the cap are held in
+    /// FIFO order and admitted as running jobs reach a terminal status.
+    pub max_concurrent: Option<u32>,
+    /// Which planner decides placement and (for adaptive requests)
+    /// strategy.
+    pub planner: PlannerKind,
+    /// Width of the per-VM I/O telemetry sampling window, seconds. The
+    /// windowed write/read rates the adaptive rule reads cover the last
+    /// full window before the decision instant.
+    pub telemetry_window_secs: f64,
+    /// Adaptive rule: windowed write rate at or above this fraction of
+    /// the NIC bandwidth selects `Hybrid` (the paper's scheme — built
+    /// for I/O-intensive writers).
+    pub adaptive_write_hi_frac: f64,
+    /// Adaptive rule: write rates in `[lo, hi)` of the NIC select
+    /// `Mirror` (synchronous mirroring is cheap for light writers).
+    pub adaptive_write_lo_frac: f64,
+    /// Adaptive rule: with negligible writes, a windowed read rate at or
+    /// above this fraction of the NIC selects `Postcopy` (pull-on-read);
+    /// below it the VM is idle and gets `Precopy` (the block stream
+    /// converges immediately).
+    pub adaptive_read_hi_frac: f64,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            max_concurrent: None,
+            planner: PlannerKind::Fixed,
+            telemetry_window_secs: 5.0,
+            adaptive_write_hi_frac: 0.05,
+            adaptive_write_lo_frac: 0.005,
+            adaptive_read_hi_frac: 0.05,
+        }
+    }
+}
+
+/// The single authoritative field list for the hand-written
+/// `Deserialize` impl (same pattern as `ClusterConfig`): the strict
+/// unknown-key check and the per-field constructor are both generated
+/// from it, so they cannot drift apart.
+macro_rules! orchestrator_config_fields {
+    ($action:ident) => {
+        $action!(
+            max_concurrent,
+            planner,
+            telemetry_window_secs,
+            adaptive_write_hi_frac,
+            adaptive_write_lo_frac,
+            adaptive_read_hi_frac
+        )
+    };
+}
+
+impl serde::Deserialize for OrchestratorConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Map(_)) {
+            return Err(serde::Error::new(format!(
+                "expected map for OrchestratorConfig, found {}",
+                v.kind()
+            )));
+        }
+        macro_rules! names {
+            ($($f:ident),*) => { &[$(stringify!($f)),*] };
+        }
+        const KNOWN: &[&str] = orchestrator_config_fields!(names);
+        if let serde::Value::Map(entries) = v {
+            for (k, _) in entries {
+                if !KNOWN.contains(&k.as_str()) {
+                    return Err(serde::Error::new(format!(
+                        "unknown OrchestratorConfig field `{k}` (expected one of: {})",
+                        KNOWN.join(", ")
+                    )));
+                }
+            }
+        }
+        let d = OrchestratorConfig::default();
+        macro_rules! build {
+            ($($f:ident),*) => {
+                OrchestratorConfig {
+                    $($f: match v.get(stringify!($f)) {
+                        Some(x) => serde::Deserialize::from_value(x)
+                            .map_err(|e| e.ctx(concat!("OrchestratorConfig.", stringify!($f))))?,
+                        None => d.$f,
+                    }),*
+                }
+            };
+        }
+        Ok(orchestrator_config_fields!(build))
+    }
+}
+
+impl OrchestratorConfig {
+    /// Check every field for usability (the orchestration analogue of
+    /// [`crate::config::ClusterConfig::validate`]).
+    pub fn validate(&self) -> Result<(), crate::error::EngineError> {
+        let fail = |reason: String| Err(crate::error::EngineError::InvalidRequest { reason });
+        if self.max_concurrent == Some(0) {
+            return fail("max_concurrent of 0 would never admit a migration".to_string());
+        }
+        if !(self.telemetry_window_secs.is_finite() && self.telemetry_window_secs > 0.0) {
+            return fail(format!(
+                "telemetry_window_secs must be positive and finite, got {}",
+                self.telemetry_window_secs
+            ));
+        }
+        for (name, x) in [
+            ("adaptive_write_hi_frac", self.adaptive_write_hi_frac),
+            ("adaptive_write_lo_frac", self.adaptive_write_lo_frac),
+            ("adaptive_read_hi_frac", self.adaptive_read_hi_frac),
+        ] {
+            if !(x.is_finite() && x > 0.0) {
+                return fail(format!("{name} must be positive and finite, got {x}"));
+            }
+        }
+        if self.adaptive_write_lo_frac > self.adaptive_write_hi_frac {
+            return fail(format!(
+                "adaptive_write_lo_frac {} exceeds adaptive_write_hi_frac {}",
+                self.adaptive_write_lo_frac, self.adaptive_write_hi_frac
+            ));
+        }
+        Ok(())
+    }
+
+    /// Build the configured planner.
+    pub fn build_planner(&self) -> Box<dyn Planner> {
+        match self.planner {
+            PlannerKind::Fixed => Box::new(FixedPlanner),
+            PlannerKind::Adaptive => Box::new(AdaptivePlanner),
+        }
+    }
+}
+
+/// Per-node load view handed to planners.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeView {
+    /// The node index.
+    pub node: u32,
+    /// True once a crash fault took the node down.
+    pub crashed: bool,
+    /// Live VMs resident on the node plus admitted inbound migrations
+    /// still heading there.
+    pub load: u32,
+}
+
+/// The VM a planner is deciding about.
+#[derive(Clone, Copy, Debug)]
+pub struct VmView {
+    /// The VM index.
+    pub vm: u32,
+    /// Its current host node.
+    pub host: u32,
+    /// Its configured storage transfer strategy.
+    pub strategy: StrategyKind,
+    /// Windowed write rate, bytes/second (0 until the first telemetry
+    /// sample lands).
+    pub write_rate: f64,
+    /// Windowed read rate, bytes/second.
+    pub read_rate: f64,
+}
+
+/// Everything a planner may consult for one decision. Views only — a
+/// planner cannot mutate the engine, which keeps decisions replayable.
+#[derive(Debug)]
+pub struct PlanContext<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Per-NIC bandwidth, bytes/second (the adaptive thresholds are
+    /// fractions of it).
+    pub nic_bw: f64,
+    /// True when the cluster migrates memory with post-copy: pre-copy
+    /// style storage strategies (`Precopy`, `Mirror`) cannot run there,
+    /// and an adaptive rule must not select them.
+    pub postcopy_memory: bool,
+    /// The orchestrator configuration (thresholds).
+    pub cfg: &'a OrchestratorConfig,
+    /// Per-node load, indexed by node.
+    pub nodes: &'a [NodeView],
+    /// The VM being placed / strategized.
+    pub vm: VmView,
+}
+
+/// A pluggable migration planner: placement for intent-driven
+/// migrations and strategy resolution for adaptive requests.
+///
+/// Implementations must be deterministic (no clocks, no RNG; break ties
+/// on the lowest index) — planner decisions are part of the engine's
+/// bit-identical replay contract.
+pub trait Planner: std::fmt::Debug + Send {
+    /// The planner's name, recorded on every [`PlannerDecision`].
+    fn name(&self) -> &'static str;
+
+    /// Choose a destination for `ctx.vm` (evacuation/rebalance
+    /// placement). Must return a healthy node different from the VM's
+    /// host, or `None` when no such node exists.
+    fn place(&mut self, ctx: &PlanContext<'_>) -> Option<u32>;
+
+    /// Resolve the transfer strategy for an adaptive request on
+    /// `ctx.vm`.
+    fn choose_strategy(&mut self, ctx: &PlanContext<'_>) -> StrategyKind;
+}
+
+/// One planner decision, recorded in scheduling order and serialized
+/// into [`crate::engine::RunReport`] (`lsm run --json` exposes it).
+#[derive(Clone, Debug, Serialize)]
+pub struct PlannerDecision {
+    /// The orchestrator request this decision realizes (`None` for an
+    /// explicitly scheduled migration).
+    pub request: Option<u32>,
+    /// The migration job the decision admitted.
+    pub job: u32,
+    /// The migrating VM.
+    pub vm: u32,
+    /// Source node at the decision instant.
+    pub source: u32,
+    /// Chosen destination node.
+    pub dest: u32,
+    /// Chosen transfer strategy.
+    pub strategy: StrategyKind,
+    /// When the decision was made (the admission instant).
+    pub decided_at: SimTime,
+    /// True when admission was deferred past the request's ready time
+    /// by the concurrency cap.
+    pub deferred: bool,
+    /// Name of the deciding planner.
+    pub planner: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(cfg: &'a OrchestratorConfig, nodes: &'a [NodeView], vm: VmView) -> PlanContext<'a> {
+        PlanContext {
+            now: SimTime::ZERO,
+            nic_bw: 100.0e6,
+            postcopy_memory: false,
+            cfg,
+            nodes,
+            vm,
+        }
+    }
+
+    fn nodes(loads: &[(bool, u32)]) -> Vec<NodeView> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, &(crashed, load))| NodeView {
+                node: i as u32,
+                crashed,
+                load,
+            })
+            .collect()
+    }
+
+    fn vm_on(host: u32, write_rate: f64, read_rate: f64) -> VmView {
+        VmView {
+            vm: 0,
+            host,
+            strategy: StrategyKind::Hybrid,
+            write_rate,
+            read_rate,
+        }
+    }
+
+    #[test]
+    fn fixed_planner_places_first_healthy_other_node() {
+        let cfg = OrchestratorConfig::default();
+        let nv = nodes(&[(false, 3), (true, 0), (false, 9), (false, 0)]);
+        let mut p = FixedPlanner;
+        assert_eq!(p.place(&ctx(&cfg, &nv, vm_on(0, 0.0, 0.0))), Some(2));
+        assert_eq!(p.place(&ctx(&cfg, &nv, vm_on(2, 0.0, 0.0))), Some(0));
+        // Only crashed alternatives: no placement.
+        let nv = nodes(&[(false, 0), (true, 0)]);
+        assert_eq!(p.place(&ctx(&cfg, &nv, vm_on(0, 0.0, 0.0))), None);
+    }
+
+    #[test]
+    fn adaptive_planner_places_least_loaded() {
+        let cfg = OrchestratorConfig::default();
+        let nv = nodes(&[(false, 1), (false, 4), (true, 0), (false, 1)]);
+        let mut p = AdaptivePlanner;
+        // Tie between 0 and 3 at load 1, but 0 is the host: pick 3.
+        assert_eq!(p.place(&ctx(&cfg, &nv, vm_on(0, 0.0, 0.0))), Some(3));
+        // From node 1, the tie breaks to the lowest index.
+        assert_eq!(p.place(&ctx(&cfg, &nv, vm_on(1, 0.0, 0.0))), Some(0));
+    }
+
+    #[test]
+    fn adaptive_rule_covers_the_intensity_spectrum() {
+        let cfg = OrchestratorConfig::default();
+        let nv = nodes(&[(false, 0), (false, 0)]);
+        let mut p = AdaptivePlanner;
+        let nic = 100.0e6;
+        // Write-heavy: the paper's hybrid scheme.
+        let c = ctx(&cfg, &nv, vm_on(0, 0.10 * nic, 0.0));
+        assert_eq!(p.choose_strategy(&c), StrategyKind::Hybrid);
+        // Light writer: synchronous mirroring.
+        let c = ctx(&cfg, &nv, vm_on(0, 0.01 * nic, 0.0));
+        assert_eq!(p.choose_strategy(&c), StrategyKind::Mirror);
+        // Read-mostly: storage post-copy.
+        let c = ctx(&cfg, &nv, vm_on(0, 0.0, 0.2 * nic));
+        assert_eq!(p.choose_strategy(&c), StrategyKind::Postcopy);
+        // Idle: incremental block pre-copy converges immediately.
+        let c = ctx(&cfg, &nv, vm_on(0, 0.0, 0.0));
+        assert_eq!(p.choose_strategy(&c), StrategyKind::Precopy);
+    }
+
+    #[test]
+    fn adaptive_rule_respects_postcopy_memory() {
+        let cfg = OrchestratorConfig::default();
+        let nv = nodes(&[(false, 0), (false, 0)]);
+        let mut p = AdaptivePlanner;
+        for (w, r) in [(0.0, 0.0), (0.01, 0.0), (0.10, 0.0), (0.0, 0.2)] {
+            let mut c = ctx(&cfg, &nv, vm_on(0, w * 100.0e6, r * 100.0e6));
+            c.postcopy_memory = true;
+            let s = p.choose_strategy(&c);
+            assert!(
+                matches!(s, StrategyKind::Hybrid | StrategyKind::Postcopy),
+                "post-copy memory admits no pre-copy storage stream, got {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let ok = OrchestratorConfig::default();
+        assert!(ok.validate().is_ok());
+        let bad = OrchestratorConfig {
+            max_concurrent: Some(0),
+            ..ok.clone()
+        };
+        assert!(bad.validate().is_err());
+        let bad = OrchestratorConfig {
+            telemetry_window_secs: 0.0,
+            ..ok.clone()
+        };
+        assert!(bad.validate().is_err());
+        let bad = OrchestratorConfig {
+            adaptive_write_lo_frac: 0.5,
+            adaptive_write_hi_frac: 0.1,
+            ..ok
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn orchestrator_config_partial_deserialization() {
+        let v = serde::Value::Map(vec![
+            ("max_concurrent".to_string(), serde::Value::U64(4)),
+            (
+                "planner".to_string(),
+                serde::Value::Str("Adaptive".to_string()),
+            ),
+        ]);
+        let cfg = <OrchestratorConfig as serde::Deserialize>::from_value(&v).expect("partial");
+        assert_eq!(cfg.max_concurrent, Some(4));
+        assert_eq!(cfg.planner, PlannerKind::Adaptive);
+        assert_eq!(
+            cfg.telemetry_window_secs,
+            OrchestratorConfig::default().telemetry_window_secs
+        );
+        let bad = serde::Value::Map(vec![("max_conc".to_string(), serde::Value::U64(4))]);
+        let err = <OrchestratorConfig as serde::Deserialize>::from_value(&bad).unwrap_err();
+        assert!(err.to_string().contains("unknown OrchestratorConfig field"));
+    }
+}

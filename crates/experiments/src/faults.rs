@@ -59,6 +59,7 @@ pub fn dest_crash_spec() -> ScenarioSpec {
     ScenarioSpec {
         name: Some("fault-dest-crash".to_string()),
         cluster: Some(ClusterConfig::small_test()),
+        orchestrator: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, hotspot())],
@@ -67,7 +68,9 @@ pub fn dest_crash_spec() -> ScenarioSpec {
             dest: 1,
             at_secs: 1.0,
             deadline_secs: None,
+            adaptive: None,
         }],
+        requests: None,
         faults: Some(vec![crate::scenario::FaultSpec {
             at_secs: 1.5,
             kind: FaultKind::NodeCrash { node: 1 },
@@ -84,6 +87,7 @@ pub fn degraded_link_spec() -> ScenarioSpec {
     ScenarioSpec {
         name: Some("fault-degraded-link".to_string()),
         cluster: Some(ClusterConfig::small_test()),
+        orchestrator: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, writer())],
@@ -92,7 +96,9 @@ pub fn degraded_link_spec() -> ScenarioSpec {
             dest: 1,
             at_secs: 1.0,
             deadline_secs: None,
+            adaptive: None,
         }],
+        requests: None,
         faults: Some(vec![
             crate::scenario::FaultSpec {
                 at_secs: 1.2,
@@ -121,6 +127,7 @@ pub fn deadline_spec() -> ScenarioSpec {
     ScenarioSpec {
         name: Some("fault-deadline".to_string()),
         cluster: Some(ClusterConfig::small_test()),
+        orchestrator: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, hotspot())],
@@ -129,7 +136,9 @@ pub fn deadline_spec() -> ScenarioSpec {
             dest: 1,
             at_secs: 1.0,
             deadline_secs: Some(0.4),
+            adaptive: None,
         }],
+        requests: None,
         faults: None,
         horizon_secs: 120.0,
     }

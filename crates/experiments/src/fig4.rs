@@ -100,15 +100,18 @@ pub fn scenario(p: &Fig4Params, strategy: StrategyKind, k: u32) -> ScenarioSpec 
             dest: p.sources + i,
             at_secs: p.migrate_at,
             deadline_secs: None,
+            adaptive: None,
         })
         .collect();
     ScenarioSpec {
         name: Some(format!("fig4-{}-k{k}", strategy.label())),
         cluster: Some(ClusterConfig::graphene(nodes)),
+        orchestrator: None,
         vms,
         grouped: false,
         strategy,
         migrations,
+        requests: None,
         faults: None,
         horizon_secs: p.horizon,
     }

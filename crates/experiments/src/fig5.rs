@@ -118,6 +118,7 @@ pub fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec 
             dest: p.ranks + i,
             at_secs: p.interval * (i + 1) as f64,
             deadline_secs: None,
+            adaptive: None,
         })
         .collect();
     let mut cluster = ClusterConfig::graphene(nodes);
@@ -130,10 +131,12 @@ pub fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec 
     ScenarioSpec {
         name: Some(format!("fig5-{}-n{n}", strategy.label())),
         cluster: Some(cluster),
+        orchestrator: None,
         vms,
         grouped: true,
         strategy,
         migrations,
+        requests: None,
         faults: None,
         horizon_secs: p.horizon,
     }

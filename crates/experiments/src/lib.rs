@@ -17,6 +17,10 @@
 //!   (destination crashes, link-degradation windows, transfer stalls,
 //!   deadlines), with the recovery contract pinned by tests and the
 //!   `lsm-check` invariant observer.
+//! * [`orchestration`] — cluster-orchestration scenarios: node
+//!   evacuation under an admission cap, and a 64-VM fleet whose
+//!   migrations pick their transfer scheme adaptively from live write
+//!   intensity (the paper's §4 decision at fleet scale).
 //!
 //! Every experiment offers two scales: [`Scale::Paper`] reproduces the
 //! paper's parameters; [`Scale::Quick`] is a minutes→seconds reduction
@@ -35,6 +39,7 @@ pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod orchestration;
 pub mod scenario;
 pub mod stress;
 pub mod sweep;

@@ -14,6 +14,7 @@ use lsm_core::builder::{Simulation, SimulationBuilder};
 use lsm_core::config::ClusterConfig;
 use lsm_core::engine::Observer;
 use lsm_core::error::EngineError;
+use lsm_core::planner::{OrchestratorConfig, RequestIntent};
 use lsm_core::policy::StrategyKind;
 use lsm_core::{FaultKind, NodeId, RunReport};
 use lsm_simcore::time::{SimDuration, SimTime};
@@ -59,6 +60,11 @@ pub struct MigrationSpec {
     /// [`lsm_core::FailureReason::DeadlineExceeded`] and partial
     /// progress in the report.
     pub deadline_secs: Option<f64>,
+    /// `Some(true)`: leave the transfer strategy open — the adaptive
+    /// planner resolves it from the VM's windowed write intensity at
+    /// admission (requires `planner = "adaptive"` in `[orchestrator]`).
+    /// `None`/`Some(false)`: the VM's configured strategy, as before.
+    pub adaptive: Option<bool>,
 }
 
 /// One timed fault in a scenario's fault plan.
@@ -74,6 +80,17 @@ pub struct FaultSpec {
     pub kind: FaultKind,
 }
 
+/// One timed orchestration request in a scenario's `[[requests]]` plan:
+/// a high-level intent (node evacuation, group rebalance) the planner
+/// expands into concrete migrations at run time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RequestSpec {
+    /// When the request fires, seconds.
+    pub at_secs: f64,
+    /// What is being asked for (see [`RequestIntent`]).
+    pub intent: RequestIntent,
+}
+
 /// A declarative description of one simulation run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -81,6 +98,10 @@ pub struct ScenarioSpec {
     pub name: Option<String>,
     /// Cluster parameters (`None` → the paper's 8-node graphene cluster).
     pub cluster: Option<ClusterConfig>,
+    /// Orchestration layer: admission cap, planner, telemetry window
+    /// (`None` → fixed planner, unlimited cap — the historical
+    /// behaviour). Serialized as an `[orchestrator]` section.
+    pub orchestrator: Option<OrchestratorConfig>,
     /// Default storage transfer strategy for every VM.
     pub strategy: StrategyKind,
     /// If true, the VMs form one barrier-synchronized workload group
@@ -90,6 +111,10 @@ pub struct ScenarioSpec {
     pub vms: Vec<VmSpec>,
     /// The migrations.
     pub migrations: Vec<MigrationSpec>,
+    /// High-level orchestration requests (`[[requests]]`): evacuation
+    /// and rebalance intents the planner expands at run time (`None`
+    /// keeps the key out of serialized documents entirely).
+    pub requests: Option<Vec<RequestSpec>>,
     /// Timed fault plan (`None` — the common, fault-free case — keeps
     /// the key out of serialized documents entirely).
     pub faults: Option<Vec<FaultSpec>>,
@@ -108,6 +133,7 @@ impl ScenarioSpec {
         ScenarioSpec {
             name: None,
             cluster: Some(ClusterConfig::graphene(8)),
+            orchestrator: None,
             strategy,
             grouped: false,
             vms: vec![VmSpec::new(0, workload)],
@@ -116,7 +142,9 @@ impl ScenarioSpec {
                 dest: 1,
                 at_secs: migrate_at,
                 deadline_secs: None,
+                adaptive: None,
             }],
+            requests: None,
             faults: None,
             horizon_secs: 1200.0,
         }
@@ -156,9 +184,28 @@ impl ScenarioSpec {
         self
     }
 
+    /// Builder: replace the orchestrator configuration.
+    pub fn with_orchestrator(mut self, cfg: OrchestratorConfig) -> Self {
+        self.orchestrator = Some(cfg);
+        self
+    }
+
+    /// Builder: append one orchestration request to the plan.
+    pub fn with_request(mut self, at_secs: f64, intent: RequestIntent) -> Self {
+        self.requests
+            .get_or_insert_with(Vec::new)
+            .push(RequestSpec { at_secs, intent });
+        self
+    }
+
     /// The fault plan (empty slice when none is declared).
     pub fn fault_plan(&self) -> &[FaultSpec] {
         self.faults.as_deref().unwrap_or(&[])
+    }
+
+    /// The orchestration request plan (empty slice when none declared).
+    pub fn request_plan(&self) -> &[RequestSpec] {
+        self.requests.as_deref().unwrap_or(&[])
     }
 
     /// The effective cluster configuration.
@@ -212,6 +259,9 @@ fn secs(what: &str, value: f64) -> Result<SimTime, EngineError> {
 /// step the horizon themselves.
 pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
     let mut b = SimulationBuilder::new(spec.cluster_config())?;
+    if let Some(orch) = &spec.orchestrator {
+        b.with_orchestrator(orch.clone())?;
+    }
     let mut handles = Vec::with_capacity(spec.vms.len());
     if spec.grouped {
         // A group runs under one strategy and one start time; silently
@@ -257,9 +307,10 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
             return Err(EngineError::UnknownVm { vm: m.vm });
         };
         let at = secs("migration", m.at_secs)?;
-        match m.deadline_secs {
-            None => b.migrate(vm, NodeId(m.dest), at)?,
-            Some(d) => {
+        let adaptive = m.adaptive.unwrap_or(false);
+        match (adaptive, m.deadline_secs) {
+            (false, None) => b.migrate(vm, NodeId(m.dest), at)?,
+            (false, Some(d)) => {
                 let d = secs("migration deadline", d)?;
                 b.migrate_with_deadline(
                     vm,
@@ -268,7 +319,20 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
                     SimDuration::from_secs_f64(d.as_secs_f64()),
                 )?
             }
+            (true, None) => b.migrate_adaptive(vm, NodeId(m.dest), at)?,
+            (true, Some(d)) => {
+                let d = secs("migration deadline", d)?;
+                b.migrate_adaptive_with_deadline(
+                    vm,
+                    NodeId(m.dest),
+                    at,
+                    SimDuration::from_secs_f64(d.as_secs_f64()),
+                )?
+            }
         };
+    }
+    for r in spec.request_plan() {
+        b.request(secs("request", r.at_secs)?, r.intent)?;
     }
     for f in spec.fault_plan() {
         b.inject_fault(secs("fault", f.at_secs)?, f.kind)?;
@@ -385,6 +449,7 @@ mod tests {
             dest: 2,
             at_secs: 2.0,
             deadline_secs: None,
+            adaptive: None,
         });
         let r = run_scenario(&spec).expect("valid scenario");
         assert_eq!(r.migrations.len(), 2);

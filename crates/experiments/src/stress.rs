@@ -102,15 +102,18 @@ impl StressParams {
                 dest: (i % self.nodes + self.nodes / 2) % self.nodes,
                 at_secs: self.migrate_start + self.stagger * i as f64,
                 deadline_secs: None,
+                adaptive: None,
             })
             .collect();
         ScenarioSpec {
             name: Some(name.to_string()),
             cluster: Some(ClusterConfig::graphene(self.nodes)),
+            orchestrator: None,
             strategy: StrategyKind::Hybrid,
             grouped: false,
             vms,
             migrations,
+            requests: None,
             faults: None,
             horizon_secs: self.horizon,
         }

@@ -91,6 +91,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             ScenarioSpec {
                 name: None,
                 cluster: Some(ClusterConfig::small_test()),
+                orchestrator: None,
                 strategy,
                 grouped: false,
                 vms: vms
@@ -105,8 +106,10 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                         dest,
                         at_secs: at,
                         deadline_secs: deadline,
+                        adaptive: None,
                     })
                     .collect(),
+                requests: None,
                 faults: if faults.is_empty() {
                     None
                 } else {
@@ -199,6 +202,7 @@ fn fixed_fault_cocktail_is_clean() {
     let spec = ScenarioSpec {
         name: Some("cocktail".into()),
         cluster: Some(ClusterConfig::small_test()),
+        orchestrator: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![
@@ -230,14 +234,17 @@ fn fixed_fault_cocktail_is_clean() {
                 dest: 1,
                 at_secs: 1.0,
                 deadline_secs: None,
+                adaptive: None,
             },
             MigrationSpec {
                 vm: 1,
                 dest: 3,
                 at_secs: 1.5,
                 deadline_secs: Some(0.8),
+                adaptive: None,
             },
         ],
+        requests: None,
         faults: Some(vec![
             FaultSpec {
                 at_secs: 1.1,

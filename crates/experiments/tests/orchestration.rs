@@ -1,0 +1,130 @@
+//! Acceptance tests for the shipped orchestration scenarios: the
+//! checked-in files match their producers byte for byte, the evacuation
+//! completes invariant-clean under the admission cap, and the adaptive
+//! fleet's strategy choices follow the paper's §4 rule.
+
+use lsm_check::{CheckConfig, InvariantObserver};
+use lsm_core::policy::StrategyKind;
+use lsm_experiments::orchestration::{adaptive64_spec, all, evacuate_spec};
+use lsm_experiments::scenario::{build_scenario, run_scenario, ScenarioSpec};
+use lsm_simcore::time::SimTime;
+
+/// The checked-in `scenarios/*.toml` files are the producers'
+/// serializations, byte for byte (edit the producer, rerun
+/// `regen_orchestration`, commit both).
+#[test]
+fn checked_in_scenarios_match_producers() {
+    for (file, spec) in all() {
+        let checked_in = match file {
+            "evacuate.toml" => include_str!("../../../scenarios/evacuate.toml"),
+            "adaptive64.toml" => include_str!("../../../scenarios/adaptive64.toml"),
+            other => panic!("unlisted scenario file {other}"),
+        };
+        let produced = spec.to_toml().expect("serializes");
+        assert_eq!(
+            checked_in, produced,
+            "{file} drifted from its producer; rerun regen_orchestration"
+        );
+        // And the file itself parses back to the same spec.
+        assert_eq!(ScenarioSpec::from_toml(checked_in).expect("parses"), spec);
+    }
+}
+
+/// The evacuation scenario drains node 1 completely, under the cap,
+/// with zero invariant violations — including the new admission-cap
+/// and placement laws, which are live because the cap is configured.
+#[test]
+fn evacuation_completes_clean_under_check() {
+    let spec = evacuate_spec();
+    let mut sim = build_scenario(&spec).expect("builds");
+    let mut obs = InvariantObserver::with_config(CheckConfig {
+        deep_scan_interval: 1024,
+        ..CheckConfig::default()
+    });
+    let report = sim.run_observed(SimTime::from_secs_f64(spec.horizon_secs), &mut obs);
+    obs.finish(sim.engine());
+    obs.assert_clean("evacuate.toml");
+    assert!(obs.checks_run() > 10_000, "audit barely ran");
+
+    assert_eq!(report.migrations.len(), 3, "three guests lived on node 1");
+    for m in &report.migrations {
+        assert!(m.completed, "vm {} evacuation incomplete", m.vm);
+        assert_eq!(m.consistent, Some(true));
+    }
+    for v in &report.vms {
+        assert_ne!(v.final_host, 1, "vm {} still on the drained node", v.vm);
+    }
+    // Every decision traces to the single evacuation request, and the
+    // adaptive planner split the strategies by observed intensity: the
+    // hotspot writer (vm 1) went Hybrid, the finished (idle-by-then)
+    // writers went Precopy.
+    assert_eq!(report.planner.len(), 3);
+    for d in &report.planner {
+        assert_eq!(d.request, Some(0));
+        assert_eq!(d.planner, "adaptive");
+        assert_eq!(d.source, 1);
+    }
+    let strategy_of = |vm: u32| {
+        report
+            .planner
+            .iter()
+            .find(|d| d.vm == vm)
+            .map(|d| d.strategy)
+            .unwrap_or_else(|| panic!("no decision for vm {vm}"))
+    };
+    assert_eq!(strategy_of(1), StrategyKind::Hybrid, "hot writer");
+    assert_eq!(strategy_of(2), StrategyKind::Precopy, "idle by drain time");
+    assert_eq!(strategy_of(3), StrategyKind::Precopy, "idle by drain time");
+}
+
+/// The adaptive fleet: every hot writer migrates with `Hybrid`, every
+/// idle guest with `Precopy` (the §4 acceptance pair), the bursty
+/// checkpoint class lands in between, the admission cap visibly
+/// defers work, and all 64 migrations complete.
+#[test]
+fn adaptive64_classifies_the_fleet() {
+    let spec = adaptive64_spec();
+    let report = run_scenario(&spec).expect("runs");
+    assert_eq!(report.planner.len(), 64, "one decision per migration");
+    for d in &report.planner {
+        match d.vm % 3 {
+            0 => assert_eq!(
+                d.strategy,
+                StrategyKind::Hybrid,
+                "hot writer vm {} misclassified",
+                d.vm
+            ),
+            2 => assert_eq!(
+                d.strategy,
+                StrategyKind::Precopy,
+                "idle vm {} misclassified",
+                d.vm
+            ),
+            _ => assert!(
+                matches!(
+                    d.strategy,
+                    StrategyKind::Mirror | StrategyKind::Precopy | StrategyKind::Hybrid
+                ),
+                "checkpointer vm {} got {:?}",
+                d.vm,
+                d.strategy
+            ),
+        }
+    }
+    // The light checkpoint class exists and is mostly Mirror — the
+    // middle band of the rule, not an artifact of the two extremes.
+    let mirrors = report
+        .planner
+        .iter()
+        .filter(|d| d.strategy == StrategyKind::Mirror)
+        .count();
+    assert!(mirrors >= 16, "only {mirrors} Mirror decisions");
+    assert!(
+        report.planner.iter().filter(|d| d.deferred).count() >= 8,
+        "the cap of 8 never deferred anything"
+    );
+    for m in &report.migrations {
+        assert!(m.completed, "vm {} migration incomplete", m.vm);
+        assert_eq!(m.consistent, Some(true), "vm {} diverged", m.vm);
+    }
+}

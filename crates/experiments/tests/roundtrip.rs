@@ -3,11 +3,48 @@
 //! with errors rather than panics.
 
 use lsm_core::config::ClusterConfig;
+use lsm_core::planner::{OrchestratorConfig, PlannerKind, RequestIntent};
 use lsm_core::policy::StrategyKind;
 use lsm_core::FaultKind;
-use lsm_experiments::scenario::{FaultSpec, MigrationSpec, ScenarioSpec, VmSpec};
+use lsm_experiments::scenario::{FaultSpec, MigrationSpec, RequestSpec, ScenarioSpec, VmSpec};
 use lsm_workloads::{AsyncWrParams, IorParams, WorkloadSpec};
 use proptest::prelude::*;
+
+fn orchestrator_strategy() -> impl Strategy<Value = OrchestratorConfig> {
+    (
+        prop::option::of(1u32..16),
+        prop::bool::ANY,
+        0.5f64..30.0,
+        0.01f64..0.5,
+        0.001f64..0.01,
+        0.01f64..0.5,
+    )
+        .prop_map(
+            |(cap, adaptive, window, w_hi, w_lo, r_hi)| OrchestratorConfig {
+                max_concurrent: cap,
+                planner: if adaptive {
+                    PlannerKind::Adaptive
+                } else {
+                    PlannerKind::Fixed
+                },
+                telemetry_window_secs: window,
+                adaptive_write_hi_frac: w_hi,
+                adaptive_write_lo_frac: w_lo,
+                adaptive_read_hi_frac: r_hi,
+            },
+        )
+}
+
+fn request_strategy() -> impl Strategy<Value = RequestSpec> {
+    (0.0f64..500.0, prop::bool::ANY, 0u32..8).prop_map(|(at, evac, idx)| RequestSpec {
+        at_secs: at,
+        intent: if evac {
+            RequestIntent::Evacuate { node: idx }
+        } else {
+            RequestIntent::Rebalance { group: idx }
+        },
+    })
+}
 
 fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
     (0.0f64..100.0, 0u8..4, 0u32..8, 0.01f64..1.0).prop_map(|(at, kind, node, x)| FaultSpec {
@@ -89,16 +126,25 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             1..5,
         ),
         prop::collection::vec(
-            (0u32..8, 0.1f64..100.0, prop::option::of(0.5f64..60.0)),
+            (
+                0u32..8,
+                0.1f64..100.0,
+                prop::option::of(0.5f64..60.0),
+                prop::option::of(prop::bool::ANY),
+            ),
             0..4,
         ),
         1.0f64..2000.0,
         prop::bool::ANY,
         prop::option::of(0u64..99),
-        prop::option::of(prop::collection::vec(fault_strategy(), 0..5)),
+        (
+            prop::option::of(prop::collection::vec(fault_strategy(), 0..5)),
+            prop::option::of(orchestrator_strategy()),
+            prop::option::of(prop::collection::vec(request_strategy(), 0..4)),
+        ),
     )
         .prop_map(
-            |(strategy, vms, migs, horizon, default_cluster, name, faults)| {
+            |(strategy, vms, migs, horizon, default_cluster, name, (faults, orch, requests))| {
                 let nvms = vms.len() as u32;
                 ScenarioSpec {
                     name: name.map(|n| format!("scenario-{n}")),
@@ -107,6 +153,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     } else {
                         Some(ClusterConfig::graphene(8))
                     },
+                    orchestrator: orch,
                     strategy,
                     grouped: false,
                     vms: vms
@@ -121,13 +168,15 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     migrations: migs
                         .into_iter()
                         .enumerate()
-                        .map(|(i, (dest, at, deadline))| MigrationSpec {
+                        .map(|(i, (dest, at, deadline, adaptive))| MigrationSpec {
                             vm: i as u32 % nvms,
                             dest,
                             at_secs: at,
                             deadline_secs: deadline,
+                            adaptive,
                         })
                         .collect(),
+                    requests,
                     faults,
                     horizon_secs: horizon,
                 }
@@ -160,6 +209,39 @@ proptest! {
         let text = via.to_toml().unwrap();
         prop_assert_eq!(ScenarioSpec::from_toml(&text).unwrap(), spec);
     }
+}
+
+/// The `[orchestrator]` section and the `[[requests]]` plan are held to
+/// the same strictness as every other section: typoed knobs, unknown
+/// planners and malformed intents fail loudly.
+#[test]
+fn orchestrator_sections_reject_unknown_fields() {
+    let base = "strategy = \"our-approach\"\ngrouped = false\nhorizon_secs = 1.0\nvms = []\nmigrations = []\n";
+    let toml = format!("{base}[orchestrator]\nmax_concurent = 4\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(
+        err.contains("unknown OrchestratorConfig field `max_concurent`"),
+        "{err}"
+    );
+    let toml = format!("{base}[orchestrator]\nplanner = \"clever\"\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(err.contains("unknown planner `clever`"), "{err}");
+    let toml = format!("{base}[[requests]]\nat_secs = 1.0\n[requests.intent.Evacuate]\nnod = 1\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(err.contains("unknown field `nod`"), "{err}");
+    let toml = format!("{base}[[requests]]\nat_secs = 1.0\nintent = \"Decommission\"\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(err.contains("unknown RequestIntent variant"), "{err}");
+    // A partial [orchestrator] section fills the defaults.
+    let toml = format!("{base}[orchestrator]\nmax_concurrent = 4\nplanner = \"adaptive\"\n");
+    let spec = ScenarioSpec::from_toml(&toml).expect("partial section parses");
+    let orch = spec.orchestrator.expect("present");
+    assert_eq!(orch.max_concurrent, Some(4));
+    assert_eq!(orch.planner, PlannerKind::Adaptive);
+    assert_eq!(
+        orch.telemetry_window_secs,
+        OrchestratorConfig::default().telemetry_window_secs
+    );
 }
 
 #[test]

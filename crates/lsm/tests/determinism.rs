@@ -4,8 +4,9 @@
 //! fault scenarios. This is the property every other bit-identity test
 //! (solver equivalence, fuzzing, report diffing across PRs) stands on.
 
-use lsm::experiments::scenario::{run_scenario, ScenarioSpec};
+use lsm::experiments::scenario::{run_scenario, run_scenario_with_solver, ScenarioSpec};
 use lsm::experiments::{faults, stress};
+use lsm::netsim::SolverMode;
 
 fn serialized(spec: &ScenarioSpec) -> String {
     let report = run_scenario(spec).expect("scenario runs");
@@ -52,6 +53,41 @@ fn scale64_file_is_deterministic() {
     let spec =
         ScenarioSpec::from_toml(include_str!("../../../scenarios/scale64.toml")).expect("parses");
     assert_deterministic("scale64.toml", &spec);
+}
+
+/// The orchestrated scenarios (planner placement, adaptive strategy
+/// selection, admission-cap deferral) are byte-identical across two
+/// runs *and* across the network rate solvers — planner decisions are
+/// part of the engine's replay contract, not a source of noise.
+#[test]
+fn orchestrated_scenarios_are_deterministic_across_runs_and_solvers() {
+    for (file, text) in [
+        (
+            "evacuate.toml",
+            include_str!("../../../scenarios/evacuate.toml"),
+        ),
+        (
+            "adaptive64.toml",
+            include_str!("../../../scenarios/adaptive64.toml"),
+        ),
+    ] {
+        let spec = ScenarioSpec::from_toml(text).expect("parses");
+        assert_deterministic(file, &spec);
+        let incremental = run_scenario_with_solver(&spec, SolverMode::Incremental)
+            .map(|r| serde_json::to_string_pretty(&r).expect("serializes"))
+            .expect("runs");
+        let reference = run_scenario_with_solver(&spec, SolverMode::Reference)
+            .map(|r| serde_json::to_string_pretty(&r).expect("serializes"))
+            .expect("runs");
+        if incremental != reference {
+            let diff = incremental
+                .lines()
+                .zip(reference.lines())
+                .enumerate()
+                .find(|(_, (x, y))| x != y);
+            panic!("{file}: solvers diverge at {diff:?}");
+        }
+    }
 }
 
 /// The seed matters: "same seed ⇒ same run" must not be vacuous, so a
