@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check]
-//! lsm bench [--quick] [--scenario <file>] [--out <path>]
+//! lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>]
+//! lsm judge [--quick] [--csv]
 //! lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
 //! lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
 //! lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
@@ -27,7 +28,8 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check]
-  lsm bench [--quick] [--scenario <file>] [--out <path>]
+  lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>]
+  lsm judge [--quick] [--csv]
   lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
   lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
   lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
@@ -156,9 +158,23 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let scenario = args.value("--scenario")?;
             let out = args
                 .value("--out")?
-                .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+                .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+            let baseline = args.value("--baseline")?;
             args.finish()?;
-            cmd_bench(quick, scenario.as_deref(), &out)
+            cmd_bench(quick, scenario.as_deref(), &out, baseline.as_deref())
+        }
+        "judge" => {
+            let quick = args.flag("--quick");
+            let csv = args.flag("--csv");
+            args.finish()?;
+            let outcomes = if quick {
+                lsm_experiments::judge::judge_quick()
+            } else {
+                lsm_experiments::judge::judge_adaptive64()
+            }
+            .map_err(|e| UsageError(format!("judge scenario rejected: {e}")))?;
+            emit(&[lsm_experiments::judge::table(&outcomes)], csv);
+            Ok(())
         }
         "fig3" => {
             let quick = args.flag("--quick");
@@ -494,6 +510,38 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
                     .unwrap_or_default(),
                 if d.deferred { " [deferred]" } else { "" },
             );
+            if !d.estimates.is_empty() {
+                // The cost planner's candidate sweep: why this scheme won.
+                let sweep = d
+                    .estimates
+                    .iter()
+                    .map(|e| {
+                        format!(
+                            "{} {:.2}s/{}",
+                            e.strategy.label(),
+                            e.est_time_secs,
+                            lsm_simcore::units::fmt_bytes(e.est_bytes)
+                        )
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                println!("                estimates: {sweep}");
+            }
+        }
+    }
+    // Skips happen under the default orchestrator too (an intent step
+    // raced by an explicit job, a parked placement): always show them.
+    if !r.planner_skips.is_empty() {
+        println!("  planner skips ({}):", r.planner_skips.len());
+        for s in &r.planner_skips {
+            println!(
+                "    [{:>9.3}s] request {} vm {}: {:?}{}",
+                s.at.as_secs_f64(),
+                s.request,
+                s.vm,
+                s.reason,
+                if s.terminal { "" } else { " [will retry]" },
+            );
         }
     }
     for m in &r.migrations {
@@ -618,9 +666,16 @@ fn bench_one(spec: &ScenarioSpec) -> Result<BenchSummary, UsageError> {
 }
 
 /// Run the tracked benchmark set — the paper-scale stress scenario plus
-/// the orchestrated scenarios (evacuation, adaptive fleet) — under a
-/// wall clock and record the trajectory numbers.
-fn cmd_bench(quick: bool, scenario: Option<&str>, out: &str) -> Result<(), UsageError> {
+/// the orchestrated scenarios (evacuation, adaptive fleet, cost fleet)
+/// — under a wall clock and record the trajectory numbers. With
+/// `--baseline`, compare events/sec per scenario against a committed
+/// record and warn (advisory, never failing) on >20 % regressions.
+fn cmd_bench(
+    quick: bool,
+    scenario: Option<&str>,
+    out: &str,
+    baseline: Option<&str>,
+) -> Result<(), UsageError> {
     if quick && scenario.is_some() {
         return Err(UsageError(
             "--quick selects the built-in smoke set and cannot be combined with --scenario"
@@ -649,6 +704,7 @@ fn cmd_bench(quick: bool, scenario: Option<&str>, out: &str) -> Result<(), Usage
                 scale,
                 lsm_experiments::orchestration::evacuate_spec(),
                 lsm_experiments::orchestration::adaptive64_spec(),
+                lsm_experiments::orchestration::cost64_spec(),
             ]
         }
     };
@@ -661,6 +717,81 @@ fn cmd_bench(quick: bool, scenario: Option<&str>, out: &str) -> Result<(), Usage
     std::fs::write(out, format!("{json}\n"))
         .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
     println!("{} scenario(s) benched → {}", summaries.len(), out);
+    if let Some(path) = baseline {
+        compare_with_baseline(&summaries, path)?;
+    }
+    Ok(())
+}
+
+/// Per-scenario baseline entry: name and the headline throughput.
+fn baseline_entries(path: &str) -> Result<Vec<(String, f64)>, UsageError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("cannot read baseline {path}: {e}")))?;
+    let value = serde_json::parse(&text)
+        .map_err(|e| UsageError(format!("cannot parse baseline {path}: {e}")))?;
+    let serde::Value::Seq(items) = value else {
+        return Err(UsageError(format!(
+            "baseline {path} is not a JSON array of bench summaries"
+        )));
+    };
+    let mut entries = Vec::with_capacity(items.len());
+    for item in &items {
+        let name = match item.get("scenario") {
+            Some(serde::Value::Str(s)) => s.clone(),
+            _ => continue,
+        };
+        let eps = match item.get("events_per_sec") {
+            Some(serde::Value::F64(x)) => *x,
+            Some(serde::Value::U64(x)) => *x as f64,
+            Some(serde::Value::I64(x)) => *x as f64,
+            _ => continue,
+        };
+        entries.push((name, eps));
+    }
+    Ok(entries)
+}
+
+/// Advisory bench gate (the ROADMAP's bench-gating item, warn-only
+/// phase): flag scenarios whose events/sec fell more than 20 % below
+/// the committed baseline. Exit status is unaffected — the gate
+/// hardens into a failure once more baselines accumulate.
+fn compare_with_baseline(summaries: &[BenchSummary], path: &str) -> Result<(), UsageError> {
+    const REGRESSION_FRAC: f64 = 0.20;
+    let baseline = baseline_entries(path)?;
+    let mut warnings = 0usize;
+    for s in summaries {
+        let Some((_, base_eps)) = baseline.iter().find(|(name, _)| *name == s.scenario) else {
+            println!(
+                "bench gate: {} — no baseline entry in {path}, skipped",
+                s.scenario
+            );
+            continue;
+        };
+        let delta = (s.events_per_sec - base_eps) / base_eps;
+        if delta < -REGRESSION_FRAC {
+            warnings += 1;
+            println!(
+                "bench gate: WARNING {} regressed {:.1}% vs {path} ({:.0} -> {:.0} events/s)",
+                s.scenario,
+                -delta * 100.0,
+                base_eps,
+                s.events_per_sec,
+            );
+        } else {
+            println!(
+                "bench gate: {} {}{:.1}% vs {path} ({:.0} -> {:.0} events/s)",
+                s.scenario,
+                if delta >= 0.0 { "+" } else { "" },
+                delta * 100.0,
+                base_eps,
+                s.events_per_sec,
+            );
+        }
+    }
+    println!(
+        "bench gate: {warnings} warning(s) (advisory — threshold {:.0}%, not failing yet)",
+        REGRESSION_FRAC * 100.0
+    );
     Ok(())
 }
 

@@ -45,6 +45,7 @@ pub(crate) fn apply_fault(eng: &mut Engine, kind: FaultKind) {
         FaultKind::LinkDegrade { node, factor } => set_link(eng, node, factor),
         FaultKind::LinkRestore { node } => set_link(eng, node, 1.0),
         FaultKind::NodeCrash { node } => crash_node(eng, node),
+        FaultKind::NodeRestore { node } => restore_node(eng, node),
         FaultKind::TransferStall { vm, secs } => stall_transfer(eng, vm, secs),
     }
 }
@@ -125,6 +126,25 @@ fn crash_node(eng: &mut Engine, node: u32) {
     for ctx in lost {
         flow_lost(eng, ctx);
     }
+}
+
+/// Bring a crashed node back as an empty, healthy host (replacement
+/// hardware at the same slot). Guests that died with the crash stay
+/// dead, failed jobs stay failed; what changes is *capacity*: the node
+/// serves as a migration destination and repository replica again, and
+/// parked intent placements get an immediate retry. Stale completions
+/// from the crash window are harmless: purged guest ops no-op, and
+/// transfer reads of aborted migrations are dropped by the phase/epoch
+/// guards.
+fn restore_node(eng: &mut Engine, node: u32) {
+    if !eng.nodes[node as usize].crashed {
+        return;
+    }
+    eng.nodes[node as usize].crashed = false;
+    eng.repo.set_down(NodeId(node), false);
+    // A healthy destination exists again: intent steps parked on "no
+    // healthy destination" can place now.
+    super::orchestrator::poke_drain(eng);
 }
 
 /// Cancel every flow with `node` as an endpoint, returning their

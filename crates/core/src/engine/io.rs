@@ -277,6 +277,11 @@ fn submit_read(
 ///
 /// Returns `(version, should_mirror)`.
 pub(crate) fn manager_write(eng: &mut Engine, v: VmIdx, c: ChunkId) -> (u64, bool) {
+    if eng.vm(v).disk.modified().contains(c) {
+        // Overwrite of an already-dirty chunk: the telemetry signal the
+        // cost planner's withheld-set and re-send terms are built on.
+        eng.vm_mut(v).rewrite_chunk_writes += 1;
+    }
     let ver = eng.vm_mut(v).disk.write(c);
     eng.vm_mut(v).store.apply(c, ver);
     let mut mirror = false;

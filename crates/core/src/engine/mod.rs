@@ -21,6 +21,7 @@ mod types;
 pub use job::{FailureReason, JobId, MigrationProgress, MigrationStatus};
 pub use lsm_simcore::fault::FaultKind;
 pub use observer::{NullObserver, Observer, RecordingObserver, RunControl};
+pub use orchestrator::IoTelemetry;
 pub use report::{MigrationRecord, Milestone, RunReport, VmRecord};
 
 use orchestrator::{JobEvent, JobEventKind, JobRt, OrchestratorRt};
@@ -237,11 +238,17 @@ impl Engine {
             read_busy: SimDuration::ZERO,
             write_busy: SimDuration::ZERO,
             pvfs_file_base: id.0 as u64 * self.cfg.image_size,
+            rewrite_chunk_writes: 0,
             tele_last_at: SimTime::ZERO,
             tele_last_write: 0,
             tele_last_read: 0,
+            tele_last_modified: 0,
+            tele_last_rewrite: 0,
             tele_write_rate: 0.0,
             tele_read_rate: 0.0,
+            tele_dirty_rate: 0.0,
+            tele_rewrite_rate: 0.0,
+            tele_sampled: false,
         });
         self.queue.schedule(start_at, Ev::VmStart(id.0));
         let expire = SimDuration::from_secs_f64(self.cfg.dirty_expire_secs);
@@ -337,7 +344,9 @@ impl Engine {
                     ));
                 }
             }
-            FaultKind::LinkRestore { .. } | FaultKind::NodeCrash { .. } => {}
+            FaultKind::LinkRestore { .. }
+            | FaultKind::NodeCrash { .. }
+            | FaultKind::NodeRestore { .. } => {}
         }
         let idx = self.faults.len() as u32;
         self.faults.push(kind);

@@ -22,12 +22,12 @@
 use super::job::{FailureReason, JobId, MigrationProgress, MigrationStatus};
 use super::migration;
 use super::report::Milestone;
-use super::types::{Ev, MigrationRt, VmIdx};
+use super::types::{Ev, MigrationRt, VmIdx, VmRt};
 use super::Engine;
 use crate::error::EngineError;
 use crate::planner::{
-    NodeView, OrchestratorConfig, PlanContext, Planner, PlannerDecision, PlannerKind,
-    RequestIntent, VmView,
+    NodeView, OrchestratorConfig, PlanContext, Planner, PlannerDecision, PlannerSkip,
+    RequestIntent, SkipReason, VmView,
 };
 use crate::policy::StrategyKind;
 use lsm_hypervisor::VmId;
@@ -89,8 +89,43 @@ pub(crate) enum ReadyItem {
     Job(JobId),
     /// An intent to expand into per-VM steps.
     Intent(u32),
-    /// One VM's migration expanded from intent `origin`.
-    IntentVm { vm: VmIdx, origin: u32 },
+    /// One VM's migration expanded from intent `origin`. `attempts`
+    /// counts placement attempts that found no healthy destination
+    /// (bounded by [`OrchestratorConfig::placement_retry_limit`]).
+    IntentVm {
+        vm: VmIdx,
+        origin: u32,
+        attempts: u32,
+    },
+}
+
+/// An intent step whose placement found no healthy destination,
+/// awaiting another attempt on the next queue drain.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ParkedStep {
+    pub vm: VmIdx,
+    pub origin: u32,
+    pub attempts: u32,
+}
+
+/// One VM's windowed I/O telemetry, as the planners see it (see
+/// [`Engine::vm_telemetry`]). All rates are bytes/second over the last
+/// full telemetry window.
+#[derive(Clone, Copy, Debug)]
+pub struct IoTelemetry {
+    /// Windowed guest write throughput.
+    pub write_rate: f64,
+    /// Windowed guest read throughput.
+    pub read_rate: f64,
+    /// Windowed dirty-set growth (newly modified chunks × chunk size).
+    pub dirty_rate: f64,
+    /// Windowed overwrite rate (manager writes to already-modified
+    /// chunks × chunk size) — the paper's threshold signal.
+    pub rewrite_rate: f64,
+    /// True once a telemetry tick has sampled the VM; while false, the
+    /// rates above are still their zero initial values (planner
+    /// decisions sample the counters on demand in that window).
+    pub sampled: bool,
 }
 
 /// Orchestration runtime state (one per [`Engine`]).
@@ -105,6 +140,11 @@ pub(crate) struct OrchestratorRt {
     pub active: u32,
     /// Planner decisions in admission order (reported).
     pub decisions: Vec<PlannerDecision>,
+    /// Skipped intent steps in decision order (reported).
+    pub skips: Vec<PlannerSkip>,
+    /// Intent steps parked for lack of a healthy destination; re-queued
+    /// (in order) at the next drain.
+    pub parked: Vec<ParkedStep>,
     /// A `PlannerDrain` event is already queued.
     pub drain_scheduled: bool,
     /// A `TelemetryTick` event is already queued.
@@ -122,6 +162,8 @@ impl Default for OrchestratorRt {
             ready: VecDeque::new(),
             active: 0,
             decisions: Vec::new(),
+            skips: Vec::new(),
+            parked: Vec::new(),
             drain_scheduled: false,
             telemetry_armed: false,
         }
@@ -157,7 +199,7 @@ impl Engine {
         }
         self.orch.planner = cfg.build_planner();
         self.orch.cfg = cfg;
-        if self.orch.cfg.planner == PlannerKind::Adaptive {
+        if self.orch.cfg.planner.uses_telemetry() {
             arm_telemetry(self);
         }
         Ok(())
@@ -184,13 +226,33 @@ impl Engine {
         &self.orch.decisions
     }
 
+    /// Skipped intent steps so far, in decision order (crashed VMs,
+    /// already-migrating races, spread gates, failed placements).
+    pub fn planner_skips(&self) -> &[PlannerSkip] {
+        &self.orch.skips
+    }
+
     /// Windowed `(write, read)` I/O rates of a VM, bytes/second — the
     /// telemetry the adaptive planner reads. Zero until the first
-    /// telemetry tick (armed by the adaptive planner) has sampled.
+    /// telemetry tick (armed by the telemetry planners) has sampled.
     pub fn vm_io_rates(&self, vm: u32) -> Option<(f64, f64)> {
         self.vms
             .get(vm as usize)
             .map(|v| (v.tele_write_rate, v.tele_read_rate))
+    }
+
+    /// Full windowed I/O telemetry of a VM — what the adaptive and cost
+    /// planners read. Rates are zero until the first telemetry tick has
+    /// sampled (planner decisions made earlier sample the counters on
+    /// demand instead; see [`IoTelemetry`]).
+    pub fn vm_telemetry(&self, vm: u32) -> Option<IoTelemetry> {
+        self.vms.get(vm as usize).map(|v| IoTelemetry {
+            write_rate: v.tele_write_rate,
+            read_rate: v.tele_read_rate,
+            dirty_rate: v.tele_dirty_rate,
+            rewrite_rate: v.tele_rewrite_rate,
+            sampled: v.tele_sampled,
+        })
     }
 
     /// Submit a high-level orchestration request to fire at `at`; the
@@ -228,7 +290,7 @@ impl Engine {
         let id = self.orch.intents.len() as u32;
         self.orch.intents.push(IntentRt { intent, at });
         self.queue.schedule(at, Ev::RequestReady(id));
-        if self.orch.cfg.planner == PlannerKind::Adaptive {
+        if self.orch.cfg.planner.uses_telemetry() {
             arm_telemetry(self);
         }
         Ok(id)
@@ -293,10 +355,10 @@ impl Engine {
         at: SimTime,
         deadline: Option<SimDuration>,
     ) -> Result<JobId, EngineError> {
-        if self.orch.cfg.planner != PlannerKind::Adaptive {
+        if !self.orch.cfg.planner.uses_telemetry() {
             return Err(EngineError::InvalidRequest {
-                reason: "adaptive strategy selection requires planner = \"adaptive\" \
-                         in the orchestrator configuration"
+                reason: "adaptive strategy selection requires planner = \"adaptive\" or \
+                         \"cost\" in the orchestrator configuration"
                     .to_string(),
             });
         }
@@ -581,6 +643,17 @@ pub(crate) fn planner_drain(eng: &mut Engine) {
     drain(eng);
 }
 
+/// Schedule a drain at the current instant if work is waiting (idempotent
+/// while one is pending). Fault recovery calls this when cluster state
+/// changes in a way that can unblock parked placements (a node restore).
+pub(crate) fn poke_drain(eng: &mut Engine) {
+    if (!eng.orch.parked.is_empty() || !eng.orch.ready.is_empty()) && !eng.orch.drain_scheduled {
+        eng.orch.drain_scheduled = true;
+        let now = eng.now;
+        eng.queue.schedule(now, Ev::PlannerDrain);
+    }
+}
+
 /// A job reached a terminal status: release its admission slot (if it
 /// held one) and schedule a drain so a held request can take it.
 fn job_terminal(eng: &mut Engine, job: JobId) {
@@ -594,16 +667,15 @@ fn job_terminal(eng: &mut Engine, job: JobId) {
     j.counted = false;
     debug_assert!(eng.orch.active > 0, "admission slot underflow");
     eng.orch.active -= 1;
-    if !eng.orch.ready.is_empty() && !eng.orch.drain_scheduled {
-        eng.orch.drain_scheduled = true;
-        let now = eng.now;
-        eng.queue.schedule(now, Ev::PlannerDrain);
-    }
+    poke_drain(eng);
 }
 
 /// Admit ready requests in FIFO order while the cap has room; mark the
-/// rest planner-held (once, with a visible milestone).
+/// rest planner-held (once, with a visible milestone). Steps parked on
+/// a failed placement re-enter the queue first — every drain is a retry
+/// opportunity, bounded per step by the configured retry limit.
 fn drain(eng: &mut Engine) {
+    requeue_parked(eng);
     loop {
         if eng.orch.ready.is_empty() {
             return;
@@ -615,9 +687,37 @@ fn drain(eng: &mut Engine) {
         match eng.orch.ready.pop_front().expect("checked non-empty") {
             ReadyItem::Job(job) => admit_job(eng, job),
             ReadyItem::Intent(req) => expand_intent(eng, req),
-            ReadyItem::IntentVm { vm, origin } => admit_intent_vm(eng, vm, origin),
+            ReadyItem::IntentVm {
+                vm,
+                origin,
+                attempts,
+            } => admit_intent_vm(eng, vm, origin, attempts),
         }
     }
+}
+
+/// Move parked steps (failed placements awaiting retry) back into the
+/// ready queue, preserving their order.
+fn requeue_parked(eng: &mut Engine) {
+    for p in std::mem::take(&mut eng.orch.parked) {
+        eng.orch.ready.push_back(ReadyItem::IntentVm {
+            vm: p.vm,
+            origin: p.origin,
+            attempts: p.attempts,
+        });
+    }
+}
+
+/// Record one skipped intent step for the report.
+fn record_skip(eng: &mut Engine, origin: u32, v: VmIdx, reason: SkipReason, terminal: bool) {
+    let at = eng.now;
+    eng.orch.skips.push(PlannerSkip {
+        request: origin,
+        vm: v,
+        at,
+        reason,
+        terminal,
+    });
 }
 
 /// Flag every ready-but-deferred explicit job as planner-held and emit
@@ -663,35 +763,65 @@ fn admit_job(eng: &mut Engine, job: JobId) {
 }
 
 /// Admit one intent-expanded VM migration: the planner places it, the
-/// strategy is resolved (adaptive planner: from telemetry), a job is
+/// strategy is resolved (telemetry planners: from live rates), a job is
 /// created on the spot and started.
-fn admit_intent_vm(eng: &mut Engine, v: VmIdx, origin: u32) {
+///
+/// Steps that cannot be admitted leave a [`PlannerSkip`] record. A step
+/// whose placement finds no healthy destination is *parked* — re-queued
+/// on the next drain (slot release, new request, node restore) — until
+/// the retry limit abandons it with a terminal
+/// [`SkipReason::PlacementExhausted`]; silently dropping it would let
+/// an `Evacuate` intent "complete" with guests still on the drained
+/// node.
+fn admit_intent_vm(eng: &mut Engine, v: VmIdx, origin: u32, attempts: u32) {
     let vmrt = &eng.vms[v as usize];
     if vmrt.crashed {
-        return; // died while the request was queued
+        // Died while the request was queued.
+        record_skip(eng, origin, v, SkipReason::VmCrashed, true);
+        return;
     }
     if eng
         .jobs
         .iter()
         .any(|j| j.vm == v && !j.status.is_terminal())
     {
-        return; // already migrating (e.g. an explicit job raced the intent)
+        // Already migrating (e.g. an explicit job raced the intent).
+        record_skip(eng, origin, v, SkipReason::AlreadyMigrating, true);
+        return;
     }
     let host = vmrt.vm.host;
     let intent = eng.orch.intents[origin as usize].intent;
     if let RequestIntent::Evacuate { node } = intent {
         if host != node {
-            return; // already off the drained node
+            // Already off the drained node.
+            record_skip(eng, origin, v, SkipReason::AlreadyOffNode, true);
+            return;
         }
     }
     let Some(dest) = place(eng, v) else {
-        return; // no healthy destination exists right now
+        // No healthy destination exists right now: park for a bounded
+        // retry instead of dropping the step.
+        let attempts = attempts + 1;
+        if attempts >= eng.orch.cfg.placement_retry_limit {
+            record_skip(eng, origin, v, SkipReason::PlacementExhausted, true);
+        } else {
+            if attempts == 1 {
+                record_skip(eng, origin, v, SkipReason::NoDestination, false);
+            }
+            eng.orch.parked.push(ParkedStep {
+                vm: v,
+                origin,
+                attempts,
+            });
+        }
+        return;
     };
     if let RequestIntent::Rebalance { .. } = intent {
         // Move only while it improves the spread: the host must carry
         // more than the target even after the move.
         let views = node_views(eng);
         if views[host as usize].load <= views[dest as usize].load + 1 {
+            record_skip(eng, origin, v, SkipReason::SpreadSatisfied, true);
             return;
         }
     }
@@ -706,7 +836,7 @@ fn admit_intent_vm(eng: &mut Engine, v: VmIdx, origin: u32) {
         deadline: None,
         failure: None,
         archived: None,
-        adaptive: eng.orch.cfg.planner == PlannerKind::Adaptive,
+        adaptive: eng.orch.cfg.planner.uses_telemetry(),
         counted: false,
         held: false,
         origin: Some(origin),
@@ -731,6 +861,9 @@ fn admit(
 ) {
     let now = eng.now;
     eng.vms[v as usize].strategy = strategy;
+    // The cost planner leaves its per-scheme estimates behind after
+    // `choose_strategy`; move them onto the record (empty otherwise).
+    let estimates = eng.orch.planner.take_estimates();
     let decision = PlannerDecision {
         request: origin,
         job: job.0,
@@ -741,6 +874,7 @@ fn admit(
         decided_at: now,
         deferred: now > ready_at,
         planner: eng.orch.planner.name(),
+        estimates,
     };
     eng.orch.decisions.push(decision);
     {
@@ -767,9 +901,11 @@ fn expand_intent(eng: &mut Engine, req: u32) {
         RequestIntent::Rebalance { group } => eng.groups[group as usize].members.clone(),
     };
     for &vm in vms.iter().rev() {
-        eng.orch
-            .ready
-            .push_front(ReadyItem::IntentVm { vm, origin: req });
+        eng.orch.ready.push_front(ReadyItem::IntentVm {
+            vm,
+            origin: req,
+            attempts: 0,
+        });
     }
 }
 
@@ -802,14 +938,53 @@ fn node_views(eng: &Engine) -> Vec<NodeView> {
         .collect()
 }
 
+/// Delta rates of `vm`'s cumulative counters against its last telemetry
+/// snapshot — the one formula both the windowed tick and the pre-window
+/// on-demand sample use, so the two paths cannot drift apart. Returns
+/// `(write, read, dirty, rewrite)` bytes/second, or `None` when no time
+/// has passed since the snapshot.
+fn sample_rates(vm: &VmRt, now: SimTime, chunk: f64) -> Option<(f64, f64, f64, f64)> {
+    let dt = now.since(vm.tele_last_at).as_secs_f64();
+    if dt <= 0.0 {
+        return None;
+    }
+    Some((
+        (vm.write_bytes - vm.tele_last_write) as f64 / dt,
+        (vm.read_bytes - vm.tele_last_read) as f64 / dt,
+        (vm.disk.modified().count() - vm.tele_last_modified) as f64 * chunk / dt,
+        (vm.rewrite_chunk_writes - vm.tele_last_rewrite) as f64 * chunk / dt,
+    ))
+}
+
 fn vm_view(eng: &Engine, v: VmIdx) -> VmView {
     let vm = &eng.vms[v as usize];
+    let chunk = eng.cfg.chunk_size as f64;
+    let (write_rate, read_rate, dirty_rate, rewrite_rate) = if vm.tele_sampled {
+        (
+            vm.tele_write_rate,
+            vm.tele_read_rate,
+            vm.tele_dirty_rate,
+            vm.tele_rewrite_rate,
+        )
+    } else {
+        // No telemetry tick has sampled this VM since it started (the
+        // decision came before its first window boundary): sample the
+        // cumulative counters on demand — read-only, so later windowed
+        // samples are unaffected. Without this, a hot writer admitted
+        // at t < window reads all-zero rates and is misclassified as
+        // idle.
+        sample_rates(vm, eng.now, chunk).unwrap_or((0.0, 0.0, 0.0, 0.0))
+    };
     VmView {
         vm: v,
         host: vm.vm.host,
         strategy: vm.strategy,
-        write_rate: vm.tele_write_rate,
-        read_rate: vm.tele_read_rate,
+        write_rate,
+        read_rate,
+        dirty_rate,
+        rewrite_rate,
+        local_bytes: vm.disk.locally_present().count() as u64 * eng.cfg.chunk_size,
+        modified_bytes: vm.disk.modified().count() as u64 * eng.cfg.chunk_size,
     }
 }
 
@@ -819,6 +994,7 @@ fn place(eng: &mut Engine, v: VmIdx) -> Option<u32> {
         now: eng.now,
         nic_bw: eng.cfg.nic_bw,
         postcopy_memory: eng.cfg.postcopy_memory,
+        threshold: eng.cfg.threshold,
         cfg: &eng.orch.cfg,
         nodes: &nodes,
         vm: vm_view(eng, v),
@@ -837,6 +1013,7 @@ fn choose_strategy(eng: &mut Engine, v: VmIdx) -> StrategyKind {
         now: eng.now,
         nic_bw: eng.cfg.nic_bw,
         postcopy_memory: eng.cfg.postcopy_memory,
+        threshold: eng.cfg.threshold,
         cfg: &eng.orch.cfg,
         nodes: &nodes,
         vm: vm_view(eng, v),
@@ -858,22 +1035,40 @@ fn arm_telemetry(eng: &mut Engine) {
 }
 
 /// `Ev::TelemetryTick`: sample every VM's cumulative I/O counters into
-/// windowed rates, then re-arm while orchestration work remains.
+/// windowed rates — throughput (write/read) plus the paper's threshold
+/// signals (dirty-set growth and overwrite rate) — then re-arm while
+/// orchestration work remains.
 pub(crate) fn telemetry_tick(eng: &mut Engine) {
     eng.orch.telemetry_armed = false;
     let now = eng.now;
+    let chunk = eng.cfg.chunk_size as f64;
     for vm in &mut eng.vms {
-        let dt = now.since(vm.tele_last_at).as_secs_f64();
-        if dt <= 0.0 {
+        if !vm.started {
+            // The workload has not begun: advance the snapshot so its
+            // eventual rates are measured from (approximately) the
+            // start instant, and leave the VM *unsampled* — a decision
+            // made before its first post-start window must take the
+            // on-demand path, not read a zero window sampled while the
+            // VM did not exist yet.
+            vm.tele_last_at = now;
             continue;
         }
-        vm.tele_write_rate = (vm.write_bytes - vm.tele_last_write) as f64 / dt;
-        vm.tele_read_rate = (vm.read_bytes - vm.tele_last_read) as f64 / dt;
+        let Some((w, r, d, rw)) = sample_rates(vm, now, chunk) else {
+            continue;
+        };
+        vm.tele_write_rate = w;
+        vm.tele_read_rate = r;
+        vm.tele_dirty_rate = d;
+        vm.tele_rewrite_rate = rw;
         vm.tele_last_at = now;
         vm.tele_last_write = vm.write_bytes;
         vm.tele_last_read = vm.read_bytes;
+        vm.tele_last_modified = vm.disk.modified().count();
+        vm.tele_last_rewrite = vm.rewrite_chunk_writes;
+        vm.tele_sampled = true;
     }
     let work_remains = !eng.orch.ready.is_empty()
+        || !eng.orch.parked.is_empty()
         || eng.jobs.iter().any(|j| !j.status.is_terminal())
         || has_unexpanded_intents(eng);
     if work_remains {

@@ -135,9 +135,15 @@ pub struct RunReport {
     /// One record per VM.
     pub vms: Vec<VmRecord>,
     /// Planner decisions in admission order: chosen destination and
-    /// strategy per admitted request, with deferral marks (the
-    /// orchestration layer's audit trail; `lsm run --json` exposes it).
+    /// strategy per admitted request, with deferral marks and — under
+    /// the cost planner — the per-scheme estimates behind the choice
+    /// (the orchestration layer's audit trail; `lsm run --json` exposes
+    /// it).
     pub planner: Vec<crate::planner::PlannerDecision>,
+    /// Skipped intent steps (crashed VM, already-migrating race, spread
+    /// gate, failed placement) with typed reasons — an intent that
+    /// moved fewer VMs than expected is auditable here, not silent.
+    pub planner_skips: Vec<crate::planner::PlannerSkip>,
     /// Bytes delivered per traffic class.
     pub traffic: Vec<(TrafficTag, u64)>,
     /// Total network traffic (all classes).
@@ -314,6 +320,7 @@ pub(crate) fn build(eng: &Engine) -> RunReport {
         migrations,
         vms,
         planner: eng.planner_decisions().to_vec(),
+        planner_skips: eng.planner_skips().to_vec(),
         total_traffic: eng.net().total_delivered(),
         migration_traffic: eng.net().migration_delivered(),
         traffic,

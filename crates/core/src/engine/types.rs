@@ -428,16 +428,36 @@ pub(crate) struct VmRt {
     /// File offset base for PVFS planning (vm-disk offsets are used
     /// directly as file offsets).
     pub pvfs_file_base: u64,
+    /// Cumulative count of manager-level writes landing on an
+    /// already-modified chunk (the *overwrite* counter — the telemetry
+    /// tick turns its delta into the windowed re-write rate, the
+    /// paper's threshold signal).
+    pub rewrite_chunk_writes: u64,
     /// I/O telemetry snapshot: when the last sample was taken, and the
     /// cumulative counters at that instant (the orchestrator's
     /// telemetry tick turns the deltas into windowed rates).
     pub tele_last_at: SimTime,
     pub tele_last_write: u64,
     pub tele_last_read: u64,
-    /// Windowed write/read rates, bytes/second (what the adaptive
-    /// planner reads; zero until the first tick).
+    /// ModifiedSet size at the last sample (dirty-set growth baseline).
+    pub tele_last_modified: u32,
+    /// Overwrite counter at the last sample.
+    pub tele_last_rewrite: u64,
+    /// Windowed write/read rates, bytes/second (what the telemetry
+    /// planners read).
     pub tele_write_rate: f64,
     pub tele_read_rate: f64,
+    /// Windowed dirty-set growth, bytes/second (newly modified chunks ×
+    /// chunk size).
+    pub tele_dirty_rate: f64,
+    /// Windowed overwrite rate, bytes/second (writes to already-modified
+    /// chunks × chunk size).
+    pub tele_rewrite_rate: f64,
+    /// True once a telemetry tick has sampled this VM. Until then the
+    /// windowed rates are meaningless zeros, and a planner decision
+    /// samples the cumulative counters on demand instead (a hot writer
+    /// admitted before the first window must not be misread as idle).
+    pub tele_sampled: bool,
 }
 
 /// Workload group (barrier domain) state.

@@ -70,13 +70,13 @@ pub mod policy;
 pub use builder::{Simulation, SimulationBuilder, VmHandle};
 pub use config::ClusterConfig;
 pub use engine::{
-    Engine, FailureReason, FaultKind, JobId, MigrationProgress, MigrationRecord, MigrationStatus,
-    Observer, RunControl, RunReport, VmRecord,
+    Engine, FailureReason, FaultKind, IoTelemetry, JobId, MigrationProgress, MigrationRecord,
+    MigrationStatus, Observer, RunControl, RunReport, VmRecord,
 };
 pub use error::EngineError;
 pub use lsm_netsim::NodeId;
 pub use planner::{
-    AdaptivePlanner, FixedPlanner, OrchestratorConfig, Planner, PlannerDecision, PlannerKind,
-    RequestIntent,
+    AdaptivePlanner, CostPlanner, FixedPlanner, OrchestratorConfig, Planner, PlannerDecision,
+    PlannerKind, PlannerSkip, RequestIntent, SchemeEstimate, SkipReason,
 };
 pub use policy::StrategyKind;

@@ -20,20 +20,27 @@
 //!   cap are held (visible as planner-queued jobs) and admitted in
 //!   deterministic FIFO order as slots free up.
 //!
-//! Two planners ship: [`FixedPlanner`] — the trivial planner that
-//! reproduces the engine's historical explicit scheduling — and the
+//! Three planners ship: [`FixedPlanner`] — the trivial planner that
+//! reproduces the engine's historical explicit scheduling — the
 //! load-aware [`AdaptivePlanner`], which places onto the least-loaded
 //! healthy node and operationalizes the paper's §4 decision rule by
-//! picking the transfer scheme from observed write intensity.
+//! picking the transfer scheme from observed write intensity, and the
+//! predictive [`CostPlanner`], which estimates per-scheme migration
+//! time and bytes-on-wire from an analytic model over the same
+//! telemetry (the paper's §5.2 dirty-rate × threshold analysis) and
+//! admits the argmin — recording the per-scheme estimates on the
+//! [`PlannerDecision`] so reports show *why* a scheme won.
 //!
 //! Everything here is deterministic: no randomness, ties broken by the
 //! lowest index, so two runs of the same scenario produce bit-identical
 //! reports (the property `lsm/tests/determinism.rs` pins).
 
 mod adaptive;
+mod cost;
 mod fixed;
 
 pub use adaptive::AdaptivePlanner;
+pub use cost::CostPlanner;
 pub use fixed::FixedPlanner;
 
 use crate::policy::StrategyKind;
@@ -84,6 +91,10 @@ pub enum PlannerKind {
     /// [`AdaptivePlanner`]: least-loaded placement, write-intensity
     /// strategy selection for adaptive requests.
     Adaptive,
+    /// [`CostPlanner`]: least-loaded placement; adaptive requests get
+    /// the scheme whose predicted migration cost (time + weighted
+    /// traffic, from the analytic model) is lowest.
+    Cost,
 }
 
 impl PlannerKind {
@@ -92,7 +103,14 @@ impl PlannerKind {
         match self {
             PlannerKind::Fixed => "fixed",
             PlannerKind::Adaptive => "adaptive",
+            PlannerKind::Cost => "cost",
         }
+    }
+
+    /// Whether this planner reads per-VM I/O telemetry (and therefore
+    /// needs the sampling loop armed and accepts adaptive requests).
+    pub fn uses_telemetry(self) -> bool {
+        !matches!(self, PlannerKind::Fixed)
     }
 }
 
@@ -107,8 +125,9 @@ impl serde::Deserialize for PlannerKind {
         match v {
             serde::Value::Str(s) if s.eq_ignore_ascii_case("fixed") => Ok(PlannerKind::Fixed),
             serde::Value::Str(s) if s.eq_ignore_ascii_case("adaptive") => Ok(PlannerKind::Adaptive),
+            serde::Value::Str(s) if s.eq_ignore_ascii_case("cost") => Ok(PlannerKind::Cost),
             serde::Value::Str(s) => Err(serde::Error::new(format!(
-                "unknown planner `{s}` (expected `fixed` or `adaptive`)"
+                "unknown planner `{s}` (expected `fixed`, `adaptive` or `cost`)"
             ))),
             other => Err(serde::Error::new(format!(
                 "expected planner name string, found {}",
@@ -150,6 +169,25 @@ pub struct OrchestratorConfig {
     /// below it the VM is idle and gets `Precopy` (the block stream
     /// converges immediately).
     pub adaptive_read_hi_frac: f64,
+    /// Cost model: seconds of score added per GiB of predicted
+    /// bytes-on-wire (the time/traffic exchange rate — 0 optimizes time
+    /// alone).
+    pub cost_bytes_weight: f64,
+    /// Cost model: pull-phase slowdown multiplier per unit of read
+    /// intensity (fraction of NIC): on-demand reads block on pulls, so
+    /// a read-hot guest stretches the Hybrid/Postcopy pull phase by
+    /// `1 + penalty × read_frac`.
+    pub cost_ondemand_penalty: f64,
+    /// Cost model: predicted time charged to a pre-copy-style scheme
+    /// (Precopy, Mirror) whose re-dirty/write flux is at or above the
+    /// NIC share — the non-convergent case the paper criticizes.
+    pub cost_nonconverge_penalty_secs: f64,
+    /// How many times an intent-expanded migration step whose placement
+    /// found no healthy destination is retried (on later queue drains —
+    /// slot releases, new requests, node restores) before the step is
+    /// abandoned with a terminal [`SkipReason::PlacementExhausted`]
+    /// record.
+    pub placement_retry_limit: u32,
 }
 
 impl Default for OrchestratorConfig {
@@ -161,6 +199,10 @@ impl Default for OrchestratorConfig {
             adaptive_write_hi_frac: 0.05,
             adaptive_write_lo_frac: 0.005,
             adaptive_read_hi_frac: 0.05,
+            cost_bytes_weight: 1.0,
+            cost_ondemand_penalty: 4.0,
+            cost_nonconverge_penalty_secs: 1.0e6,
+            placement_retry_limit: 4,
         }
     }
 }
@@ -177,7 +219,11 @@ macro_rules! orchestrator_config_fields {
             telemetry_window_secs,
             adaptive_write_hi_frac,
             adaptive_write_lo_frac,
-            adaptive_read_hi_frac
+            adaptive_read_hi_frac,
+            cost_bytes_weight,
+            cost_ondemand_penalty,
+            cost_nonconverge_penalty_secs,
+            placement_retry_limit
         )
     };
 }
@@ -249,6 +295,25 @@ impl OrchestratorConfig {
                 self.adaptive_write_lo_frac, self.adaptive_write_hi_frac
             ));
         }
+        for (name, x) in [
+            ("cost_bytes_weight", self.cost_bytes_weight),
+            ("cost_ondemand_penalty", self.cost_ondemand_penalty),
+        ] {
+            if !(x.is_finite() && x >= 0.0) {
+                return fail(format!("{name} must be non-negative and finite, got {x}"));
+            }
+        }
+        if !(self.cost_nonconverge_penalty_secs.is_finite()
+            && self.cost_nonconverge_penalty_secs > 0.0)
+        {
+            return fail(format!(
+                "cost_nonconverge_penalty_secs must be positive and finite, got {}",
+                self.cost_nonconverge_penalty_secs
+            ));
+        }
+        if self.placement_retry_limit == 0 {
+            return fail("placement_retry_limit of 0 would never attempt a placement".to_string());
+        }
         Ok(())
     }
 
@@ -257,6 +322,7 @@ impl OrchestratorConfig {
         match self.planner {
             PlannerKind::Fixed => Box::new(FixedPlanner),
             PlannerKind::Adaptive => Box::new(AdaptivePlanner),
+            PlannerKind::Cost => Box::new(CostPlanner::default()),
         }
     }
 }
@@ -274,6 +340,12 @@ pub struct NodeView {
 }
 
 /// The VM a planner is deciding about.
+///
+/// The windowed rates cover the last full telemetry window before the
+/// decision instant; when no telemetry tick has sampled the VM yet
+/// (admission earlier than the first window boundary), the orchestrator
+/// samples the cumulative counters on demand, so a freshly admitted hot
+/// writer is never misread as idle.
 #[derive(Clone, Copy, Debug)]
 pub struct VmView {
     /// The VM index.
@@ -282,11 +354,27 @@ pub struct VmView {
     pub host: u32,
     /// Its configured storage transfer strategy.
     pub strategy: StrategyKind,
-    /// Windowed write rate, bytes/second (0 until the first telemetry
-    /// sample lands).
+    /// Windowed write rate, bytes/second.
     pub write_rate: f64,
     /// Windowed read rate, bytes/second.
     pub read_rate: f64,
+    /// Windowed dirty-set growth, bytes/second: the rate at which the
+    /// guest touches *previously clean* chunks (ModifiedSet growth × the
+    /// chunk size).
+    pub dirty_rate: f64,
+    /// Windowed re-write (overwrite) rate, bytes/second: manager-level
+    /// writes landing on already-modified chunks — the paper's real
+    /// threshold signal. High `rewrite_rate` with low `dirty_rate` is a
+    /// hot working set that pre-copy streams re-send forever and the
+    /// hybrid scheme withholds.
+    pub rewrite_rate: f64,
+    /// Bytes with any local presence (modified or cached base) — what a
+    /// `Precopy`/`Mirror` bulk phase must copy.
+    pub local_bytes: u64,
+    /// Bytes of locally *written* chunks (the ModifiedSet) — what
+    /// `Hybrid`/`Postcopy` must move; cached base content is re-fetched
+    /// from the repository by the destination instead.
+    pub modified_bytes: u64,
 }
 
 /// Everything a planner may consult for one decision. Views only — a
@@ -302,6 +390,10 @@ pub struct PlanContext<'a> {
     /// style storage strategies (`Precopy`, `Mirror`) cannot run there,
     /// and an adaptive rule must not select them.
     pub postcopy_memory: bool,
+    /// The cluster's push `Threshold` (a chunk written this many times
+    /// is withheld from the hybrid active push) — the cost model's
+    /// bound on re-push traffic.
+    pub threshold: u32,
     /// The orchestrator configuration (thresholds).
     pub cfg: &'a OrchestratorConfig,
     /// Per-node load, indexed by node.
@@ -328,6 +420,29 @@ pub trait Planner: std::fmt::Debug + Send {
     /// Resolve the transfer strategy for an adaptive request on
     /// `ctx.vm`.
     fn choose_strategy(&mut self, ctx: &PlanContext<'_>) -> StrategyKind;
+
+    /// Per-scheme estimates behind the most recent
+    /// [`Planner::choose_strategy`] call, moved out for the decision
+    /// record (empty for planners that do not predict).
+    fn take_estimates(&mut self) -> Vec<SchemeEstimate> {
+        Vec::new()
+    }
+}
+
+/// One candidate scheme's predicted migration cost, as computed by the
+/// [`CostPlanner`] at admission time and recorded on the
+/// [`PlannerDecision`] (so `lsm run --json` shows *why* a scheme won).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SchemeEstimate {
+    /// The candidate scheme.
+    pub strategy: StrategyKind,
+    /// Predicted storage migration time, seconds.
+    pub est_time_secs: f64,
+    /// Predicted storage bytes-on-wire.
+    pub est_bytes: u64,
+    /// The scalar score the argmin ran on:
+    /// `est_time_secs + cost_bytes_weight × est_bytes / GiB`.
+    pub score: f64,
 }
 
 /// One planner decision, recorded in scheduling order and serialized
@@ -354,6 +469,53 @@ pub struct PlannerDecision {
     pub deferred: bool,
     /// Name of the deciding planner.
     pub planner: &'static str,
+    /// Per-scheme cost estimates behind the strategy choice (empty
+    /// unless the cost planner resolved the strategy).
+    pub estimates: Vec<SchemeEstimate>,
+}
+
+/// Why an intent-expanded migration step was skipped instead of
+/// admitted. Skips are recorded in
+/// [`crate::engine::RunReport::planner_skips`] so an intent that moved
+/// fewer VMs than expected is auditable, not silent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize)]
+pub enum SkipReason {
+    /// The VM died (its host crashed) while the step was queued.
+    VmCrashed,
+    /// An explicit migration job raced the intent and already owns the
+    /// VM.
+    AlreadyMigrating,
+    /// Evacuation only: the VM already left the drained node before the
+    /// step was admitted.
+    AlreadyOffNode,
+    /// Rebalance only: moving the VM would no longer improve the load
+    /// spread (host ≤ target + 1 after the move).
+    SpreadSatisfied,
+    /// No healthy destination existed at this attempt; the step is
+    /// parked and retried on the next queue drain (slot release, new
+    /// request, node restore).
+    NoDestination,
+    /// Every retry found no healthy destination; the step is abandoned
+    /// ([`OrchestratorConfig::placement_retry_limit`] bounds the
+    /// attempts).
+    PlacementExhausted,
+}
+
+/// One skipped intent step (see [`SkipReason`]), recorded in admission
+/// order alongside [`PlannerDecision`]s.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PlannerSkip {
+    /// The orchestrator request whose step was skipped.
+    pub request: u32,
+    /// The VM the step would have migrated.
+    pub vm: u32,
+    /// When the skip was decided.
+    pub at: SimTime,
+    /// Why the step was skipped.
+    pub reason: SkipReason,
+    /// True when the step will not be retried (the intent is resolved
+    /// for this VM — by the skip itself or by retry exhaustion).
+    pub terminal: bool,
 }
 
 #[cfg(test)]
@@ -365,6 +527,7 @@ mod tests {
             now: SimTime::ZERO,
             nic_bw: 100.0e6,
             postcopy_memory: false,
+            threshold: 3,
             cfg,
             nodes,
             vm,
@@ -390,6 +553,10 @@ mod tests {
             strategy: StrategyKind::Hybrid,
             write_rate,
             read_rate,
+            dirty_rate: 0.0,
+            rewrite_rate: write_rate,
+            local_bytes: 64 << 20,
+            modified_bytes: 64 << 20,
         }
     }
 

@@ -7,7 +7,8 @@ use lsm_core::config::ClusterConfig;
 use lsm_core::engine::{Milestone, RecordingObserver};
 use lsm_core::policy::StrategyKind;
 use lsm_core::{
-    EngineError, MigrationStatus, NodeId, OrchestratorConfig, PlannerKind, RequestIntent,
+    EngineError, FaultKind, MigrationStatus, NodeId, OrchestratorConfig, PlannerKind,
+    RequestIntent, SkipReason,
 };
 use lsm_simcore::time::SimTime;
 use lsm_simcore::units::MIB;
@@ -309,6 +310,10 @@ fn rebalance_spreads_a_stacked_group() {
     assert!(report.migrations[0].completed);
     let hosts: Vec<u32> = report.vms.iter().map(|v| v.final_host).collect();
     assert_ne!(hosts[0], hosts[1], "group still stacked: {hosts:?}");
+    // The member the spread gate stopped leaves a typed trace.
+    assert_eq!(report.planner_skips.len(), 1);
+    assert_eq!(report.planner_skips[0].reason, SkipReason::SpreadSatisfied);
+    assert!(report.planner_skips[0].terminal);
 }
 
 /// Planner decisions are deterministic: two identical runs produce the
@@ -418,6 +423,290 @@ fn evacuation_edge_cases_are_noops() {
         "the intents must not double-migrate or invent jobs"
     );
     assert!(report.migrations[0].completed);
+    // The race is auditable: the step the explicit job beat is recorded
+    // as an AlreadyMigrating skip (the empty-node evacuation expands to
+    // nothing, so that is the only skip).
+    assert_eq!(report.planner_skips.len(), 1);
+    assert_eq!(report.planner_skips[0].vm, 0);
+    assert_eq!(report.planner_skips[0].reason, SkipReason::AlreadyMigrating);
+    assert!(report.planner_skips[0].terminal);
+}
+
+// ---------------- telemetry sampling at admission ----------------
+
+/// Regression (ISSUE 5 bugfix): a hot writer whose adaptive migration
+/// is admitted *before* the first telemetry window has sampled must not
+/// be misclassified as idle. The windowed rates are still zero at
+/// t = 2 s (window 5 s), so pre-fix the decision read 0 B/s and chose
+/// `Precopy`; the orchestrator now samples the cumulative counters on
+/// demand and sees the true MB/s-scale write rate.
+#[test]
+fn adaptive_admission_before_first_window_samples_on_demand() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_orchestrator(adaptive_cfg()).expect("configures");
+    let writer = b
+        .add_vm(
+            NodeId(0),
+            heavy_writer(),
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    // Admission at 2 s < the 5 s telemetry window: no tick has sampled.
+    b.migrate_adaptive(writer, NodeId(2), secs(2.0))
+        .expect("job");
+    let mut sim = b.build().expect("builds");
+    let report = sim.run_until(secs(600.0));
+    assert_eq!(report.planner.len(), 1);
+    assert_eq!(
+        report.planner[0].strategy,
+        StrategyKind::Hybrid,
+        "hot writer admitted before the first window was misread as idle"
+    );
+    assert!(report.migrations[0].completed);
+}
+
+/// The cost planner reads the same on-demand sample — and records the
+/// per-scheme estimates it decided from on the decision.
+#[test]
+fn cost_admission_before_first_window_samples_on_demand() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_orchestrator(OrchestratorConfig {
+        planner: PlannerKind::Cost,
+        ..OrchestratorConfig::default()
+    })
+    .expect("configures");
+    let writer = b
+        .add_vm(
+            NodeId(0),
+            heavy_writer(),
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    b.migrate_adaptive(writer, NodeId(2), secs(2.0))
+        .expect("job");
+    let mut sim = b.build().expect("builds");
+    let report = sim.run_until(secs(600.0));
+    let d = &report.planner[0];
+    assert_eq!(d.planner, "cost");
+    assert_eq!(d.strategy, StrategyKind::Hybrid, "hot overwriter");
+    assert_eq!(d.estimates.len(), 4, "full candidate sweep recorded");
+    let best = d
+        .estimates
+        .iter()
+        .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+        .unwrap();
+    assert_eq!(best.strategy, d.strategy, "chosen scheme is the argmin");
+    assert!(report.migrations[0].completed);
+}
+
+/// A VM whose workload *starts* after the first telemetry tick must not
+/// be marked sampled by ticks that ran while it did not exist yet: a
+/// hot writer starting at t = 7 s (ticks at 5, 10, ...) and admitted at
+/// t = 9 s still takes the on-demand path and is classified from its
+/// real post-start write rate.
+#[test]
+fn late_started_hot_writer_is_not_misread_by_prestart_ticks() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_orchestrator(adaptive_cfg()).expect("configures");
+    let writer = b
+        .add_vm(NodeId(0), heavy_writer(), StrategyKind::Hybrid, secs(7.0))
+        .expect("vm");
+    b.migrate_adaptive(writer, NodeId(2), secs(9.0))
+        .expect("job");
+    let mut sim = b.build().expect("builds");
+    let report = sim.run_until(secs(600.0));
+    assert_eq!(
+        report.planner[0].strategy,
+        StrategyKind::Hybrid,
+        "pre-start ticks marked the VM sampled with zero rates"
+    );
+    assert!(report.migrations[0].completed);
+}
+
+/// Dirty-rate telemetry separates the two write signals: a hotspot
+/// overwriter shows a high re-write rate with a near-zero dirty-set
+/// growth once its region is dirty, while a sequential writer shows the
+/// reverse.
+#[test]
+fn telemetry_separates_rewrite_from_dirty_growth() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_orchestrator(adaptive_cfg()).expect("configures");
+    let hot = b
+        .add_vm(
+            NodeId(0),
+            heavy_writer(),
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    let seq = b
+        .add_vm(
+            NodeId(1),
+            // Slow enough to still be writing fresh chunks in the
+            // second telemetry window (0.5 s think per 1 MiB block).
+            WorkloadSpec::SeqWrite {
+                offset: 0,
+                total: 60 * MIB,
+                block: MIB,
+                think_secs: 0.5,
+            },
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    // A far-future adaptive job keeps the telemetry loop armed.
+    b.migrate_adaptive(hot, NodeId(2), secs(90.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    // Past the second window (5 s → 10 s): the hotspot's region is
+    // fully dirty, so its writes are pure overwrites now.
+    sim.run_until(secs(11.0));
+    let h = sim.engine().vm_telemetry(0).expect("vm exists");
+    let s = sim.engine().vm_telemetry(seq.index()).expect("vm exists");
+    assert!(h.sampled && s.sampled);
+    assert!(
+        h.rewrite_rate > 10.0 * h.dirty_rate.max(1.0),
+        "hotspot writer must be overwrite-dominated: rewrite {} dirty {}",
+        h.rewrite_rate,
+        h.dirty_rate
+    );
+    assert!(
+        s.dirty_rate > s.rewrite_rate,
+        "sequential writer must be growth-dominated: rewrite {} dirty {}",
+        s.rewrite_rate,
+        s.dirty_rate
+    );
+}
+
+// ---------------- placement retry + skip records ----------------
+
+/// Regression (ISSUE 5 bugfix): an evacuation step admitted while no
+/// healthy destination exists must not be dropped. The step parks (a
+/// non-terminal `NoDestination` skip), and when a node is restored the
+/// retry places it — the VM eventually leaves the drained node.
+#[test]
+fn evacuation_step_parks_and_retries_after_node_restore() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.add_vm(
+        NodeId(0),
+        WorkloadSpec::SeqWrite {
+            offset: 0,
+            total: 16 * MIB,
+            block: MIB,
+            think_secs: 0.05,
+        },
+        StrategyKind::Hybrid,
+        SimTime::ZERO,
+    )
+    .expect("vm");
+    // Every possible destination is down when the drain fires...
+    for node in [1, 2, 3] {
+        b.inject_fault(secs(1.0), FaultKind::NodeCrash { node })
+            .expect("fault");
+    }
+    b.request_evacuation(NodeId(0), secs(2.0)).expect("request");
+    // ...and one comes back later.
+    b.inject_fault(secs(30.0), FaultKind::NodeRestore { node: 2 })
+        .expect("fault");
+    let mut sim = b.build().expect("builds");
+    let report = sim.run_until(secs(600.0));
+
+    assert_eq!(report.migrations.len(), 1, "the step must eventually run");
+    assert!(report.migrations[0].completed);
+    assert_eq!(report.migrations[0].consistent, Some(true));
+    assert_eq!(report.vms[0].final_host, 2, "only node 2 was restored");
+    // The wait is auditable: one non-terminal NoDestination skip.
+    assert_eq!(report.planner_skips.len(), 1);
+    let skip = &report.planner_skips[0];
+    assert_eq!(skip.reason, SkipReason::NoDestination);
+    assert!(!skip.terminal);
+    assert_eq!(skip.vm, 0);
+    // And the eventual decision placed it after the restore.
+    assert_eq!(report.planner.len(), 1);
+    assert!(report.planner[0].decided_at >= secs(30.0));
+}
+
+/// When no destination ever appears, the bounded retry gives up with a
+/// terminal `PlacementExhausted` record instead of retrying forever (or
+/// silently pretending the evacuation completed).
+#[test]
+fn evacuation_placement_exhausts_after_bounded_retries() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.add_vm(NodeId(0), idle(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    for node in [1, 2, 3] {
+        b.inject_fault(secs(1.0), FaultKind::NodeCrash { node })
+            .expect("fault");
+    }
+    b.request_evacuation(NodeId(0), secs(2.0)).expect("request");
+    // Each later request drains the queue — a retry opportunity for the
+    // parked step. The default limit (4 attempts) is exceeded by the
+    // fourth drain.
+    for t in [3.0, 4.0, 5.0, 6.0] {
+        b.request_evacuation(NodeId(3), secs(t)).expect("request");
+    }
+    let mut sim = b.build().expect("builds");
+    let report = sim.run_until(secs(600.0));
+
+    assert!(report.migrations.is_empty(), "nothing could ever place");
+    assert_eq!(report.vms[0].final_host, 0);
+    let reasons: Vec<(SkipReason, bool)> = report
+        .planner_skips
+        .iter()
+        .map(|s| (s.reason, s.terminal))
+        .collect();
+    assert_eq!(
+        reasons,
+        vec![
+            (SkipReason::NoDestination, false),
+            (SkipReason::PlacementExhausted, true),
+        ],
+        "park once, then a single terminal abandonment"
+    );
+}
+
+/// A VM that dies while its evacuation step waits behind the admission
+/// cap is skipped with a terminal `VmCrashed` record.
+#[test]
+fn crashed_vm_step_is_recorded_as_skipped() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_orchestrator(OrchestratorConfig {
+        max_concurrent: Some(2),
+        ..OrchestratorConfig::default()
+    })
+    .expect("configures");
+    // A long-running migration pins one slot...
+    let heavy = b
+        .add_vm(
+            NodeId(0),
+            heavy_writer(),
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    b.migrate(heavy, NodeId(3), secs(1.0)).expect("job");
+    // ...two guests on node 1: the drain admits the first into the
+    // remaining slot, the second stays expanded-but-queued.
+    b.add_vm(NodeId(1), idle(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    b.add_vm(NodeId(1), idle(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    b.request_evacuation(NodeId(1), secs(2.0)).expect("request");
+    // The node dies while that second step waits.
+    b.inject_fault(secs(2.5), FaultKind::NodeCrash { node: 1 })
+        .expect("fault");
+    let mut sim = b.build().expect("builds");
+    let report = sim.run_until(secs(600.0));
+
+    let crashed_skips: Vec<_> = report
+        .planner_skips
+        .iter()
+        .filter(|s| s.reason == SkipReason::VmCrashed)
+        .collect();
+    assert_eq!(crashed_skips.len(), 1, "{:?}", report.planner_skips);
+    assert_eq!(crashed_skips[0].vm, 2, "the still-queued second guest");
+    assert!(crashed_skips[0].terminal);
 }
 
 /// `RequestIntent` round-trips through the serde data model (the

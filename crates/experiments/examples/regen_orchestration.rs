@@ -4,8 +4,8 @@
 //! cargo run --release -p lsm-experiments --example regen_orchestration
 //! ```
 //!
-//! `scenarios/evacuate.toml` and `scenarios/adaptive64.toml` must stay
-//! byte-identical to their producers in
+//! `scenarios/evacuate.toml`, `scenarios/adaptive64.toml` and
+//! `scenarios/cost64.toml` must stay byte-identical to their producers in
 //! [`lsm_experiments::orchestration`] — a test asserts it, so edit the
 //! producer, rerun this, and commit both.
 

@@ -1,0 +1,103 @@
+//! Acceptance tests for the predictive cost planner (ISSUE 5): on the
+//! `adaptive64` judge harness the `cost` planner must beat or match the
+//! threshold `adaptive` planner on at least one of completion makespan
+//! and total bytes moved, its decisions must carry per-scheme estimates
+//! whose argmin is the chosen strategy, and the whole decision log must
+//! be bit-identical across network solvers.
+
+use lsm_core::planner::PlannerKind;
+use lsm_core::policy::StrategyKind;
+use lsm_experiments::judge::judge_adaptive64;
+use lsm_experiments::orchestration::cost64_spec;
+use lsm_experiments::scenario::run_scenario_with_solver;
+use lsm_netsim::SolverMode;
+
+/// The headline acceptance criterion: on the full 64-VM fleet, the
+/// argmin of the analytic model does not lose to the threshold rule on
+/// both cost dimensions at once.
+#[test]
+fn cost_beats_or_matches_adaptive_on_adaptive64() {
+    let outcomes = judge_adaptive64().expect("judge runs");
+    let adaptive = &outcomes[0];
+    let cost = &outcomes[1];
+    assert_eq!(adaptive.planner, PlannerKind::Adaptive);
+    assert_eq!(cost.planner, PlannerKind::Cost);
+    assert_eq!(
+        adaptive.completed, adaptive.migrations,
+        "adaptive left migrations incomplete"
+    );
+    assert_eq!(
+        cost.completed, cost.migrations,
+        "cost left migrations incomplete"
+    );
+    assert!(
+        cost.makespan_secs <= adaptive.makespan_secs
+            || cost.migration_traffic <= adaptive.migration_traffic,
+        "cost planner lost on both metrics: makespan {:.2}s vs {:.2}s, \
+         traffic {} vs {} bytes",
+        cost.makespan_secs,
+        adaptive.makespan_secs,
+        cost.migration_traffic,
+        adaptive.migration_traffic,
+    );
+}
+
+/// Every cost decision records estimates for every candidate scheme,
+/// the chosen strategy is their argmin, and the full serialized report
+/// (decisions, estimates, migrations, traffic) is bit-identical under
+/// `SolverMode::Incremental` and `SolverMode::Reference` — the model's
+/// inputs are event-time counters, which the solver-equivalence
+/// contract already pins.
+#[test]
+fn cost64_decisions_carry_argmin_estimates_and_match_across_solvers() {
+    let spec = cost64_spec();
+    let incremental = run_scenario_with_solver(&spec, SolverMode::Incremental).expect("runs");
+    let reference = run_scenario_with_solver(&spec, SolverMode::Reference).expect("runs");
+
+    assert_eq!(incremental.planner.len(), 64);
+    for d in &incremental.planner {
+        assert_eq!(d.planner, "cost");
+        assert_eq!(
+            d.estimates.len(),
+            4,
+            "vm {} decision lacks a full candidate sweep",
+            d.vm
+        );
+        let best = d
+            .estimates
+            .iter()
+            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .expect("non-empty");
+        assert_eq!(
+            best.strategy, d.strategy,
+            "vm {}: chosen strategy is not the recorded argmin",
+            d.vm
+        );
+        // The fleet's three classes never look write-saturated: no
+        // candidate should be non-convergence-penalized here.
+        for e in &d.estimates {
+            assert!(
+                e.est_time_secs < 1.0e5,
+                "vm {} {:?} hit the non-convergence penalty",
+                d.vm,
+                e.strategy
+            );
+        }
+    }
+    // The idle class is free either way; the hot writers must land on
+    // the paper's scheme.
+    for d in &incremental.planner {
+        if d.vm % 3 == 0 {
+            assert_eq!(
+                d.strategy,
+                StrategyKind::Hybrid,
+                "hot writer vm {} not on the hybrid scheme",
+                d.vm
+            );
+        }
+    }
+
+    let a = serde_json::to_string_pretty(&incremental).expect("serializes");
+    let b = serde_json::to_string_pretty(&reference).expect("serializes");
+    assert_eq!(a, b, "cost64 diverges between solver modes");
+}

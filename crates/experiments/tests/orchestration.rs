@@ -5,9 +5,12 @@
 
 use lsm_check::{CheckConfig, InvariantObserver};
 use lsm_core::policy::StrategyKind;
+use lsm_core::{FaultKind, RequestIntent, SkipReason};
 use lsm_experiments::orchestration::{adaptive64_spec, all, evacuate_spec};
 use lsm_experiments::scenario::{build_scenario, run_scenario, ScenarioSpec};
 use lsm_simcore::time::SimTime;
+use lsm_simcore::units::MIB;
+use lsm_workloads::WorkloadSpec;
 
 /// The checked-in `scenarios/*.toml` files are the producers'
 /// serializations, byte for byte (edit the producer, rerun
@@ -18,6 +21,7 @@ fn checked_in_scenarios_match_producers() {
         let checked_in = match file {
             "evacuate.toml" => include_str!("../../../scenarios/evacuate.toml"),
             "adaptive64.toml" => include_str!("../../../scenarios/adaptive64.toml"),
+            "cost64.toml" => include_str!("../../../scenarios/cost64.toml"),
             other => panic!("unlisted scenario file {other}"),
         };
         let produced = spec.to_toml().expect("serializes");
@@ -75,6 +79,45 @@ fn evacuation_completes_clean_under_check() {
     assert_eq!(strategy_of(1), StrategyKind::Hybrid, "hot writer");
     assert_eq!(strategy_of(2), StrategyKind::Precopy, "idle by drain time");
     assert_eq!(strategy_of(3), StrategyKind::Precopy, "idle by drain time");
+}
+
+/// Crash-then-restore at the scenario level (ISSUE 5 bugfix): a
+/// declarative `[[faults]]` plan downs every possible destination
+/// before an `[[requests]]` evacuation fires, then restores one node.
+/// The evacuation step must park (not silently drop), retry when the
+/// node returns, and the guest must eventually leave the drained node —
+/// with the whole plan surviving a TOML round-trip.
+#[test]
+fn evacuation_survives_crash_then_restore() {
+    let mut spec = ScenarioSpec::baseline(
+        StrategyKind::Hybrid,
+        WorkloadSpec::SeqWrite {
+            offset: 0,
+            total: 16 * MIB,
+            block: MIB,
+            think_secs: 0.05,
+        },
+    )
+    .with_cluster(lsm_core::config::ClusterConfig::small_test())
+    .with_horizon(600.0)
+    .with_name("crash-then-restore");
+    for node in [1, 2, 3] {
+        spec = spec.with_fault(1.0, FaultKind::NodeCrash { node });
+    }
+    spec = spec
+        .with_request(2.0, RequestIntent::Evacuate { node: 0 })
+        .with_fault(40.0, FaultKind::NodeRestore { node: 2 });
+
+    // The plan (NodeRestore included) is fully declarative.
+    let spec = ScenarioSpec::from_toml(&spec.to_toml().expect("serializes")).expect("parses");
+    let report = run_scenario(&spec).expect("runs");
+
+    assert_eq!(report.migrations.len(), 1, "the parked step must retry");
+    assert!(report.migrations[0].completed);
+    assert_eq!(report.vms[0].final_host, 2, "only node 2 came back");
+    assert_eq!(report.planner_skips.len(), 1);
+    assert_eq!(report.planner_skips[0].reason, SkipReason::NoDestination);
+    assert!(!report.planner_skips[0].terminal);
 }
 
 /// The adaptive fleet: every hot writer migrates with `Hybrid`, every

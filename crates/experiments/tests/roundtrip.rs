@@ -12,25 +12,30 @@ use proptest::prelude::*;
 
 fn orchestrator_strategy() -> impl Strategy<Value = OrchestratorConfig> {
     (
-        prop::option::of(1u32..16),
-        prop::bool::ANY,
-        0.5f64..30.0,
-        0.01f64..0.5,
-        0.001f64..0.01,
-        0.01f64..0.5,
+        (prop::option::of(1u32..16), 0u8..3, 0.5f64..30.0),
+        (0.01f64..0.5, 0.001f64..0.01, 0.01f64..0.5),
+        (0.0f64..10.0, 0.0f64..16.0, 1.0f64..1.0e7, 1u32..12),
     )
         .prop_map(
-            |(cap, adaptive, window, w_hi, w_lo, r_hi)| OrchestratorConfig {
+            |(
+                (cap, planner, window),
+                (w_hi, w_lo, r_hi),
+                (bytes_w, ondemand, nonconverge, retry),
+            )| OrchestratorConfig {
                 max_concurrent: cap,
-                planner: if adaptive {
-                    PlannerKind::Adaptive
-                } else {
-                    PlannerKind::Fixed
+                planner: match planner {
+                    0 => PlannerKind::Fixed,
+                    1 => PlannerKind::Adaptive,
+                    _ => PlannerKind::Cost,
                 },
                 telemetry_window_secs: window,
                 adaptive_write_hi_frac: w_hi,
                 adaptive_write_lo_frac: w_lo,
                 adaptive_read_hi_frac: r_hi,
+                cost_bytes_weight: bytes_w,
+                cost_ondemand_penalty: ondemand,
+                cost_nonconverge_penalty_secs: nonconverge,
+                placement_retry_limit: retry,
             },
         )
 }

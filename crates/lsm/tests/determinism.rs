@@ -70,6 +70,10 @@ fn orchestrated_scenarios_are_deterministic_across_runs_and_solvers() {
             "adaptive64.toml",
             include_str!("../../../scenarios/adaptive64.toml"),
         ),
+        (
+            "cost64.toml",
+            include_str!("../../../scenarios/cost64.toml"),
+        ),
     ] {
         let spec = ScenarioSpec::from_toml(text).expect("parses");
         assert_deterministic(file, &spec);

@@ -43,6 +43,15 @@ pub enum FaultKind {
         /// The crashed node.
         node: u32,
     },
+    /// Bring a crashed node back as a fresh, empty host (replacement
+    /// hardware at the same cluster slot): it can serve as a migration
+    /// destination and repository replica again. Guests that died with
+    /// the crash stay dead — restoration is a capacity event, not a
+    /// data-recovery one. No-op if the node is up.
+    NodeRestore {
+        /// The restored node.
+        node: u32,
+    },
     /// Sever and suspend the storage-transfer pipelines (push or pull)
     /// of the given VM's live migration for `secs` seconds. In-flight
     /// transfer batches are lost; their chunks return to the surviving
@@ -63,7 +72,8 @@ impl FaultKind {
         match *self {
             FaultKind::LinkDegrade { node, .. }
             | FaultKind::LinkRestore { node }
-            | FaultKind::NodeCrash { node } => Some(node),
+            | FaultKind::NodeCrash { node }
+            | FaultKind::NodeRestore { node } => Some(node),
             FaultKind::TransferStall { .. } => None,
         }
     }
@@ -74,6 +84,7 @@ impl FaultKind {
             FaultKind::LinkDegrade { .. } => "link-degrade",
             FaultKind::LinkRestore { .. } => "link-restore",
             FaultKind::NodeCrash { .. } => "node-crash",
+            FaultKind::NodeRestore { .. } => "node-restore",
             FaultKind::TransferStall { .. } => "transfer-stall",
         }
     }
@@ -107,6 +118,7 @@ mod tests {
             },
             FaultKind::LinkRestore { node: 2 },
             FaultKind::NodeCrash { node: 7 },
+            FaultKind::NodeRestore { node: 7 },
             FaultKind::TransferStall { vm: 1, secs: 3.5 },
         ] {
             let v = serde::Serialize::to_value(&k);
