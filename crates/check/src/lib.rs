@@ -31,6 +31,21 @@
 //!   in-range, non-crashed node (planner-placed evacuations and
 //!   rebalances included; same-host requests are rejected at schedule
 //!   time, before this law applies).
+//! * **Rebalancer actions only when thresholds held** — every recorded
+//!   autonomic [`RebalanceAction`] must correspond to a pressure
+//!   condition that actually holds when audited: an overload trigger
+//!   needs node pressure at least `overload - hysteresis`, an underload
+//!   trigger at most `underload + hysteresis`, and a re-plan needs a
+//!   crashed (or overload-pressured) destination.
+//! * **No ping-pong** — a VM the rebalancer chose to move is not chosen
+//!   again by a later overload/underload action within the configured
+//!   cooldown window (re-plans of the same in-flight job are the same
+//!   logical move and exempt).
+//! * **Re-queues trace to re-plans** — a started job returning to
+//!   `Queued` is legal only as an autonomic re-plan, and a matching
+//!   `Replan`-triggered action must exist in the record.
+//!
+//! [`RebalanceAction`]: lsm_core::RebalanceAction
 //!
 //! Violations are collected (bounded) with timestamps and law names;
 //! [`InvariantObserver::finish`] runs a final full audit and
@@ -46,7 +61,7 @@
 #![warn(rust_2018_idioms)]
 
 use lsm_core::engine::{Engine, JobId, MigrationProgress, MigrationStatus, Milestone};
-use lsm_core::{Observer, RunControl};
+use lsm_core::{Observer, RebalanceTrigger, ReplanReason, RunControl};
 use lsm_simcore::time::SimTime;
 
 /// Tuning for the checker (defaults are right for tests and CI).
@@ -123,6 +138,15 @@ pub struct InvariantObserver {
     scan_queue: Vec<u32>,
     /// High-water logical disk version per (vm, chunk).
     disk_marks: Vec<Vec<u64>>,
+    /// Rebalance actions already audited (cursor into
+    /// `Engine::rebalance_actions`).
+    seen_actions: usize,
+    /// Per-VM instant of the last *originating* rebalance action that
+    /// chose it (the no-ping-pong reference; re-plans exempt).
+    last_chosen: Vec<Option<SimTime>>,
+    /// Started jobs seen returning to `Queued`, awaiting the
+    /// re-plan-traceability check at the next engine-visible audit.
+    pending_requeues: Vec<(u32, SimTime)>,
     /// Reused per-tick scratch: summed rates per up/down link.
     up_sum: Vec<f64>,
     down_sum: Vec<f64>,
@@ -355,6 +379,105 @@ impl InvariantObserver {
                 );
             }
         }
+
+        // ---- autonomic-rebalancer laws ----
+        // A started job regressing to Queued must trace to a recorded
+        // re-plan action, whether or not an autonomic config is live
+        // (without one there can be no such action, so it flags).
+        if !self.pending_requeues.is_empty() {
+            let pending = std::mem::take(&mut self.pending_requeues);
+            for (jid, at) in pending {
+                self.checks += 1;
+                let traced = eng.rebalance_actions().iter().any(|a| {
+                    matches!(a.trigger,
+                        RebalanceTrigger::Replan { job, .. } if job == jid)
+                });
+                if !traced {
+                    control = self.violate(
+                        at,
+                        "requeue-without-replan",
+                        format!("job {jid} re-entered Queued with no recorded re-plan action"),
+                    );
+                }
+            }
+        }
+        let actions = eng.rebalance_actions();
+        if self.seen_actions < actions.len() {
+            let acfg = eng
+                .autonomic_config()
+                .expect("rebalance actions imply an autonomic config")
+                .clone();
+            // Audits run in the same instant the action was recorded
+            // (on_tick fires after every event), so recomputed pressures
+            // match the tick's view; the epsilon only absorbs float noise.
+            let pressures = eng.node_pressures();
+            let tol = 1e-9;
+            let p_of = |node: u32| pressures.get(node as usize).copied().unwrap_or(0.0);
+            for a in &actions[self.seen_actions..] {
+                self.checks += 1;
+                let held = match a.trigger {
+                    RebalanceTrigger::Overload { node, .. } => {
+                        p_of(node) >= acfg.overload_pressure - acfg.hysteresis - tol
+                    }
+                    RebalanceTrigger::Underload { node, .. } => {
+                        p_of(node) <= acfg.underload_pressure + acfg.hysteresis + tol
+                    }
+                    RebalanceTrigger::Replan {
+                        reason: ReplanReason::DestinationCrashed { node },
+                        ..
+                    } => eng.node_crashed(node),
+                    // The re-plan itself re-attributes the moving VM, so
+                    // the destination's pressure has already changed by
+                    // audit time: judge the recorded trigger pressure
+                    // (self-consistency) rather than recomputing.
+                    RebalanceTrigger::Replan {
+                        reason: ReplanReason::DestinationDegraded { pressure, .. },
+                        ..
+                    } => pressure >= acfg.overload_pressure - acfg.hysteresis - tol,
+                };
+                if !held {
+                    control = self.violate(
+                        a.at,
+                        "rebalance-threshold-held",
+                        format!(
+                            "action {:?} recorded but its trigger condition does not hold",
+                            a.trigger
+                        ),
+                    );
+                }
+                // No ping-pong: only originating (overload/underload)
+                // actions count — a re-plan moves the same in-flight job
+                // and is the same logical move.
+                if let Some(vm) = a.chosen {
+                    if matches!(
+                        a.trigger,
+                        RebalanceTrigger::Overload { .. } | RebalanceTrigger::Underload { .. }
+                    ) {
+                        self.checks += 1;
+                        let idx = vm as usize;
+                        if self.last_chosen.len() <= idx {
+                            self.last_chosen.resize(idx + 1, None);
+                        }
+                        if let Some(prev) = self.last_chosen[idx] {
+                            let gap = a.at.since(prev).as_secs_f64();
+                            if gap < acfg.cooldown_secs - tol {
+                                control = self.violate(
+                                    a.at,
+                                    "rebalance-no-ping-pong",
+                                    format!(
+                                        "vm {vm} chosen again {gap:.3}s after its last rebalance \
+                                         (cooldown {}s)",
+                                        acfg.cooldown_secs
+                                    ),
+                                );
+                            }
+                        }
+                        self.last_chosen[idx] = Some(a.at);
+                    }
+                }
+            }
+            self.seen_actions = actions.len();
+        }
         control
     }
 
@@ -442,6 +565,16 @@ impl Observer for InvariantObserver {
                 );
             }
             (Some(MigrationStatus::Queued), MigrationStatus::TransferringMemory) => true,
+            // Autonomic re-plan: a started job may return to the queue
+            // to be re-placed. Legal only when a matching Replan action
+            // exists in the record — cross-checked at the next audit.
+            (
+                Some(MigrationStatus::TransferringMemory | MigrationStatus::SwitchingOver),
+                MigrationStatus::Queued,
+            ) => {
+                self.pending_requeues.push((job.0, now));
+                true
+            }
             (Some(MigrationStatus::TransferringMemory), MigrationStatus::SwitchingOver) => true,
             (Some(MigrationStatus::SwitchingOver), MigrationStatus::TransferringStorage) => true,
             (

@@ -257,6 +257,259 @@ fn checker_detects_illegal_transition_and_missing_reason() {
     assert_eq!(obs.violations()[0].law, "failed-without-reason");
 }
 
+/// An in-flight migration whose destination crashes is re-planned by
+/// the autonomic layer instead of failed: the job re-queues, re-places
+/// on a healthy node, and completes — and the whole episode upholds
+/// every law, including requeue-traces-to-replan.
+#[test]
+fn destination_crash_replans_and_completes_cleanly() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_autonomic(lsm_core::AutonomicConfig {
+        overload_pressure: 50.0, // unreachable: replanning is the only autonomic act
+        underload_pressure: 0.01,
+        hysteresis: 0.0,
+        ..lsm_core::AutonomicConfig::default()
+    })
+    .expect("configures");
+    let vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    b.inject_fault(secs(1.6), FaultKind::NodeCrash { node: 1 })
+        .expect("valid");
+    let mut sim = b.build().expect("builds");
+    let mut obs = checker();
+    let report = sim.run_observed(secs(600.0), &mut obs);
+    obs.finish(sim.engine());
+    obs.assert_clean("crash replan");
+    assert_eq!(report.migrations.len(), 1);
+    assert!(
+        report.migrations[0].completed,
+        "re-planned job must complete"
+    );
+    assert!(
+        report.rebalance.iter().any(|a| matches!(
+            a.trigger,
+            lsm_core::RebalanceTrigger::Replan {
+                reason: lsm_core::ReplanReason::DestinationCrashed { node: 1 },
+                ..
+            }
+        )),
+        "{:?}",
+        report.rebalance
+    );
+    // The re-admission decided a fresh, healthy destination.
+    assert_eq!(report.planner.len(), 2, "original admission + re-admission");
+    assert_ne!(report.planner[1].dest, 1);
+}
+
+/// A destination that degrades past the overload threshold while the
+/// job is still in its active phase gets re-pointed at a healthier
+/// node mid-flight — cleanly.
+#[test]
+fn degraded_destination_replans_cleanly() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_autonomic(lsm_core::AutonomicConfig {
+        interval_secs: 0.5,
+        overload_pressure: 0.05, // the resident writer's busy fraction clears this
+        underload_pressure: 0.001,
+        hysteresis: 0.01,
+        ..lsm_core::AutonomicConfig::default()
+    })
+    .expect("configures");
+    // A resident heavy writer keeps the destination hot.
+    let _hot = b
+        .add_vm(
+            NodeId(1),
+            WorkloadSpec::HotspotWrite {
+                offset: 0,
+                region_blocks: 64,
+                block: 256 * 1024,
+                count: 4000,
+                theta: 0.8,
+                think_secs: 0.01,
+                seed: 7,
+            },
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    let vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    b.migrate(vm, NodeId(1), secs(1.5)).expect("job");
+    let mut sim = b.build().expect("builds");
+    let mut obs = checker();
+    let report = sim.run_observed(secs(600.0), &mut obs);
+    obs.finish(sim.engine());
+    obs.assert_clean("degraded replan");
+    assert!(
+        report.rebalance.iter().any(|a| matches!(
+            a.trigger,
+            lsm_core::RebalanceTrigger::Replan {
+                reason: lsm_core::ReplanReason::DestinationDegraded { node: 1, .. },
+                ..
+            }
+        )),
+        "{:?}",
+        report.rebalance
+    );
+    let m = report
+        .migrations
+        .iter()
+        .find(|m| m.vm == 1)
+        .expect("the explicit job is recorded");
+    assert!(m.completed, "re-pointed job must complete");
+    let last = report
+        .planner
+        .iter()
+        .rfind(|d| d.vm == 1)
+        .expect("re-admission decision");
+    assert_ne!(last.dest, 1, "final placement avoids the hot node");
+}
+
+/// A forged rebalance action whose trigger condition could not possibly
+/// hold must be flagged — the threshold law is not vacuous.
+#[test]
+fn checker_detects_rebalance_threshold_violation() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_autonomic(lsm_core::AutonomicConfig {
+        interval_secs: 1e6, // no real ticks: only the forged action exists
+        overload_pressure: 50.0,
+        underload_pressure: 0.05,
+        hysteresis: 0.0,
+        ..lsm_core::AutonomicConfig::default()
+    })
+    .expect("configures");
+    let _vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(2.0));
+    // Claim node 0 sits at pressure 49 — nothing remotely close holds.
+    sim.engine_mut()
+        .testing_force_rebalance_action(lsm_core::RebalanceAction {
+            at: secs(2.0),
+            trigger: lsm_core::RebalanceTrigger::Overload {
+                node: 0,
+                pressure: 49.0,
+            },
+            candidates: vec![0],
+            deferrals: Vec::new(),
+            chosen: None,
+            job: None,
+            dest: None,
+        });
+    let mut obs = checker();
+    sim.run_observed(secs(10.0), &mut obs);
+    obs.finish(sim.engine());
+    assert!(!obs.is_clean(), "impossible trigger must be flagged");
+    assert!(
+        obs.violations()
+            .iter()
+            .any(|v| v.law == "rebalance-threshold-held"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
+/// Two forged actions choosing the same VM inside the cooldown window
+/// must trip the no-ping-pong law — and only that law (both triggers
+/// are chosen so their threshold condition genuinely holds).
+#[test]
+fn checker_detects_rebalance_ping_pong() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_autonomic(lsm_core::AutonomicConfig {
+        interval_secs: 1e6,
+        cooldown_secs: 120.0,
+        ..lsm_core::AutonomicConfig::default()
+    })
+    .expect("configures");
+    let _vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(1.0));
+    // Node 3 hosts nothing, so pressure 0 satisfies the underload
+    // threshold; the second identical choice is the only illegal part.
+    for at in [1.0, 2.0] {
+        sim.engine_mut()
+            .testing_force_rebalance_action(lsm_core::RebalanceAction {
+                at: secs(at),
+                trigger: lsm_core::RebalanceTrigger::Underload {
+                    node: 3,
+                    pressure: 0.0,
+                },
+                candidates: vec![0],
+                deferrals: Vec::new(),
+                chosen: Some(0),
+                job: None,
+                dest: Some(1),
+            });
+    }
+    let mut obs = checker();
+    sim.run_observed(secs(10.0), &mut obs);
+    obs.finish(sim.engine());
+    assert!(
+        !obs.is_clean(),
+        "repeat move inside cooldown must be flagged"
+    );
+    assert!(
+        obs.violations()
+            .iter()
+            .any(|v| v.law == "rebalance-no-ping-pong"),
+        "{:?}",
+        obs.violations()
+    );
+    assert!(
+        obs.violations()
+            .iter()
+            .all(|v| v.law != "rebalance-threshold-held"),
+        "thresholds held for both actions: {:?}",
+        obs.violations()
+    );
+}
+
+/// A started job sneaking back to `Queued` with no recorded re-plan
+/// action must be flagged once the engine state is consulted.
+#[test]
+fn checker_detects_requeue_without_replan() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    let _vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(1.0));
+    let mut obs = InvariantObserver::new();
+    let p = |s| progress(7, s);
+    obs.on_status(
+        JobId(7),
+        MigrationStatus::TransferringMemory,
+        secs(1.0),
+        &p(MigrationStatus::TransferringMemory),
+    );
+    obs.on_status(
+        JobId(7),
+        MigrationStatus::Queued,
+        secs(2.0),
+        &p(MigrationStatus::Queued),
+    );
+    assert!(
+        obs.is_clean(),
+        "the transition itself is provisionally legal"
+    );
+    // No autonomic config, no actions: the regression cannot trace.
+    obs.finish(sim.engine());
+    assert!(!obs.is_clean());
+    assert!(
+        obs.violations()
+            .iter()
+            .any(|v| v.law == "requeue-without-replan"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
 #[test]
 fn violation_digest_is_readable_and_bounded() {
     let mut obs = InvariantObserver::with_config(CheckConfig {

@@ -158,7 +158,7 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let scenario = args.value("--scenario")?;
             let out = args
                 .value("--out")?
-                .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+                .unwrap_or_else(|| "BENCH_PR6.json".to_string());
             let baseline = args.value("--baseline")?;
             args.finish()?;
             cmd_bench(quick, scenario.as_deref(), &out, baseline.as_deref())
@@ -529,6 +529,47 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
             }
         }
     }
+    if !r.rebalance.is_empty() {
+        println!("  rebalance actions ({}):", r.rebalance.len());
+        for a in &r.rebalance {
+            use lsm_core::{DeferralReason, RebalanceTrigger, ReplanReason};
+            let trigger = match a.trigger {
+                RebalanceTrigger::Overload { node, pressure } => {
+                    format!("overload node {node} (pressure {pressure:.3})")
+                }
+                RebalanceTrigger::Underload { node, pressure } => {
+                    format!("underload node {node} (pressure {pressure:.3})")
+                }
+                RebalanceTrigger::Replan {
+                    job,
+                    reason: ReplanReason::DestinationCrashed { node },
+                } => format!("re-plan job {job} (destination node {node} crashed)"),
+                RebalanceTrigger::Replan {
+                    job,
+                    reason: ReplanReason::DestinationDegraded { node, pressure },
+                } => format!(
+                    "re-plan job {job} (destination node {node} degraded, pressure {pressure:.3})"
+                ),
+            };
+            let outcome = match (a.chosen, a.dest) {
+                (Some(vm), Some(dest)) => format!("move vm {vm} -> node {dest}"),
+                (Some(vm), None) => format!("move vm {vm}"),
+                _ => "all candidates deferred".to_string(),
+            };
+            println!("    [{:>9.3}s] {trigger}: {outcome}", a.at.as_secs_f64());
+            for d in &a.deferrals {
+                let why = match d.reason {
+                    DeferralReason::HotPhase { rate } => format!(
+                        "hot phase ({}/s re-write)",
+                        lsm_simcore::units::fmt_bytes(rate as u64)
+                    ),
+                    DeferralReason::Cooldown => "cooldown (moved recently)".to_string(),
+                    DeferralReason::NoPlacement => "no acceptable destination".to_string(),
+                };
+                println!("                deferred vm {}: {why}", d.vm);
+            }
+        }
+    }
     // Skips happen under the default orchestrator too (an intent step
     // raced by an explicit job, a parked placement): always show them.
     if !r.planner_skips.is_empty() {
@@ -590,7 +631,7 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
 // ---------------- `lsm bench` ----------------
 
 /// One entry of the machine-readable record `lsm bench` writes
-/// (`BENCH_PR4.json` by default — a JSON array with one entry per
+/// (`BENCH_PR6.json` by default — a JSON array with one entry per
 /// benched scenario): the performance-trajectory numbers tracked
 /// across PRs.
 #[derive(Debug, Serialize)]
@@ -665,9 +706,10 @@ fn bench_one(spec: &ScenarioSpec) -> Result<BenchSummary, UsageError> {
     Ok(summary)
 }
 
-/// Run the tracked benchmark set — the paper-scale stress scenario plus
-/// the orchestrated scenarios (evacuation, adaptive fleet, cost fleet)
-/// — under a wall clock and record the trajectory numbers. With
+/// Run the tracked benchmark set — the paper-scale stress scenario, the
+/// orchestrated scenarios (evacuation, adaptive fleet, cost fleet) and
+/// the autonomic hotspot drill — under a wall clock and record the
+/// trajectory numbers. With
 /// `--baseline`, compare events/sec per scenario against a committed
 /// record and warn (advisory, never failing) on >20 % regressions.
 fn cmd_bench(
@@ -705,6 +747,7 @@ fn cmd_bench(
                 lsm_experiments::orchestration::evacuate_spec(),
                 lsm_experiments::orchestration::adaptive64_spec(),
                 lsm_experiments::orchestration::cost64_spec(),
+                lsm_experiments::autonomic::hotspot_drill_spec(),
             ]
         }
     };

@@ -34,6 +34,7 @@
 //!
 //! [`build`]: SimulationBuilder::build
 
+use crate::autonomic::AutonomicConfig;
 use crate::config::ClusterConfig;
 use crate::engine::{
     Engine, FaultKind, JobId, MigrationProgress, MigrationStatus, NullObserver, Observer, RunReport,
@@ -90,6 +91,19 @@ impl SimulationBuilder {
     /// when work is already queued.
     pub fn with_orchestrator(&mut self, cfg: OrchestratorConfig) -> Result<(), EngineError> {
         self.eng.configure_orchestrator(cfg)
+    }
+
+    /// Enable the autonomic rebalancer: a closed-loop monitor that
+    /// classifies per-node I/O pressure on a periodic tick and
+    /// originates (and re-plans) migrations on its own — see
+    /// [`AutonomicConfig`]. Must be called before any migration or
+    /// request is scheduled.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an unusable configuration or
+    /// when work is already queued.
+    pub fn with_autonomic(&mut self, cfg: AutonomicConfig) -> Result<(), EngineError> {
+        self.eng.configure_autonomic(cfg)
     }
 
     /// Submit a high-level orchestration request (see

@@ -118,7 +118,11 @@ fn crash_node(eng: &mut Engine, node: u32) {
             None => None,
         };
         if let Some(reason) = reason {
-            abort_migration(eng, job, reason);
+            // The autonomic rebalancer may rescue a destination-crash
+            // casualty by re-placing it instead of failing it.
+            if !super::rebalance::try_replan_crash(eng, job, &reason) {
+                abort_migration(eng, job, reason);
+            }
         }
     }
 
@@ -298,6 +302,18 @@ pub(crate) fn disk_lost(eng: &mut Engine, node: u32, ctx: DiskCtx) {
 /// rounds, timeline) survives in the migration slot for the report.
 pub(crate) fn abort_migration(eng: &mut Engine, job: JobId, reason: FailureReason) {
     let v = eng.jobs[job.0 as usize].vm;
+    teardown_transfer(eng, v);
+    eng.fail_job_reason(job, reason);
+    eng.update_compute(v);
+}
+
+/// Tear down VM `v`'s in-flight transfer without deciding the job's
+/// fate: cancel its flows, unwind the per-phase state (resuming a
+/// paused guest at the source when it survives), and release reads
+/// blocked on pulls. Shared by the abort path above (job → `Failed`)
+/// and the autonomic re-plan path (job → re-queued toward a new
+/// destination); the caller settles the job afterwards.
+pub(crate) fn teardown_transfer(eng: &mut Engine, v: VmIdx) {
     let now = eng.now;
 
     // Sever the job's remaining transfer flows (the crash path already
@@ -357,8 +373,6 @@ pub(crate) fn abort_migration(eng: &mut Engine, job: JobId, reason: FailureReaso
     for ctx in lost {
         migration_flow_lost(eng, v, ctx);
     }
-    eng.fail_job_reason(job, reason);
-    eng.update_compute(v);
 }
 
 /// Cancel every transfer flow belonging to VM `v`'s migration (memory

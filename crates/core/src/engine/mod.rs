@@ -15,6 +15,7 @@ mod migration;
 mod observer;
 mod orchestrator;
 mod pvfs;
+mod rebalance;
 mod report;
 mod types;
 
@@ -69,6 +70,10 @@ pub struct Engine {
     /// request queue, telemetry, and recorded decisions (see the
     /// `orchestrator` module).
     orch: OrchestratorRt,
+    /// Autonomic rebalancer state (`None` — the default — leaves the
+    /// monitor loop off and the event stream untouched; see the
+    /// `rebalance` module).
+    autonomic: Option<rebalance::AutonomicRt>,
 }
 
 impl Engine {
@@ -128,6 +133,7 @@ impl Engine {
             events_processed: 0,
             faults: Vec::new(),
             orch: OrchestratorRt::default(),
+            autonomic: None,
         })
     }
 
@@ -248,6 +254,8 @@ impl Engine {
             tele_read_rate: 0.0,
             tele_dirty_rate: 0.0,
             tele_rewrite_rate: 0.0,
+            tele_last_busy: SimDuration::ZERO,
+            tele_pressure: 0.0,
             tele_sampled: false,
         });
         self.queue.schedule(start_at, Ev::VmStart(id.0));
@@ -491,6 +499,7 @@ impl Engine {
             Ev::Fault(idx) => fault::apply_fault(self, self.faults[idx as usize]),
             Ev::JobDeadline(job) => fault::job_deadline(self, JobId(job)),
             Ev::StallOver(v) => fault::stall_over(self, v),
+            Ev::RebalanceTick => rebalance::rebalance_tick(self),
         }
     }
 

@@ -62,6 +62,9 @@ pub(crate) struct JobRt {
     /// The orchestrator request this job realizes, if it was expanded
     /// from an intent.
     pub origin: Option<u32>,
+    /// How many times the autonomic rebalancer re-placed this job while
+    /// in flight (bounded by `AutonomicConfig::replan_limit`).
+    pub replans: u32,
 }
 
 /// A job status change or milestone awaiting observer delivery.
@@ -365,7 +368,7 @@ impl Engine {
         self.schedule_migration_inner(vm, dest, at, deadline, true)
     }
 
-    fn schedule_migration_inner(
+    pub(crate) fn schedule_migration_inner(
         &mut self,
         vm: VmId,
         dest: u32,
@@ -426,6 +429,7 @@ impl Engine {
             counted: false,
             held: false,
             origin: None,
+            replans: 0,
         });
         self.queue.schedule(at, Ev::MigrationStart(job.0));
         if let Some(d) = deadline {
@@ -674,24 +678,84 @@ fn job_terminal(eng: &mut Engine, job: JobId) {
 /// rest planner-held (once, with a visible milestone). Steps parked on
 /// a failed placement re-enter the queue first — every drain is a retry
 /// opportunity, bounded per step by the configured retry limit.
+///
+/// Jobs whose VM belongs to a barrier-domain group (CM1) admit as a
+/// *gang*: every same-group job visible in the ready queue goes in
+/// together, or the whole gang waits — the cap cannot strand half a
+/// group mid-migration while the barrier couples their progress. A
+/// waiting gang does not block ungrouped work behind it.
 fn drain(eng: &mut Engine) {
     requeue_parked(eng);
+    let mut gang_parked: Vec<JobId> = Vec::new();
     loop {
         if eng.orch.ready.is_empty() {
-            return;
+            break;
         }
         if eng.orch.cap_reached() {
-            mark_held(eng);
-            return;
+            break;
         }
         match eng.orch.ready.pop_front().expect("checked non-empty") {
-            ReadyItem::Job(job) => admit_job(eng, job),
+            ReadyItem::Job(job) => match job_gang(eng, job) {
+                Some(gid) => admit_gang(eng, job, gid, &mut gang_parked),
+                None => admit_job(eng, job),
+            },
             ReadyItem::Intent(req) => expand_intent(eng, req),
             ReadyItem::IntentVm {
                 vm,
                 origin,
                 attempts,
             } => admit_intent_vm(eng, vm, origin, attempts),
+        }
+    }
+    // Parked gangs re-enter at the front: they keep their FIFO position
+    // for the next drain, they just could not fit whole in this one.
+    for job in gang_parked.into_iter().rev() {
+        eng.orch.ready.push_front(ReadyItem::Job(job));
+    }
+    if !eng.orch.ready.is_empty() {
+        mark_held(eng);
+    }
+}
+
+/// The barrier-domain id of a job's VM (`None`: ungrouped).
+fn job_gang(eng: &Engine, job: JobId) -> Option<u32> {
+    let v = eng.jobs[job.0 as usize].vm;
+    eng.vms[v as usize].group.map(|(gid, _)| gid)
+}
+
+/// Admit a gang head: gather every same-group job from the ready queue
+/// and admit them together if they fit in the free slots, else park the
+/// gang intact. A gang larger than the entire cap can never fit at once
+/// and degrades to ordinary member-by-member FIFO admission rather than
+/// starving.
+fn admit_gang(eng: &mut Engine, head: JobId, gid: u32, gang_parked: &mut Vec<JobId>) {
+    let mut members = vec![head];
+    let mut rest = VecDeque::with_capacity(eng.orch.ready.len());
+    while let Some(item) = eng.orch.ready.pop_front() {
+        match item {
+            ReadyItem::Job(j) if job_gang(eng, j) == Some(gid) => members.push(j),
+            other => rest.push_back(other),
+        }
+    }
+    eng.orch.ready = rest;
+    let need = members
+        .iter()
+        .filter(|j| !eng.jobs[j.0 as usize].status.is_terminal())
+        .count() as u32;
+    match eng.orch.cfg.max_concurrent {
+        Some(cap) if need > cap => {
+            // Oversized gang: re-insert the tail at the front and admit
+            // the head alone — the drain loop's cap check paces the rest.
+            for j in members.drain(1..).rev() {
+                eng.orch.ready.push_front(ReadyItem::Job(j));
+            }
+            admit_job(eng, head);
+        }
+        Some(cap) if eng.orch.active + need > cap => gang_parked.extend(members),
+        _ => {
+            for j in members {
+                admit_job(eng, j);
+            }
         }
     }
 }
@@ -840,6 +904,7 @@ fn admit_intent_vm(eng: &mut Engine, v: VmIdx, origin: u32, attempts: u32) {
         counted: false,
         held: false,
         origin: Some(origin),
+        replans: 0,
     });
     // "Deferred" is measured against the intent's fire time: a step
     // admitted in a later instant than its request waited for a slot.
@@ -915,7 +980,10 @@ fn expand_intent(eng: &mut Engine, req: u32) {
 /// migration is moving it, in which case it counts at the migration's
 /// destination (it is leaving the source and arriving there), so
 /// back-to-back placements see the loads earlier decisions created.
-fn node_views(eng: &Engine) -> Vec<NodeView> {
+/// I/O pressure and cache hits aggregate under the same attribution, so
+/// a tick that just admitted a relief migration immediately sees the
+/// pressure moving with the VM.
+pub(crate) fn node_views(eng: &Engine) -> Vec<NodeView> {
     let mut moving_to = vec![None::<u32>; eng.vms.len()];
     for j in &eng.jobs {
         if j.counted && !j.status.is_terminal() {
@@ -923,10 +991,16 @@ fn node_views(eng: &Engine) -> Vec<NodeView> {
         }
     }
     let mut load = vec![0u32; eng.cfg.nodes as usize];
+    let mut pressure = vec![0.0f64; eng.cfg.nodes as usize];
+    let mut hit = vec![0u64; eng.cfg.nodes as usize];
+    let mut miss = vec![0u64; eng.cfg.nodes as usize];
     for (v, vm) in eng.vms.iter().enumerate() {
         if !vm.crashed {
-            let at = moving_to[v].unwrap_or(vm.vm.host);
-            load[at as usize] += 1;
+            let at = moving_to[v].unwrap_or(vm.vm.host) as usize;
+            load[at] += 1;
+            pressure[at] += vm_pressure(eng, v as VmIdx);
+            hit[at] += vm.reads_hit_bytes;
+            miss[at] += vm.reads_miss_bytes;
         }
     }
     (0..eng.cfg.nodes)
@@ -934,37 +1008,69 @@ fn node_views(eng: &Engine) -> Vec<NodeView> {
             node: n,
             crashed: eng.nodes[n as usize].crashed,
             load: load[n as usize],
+            io_pressure: pressure[n as usize],
+            cache_hit: cache_hit_ratio(hit[n as usize], miss[n as usize]),
         })
         .collect()
+}
+
+/// Cache-hit ratio with the no-reads convention (nothing missed yet —
+/// report a perfect ratio rather than NaN).
+fn cache_hit_ratio(hit: u64, miss: u64) -> f64 {
+    if hit + miss == 0 {
+        1.0
+    } else {
+        hit as f64 / (hit + miss) as f64
+    }
 }
 
 /// Delta rates of `vm`'s cumulative counters against its last telemetry
 /// snapshot — the one formula both the windowed tick and the pre-window
 /// on-demand sample use, so the two paths cannot drift apart. Returns
-/// `(write, read, dirty, rewrite)` bytes/second, or `None` when no time
-/// has passed since the snapshot.
-fn sample_rates(vm: &VmRt, now: SimTime, chunk: f64) -> Option<(f64, f64, f64, f64)> {
+/// `(write, read, dirty, rewrite, pressure)`: rates in bytes/second
+/// plus the busy fraction (I/O-in-flight time over the window), or
+/// `None` when no time has passed since the snapshot.
+fn sample_rates(vm: &VmRt, now: SimTime, chunk: f64) -> Option<(f64, f64, f64, f64, f64)> {
     let dt = now.since(vm.tele_last_at).as_secs_f64();
     if dt <= 0.0 {
         return None;
     }
+    let busy = (vm.read_busy + vm.write_busy) - vm.tele_last_busy;
     Some((
         (vm.write_bytes - vm.tele_last_write) as f64 / dt,
         (vm.read_bytes - vm.tele_last_read) as f64 / dt,
         (vm.disk.modified().count() - vm.tele_last_modified) as f64 * chunk / dt,
         (vm.rewrite_chunk_writes - vm.tele_last_rewrite) as f64 * chunk / dt,
+        busy.as_secs_f64() / dt,
     ))
 }
 
-fn vm_view(eng: &Engine, v: VmIdx) -> VmView {
+/// One VM's windowed I/O pressure (busy fraction): the windowed sample
+/// when a tick has taken one, the on-demand delta otherwise — the same
+/// two-path contract as [`vm_view`]'s rates. Node pressure is the sum
+/// of this over a node's attributed VMs; `Engine::node_pressures`
+/// exposes the same computation to invariant checkers.
+pub(crate) fn vm_pressure(eng: &Engine, v: VmIdx) -> f64 {
+    let vm = &eng.vms[v as usize];
+    if vm.tele_sampled {
+        vm.tele_pressure
+    } else {
+        sample_rates(vm, eng.now, eng.cfg.chunk_size as f64)
+            .map(|(_, _, _, _, p)| p)
+            .unwrap_or(0.0)
+    }
+}
+
+pub(crate) fn vm_view(eng: &Engine, v: VmIdx) -> VmView {
     let vm = &eng.vms[v as usize];
     let chunk = eng.cfg.chunk_size as f64;
-    let (write_rate, read_rate, dirty_rate, rewrite_rate) = if vm.tele_sampled {
+    let (write_rate, read_rate, dirty_rate, rewrite_rate, io_pressure) = if vm.tele_sampled {
         (
             vm.tele_write_rate,
             vm.tele_read_rate,
             vm.tele_dirty_rate,
             vm.tele_rewrite_rate,
+            vm.tele_pressure,
         )
     } else {
         // No telemetry tick has sampled this VM since it started (the
@@ -973,7 +1079,7 @@ fn vm_view(eng: &Engine, v: VmIdx) -> VmView {
         // samples are unaffected. Without this, a hot writer admitted
         // at t < window reads all-zero rates and is misclassified as
         // idle.
-        sample_rates(vm, eng.now, chunk).unwrap_or((0.0, 0.0, 0.0, 0.0))
+        sample_rates(vm, eng.now, chunk).unwrap_or((0.0, 0.0, 0.0, 0.0, 0.0))
     };
     VmView {
         vm: v,
@@ -983,12 +1089,14 @@ fn vm_view(eng: &Engine, v: VmIdx) -> VmView {
         read_rate,
         dirty_rate,
         rewrite_rate,
+        io_pressure,
+        cache_hit: cache_hit_ratio(vm.reads_hit_bytes, vm.reads_miss_bytes),
         local_bytes: vm.disk.locally_present().count() as u64 * eng.cfg.chunk_size,
         modified_bytes: vm.disk.modified().count() as u64 * eng.cfg.chunk_size,
     }
 }
 
-fn place(eng: &mut Engine, v: VmIdx) -> Option<u32> {
+pub(crate) fn place(eng: &mut Engine, v: VmIdx) -> Option<u32> {
     let nodes = node_views(eng);
     let ctx = PlanContext {
         now: eng.now,
@@ -1024,7 +1132,7 @@ fn choose_strategy(eng: &mut Engine, v: VmIdx) -> StrategyKind {
 // ---------------- telemetry ----------------
 
 /// Schedule the next telemetry tick (idempotent while one is pending).
-fn arm_telemetry(eng: &mut Engine) {
+pub(crate) fn arm_telemetry(eng: &mut Engine) {
     if eng.orch.telemetry_armed {
         return;
     }
@@ -1051,26 +1159,30 @@ pub(crate) fn telemetry_tick(eng: &mut Engine) {
             // on-demand path, not read a zero window sampled while the
             // VM did not exist yet.
             vm.tele_last_at = now;
+            vm.tele_last_busy = vm.read_busy + vm.write_busy;
             continue;
         }
-        let Some((w, r, d, rw)) = sample_rates(vm, now, chunk) else {
+        let Some((w, r, d, rw, p)) = sample_rates(vm, now, chunk) else {
             continue;
         };
         vm.tele_write_rate = w;
         vm.tele_read_rate = r;
         vm.tele_dirty_rate = d;
         vm.tele_rewrite_rate = rw;
+        vm.tele_pressure = p;
         vm.tele_last_at = now;
         vm.tele_last_write = vm.write_bytes;
         vm.tele_last_read = vm.read_bytes;
         vm.tele_last_modified = vm.disk.modified().count();
         vm.tele_last_rewrite = vm.rewrite_chunk_writes;
+        vm.tele_last_busy = vm.read_busy + vm.write_busy;
         vm.tele_sampled = true;
     }
     let work_remains = !eng.orch.ready.is_empty()
         || !eng.orch.parked.is_empty()
         || eng.jobs.iter().any(|j| !j.status.is_terminal())
-        || has_unexpanded_intents(eng);
+        || has_unexpanded_intents(eng)
+        || super::rebalance::autonomic_live(eng);
     if work_remains {
         arm_telemetry(eng);
     }

@@ -1,0 +1,556 @@
+//! The autonomic rebalancer's engine half: the periodic monitor tick
+//! that classifies node pressure and *originates* migrations, plus the
+//! in-flight re-planning paths (destination crash, destination
+//! degrade).
+//!
+//! The pure pieces — configuration, the hysteresis classifier, the
+//! typed action records — live in [`crate::autonomic`]; this module is
+//! the only place the subsystem touches engine state. Everything here
+//! is inert until [`Engine::configure_autonomic`] installs a config:
+//! with `[autonomic]` absent, no tick is ever armed and every run is
+//! event-for-event identical to an engine built without this module.
+
+use super::fault;
+use super::job::{FailureReason, JobId, MigrationStatus};
+use super::orchestrator::{self, ReadyItem};
+use super::types::{Ev, MigPhase, VmIdx};
+use super::Engine;
+use crate::autonomic::{
+    classify, AutonomicConfig, Deferral, DeferralReason, NodeClass, RebalanceAction,
+    RebalanceTrigger, ReplanReason,
+};
+use crate::error::EngineError;
+use lsm_hypervisor::VmId;
+use lsm_simcore::time::{SimDuration, SimTime};
+
+/// Autonomic runtime state (present iff the subsystem is configured).
+pub(crate) struct AutonomicRt {
+    pub cfg: AutonomicConfig,
+    /// A `RebalanceTick` event is already queued.
+    pub armed: bool,
+    /// Per-node hysteresis memory (lazily sized to the cluster).
+    pub classes: Vec<NodeClass>,
+    /// Per-VM: when the rebalancer last originated a move of this VM
+    /// (the no-ping-pong cooldown reference).
+    pub last_moved: Vec<Option<SimTime>>,
+    /// Per-VM: when a hot-phase deferral of this VM began (cleared when
+    /// it cools or moves; drives the defer deadline).
+    pub deferred_since: Vec<Option<SimTime>>,
+    /// Every decision, in tick order (reported).
+    pub actions: Vec<RebalanceAction>,
+}
+
+impl Engine {
+    /// Enable the autonomic rebalancer: a periodic monitor that scans
+    /// per-node I/O pressure, classifies nodes against the configured
+    /// thresholds (with hysteresis) and originates migrations on its
+    /// own — relieving overloaded nodes, draining underloaded ones,
+    /// deferring hot-phase candidates, and re-planning in-flight jobs
+    /// whose destination crashes or degrades. Must be called before any
+    /// migration or request is scheduled.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an unusable configuration or
+    /// when work is already queued.
+    pub fn configure_autonomic(&mut self, cfg: AutonomicConfig) -> Result<(), EngineError> {
+        cfg.validate()?;
+        if !self.jobs.is_empty() || !self.orch.intents.is_empty() {
+            return Err(EngineError::InvalidRequest {
+                reason: "configure the autonomic rebalancer before scheduling migrations or \
+                         requests"
+                    .to_string(),
+            });
+        }
+        self.autonomic = Some(AutonomicRt {
+            cfg,
+            armed: false,
+            classes: Vec::new(),
+            last_moved: Vec::new(),
+            deferred_since: Vec::new(),
+            actions: Vec::new(),
+        });
+        // The monitor reads windowed rates: both loops must run.
+        orchestrator::arm_telemetry(self);
+        arm_tick(self);
+        Ok(())
+    }
+
+    /// The autonomic configuration, if the rebalancer is enabled.
+    pub fn autonomic_config(&self) -> Option<&AutonomicConfig> {
+        self.autonomic.as_ref().map(|a| &a.cfg)
+    }
+
+    /// Every autonomic decision so far, in tick order (empty when the
+    /// rebalancer is disabled).
+    pub fn rebalance_actions(&self) -> &[RebalanceAction] {
+        self.autonomic.as_ref().map_or(&[], |a| &a.actions)
+    }
+
+    /// Current per-node I/O pressure (summed windowed busy fraction of
+    /// each node's attributed VMs) — exactly the signal the rebalancer
+    /// classifies, so invariant checkers can recompute its decisions.
+    pub fn node_pressures(&self) -> Vec<f64> {
+        orchestrator::node_views(self)
+            .iter()
+            .map(|n| n.io_pressure)
+            .collect()
+    }
+
+    /// The rebalancer's sticky per-node classification (hysteresis
+    /// memory from the last monitor tick). All [`NodeClass::Neutral`]
+    /// when the rebalancer is disabled or has not ticked yet.
+    pub fn node_classes(&self) -> Vec<NodeClass> {
+        self.autonomic.as_ref().map_or_else(
+            || vec![NodeClass::Neutral; self.nodes.len()],
+            |a| {
+                let mut c = a.classes.clone();
+                c.resize(self.nodes.len(), NodeClass::Neutral);
+                c
+            },
+        )
+    }
+
+    /// Append a fabricated [`RebalanceAction`] **without** any
+    /// threshold actually holding. Exists so `lsm-check`'s rebalancer
+    /// laws can be detection-tested against deliberately illegal
+    /// actions; never call it from production code. Requires the
+    /// rebalancer to be configured.
+    #[doc(hidden)]
+    pub fn testing_force_rebalance_action(&mut self, action: RebalanceAction) {
+        self.autonomic
+            .as_mut()
+            .expect("testing_force_rebalance_action requires configure_autonomic")
+            .actions
+            .push(action);
+    }
+}
+
+/// Whether the monitor loop still has anything to watch: some guest is
+/// alive with work left, or some job is in flight. Once false, the tick
+/// (and the telemetry loop it keeps alive) stop re-arming so runs
+/// drain.
+pub(crate) fn autonomic_live(eng: &Engine) -> bool {
+    eng.autonomic.is_some()
+        && (eng
+            .vms
+            .iter()
+            .any(|vm| !vm.crashed && vm.finished_at.is_none())
+            || eng.jobs.iter().any(|j| !j.status.is_terminal()))
+}
+
+/// Schedule the next monitor tick (idempotent while one is pending).
+fn arm_tick(eng: &mut Engine) {
+    let Some(a) = eng.autonomic.as_mut() else {
+        return;
+    };
+    if a.armed {
+        return;
+    }
+    a.armed = true;
+    let at = eng.now + SimDuration::from_secs_f64(a.cfg.interval_secs);
+    eng.queue.schedule(at, Ev::RebalanceTick);
+}
+
+/// Ensure a per-VM vector covers index `i`.
+fn grow<T: Clone + Default>(v: &mut Vec<T>, i: usize) {
+    if v.len() <= i {
+        v.resize(i + 1, T::default());
+    }
+}
+
+/// `Ev::RebalanceTick`: one closed-loop pass — classify every node's
+/// pressure (with hysteresis), re-plan in-flight jobs whose destination
+/// degraded, relieve overloaded nodes and drain underloaded ones (at
+/// most `max_moves_per_tick` originated moves), then re-arm while any
+/// guest still runs.
+pub(crate) fn rebalance_tick(eng: &mut Engine) {
+    let Some(a) = eng.autonomic.as_mut() else {
+        return;
+    };
+    a.armed = false;
+    let cfg = a.cfg.clone();
+
+    let pressures = eng.node_pressures();
+    let nnodes = pressures.len();
+    let classes = {
+        let a = eng.autonomic.as_mut().expect("checked above");
+        a.classes.resize(nnodes, NodeClass::Neutral);
+        grow(&mut a.last_moved, eng.vms.len().saturating_sub(1));
+        grow(&mut a.deferred_since, eng.vms.len().saturating_sub(1));
+        for (n, &p) in pressures.iter().enumerate() {
+            a.classes[n] = if eng.nodes[n].crashed {
+                // A dead node has no pressure to classify; Neutral keeps
+                // its hysteresis memory from outliving the crash.
+                NodeClass::Neutral
+            } else {
+                classify(p, a.classes[n], &cfg)
+            };
+        }
+        a.classes.clone()
+    };
+
+    let mut moves = 0u32;
+    replan_degraded(eng, &cfg, &classes, &pressures, &mut moves);
+
+    for node in 0..nnodes as u32 {
+        if moves >= cfg.max_moves_per_tick {
+            break;
+        }
+        match classes[node as usize] {
+            NodeClass::Overloaded => {
+                let trigger = RebalanceTrigger::Overload {
+                    node,
+                    pressure: pressures[node as usize],
+                };
+                run_action(eng, &cfg, node, trigger, DestMode::Planner, &mut moves);
+            }
+            NodeClass::Underloaded => {
+                let trigger = RebalanceTrigger::Underload {
+                    node,
+                    pressure: pressures[node as usize],
+                };
+                run_action(
+                    eng,
+                    &cfg,
+                    node,
+                    trigger,
+                    DestMode::Consolidate { from: node },
+                    &mut moves,
+                );
+            }
+            NodeClass::Neutral => {}
+        }
+    }
+
+    if autonomic_live(eng) {
+        arm_tick(eng);
+        // Pressure reads windowed samples: keep the sampling loop alive
+        // for as long as the monitor is.
+        orchestrator::arm_telemetry(eng);
+    }
+}
+
+/// How one action picks a destination for its chosen VM.
+enum DestMode {
+    /// Overload relief: the planner places the VM (its usual placement
+    /// policy), rejected if it lands on another overloaded node.
+    Planner,
+    /// Underload drain: consolidate onto the *busiest* healthy
+    /// non-overloaded node at least as loaded as the source (moving to
+    /// an emptier node would spread, not drain).
+    Consolidate { from: u32 },
+}
+
+/// Evaluate one triggered node: rank its movable VMs, skip those in
+/// cooldown or a hot workload phase (recording typed deferrals), and
+/// originate a migration for the first placeable candidate. Records a
+/// [`RebalanceAction`] whenever the candidate set was non-empty — a
+/// deferral-only tick is auditable, not silent.
+fn run_action(
+    eng: &mut Engine,
+    cfg: &AutonomicConfig,
+    node: u32,
+    trigger: RebalanceTrigger,
+    mode: DestMode,
+    moves: &mut u32,
+) {
+    let now = eng.now;
+    // Movable: hosted here, alive, not already migrating.
+    let mut candidates: Vec<VmIdx> = (0..eng.vms.len() as u32)
+        .filter(|&v| {
+            let vm = &eng.vms[v as usize];
+            !vm.crashed
+                && vm.vm.host == node
+                && !eng
+                    .jobs
+                    .iter()
+                    .any(|j| j.vm == v && !j.status.is_terminal())
+        })
+        .collect();
+    if candidates.is_empty() {
+        return;
+    }
+    // Overload relieves its hottest VM first; a drain moves its coolest
+    // first (cheapest to displace). Ties break to the lowest index.
+    let hottest_first = matches!(mode, DestMode::Planner);
+    candidates.sort_by(|&x, &y| {
+        let (px, py) = (
+            orchestrator::vm_pressure(eng, x),
+            orchestrator::vm_pressure(eng, y),
+        );
+        let ord = if hottest_first {
+            py.partial_cmp(&px).expect("pressure is finite")
+        } else {
+            px.partial_cmp(&py).expect("pressure is finite")
+        };
+        ord.then(x.cmp(&y))
+    });
+
+    let classes = eng.autonomic.as_ref().expect("configured").classes.clone();
+    let mut deferrals = Vec::new();
+    let mut chosen = None;
+    for &v in &candidates {
+        let last = eng.autonomic.as_ref().expect("configured").last_moved[v as usize];
+        if let Some(t) = last {
+            if now.since(t).as_secs_f64() < cfg.cooldown_secs {
+                deferrals.push(Deferral {
+                    vm: v,
+                    reason: DeferralReason::Cooldown,
+                });
+                continue;
+            }
+        }
+        // Cycle timing (Baruchi-style): a candidate re-dirtying its
+        // disk fast is mid-phase — migrating now maximizes re-transfer.
+        // Wait for the cycle to cool, up to the defer deadline.
+        let view = orchestrator::vm_view(eng, v);
+        let rate = view.dirty_rate.max(view.rewrite_rate);
+        if rate >= cfg.hot_dirty_frac * eng.cfg.nic_bw {
+            let since = eng.autonomic.as_ref().expect("configured").deferred_since[v as usize];
+            let deadline_passed = match since {
+                Some(t) => now.since(t).as_secs_f64() >= cfg.defer_deadline_secs,
+                None => {
+                    eng.autonomic.as_mut().expect("configured").deferred_since[v as usize] =
+                        Some(now);
+                    false
+                }
+            };
+            if !deadline_passed {
+                deferrals.push(Deferral {
+                    vm: v,
+                    reason: DeferralReason::HotPhase { rate },
+                });
+                continue;
+            }
+            // Deferred long enough: the workload never cooled, move it
+            // anyway (fall through to placement).
+        } else {
+            // Cooled down: the deferral clock resets.
+            eng.autonomic.as_mut().expect("configured").deferred_since[v as usize] = None;
+        }
+        let dest = match mode {
+            DestMode::Planner => orchestrator::place(eng, v)
+                .filter(|&d| classes[d as usize] != NodeClass::Overloaded),
+            DestMode::Consolidate { from } => consolidation_dest(eng, &classes, from),
+        };
+        let Some(dest) = dest else {
+            deferrals.push(Deferral {
+                vm: v,
+                reason: DeferralReason::NoPlacement,
+            });
+            continue;
+        };
+        // Originate through the ordinary scheduling path: the job gets
+        // full validation, FIFO admission under the cap, and a recorded
+        // planner decision, exactly like a scenario-scheduled one.
+        let adaptive = eng.orch.cfg.planner.uses_telemetry();
+        match eng.schedule_migration_inner(VmId(v), dest, now, None, adaptive) {
+            Ok(job) => {
+                let a = eng.autonomic.as_mut().expect("configured");
+                a.last_moved[v as usize] = Some(now);
+                a.deferred_since[v as usize] = None;
+                *moves += 1;
+                chosen = Some((v, job.0, dest));
+                break;
+            }
+            Err(_) => {
+                // Scheduling refused (e.g. an incompatible memory
+                // strategy under a fixed planner): not movable by us.
+                deferrals.push(Deferral {
+                    vm: v,
+                    reason: DeferralReason::NoPlacement,
+                });
+            }
+        }
+    }
+
+    let a = eng.autonomic.as_mut().expect("configured");
+    a.actions.push(RebalanceAction {
+        at: now,
+        trigger,
+        candidates,
+        deferrals,
+        chosen: chosen.map(|(v, _, _)| v),
+        job: chosen.map(|(_, j, _)| j),
+        dest: chosen.map(|(_, _, d)| d),
+    });
+}
+
+/// Drain destination: the busiest healthy, non-overloaded node at
+/// least as loaded as the source (ties to the lowest index). `None`
+/// when every other node is crashed, overloaded, or emptier.
+fn consolidation_dest(eng: &Engine, classes: &[NodeClass], from: u32) -> Option<u32> {
+    let views = orchestrator::node_views(eng);
+    let from_load = views[from as usize].load;
+    views
+        .iter()
+        .filter(|n| {
+            n.node != from
+                && !n.crashed
+                && classes[n.node as usize] != NodeClass::Overloaded
+                && n.load >= from_load
+        })
+        .max_by(|x, y| x.load.cmp(&y.load).then(y.node.cmp(&x.node)))
+        .map(|n| n.node)
+}
+
+// ---------------- in-flight re-planning ----------------
+
+/// Re-plan in-flight jobs whose destination classified overloaded: a
+/// job still in its active (pre-control) phase is torn down and
+/// re-queued toward a healthier target instead of finishing into a hot
+/// spot. Bounded per job by `replan_limit` and per tick by
+/// `max_moves_per_tick`.
+fn replan_degraded(
+    eng: &mut Engine,
+    cfg: &AutonomicConfig,
+    classes: &[NodeClass],
+    pressures: &[f64],
+    moves: &mut u32,
+) {
+    if !cfg.replan_inflight {
+        return;
+    }
+    for ji in 0..eng.jobs.len() as u32 {
+        if *moves >= cfg.max_moves_per_tick {
+            return;
+        }
+        let job = JobId(ji);
+        let (v, dest, counted, replans, status) = {
+            let j = &eng.jobs[ji as usize];
+            (j.vm, j.dest, j.counted, j.replans, j.status)
+        };
+        if !counted
+            || status != MigrationStatus::TransferringMemory
+            || replans >= cfg.replan_limit
+            || classes[dest as usize] != NodeClass::Overloaded
+            || eng.vms[v as usize].crashed
+        {
+            continue;
+        }
+        // The in-flight VM is attributed to its destination, so its own
+        // pressure rides along with every re-plan. The destination only
+        // counts as degraded if the *other* load there still clears the
+        // band — otherwise the job would chase its own footprint from
+        // node to node until the re-plan limit ran out.
+        let others = pressures[dest as usize] - orchestrator::vm_pressure(eng, v);
+        if others < cfg.overload_pressure - cfg.hysteresis {
+            continue;
+        }
+        // Only the fully re-startable pre-control phases (bulk copy and
+        // linger rounds): once switchover begins the move is nearly
+        // done — re-pointing it would cost more than it saves.
+        let active = eng.vms[v as usize]
+            .migration
+            .as_ref()
+            .is_some_and(|m| matches!(m.phase, MigPhase::Active | MigPhase::Linger));
+        if !active {
+            continue;
+        }
+        let pick = orchestrator::place(eng, v);
+        let healthy = |d: u32| {
+            d != dest
+                && !eng.nodes[d as usize].crashed
+                && classes[d as usize] != NodeClass::Overloaded
+        };
+        // Load-blind planners (Fixed) can re-pick the very node we are
+        // fleeing; fall back to the lowest-index healthy alternative.
+        let new_dest = pick.filter(|&d| healthy(d)).or_else(|| {
+            let host = eng.vms[v as usize].vm.host;
+            (0..eng.nodes.len() as u32).find(|&d| d != host && healthy(d))
+        });
+        let Some(new_dest) = new_dest else {
+            continue;
+        };
+        let reason = ReplanReason::DestinationDegraded {
+            node: dest,
+            pressure: pressures[dest as usize],
+        };
+        replan_job(eng, job, new_dest, reason);
+        *moves += 1;
+    }
+}
+
+/// Destination-crash rescue, called from the node-crash fault path in
+/// place of the abort: when the rebalancer is enabled (and the job is
+/// still re-plannable), the job re-enters the ready queue toward a
+/// fresh placement instead of failing with `DestinationCrashed`.
+/// Returns false when the caller should abort as usual.
+pub(crate) fn try_replan_crash(eng: &mut Engine, job: JobId, reason: &FailureReason) -> bool {
+    let Some(a) = eng.autonomic.as_ref() else {
+        return false;
+    };
+    if !a.cfg.replan_inflight {
+        return false;
+    }
+    let FailureReason::DestinationCrashed { node } = reason else {
+        // A source crash takes the guest with it; nothing to re-place.
+        return false;
+    };
+    let node = *node;
+    let (v, replans) = {
+        let j = &eng.jobs[job.0 as usize];
+        (j.vm, j.replans)
+    };
+    if replans >= a.cfg.replan_limit || eng.vms[v as usize].crashed {
+        return false;
+    }
+    // Control already moved: the guest was at the destination and died
+    // with it (the crash path marks it before judging jobs), so the
+    // crashed guard above already rejects; this guard is for the stale
+    // window where the host flip lags the phase.
+    if eng.vms[v as usize]
+        .migration
+        .as_ref()
+        .is_some_and(|m| m.phase == MigPhase::PullPhase)
+    {
+        return false;
+    }
+    let Some(dest) =
+        orchestrator::place(eng, v).filter(|&d| d != node && !eng.nodes[d as usize].crashed)
+    else {
+        return false;
+    };
+    let reason = ReplanReason::DestinationCrashed { node };
+    replan_job(eng, job, dest, reason);
+    true
+}
+
+/// Shared re-plan tail: tear down the in-flight transfer (the guest
+/// resumes at the source), re-point the job, release its admission
+/// slot, and re-queue it — it re-admits through the ordinary drain, so
+/// the re-placement gets a fresh planner decision and respects the cap.
+fn replan_job(eng: &mut Engine, job: JobId, new_dest: u32, reason: ReplanReason) {
+    let v = eng.jobs[job.0 as usize].vm;
+    fault::teardown_transfer(eng, v);
+    let counted = {
+        let j = &mut eng.jobs[job.0 as usize];
+        j.dest = new_dest;
+        j.replans += 1;
+        j.held = false;
+        let was = j.counted;
+        j.counted = false;
+        was
+    };
+    if counted {
+        debug_assert!(eng.orch.active > 0, "admission slot underflow");
+        eng.orch.active -= 1;
+        eng.set_job_status(job, MigrationStatus::Queued);
+        eng.orch.ready.push_back(ReadyItem::Job(job));
+        orchestrator::poke_drain(eng);
+        eng.update_compute(v);
+    }
+    // A job that was still queued (crash raced its start) keeps its
+    // pending start event; only its destination changed.
+    let at = eng.now;
+    let a = eng.autonomic.as_mut().expect("configured");
+    a.actions.push(RebalanceAction {
+        at,
+        trigger: RebalanceTrigger::Replan { job: job.0, reason },
+        candidates: vec![v],
+        deferrals: Vec::new(),
+        chosen: Some(v),
+        job: Some(job.0),
+        dest: Some(new_dest),
+    });
+}

@@ -144,6 +144,11 @@ pub struct RunReport {
     /// gate, failed placement) with typed reasons — an intent that
     /// moved fewer VMs than expected is auditable here, not silent.
     pub planner_skips: Vec<crate::planner::PlannerSkip>,
+    /// Autonomic rebalancer decisions in tick order: what tripped each
+    /// action, the candidate set, typed deferrals (hot phase, cooldown,
+    /// no placement), and the originated or re-planned job. Empty when
+    /// the rebalancer is disabled.
+    pub rebalance: Vec<crate::autonomic::RebalanceAction>,
     /// Bytes delivered per traffic class.
     pub traffic: Vec<(TrafficTag, u64)>,
     /// Total network traffic (all classes).
@@ -321,6 +326,7 @@ pub(crate) fn build(eng: &Engine) -> RunReport {
         vms,
         planner: eng.planner_decisions().to_vec(),
         planner_skips: eng.planner_skips().to_vec(),
+        rebalance: eng.rebalance_actions().to_vec(),
         total_traffic: eng.net().total_delivered(),
         migration_traffic: eng.net().migration_delivered(),
         traffic,

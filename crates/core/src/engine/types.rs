@@ -57,6 +57,10 @@ pub(crate) enum Ev {
     JobDeadline(u32),
     /// A transfer stall on this VM's migration ends.
     StallOver(VmIdx),
+    /// Periodic autonomic-rebalancer scan: classify node pressure and
+    /// originate/re-plan migrations (only scheduled when an
+    /// `[autonomic]` configuration is installed).
+    RebalanceTick,
 }
 
 /// Control-plane messages between migration managers (latency-modeled).
@@ -453,6 +457,14 @@ pub(crate) struct VmRt {
     /// Windowed overwrite rate, bytes/second (writes to already-modified
     /// chunks × chunk size).
     pub tele_rewrite_rate: f64,
+    /// Combined read+write busy time at the last sample (the I/O
+    /// pressure baseline).
+    pub tele_last_busy: SimDuration,
+    /// Windowed I/O pressure: fraction of the last window this VM had
+    /// I/O in flight (Δ(read_busy + write_busy) / window) — the
+    /// CPU-proxy signal the autonomic overload classifier sums per
+    /// node.
+    pub tele_pressure: f64,
     /// True once a telemetry tick has sampled this VM. Until then the
     /// windowed rates are meaningless zeros, and a planner decision
     /// samples the cumulative counters on demand instead (a hot writer

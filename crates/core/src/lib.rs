@@ -26,6 +26,13 @@
 //!   which transfer scheme to use from live per-VM I/O telemetry;
 //!   high-level intents ([`planner::RequestIntent`]) express node
 //!   evacuation and group rebalancing.
+//! * [`autonomic`] — the closed-loop rebalancer: a periodic monitor
+//!   classifying per-node I/O pressure against configurable thresholds
+//!   (with hysteresis) that *originates* migrations — relieving
+//!   overloaded nodes, draining underloaded ones, deferring hot-phase
+//!   candidates on their windowed re-write rate until a deadline — and
+//!   re-plans in-flight jobs whose destination crashes or degrades.
+//!   Inert unless an [`AutonomicConfig`] is installed.
 //!
 //! ```
 //! use lsm_core::builder::SimulationBuilder;
@@ -60,6 +67,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod autonomic;
 pub mod builder;
 pub mod config;
 pub mod engine;
@@ -67,6 +75,10 @@ pub mod error;
 pub mod planner;
 pub mod policy;
 
+pub use autonomic::{
+    AutonomicConfig, Deferral, DeferralReason, NodeClass, RebalanceAction, RebalanceTrigger,
+    ReplanReason,
+};
 pub use builder::{Simulation, SimulationBuilder, VmHandle};
 pub use config::ClusterConfig;
 pub use engine::{

@@ -191,6 +191,8 @@ mod tests {
                 node,
                 crashed: false,
                 load: 0,
+                io_pressure: 0.0,
+                cache_hit: 1.0,
             })
             .collect()
     }
@@ -204,6 +206,8 @@ mod tests {
             read_rate: read,
             dirty_rate: dirty,
             rewrite_rate: rewrite,
+            io_pressure: 0.0,
+            cache_hit: 1.0,
             local_bytes: alloc,
             modified_bytes: modified,
         }
@@ -321,16 +325,22 @@ mod tests {
                 node: 0,
                 crashed: false,
                 load: 2,
+                io_pressure: 0.2,
+                cache_hit: 1.0,
             },
             NodeView {
                 node: 1,
                 crashed: false,
                 load: 3,
+                io_pressure: 0.3,
+                cache_hit: 1.0,
             },
             NodeView {
                 node: 2,
                 crashed: false,
                 load: 1,
+                io_pressure: 0.1,
+                cache_hit: 1.0,
             },
         ];
         let mut p = CostPlanner::default();

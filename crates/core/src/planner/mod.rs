@@ -337,6 +337,14 @@ pub struct NodeView {
     /// Live VMs resident on the node plus admitted inbound migrations
     /// still heading there.
     pub load: u32,
+    /// Summed windowed I/O busy fraction of the node's attributed VMs
+    /// (each VM contributes its I/O-in-flight time over the telemetry
+    /// window, so one saturated VM contributes ~1.0). The autonomic
+    /// rebalancer's overload/underload signal.
+    pub io_pressure: f64,
+    /// Cumulative page-cache hit ratio over the node's attributed VMs'
+    /// guest reads (1.0 when no reads were issued yet).
+    pub cache_hit: f64,
 }
 
 /// The VM a planner is deciding about.
@@ -368,6 +376,12 @@ pub struct VmView {
     /// hot working set that pre-copy streams re-send forever and the
     /// hybrid scheme withholds.
     pub rewrite_rate: f64,
+    /// Windowed I/O busy fraction (I/O-in-flight time over the window,
+    /// reads + writes): ~0.0 idle, ~1.0 saturating its disk path.
+    pub io_pressure: f64,
+    /// Cumulative page-cache hit ratio of the VM's guest reads (1.0
+    /// when no reads were issued yet).
+    pub cache_hit: f64,
     /// Bytes with any local presence (modified or cached base) — what a
     /// `Precopy`/`Mirror` bulk phase must copy.
     pub local_bytes: u64,
@@ -542,6 +556,8 @@ mod tests {
                 node: i as u32,
                 crashed,
                 load,
+                io_pressure: load as f64 * 0.1,
+                cache_hit: 1.0,
             })
             .collect()
     }
@@ -555,6 +571,8 @@ mod tests {
             read_rate,
             dirty_rate: 0.0,
             rewrite_rate: write_rate,
+            io_pressure: 0.0,
+            cache_hit: 1.0,
             local_bytes: 64 << 20,
             modified_bytes: 64 << 20,
         }

@@ -722,3 +722,89 @@ fn request_intent_serde_roundtrip() {
         assert_eq!(back, intent);
     }
 }
+
+// ---------------- gang admission (CM1 barrier domains) ----------------
+
+/// CM1 barrier-domain members admit as a gang: with the cap full, a
+/// freed single slot must not strand half the group mid-migration —
+/// ungrouped work behind the gang takes the slot instead, and the gang
+/// goes in whole once enough slots free together.
+#[test]
+fn gang_admission_never_strands_half_a_group() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_orchestrator(OrchestratorConfig {
+        max_concurrent: Some(2),
+        ..OrchestratorConfig::default()
+    })
+    .expect("configures");
+    // Two cap-filling singles with distinct workloads/strategies, so
+    // their completions land at distinct instants.
+    let short = b
+        .add_vm(
+            NodeId(0),
+            WorkloadSpec::SeqWrite {
+                offset: 0,
+                total: 8 * MIB,
+                block: MIB,
+                think_secs: 0.02,
+            },
+            StrategyKind::Precopy,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    let long = b
+        .add_vm(
+            NodeId(1),
+            WorkloadSpec::SeqWrite {
+                offset: 0,
+                total: 48 * MIB,
+                block: MIB,
+                think_secs: 0.02,
+            },
+            StrategyKind::Hybrid,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    let gang = b
+        .add_group(
+            &[(NodeId(0), idle()), (NodeId(1), idle())],
+            StrategyKind::Precopy,
+            SimTime::ZERO,
+        )
+        .expect("group");
+    let single = b
+        .add_vm(NodeId(2), idle(), StrategyKind::Precopy, SimTime::ZERO)
+        .expect("vm");
+    // Fill both slots...
+    b.migrate(short, NodeId(2), secs(0.5)).expect("job");
+    b.migrate(long, NodeId(3), secs(0.5)).expect("job");
+    // ...then queue the gang, then an ungrouped straggler behind it.
+    b.migrate(gang[0], NodeId(2), secs(1.0)).expect("job");
+    b.migrate(gang[1], NodeId(3), secs(1.0)).expect("job");
+    b.migrate(single, NodeId(0), secs(2.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    let report = sim.run_until(secs(900.0));
+
+    for m in &report.migrations {
+        assert!(m.completed, "vm {} migration incomplete", m.vm);
+    }
+    let by_vm = |vm: u32| {
+        report
+            .planner
+            .iter()
+            .find(|d| d.vm == vm)
+            .unwrap_or_else(|| panic!("no decision for vm {vm}"))
+    };
+    let (g0, g1, s) = (by_vm(2), by_vm(3), by_vm(4));
+    assert!(
+        g0.deferred && g1.deferred,
+        "cap was full: the gang must defer"
+    );
+    assert_eq!(g0.decided_at, g1.decided_at, "gang members admit together");
+    assert!(
+        s.decided_at < g0.decided_at,
+        "a single freed slot goes to ungrouped work ({:?}), not half the gang ({:?})",
+        s.decided_at,
+        g0.decided_at
+    );
+}

@@ -1,0 +1,19 @@
+//! Regenerate the checked-in autonomic-rebalancer scenarios:
+//!
+//! ```text
+//! cargo run --release -p lsm-experiments --example regen_autonomic
+//! ```
+//!
+//! `scenarios/hotspot_drill.toml` and `scenarios/slow_drain.toml` must
+//! stay byte-identical to their producers in
+//! [`lsm_experiments::autonomic`] — a test asserts it, so edit the
+//! producer, rerun this, and commit both.
+
+fn main() {
+    for (file, spec) in lsm_experiments::autonomic::all() {
+        let path = format!("scenarios/{file}");
+        let toml = spec.to_toml().expect("scenario serializes");
+        std::fs::write(&path, &toml).expect("write scenario file");
+        eprintln!("wrote {path} ({} bytes)", toml.len());
+    }
+}

@@ -60,6 +60,7 @@ pub fn dest_crash_spec() -> ScenarioSpec {
         name: Some("fault-dest-crash".to_string()),
         cluster: Some(ClusterConfig::small_test()),
         orchestrator: None,
+        autonomic: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, hotspot())],
@@ -88,6 +89,7 @@ pub fn degraded_link_spec() -> ScenarioSpec {
         name: Some("fault-degraded-link".to_string()),
         cluster: Some(ClusterConfig::small_test()),
         orchestrator: None,
+        autonomic: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, writer())],
@@ -128,6 +130,7 @@ pub fn deadline_spec() -> ScenarioSpec {
         name: Some("fault-deadline".to_string()),
         cluster: Some(ClusterConfig::small_test()),
         orchestrator: None,
+        autonomic: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, hotspot())],

@@ -107,6 +107,7 @@ pub fn scenario(p: &Fig4Params, strategy: StrategyKind, k: u32) -> ScenarioSpec 
         name: Some(format!("fig4-{}-k{k}", strategy.label())),
         cluster: Some(ClusterConfig::graphene(nodes)),
         orchestrator: None,
+        autonomic: None,
         vms,
         grouped: false,
         strategy,

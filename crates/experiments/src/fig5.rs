@@ -132,6 +132,7 @@ pub fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec 
         name: Some(format!("fig5-{}-n{n}", strategy.label())),
         cluster: Some(cluster),
         orchestrator: None,
+        autonomic: None,
         vms,
         grouped: true,
         strategy,

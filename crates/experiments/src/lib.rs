@@ -23,6 +23,10 @@
 //!   intensity (the paper's §4 decision at fleet scale) — under the
 //!   threshold rule (`adaptive64`) and the predictive cost model
 //!   (`cost64`).
+//! * [`autonomic`] — closed-loop rebalancer scenarios with **zero**
+//!   scripted migrations: a hotspot drill (overloaded node relieved by
+//!   monitor-originated moves, hot-phase writers deferred until the
+//!   deadline) and a slow drain (underloaded node consolidated empty).
 //! * [`judge`] — the planner judge harness: the same fleet under
 //!   `adaptive` vs `cost`, scored on completion makespan and bytes
 //!   moved (`lsm judge`).
@@ -40,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod autonomic;
 pub mod faults;
 pub mod fig3;
 pub mod fig4;

@@ -72,6 +72,7 @@ pub fn evacuate_spec() -> ScenarioSpec {
     ScenarioSpec {
         name: Some("evacuate".to_string()),
         cluster: Some(ClusterConfig::small_test()),
+        autonomic: None,
         orchestrator: Some(OrchestratorConfig {
             max_concurrent: Some(2),
             planner: PlannerKind::Adaptive,
@@ -174,6 +175,7 @@ impl AdaptiveParams {
         ScenarioSpec {
             name: Some(name.to_string()),
             cluster: Some(cluster),
+            autonomic: None,
             orchestrator: Some(OrchestratorConfig {
                 max_concurrent: Some(8),
                 planner: PlannerKind::Adaptive,

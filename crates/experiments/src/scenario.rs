@@ -16,6 +16,7 @@ use lsm_core::engine::Observer;
 use lsm_core::error::EngineError;
 use lsm_core::planner::{OrchestratorConfig, RequestIntent};
 use lsm_core::policy::StrategyKind;
+use lsm_core::AutonomicConfig;
 use lsm_core::{FaultKind, NodeId, RunReport};
 use lsm_simcore::time::{SimDuration, SimTime};
 use lsm_workloads::WorkloadSpec;
@@ -102,6 +103,12 @@ pub struct ScenarioSpec {
     /// (`None` → fixed planner, unlimited cap — the historical
     /// behaviour). Serialized as an `[orchestrator]` section.
     pub orchestrator: Option<OrchestratorConfig>,
+    /// Autonomic rebalancer (`None` — the default — disables the
+    /// closed-loop monitor entirely; runs are then event-for-event
+    /// identical to builds without the subsystem). Serialized as an
+    /// `[autonomic]` section; its mere presence enables the loop, and
+    /// absent fields fill from [`AutonomicConfig::default`].
+    pub autonomic: Option<AutonomicConfig>,
     /// Default storage transfer strategy for every VM.
     pub strategy: StrategyKind,
     /// If true, the VMs form one barrier-synchronized workload group
@@ -134,6 +141,7 @@ impl ScenarioSpec {
             name: None,
             cluster: Some(ClusterConfig::graphene(8)),
             orchestrator: None,
+            autonomic: None,
             strategy,
             grouped: false,
             vms: vec![VmSpec::new(0, workload)],
@@ -187,6 +195,12 @@ impl ScenarioSpec {
     /// Builder: replace the orchestrator configuration.
     pub fn with_orchestrator(mut self, cfg: OrchestratorConfig) -> Self {
         self.orchestrator = Some(cfg);
+        self
+    }
+
+    /// Builder: enable the autonomic rebalancer.
+    pub fn with_autonomic(mut self, cfg: AutonomicConfig) -> Self {
+        self.autonomic = Some(cfg);
         self
     }
 
@@ -261,6 +275,9 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
     let mut b = SimulationBuilder::new(spec.cluster_config())?;
     if let Some(orch) = &spec.orchestrator {
         b.with_orchestrator(orch.clone())?;
+    }
+    if let Some(auto) = &spec.autonomic {
+        b.with_autonomic(auto.clone())?;
     }
     let mut handles = Vec::with_capacity(spec.vms.len());
     if spec.grouped {

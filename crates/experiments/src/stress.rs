@@ -109,6 +109,7 @@ impl StressParams {
             name: Some(name.to_string()),
             cluster: Some(ClusterConfig::graphene(self.nodes)),
             orchestrator: None,
+            autonomic: None,
             strategy: StrategyKind::Hybrid,
             grouped: false,
             vms,

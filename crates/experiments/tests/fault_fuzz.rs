@@ -92,6 +92,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 name: None,
                 cluster: Some(ClusterConfig::small_test()),
                 orchestrator: None,
+                autonomic: None,
                 strategy,
                 grouped: false,
                 vms: vms
@@ -203,6 +204,7 @@ fn fixed_fault_cocktail_is_clean() {
         name: Some("cocktail".into()),
         cluster: Some(ClusterConfig::small_test()),
         orchestrator: None,
+        autonomic: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![

@@ -159,6 +159,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                         Some(ClusterConfig::graphene(8))
                     },
                     orchestrator: orch,
+                    autonomic: None,
                     strategy,
                     grouped: false,
                     vms: vms

@@ -74,6 +74,17 @@ fn orchestrated_scenarios_are_deterministic_across_runs_and_solvers() {
             "cost64.toml",
             include_str!("../../../scenarios/cost64.toml"),
         ),
+        // The autonomic scenarios have no scripted migrations at all —
+        // every event downstream of a monitor tick is rebalancer-made,
+        // so these pins cover the whole closed loop.
+        (
+            "hotspot_drill.toml",
+            include_str!("../../../scenarios/hotspot_drill.toml"),
+        ),
+        (
+            "slow_drain.toml",
+            include_str!("../../../scenarios/slow_drain.toml"),
+        ),
     ] {
         let spec = ScenarioSpec::from_toml(text).expect("parses");
         assert_deterministic(file, &spec);
