@@ -41,9 +41,25 @@
 //!   again by a later overload/underload action within the configured
 //!   cooldown window (re-plans of the same in-flight job are the same
 //!   logical move and exempt).
-//! * **Re-queues trace to re-plans** — a started job returning to
-//!   `Queued` is legal only as an autonomic re-plan, and a matching
-//!   `Replan`-triggered action must exist in the record.
+//! * **Re-queues trace to re-plans or retries** — a started job
+//!   returning to `Queued` is legal only as an autonomic re-plan or a
+//!   resilience retry: a matching `Replan`-triggered action or a
+//!   recorded [`JobAttempt`] must exist.
+//! * **Retries stay within policy** — a job never accumulates more
+//!   recorded attempts than its [`RetryPolicy`] allows (`max_attempts`
+//!   counts total tries, so at most `max_attempts - 1` retries).
+//! * **Resume is bounded by the checkpoint** — a retried attempt never
+//!   claims more resumed bytes than the checkpoint stashed for it held
+//!   (`resumed_bytes ≤ checkpoint_bytes` on every attempt).
+//! * **Throttle is always released** — auto-converge guest throttling
+//!   only exists while memory pre-copy is fighting flux: a job that is
+//!   terminal, queued, or past switchover must have throttle step 0.
+//! * **No dangling retry timers** — a pending retry backoff implies the
+//!   job is sitting in `Queued`; a terminal (or started) job with a
+//!   live retry timer is a leak.
+//!
+//! [`JobAttempt`]: lsm_core::JobAttempt
+//! [`RetryPolicy`]: lsm_core::RetryPolicy
 //!
 //! [`RebalanceAction`]: lsm_core::RebalanceAction
 //!
@@ -343,6 +359,70 @@ impl InvariantObserver {
                 }
             }
             let status = eng.job_status(job).expect("job exists");
+
+            // ---- resilience laws (cheap: attempts lists are tiny) ----
+            let attempts = eng.job_attempts(job);
+            if let Some(rcfg) = eng.resilience_config() {
+                if !attempts.is_empty() {
+                    self.checks += 1;
+                    if attempts.len() as u32 >= rcfg.retry.max_attempts {
+                        control = self.violate(
+                            now,
+                            "retry-within-policy",
+                            format!(
+                                "job {i} recorded {} retries under max_attempts {}",
+                                attempts.len(),
+                                rcfg.retry.max_attempts
+                            ),
+                        );
+                    }
+                }
+            }
+            for a in attempts {
+                self.checks += 1;
+                if a.resumed_bytes > a.checkpoint_bytes {
+                    control = self.violate(
+                        now,
+                        "resume-bounded",
+                        format!(
+                            "job {i} resumed {} bytes from a checkpoint holding only {}",
+                            a.resumed_bytes, a.checkpoint_bytes
+                        ),
+                    );
+                }
+            }
+            if eng.job_retry_pending(job) {
+                self.checks += 1;
+                if status != MigrationStatus::Queued {
+                    control = self.violate(
+                        now,
+                        "no-dangling-retry",
+                        format!("job {i} has a pending retry timer while {status:?}"),
+                    );
+                }
+            }
+            let throttle_free = status.is_terminal()
+                || matches!(
+                    status,
+                    MigrationStatus::Queued | MigrationStatus::TransferringStorage
+                );
+            if throttle_free {
+                if let Some(p) = eng.job_progress(job) {
+                    self.checks += 1;
+                    let step = eng.vm_throttle_step(p.vm);
+                    if step != 0 {
+                        control = self.violate(
+                            now,
+                            "throttle-released",
+                            format!(
+                                "job {i} ({status:?}) left vm {} throttled at step {step}",
+                                p.vm
+                            ),
+                        );
+                    }
+                }
+            }
+
             let started = matches!(
                 status,
                 MigrationStatus::TransferringMemory
@@ -391,12 +471,15 @@ impl InvariantObserver {
                 let traced = eng.rebalance_actions().iter().any(|a| {
                     matches!(a.trigger,
                         RebalanceTrigger::Replan { job, .. } if job == jid)
-                });
+                }) || !eng.job_attempts(JobId(jid)).is_empty();
                 if !traced {
                     control = self.violate(
                         at,
                         "requeue-without-replan",
-                        format!("job {jid} re-entered Queued with no recorded re-plan action"),
+                        format!(
+                            "job {jid} re-entered Queued with no recorded re-plan action \
+                             or retry attempt"
+                        ),
                     );
                 }
             }

@@ -510,6 +510,143 @@ fn checker_detects_requeue_without_replan() {
     );
 }
 
+fn resilience_cfg(max_attempts: u32) -> lsm_core::ResilienceConfig {
+    lsm_core::ResilienceConfig {
+        retry: lsm_core::RetryPolicy {
+            max_attempts,
+            ..lsm_core::RetryPolicy::default()
+        },
+        ..lsm_core::ResilienceConfig::default()
+    }
+}
+
+fn forged_attempt(checkpoint_bytes: u64, resumed_bytes: u64) -> lsm_core::JobAttempt {
+    lsm_core::JobAttempt {
+        at: secs(1.5),
+        reason: lsm_core::AttemptReason::Stalled,
+        backoff_secs: 1.0,
+        checkpoint_bytes,
+        resumed_bytes,
+    }
+}
+
+/// More recorded retries than the policy allows must be flagged — the
+/// retry-within-policy law is not vacuous.
+#[test]
+fn checker_detects_retry_beyond_policy() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_resilience(resilience_cfg(2)).expect("configures");
+    let vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let job = b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(2.0));
+    // max_attempts = 2 permits at most one retry; forge two.
+    for _ in 0..2 {
+        sim.engine_mut()
+            .testing_force_job_attempt(job, forged_attempt(0, 0));
+    }
+    let mut obs = checker();
+    sim.run_observed(secs(10.0), &mut obs);
+    assert!(!obs.is_clean(), "over-policy retries must be flagged");
+    assert!(
+        obs.violations()
+            .iter()
+            .any(|v| v.law == "retry-within-policy"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
+/// An attempt claiming more resumed bytes than its checkpoint held must
+/// be flagged — resumption cannot invent progress.
+#[test]
+fn checker_detects_resume_overrun() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_resilience(resilience_cfg(3)).expect("configures");
+    let vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let job = b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(2.0));
+    sim.engine_mut()
+        .testing_force_job_attempt(job, forged_attempt(MIB, 2 * MIB));
+    let mut obs = checker();
+    sim.run_observed(secs(10.0), &mut obs);
+    assert!(!obs.is_clean(), "resume overrun must be flagged");
+    assert!(
+        obs.violations().iter().any(|v| v.law == "resume-bounded"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
+/// A throttle step surviving past switchover must be flagged — the
+/// degradation is only legal while memory pre-copy fights flux.
+#[test]
+fn checker_detects_unreleased_throttle() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_resilience(resilience_cfg(3)).expect("configures");
+    // Postcopy switches over early and pulls storage afterwards,
+    // guaranteeing a long TransferringStorage window to forge inside.
+    let vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Postcopy, SimTime::ZERO)
+        .expect("vm");
+    let job = b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    // Step until the job is past switchover but still pulling storage
+    // (the migration runtime must be live for the forced throttle).
+    let mut t = 1.0;
+    while sim.status(job) != Some(MigrationStatus::TransferringStorage) {
+        t += 0.1;
+        assert!(t < 600.0, "job never reached TransferringStorage");
+        sim.run_until(secs(t));
+    }
+    sim.engine_mut().testing_force_throttle_step(0, 2);
+    let mut obs = checker();
+    sim.run_observed(secs(t + 5.0), &mut obs);
+    assert!(!obs.is_clean(), "post-switchover throttle must be flagged");
+    assert!(
+        obs.violations()
+            .iter()
+            .any(|v| v.law == "throttle-released"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
+/// A live retry timer on a job that is not waiting in `Queued` must be
+/// flagged — that is a leaked backoff.
+#[test]
+fn checker_detects_dangling_retry_timer() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_resilience(resilience_cfg(3)).expect("configures");
+    let vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let job = b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(2.0));
+    assert_eq!(
+        sim.status(job),
+        Some(MigrationStatus::TransferringMemory),
+        "the job must be mid-flight for the law to apply"
+    );
+    sim.engine_mut().testing_force_retry_pending(job);
+    let mut obs = checker();
+    sim.run_observed(secs(10.0), &mut obs);
+    assert!(!obs.is_clean(), "dangling retry timer must be flagged");
+    assert!(
+        obs.violations()
+            .iter()
+            .any(|v| v.law == "no-dangling-retry"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
 #[test]
 fn violation_digest_is_readable_and_bounded() {
     let mut obs = InvariantObserver::with_config(CheckConfig {

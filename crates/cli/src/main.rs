@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check]
-//! lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>]
+//! lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>] [--strict]
 //! lsm judge [--quick] [--csv]
 //! lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
 //! lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
@@ -28,7 +28,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check]
-  lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>]
+  lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>] [--strict]
   lsm judge [--quick] [--csv]
   lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
   lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
@@ -158,10 +158,22 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let scenario = args.value("--scenario")?;
             let out = args
                 .value("--out")?
-                .unwrap_or_else(|| "BENCH_PR6.json".to_string());
+                .unwrap_or_else(|| "BENCH_PR7.json".to_string());
             let baseline = args.value("--baseline")?;
+            let strict = args.flag("--strict");
             args.finish()?;
-            cmd_bench(quick, scenario.as_deref(), &out, baseline.as_deref())
+            if strict && baseline.is_none() {
+                return Err(UsageError(
+                    "--strict needs a --baseline to gate against".to_string(),
+                ));
+            }
+            cmd_bench(
+                quick,
+                scenario.as_deref(),
+                &out,
+                baseline.as_deref(),
+                strict,
+            )
         }
         "judge" => {
             let quick = args.flag("--quick");
@@ -328,6 +340,14 @@ impl Observer for ProgressPrinter {
                 now.as_secs_f64(),
                 job.0
             );
+        } else if let Milestone::RetryBackoff { attempt, max } = milestone {
+            // Distinct from planner-queued and engine-queued: this job
+            // failed and is waiting out its backoff before a re-try.
+            println!(
+                "[{:>9.3}s] job {}: backing off (retry {attempt}/{max})",
+                now.as_secs_f64(),
+                job.0
+            );
         } else if !matches!(milestone, Milestone::MemRound(_)) {
             println!(
                 "[{:>9.3}s] job {}: {:?}",
@@ -485,6 +505,13 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
             );
         }
     }
+    let cancels = spec.cancellation_plan();
+    if !cancels.is_empty() {
+        println!("  cancellation plan ({} event(s)):", cancels.len());
+        for c in cancels {
+            println!("    [{:>9.3}s] cancel migration {}", c.at_secs, c.job);
+        }
+    }
     if let Some(orch) = &spec.orchestrator {
         let cap = orch
             .max_concurrent
@@ -585,6 +612,53 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
             );
         }
     }
+    if !r.resilience.is_empty() {
+        use lsm_core::AttemptReason;
+        let attempts: usize = r.resilience.iter().map(|j| j.attempts.len()).sum();
+        let resumed: u64 = r
+            .resilience
+            .iter()
+            .flat_map(|j| j.attempts.iter())
+            .map(|a| a.resumed_bytes)
+            .sum();
+        let converge: u32 = r.resilience.iter().map(|j| j.auto_converge_steps).sum();
+        let deferrals: u32 = r.resilience.iter().map(|j| j.downtime_deferrals).sum();
+        let cancelled = r.resilience.iter().filter(|j| j.cancelled).count();
+        println!(
+            "  resilience: {attempts} retry attempt(s), {} resumed, {converge} auto-converge \
+             step(s), {deferrals} downtime deferral(s), {cancelled} cancellation(s):",
+            lsm_simcore::units::fmt_bytes(resumed)
+        );
+        for j in &r.resilience {
+            for (i, a) in j.attempts.iter().enumerate() {
+                let why = match a.reason {
+                    AttemptReason::DestinationCrashed { node } => {
+                        format!("destination node {node} crashed")
+                    }
+                    AttemptReason::Stalled => "transfer stalled".to_string(),
+                    AttemptReason::DeadlineExceeded => "deadline exceeded".to_string(),
+                };
+                println!(
+                    "    [{:>9.3}s] job {} vm {}: retry {} — {why}, backoff {:.1}s, resumed {}",
+                    a.at.as_secs_f64(),
+                    j.job,
+                    j.vm,
+                    i + 1,
+                    a.backoff_secs,
+                    lsm_simcore::units::fmt_bytes(a.resumed_bytes),
+                );
+            }
+            if j.auto_converge_steps > 0 || j.downtime_deferrals > 0 {
+                println!(
+                    "    job {} vm {}: auto-converged to throttle step {}, {} downtime deferral(s)",
+                    j.job, j.vm, j.auto_converge_steps, j.downtime_deferrals
+                );
+            }
+            if j.cancelled {
+                println!("    job {} vm {}: cancelled", j.job, j.vm);
+            }
+        }
+    }
     for m in &r.migrations {
         let time = m
             .migration_time
@@ -631,7 +705,7 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
 // ---------------- `lsm bench` ----------------
 
 /// One entry of the machine-readable record `lsm bench` writes
-/// (`BENCH_PR6.json` by default — a JSON array with one entry per
+/// (`BENCH_PR7.json` by default — a JSON array with one entry per
 /// benched scenario): the performance-trajectory numbers tracked
 /// across PRs.
 #[derive(Debug, Serialize)]
@@ -711,12 +785,14 @@ fn bench_one(spec: &ScenarioSpec) -> Result<BenchSummary, UsageError> {
 /// the autonomic hotspot drill — under a wall clock and record the
 /// trajectory numbers. With
 /// `--baseline`, compare events/sec per scenario against a committed
-/// record and warn (advisory, never failing) on >20 % regressions.
+/// record and warn on >20 % regressions; `--strict` hardens those
+/// warnings into a nonzero exit (the CI gate).
 fn cmd_bench(
     quick: bool,
     scenario: Option<&str>,
     out: &str,
     baseline: Option<&str>,
+    strict: bool,
 ) -> Result<(), UsageError> {
     if quick && scenario.is_some() {
         return Err(UsageError(
@@ -761,7 +837,12 @@ fn cmd_bench(
         .map_err(|e| UsageError(format!("cannot write {out}: {e}")))?;
     println!("{} scenario(s) benched → {}", summaries.len(), out);
     if let Some(path) = baseline {
-        compare_with_baseline(&summaries, path)?;
+        let warnings = compare_with_baseline(&summaries, path, strict)?;
+        if strict && warnings > 0 {
+            return Err(UsageError(format!(
+                "bench gate: {warnings} scenario(s) regressed beyond the threshold (--strict)"
+            )));
+        }
     }
     Ok(())
 }
@@ -794,11 +875,15 @@ fn baseline_entries(path: &str) -> Result<Vec<(String, f64)>, UsageError> {
     Ok(entries)
 }
 
-/// Advisory bench gate (the ROADMAP's bench-gating item, warn-only
-/// phase): flag scenarios whose events/sec fell more than 20 % below
-/// the committed baseline. Exit status is unaffected — the gate
-/// hardens into a failure once more baselines accumulate.
-fn compare_with_baseline(summaries: &[BenchSummary], path: &str) -> Result<(), UsageError> {
+/// The bench gate: flag scenarios whose events/sec fell more than 20 %
+/// below the committed baseline, returning the warning count. Advisory
+/// by default; under `--strict` the caller turns warnings into a
+/// nonzero exit (what CI runs).
+fn compare_with_baseline(
+    summaries: &[BenchSummary],
+    path: &str,
+    strict: bool,
+) -> Result<usize, UsageError> {
     const REGRESSION_FRAC: f64 = 0.20;
     let baseline = baseline_entries(path)?;
     let mut warnings = 0usize;
@@ -832,10 +917,15 @@ fn compare_with_baseline(summaries: &[BenchSummary], path: &str) -> Result<(), U
         }
     }
     println!(
-        "bench gate: {warnings} warning(s) (advisory — threshold {:.0}%, not failing yet)",
-        REGRESSION_FRAC * 100.0
+        "bench gate: {warnings} warning(s) (threshold {:.0}%, {})",
+        REGRESSION_FRAC * 100.0,
+        if strict {
+            "strict — regressions fail the run"
+        } else {
+            "advisory"
+        }
     );
-    Ok(())
+    Ok(warnings)
 }
 
 // ---------------- `lsm demo` ----------------

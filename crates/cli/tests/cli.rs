@@ -223,12 +223,12 @@ fn bench_quick_writes_machine_readable_summary() {
     std::fs::remove_file(&out_path).ok();
 }
 
-/// The advisory bench gate: a baseline with an absurdly high events/sec
-/// triggers a regression warning, a matching-or-better one reports the
-/// delta, and a scenario absent from the baseline is skipped — all
-/// without failing the command.
+/// The bench gate: a baseline with an absurdly high events/sec
+/// triggers a regression warning (advisory by default, a nonzero exit
+/// under `--strict`), a matching-or-better one reports the delta, and
+/// a scenario absent from the baseline is skipped.
 #[test]
-fn bench_baseline_comparison_warns_but_never_fails() {
+fn bench_baseline_comparison_warns_and_strict_gates() {
     let scenario = repo_root().join("scenarios/demo.toml");
     let out_dir = std::env::temp_dir().join("lsm-bench-baseline-test");
     std::fs::create_dir_all(&out_dir).expect("temp dir");
@@ -256,7 +256,28 @@ fn bench_baseline_comparison_warns_but_never_fails() {
         text.contains("bench gate: WARNING demo regressed"),
         "{text}"
     );
-    assert!(text.contains("1 warning(s) (advisory"), "{text}");
+    assert!(
+        text.contains("1 warning(s) (threshold 20%, advisory)"),
+        "{text}"
+    );
+
+    // The same unreachable baseline under --strict: the run must fail.
+    let out = lsm(&[
+        "bench",
+        "--scenario",
+        scenario.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+        "--baseline",
+        base_path.to_str().unwrap(),
+        "--strict",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "strict gate must fail");
+    assert!(
+        stderr(&out).contains("regressed beyond the threshold"),
+        "stderr: {}",
+        stderr(&out)
+    );
 
     // A trivially beatable baseline: delta reported, zero warnings.
     std::fs::write(
@@ -275,7 +296,10 @@ fn bench_baseline_comparison_warns_but_never_fails() {
     ]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     let text = stdout(&out);
-    assert!(text.contains("0 warning(s) (advisory"), "{text}");
+    assert!(
+        text.contains("0 warning(s) (threshold 20%, advisory)"),
+        "{text}"
+    );
 
     // No baseline entry for the scenario: skipped, still successful.
     std::fs::write(
@@ -301,6 +325,14 @@ fn bench_baseline_comparison_warns_but_never_fails() {
 
     std::fs::remove_file(&out_path).ok();
     std::fs::remove_file(&base_path).ok();
+}
+
+#[test]
+fn bench_strict_requires_a_baseline() {
+    let out = lsm(&["bench", "--strict"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--strict needs a --baseline"), "stderr: {err}");
 }
 
 #[test]

@@ -42,6 +42,7 @@ use crate::engine::{
 use crate::error::EngineError;
 use crate::planner::{OrchestratorConfig, RequestIntent};
 use crate::policy::StrategyKind;
+use crate::resilience::ResilienceConfig;
 use lsm_netsim::NodeId;
 use lsm_simcore::time::{SimDuration, SimTime};
 use lsm_workloads::WorkloadSpec;
@@ -104,6 +105,18 @@ impl SimulationBuilder {
     /// when work is already queued.
     pub fn with_autonomic(&mut self, cfg: AutonomicConfig) -> Result<(), EngineError> {
         self.eng.configure_autonomic(cfg)
+    }
+
+    /// Enable the resilience layer: per-job retry with exponential
+    /// backoff and resumable transfers, auto-converge guest throttling,
+    /// and the hard downtime limit — see [`ResilienceConfig`]. Must be
+    /// called before any migration or request is scheduled.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an unusable configuration or
+    /// when work is already queued.
+    pub fn with_resilience(&mut self, cfg: ResilienceConfig) -> Result<(), EngineError> {
+        self.eng.configure_resilience(cfg)
     }
 
     /// Submit a high-level orchestration request (see
@@ -260,6 +273,18 @@ impl SimulationBuilder {
     /// factors outside `(0, 1]`, or non-positive stall durations.
     pub fn inject_fault(&mut self, at: SimTime, kind: FaultKind) -> Result<(), EngineError> {
         self.eng.schedule_fault(at, kind)
+    }
+
+    /// Schedule a cancellation of `job` at `at`: the in-flight attempt
+    /// is unwound cleanly at whatever phase it has reached and the job
+    /// fails with [`crate::engine::FailureReason::Cancelled`] (a no-op
+    /// if the job is already terminal by then). Works with or without
+    /// [`SimulationBuilder::with_resilience`].
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an unknown job.
+    pub fn cancel_at(&mut self, at: SimTime, job: JobId) -> Result<(), EngineError> {
+        self.eng.schedule_cancellation(at, job)
     }
 
     /// Finish building: everything was validated (and deployed) as it

@@ -119,8 +119,13 @@ fn crash_node(eng: &mut Engine, node: u32) {
         };
         if let Some(reason) = reason {
             // The autonomic rebalancer may rescue a destination-crash
-            // casualty by re-placing it instead of failing it.
-            if !super::rebalance::try_replan_crash(eng, job, &reason) {
+            // casualty by re-placing it instead of failing it, and the
+            // resilience layer may absorb the failure into a backed-off
+            // retry (or keep a mid-backoff job alive across a
+            // destination crash).
+            if !super::rebalance::try_replan_crash(eng, job, &reason)
+                && !super::resilient::crash_rescue(eng, job, &reason)
+            {
                 abort_migration(eng, job, reason);
             }
         }
@@ -334,6 +339,9 @@ pub(crate) fn teardown_transfer(eng: &mut Engine, v: VmIdx) {
                 mig.phase = MigPhase::Aborted;
                 mig.stalled_until = None;
                 mig.source_store = None;
+                // An auto-converge throttle never outlives its attempt
+                // (the caller's update_compute makes this take effect).
+                super::resilient::release_throttle(mig);
                 if !vm.crashed && vm.vm.state() == VmState::Paused {
                     vm.vm.resume(now, None);
                     true
@@ -434,6 +442,12 @@ fn stall_transfer(eng: &mut Engine, v: VmIdx, secs: f64) {
             return;
         }
     }
+    // A retrying policy abandons the stalled attempt outright (backed-
+    // off resume at the surviving destination) instead of waiting the
+    // stall out with the pipelines suspended.
+    if super::resilient::try_retry_stall(eng, v) {
+        return;
+    }
     // Sever in-flight storage batches (push and pull; memory flows ride
     // the hypervisor's own channel and are not storage transfers).
     let mut ids: Vec<FlowId> = eng
@@ -533,12 +547,21 @@ pub(crate) fn stall_over(eng: &mut Engine, v: VmIdx) {
 // ---------------- deadlines ----------------
 
 /// A job's configured deadline fired: abort unless it already finished.
+/// Under a retrying policy a superseded deadline (the retry re-arms a
+/// fresh per-attempt one) is stale and ignored, and a live one may be
+/// absorbed into a backed-off retry instead of aborting.
 pub(crate) fn job_deadline(eng: &mut Engine, job: JobId) {
     let (terminal, deadline) = {
         let j = &eng.jobs[job.0 as usize];
         (j.status.is_terminal(), j.deadline)
     };
     if terminal {
+        return;
+    }
+    if super::resilient::deadline_is_stale(eng, job) {
+        return;
+    }
+    if super::resilient::try_retry_deadline(eng, job) {
         return;
     }
     let deadline_secs = deadline

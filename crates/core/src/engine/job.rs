@@ -54,6 +54,11 @@ pub enum FailureReason {
         /// The configured deadline, seconds from the request time.
         deadline_secs: f64,
     },
+    /// The job was cancelled by operator request
+    /// ([`crate::engine::Engine::cancel_migration`] or a scheduled
+    /// `[[cancellations]]` event): the in-flight attempt was unwound
+    /// cleanly and the guest kept running wherever control legally sat.
+    Cancelled,
 }
 
 impl fmt::Display for FailureReason {
@@ -71,6 +76,9 @@ impl fmt::Display for FailureReason {
             }
             FailureReason::DeadlineExceeded { deadline_secs } => {
                 write!(f, "migration exceeded its {deadline_secs}s deadline; aborted with partial progress")
+            }
+            FailureReason::Cancelled => {
+                write!(f, "migration cancelled by operator request")
             }
         }
     }

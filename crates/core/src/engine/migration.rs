@@ -77,32 +77,64 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
     let strategy = eng.vm(v).strategy;
     let threshold = eng.cfg().threshold;
     let nchunks = eng.cfg().nchunks();
+    // A retried attempt resumes from its transfer checkpoint (the
+    // surviving destination's chunk store): chunks whose stamped
+    // versions still match the authoritative disk are dropped from the
+    // initial source manifest — never re-sent — and the checkpoint
+    // store becomes the new attempt's destination store below. Absent
+    // `[resilience]` (or with the checkpoint invalidated) `resume` is
+    // `None` and this is the unfiltered PR 6 path.
+    let resume = super::resilient::take_resume(eng, job, dest);
+    let mut resumed_chunks: u64 = 0;
     let (hybrid_src, precopy_src, mirror_src) = {
         let disk = &eng.vm(v).disk;
+        let mut seed = |mut set: ChunkSet| -> ChunkSet {
+            if let Some(store) = resume.as_ref() {
+                for c in store.present().iter() {
+                    if set.contains(c) && store.version(c) == disk.version(c) {
+                        set.remove(c);
+                        resumed_chunks += 1;
+                    }
+                }
+            }
+            set
+        };
         match strategy {
             StrategyKind::Hybrid => (
-                Some(HybridSource::start(disk.modified(), threshold, true)),
+                Some(HybridSource::start(
+                    &seed(disk.modified().clone()),
+                    threshold,
+                    true,
+                )),
                 None,
                 None,
             ),
             StrategyKind::Postcopy => (
-                Some(HybridSource::start(disk.modified(), threshold, false)),
+                Some(HybridSource::start(
+                    &seed(disk.modified().clone()),
+                    threshold,
+                    false,
+                )),
                 None,
                 None,
             ),
             StrategyKind::Precopy => (
                 None,
-                Some(PrecopySource::start(disk.locally_present())),
+                Some(PrecopySource::start(seed(disk.locally_present()))),
                 None,
             ),
             StrategyKind::Mirror => (
                 None,
                 None,
-                Some(MirrorSource::start(disk.locally_present())),
+                Some(MirrorSource::start(seed(disk.locally_present()))),
             ),
             StrategyKind::SharedFs => (None, None, None),
         }
     };
+    if resumed_chunks > 0 {
+        let bytes = resumed_chunks * eng.cfg().chunk_size;
+        super::resilient::record_resumed(eng, job, bytes);
+    }
 
     // Memory strategy: iterative pre-copy (the paper's setting) or
     // post-copy (§6 future work — the memory-independence ablation).
@@ -132,7 +164,11 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
         (mem.start(), None)
     };
     let downtime_before = eng.vm(v).vm.total_downtime();
-    eng.vm_mut(v).dest_store = Some(lsm_blockdev::ChunkStore::new(nchunks));
+    eng.vm_mut(v).dest_store = Some(match resume {
+        // The checkpoint's stamped chunks ARE the resumed progress.
+        Some(store) => store,
+        None => lsm_blockdev::ChunkStore::new(nchunks),
+    });
     // New migration generation: completions of any still-in-flight disk
     // reads issued by a previous (aborted) migration of this VM now
     // carry a stale epoch and will be dropped on arrival.
@@ -178,6 +214,10 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
         consistent: None,
         downtime_before,
         downtime: SimDuration::ZERO,
+        throttle_step: 0,
+        converge_hot_rounds: 0,
+        downtime_deferrals: 0,
+        downtime_round: false,
         timeline: Vec::new(),
     });
     eng.note_milestone(v, Milestone::Requested);
@@ -317,6 +357,24 @@ pub(crate) fn mem_round_done(eng: &mut Engine, v: VmIdx) {
         return;
     }
     let (dirtied, rate) = take_round_dirt(eng, v);
+    // A downtime-deferral round finished: its backlog is delivered,
+    // whatever dirtied meanwhile becomes the new stop backlog, and the
+    // stop is retried. The pre-copy memory machine already decided to
+    // stop and is not consulted again.
+    if eng
+        .vm(v)
+        .migration
+        .as_ref()
+        .is_some_and(|m| m.downtime_round)
+    {
+        {
+            let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
+            mig.downtime_round = false;
+            mig.pending_stop_bytes = dirtied;
+        }
+        try_stop(eng, v);
+        return;
+    }
     match phase {
         MigPhase::Active => {
             let step = {
@@ -325,6 +383,9 @@ pub(crate) fn mem_round_done(eng: &mut Engine, v: VmIdx) {
             };
             match step {
                 NextStep::Round { bytes } => {
+                    // Auto-converge inspects the finished round's dirty
+                    // flux before the next round rearms the clock.
+                    super::resilient::auto_converge_round(eng, v, dirtied);
                     start_mem_round(eng, v, bytes);
                 }
                 NextStep::StopAndCopy { bytes, throttled } => {
@@ -457,6 +518,12 @@ pub(crate) fn convergence_poll(eng: &mut Engine, v: VmIdx) {
 /// every chunk the storage stream still owed).
 fn initiate_stop(eng: &mut Engine, v: VmIdx, force_storage: bool) {
     let now = eng.now();
+    // A switchover that would blow the hard downtime budget rides one
+    // more live copy round instead (bounded; never on the forced path —
+    // the linger cap already decided liveness beats the budget there).
+    if !force_storage && super::resilient::defer_switchover(eng, v) {
+        return;
+    }
     let mut extra_chunks: Vec<ChunkId> = Vec::new();
     if force_storage {
         let mig = eng.vm_mut(v).migration.as_mut().expect("migrating");
@@ -600,6 +667,9 @@ fn control_transfer(eng: &mut Engine, v: VmIdx) {
         let vm = eng.vm_mut(v);
         let mig = vm.migration.as_mut().expect("migrating");
         mig.control_at = Some(now);
+        // Switchover releases the auto-converge throttle (the
+        // update_compute below makes it take effect).
+        super::resilient::release_throttle(mig);
         let dest_store = vm.dest_store.take().expect("dest store");
         let source_store = std::mem::replace(&mut vm.store, dest_store);
         mig.source_store = Some(source_store);

@@ -17,6 +17,7 @@ mod orchestrator;
 mod pvfs;
 mod rebalance;
 mod report;
+mod resilient;
 mod types;
 
 pub use job::{FailureReason, JobId, MigrationProgress, MigrationStatus};
@@ -74,6 +75,10 @@ pub struct Engine {
     /// monitor loop off and the event stream untouched; see the
     /// `rebalance` module).
     autonomic: Option<rebalance::AutonomicRt>,
+    /// Resilience-layer state (`None` — the default — leaves retries,
+    /// auto-converge, and the downtime limit off and the event stream
+    /// untouched; see the `resilient` module).
+    resilience: Option<resilient::ResilienceRt>,
 }
 
 impl Engine {
@@ -134,6 +139,7 @@ impl Engine {
             faults: Vec::new(),
             orch: OrchestratorRt::default(),
             autonomic: None,
+            resilience: None,
         })
     }
 
@@ -500,6 +506,8 @@ impl Engine {
             Ev::JobDeadline(job) => fault::job_deadline(self, JobId(job)),
             Ev::StallOver(v) => fault::stall_over(self, v),
             Ev::RebalanceTick => rebalance::rebalance_tick(self),
+            Ev::RetryFire(job) => resilient::retry_fire(self, JobId(job)),
+            Ev::CancelFire(job) => resilient::cancel_fire(self, JobId(job)),
         }
     }
 
@@ -1009,6 +1017,13 @@ impl Engine {
             .unwrap_or(false)
         {
             f *= self.cfg.postcopy_fault_slowdown;
+        }
+        // Auto-converge: each throttle step compounds a configured
+        // slowdown onto the guest until switchover releases it.
+        if m.throttle_step > 0 {
+            if let Some(r) = self.resilience.as_ref() {
+                f *= (1.0 - r.cfg.converge_step).powi(m.throttle_step as i32);
+            }
         }
         f
     }

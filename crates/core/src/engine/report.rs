@@ -29,6 +29,21 @@ pub enum Milestone {
     ControlTransferred,
     /// All remaining chunks pulled; source relinquished.
     Completed,
+    /// Auto-converge throttled the guest one more step (the value is
+    /// the step now in force); released at switchover.
+    AutoConverge(u32),
+    /// The attempt failed retryably and the job entered backoff before
+    /// attempt `attempt` of `max`.
+    RetryBackoff {
+        /// The upcoming attempt's ordinal (the first attempt is 1).
+        attempt: u32,
+        /// The policy's total attempt budget.
+        max: u32,
+    },
+    /// A switchover whose estimated stop-and-copy would exceed the hard
+    /// downtime limit was deferred for one more live copy round (the
+    /// value counts deferrals this attempt).
+    DowntimeDeferred(u32),
 }
 
 /// Outcome of one live migration.
@@ -149,6 +164,11 @@ pub struct RunReport {
     /// no placement), and the originated or re-planned job. Empty when
     /// the rebalancer is disabled.
     pub rebalance: Vec<crate::autonomic::RebalanceAction>,
+    /// Per-job resilience history (failed-and-retried attempts with
+    /// resumed bytes, cancellation, peak auto-converge step, downtime
+    /// deferrals) — one row per job the resilience machinery touched.
+    /// Empty when `[resilience]` is absent and nothing was cancelled.
+    pub resilience: Vec<crate::resilience::JobResilience>,
     /// Bytes delivered per traffic class.
     pub traffic: Vec<(TrafficTag, u64)>,
     /// Total network traffic (all classes).
@@ -327,6 +347,7 @@ pub(crate) fn build(eng: &Engine) -> RunReport {
         planner: eng.planner_decisions().to_vec(),
         planner_skips: eng.planner_skips().to_vec(),
         rebalance: eng.rebalance_actions().to_vec(),
+        resilience: eng.resilience_report(),
         total_traffic: eng.net().total_delivered(),
         migration_traffic: eng.net().migration_delivered(),
         traffic,

@@ -1,0 +1,700 @@
+//! The resilience layer's engine half: retry timers and resumable
+//! transfer checkpoints, auto-converge guest throttling, the hard
+//! downtime limit, and cancellation.
+//!
+//! The pure pieces — configuration and the typed per-attempt records —
+//! live in [`crate::resilience`]; this module is the only place the
+//! subsystem touches engine state. Everything here is inert until
+//! [`Engine::configure_resilience`] installs a config: with
+//! `[resilience]` absent no retry timer is ever armed, no throttle step
+//! is ever taken, no switchover is ever deferred, and every run is
+//! event-for-event identical to an engine built without this module.
+//! ([`Engine::cancel_migration`] alone works without a config — an
+//! operator may always abandon a job.)
+//!
+//! Retry mechanics, end to end: a retryable failure (destination crash,
+//! stall, deadline — each individually gated by `retry_on`) hits a
+//! live pre-control attempt; [`begin_retry`] stashes the surviving
+//! destination's chunk store as the job's *transfer checkpoint*, tears
+//! the attempt down, releases the admission slot, and arms a
+//! `RetryFire` after exponential backoff. The fire re-places the job if
+//! its destination died, re-arms a fresh per-attempt deadline, and
+//! re-queues the job through the ordinary planner path. When the new
+//! attempt starts, `start_migration` asks [`take_resume`] for the
+//! checkpoint: chunk versions already stamped there (and not rewritten
+//! since) are dropped from the initial source manifests — never
+//! re-sent — and the checkpoint store *becomes* the new attempt's
+//! destination store.
+
+use super::fault;
+use super::job::{FailureReason, JobId, MigrationStatus};
+use super::orchestrator;
+use super::report::Milestone;
+use super::types::{Ev, MigPhase, VmIdx};
+use super::Engine;
+use crate::error::EngineError;
+use crate::resilience::{AttemptReason, JobAttempt, JobResilience, ResilienceConfig};
+use lsm_blockdev::ChunkStore;
+use lsm_simcore::time::{SimDuration, SimTime};
+use lsm_simcore::EventId;
+
+/// Resilience runtime state (present iff the subsystem is configured).
+pub(crate) struct ResilienceRt {
+    pub cfg: ResilienceConfig,
+    /// Per-job retry state, lazily grown (indexed by job id).
+    pub jobs: Vec<JobResilSt>,
+}
+
+/// Per-job retry bookkeeping.
+#[derive(Default)]
+pub(crate) struct JobResilSt {
+    /// Failed-and-retried attempts, in order (reported).
+    pub attempts: Vec<JobAttempt>,
+    /// The armed `RetryFire`, while the job sits in backoff. `None` at
+    /// fire time means the timer was tombstoned (job cancelled or its
+    /// guest died mid-backoff) — the fire is a no-op.
+    pub pending: Option<EventId>,
+    /// The surviving destination's chunk store, stashed when the failed
+    /// attempt was torn down; consumed by the next attempt's resume.
+    pub checkpoint: Option<Checkpoint>,
+    /// True once a retry superseded the job's original deadline: a
+    /// `JobDeadline` fire is then stale unless it matches
+    /// [`JobResilSt::deadline_at`] exactly.
+    pub deadline_filtered: bool,
+    /// The current attempt's re-armed deadline instant, if any.
+    pub deadline_at: Option<SimTime>,
+    /// Highest auto-converge throttle step reached (reported).
+    pub max_throttle: u32,
+    /// Switchovers deferred by the downtime limit (reported).
+    pub downtime_deferrals: u32,
+}
+
+/// A per-job transfer checkpoint: the destination replica as it stood
+/// when the attempt failed. Valid only while the same destination is
+/// both chosen again and alive.
+pub(crate) struct Checkpoint {
+    pub dest: u32,
+    pub store: ChunkStore,
+}
+
+impl Engine {
+    /// Install the resilience layer. Must be called before any
+    /// migration or evacuation intent is scheduled, so every job lives
+    /// under one policy from birth.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] for an unusable configuration or
+    /// when work is already scheduled.
+    pub fn configure_resilience(&mut self, cfg: ResilienceConfig) -> Result<(), EngineError> {
+        cfg.validate()?;
+        if !self.jobs.is_empty() || !self.orch.intents.is_empty() {
+            return Err(EngineError::InvalidRequest {
+                reason: "resilience must be configured before any migration or evacuation \
+                         is scheduled"
+                    .to_string(),
+            });
+        }
+        self.resilience = Some(ResilienceRt {
+            cfg,
+            jobs: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// The installed resilience configuration, if any.
+    pub fn resilience_config(&self) -> Option<&ResilienceConfig> {
+        self.resilience.as_ref().map(|r| &r.cfg)
+    }
+
+    /// The job's failed-and-retried attempt history (empty when the
+    /// subsystem is off or the job never failed).
+    pub fn job_attempts(&self, job: JobId) -> &[JobAttempt] {
+        self.resilience
+            .as_ref()
+            .and_then(|r| r.jobs.get(job.0 as usize))
+            .map_or(&[][..], |st| &st.attempts[..])
+    }
+
+    /// True while the job sits in retry backoff (a `RetryFire` armed).
+    pub fn job_retry_pending(&self, job: JobId) -> bool {
+        self.resilience
+            .as_ref()
+            .and_then(|r| r.jobs.get(job.0 as usize))
+            .is_some_and(|st| st.pending.is_some())
+    }
+
+    /// The VM's current auto-converge throttle step (0 when untouched,
+    /// unmigrated, or after release).
+    pub fn vm_throttle_step(&self, vm: u32) -> u32 {
+        self.vms
+            .get(vm as usize)
+            .and_then(|v| v.migration.as_ref())
+            .map_or(0, |m| m.throttle_step)
+    }
+
+    /// Per-job resilience history for the report: one row per job the
+    /// machinery actually touched (retried, throttled, deferred, or
+    /// cancelled).
+    pub fn resilience_report(&self) -> Vec<JobResilience> {
+        let mut out = Vec::new();
+        for (ji, j) in self.jobs.iter().enumerate() {
+            let st = self.resilience.as_ref().and_then(|r| r.jobs.get(ji));
+            let attempts = st.map(|s| s.attempts.clone()).unwrap_or_default();
+            let cancelled = matches!(j.failure, Some(FailureReason::Cancelled));
+            let auto_converge_steps = st.map_or(0, |s| s.max_throttle);
+            let downtime_deferrals = st.map_or(0, |s| s.downtime_deferrals);
+            if attempts.is_empty()
+                && !cancelled
+                && auto_converge_steps == 0
+                && downtime_deferrals == 0
+            {
+                continue;
+            }
+            out.push(JobResilience {
+                job: ji as u32,
+                vm: j.vm,
+                attempts,
+                cancelled,
+                auto_converge_steps,
+                downtime_deferrals,
+            });
+        }
+        out
+    }
+
+    /// Cancel a migration job: the in-flight attempt (any phase) is
+    /// unwound exactly like a fault abort — flows severed, the guest
+    /// resumed wherever control legally sits — and the job fails with
+    /// [`FailureReason::Cancelled`]. A job already terminal is left
+    /// alone (cancellation is idempotent); a pending retry timer dies
+    /// with the job. Works with or without `[resilience]`.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] for an unknown job.
+    pub fn cancel_migration(&mut self, job: JobId) -> Result<(), EngineError> {
+        let Some(j) = self.jobs.get(job.0 as usize) else {
+            return Err(EngineError::InvalidRequest {
+                reason: format!(
+                    "cancellation names job {}, but only {} are scheduled",
+                    job.0,
+                    self.jobs.len()
+                ),
+            });
+        };
+        if j.status.is_terminal() {
+            return Ok(());
+        }
+        if let Some(r) = self.resilience.as_mut() {
+            if let Some(st) = r.jobs.get_mut(job.0 as usize) {
+                st.checkpoint = None;
+                if let Some(ev) = st.pending.take() {
+                    self.queue.cancel(ev);
+                }
+            }
+        }
+        fault::abort_migration(self, job, FailureReason::Cancelled);
+        Ok(())
+    }
+
+    /// Schedule a cancellation of `job` at simulated time `at` (the
+    /// `[[cancellations]]` scenario section).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidRequest`] for an unknown job.
+    pub fn schedule_cancellation(&mut self, at: SimTime, job: JobId) -> Result<(), EngineError> {
+        if job.0 as usize >= self.jobs.len() {
+            return Err(EngineError::InvalidRequest {
+                reason: format!(
+                    "cancellation names job {}, but only {} are scheduled",
+                    job.0,
+                    self.jobs.len()
+                ),
+            });
+        }
+        self.queue.schedule(at, Ev::CancelFire(job.0));
+        Ok(())
+    }
+
+    /// Append a fabricated attempt record (checker detection tests).
+    #[doc(hidden)]
+    pub fn testing_force_job_attempt(&mut self, job: JobId, attempt: JobAttempt) {
+        let st = st_mut(self, job);
+        st.attempts.push(attempt);
+    }
+
+    /// Force a live migration's throttle step without the converge
+    /// machinery (checker detection tests).
+    #[doc(hidden)]
+    pub fn testing_force_throttle_step(&mut self, vm: u32, step: u32) {
+        let mig = self.vms[vm as usize]
+            .migration
+            .as_mut()
+            .expect("testing_force_throttle_step needs a live migration");
+        mig.throttle_step = step;
+    }
+
+    /// Arm a far-future retry timer for a job without a failure
+    /// (checker detection tests for the dangling-timer law).
+    #[doc(hidden)]
+    pub fn testing_force_retry_pending(&mut self, job: JobId) {
+        let at = self.now + SimDuration::from_secs_f64(1e9);
+        let ev = self.queue.schedule(at, Ev::RetryFire(job.0));
+        let st = st_mut(self, job);
+        st.pending = Some(ev);
+    }
+}
+
+/// The job's retry state, lazily grown. Callers must have checked the
+/// subsystem is configured.
+fn st_mut(eng: &mut Engine, job: JobId) -> &mut JobResilSt {
+    let r = eng
+        .resilience
+        .as_mut()
+        .expect("resilience state touched while unconfigured");
+    let ji = job.0 as usize;
+    if r.jobs.len() <= ji {
+        r.jobs.resize_with(ji + 1, JobResilSt::default);
+    }
+    &mut r.jobs[ji]
+}
+
+/// True while the VM runs a live pre-control migration — the only
+/// window a retry makes sense in (post-control the guest already moved;
+/// a queued job never started and aborts like before).
+fn pre_control_live(eng: &Engine, v: VmIdx) -> bool {
+    eng.vms[v as usize].migration.as_ref().is_some_and(|m| {
+        matches!(
+            m.phase,
+            MigPhase::Active | MigPhase::Linger | MigPhase::StopAndCopy | MigPhase::SyncDrain
+        )
+    })
+}
+
+/// True while the job still has retry budget: `max_attempts` counts
+/// every attempt including the first, and `attempts` records only the
+/// failed ones, so a retry is allowed while `failed + 1 < max`.
+fn attempts_left(eng: &Engine, job: JobId) -> bool {
+    let r = eng.resilience.as_ref().expect("checked by caller");
+    let failed = r.jobs.get(job.0 as usize).map_or(0, |st| st.attempts.len());
+    failed + 1 < r.cfg.retry.max_attempts as usize
+}
+
+/// Abandon the job's current attempt and arm a backed-off retry:
+/// checkpoint the surviving destination replica (unless the destination
+/// died with the attempt), tear the transfer down, release the
+/// admission slot, and schedule `RetryFire`. The caller has already
+/// verified the gate ([`attempts_left`], `retry_on`, live pre-control
+/// attempt).
+fn begin_retry(eng: &mut Engine, job: JobId, reason: AttemptReason, keep_checkpoint: bool) {
+    let now = eng.now;
+    let ji = job.0 as usize;
+    let v = eng.jobs[ji].vm;
+    let (backoff, max) = {
+        let r = eng.resilience.as_ref().expect("checked by caller");
+        let k = r.jobs.get(ji).map_or(0, |st| st.attempts.len()) as i32;
+        let b = (r.cfg.retry.backoff_secs * 2f64.powi(k)).min(r.cfg.retry.backoff_cap_secs);
+        (b, r.cfg.retry.max_attempts)
+    };
+    // Stash the destination replica before teardown discards it; its
+    // stamped chunk versions are the resume set of the next attempt.
+    let (checkpoint, checkpoint_bytes) = if keep_checkpoint {
+        let dest = eng.vms[v as usize].migration.as_ref().map(|m| m.dest);
+        match (eng.vms[v as usize].dest_store.take(), dest) {
+            (Some(store), Some(dest)) => {
+                let bytes = store.present().count() as u64 * eng.cfg.chunk_size;
+                (Some(Checkpoint { dest, store }), bytes)
+            }
+            _ => (None, 0),
+        }
+    } else {
+        (None, 0)
+    };
+    fault::teardown_transfer(eng, v);
+    // Release the admission slot (same accounting as a re-plan): the
+    // job returns to `Queued` but enters the ready queue only when the
+    // retry timer fires.
+    let counted = {
+        let j = &mut eng.jobs[ji];
+        j.held = false;
+        let was = j.counted;
+        j.counted = false;
+        was
+    };
+    if counted {
+        debug_assert!(eng.orch.active > 0, "admission accounting underflow");
+        eng.orch.active -= 1;
+        eng.set_job_status(job, MigrationStatus::Queued);
+        orchestrator::poke_drain(eng);
+        eng.update_compute(v);
+    }
+    let ev = eng.schedule_in(SimDuration::from_secs_f64(backoff), Ev::RetryFire(job.0));
+    let st = st_mut(eng, job);
+    st.attempts.push(JobAttempt {
+        at: now,
+        reason,
+        backoff_secs: backoff,
+        checkpoint_bytes,
+        resumed_bytes: 0,
+    });
+    st.checkpoint = checkpoint;
+    st.pending = Some(ev);
+    // Any earlier-armed deadline (the original, or a prior attempt's)
+    // no longer applies; the fire re-arms a fresh one.
+    st.deadline_filtered = true;
+    st.deadline_at = None;
+    let attempt = st.attempts.len() as u32 + 1;
+    eng.note_milestone(v, Milestone::RetryBackoff { attempt, max });
+}
+
+/// `Ev::RetryFire`: the backoff elapsed — re-place the job if its
+/// destination died, re-arm a per-attempt deadline, and re-queue it
+/// through the planner. A tombstoned timer (cancelled job, dead guest)
+/// is a no-op.
+pub(crate) fn retry_fire(eng: &mut Engine, job: JobId) {
+    let ji = job.0 as usize;
+    {
+        let Some(st) = eng.resilience.as_mut().and_then(|r| r.jobs.get_mut(ji)) else {
+            return;
+        };
+        if st.pending.take().is_none() {
+            // Tombstoned: the job died (or was cancelled) mid-backoff
+            // and the cancel lost the race with this fire.
+            return;
+        }
+    }
+    if eng.jobs[ji].status.is_terminal() {
+        return;
+    }
+    let v = eng.jobs[ji].vm;
+    if eng.vms[v as usize].crashed {
+        // Defensive: the crash sweep tombstones pending retries of dead
+        // guests, but a same-instant ordering may land here first.
+        let node = eng.vms[v as usize].vm.host;
+        st_mut(eng, job).checkpoint = None;
+        fault::abort_migration(eng, job, FailureReason::SourceCrashed { node });
+        return;
+    }
+    let host = eng.vms[v as usize].vm.host;
+    let old_dest = eng.jobs[ji].dest;
+    let dest = if eng.nodes[old_dest as usize].crashed || old_dest == host {
+        // Fresh placement: ask the planner, falling back to any healthy
+        // node it refuses to name.
+        let planned =
+            orchestrator::place(eng, v).filter(|&d| d != host && !eng.nodes[d as usize].crashed);
+        let fallback =
+            (0..eng.nodes.len() as u32).find(|&d| d != host && !eng.nodes[d as usize].crashed);
+        match planned.or(fallback) {
+            Some(d) => d,
+            None => {
+                // Nowhere healthy to go: the retry dies here.
+                st_mut(eng, job).checkpoint = None;
+                fault::abort_migration(
+                    eng,
+                    job,
+                    FailureReason::DestinationCrashed { node: old_dest },
+                );
+                return;
+            }
+        }
+    } else {
+        old_dest
+    };
+    eng.jobs[ji].dest = dest;
+    let deadline = eng.jobs[ji].deadline;
+    let deadline_at = deadline.map(|d| eng.now + d);
+    if let Some(at) = deadline_at {
+        eng.queue.schedule(at, Ev::JobDeadline(job.0));
+    }
+    {
+        let dest_crashed = eng.nodes[dest as usize].crashed;
+        let st = st_mut(eng, job);
+        // A checkpoint is only a resume if the same replica survives at
+        // the same (re-chosen) destination.
+        if st
+            .checkpoint
+            .as_ref()
+            .is_some_and(|c| c.dest != dest || dest_crashed)
+        {
+            st.checkpoint = None;
+        }
+        if let Some(at) = deadline_at {
+            st.deadline_filtered = true;
+            st.deadline_at = Some(at);
+        }
+    }
+    orchestrator::job_ready(eng, job);
+}
+
+/// `Ev::CancelFire`: a scheduled `[[cancellations]]` event arrived.
+pub(crate) fn cancel_fire(eng: &mut Engine, job: JobId) {
+    // The job index was validated at schedule time.
+    let _ = eng.cancel_migration(job);
+}
+
+/// Crash-sweep hook, called for every job the crashed node touches
+/// (after the autonomic re-plan path declined). Returns true when the
+/// resilience layer absorbed the failure — the caller must then *not*
+/// abort the job.
+pub(crate) fn crash_rescue(eng: &mut Engine, job: JobId, reason: &FailureReason) -> bool {
+    if eng.resilience.is_none() {
+        return false;
+    }
+    let ji = job.0 as usize;
+    let pending = eng
+        .resilience
+        .as_ref()
+        .and_then(|r| r.jobs.get(ji))
+        .is_some_and(|st| st.pending.is_some());
+    match *reason {
+        FailureReason::SourceCrashed { .. } => {
+            if pending {
+                // The guest died mid-backoff: the armed RetryFire must
+                // not outlive the job. Tombstone and cancel it, then
+                // let the abort proceed.
+                let st = st_mut(eng, job);
+                st.checkpoint = None;
+                if let Some(ev) = st.pending.take() {
+                    eng.queue.cancel(ev);
+                }
+            }
+            false
+        }
+        FailureReason::DestinationCrashed { node } => {
+            if pending {
+                // Still backing off: the timer survives (the fire will
+                // re-place), but a checkpoint at the dead node is gone.
+                let st = st_mut(eng, job);
+                if st.checkpoint.as_ref().is_some_and(|c| c.dest == node) {
+                    st.checkpoint = None;
+                }
+                return true;
+            }
+            let retry_on = eng
+                .resilience
+                .as_ref()
+                .is_some_and(|r| r.cfg.retry.retry_on.dest_crash);
+            let v = eng.jobs[ji].vm;
+            if !retry_on
+                || eng.jobs[ji].status == MigrationStatus::Queued
+                || eng.vms[v as usize].crashed
+                || !pre_control_live(eng, v)
+                || !attempts_left(eng, job)
+            {
+                return false;
+            }
+            // The destination died with the replica: no checkpoint.
+            begin_retry(eng, job, AttemptReason::DestinationCrashed { node }, false);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Stall hook, called before the stall machinery severs the pipelines.
+/// Returns true when the attempt was abandoned in favour of a
+/// backed-off resume (the destination survives a stall, so the
+/// checkpoint is kept).
+pub(crate) fn try_retry_stall(eng: &mut Engine, v: VmIdx) -> bool {
+    let retry_on = eng
+        .resilience
+        .as_ref()
+        .is_some_and(|r| r.cfg.retry.retry_on.stall);
+    if !retry_on {
+        return false;
+    }
+    let Some(ji) = eng
+        .jobs
+        .iter()
+        .rposition(|j| j.vm == v && !j.status.is_terminal())
+    else {
+        return false;
+    };
+    let job = JobId(ji as u32);
+    if eng.jobs[ji].status == MigrationStatus::Queued
+        || !pre_control_live(eng, v)
+        || !attempts_left(eng, job)
+    {
+        return false;
+    }
+    begin_retry(eng, job, AttemptReason::Stalled, true);
+    true
+}
+
+/// True when a `JobDeadline` fire is stale: a retry superseded the
+/// deadline it was armed for, and it is not the current attempt's
+/// re-armed one.
+pub(crate) fn deadline_is_stale(eng: &Engine, job: JobId) -> bool {
+    eng.resilience
+        .as_ref()
+        .and_then(|r| r.jobs.get(job.0 as usize))
+        .is_some_and(|st| st.deadline_filtered && st.deadline_at != Some(eng.now))
+}
+
+/// Deadline hook. Returns true when the attempt was abandoned in favour
+/// of a backed-off retry (with a fresh per-attempt deadline).
+pub(crate) fn try_retry_deadline(eng: &mut Engine, job: JobId) -> bool {
+    let retry_on = eng
+        .resilience
+        .as_ref()
+        .is_some_and(|r| r.cfg.retry.retry_on.deadline);
+    if !retry_on {
+        return false;
+    }
+    let ji = job.0 as usize;
+    let v = eng.jobs[ji].vm;
+    if eng.jobs[ji].status == MigrationStatus::Queued
+        || eng.vms[v as usize].crashed
+        || !pre_control_live(eng, v)
+        || !attempts_left(eng, job)
+    {
+        return false;
+    }
+    begin_retry(eng, job, AttemptReason::DeadlineExceeded, true);
+    true
+}
+
+/// Hand the job's transfer checkpoint to a starting attempt, if it is
+/// still valid: same destination, destination alive. Consumes the
+/// checkpoint either way.
+pub(crate) fn take_resume(eng: &mut Engine, job: JobId, dest: u32) -> Option<ChunkStore> {
+    let ckpt = eng
+        .resilience
+        .as_mut()
+        .and_then(|r| r.jobs.get_mut(job.0 as usize))
+        .and_then(|st| st.checkpoint.take())?;
+    if ckpt.dest != dest || eng.nodes[dest as usize].crashed {
+        return None;
+    }
+    Some(ckpt.store)
+}
+
+/// Record how many bytes a resuming attempt skipped, on the attempt
+/// record that stashed the checkpoint.
+pub(crate) fn record_resumed(eng: &mut Engine, job: JobId, bytes: u64) {
+    if let Some(a) = eng
+        .resilience
+        .as_mut()
+        .and_then(|r| r.jobs.get_mut(job.0 as usize))
+        .and_then(|st| st.attempts.last_mut())
+    {
+        a.resumed_bytes = bytes;
+    }
+}
+
+/// Auto-converge: called at the end of every pre-control memory round
+/// with the bytes the guest dirtied during it. A round whose dirty flux
+/// stays at or above `converge_frac · nic_bw` for `converge_patience`
+/// consecutive rounds earns the guest one more throttle step (stepped
+/// compute slowdown), up to the ceiling. Any cool round resets the
+/// patience counter.
+pub(crate) fn auto_converge_round(eng: &mut Engine, v: VmIdx, dirtied: u64) {
+    let Some(r) = eng.resilience.as_ref() else {
+        return;
+    };
+    let (frac, patience, max_steps) = (
+        r.cfg.converge_frac,
+        r.cfg.converge_patience,
+        r.cfg.converge_max_steps,
+    );
+    let now = eng.now;
+    let nic = eng.cfg.nic_bw;
+    let stepped = {
+        let Some(mig) = eng.vms[v as usize].migration.as_mut() else {
+            return;
+        };
+        let wall = now.since(mig.round_started).as_secs_f64();
+        let hot = wall > 1e-9 && dirtied as f64 / wall >= frac * nic;
+        if hot {
+            mig.converge_hot_rounds += 1;
+            if mig.converge_hot_rounds >= patience && mig.throttle_step < max_steps {
+                mig.converge_hot_rounds = 0;
+                mig.throttle_step += 1;
+                Some(mig.throttle_step)
+            } else {
+                None
+            }
+        } else {
+            mig.converge_hot_rounds = 0;
+            None
+        }
+    };
+    if let Some(step) = stepped {
+        eng.note_milestone(v, Milestone::AutoConverge(step));
+        eng.update_compute(v);
+        if let Some(ji) = eng.jobs.iter().rposition(|j| j.vm == v) {
+            let st = st_mut(eng, JobId(ji as u32));
+            st.max_throttle = st.max_throttle.max(step);
+        }
+    }
+}
+
+/// Release the auto-converge throttle (switchover reached, or the
+/// attempt is being torn down). The caller is responsible for the
+/// `update_compute` that makes the release take effect.
+pub(crate) fn release_throttle(mig: &mut super::types::MigrationRt) {
+    mig.throttle_step = 0;
+    mig.converge_hot_rounds = 0;
+}
+
+/// Hard downtime limit: called at the top of a non-forced
+/// `initiate_stop`. When the estimated stop-and-copy transfer would
+/// blow the budget and deferral rounds remain, the dirty backlog rides
+/// one more live copy round instead — the guest keeps running — and
+/// the stop is retried when that round's flow lands. Returns true when
+/// the switchover was deferred (the caller must not stop).
+pub(crate) fn defer_switchover(eng: &mut Engine, v: VmIdx) -> bool {
+    let Some(limit_ms) = eng
+        .resilience
+        .as_ref()
+        .and_then(|r| r.cfg.downtime_limit_ms)
+    else {
+        return false;
+    };
+    let extra = eng
+        .resilience
+        .as_ref()
+        .map_or(0, |r| r.cfg.downtime_extra_rounds);
+    let chunk_size = eng.cfg.chunk_size;
+    let speed = eng.cfg.migration_speed_cap();
+    let now = eng.now;
+    let deferred = {
+        let Some(mig) = eng.vms[v as usize].migration.as_mut() else {
+            return false;
+        };
+        let bytes = mig.pending_stop_bytes + mig.final_chunks.len() as u64 * chunk_size;
+        let est_ms = bytes as f64 / speed * 1e3;
+        if est_ms <= limit_ms || mig.downtime_deferrals >= extra {
+            return false;
+        }
+        mig.downtime_deferrals += 1;
+        mig.downtime_round = true;
+        mig.phase = MigPhase::Active;
+        mig.round_started = now;
+        mig.round_bytes = mig.pending_stop_bytes;
+        mig.mem_rounds += 1;
+        (
+            mig.source,
+            mig.dest,
+            mig.pending_stop_bytes,
+            mig.downtime_deferrals,
+        )
+    };
+    let (source, dest, bytes, n) = deferred;
+    eng.note_milestone(v, Milestone::DowntimeDeferred(n));
+    if let Some(ji) = eng.jobs.iter().rposition(|j| j.vm == v) {
+        st_mut(eng, JobId(ji as u32)).downtime_deferrals += 1;
+    }
+    let cap = Some(eng.cfg.migration_speed_cap());
+    eng.start_flow(
+        source,
+        dest,
+        bytes,
+        cap,
+        lsm_netsim::TrafficTag::Memory,
+        super::types::FlowCtx::MemRound { vm: v },
+    );
+    true
+}

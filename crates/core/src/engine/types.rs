@@ -61,6 +61,13 @@ pub(crate) enum Ev {
     /// originate/re-plan migrations (only scheduled when an
     /// `[autonomic]` configuration is installed).
     RebalanceTick,
+    /// A job's retry backoff elapsed: re-place if needed and re-queue
+    /// the job through the planner (index into `Engine::jobs`; only
+    /// scheduled when a `[resilience]` configuration is installed).
+    RetryFire(u32),
+    /// A scheduled cancellation of a job arrives (index into
+    /// `Engine::jobs`).
+    CancelFire(u32),
 }
 
 /// Control-plane messages between migration managers (latency-modeled).
@@ -344,6 +351,18 @@ pub(crate) struct MigrationRt {
     pub consistent: Option<bool>,
     pub downtime_before: SimDuration,
     pub downtime: SimDuration,
+    /// Auto-converge throttle step currently applied to the guest
+    /// (0 = unthrottled; released at switchover and on teardown).
+    pub throttle_step: u32,
+    /// Consecutive hot memory rounds seen by the auto-converge trigger
+    /// (reset by any cool round or by a throttle step).
+    pub converge_hot_rounds: u32,
+    /// Switchovers deferred by the hard downtime limit this attempt.
+    pub downtime_deferrals: u32,
+    /// The current memory round is a downtime-deferral round: when its
+    /// flow lands, the stop is retried instead of consulting the
+    /// pre-copy memory machine (which already decided to stop).
+    pub downtime_round: bool,
     /// Timestamped lifecycle milestones for the report.
     pub timeline: Vec<(SimTime, crate::engine::report::Milestone)>,
 }

@@ -33,6 +33,14 @@
 //!   candidates on their windowed re-write rate until a deadline — and
 //!   re-plans in-flight jobs whose destination crashes or degrades.
 //!   Inert unless an [`AutonomicConfig`] is installed.
+//! * [`resilience`] — the migration resilience layer: a per-job
+//!   [`RetryPolicy`] with exponential backoff and *resumable* transfers
+//!   (chunk versions already stamped at a surviving destination are
+//!   never re-sent), stepped auto-converge guest throttling, a hard
+//!   downtime limit that trades an over-budget switchover for another
+//!   copy round, and clean cancellation
+//!   ([`engine::Engine::cancel_migration`]) at any phase. Inert unless
+//!   a [`ResilienceConfig`] is installed.
 //!
 //! ```
 //! use lsm_core::builder::SimulationBuilder;
@@ -74,6 +82,7 @@ pub mod engine;
 pub mod error;
 pub mod planner;
 pub mod policy;
+pub mod resilience;
 
 pub use autonomic::{
     AutonomicConfig, Deferral, DeferralReason, NodeClass, RebalanceAction, RebalanceTrigger,
@@ -92,3 +101,6 @@ pub use planner::{
     PlannerKind, PlannerSkip, RequestIntent, SchemeEstimate, SkipReason,
 };
 pub use policy::StrategyKind;
+pub use resilience::{
+    AttemptReason, JobAttempt, JobResilience, ResilienceConfig, RetryOn, RetryPolicy,
+};

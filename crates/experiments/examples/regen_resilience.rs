@@ -1,0 +1,18 @@
+//! Regenerate the checked-in resilience scenarios:
+//!
+//! ```text
+//! cargo run --release -p lsm-experiments --example regen_resilience
+//! ```
+//!
+//! `scenarios/chaos_storm.toml` must stay byte-identical to its
+//! producer in [`lsm_experiments::resilience`] — a test asserts it, so
+//! edit the producer, rerun this, and commit both.
+
+fn main() {
+    for (file, spec) in lsm_experiments::resilience::all() {
+        let path = format!("scenarios/{file}");
+        let toml = spec.to_toml().expect("scenario serializes");
+        std::fs::write(&path, &toml).expect("write scenario file");
+        eprintln!("wrote {path} ({} bytes)", toml.len());
+    }
+}

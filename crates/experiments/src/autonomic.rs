@@ -109,12 +109,14 @@ pub fn hotspot_drill_spec() -> ScenarioSpec {
             planner: PlannerKind::Adaptive,
             ..OrchestratorConfig::default()
         }),
+        resilience: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms,
         migrations: vec![],
         requests: None,
         faults: None,
+        cancellations: None,
         horizon_secs: 300.0,
     }
 }
@@ -153,12 +155,14 @@ pub fn slow_drain_spec() -> ScenarioSpec {
             replan_limit: 2,
         }),
         orchestrator: None,
+        resilience: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms,
         migrations: vec![],
         requests: None,
         faults: None,
+        cancellations: None,
         horizon_secs: 240.0,
     }
 }

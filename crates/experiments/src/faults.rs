@@ -61,6 +61,7 @@ pub fn dest_crash_spec() -> ScenarioSpec {
         cluster: Some(ClusterConfig::small_test()),
         orchestrator: None,
         autonomic: None,
+        resilience: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, hotspot())],
@@ -76,6 +77,7 @@ pub fn dest_crash_spec() -> ScenarioSpec {
             at_secs: 1.5,
             kind: FaultKind::NodeCrash { node: 1 },
         }]),
+        cancellations: None,
         horizon_secs: 120.0,
     }
 }
@@ -90,6 +92,7 @@ pub fn degraded_link_spec() -> ScenarioSpec {
         cluster: Some(ClusterConfig::small_test()),
         orchestrator: None,
         autonomic: None,
+        resilience: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, writer())],
@@ -118,6 +121,7 @@ pub fn degraded_link_spec() -> ScenarioSpec {
                 kind: FaultKind::LinkRestore { node: 1 },
             },
         ]),
+        cancellations: None,
         horizon_secs: 600.0,
     }
 }
@@ -131,6 +135,7 @@ pub fn deadline_spec() -> ScenarioSpec {
         cluster: Some(ClusterConfig::small_test()),
         orchestrator: None,
         autonomic: None,
+        resilience: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, hotspot())],
@@ -143,6 +148,7 @@ pub fn deadline_spec() -> ScenarioSpec {
         }],
         requests: None,
         faults: None,
+        cancellations: None,
         horizon_secs: 120.0,
     }
 }

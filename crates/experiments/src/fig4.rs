@@ -108,12 +108,14 @@ pub fn scenario(p: &Fig4Params, strategy: StrategyKind, k: u32) -> ScenarioSpec 
         cluster: Some(ClusterConfig::graphene(nodes)),
         orchestrator: None,
         autonomic: None,
+        resilience: None,
         vms,
         grouped: false,
         strategy,
         migrations,
         requests: None,
         faults: None,
+        cancellations: None,
         horizon_secs: p.horizon,
     }
 }

@@ -133,12 +133,14 @@ pub fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec 
         cluster: Some(cluster),
         orchestrator: None,
         autonomic: None,
+        resilience: None,
         vms,
         grouped: true,
         strategy,
         migrations,
         requests: None,
         faults: None,
+        cancellations: None,
         horizon_secs: p.horizon,
     }
 }

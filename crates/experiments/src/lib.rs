@@ -30,6 +30,11 @@
 //! * [`judge`] — the planner judge harness: the same fleet under
 //!   `adaptive` vs `cost`, scored on completion makespan and bytes
 //!   moved (`lsm judge`).
+//! * [`resilience`] — the resilience-layer scenarios: a chaos storm
+//!   (six migrations under crashes, degradations, stalls, a restore
+//!   and a cancellation, all terminal under a retry policy, with
+//!   resumed transfers) and an auto-converge drill (a hot guest saved
+//!   from its deadline by stepped throttling).
 //!
 //! Every experiment offers two scales: [`Scale::Paper`] reproduces the
 //! paper's parameters; [`Scale::Quick`] is a minutes→seconds reduction
@@ -51,6 +56,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod judge;
 pub mod orchestration;
+pub mod resilience;
 pub mod scenario;
 pub mod stress;
 pub mod sweep;

@@ -73,6 +73,7 @@ pub fn evacuate_spec() -> ScenarioSpec {
         name: Some("evacuate".to_string()),
         cluster: Some(ClusterConfig::small_test()),
         autonomic: None,
+        resilience: None,
         orchestrator: Some(OrchestratorConfig {
             max_concurrent: Some(2),
             planner: PlannerKind::Adaptive,
@@ -87,6 +88,7 @@ pub fn evacuate_spec() -> ScenarioSpec {
             intent: RequestIntent::Evacuate { node: 1 },
         }]),
         faults: None,
+        cancellations: None,
         horizon_secs: 600.0,
     }
 }
@@ -176,6 +178,7 @@ impl AdaptiveParams {
             name: Some(name.to_string()),
             cluster: Some(cluster),
             autonomic: None,
+            resilience: None,
             orchestrator: Some(OrchestratorConfig {
                 max_concurrent: Some(8),
                 planner: PlannerKind::Adaptive,
@@ -187,6 +190,7 @@ impl AdaptiveParams {
             migrations,
             requests: None,
             faults: None,
+            cancellations: None,
             horizon_secs: self.horizon,
         }
     }

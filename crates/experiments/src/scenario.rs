@@ -17,7 +17,7 @@ use lsm_core::error::EngineError;
 use lsm_core::planner::{OrchestratorConfig, RequestIntent};
 use lsm_core::policy::StrategyKind;
 use lsm_core::AutonomicConfig;
-use lsm_core::{FaultKind, NodeId, RunReport};
+use lsm_core::{FaultKind, NodeId, ResilienceConfig, RunReport};
 use lsm_simcore::time::{SimDuration, SimTime};
 use lsm_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -81,6 +81,19 @@ pub struct FaultSpec {
     pub kind: FaultKind,
 }
 
+/// One timed cancellation in a scenario's `[[cancellations]]` plan: at
+/// `at_secs` the named job is unwound cleanly at whatever phase it has
+/// reached and fails with [`lsm_core::FailureReason::Cancelled`] (a
+/// no-op if it is already terminal by then).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CancelSpec {
+    /// When the cancellation fires, seconds.
+    pub at_secs: f64,
+    /// Which job to cancel: an index into [`ScenarioSpec::migrations`]
+    /// (planner-originated jobs have no stable spec-time name).
+    pub job: u32,
+}
+
 /// One timed orchestration request in a scenario's `[[requests]]` plan:
 /// a high-level intent (node evacuation, group rebalance) the planner
 /// expands into concrete migrations at run time.
@@ -109,6 +122,13 @@ pub struct ScenarioSpec {
     /// `[autonomic]` section; its mere presence enables the loop, and
     /// absent fields fill from [`AutonomicConfig::default`].
     pub autonomic: Option<AutonomicConfig>,
+    /// Resilience layer (`None` — the default — leaves retries,
+    /// auto-converge, and the downtime limit off entirely; runs are
+    /// then event-for-event identical to builds without the subsystem).
+    /// Serialized as a `[resilience]` section; its mere presence
+    /// enables the layer, and absent fields fill from
+    /// [`ResilienceConfig::default`].
+    pub resilience: Option<ResilienceConfig>,
     /// Default storage transfer strategy for every VM.
     pub strategy: StrategyKind,
     /// If true, the VMs form one barrier-synchronized workload group
@@ -125,6 +145,9 @@ pub struct ScenarioSpec {
     /// Timed fault plan (`None` — the common, fault-free case — keeps
     /// the key out of serialized documents entirely).
     pub faults: Option<Vec<FaultSpec>>,
+    /// Timed cancellation plan (`[[cancellations]]`; `None` keeps the
+    /// key out of serialized documents entirely).
+    pub cancellations: Option<Vec<CancelSpec>>,
     /// Simulation horizon in seconds.
     pub horizon_secs: f64,
 }
@@ -142,6 +165,7 @@ impl ScenarioSpec {
             cluster: Some(ClusterConfig::graphene(8)),
             orchestrator: None,
             autonomic: None,
+            resilience: None,
             strategy,
             grouped: false,
             vms: vec![VmSpec::new(0, workload)],
@@ -154,6 +178,7 @@ impl ScenarioSpec {
             }],
             requests: None,
             faults: None,
+            cancellations: None,
             horizon_secs: 1200.0,
         }
     }
@@ -204,6 +229,21 @@ impl ScenarioSpec {
         self
     }
 
+    /// Builder: enable the resilience layer.
+    pub fn with_resilience(mut self, cfg: ResilienceConfig) -> Self {
+        self.resilience = Some(cfg);
+        self
+    }
+
+    /// Builder: append one cancellation to the plan (`job` indexes
+    /// [`ScenarioSpec::migrations`]).
+    pub fn with_cancellation(mut self, at_secs: f64, job: u32) -> Self {
+        self.cancellations
+            .get_or_insert_with(Vec::new)
+            .push(CancelSpec { at_secs, job });
+        self
+    }
+
     /// Builder: append one orchestration request to the plan.
     pub fn with_request(mut self, at_secs: f64, intent: RequestIntent) -> Self {
         self.requests
@@ -220,6 +260,11 @@ impl ScenarioSpec {
     /// The orchestration request plan (empty slice when none declared).
     pub fn request_plan(&self) -> &[RequestSpec] {
         self.requests.as_deref().unwrap_or(&[])
+    }
+
+    /// The cancellation plan (empty slice when none is declared).
+    pub fn cancellation_plan(&self) -> &[CancelSpec] {
+        self.cancellations.as_deref().unwrap_or(&[])
     }
 
     /// The effective cluster configuration.
@@ -279,6 +324,9 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
     if let Some(auto) = &spec.autonomic {
         b.with_autonomic(auto.clone())?;
     }
+    if let Some(res) = &spec.resilience {
+        b.with_resilience(res.clone())?;
+    }
     let mut handles = Vec::with_capacity(spec.vms.len());
     if spec.grouped {
         // A group runs under one strategy and one start time; silently
@@ -319,13 +367,14 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
             )?);
         }
     }
+    let mut jobs = Vec::with_capacity(spec.migrations.len());
     for m in &spec.migrations {
         let Some(&vm) = handles.get(m.vm as usize) else {
             return Err(EngineError::UnknownVm { vm: m.vm });
         };
         let at = secs("migration", m.at_secs)?;
         let adaptive = m.adaptive.unwrap_or(false);
-        match (adaptive, m.deadline_secs) {
+        let job = match (adaptive, m.deadline_secs) {
             (false, None) => b.migrate(vm, NodeId(m.dest), at)?,
             (false, Some(d)) => {
                 let d = secs("migration deadline", d)?;
@@ -347,12 +396,25 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
                 )?
             }
         };
+        jobs.push(job);
     }
     for r in spec.request_plan() {
         b.request(secs("request", r.at_secs)?, r.intent)?;
     }
     for f in spec.fault_plan() {
         b.inject_fault(secs("fault", f.at_secs)?, f.kind)?;
+    }
+    for c in spec.cancellation_plan() {
+        let Some(&job) = jobs.get(c.job as usize) else {
+            return Err(EngineError::InvalidScenario {
+                reason: format!(
+                    "cancellation names migration {}, but only {} are declared",
+                    c.job,
+                    jobs.len()
+                ),
+            });
+        };
+        b.cancel_at(secs("cancellation", c.at_secs)?, job)?;
     }
     b.build()
 }

@@ -110,12 +110,14 @@ impl StressParams {
             cluster: Some(ClusterConfig::graphene(self.nodes)),
             orchestrator: None,
             autonomic: None,
+            resilience: None,
             strategy: StrategyKind::Hybrid,
             grouped: false,
             vms,
             migrations,
             requests: None,
             faults: None,
+            cancellations: None,
             horizon_secs: self.horizon,
         }
     }

@@ -1,6 +1,7 @@
-//! The scenario fuzzer: random cluster/workload/migration/fault plans,
-//! each run under **both** network solvers with an invariant checker
-//! attached. Every case must produce bit-identical serialized
+//! The scenario fuzzer: random cluster/workload/migration/fault plans
+//! — including node restores, retry policies and operator
+//! cancellations — each run under **both** network solvers with an
+//! invariant checker attached. Every case must produce bit-identical serialized
 //! `RunReport`s across solvers and zero invariant violations — the
 //! engine's recovery paths hold the conservation laws no matter what
 //! the plan throws at them.
@@ -12,9 +13,9 @@
 use lsm_check::{CheckConfig, InvariantObserver};
 use lsm_core::config::ClusterConfig;
 use lsm_core::policy::StrategyKind;
-use lsm_core::FaultKind;
+use lsm_core::{FaultKind, ResilienceConfig, RetryPolicy};
 use lsm_experiments::scenario::{
-    run_scenario_observed_with_solver, FaultSpec, MigrationSpec, ScenarioSpec, VmSpec,
+    run_scenario_observed_with_solver, CancelSpec, FaultSpec, MigrationSpec, ScenarioSpec, VmSpec,
 };
 use lsm_netsim::SolverMode;
 use lsm_simcore::units::MIB;
@@ -61,17 +62,51 @@ fn strategy_strategy() -> impl Strategy<Value = StrategyKind> {
 }
 
 fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
-    (0.2f64..20.0, 0u8..4, 0u32..NODES, 0.05f64..1.0).prop_map(|(at, kind, node, x)| FaultSpec {
+    (0.2f64..20.0, 0u8..5, 0u32..NODES, 0.05f64..1.0).prop_map(|(at, kind, node, x)| FaultSpec {
         at_secs: at,
         kind: match kind {
             0 => FaultKind::LinkDegrade { node, factor: x },
             1 => FaultKind::LinkRestore { node },
             2 => FaultKind::NodeCrash { node },
+            3 => FaultKind::NodeRestore { node },
             _ => FaultKind::TransferStall {
                 vm: node % 3, // may exceed the VM count: rejected specs are skipped
                 secs: x * 4.0,
             },
         },
+    })
+}
+
+/// A small-but-live retry policy: enough attempts and short enough
+/// backoffs that retries actually fire inside the fuzzed horizons.
+fn resilience_strategy() -> impl Strategy<Value = ResilienceConfig> {
+    (
+        1u32..4,
+        0.2f64..3.0,
+        0.0f64..6.0,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(max_attempts, backoff, extra, stall, deadline)| {
+            let mut cfg = ResilienceConfig {
+                retry: RetryPolicy {
+                    max_attempts,
+                    backoff_secs: backoff,
+                    backoff_cap_secs: backoff + extra,
+                    ..RetryPolicy::default()
+                },
+                ..ResilienceConfig::default()
+            };
+            cfg.retry.retry_on.stall = stall;
+            cfg.retry.retry_on.deadline = deadline;
+            cfg
+        })
+}
+
+fn cancel_strategy() -> impl Strategy<Value = CancelSpec> {
+    (0.3f64..40.0, 0u32..3).prop_map(|(at, job)| CancelSpec {
+        at_secs: at,
+        job, // may exceed the job count: rejected specs are skipped
     })
 }
 
@@ -84,41 +119,51 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             0..3,
         ),
         prop::collection::vec(fault_strategy(), 0..5),
+        prop::option::of(resilience_strategy()),
+        prop::collection::vec(cancel_strategy(), 0..3),
         30.0f64..90.0,
     )
-        .prop_map(|(strategy, vms, migs, faults, horizon)| {
-            let nvms = vms.len() as u32;
-            ScenarioSpec {
-                name: None,
-                cluster: Some(ClusterConfig::small_test()),
-                orchestrator: None,
-                autonomic: None,
-                strategy,
-                grouped: false,
-                vms: vms
-                    .into_iter()
-                    .map(|(node, workload)| VmSpec::new(node, workload))
-                    .collect(),
-                migrations: migs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (dest, at, deadline))| MigrationSpec {
-                        vm: i as u32 % nvms,
-                        dest,
-                        at_secs: at,
-                        deadline_secs: deadline,
-                        adaptive: None,
-                    })
-                    .collect(),
-                requests: None,
-                faults: if faults.is_empty() {
-                    None
-                } else {
-                    Some(faults)
-                },
-                horizon_secs: horizon,
-            }
-        })
+        .prop_map(
+            |(strategy, vms, migs, faults, resilience, cancels, horizon)| {
+                let nvms = vms.len() as u32;
+                ScenarioSpec {
+                    name: None,
+                    cluster: Some(ClusterConfig::small_test()),
+                    orchestrator: None,
+                    autonomic: None,
+                    resilience,
+                    strategy,
+                    grouped: false,
+                    vms: vms
+                        .into_iter()
+                        .map(|(node, workload)| VmSpec::new(node, workload))
+                        .collect(),
+                    migrations: migs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (dest, at, deadline))| MigrationSpec {
+                            vm: i as u32 % nvms,
+                            dest,
+                            at_secs: at,
+                            deadline_secs: deadline,
+                            adaptive: None,
+                        })
+                        .collect(),
+                    requests: None,
+                    faults: if faults.is_empty() {
+                        None
+                    } else {
+                        Some(faults)
+                    },
+                    cancellations: if cancels.is_empty() {
+                        None
+                    } else {
+                        Some(cancels)
+                    },
+                    horizon_secs: horizon,
+                }
+            },
+        )
 }
 
 fn checker() -> InvariantObserver {
@@ -205,6 +250,7 @@ fn fixed_fault_cocktail_is_clean() {
         cluster: Some(ClusterConfig::small_test()),
         orchestrator: None,
         autonomic: None,
+        resilience: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![
@@ -268,6 +314,7 @@ fn fixed_fault_cocktail_is_clean() {
                 kind: FaultKind::LinkRestore { node: 3 },
             },
         ]),
+        cancellations: None,
         horizon_secs: 90.0,
     };
     let mut reports = Vec::new();

@@ -1,0 +1,226 @@
+//! Acceptance tests for the resilience layer's shipped scenarios: the
+//! chaos storm's liveness contract (every job terminal, resumed bytes,
+//! a recorded cancellation, invariant-clean under both solvers), the
+//! auto-converge drill's dichotomy (throttling saves the deadline;
+//! stripping `[resilience]` deadline-aborts the same run), and the
+//! dangling-backoff regression (a source crash during retry backoff
+//! must cancel the pending retry, not leave a timer aimed at a dead
+//! guest).
+
+use lsm_check::{CheckConfig, InvariantObserver};
+use lsm_core::config::ClusterConfig;
+use lsm_core::policy::StrategyKind;
+use lsm_core::resilience::AttemptReason;
+use lsm_core::{
+    FailureReason, FaultKind, MigrationStatus, ResilienceConfig, RetryPolicy, RunReport,
+};
+use lsm_experiments::resilience::{auto_converge_spec, chaos_storm_spec};
+use lsm_experiments::scenario::{
+    run_scenario, run_scenario_observed_with_solver, FaultSpec, MigrationSpec, ScenarioSpec, VmSpec,
+};
+use lsm_netsim::SolverMode;
+use lsm_simcore::units::MIB;
+use lsm_workloads::WorkloadSpec;
+
+fn checker() -> InvariantObserver {
+    InvariantObserver::with_config(CheckConfig {
+        deep_scan_interval: 2048,
+        ..CheckConfig::default()
+    })
+}
+
+/// Run a spec under both solvers, each with an invariant checker:
+/// asserts the serialized reports are bit-identical and returns the
+/// production (incremental) solver's report.
+fn run_checked_both_solvers(name: &str, spec: &ScenarioSpec) -> RunReport {
+    let mut kept = None;
+    let mut reports = Vec::new();
+    for solver in [SolverMode::Incremental, SolverMode::Reference] {
+        let mut obs = checker();
+        let r = run_scenario_observed_with_solver(spec, solver, &mut obs)
+            .unwrap_or_else(|e| panic!("{name}: scenario rejected: {e}"));
+        assert!(obs.checks_run() > 0, "{name}: checker never ran");
+        obs.assert_clean(name);
+        reports.push(serde_json::to_string_pretty(&r).expect("serializes"));
+        kept.get_or_insert(r);
+    }
+    assert!(reports[0] == reports[1], "{name}: solver reports diverge");
+    kept.expect("two runs happened")
+}
+
+/// The chaos storm's liveness contract: six migrations through
+/// crashes, degradations, a stall, a restore and a cancellation — all
+/// terminal within the horizon, with at least one resumed transfer,
+/// every retry within policy, and zero invariant violations.
+#[test]
+fn chaos_storm_all_jobs_terminal_with_resume() {
+    let spec = chaos_storm_spec();
+    let r = run_checked_both_solvers("chaos_storm", &spec);
+    assert_eq!(r.migrations.len(), 6);
+
+    for (i, m) in r.migrations.iter().enumerate() {
+        assert!(
+            matches!(
+                m.status,
+                MigrationStatus::Completed | MigrationStatus::Failed
+            ),
+            "job {i} not terminal: {:?}",
+            m.status
+        );
+    }
+    // Job 3 is the operator cancellation; every other job rides the
+    // retry policy to completion.
+    assert_eq!(r.migrations[3].status, MigrationStatus::Failed);
+    assert_eq!(r.migrations[3].failure, Some(FailureReason::Cancelled));
+    for i in [0usize, 1, 2, 4, 5] {
+        assert!(
+            r.migrations[i].completed,
+            "job {i} should complete under retries: {:?}",
+            r.migrations[i].failure
+        );
+    }
+
+    // Resume is real: at least one retried attempt skipped bytes
+    // already stamped at the surviving destination.
+    let resumed: u64 = r
+        .resilience
+        .iter()
+        .flat_map(|j| j.attempts.iter())
+        .map(|a| a.resumed_bytes)
+        .sum();
+    assert!(resumed > 0, "no retried job resumed any bytes");
+
+    // The destination-crash victim (job 0) retried onto a healthy node
+    // and its re-placement is recorded as an attempt.
+    let j0 = r
+        .resilience
+        .iter()
+        .find(|j| j.job == 0)
+        .expect("job 0 has a resilience row");
+    assert!(j0
+        .attempts
+        .iter()
+        .any(|a| matches!(a.reason, AttemptReason::DestinationCrashed { node: 4 })));
+
+    // Every retry history respects the policy cap, and the resume
+    // bookkeeping never claims more than the checkpoint held.
+    let max = spec.resilience.as_ref().unwrap().retry.max_attempts;
+    for j in &r.resilience {
+        assert!(
+            (j.attempts.len() as u32) < max,
+            "job {} burned {} attempts under max_attempts={max}",
+            j.job,
+            j.attempts.len()
+        );
+        for a in &j.attempts {
+            assert!(a.resumed_bytes <= a.checkpoint_bytes);
+        }
+        assert_eq!(j.cancelled, j.job == 3);
+    }
+}
+
+/// The auto-converge dichotomy: with `[resilience]` present the
+/// stepped throttle converges the hot guest inside its deadline; with
+/// the section stripped the identical scenario deadline-aborts.
+#[test]
+fn auto_converge_saves_the_deadline_and_is_inert_when_stripped() {
+    let spec = auto_converge_spec();
+    let r = run_checked_both_solvers("auto_converge", &spec);
+    let m = &r.migrations[0];
+    assert!(m.completed, "throttled run must converge: {:?}", m.failure);
+    let row = r
+        .resilience
+        .iter()
+        .find(|j| j.job == 0)
+        .expect("converged job has a resilience row");
+    assert!(
+        row.auto_converge_steps > 0,
+        "completion must be attributable to the throttle"
+    );
+
+    let mut stripped = spec;
+    stripped.resilience = None;
+    let r = run_scenario(&stripped).expect("valid scenario");
+    let m = &r.migrations[0];
+    assert!(!m.completed, "without the throttle the deadline must win");
+    assert_eq!(
+        m.failure,
+        Some(FailureReason::DeadlineExceeded {
+            deadline_secs: 100.0
+        })
+    );
+    assert!(r.resilience.is_empty(), "stripped run must report nothing");
+}
+
+/// Regression: a source-node crash while a job sits in retry backoff
+/// must cancel the pending retry — no timer may fire for a dead guest,
+/// and the checker's no-dangling-retry law must hold to the horizon.
+#[test]
+fn source_crash_during_retry_backoff_cancels_the_pending_retry() {
+    let spec = ScenarioSpec {
+        name: Some("backoff_source_crash".to_string()),
+        cluster: Some(ClusterConfig::small_test()),
+        orchestrator: None,
+        autonomic: None,
+        resilience: Some(ResilienceConfig {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                backoff_secs: 2.0,
+                backoff_cap_secs: 8.0,
+                ..RetryPolicy::default()
+            },
+            ..ResilienceConfig::default()
+        }),
+        strategy: StrategyKind::Hybrid,
+        grouped: false,
+        vms: vec![VmSpec::new(
+            0,
+            WorkloadSpec::SeqWrite {
+                offset: 0,
+                total: 48 * MIB,
+                block: MIB,
+                think_secs: 0.05,
+            },
+        )],
+        migrations: vec![MigrationSpec {
+            vm: 0,
+            dest: 1,
+            at_secs: 1.0,
+            deadline_secs: None,
+            adaptive: None,
+        }],
+        requests: None,
+        faults: Some(vec![
+            // Destination dies mid-push: the job enters retry backoff
+            // (next attempt would fire at ~3.3 s)...
+            FaultSpec {
+                at_secs: 1.3,
+                kind: FaultKind::NodeCrash { node: 1 },
+            },
+            // ...but the source dies first, inside the backoff window.
+            FaultSpec {
+                at_secs: 2.0,
+                kind: FaultKind::NodeCrash { node: 0 },
+            },
+        ]),
+        cancellations: None,
+        horizon_secs: 30.0,
+    };
+    // The horizon runs well past the would-be retry fire time; the
+    // no-dangling-retry law inside the checker fails this test if the
+    // backoff timer survives the source crash.
+    let r = run_checked_both_solvers("backoff-source-crash", &spec);
+    let m = &r.migrations[0];
+    assert_eq!(m.status, MigrationStatus::Failed);
+    assert_eq!(m.failure, Some(FailureReason::SourceCrashed { node: 0 }));
+    let row = r
+        .resilience
+        .iter()
+        .find(|j| j.job == 0)
+        .expect("the dest-crash attempt is archived");
+    assert_eq!(row.attempts.len(), 1);
+    assert!(matches!(
+        row.attempts[0].reason,
+        AttemptReason::DestinationCrashed { node: 1 }
+    ));
+}

@@ -5,8 +5,10 @@
 use lsm_core::config::ClusterConfig;
 use lsm_core::planner::{OrchestratorConfig, PlannerKind, RequestIntent};
 use lsm_core::policy::StrategyKind;
-use lsm_core::FaultKind;
-use lsm_experiments::scenario::{FaultSpec, MigrationSpec, RequestSpec, ScenarioSpec, VmSpec};
+use lsm_core::{FaultKind, ResilienceConfig, RetryOn, RetryPolicy};
+use lsm_experiments::scenario::{
+    CancelSpec, FaultSpec, MigrationSpec, RequestSpec, ScenarioSpec, VmSpec,
+};
 use lsm_workloads::{AsyncWrParams, IorParams, WorkloadSpec};
 use proptest::prelude::*;
 
@@ -64,6 +66,49 @@ fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
             },
         },
     })
+}
+
+fn resilience_strategy() -> impl Strategy<Value = ResilienceConfig> {
+    (
+        (
+            1u32..6,
+            0.1f64..20.0,
+            1.0f64..120.0,
+            prop::bool::ANY,
+            prop::bool::ANY,
+            prop::bool::ANY,
+        ),
+        (0.1f64..2.0, 1u32..8, 0.05f64..0.95, 1u32..8),
+        (prop::option::of(1.0f64..5000.0), 0u32..5),
+    )
+        .prop_map(
+            |(
+                (max_attempts, backoff, cap_extra, dest_crash, stall, deadline),
+                (frac, patience, step, max_steps),
+                (downtime_limit_ms, downtime_extra_rounds),
+            )| ResilienceConfig {
+                retry: RetryPolicy {
+                    max_attempts,
+                    backoff_secs: backoff,
+                    backoff_cap_secs: backoff + cap_extra,
+                    retry_on: RetryOn {
+                        dest_crash,
+                        stall,
+                        deadline,
+                    },
+                },
+                converge_frac: frac,
+                converge_patience: patience,
+                converge_step: step,
+                converge_max_steps: max_steps,
+                downtime_limit_ms,
+                downtime_extra_rounds,
+            },
+        )
+}
+
+fn cancel_strategy() -> impl Strategy<Value = CancelSpec> {
+    (0.0f64..500.0, 0u32..8).prop_map(|(at, job)| CancelSpec { at_secs: at, job })
 }
 
 fn strategy_strategy() -> impl Strategy<Value = StrategyKind> {
@@ -146,10 +191,20 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             prop::option::of(prop::collection::vec(fault_strategy(), 0..5)),
             prop::option::of(orchestrator_strategy()),
             prop::option::of(prop::collection::vec(request_strategy(), 0..4)),
+            prop::option::of(resilience_strategy()),
+            prop::option::of(prop::collection::vec(cancel_strategy(), 0..3)),
         ),
     )
         .prop_map(
-            |(strategy, vms, migs, horizon, default_cluster, name, (faults, orch, requests))| {
+            |(
+                strategy,
+                vms,
+                migs,
+                horizon,
+                default_cluster,
+                name,
+                (faults, orch, requests, resilience, cancellations),
+            )| {
                 let nvms = vms.len() as u32;
                 ScenarioSpec {
                     name: name.map(|n| format!("scenario-{n}")),
@@ -160,6 +215,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     },
                     orchestrator: orch,
                     autonomic: None,
+                    resilience,
                     strategy,
                     grouped: false,
                     vms: vms
@@ -184,6 +240,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                         .collect(),
                     requests,
                     faults,
+                    cancellations,
                     horizon_secs: horizon,
                 }
             },
@@ -248,6 +305,47 @@ fn orchestrator_sections_reject_unknown_fields() {
         orch.telemetry_window_secs,
         OrchestratorConfig::default().telemetry_window_secs
     );
+}
+
+/// The `[resilience]` section and the `[[cancellations]]` plan reject
+/// typos loudly and fill defaults for omitted knobs, exactly like the
+/// `[orchestrator]` section.
+#[test]
+fn resilience_sections_reject_unknown_fields() {
+    let base = "strategy = \"our-approach\"\ngrouped = false\nhorizon_secs = 1.0\nvms = []\nmigrations = []\n";
+    let toml = format!("{base}[resilience]\nconverge_fraq = 0.8\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(
+        err.contains("unknown ResilienceConfig field `converge_fraq`"),
+        "{err}"
+    );
+    let toml = format!("{base}[resilience.retry]\nmax_attemps = 4\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(
+        err.contains("unknown RetryPolicy field `max_attemps`"),
+        "{err}"
+    );
+    let toml = format!("{base}[resilience.retry.retry_on]\ndest_crashed = true\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(
+        err.contains("unknown RetryOn field `dest_crashed`"),
+        "{err}"
+    );
+    let toml = format!("{base}[[cancellations]]\nat_secs = 1.0\njobb = 0\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(err.contains("unknown field `jobb`"), "{err}");
+    // A partial [resilience] section fills the defaults.
+    let toml =
+        format!("{base}[resilience]\nconverge_frac = 0.75\n[resilience.retry]\nmax_attempts = 5\n");
+    let spec = ScenarioSpec::from_toml(&toml).expect("partial section parses");
+    let res = spec.resilience.expect("present");
+    assert_eq!(res.retry.max_attempts, 5);
+    assert_eq!(res.converge_frac, 0.75);
+    assert_eq!(
+        res.retry.backoff_secs,
+        ResilienceConfig::default().retry.backoff_secs
+    );
+    assert!(res.retry.retry_on.dest_crash && res.retry.retry_on.stall);
 }
 
 #[test]

@@ -85,6 +85,13 @@ fn orchestrated_scenarios_are_deterministic_across_runs_and_solvers() {
             "slow_drain.toml",
             include_str!("../../../scenarios/slow_drain.toml"),
         ),
+        // The chaos storm leans on every resilience path at once —
+        // retry backoff, crash re-placement, resumed transfers, a
+        // cancellation — and all of it must replay bit-identically.
+        (
+            "chaos_storm.toml",
+            include_str!("../../../scenarios/chaos_storm.toml"),
+        ),
     ] {
         let spec = ScenarioSpec::from_toml(text).expect("parses");
         assert_deterministic(file, &spec);

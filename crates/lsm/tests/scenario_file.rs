@@ -102,3 +102,33 @@ fn scale64_file_parses_to_the_paper_scale_shape() {
     assert_eq!(spec.vms.len(), 128);
     assert_eq!(spec.migrations.len(), 128);
 }
+
+// ---------------- scenarios/chaos_storm.toml ----------------
+
+const CHAOS_STORM: &str = include_str!("../../../scenarios/chaos_storm.toml");
+
+/// The checked-in chaos-storm scenario must stay byte-identical to its
+/// producer, so `lsm run scenarios/chaos_storm.toml --check` replays
+/// exactly the episode the resilience acceptance tests pin.
+#[test]
+fn chaos_storm_file_matches_generator() {
+    let expected = lsm::experiments::resilience::chaos_storm_spec()
+        .to_toml()
+        .expect("scenario serializes");
+    assert!(
+        CHAOS_STORM == expected,
+        "scenarios/chaos_storm.toml drifted from resilience::chaos_storm_spec(); \
+         regenerate with `cargo run -p lsm-experiments --example regen_resilience`"
+    );
+}
+
+#[test]
+fn chaos_storm_file_parses_to_the_storm_shape() {
+    let spec = ScenarioSpec::from_toml(CHAOS_STORM).expect("chaos_storm.toml parses");
+    assert_eq!(spec.cluster_config().nodes, 8);
+    assert_eq!(spec.vms.len(), 6);
+    assert_eq!(spec.migrations.len(), 6);
+    assert_eq!(spec.faults.as_ref().map(Vec::len), Some(7));
+    assert_eq!(spec.cancellations.as_ref().map(Vec::len), Some(1));
+    assert_eq!(spec.resilience.as_ref().unwrap().retry.max_attempts, 3);
+}
