@@ -57,6 +57,16 @@
 //! * **No dangling retry timers** — a pending retry backoff implies the
 //!   job is sitting in `Queued`; a terminal (or started) job with a
 //!   live retry timer is a leak.
+//! * **QoS caps are respected** — when a `[qos]` bandwidth cap is
+//!   installed, every migration-class flow (memory copy, storage push,
+//!   storage pull) carries a per-flow ceiling no looser than the
+//!   configured cap; an uncapped or over-capped migration flow means a
+//!   transfer path forgot the shaping knobs.
+//! * **SLA accounting is consistent** — the degradation loss recorded
+//!   on each live migration (the slope of the SLA integral) equals the
+//!   loss the engine's current compute state implies; a mismatch means
+//!   a factor-changing transition bypassed the `update_compute` choke
+//!   point and the degraded-seconds integral is drifting.
 //!
 //! [`JobAttempt`]: lsm_core::JobAttempt
 //! [`RetryPolicy`]: lsm_core::RetryPolicy
@@ -252,6 +262,7 @@ impl InvariantObserver {
         let mut total = 0.0f64;
         let mut control = RunControl::Continue;
         let eps = self.cfg.rel_epsilon;
+        let qos_ceiling = eng.qos_config().and_then(|q| q.cap_bytes());
 
         for f in net.flow_views() {
             self.checks += 1;
@@ -269,6 +280,26 @@ impl InvariantObserver {
                         "flow-cap",
                         format!("flow {:?} rate {} exceeds its cap {}", f.id, f.rate, cap),
                     );
+                }
+            }
+            if let Some(ceiling) = qos_ceiling {
+                use lsm_netsim::TrafficTag as T;
+                if matches!(f.tag, T::Memory | T::StoragePush | T::StoragePull) {
+                    self.checks += 1;
+                    // Migration-class flows must carry a per-flow cap at
+                    // least as tight as the configured QoS ceiling; shards
+                    // split the ceiling, so strictly tighter is fine.
+                    let capped = f.cap.is_some_and(|c| c <= ceiling * (1.0 + eps));
+                    if !capped {
+                        control = self.violate(
+                            now,
+                            "cap-respected",
+                            format!(
+                                "flow {:?} ({:?}) carries cap {:?} under a QoS ceiling of {ceiling}",
+                                f.id, f.tag, f.cap
+                            ),
+                        );
+                    }
                 }
             }
             for (node, what) in [(f.src, "source"), (f.dst, "destination")] {
@@ -457,6 +488,26 @@ impl InvariantObserver {
                     "admission-cap",
                     format!("{running} migrations running under a cap of {cap}"),
                 );
+            }
+        }
+
+        // ---- SLA-accounting consistency ----
+        // The recorded degradation slope on every live migration must
+        // match what the engine's compute state implies *right now*; any
+        // drift compounds into the degraded-seconds integral.
+        for v in 0..eng.vm_count() {
+            if let Some((recorded, expected)) = eng.sla_audit(v) {
+                self.checks += 1;
+                if (recorded - expected).abs() > 1e-9 {
+                    control = self.violate(
+                        now,
+                        "sla-consistent",
+                        format!(
+                            "vm {v} records degradation loss {recorded} but engine state \
+                             implies {expected}"
+                        ),
+                    );
+                }
             }
         }
 

@@ -647,6 +647,101 @@ fn checker_detects_dangling_retry_timer() {
     );
 }
 
+/// A QoS-shaped run (cap + multifd + compression) upholds every law —
+/// including the new cap-respected and sla-consistent sweeps, which are
+/// active whenever a cap or a migration is live.
+#[test]
+fn qos_shaped_run_upholds_every_law() {
+    for strategy in [
+        StrategyKind::Hybrid,
+        StrategyKind::Precopy,
+        StrategyKind::Postcopy,
+    ] {
+        let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+        b.with_qos(lsm_core::QosConfig {
+            bandwidth_cap_mb: Some(40.0),
+            streams: 4,
+            compress_mem_ratio: 0.7,
+            compress_storage_ratio: 0.8,
+            compress_cpu_frac: 0.1,
+        })
+        .expect("configures");
+        let vm = b
+            .add_vm(NodeId(0), writer(), strategy, SimTime::ZERO)
+            .expect("vm");
+        b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+        let mut sim = b.build().expect("builds");
+        let mut obs = checker();
+        let report = sim.run_observed(secs(600.0), &mut obs);
+        obs.finish(sim.engine());
+        obs.assert_clean(strategy.label());
+        assert!(report.migrations[0].completed, "{}", strategy.label());
+        assert!(
+            report.sla.total_violation_secs > 0.0,
+            "{}: a capped, compressing migration must record SLA cost",
+            strategy.label()
+        );
+    }
+}
+
+/// A migration-class flow started without the configured QoS cap must
+/// be flagged — the cap-respected law is not vacuous.
+#[test]
+fn checker_detects_uncapped_migration_flow() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_qos(lsm_core::QosConfig {
+        bandwidth_cap_mb: Some(40.0),
+        ..lsm_core::QosConfig::default()
+    })
+    .expect("configures");
+    let vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(2.0));
+    // Large enough to stay in flight for the whole observed window: the
+    // law must catch the flow while it is live, and a completing forged
+    // flow would trip real completion machinery it has no state for.
+    sim.engine_mut().testing_force_uncapped_flow(0, 1, 1 << 40);
+    let mut obs = checker();
+    sim.run_observed(secs(10.0), &mut obs);
+    assert!(!obs.is_clean(), "uncapped migration flow must be flagged");
+    assert!(
+        obs.violations().iter().any(|v| v.law == "cap-respected"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
+/// A recorded degradation slope that disagrees with the engine's
+/// compute state must be flagged — the sla-consistent law is not
+/// vacuous.
+#[test]
+fn checker_detects_sla_accounting_drift() {
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    let vm = b
+        .add_vm(NodeId(0), writer(), StrategyKind::Hybrid, SimTime::ZERO)
+        .expect("vm");
+    let job = b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(2.0));
+    assert_eq!(
+        sim.status(job),
+        Some(MigrationStatus::TransferringMemory),
+        "the migration must be live for the law to apply"
+    );
+    sim.engine_mut().testing_force_degrade_loss(0, 0.73);
+    let mut obs = checker();
+    sim.run_observed(secs(2.5), &mut obs);
+    assert!(!obs.is_clean(), "forged degradation slope must be flagged");
+    assert!(
+        obs.violations().iter().any(|v| v.law == "sla-consistent"),
+        "{:?}",
+        obs.violations()
+    );
+}
+
 #[test]
 fn violation_digest_is_readable_and_bounded() {
     let mut obs = InvariantObserver::with_config(CheckConfig {

@@ -158,7 +158,7 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let scenario = args.value("--scenario")?;
             let out = args
                 .value("--out")?
-                .unwrap_or_else(|| "BENCH_PR7.json".to_string());
+                .unwrap_or_else(|| "BENCH_PR8.json".to_string());
             let baseline = args.value("--baseline")?;
             let strict = args.flag("--strict");
             args.finish()?;
@@ -185,7 +185,15 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
                 lsm_experiments::judge::judge_adaptive64()
             }
             .map_err(|e| UsageError(format!("judge scenario rejected: {e}")))?;
-            emit(&[lsm_experiments::judge::table(&outcomes)], csv);
+            let mut tables = vec![lsm_experiments::judge::table(&outcomes)];
+            if !quick {
+                // The QoS shaping trade rides along on the full judge:
+                // the same fleet unshaped vs under qos64's `[qos]`.
+                let trade = lsm_experiments::judge::judge_shaping()
+                    .map_err(|e| UsageError(format!("judge scenario rejected: {e}")))?;
+                tables.push(lsm_experiments::judge::shaping_table(&trade));
+            }
+            emit(&tables, csv);
             Ok(())
         }
         "fig3" => {
@@ -512,6 +520,26 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
             println!("    [{:>9.3}s] cancel migration {}", c.at_secs, c.job);
         }
     }
+    if let Some(qos) = &spec.qos {
+        let cap = qos
+            .bandwidth_cap_mb
+            .map(|c| format!("{c:.0} MB/s"))
+            .unwrap_or_else(|| "uncapped".to_string());
+        let compression = if qos.compressing() {
+            format!(
+                "mem x{:.2} / storage x{:.2} at {:.0}% CPU",
+                qos.compress_mem_ratio,
+                qos.compress_storage_ratio,
+                qos.compress_cpu_frac * 100.0
+            )
+        } else {
+            "off".to_string()
+        };
+        println!(
+            "  qos: bandwidth cap {cap}, {} stream(s), compression {compression}",
+            qos.streams
+        );
+    }
     if let Some(orch) = &spec.orchestrator {
         let cap = orch
             .max_concurrent
@@ -700,12 +728,31 @@ fn print_report(spec: &ScenarioSpec, r: &RunReport) {
         lsm_simcore::units::fmt_bytes(r.total_traffic),
         lsm_simcore::units::fmt_bytes(r.migration_traffic)
     );
+    println!(
+        "  sla: {:.2}s violation ({:.2}s downtime + {:.2}s degraded) across {} job(s)",
+        r.sla.total_violation_secs,
+        r.sla.total_downtime_secs,
+        r.sla.total_degraded_secs,
+        r.sla.jobs.len()
+    );
+    // Per-job rows only where there is something to say (fleets are
+    // large; all-zero rows are noise).
+    for j in r.sla.jobs.iter().filter(|j| j.violation_secs > 1e-3) {
+        println!(
+            "    job {} vm {}: {:.2}s ({:.0}ms downtime, {:.2}s degraded)",
+            j.job,
+            j.vm,
+            j.violation_secs,
+            j.downtime_secs * 1e3,
+            j.degraded_secs
+        );
+    }
 }
 
 // ---------------- `lsm bench` ----------------
 
 /// One entry of the machine-readable record `lsm bench` writes
-/// (`BENCH_PR7.json` by default — a JSON array with one entry per
+/// (`BENCH_PR8.json` by default — a JSON array with one entry per
 /// benched scenario): the performance-trajectory numbers tracked
 /// across PRs.
 #[derive(Debug, Serialize)]
@@ -781,9 +828,9 @@ fn bench_one(spec: &ScenarioSpec) -> Result<BenchSummary, UsageError> {
 }
 
 /// Run the tracked benchmark set — the paper-scale stress scenario, the
-/// orchestrated scenarios (evacuation, adaptive fleet, cost fleet) and
-/// the autonomic hotspot drill — under a wall clock and record the
-/// trajectory numbers. With
+/// orchestrated scenarios (evacuation, adaptive fleet, cost fleet, QoS
+/// fleet) and the autonomic hotspot drill — under a wall clock and
+/// record the trajectory numbers. With
 /// `--baseline`, compare events/sec per scenario against a committed
 /// record and warn on >20 % regressions; `--strict` hardens those
 /// warnings into a nonzero exit (the CI gate).
@@ -823,6 +870,7 @@ fn cmd_bench(
                 lsm_experiments::orchestration::evacuate_spec(),
                 lsm_experiments::orchestration::adaptive64_spec(),
                 lsm_experiments::orchestration::cost64_spec(),
+                lsm_experiments::orchestration::qos64_spec(),
                 lsm_experiments::autonomic::hotspot_drill_spec(),
             ]
         }

@@ -198,19 +198,20 @@ fn bench_quick_writes_machine_readable_summary() {
         assert!(text.contains(key), "missing {key} in: {text}");
     }
     // The tracked set is an array covering the stress scenario, the
-    // three orchestrated scenarios and the autonomic hotspot drill.
+    // four orchestrated scenarios and the autonomic hotspot drill.
     let v = serde_json::parse(&text).expect("valid JSON");
     let entries = match &v {
         serde::Value::Seq(items) => items,
         other => panic!("expected array, got {other:?}"),
     };
-    assert_eq!(entries.len(), 5, "{text}");
+    assert_eq!(entries.len(), 6, "{text}");
     let names: Vec<_> = entries.iter().map(|e| e.get("scenario").cloned()).collect();
     for want in [
         "scale64-quick",
         "evacuate",
         "adaptive64",
         "cost64",
+        "qos64",
         "hotspot_drill",
     ] {
         assert!(

@@ -42,6 +42,7 @@ use crate::engine::{
 use crate::error::EngineError;
 use crate::planner::{OrchestratorConfig, RequestIntent};
 use crate::policy::StrategyKind;
+use crate::qos::QosConfig;
 use crate::resilience::ResilienceConfig;
 use lsm_netsim::NodeId;
 use lsm_simcore::time::{SimDuration, SimTime};
@@ -117,6 +118,19 @@ impl SimulationBuilder {
     /// when work is already queued.
     pub fn with_resilience(&mut self, cfg: ResilienceConfig) -> Result<(), EngineError> {
         self.eng.configure_resilience(cfg)
+    }
+
+    /// Enable migration QoS shaping: a per-migration bandwidth cap,
+    /// multifd-style parallel memory streams, and wire compression —
+    /// see [`QosConfig`]. SLA accounting in the report is always on;
+    /// this installs the *shaping* knobs. Must be called before any
+    /// migration or request is scheduled.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidRequest`] for an unusable configuration or
+    /// when work is already queued.
+    pub fn with_qos(&mut self, cfg: QosConfig) -> Result<(), EngineError> {
+        self.eng.configure_qos(cfg)
     }
 
     /// Submit a high-level orchestration request (see

@@ -339,15 +339,28 @@ pub(crate) fn teardown_transfer(eng: &mut Engine, v: VmIdx) {
                 mig.phase = MigPhase::Aborted;
                 mig.stalled_until = None;
                 mig.source_store = None;
+                // A deferred stop flush died with its flows; left set,
+                // a successor attempt would treat its own first round
+                // as a retried stop and pause the guest immediately.
+                mig.downtime_round = false;
+                mig.pending_stop_bytes = 0;
+                mig.mem_streams_inflight = 0;
                 // An auto-converge throttle never outlives its attempt
                 // (the caller's update_compute makes this take effect).
                 super::resilient::release_throttle(mig);
-                if !vm.crashed && vm.vm.state() == VmState::Paused {
+                let resumed = if !vm.crashed && vm.vm.state() == VmState::Paused {
                     vm.vm.resume(now, None);
                     true
                 } else {
                     false
-                }
+                };
+                // Stamp the attempt's downtime now that the interrupted
+                // pause window (if any) is closed: `downtime_so_far`
+                // reads the stamp once the phase is Aborted.
+                let total = vm.vm.total_downtime();
+                let mig = vm.migration.as_mut().expect("live migration");
+                mig.downtime = total - mig.downtime_before;
+                resumed
             };
             if resumed {
                 eng.release_held(v);
@@ -361,10 +374,21 @@ pub(crate) fn teardown_transfer(eng: &mut Engine, v: VmIdx) {
             // false` bookkeeping, not as a hang.
             let waiters: Vec<OpId> = {
                 let vm = &mut eng.vms[v as usize];
+                let total = vm.vm.total_downtime();
                 let mig = vm.migration.as_mut().expect("live migration");
                 mig.phase = MigPhase::Aborted;
                 mig.stalled_until = None;
                 mig.source_store = None;
+                mig.downtime_round = false;
+                mig.pending_stop_bytes = 0;
+                mig.mem_streams_inflight = 0;
+                // Control moved, so no further pause can happen — but a
+                // throttle installed before the switchover must not
+                // survive into the abort either.
+                super::resilient::release_throttle(mig);
+                // Stop-and-copy downtime already elapsed: stamp it so
+                // the aborted record reports it.
+                mig.downtime = total - mig.downtime_before;
                 let mut keys: Vec<_> = mig.pull_waiters.keys().copied().collect();
                 keys.sort_unstable();
                 let mut out = Vec::new();

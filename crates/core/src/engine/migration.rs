@@ -218,13 +218,16 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
         converge_hot_rounds: 0,
         downtime_deferrals: 0,
         downtime_round: false,
+        mem_streams_inflight: 0,
+        degraded_secs: 0.0,
+        degrade_mark: now,
+        degrade_loss: 0.0,
         timeline: Vec::new(),
     });
     eng.note_milestone(v, Milestone::Requested);
     eng.set_job_status(job, MigrationStatus::TransferringMemory);
 
     eng.send_ctl(source, dest, Ctl::MigrationNotify { vm: v });
-    let cap = Some(eng.cfg().migration_speed_cap());
     if postcopy_memory {
         // Post-copy hands control over immediately: pause, ship the hot
         // set, resume at the destination. The storage push phase gets no
@@ -234,24 +237,10 @@ pub(crate) fn start_migration(eng: &mut Engine, job: JobId) {
         eng.note_milestone(v, Milestone::StopAndCopy);
         eng.set_job_status(job, MigrationStatus::SwitchingOver);
         eng.update_compute(v);
-        eng.start_flow(
-            source,
-            dest,
-            first,
-            cap,
-            TrafficTag::Memory,
-            FlowCtx::MemStop { vm: v },
-        );
+        super::qos::start_mem_copy(eng, v, source, dest, first, true);
         return;
     }
-    eng.start_flow(
-        source,
-        dest,
-        first,
-        cap,
-        TrafficTag::Memory,
-        FlowCtx::MemRound { vm: v },
-    );
+    super::qos::start_mem_copy(eng, v, source, dest, first, false);
     pump_push(eng, v);
     eng.update_compute(v);
 }
@@ -356,6 +345,10 @@ pub(crate) fn mem_round_done(eng: &mut Engine, v: VmIdx) {
     if matches!(phase, MigPhase::Complete | MigPhase::Aborted) {
         return;
     }
+    // Multifd: the round completes when its last shard lands.
+    if !super::qos::mem_copy_shard_done(eng, v) {
+        return;
+    }
     let (dirtied, rate) = take_round_dirt(eng, v);
     // A downtime-deferral round finished: its backlog is delivered,
     // whatever dirtied meanwhile becomes the new stop backlog, and the
@@ -426,15 +419,7 @@ fn start_mem_round(eng: &mut Engine, v: VmIdx, bytes: u64) {
         (mig.source, mig.dest, mig.mem_rounds)
     };
     eng.note_milestone(v, Milestone::MemRound(round));
-    let cap = Some(eng.cfg().migration_speed_cap());
-    eng.start_flow(
-        source,
-        dest,
-        bytes,
-        cap,
-        TrafficTag::Memory,
-        FlowCtx::MemRound { vm: v },
-    );
+    super::qos::start_mem_copy(eng, v, source, dest, bytes, false);
 }
 
 /// Attempt the stop-and-copy; if storage has not converged, enter the
@@ -480,15 +465,7 @@ fn linger_step(eng: &mut Engine, v: VmIdx, dirtied: u64) {
             mig.round_bytes = dirtied;
             (mig.source, mig.dest)
         };
-        let cap = Some(eng.cfg().migration_speed_cap());
-        eng.start_flow(
-            source,
-            dest,
-            dirtied,
-            cap,
-            TrafficTag::Memory,
-            FlowCtx::MemRound { vm: v },
-        );
+        super::qos::start_mem_copy(eng, v, source, dest, dirtied, false);
     } else {
         eng.schedule_in(LINGER_POLL, Ev::ConvergencePoll(v));
     }
@@ -552,15 +529,7 @@ fn initiate_stop(eng: &mut Engine, v: VmIdx, force_storage: bool) {
     }
     eng.vm_mut(v).vm.pause(now);
     eng.update_compute(v);
-    let cap = Some(eng.cfg().migration_speed_cap());
-    eng.start_flow(
-        source,
-        dest,
-        bytes,
-        cap,
-        TrafficTag::Memory,
-        FlowCtx::MemStop { vm: v },
-    );
+    super::qos::start_mem_copy(eng, v, source, dest, bytes, true);
 }
 
 fn src_drain_precopy(src: &mut PrecopySource) -> Vec<ChunkId> {
@@ -576,6 +545,10 @@ pub(crate) fn mem_stop_done(eng: &mut Engine, v: VmIdx) {
     match eng.vm(v).migration.as_ref().map(|m| m.phase) {
         None | Some(MigPhase::Complete | MigPhase::Aborted) => return,
         Some(_) => {}
+    }
+    // Multifd: the stop flush completes when its last shard lands.
+    if !super::qos::mem_copy_shard_done(eng, v) {
+        return;
     }
     // Apply the force-flushed chunks at the destination (they travelled
     // inside the stop-and-copy flush).
@@ -704,11 +677,12 @@ fn control_transfer(eng: &mut Engine, v: VmIdx) {
         })
     };
     if let Some((source, dest, bytes)) = pull {
-        let cap = Some(eng.cfg().migration_speed_cap());
+        let cap = super::qos::post_pull_cap(eng);
+        let wire = super::qos::wire_bytes_mem(eng, bytes);
         eng.start_flow(
             source,
             dest,
-            bytes,
+            wire,
             cap,
             TrafficTag::Memory,
             FlowCtx::MemPostPull { vm: v },
@@ -836,12 +810,13 @@ pub(crate) fn push_read_done(
         }
         (mig.source, mig.dest)
     };
-    let bytes = eng.cfg().chunk_size * chunks.len() as u64;
+    let bytes = super::qos::wire_bytes_storage(eng, eng.cfg().chunk_size * chunks.len() as u64);
+    let cap = super::qos::storage_flow_cap(eng);
     eng.start_flow(
         source,
         dest,
         bytes,
-        None,
+        cap,
         TrafficTag::StoragePush,
         FlowCtx::PushBatch {
             vm: v,
@@ -1029,12 +1004,13 @@ pub(crate) fn pull_read_done(
         let withver: Vec<(ChunkId, u64)> = chunks.iter().map(|&c| (c, store.version(c))).collect();
         (mig.source, mig.dest, withver)
     };
-    let bytes = eng.cfg().chunk_size * chunks.len() as u64;
+    let bytes = super::qos::wire_bytes_storage(eng, eng.cfg().chunk_size * chunks.len() as u64);
+    let cap = super::qos::storage_flow_cap(eng);
     eng.start_flow(
         source,
         dest,
         bytes,
-        None,
+        cap,
         TrafficTag::StoragePull,
         FlowCtx::PullBatch {
             vm: v,

@@ -15,6 +15,7 @@ mod migration;
 mod observer;
 mod orchestrator;
 mod pvfs;
+mod qos;
 mod rebalance;
 mod report;
 mod resilient;
@@ -79,6 +80,10 @@ pub struct Engine {
     /// auto-converge, and the downtime limit off and the event stream
     /// untouched; see the `resilient` module).
     resilience: Option<resilient::ResilienceRt>,
+    /// Migration QoS state (`None` — the default — leaves flow caps,
+    /// stream counts and wire bytes at their historical values and the
+    /// event stream untouched; see the `qos` module).
+    qos: Option<qos::QosRt>,
 }
 
 impl Engine {
@@ -140,6 +145,7 @@ impl Engine {
             orch: OrchestratorRt::default(),
             autonomic: None,
             resilience: None,
+            qos: None,
         })
     }
 
@@ -1008,7 +1014,10 @@ impl Engine {
         if matches!(m.phase, MigPhase::Complete | MigPhase::Aborted) {
             return 1.0;
         }
-        let mut f = 1.0 - self.cfg.migration_cpu_steal;
+        // A QoS bandwidth cap bounds the transfer rate, and the
+        // guest-visible interference shrinks with it (scale 1.0 when
+        // no cap is configured).
+        let mut f = 1.0 - self.cfg.migration_cpu_steal * qos::interference_scale(self);
         // Post-copy memory: remote page faults slow the guest while the
         // background pull is still running.
         if m.postcopy_mem
@@ -1023,6 +1032,16 @@ impl Engine {
         if m.throttle_step > 0 {
             if let Some(r) = self.resilience.as_ref() {
                 f *= (1.0 - r.cfg.converge_step).powi(m.throttle_step as i32);
+            }
+        }
+        // Compression: the source guest pays the CPU cost while it is
+        // still the one generating (and compressing) the transfer —
+        // i.e. until control moves to the destination.
+        if m.control_at.is_none() {
+            if let Some(q) = self.qos.as_ref() {
+                if q.cfg.compressing() {
+                    f *= 1.0 - q.cfg.compress_cpu_frac;
+                }
             }
         }
         f
@@ -1051,6 +1070,11 @@ impl Engine {
     /// Recompute the compute timer after a factor change (pause, resume,
     /// migration start/stop).
     pub(crate) fn update_compute(&mut self, v: VmIdx) {
+        // Every factor-changing transition routes through here, which
+        // makes it the one choke point where the SLA degradation
+        // integral can advance in lockstep with the compute model —
+        // including for VMs with no compute burst in flight.
+        qos::sla_transition(self, v);
         let factor = self.compute_factor(v);
         let now = self.now;
         let Some(mut rt) = self.vms[v as usize].compute.take() else {

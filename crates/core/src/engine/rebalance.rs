@@ -538,8 +538,10 @@ fn replan_job(eng: &mut Engine, job: JobId, new_dest: u32, reason: ReplanReason)
         eng.set_job_status(job, MigrationStatus::Queued);
         eng.orch.ready.push_back(ReadyItem::Job(job));
         orchestrator::poke_drain(eng);
-        eng.update_compute(v);
     }
+    // Unconditionally: the teardown released any auto-converge
+    // throttle, which only takes effect through a compute refresh.
+    eng.update_compute(v);
     // A job that was still queued (crash raced its start) keeps its
     // pending start event; only its destination changed.
     let at = eng.now;

@@ -328,8 +328,12 @@ fn begin_retry(eng: &mut Engine, job: JobId, reason: AttemptReason, keep_checkpo
         eng.orch.active -= 1;
         eng.set_job_status(job, MigrationStatus::Queued);
         orchestrator::poke_drain(eng);
-        eng.update_compute(v);
     }
+    // Unconditionally: the teardown above released any auto-converge
+    // throttle, and the release only takes effect through a compute
+    // refresh — gating it on the admission accounting would leak the
+    // throttle across the backoff for an uncounted (held) job.
+    eng.update_compute(v);
     let ev = eng.schedule_in(SimDuration::from_secs_f64(backoff), Ev::RetryFire(job.0));
     let st = st_mut(eng, job);
     st.attempts.push(JobAttempt {
@@ -658,7 +662,9 @@ pub(crate) fn defer_switchover(eng: &mut Engine, v: VmIdx) -> bool {
         .as_ref()
         .map_or(0, |r| r.cfg.downtime_extra_rounds);
     let chunk_size = eng.cfg.chunk_size;
-    let speed = eng.cfg.migration_speed_cap();
+    // A QoS bandwidth cap slows the stop flush too: estimate against
+    // the effective ceiling, not the raw hypervisor cap.
+    let speed = super::qos::mem_total_cap(eng);
     let now = eng.now;
     let deferred = {
         let Some(mig) = eng.vms[v as usize].migration.as_mut() else {
@@ -687,14 +693,6 @@ pub(crate) fn defer_switchover(eng: &mut Engine, v: VmIdx) -> bool {
     if let Some(ji) = eng.jobs.iter().rposition(|j| j.vm == v) {
         st_mut(eng, JobId(ji as u32)).downtime_deferrals += 1;
     }
-    let cap = Some(eng.cfg.migration_speed_cap());
-    eng.start_flow(
-        source,
-        dest,
-        bytes,
-        cap,
-        lsm_netsim::TrafficTag::Memory,
-        super::types::FlowCtx::MemRound { vm: v },
-    );
+    super::qos::start_mem_copy(eng, v, source, dest, bytes, false);
     true
 }

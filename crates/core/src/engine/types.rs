@@ -363,6 +363,19 @@ pub(crate) struct MigrationRt {
     /// flow lands, the stop is retried instead of consulting the
     /// pre-copy memory machine (which already decided to stop).
     pub downtime_round: bool,
+    /// Multifd memory-copy shards still in flight for the current
+    /// round/stop flush (1 outside `[qos]` multifd runs); the round
+    /// completes when the last shard lands.
+    pub mem_streams_inflight: u32,
+    /// SLA accounting: throughput-weighted seconds the guest ran
+    /// degraded while this migration was live (∫ degrade_loss dt).
+    pub degraded_secs: f64,
+    /// When `degrade_loss` last changed (integration mark).
+    pub degrade_mark: SimTime,
+    /// The guest's current throughput loss fraction attributed to this
+    /// migration: `1 − compute factor` while live and running, 0 while
+    /// paused (that time is downtime, not degradation) or terminal.
+    pub degrade_loss: f64,
     /// Timestamped lifecycle milestones for the report.
     pub timeline: Vec<(SimTime, crate::engine::report::Milestone)>,
 }
@@ -386,9 +399,12 @@ impl MigrationRt {
         0
     }
 
-    /// Downtime attributable to this migration so far.
+    /// Downtime attributable to this migration so far. Terminal
+    /// migrations (completed *or* aborted) report the downtime stamped
+    /// at their end — an aborted attempt must not keep absorbing
+    /// downtime a later migration of the same VM incurs.
     pub fn downtime_so_far(&self, vm: &Vm) -> SimDuration {
-        if self.completed_at.is_some() {
+        if self.completed_at.is_some() || self.phase == MigPhase::Aborted {
             self.downtime
         } else {
             vm.total_downtime() - self.downtime_before

@@ -41,6 +41,13 @@
 //!   copy round, and clean cancellation
 //!   ([`engine::Engine::cancel_migration`]) at any phase. Inert unless
 //!   a [`ResilienceConfig`] is installed.
+//! * [`qos`] — migration QoS shaping: per-migration bandwidth caps
+//!   below the max–min NIC share, multifd-style parallel memory
+//!   streams with deterministic sharding, a compression model that
+//!   trades wire bytes for guest CPU, and SLA-violation accounting
+//!   (downtime + degraded-throughput seconds, per job and aggregated
+//!   in `RunReport.sla`). Shaping is inert unless a [`QosConfig`] is
+//!   installed; the SLA accounting is always on.
 //!
 //! ```
 //! use lsm_core::builder::SimulationBuilder;
@@ -82,6 +89,7 @@ pub mod engine;
 pub mod error;
 pub mod planner;
 pub mod policy;
+pub mod qos;
 pub mod resilience;
 
 pub use autonomic::{
@@ -95,12 +103,14 @@ pub use engine::{
     MigrationStatus, Observer, RunControl, RunReport, VmRecord,
 };
 pub use error::EngineError;
+pub use lsm_hypervisor::VmId;
 pub use lsm_netsim::NodeId;
 pub use planner::{
     AdaptivePlanner, CostPlanner, FixedPlanner, OrchestratorConfig, Planner, PlannerDecision,
     PlannerKind, PlannerSkip, RequestIntent, SchemeEstimate, SkipReason,
 };
 pub use policy::StrategyKind;
+pub use qos::{QosConfig, SlaJob, SlaReport};
 pub use resilience::{
     AttemptReason, JobAttempt, JobResilience, ResilienceConfig, RetryOn, RetryPolicy,
 };

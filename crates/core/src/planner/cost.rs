@@ -33,9 +33,15 @@
 //! × H)`, and `p` is
 //! [`cost_ondemand_penalty`](super::OrchestratorConfig::cost_ondemand_penalty).
 //!
-//! The score is `time + cost_bytes_weight × bytes/GiB`; candidates are
-//! scored in a fixed order (`Precopy`, `Mirror`, `Hybrid`, `Postcopy` —
-//! under post-copy memory only `Hybrid`, `Postcopy`) and ties keep the
+//! The score is `time + cost_bytes_weight × bytes/GiB + cost_sla_weight
+//! × sla`, where the SLA term predicts the guest-degradation seconds a
+//! scheme imposes: the pull styles stall reads behind on-demand pulls
+//! (`time × min(1, p × r/B)` over the pull phase), the pre-copy styles
+//! contend for the wire with the workload's own flux (`time × min(1,
+//! flux/B)`). With `cost_sla_weight = 0` — the default — the objective
+//! is the historical time+bytes score exactly. Candidates are scored in
+//! a fixed order (`Precopy`, `Mirror`, `Hybrid`, `Postcopy` — under
+//! post-copy memory only `Hybrid`, `Postcopy`) and ties keep the
 //! earlier candidate, so decisions are bit-reproducible across runs and
 //! solvers. Memory migration time is common to every scheme and drops
 //! out of the argmin, so the model omits it.
@@ -67,27 +73,38 @@ pub fn estimate_scheme(ctx: &PlanContext<'_>, k: StrategyKind) -> SchemeEstimate
     let s_alloc = vm.local_bytes as f64;
     let s_mod = vm.modified_bytes as f64;
     let penalty = ctx.cfg.cost_nonconverge_penalty_secs;
-    let (time, bytes) = match k {
+    // Degradation fraction while the guest's reads stall behind
+    // on-demand pulls (the pull styles' SLA exposure), and while its
+    // own I/O contends with the transfer for the wire (the pre-copy
+    // styles'). Both saturate at 1 — a guest cannot lose more than all
+    // of its throughput.
+    let read_stall = (ctx.cfg.cost_ondemand_penalty * vm.read_rate / b).min(1.0);
+    let (time, bytes, sla) = match k {
         StrategyKind::Precopy => {
             let flux = vm.dirty_rate + vm.rewrite_rate;
             if flux >= CONVERGENCE_FRAC * b {
-                (penalty, s_alloc * (1.0 + flux / b))
+                (penalty, s_alloc * (1.0 + flux / b), penalty)
             } else {
                 let t = s_alloc / (b - flux);
-                (t, t * b)
+                (t, t * b, t * (flux / b).min(1.0))
             }
         }
         StrategyKind::Mirror => {
             if vm.write_rate >= CONVERGENCE_FRAC * b {
-                (penalty, s_alloc * (1.0 + vm.write_rate / b))
+                (penalty, s_alloc * (1.0 + vm.write_rate / b), penalty)
             } else {
                 let t = s_alloc / (b - vm.write_rate);
-                (t, s_alloc + vm.write_rate * t)
+                (
+                    t,
+                    s_alloc + vm.write_rate * t,
+                    t * (vm.write_rate / b).min(1.0),
+                )
             }
         }
         StrategyKind::Postcopy => {
             let stall = 1.0 + ctx.cfg.cost_ondemand_penalty * (vm.read_rate / b).min(1.0);
-            (s_mod / b * stall, s_mod)
+            let t = s_mod / b * stall;
+            (t, s_mod, t * read_stall)
         }
         StrategyKind::Hybrid => {
             let hot = (vm.rewrite_rate * ctx.cfg.telemetry_window_secs).min(s_mod);
@@ -96,17 +113,24 @@ pub fn estimate_scheme(ctx: &PlanContext<'_>, k: StrategyKind) -> SchemeEstimate
                 (vm.rewrite_rate * push_time).min(ctx.threshold.saturating_sub(1) as f64 * hot);
             let stall = 1.0 + ctx.cfg.cost_ondemand_penalty * (vm.read_rate / b).min(1.0);
             let pull_time = hot / b * stall;
-            (push_time + repush / b + pull_time, s_mod + repush)
+            // Only the pull phase stalls reads; the push phase runs
+            // with the guest live at the source.
+            (
+                push_time + repush / b + pull_time,
+                s_mod + repush,
+                pull_time * read_stall,
+            )
         }
         // Never a candidate: a shared-FS guest has no local storage to
         // transfer (the orchestrator short-circuits before the planner).
-        StrategyKind::SharedFs => (0.0, 0.0),
+        StrategyKind::SharedFs => (0.0, 0.0, 0.0),
     };
     SchemeEstimate {
         strategy: k,
         est_time_secs: time,
         est_bytes: bytes.round() as u64,
-        score: time + ctx.cfg.cost_bytes_weight * bytes / GIB,
+        est_sla_secs: sla,
+        score: time + ctx.cfg.cost_bytes_weight * bytes / GIB + ctx.cfg.cost_sla_weight * sla,
     }
 }
 
@@ -315,6 +339,40 @@ mod tests {
         let s = p.choose_strategy(&c);
         assert!(matches!(s, StrategyKind::Hybrid | StrategyKind::Postcopy));
         assert_eq!(p.take_estimates().len(), 2);
+    }
+
+    #[test]
+    fn sla_weight_steers_away_from_read_stalls() {
+        // A read-hot guest with a light rewrite trickle and a cached
+        // base twice its modified set: on time+bytes hybrid wins (it
+        // skips the cache), but its withheld-set pull phase stalls the
+        // reads hard. A heavy SLA weight flips the argmin to a bulk
+        // style, whose only degradation is light wire contention.
+        let nv = nodes();
+        let guest = || vm(2.0e6, 50.0e6, 0.0, 2.0e6, 256 << 20, 128 << 20);
+        let cfg = OrchestratorConfig::default();
+        let mut p = CostPlanner::default();
+        let chosen = p.choose_strategy(&ctx(&cfg, &nv, guest()));
+        assert_eq!(chosen, StrategyKind::Hybrid);
+        let weighted = OrchestratorConfig {
+            cost_sla_weight: 10.0,
+            ..OrchestratorConfig::default()
+        };
+        let chosen = p.choose_strategy(&ctx(&weighted, &nv, guest()));
+        assert!(
+            matches!(chosen, StrategyKind::Precopy | StrategyKind::Mirror),
+            "SLA weight should favour the low-stall bulk styles, got {chosen:?}"
+        );
+        let est = p.take_estimates();
+        let by = |k: StrategyKind| est.iter().find(|e| e.strategy == k).unwrap();
+        assert!(
+            by(StrategyKind::Hybrid).est_sla_secs > by(StrategyKind::Precopy).est_sla_secs,
+            "the pull phase must predict more degradation than light wire contention"
+        );
+        assert!(
+            by(StrategyKind::Postcopy).est_sla_secs > 0.0,
+            "read-hot pull predicts stalls"
+        );
     }
 
     #[test]

@@ -182,6 +182,11 @@ pub struct OrchestratorConfig {
     /// (Precopy, Mirror) whose re-dirty/write flux is at or above the
     /// NIC share — the non-convergent case the paper criticizes.
     pub cost_nonconverge_penalty_secs: f64,
+    /// Cost model: seconds of score added per predicted SLA-violation
+    /// second (guest degradation the scheme is expected to impose — see
+    /// [`SchemeEstimate::est_sla_secs`]). 0 — the default — reproduces
+    /// the historical time+bytes objective exactly.
+    pub cost_sla_weight: f64,
     /// How many times an intent-expanded migration step whose placement
     /// found no healthy destination is retried (on later queue drains —
     /// slot releases, new requests, node restores) before the step is
@@ -202,6 +207,7 @@ impl Default for OrchestratorConfig {
             cost_bytes_weight: 1.0,
             cost_ondemand_penalty: 4.0,
             cost_nonconverge_penalty_secs: 1.0e6,
+            cost_sla_weight: 0.0,
             placement_retry_limit: 4,
         }
     }
@@ -223,6 +229,7 @@ macro_rules! orchestrator_config_fields {
             cost_bytes_weight,
             cost_ondemand_penalty,
             cost_nonconverge_penalty_secs,
+            cost_sla_weight,
             placement_retry_limit
         )
     };
@@ -298,6 +305,7 @@ impl OrchestratorConfig {
         for (name, x) in [
             ("cost_bytes_weight", self.cost_bytes_weight),
             ("cost_ondemand_penalty", self.cost_ondemand_penalty),
+            ("cost_sla_weight", self.cost_sla_weight),
         ] {
             if !(x.is_finite() && x >= 0.0) {
                 return fail(format!("{name} must be non-negative and finite, got {x}"));
@@ -454,8 +462,15 @@ pub struct SchemeEstimate {
     pub est_time_secs: f64,
     /// Predicted storage bytes-on-wire.
     pub est_bytes: u64,
-    /// The scalar score the argmin ran on:
-    /// `est_time_secs + cost_bytes_weight × est_bytes / GiB`.
+    /// Predicted SLA-violation seconds: the guest-degradation fraction
+    /// the scheme imposes (read-stall exposure for the pull styles,
+    /// wire contention for the pre-copy styles), integrated over the
+    /// predicted time. Weighted into the score by
+    /// [`OrchestratorConfig::cost_sla_weight`].
+    pub est_sla_secs: f64,
+    /// The scalar score the argmin ran on: `est_time_secs +
+    /// cost_bytes_weight × est_bytes / GiB + cost_sla_weight ×
+    /// est_sla_secs`.
     pub score: f64,
 }
 

@@ -110,6 +110,7 @@ pub fn hotspot_drill_spec() -> ScenarioSpec {
             ..OrchestratorConfig::default()
         }),
         resilience: None,
+        qos: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms,
@@ -156,6 +157,7 @@ pub fn slow_drain_spec() -> ScenarioSpec {
         }),
         orchestrator: None,
         resilience: None,
+        qos: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms,

@@ -62,6 +62,7 @@ pub fn dest_crash_spec() -> ScenarioSpec {
         orchestrator: None,
         autonomic: None,
         resilience: None,
+        qos: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, hotspot())],
@@ -93,6 +94,7 @@ pub fn degraded_link_spec() -> ScenarioSpec {
         orchestrator: None,
         autonomic: None,
         resilience: None,
+        qos: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, writer())],
@@ -136,6 +138,7 @@ pub fn deadline_spec() -> ScenarioSpec {
         orchestrator: None,
         autonomic: None,
         resilience: None,
+        qos: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(0, hotspot())],

@@ -109,6 +109,7 @@ pub fn scenario(p: &Fig4Params, strategy: StrategyKind, k: u32) -> ScenarioSpec 
         orchestrator: None,
         autonomic: None,
         resilience: None,
+        qos: None,
         vms,
         grouped: false,
         strategy,

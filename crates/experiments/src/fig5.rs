@@ -134,6 +134,7 @@ pub fn scenario(p: &Fig5Params, strategy: StrategyKind, n: u32) -> ScenarioSpec 
         orchestrator: None,
         autonomic: None,
         resilience: None,
+        qos: None,
         vms,
         grouped: true,
         strategy,

@@ -37,6 +37,9 @@ pub struct PlannerOutcome {
     pub migration_traffic: u64,
     /// Guest downtime summed over all migrations, seconds.
     pub total_downtime_secs: f64,
+    /// SLA-violation seconds aggregated over all jobs: downtime plus
+    /// degraded-throughput time (`RunReport.sla`).
+    pub sla_violation_secs: f64,
     /// Decisions per chosen strategy, in [`StrategyKind::ALL`] order
     /// (zero-count strategies included).
     pub strategy_mix: Vec<(StrategyKind, usize)>,
@@ -82,6 +85,7 @@ pub fn run_with_planner(
             .iter()
             .map(|m| m.downtime.as_secs_f64())
             .sum(),
+        sla_violation_secs: report.sla.total_violation_secs,
         strategy_mix,
     })
 }
@@ -112,6 +116,94 @@ pub fn judge_quick() -> Result<Vec<PlannerOutcome>, EngineError> {
     })
 }
 
+/// One run's outcome in the QoS shaping trade: the same fleet run
+/// unshaped and under a `[qos]` section, scored on the fast-but-
+/// disruptive vs slow-but-smooth axis (makespan against SLA-violation
+/// seconds).
+#[derive(Clone, Debug)]
+pub struct ShapedOutcome {
+    /// Row label: `unshaped` or `qos-shaped`.
+    pub label: &'static str,
+    /// Migrations that completed within the horizon.
+    pub completed: usize,
+    /// Scheduled migrations.
+    pub migrations: usize,
+    /// Completion makespan, seconds (`NaN` when incomplete).
+    pub makespan_secs: f64,
+    /// Migration-attributable bytes on the wire.
+    pub migration_traffic: u64,
+    /// Guest downtime summed over all migrations, seconds.
+    pub total_downtime_secs: f64,
+    /// SLA-violation seconds aggregated over all jobs.
+    pub sla_violation_secs: f64,
+}
+
+/// Run `spec` as checked in and summarize it for the shaping trade.
+pub fn run_shaped(label: &'static str, spec: &ScenarioSpec) -> Result<ShapedOutcome, EngineError> {
+    let report = run_scenario(spec)?;
+    let completed = report.migrations.iter().filter(|m| m.completed).count();
+    let makespan_secs = if completed == report.migrations.len() {
+        report
+            .migrations
+            .iter()
+            .filter_map(|m| m.completed_at.map(|t| t.as_secs_f64()))
+            .fold(0.0, f64::max)
+    } else {
+        f64::NAN
+    };
+    Ok(ShapedOutcome {
+        label,
+        completed,
+        migrations: report.migrations.len(),
+        makespan_secs,
+        migration_traffic: report.migration_traffic,
+        total_downtime_secs: report
+            .migrations
+            .iter()
+            .map(|m| m.downtime.as_secs_f64())
+            .sum(),
+        sla_violation_secs: report.sla.total_violation_secs,
+    })
+}
+
+/// The qos64 acceptance comparison: the `adaptive64` fleet unshaped
+/// against the identical fleet under `qos64`'s `[qos]` section. The
+/// capped, compressed run must stretch the makespan and *lower* the
+/// aggregate SLA violation — the trade `cost_sla_weight` lets the cost
+/// planner optimize.
+pub fn judge_shaping() -> Result<Vec<ShapedOutcome>, EngineError> {
+    Ok(vec![
+        run_shaped("unshaped", &crate::orchestration::adaptive64_spec())?,
+        run_shaped("qos-shaped", &crate::orchestration::qos64_spec())?,
+    ])
+}
+
+/// Render the shaping trade as a table (`lsm judge`'s second table).
+pub fn shaping_table(outcomes: &[ShapedOutcome]) -> Table {
+    let mut t = Table::new(
+        "qos shaping trade — makespan vs SLA violation (adaptive64 fleet)",
+        &[
+            "run",
+            "completed",
+            "makespan [s]",
+            "migration traffic [MB]",
+            "downtime [s]",
+            "SLA violation [s]",
+        ],
+    );
+    for o in outcomes {
+        t.row(vec![
+            o.label.to_string(),
+            format!("{}/{}", o.completed, o.migrations),
+            format!("{:.2}", o.makespan_secs),
+            format!("{:.1}", o.migration_traffic as f64 / 1.0e6),
+            format!("{:.2}", o.total_downtime_secs),
+            format!("{:.2}", o.sla_violation_secs),
+        ]);
+    }
+    t
+}
+
 /// Render the comparison as a table (`lsm judge`).
 pub fn table(outcomes: &[PlannerOutcome]) -> Table {
     let mut t = Table::new(
@@ -122,6 +214,7 @@ pub fn table(outcomes: &[PlannerOutcome]) -> Table {
             "makespan [s]",
             "migration traffic [MB]",
             "downtime [s]",
+            "SLA violation [s]",
             "strategy mix",
         ],
     );
@@ -139,6 +232,7 @@ pub fn table(outcomes: &[PlannerOutcome]) -> Table {
             format!("{:.2}", o.makespan_secs),
             format!("{:.1}", o.migration_traffic as f64 / 1.0e6),
             format!("{:.2}", o.total_downtime_secs),
+            format!("{:.2}", o.sla_violation_secs),
             mix,
         ]);
     }
@@ -161,6 +255,10 @@ mod tests {
             assert_eq!(o.completed, o.migrations, "{:?} left work", o.planner);
             assert!(o.makespan_secs.is_finite() && o.makespan_secs > 0.0);
             assert!(o.migration_traffic > 0);
+            assert!(
+                o.sla_violation_secs.is_finite() && o.sla_violation_secs >= 0.0,
+                "SLA accounting must always be populated"
+            );
         }
         let rendered = table(&outcomes).render();
         assert!(rendered.contains("adaptive") && rendered.contains("cost"));

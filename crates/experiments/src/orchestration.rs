@@ -74,6 +74,7 @@ pub fn evacuate_spec() -> ScenarioSpec {
         cluster: Some(ClusterConfig::small_test()),
         autonomic: None,
         resilience: None,
+        qos: None,
         orchestrator: Some(OrchestratorConfig {
             max_concurrent: Some(2),
             planner: PlannerKind::Adaptive,
@@ -179,6 +180,7 @@ impl AdaptiveParams {
             cluster: Some(cluster),
             autonomic: None,
             resilience: None,
+            qos: None,
             orchestrator: Some(OrchestratorConfig {
                 max_concurrent: Some(8),
                 planner: PlannerKind::Adaptive,
@@ -219,6 +221,24 @@ pub fn cost64_spec() -> ScenarioSpec {
     spec
 }
 
+/// The `scenarios/qos64.toml` scenario: the `adaptive64` fleet shaped
+/// by a `[qos]` section — a per-migration bandwidth cap below the NIC
+/// share, four multifd streams, and compression trading wire bytes for
+/// guest CPU. The cap stretches the makespan; compression and the cap
+/// together lower the per-job SLA violation (`lsm judge` prints the
+/// trade on the standing fleet).
+pub fn qos64_spec() -> ScenarioSpec {
+    let mut spec = AdaptiveParams::adaptive64().spec("qos64");
+    spec.qos = Some(lsm_core::QosConfig {
+        bandwidth_cap_mb: Some(60.0),
+        streams: 4,
+        compress_mem_ratio: 0.55,
+        compress_storage_ratio: 0.7,
+        compress_cpu_frac: 0.03,
+    });
+    spec
+}
+
 /// All shipped orchestration scenarios with their `scenarios/` file
 /// names.
 pub fn all() -> Vec<(&'static str, ScenarioSpec)> {
@@ -226,6 +246,7 @@ pub fn all() -> Vec<(&'static str, ScenarioSpec)> {
         ("evacuate.toml", evacuate_spec()),
         ("adaptive64.toml", adaptive64_spec()),
         ("cost64.toml", cost64_spec()),
+        ("qos64.toml", qos64_spec()),
     ]
 }
 

@@ -91,6 +91,7 @@ pub fn chaos_storm_spec() -> ScenarioSpec {
         orchestrator: None,
         autonomic: None,
         resilience: Some(storm_policy()),
+        qos: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![
@@ -232,6 +233,7 @@ pub fn auto_converge_spec() -> ScenarioSpec {
         orchestrator: None,
         autonomic: None,
         resilience: Some(res),
+        qos: None,
         strategy: StrategyKind::Mirror,
         grouped: false,
         vms: vec![VmSpec::new(

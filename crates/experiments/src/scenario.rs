@@ -17,7 +17,7 @@ use lsm_core::error::EngineError;
 use lsm_core::planner::{OrchestratorConfig, RequestIntent};
 use lsm_core::policy::StrategyKind;
 use lsm_core::AutonomicConfig;
-use lsm_core::{FaultKind, NodeId, ResilienceConfig, RunReport};
+use lsm_core::{FaultKind, NodeId, QosConfig, ResilienceConfig, RunReport};
 use lsm_simcore::time::{SimDuration, SimTime};
 use lsm_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
@@ -129,6 +129,13 @@ pub struct ScenarioSpec {
     /// enables the layer, and absent fields fill from
     /// [`ResilienceConfig::default`].
     pub resilience: Option<ResilienceConfig>,
+    /// Migration QoS shaping (`None` — the default — leaves bandwidth
+    /// caps, multifd streams, and compression off entirely; runs are
+    /// then event-for-event identical to builds without the subsystem,
+    /// and the report's SLA accounting stays on regardless). Serialized
+    /// as a `[qos]` section; absent fields fill from
+    /// [`QosConfig::default`].
+    pub qos: Option<QosConfig>,
     /// Default storage transfer strategy for every VM.
     pub strategy: StrategyKind,
     /// If true, the VMs form one barrier-synchronized workload group
@@ -166,6 +173,7 @@ impl ScenarioSpec {
             orchestrator: None,
             autonomic: None,
             resilience: None,
+            qos: None,
             strategy,
             grouped: false,
             vms: vec![VmSpec::new(0, workload)],
@@ -232,6 +240,12 @@ impl ScenarioSpec {
     /// Builder: enable the resilience layer.
     pub fn with_resilience(mut self, cfg: ResilienceConfig) -> Self {
         self.resilience = Some(cfg);
+        self
+    }
+
+    /// Builder: enable migration QoS shaping.
+    pub fn with_qos(mut self, cfg: QosConfig) -> Self {
+        self.qos = Some(cfg);
         self
     }
 
@@ -326,6 +340,9 @@ pub fn build_scenario(spec: &ScenarioSpec) -> Result<Simulation, EngineError> {
     }
     if let Some(res) = &spec.resilience {
         b.with_resilience(res.clone())?;
+    }
+    if let Some(qos) = &spec.qos {
+        b.with_qos(qos.clone())?;
     }
     let mut handles = Vec::with_capacity(spec.vms.len());
     if spec.grouped {

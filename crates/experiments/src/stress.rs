@@ -111,6 +111,7 @@ impl StressParams {
             orchestrator: None,
             autonomic: None,
             resilience: None,
+            qos: None,
             strategy: StrategyKind::Hybrid,
             grouped: false,
             vms,

@@ -13,7 +13,7 @@
 use lsm_check::{CheckConfig, InvariantObserver};
 use lsm_core::config::ClusterConfig;
 use lsm_core::policy::StrategyKind;
-use lsm_core::{FaultKind, ResilienceConfig, RetryPolicy};
+use lsm_core::{FaultKind, QosConfig, ResilienceConfig, RetryPolicy};
 use lsm_experiments::scenario::{
     run_scenario_observed_with_solver, CancelSpec, FaultSpec, MigrationSpec, ScenarioSpec, VmSpec,
 };
@@ -103,6 +103,28 @@ fn resilience_strategy() -> impl Strategy<Value = ResilienceConfig> {
         })
 }
 
+/// Random QoS shaping: caps tight enough to bite on the small test
+/// cluster, multifd splits, and compression with a CPU cost — the
+/// shaped transfer paths must hold the same laws as the bare ones.
+fn qos_strategy() -> impl Strategy<Value = QosConfig> {
+    (
+        prop::option::of(5.0f64..80.0),
+        1u32..=8,
+        0.3f64..1.0,
+        0.3f64..1.0,
+        0.0f64..0.5,
+    )
+        .prop_map(
+            |(cap, streams, mem_ratio, storage_ratio, cpu_frac)| QosConfig {
+                bandwidth_cap_mb: cap,
+                streams,
+                compress_mem_ratio: mem_ratio,
+                compress_storage_ratio: storage_ratio,
+                compress_cpu_frac: cpu_frac,
+            },
+        )
+}
+
 fn cancel_strategy() -> impl Strategy<Value = CancelSpec> {
     (0.3f64..40.0, 0u32..3).prop_map(|(at, job)| CancelSpec {
         at_secs: at,
@@ -119,12 +141,15 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             0..3,
         ),
         prop::collection::vec(fault_strategy(), 0..5),
-        prop::option::of(resilience_strategy()),
+        (
+            prop::option::of(resilience_strategy()),
+            prop::option::of(qos_strategy()),
+        ),
         prop::collection::vec(cancel_strategy(), 0..3),
         30.0f64..90.0,
     )
         .prop_map(
-            |(strategy, vms, migs, faults, resilience, cancels, horizon)| {
+            |(strategy, vms, migs, faults, (resilience, qos), cancels, horizon)| {
                 let nvms = vms.len() as u32;
                 ScenarioSpec {
                     name: None,
@@ -132,6 +157,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     orchestrator: None,
                     autonomic: None,
                     resilience,
+                    qos,
                     strategy,
                     grouped: false,
                     vms: vms
@@ -251,6 +277,15 @@ fn fixed_fault_cocktail_is_clean() {
         orchestrator: None,
         autonomic: None,
         resilience: None,
+        // Shape the cocktail too: a biting cap, multifd, and
+        // compression on top of the crash/stall/degrade pile-up.
+        qos: Some(QosConfig {
+            bandwidth_cap_mb: Some(30.0),
+            streams: 4,
+            compress_mem_ratio: 0.7,
+            compress_storage_ratio: 0.8,
+            compress_cpu_frac: 0.15,
+        }),
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![

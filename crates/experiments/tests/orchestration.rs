@@ -22,6 +22,7 @@ fn checked_in_scenarios_match_producers() {
             "evacuate.toml" => include_str!("../../../scenarios/evacuate.toml"),
             "adaptive64.toml" => include_str!("../../../scenarios/adaptive64.toml"),
             "cost64.toml" => include_str!("../../../scenarios/cost64.toml"),
+            "qos64.toml" => include_str!("../../../scenarios/qos64.toml"),
             other => panic!("unlisted scenario file {other}"),
         };
         let produced = spec.to_toml().expect("serializes");

@@ -171,6 +171,7 @@ fn source_crash_during_retry_backoff_cancels_the_pending_retry() {
             },
             ..ResilienceConfig::default()
         }),
+        qos: None,
         strategy: StrategyKind::Hybrid,
         grouped: false,
         vms: vec![VmSpec::new(
@@ -223,4 +224,222 @@ fn source_crash_during_retry_backoff_cancels_the_pending_retry() {
         row.attempts[0].reason,
         AttemptReason::DestinationCrashed { node: 1 }
     ));
+}
+
+/// Regression: the auto-converge throttle must not leak across a retry.
+/// A throttled attempt's destination crashes; during the backoff window
+/// the guest must run at full speed (step 0, no stale SLA degradation
+/// slope), and the fresh attempt must start from throttle step 0.
+#[test]
+fn throttle_is_released_across_retry_backoff() {
+    use lsm_core::builder::SimulationBuilder;
+    use lsm_core::NodeId;
+    use lsm_simcore::time::SimTime;
+    let secs = SimTime::from_secs_f64;
+    let mut res = ResilienceConfig {
+        converge_frac: 0.03,
+        converge_patience: 2,
+        converge_step: 0.35,
+        converge_max_steps: 4,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            backoff_secs: 5.0,
+            backoff_cap_secs: 10.0,
+            ..RetryPolicy::default()
+        },
+        ..ResilienceConfig::default()
+    };
+    res.retry.retry_on.deadline = false;
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_resilience(res).expect("configures");
+    let vm = b
+        .add_vm(
+            NodeId(0),
+            WorkloadSpec::HotspotWrite {
+                offset: 0,
+                region_blocks: 64,
+                block: 256 * 1024,
+                count: 20000,
+                theta: 0.8,
+                think_secs: 0.005,
+                seed: 13,
+            },
+            StrategyKind::Mirror,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    let job = b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    // The degraded destination link makes the pre-copy non-convergent,
+    // which engages the throttle (empirically by ~51 s)...
+    b.inject_fault(
+        secs(0.5),
+        FaultKind::LinkDegrade {
+            node: 1,
+            factor: 0.1,
+        },
+    )
+    .expect("valid");
+    // ...and then the destination dies under the throttled attempt.
+    b.inject_fault(secs(55.0), FaultKind::NodeCrash { node: 1 })
+        .expect("valid");
+    let mut sim = b.build().expect("builds");
+    sim.run_until(secs(54.9));
+    assert!(
+        sim.engine().vm_throttle_step(0) >= 1,
+        "precondition: the first attempt must be throttled before the crash"
+    );
+    // Inside the backoff window: the teardown must have released the
+    // throttle AND re-run the compute update, so the guest's recorded
+    // SLA degradation slope matches its (full-speed) state.
+    sim.run_until(secs(56.0));
+    assert_eq!(sim.status(job), Some(MigrationStatus::Queued));
+    assert!(sim.engine().job_retry_pending(job), "backoff must be armed");
+    assert_eq!(
+        sim.engine().vm_throttle_step(0),
+        0,
+        "throttle leaked into the backoff window"
+    );
+    let (recorded, expected) = sim.engine().sla_audit(0).expect("migration state exists");
+    assert!(
+        (recorded - expected).abs() < 1e-9 && expected == 0.0,
+        "stale degradation slope in backoff: recorded {recorded}, expected {expected}"
+    );
+    // The fresh attempt re-places onto a healthy node, starts at step 0,
+    // and the whole tail is invariant-clean (throttle-released and
+    // sla-consistent laws included).
+    let mut obs = checker();
+    let report = sim.run_observed(secs(600.0), &mut obs);
+    obs.finish(sim.engine());
+    obs.assert_clean("throttle retry");
+    assert_eq!(sim.status(job), Some(MigrationStatus::Completed));
+    let row = report
+        .resilience
+        .iter()
+        .find(|j| j.job == 0)
+        .expect("resilience row");
+    assert!(
+        row.attempts.len() == 1,
+        "exactly one retry expected: {:?}",
+        row.attempts
+    );
+}
+
+/// Regression: an operator cancellation landing inside a downtime
+/// deferral window (`downtime_round` armed, backlog riding one more
+/// live round) must tear down cleanly — downtime stamped, no stale
+/// stop state — and a successor migration of the same VM must behave
+/// like a first-class first attempt.
+#[test]
+fn cancel_during_downtime_deferral_is_clean() {
+    use lsm_core::builder::SimulationBuilder;
+    use lsm_core::engine::Milestone;
+    use lsm_core::{NodeId, Observer, RunControl};
+    use lsm_simcore::time::SimTime;
+    let secs = SimTime::from_secs_f64;
+
+    /// Stops the run the instant the first switchover deferral fires.
+    #[derive(Default)]
+    struct DeferralTrap {
+        at: Option<SimTime>,
+    }
+    impl Observer for DeferralTrap {
+        fn on_milestone(
+            &mut self,
+            _job: lsm_core::engine::JobId,
+            m: Milestone,
+            now: SimTime,
+        ) -> RunControl {
+            if matches!(m, Milestone::DowntimeDeferred(_)) && self.at.is_none() {
+                self.at = Some(now);
+                return RunControl::Stop;
+            }
+            RunControl::Continue
+        }
+    }
+
+    let res = ResilienceConfig {
+        downtime_limit_ms: Some(1.0),
+        downtime_extra_rounds: 3,
+        ..ResilienceConfig::default()
+    };
+    let mut b = SimulationBuilder::new(ClusterConfig::small_test()).expect("config");
+    b.with_resilience(res).expect("configures");
+    let vm = b
+        .add_vm(
+            NodeId(0),
+            WorkloadSpec::HotspotWrite {
+                offset: 0,
+                region_blocks: 64,
+                block: 256 * 1024,
+                count: 20000,
+                theta: 0.8,
+                think_secs: 0.005,
+                seed: 13,
+            },
+            StrategyKind::Precopy,
+            SimTime::ZERO,
+        )
+        .expect("vm");
+    let job = b.migrate(vm, NodeId(1), secs(1.0)).expect("job");
+    // A degraded destination link keeps rounds long, so plenty of
+    // memory dirties before each stop estimate.
+    b.inject_fault(
+        secs(0.5),
+        FaultKind::LinkDegrade {
+            node: 1,
+            factor: 0.1,
+        },
+    )
+    .expect("valid");
+    let mut sim = b.build().expect("builds");
+    let mut trap = DeferralTrap::default();
+    sim.run_observed(secs(600.0), &mut trap);
+    let deferred_at = trap.at.expect("the hot guest must defer its switchover");
+
+    // Cancel inside the deferral round: `downtime_round` is armed and
+    // the backlog is riding a live copy round right now.
+    sim.engine_mut().cancel_migration(job).expect("cancellable");
+    assert_eq!(sim.status(job), Some(MigrationStatus::Failed));
+    let p = sim.progress(job).expect("progress");
+    assert_eq!(p.failure, Some(lsm_core::FailureReason::Cancelled));
+    // The guest never paused in the deferral window, so the stamped
+    // downtime must be (near) zero — mis-attributed stop backlog would
+    // show up here as phantom downtime.
+    assert!(
+        p.downtime.as_secs_f64() < 0.05,
+        "phantom downtime stamped by the cancelled deferral: {:?}",
+        p.downtime
+    );
+    let (recorded, expected) = sim.engine().sla_audit(0).expect("migration state exists");
+    assert!(
+        (recorded - expected).abs() < 1e-9,
+        "stale degradation slope after cancel: {recorded} vs {expected}"
+    );
+
+    // A successor migration must start with a clean slate: no inherited
+    // stop round, a real pre-copy, and an invariant-clean run.
+    let retry = sim
+        .engine_mut()
+        .schedule_migration(
+            lsm_core::VmId(vm.index()),
+            2,
+            secs(deferred_at.as_secs_f64() + 1.0),
+        )
+        .expect("successor is legal after a terminal job");
+    let mut obs = checker();
+    let report = sim.run_observed(secs(900.0), &mut obs);
+    obs.finish(sim.engine());
+    obs.assert_clean("cancel during deferral");
+    assert_eq!(sim.status(retry), Some(MigrationStatus::Completed));
+    let rec = report
+        .migrations
+        .iter()
+        .find(|m| m.completed)
+        .expect("successor record");
+    assert_eq!(rec.consistent, Some(true));
+    assert!(
+        rec.mem_rounds > 1,
+        "successor must run a real pre-copy, not an inherited stop round"
+    );
+    assert_eq!(report.vms[0].final_host, 2);
 }

@@ -5,7 +5,7 @@
 use lsm_core::config::ClusterConfig;
 use lsm_core::planner::{OrchestratorConfig, PlannerKind, RequestIntent};
 use lsm_core::policy::StrategyKind;
-use lsm_core::{FaultKind, ResilienceConfig, RetryOn, RetryPolicy};
+use lsm_core::{FaultKind, QosConfig, ResilienceConfig, RetryOn, RetryPolicy};
 use lsm_experiments::scenario::{
     CancelSpec, FaultSpec, MigrationSpec, RequestSpec, ScenarioSpec, VmSpec,
 };
@@ -17,12 +17,14 @@ fn orchestrator_strategy() -> impl Strategy<Value = OrchestratorConfig> {
         (prop::option::of(1u32..16), 0u8..3, 0.5f64..30.0),
         (0.01f64..0.5, 0.001f64..0.01, 0.01f64..0.5),
         (0.0f64..10.0, 0.0f64..16.0, 1.0f64..1.0e7, 1u32..12),
+        0.0f64..20.0,
     )
         .prop_map(
             |(
                 (cap, planner, window),
                 (w_hi, w_lo, r_hi),
                 (bytes_w, ondemand, nonconverge, retry),
+                sla_w,
             )| OrchestratorConfig {
                 max_concurrent: cap,
                 planner: match planner {
@@ -37,7 +39,27 @@ fn orchestrator_strategy() -> impl Strategy<Value = OrchestratorConfig> {
                 cost_bytes_weight: bytes_w,
                 cost_ondemand_penalty: ondemand,
                 cost_nonconverge_penalty_secs: nonconverge,
+                cost_sla_weight: sla_w,
                 placement_retry_limit: retry,
+            },
+        )
+}
+
+fn qos_strategy() -> impl Strategy<Value = QosConfig> {
+    (
+        prop::option::of(1.0f64..200.0),
+        1u32..=16,
+        0.05f64..1.0,
+        0.05f64..1.0,
+        0.0f64..0.9,
+    )
+        .prop_map(
+            |(cap, streams, mem_ratio, storage_ratio, cpu_frac)| QosConfig {
+                bandwidth_cap_mb: cap,
+                streams,
+                compress_mem_ratio: mem_ratio,
+                compress_storage_ratio: storage_ratio,
+                compress_cpu_frac: cpu_frac,
             },
         )
 }
@@ -193,6 +215,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
             prop::option::of(prop::collection::vec(request_strategy(), 0..4)),
             prop::option::of(resilience_strategy()),
             prop::option::of(prop::collection::vec(cancel_strategy(), 0..3)),
+            prop::option::of(qos_strategy()),
         ),
     )
         .prop_map(
@@ -203,7 +226,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 horizon,
                 default_cluster,
                 name,
-                (faults, orch, requests, resilience, cancellations),
+                (faults, orch, requests, resilience, cancellations, qos),
             )| {
                 let nvms = vms.len() as u32;
                 ScenarioSpec {
@@ -216,6 +239,7 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioSpec> {
                     orchestrator: orch,
                     autonomic: None,
                     resilience,
+                    qos,
                     strategy,
                     grouped: false,
                     vms: vms
@@ -346,6 +370,33 @@ fn resilience_sections_reject_unknown_fields() {
         ResilienceConfig::default().retry.backoff_secs
     );
     assert!(res.retry.retry_on.dest_crash && res.retry.retry_on.stall);
+}
+
+/// The `[qos]` section rejects typos loudly, fills defaults for
+/// omitted knobs, and validates ranges at parse time — same contract
+/// as `[orchestrator]` and `[resilience]`.
+#[test]
+fn qos_section_rejects_unknown_fields() {
+    let base = "strategy = \"our-approach\"\ngrouped = false\nhorizon_secs = 1.0\nvms = []\nmigrations = []\n";
+    let toml = format!("{base}[qos]\nbandwith_cap_mb = 100.0\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(
+        err.contains("unknown QosConfig field `bandwith_cap_mb`"),
+        "{err}"
+    );
+    let toml = format!("{base}[qos]\nstreems = 4\n");
+    let err = ScenarioSpec::from_toml(&toml).unwrap_err().to_string();
+    assert!(err.contains("unknown QosConfig field `streems`"), "{err}");
+    // A partial [qos] section fills the defaults.
+    let toml = format!("{base}[qos]\nbandwidth_cap_mb = 80.0\nstreams = 4\n");
+    let spec = ScenarioSpec::from_toml(&toml).expect("partial section parses");
+    let qos = spec.qos.expect("present");
+    assert_eq!(qos.bandwidth_cap_mb, Some(80.0));
+    assert_eq!(qos.streams, 4);
+    assert_eq!(
+        qos.compress_mem_ratio,
+        QosConfig::default().compress_mem_ratio
+    );
 }
 
 #[test]
