@@ -1,9 +1,9 @@
 //! `lsm` — command-line driver for the HPDC'12 reproduction experiments.
 //!
 //! ```text
-//! lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check]
-//! lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>] [--strict]
-//! lsm judge [--quick] [--csv]
+//! lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check] [--threads <n>]
+//! lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>] [--strict] [--threads <n>]
+//! lsm judge [--quick] [--csv] [--sweep]
 //! lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
 //! lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
 //! lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
@@ -27,9 +27,9 @@ use serde::Serialize;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check]
-  lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>] [--strict]
-  lsm judge [--quick] [--csv]
+  lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check] [--threads <n>]
+  lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>] [--strict] [--threads <n>]
+  lsm judge [--quick] [--csv] [--sweep]
   lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
   lsm fig4 [--quick] [--panel time|traffic|degradation] [--csv]
   lsm fig5 [--quick] [--panel time|traffic|slowdown] [--csv]
@@ -150,17 +150,19 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let json = args.flag("--json");
             let progress = args.flag("--progress");
             let check = args.flag("--check");
+            let threads = parse_threads(&mut args)?;
             args.finish()?;
-            cmd_run(&path, json, progress, check)
+            cmd_run(&path, json, progress, check, threads)
         }
         "bench" => {
             let quick = args.flag("--quick");
             let scenario = args.value("--scenario")?;
             let out = args
                 .value("--out")?
-                .unwrap_or_else(|| "BENCH_PR8.json".to_string());
+                .unwrap_or_else(|| "BENCH_PR9.json".to_string());
             let baseline = args.value("--baseline")?;
             let strict = args.flag("--strict");
+            let threads = parse_threads(&mut args)?;
             args.finish()?;
             if strict && baseline.is_none() {
                 return Err(UsageError(
@@ -173,12 +175,20 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
                 &out,
                 baseline.as_deref(),
                 strict,
+                threads,
             )
         }
         "judge" => {
             let quick = args.flag("--quick");
             let csv = args.flag("--csv");
+            let sweep = args.flag("--sweep");
             args.finish()?;
+            if sweep {
+                let grid = lsm_experiments::judge::judge_qos_sweep(scale(quick))
+                    .map_err(|e| UsageError(format!("judge scenario rejected: {e}")))?;
+                emit(&[lsm_experiments::judge::sweep_table(&grid)], csv);
+                return Ok(());
+            }
             let outcomes = if quick {
                 lsm_experiments::judge::judge_quick()
             } else {
@@ -291,6 +301,22 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             Ok(())
         }
         other => Err(UsageError(format!("unknown command `{other}`"))),
+    }
+}
+
+/// `--threads <n>`: worker-thread count for the sharded parallel
+/// engine. Defaults to the machine's available parallelism; `1` forces
+/// the monolithic single-threaded engine (the reference behaviour the
+/// sharded runs are byte-identical to).
+fn parse_threads(args: &mut Args) -> Result<usize, UsageError> {
+    match args.value("--threads")? {
+        None => Ok(lsm_core::parallel::available_threads()),
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(UsageError(format!(
+                "--threads wants a positive integer, got `{s}`"
+            ))),
+        },
     }
 }
 
@@ -409,7 +435,88 @@ impl Observer for Chain<'_> {
     }
 }
 
-fn cmd_run(path: &str, json: bool, progress: bool, check: bool) -> Result<(), UsageError> {
+/// The sharded run path: partition the scenario into independent node
+/// components and run them on `threads` worker threads. Returns
+/// `Ok(false)` — without printing anything — when the partitioner
+/// rejects the scenario, so the caller can fall back to the monolithic
+/// engine. Under `--check`, one invariant checker audits each shard and
+/// the verdicts are pooled.
+fn cmd_run_sharded(
+    spec: &ScenarioSpec,
+    json: bool,
+    check: bool,
+    threads: usize,
+) -> Result<bool, UsageError> {
+    use lsm_experiments::shard;
+    let sharded = shard::run_scenario_sharded_observed(
+        spec,
+        threads,
+        lsm_netsim::SolverMode::default(),
+        lsm_check::InvariantObserver::new,
+    )
+    .map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
+    let run = match sharded {
+        Ok(run) => run,
+        Err(why) => {
+            eprintln!("note: not shardable ({why}); running monolithic");
+            return Ok(false);
+        }
+    };
+    let nshards = run.shards.len();
+    eprintln!(
+        "sharded: {} component(s) on {} thread(s)",
+        nshards,
+        threads.min(nshards)
+    );
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&run.report)
+                .map_err(|e| UsageError(format!("cannot serialize report: {e}")))?
+        );
+    } else {
+        print_report(spec, &run.report);
+    }
+    if check {
+        let mut checks = 0u64;
+        let mut bad = 0u64;
+        let mut sample: Vec<String> = Vec::new();
+        for (shard, mut checker) in run.shards {
+            checker.finish(&shard.engine);
+            checks += checker.checks_run();
+            bad += checker.total_violations();
+            for v in checker.violations().iter().take(16 - sample.len().min(16)) {
+                sample.push(format!("{v}"));
+            }
+        }
+        if bad == 0 {
+            let line = format!(
+                "  invariants: clean ({checks} checks across {} event(s), {nshards} shard(s))",
+                run.report.events
+            );
+            if json {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+        } else {
+            eprintln!("  invariants: {bad} violation(s):");
+            for v in sample.iter().take(16) {
+                eprintln!("    {v}");
+            }
+            return Err(UsageError("invariant violations detected".to_string()));
+        }
+    }
+    Ok(true)
+}
+
+fn cmd_run(
+    path: &str,
+    json: bool,
+    progress: bool,
+    check: bool,
+    threads: usize,
+) -> Result<(), UsageError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
     let spec = if path.ends_with(".json") {
@@ -418,6 +525,20 @@ fn cmd_run(path: &str, json: bool, progress: bool, check: bool) -> Result<(), Us
         ScenarioSpec::from_toml(&text)
     }
     .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))?;
+
+    // `--progress` streams per-job status lines in global event order —
+    // a serial notion; it pins the monolithic engine.
+    let threads = if progress && threads > 1 {
+        eprintln!("note: --progress is serial; running monolithic (--threads 1)");
+        1
+    } else {
+        threads
+    };
+
+    if threads > 1 && cmd_run_sharded(&spec, json, check, threads)? {
+        return Ok(());
+    }
+    // Partitioner said no (or --threads 1) — monolithic engine.
 
     let (report, verdict) = if check {
         // Invariant-audited run: keep the simulation handle so the
@@ -785,8 +906,10 @@ struct BenchSummary {
     planner_decisions: usize,
 }
 
-/// Bench one scenario under a wall clock.
-fn bench_one(spec: &ScenarioSpec) -> Result<BenchSummary, UsageError> {
+/// Bench one scenario under a wall clock. Shardable scenarios run on
+/// `threads` worker threads (`lsm_experiments::shard` falls back to the
+/// monolithic engine for everything else, and for `--threads 1`).
+fn bench_one(spec: &ScenarioSpec, threads: usize) -> Result<BenchSummary, UsageError> {
     let name = spec.name.clone().unwrap_or_else(|| "unnamed".to_string());
     eprintln!(
         "bench: {name} — {} node(s), {} VM(s), {} migration(s), {} request(s), horizon {:.0}s",
@@ -797,7 +920,8 @@ fn bench_one(spec: &ScenarioSpec) -> Result<BenchSummary, UsageError> {
         spec.horizon_secs
     );
     let started = std::time::Instant::now();
-    let report = run_scenario(spec).map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
+    let report = lsm_experiments::shard::run_scenario_threaded(spec, threads)
+        .map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
     let wall = started.elapsed().as_secs_f64();
     let summary = BenchSummary {
         scenario: name,
@@ -840,6 +964,7 @@ fn cmd_bench(
     out: &str,
     baseline: Option<&str>,
     strict: bool,
+    threads: usize,
 ) -> Result<(), UsageError> {
     if quick && scenario.is_some() {
         return Err(UsageError(
@@ -860,13 +985,20 @@ fn cmd_bench(
             vec![spec]
         }
         None => {
-            let scale = if quick {
-                lsm_experiments::stress::scale64_quick_spec()
+            let (scale, scale1024) = if quick {
+                (
+                    lsm_experiments::stress::scale64_quick_spec(),
+                    lsm_experiments::stress::scale1024_quick_spec(),
+                )
             } else {
-                lsm_experiments::stress::scale64_spec()
+                (
+                    lsm_experiments::stress::scale64_spec(),
+                    lsm_experiments::stress::scale1024_spec(),
+                )
             };
             vec![
                 scale,
+                scale1024,
                 lsm_experiments::orchestration::evacuate_spec(),
                 lsm_experiments::orchestration::adaptive64_spec(),
                 lsm_experiments::orchestration::cost64_spec(),
@@ -877,7 +1009,7 @@ fn cmd_bench(
     };
     let mut summaries = Vec::with_capacity(specs.len());
     for spec in &specs {
-        summaries.push(bench_one(spec)?);
+        summaries.push(bench_one(spec, threads)?);
     }
     let json = serde_json::to_string_pretty(&summaries)
         .map_err(|e| UsageError(format!("cannot serialize summary: {e}")))?;

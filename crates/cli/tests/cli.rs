@@ -197,17 +197,18 @@ fn bench_quick_writes_machine_readable_summary() {
     ] {
         assert!(text.contains(key), "missing {key} in: {text}");
     }
-    // The tracked set is an array covering the stress scenario, the
-    // four orchestrated scenarios and the autonomic hotspot drill.
+    // The tracked set is an array covering the two stress scenarios,
+    // the four orchestrated scenarios and the autonomic hotspot drill.
     let v = serde_json::parse(&text).expect("valid JSON");
     let entries = match &v {
         serde::Value::Seq(items) => items,
         other => panic!("expected array, got {other:?}"),
     };
-    assert_eq!(entries.len(), 6, "{text}");
+    assert_eq!(entries.len(), 7, "{text}");
     let names: Vec<_> = entries.iter().map(|e| e.get("scenario").cloned()).collect();
     for want in [
         "scale64-quick",
+        "scale1024-quick",
         "evacuate",
         "adaptive64",
         "cost64",

@@ -367,4 +367,11 @@ impl Simulation {
     pub fn engine_mut(&mut self) -> &mut Engine {
         &mut self.eng
     }
+
+    /// Take the engine out of the simulation wrapper — the sharded
+    /// runner ([`crate::parallel`]) owns its shard engines directly so
+    /// it can move them onto worker threads.
+    pub fn into_engine(self) -> Engine {
+        self.eng
+    }
 }

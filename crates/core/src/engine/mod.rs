@@ -386,9 +386,22 @@ impl Engine {
     /// [`RunControl::Stop`]; the report then reflects the state at the
     /// abort instant.
     pub fn run_until_observed(&mut self, horizon: SimTime, obs: &mut dyn Observer) -> RunReport {
-        let mut stopped = false;
+        let stopped = self.step_until(horizon, obs) == RunControl::Stop;
+        self.finish_run(horizon, stopped)
+    }
+
+    /// Process every pending event with time ≤ `until`, delivering
+    /// observer callbacks, and return whether the observer stopped the
+    /// run. This is the windowed building block of the sharded runner:
+    /// a shard steps to each window barrier in turn, and a full run is
+    /// one `step_until(horizon)` followed by [`Engine::finish_run`].
+    ///
+    /// Unlike a finished run, this does **not** move the clock to
+    /// `until` — the clock stays at the last processed event, so a
+    /// later window (or a final `finish_run`) continues seamlessly.
+    pub fn step_until(&mut self, until: SimTime, obs: &mut dyn Observer) -> RunControl {
         while let Some(t) = self.queue.peek_time() {
-            if t > horizon {
+            if t > until {
                 break;
             }
             let (now, ev) = self.queue.pop().expect("peeked event");
@@ -397,21 +410,35 @@ impl Engine {
             self.events_processed += 1;
             self.dispatch(ev);
             if self.drain_job_events(obs) == RunControl::Stop {
-                stopped = true;
-                break;
+                return RunControl::Stop;
             }
             // Post-event audit hook: invariant checkers (lsm-check) read
             // the full engine state after every dispatched event.
             if obs.on_tick(self) == RunControl::Stop {
-                stopped = true;
-                break;
+                return RunControl::Stop;
             }
         }
+        RunControl::Continue
+    }
+
+    /// Close out a run that was stepped to `horizon` with
+    /// [`Engine::step_until`]: move the clock to the horizon (unless an
+    /// observer aborted, in which case the report reflects the abort
+    /// instant), settle the network clock, and build the report.
+    pub fn finish_run(&mut self, horizon: SimTime, stopped: bool) -> RunReport {
         if !stopped {
             self.now = horizon;
         }
         self.net.advance(self.now);
         report::build(self)
+    }
+
+    /// Turn on the network's `(time, live-flow count)` changepoint log.
+    /// The sharded runner enables this on every shard so the merged
+    /// report can reconstruct the exact global concurrent-flow peak (a
+    /// shard's own high-water mark is not the fleet's).
+    pub fn enable_load_log(&mut self) {
+        self.net.enable_load_log();
     }
 
     /// Deliver pending job events to the observer.
@@ -1074,12 +1101,22 @@ impl Engine {
         // makes it the one choke point where the SLA degradation
         // integral can advance in lockstep with the compute model —
         // including for VMs with no compute burst in flight.
-        qos::sla_transition(self, v);
         let factor = self.compute_factor(v);
+        qos::sla_transition(self, v, factor);
         let now = self.now;
         let Some(mut rt) = self.vms[v as usize].compute.take() else {
             return;
         };
+        if factor.to_bits() == rt.factor.to_bits() {
+            // Unchanged factor: progress since `rt.last` is still linear
+            // at the same slope, so the pending completion timer (if
+            // any) remains exact. Skipping the cancel + reschedule keeps
+            // this no-op transition off the event heap — it was the
+            // dominant cost of the always-on SLA hook on migration-heavy
+            // runs.
+            self.vms[v as usize].compute = Some(rt);
+            return;
+        }
         // Integrate progress at the old factor.
         let dt = now.since(rt.last).as_secs_f64();
         rt.remaining = (rt.remaining - dt * rt.factor).max(0.0);

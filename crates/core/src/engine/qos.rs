@@ -214,11 +214,10 @@ pub(crate) fn mem_copy_shard_done(eng: &mut Engine, v: VmIdx) -> bool {
 
 // ---------------- SLA degradation integrator ----------------
 
-/// The guest throughput loss fraction its live migration currently
-/// imposes: `1 − compute factor` (CPU steal, post-copy fault slowdown,
-/// auto-converge throttle, compression CPU) while the guest runs; 0
-/// while paused (that time is downtime, not degradation), crashed, or
-/// once the migration is terminal.
+/// The guest throughput loss fraction a VM's live migration currently
+/// implies, recomputed from scratch — the audit-path twin of the value
+/// [`sla_transition`] records (which derives it from the caller's
+/// already-computed factor instead). Used by `Engine::sla_audit` only.
 pub(crate) fn degrade_loss(eng: &Engine, v: VmIdx) -> f64 {
     let vm = eng.vm(v);
     if vm.crashed || vm.vm.state() == VmState::Paused {
@@ -239,15 +238,37 @@ pub(crate) fn degrade_loss(eng: &Engine, v: VmIdx) -> f64 {
 /// transition (pause, resume, throttle step, phase change) already
 /// routes through — so the integral and the compute model cannot drift
 /// apart. Report-only: never schedules an event.
-pub(crate) fn sla_transition(eng: &mut Engine, v: VmIdx) {
+///
+/// `factor` is the freshly computed compute factor (the caller needs it
+/// anyway), from which the loss fraction is derived: `1 − factor` (CPU
+/// steal, post-copy fault slowdown, auto-converge throttle, compression
+/// CPU) while the guest runs; 0 while paused (that time is downtime,
+/// not degradation), crashed, or once the migration is terminal. VMs
+/// with no migration record carry no integral and return immediately —
+/// the unshaped fast path.
+pub(crate) fn sla_transition(eng: &mut Engine, v: VmIdx, factor: f64) {
     let now = eng.now();
-    let loss = degrade_loss(eng, v);
-    if let Some(m) = eng.vm_mut(v).migration.as_mut() {
-        let dt = now.since(m.degrade_mark).as_secs_f64();
-        if dt > 0.0 && m.degrade_loss > 0.0 {
-            m.degraded_secs += dt * m.degrade_loss;
-        }
-        m.degrade_mark = now;
-        m.degrade_loss = loss;
+    let vm = eng.vm(v);
+    let Some(m) = vm.migration.as_ref() else {
+        return;
+    };
+    let loss = if vm.crashed
+        || vm.vm.state() == VmState::Paused
+        || matches!(m.phase, MigPhase::Complete | MigPhase::Aborted)
+    {
+        0.0
+    } else {
+        (1.0 - factor).clamp(0.0, 1.0)
+    };
+    let m = eng
+        .vm_mut(v)
+        .migration
+        .as_mut()
+        .expect("migration record checked above");
+    let dt = now.since(m.degrade_mark).as_secs_f64();
+    if dt > 0.0 && m.degrade_loss > 0.0 {
+        m.degraded_secs += dt * m.degrade_loss;
     }
+    m.degrade_mark = now;
+    m.degrade_loss = loss;
 }

@@ -87,6 +87,7 @@ pub mod builder;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod parallel;
 pub mod planner;
 pub mod policy;
 pub mod qos;

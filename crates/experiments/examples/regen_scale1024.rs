@@ -1,0 +1,18 @@
+//! Regenerate the checked-in 1024-node sharded-engine scenario:
+//!
+//! ```text
+//! cargo run --release -p lsm-experiments --example regen_scale1024 > scenarios/scale1024.toml
+//! ```
+//!
+//! `scenarios/scale1024.toml` must stay byte-identical to
+//! [`lsm_experiments::stress::scale1024_spec`] — a test asserts it, so
+//! edit the generator, rerun this, and commit both.
+
+fn main() {
+    print!(
+        "{}",
+        lsm_experiments::stress::scale1024_spec()
+            .to_toml()
+            .expect("scenario serializes")
+    );
+}

@@ -104,16 +104,22 @@ pub fn judge_adaptive64() -> Result<Vec<PlannerOutcome>, EngineError> {
     judge(&AdaptiveParams::adaptive64())
 }
 
-/// A minutes→seconds reduction of the same comparison (16 VMs on 8
-/// nodes) for CI and `lsm judge --quick`.
-pub fn judge_quick() -> Result<Vec<PlannerOutcome>, EngineError> {
-    judge(&AdaptiveParams {
+/// The quick fleet shape (16 VMs on 8 nodes) behind `--quick` judge
+/// runs and the quick QoS sweep.
+fn quick_params() -> AdaptiveParams {
+    AdaptiveParams {
         nodes: 8,
         vms_per_node: 2,
         migrate_start: 12.0,
         stagger: 0.5,
         horizon: 300.0,
-    })
+    }
+}
+
+/// A minutes→seconds reduction of the same comparison (16 VMs on 8
+/// nodes) for CI and `lsm judge --quick`.
+pub fn judge_quick() -> Result<Vec<PlannerOutcome>, EngineError> {
+    judge(&quick_params())
 }
 
 /// One run's outcome in the QoS shaping trade: the same fleet run
@@ -176,6 +182,111 @@ pub fn judge_shaping() -> Result<Vec<ShapedOutcome>, EngineError> {
         run_shaped("unshaped", &crate::orchestration::adaptive64_spec())?,
         run_shaped("qos-shaped", &crate::orchestration::qos64_spec())?,
     ])
+}
+
+/// One point on the QoS shaping frontier: a (bandwidth cap,
+/// compression) combination over the qos64 fleet.
+#[derive(Clone, Debug)]
+pub struct QosSweepPoint {
+    /// Per-migration bandwidth cap, MB/s (`None` = uncapped).
+    pub cap_mb: Option<f64>,
+    /// Whether qos64's compression model was on for this point.
+    pub compressed: bool,
+    /// Migrations that completed within the horizon.
+    pub completed: usize,
+    /// Scheduled migrations.
+    pub migrations: usize,
+    /// Completion makespan, seconds (`NaN` when incomplete).
+    pub makespan_secs: f64,
+    /// Migration-attributable bytes on the wire.
+    pub migration_traffic: u64,
+    /// Guest downtime summed over all migrations, seconds.
+    pub total_downtime_secs: f64,
+    /// SLA-violation seconds aggregated over all jobs.
+    pub sla_violation_secs: f64,
+}
+
+/// `lsm judge --sweep`: the makespan-vs-SLA frontier of qos64's two
+/// shaping knobs — a grid of per-migration bandwidth caps against
+/// compression on/off, every point the same fleet (`adaptive64`'s, or
+/// its quick reduction) at qos64's four memory streams. Walking the cap
+/// column down trades completion makespan for SLA-violation seconds;
+/// the compression column buys wire bytes back for guest CPU. The
+/// frontier is what `cost_sla_weight` lets the cost planner pick from.
+pub fn judge_qos_sweep(scale: crate::Scale) -> Result<Vec<QosSweepPoint>, EngineError> {
+    let base = match scale {
+        crate::Scale::Paper => AdaptiveParams::adaptive64().spec("qos-sweep"),
+        crate::Scale::Quick => quick_params().spec("qos-sweep-quick"),
+    };
+    let mut points = Vec::new();
+    for cap_mb in [None, Some(90.0), Some(60.0), Some(30.0)] {
+        for compressed in [false, true] {
+            let mut spec = base.clone();
+            spec.qos = Some(lsm_core::QosConfig {
+                bandwidth_cap_mb: cap_mb,
+                streams: 4,
+                compress_mem_ratio: if compressed { 0.55 } else { 1.0 },
+                compress_storage_ratio: if compressed { 0.7 } else { 1.0 },
+                compress_cpu_frac: if compressed { 0.03 } else { 0.0 },
+            });
+            let report = run_scenario(&spec)?;
+            let completed = report.migrations.iter().filter(|m| m.completed).count();
+            let makespan_secs = if completed == report.migrations.len() {
+                report
+                    .migrations
+                    .iter()
+                    .filter_map(|m| m.completed_at.map(|t| t.as_secs_f64()))
+                    .fold(0.0, f64::max)
+            } else {
+                f64::NAN
+            };
+            points.push(QosSweepPoint {
+                cap_mb,
+                compressed,
+                completed,
+                migrations: report.migrations.len(),
+                makespan_secs,
+                migration_traffic: report.migration_traffic,
+                total_downtime_secs: report
+                    .migrations
+                    .iter()
+                    .map(|m| m.downtime.as_secs_f64())
+                    .sum(),
+                sla_violation_secs: report.sla.total_violation_secs,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Render the QoS sweep as a frontier table (`lsm judge --sweep`).
+pub fn sweep_table(points: &[QosSweepPoint]) -> Table {
+    let mut t = Table::new(
+        "qos sweep — makespan vs SLA frontier (cap x compression, 4 streams)",
+        &[
+            "cap [MB/s]",
+            "compression",
+            "completed",
+            "makespan [s]",
+            "migration traffic [MB]",
+            "downtime [s]",
+            "SLA violation [s]",
+        ],
+    );
+    for p in points {
+        t.row(vec![
+            p.cap_mb
+                .map(|c| format!("{c:.0}"))
+                .unwrap_or_else(|| "uncapped".to_string()),
+            if p.compressed { "on" } else { "off" }.to_string(),
+            format!("{}/{}", p.completed, p.migrations),
+            format!("{:.2}", p.makespan_secs),
+            format!("{:.1}", p.migration_traffic as f64 / 1.0e6),
+            format!("{:.2}", p.total_downtime_secs),
+            format!("{:.2}", p.sla_violation_secs),
+        ]);
+    }
+    t
 }
 
 /// Render the shaping trade as a table (`lsm judge`'s second table).
@@ -262,5 +373,30 @@ mod tests {
         }
         let rendered = table(&outcomes).render();
         assert!(rendered.contains("adaptive") && rendered.contains("cost"));
+    }
+
+    /// The quick QoS sweep covers the full grid, completes everywhere,
+    /// and shows the frontier's direction: the hardest cap stretches
+    /// the makespan relative to the uncapped run.
+    #[test]
+    fn quick_qos_sweep_covers_grid() {
+        let points = judge_qos_sweep(crate::Scale::Quick).expect("sweep runs");
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert_eq!(p.completed, p.migrations, "cap {:?} left work", p.cap_mb);
+            assert!(p.makespan_secs.is_finite() && p.makespan_secs > 0.0);
+            assert!(p.sla_violation_secs.is_finite());
+        }
+        let uncapped = points
+            .iter()
+            .find(|p| p.cap_mb.is_none() && !p.compressed)
+            .unwrap();
+        let hardest = points
+            .iter()
+            .find(|p| p.cap_mb == Some(30.0) && !p.compressed)
+            .unwrap();
+        assert!(hardest.makespan_secs > uncapped.makespan_secs);
+        let rendered = sweep_table(&points).render();
+        assert!(rendered.contains("uncapped") && rendered.contains("30"));
     }
 }

@@ -58,6 +58,7 @@ pub mod judge;
 pub mod orchestration;
 pub mod resilience;
 pub mod scenario;
+pub mod shard;
 pub mod stress;
 pub mod sweep;
 pub mod table;

@@ -67,6 +67,40 @@ impl StressParams {
         }
     }
 
+    /// The 1024-node fleet behind `scenarios/scale1024.toml`: 1024
+    /// nodes, 2048 VMs, every VM exchanged with its pair partner node
+    /// (`dest = node ^ 1`). Built by [`StressParams::pair_spec`], whose
+    /// shape the sharded parallel engine (`lsm run --threads N`) can
+    /// prove apart into 512 independent two-node components.
+    pub fn scale1024() -> Self {
+        StressParams {
+            nodes: 1024,
+            vms_per_node: 2,
+            iterations: 60,
+            migrate_start: 30.0,
+            // Dyadic (7/64) so every request time is exact and globally
+            // distinct — no two migrations anywhere in the fleet share
+            // a timestamp, which keeps the sharded run's event count
+            // identical to the monolithic engine's (equal-time wakes in
+            // different components would coalesce into one event there).
+            stagger: 7.0 / 64.0,
+            horizon: 400.0,
+        }
+    }
+
+    /// The `scale1024 --quick` CI reduction: same pair-partner
+    /// structure over 64 nodes / 128 VMs (32 independent components).
+    pub fn scale1024_quick() -> Self {
+        StressParams {
+            nodes: 64,
+            vms_per_node: 2,
+            iterations: 10,
+            migrate_start: 5.0,
+            stagger: 7.0 / 64.0,
+            horizon: 150.0,
+        }
+    }
+
     /// Total VM count.
     pub fn vms(&self) -> u32 {
         self.nodes * self.vms_per_node
@@ -124,10 +158,83 @@ impl StressParams {
     }
 }
 
+impl StressParams {
+    /// Build the pair-partner variant: VM `i` lives on node `i % nodes`
+    /// and migrates to that node's pair partner (`node ^ 1`), so the
+    /// migration graph decomposes into `nodes / 2` independent two-node
+    /// components — the shape the sharded parallel engine scales on.
+    ///
+    /// Every VM start (`i / 128` s) and every migration request
+    /// (`migrate_start + stagger·i`) is a distinct dyadic timestamp, so
+    /// no two events anywhere in the fleet coincide: the monolithic and
+    /// sharded runs then process byte-identical event streams (see
+    /// `lsm_experiments::shard`). The switch aggregate is pinned to
+    /// exactly `2 × nodes × nic_bw` — the decoupling threshold under
+    /// which components provably never contend.
+    pub fn pair_spec(&self, name: &str) -> ScenarioSpec {
+        assert!(
+            self.nodes.is_multiple_of(2),
+            "pair_spec needs an even node count"
+        );
+        let vms: Vec<VmSpec> = (0..self.vms())
+            .map(|i| VmSpec {
+                node: i % self.nodes,
+                workload: WorkloadSpec::AsyncWr(AsyncWrParams {
+                    iterations: self.iterations,
+                    data_per_iter: 10 * MIB,
+                    compute_per_iter: lsm_simcore::time::SimDuration::from_secs_f64(10.0 / 6.0),
+                    file_offset: 512 * MIB,
+                }),
+                strategy: None,
+                start_secs: Some(i as f64 / 128.0),
+            })
+            .collect();
+        let migrations: Vec<MigrationSpec> = (0..self.vms())
+            .map(|i| MigrationSpec {
+                vm: i,
+                dest: (i % self.nodes) ^ 1,
+                at_secs: self.migrate_start + self.stagger * i as f64,
+                deadline_secs: None,
+                adaptive: None,
+            })
+            .collect();
+        let mut cluster = ClusterConfig::graphene(self.nodes);
+        cluster.switch_bw = 2.0 * self.nodes as f64 * cluster.nic_bw;
+        ScenarioSpec {
+            name: Some(name.to_string()),
+            cluster: Some(cluster),
+            orchestrator: None,
+            autonomic: None,
+            resilience: None,
+            qos: None,
+            strategy: StrategyKind::Hybrid,
+            grouped: false,
+            vms,
+            migrations,
+            requests: None,
+            faults: None,
+            cancellations: None,
+            horizon_secs: self.horizon,
+        }
+    }
+}
+
 /// The `scenarios/scale64.toml` scenario: 64 nodes, 128 VMs, 128
 /// staggered hybrid migrations under CM1-style checkpoint I/O.
 pub fn scale64_spec() -> ScenarioSpec {
     StressParams::scale64().spec("scale64")
+}
+
+/// The `scenarios/scale1024.toml` scenario: 1024 nodes, 2048 VMs, 2048
+/// staggered pair-partner migrations — the sharded engine's headline
+/// fleet (512 independent components).
+pub fn scale1024_spec() -> ScenarioSpec {
+    StressParams::scale1024().pair_spec("scale1024")
+}
+
+/// The `scale1024 --quick` CI smoke variant (64 nodes, 128 VMs).
+pub fn scale1024_quick_spec() -> ScenarioSpec {
+    StressParams::scale1024_quick().pair_spec("scale1024-quick")
 }
 
 /// The `lsm bench --quick` smoke variant (16 nodes, 32 VMs).
@@ -152,6 +259,59 @@ mod tests {
         // Serializes and round-trips like any scenario.
         let back = ScenarioSpec::from_toml(&spec.to_toml().expect("toml")).expect("parses");
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn scale1024_shape() {
+        let spec = scale1024_spec();
+        assert_eq!(spec.cluster_config().nodes, 1024);
+        assert_eq!(spec.vms.len(), 2048);
+        assert_eq!(spec.migrations.len(), 2048);
+        for m in &spec.migrations {
+            assert_eq!(spec.vms[m.vm as usize].node ^ 1, m.dest);
+        }
+        // No two events anywhere in the fleet share a timestamp.
+        let mut times: Vec<u64> = spec
+            .vms
+            .iter()
+            .map(|v| v.start_secs.unwrap().to_bits())
+            .chain(spec.migrations.iter().map(|m| m.at_secs.to_bits()))
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        assert_eq!(times.len(), 2048 + 2048, "duplicate timestamps");
+        // The sharded engine can prove the fleet apart into 512 pairs.
+        let subs = crate::shard::partition(&spec).expect("shardable");
+        assert_eq!(subs.len(), 512);
+        for sub in &subs {
+            assert_eq!(sub.nodes.len(), 2);
+            assert_eq!(sub.vms.len(), 4);
+            assert_eq!(sub.jobs.len(), 4);
+        }
+        let back = ScenarioSpec::from_toml(&spec.to_toml().expect("toml")).expect("parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn scale1024_quick_sharded_matches_monolithic() {
+        let spec = scale1024_quick_spec();
+        assert_eq!(crate::shard::partition(&spec).expect("shardable").len(), 32);
+        let mono = crate::scenario::run_scenario(&spec).expect("runs");
+        for m in &mono.migrations {
+            assert!(m.completed, "vm {} migration incomplete", m.vm);
+            assert_eq!(m.consistent, Some(true), "vm {} diverged", m.vm);
+        }
+        let sharded = crate::shard::run_scenario_threaded(&spec, 4).expect("runs");
+        let a = serde_json::to_string_pretty(&mono).expect("serializes");
+        let b = serde_json::to_string_pretty(&sharded).expect("serializes");
+        if a != b {
+            let diff = a
+                .lines()
+                .zip(b.lines())
+                .enumerate()
+                .find(|(_, (x, y))| x != y);
+            panic!("sharded run diverges from monolithic at {diff:?}");
+        }
     }
 
     #[test]

@@ -112,6 +112,81 @@ fn orchestrated_scenarios_are_deterministic_across_runs_and_solvers() {
     }
 }
 
+/// Byte-identity across worker-thread counts, under both solvers: for
+/// every tracked scenario, `--threads 1` (the monolithic engine),
+/// `--threads 2` and `--threads 8` (the sharded parallel engine, when
+/// the partitioner admits the scenario — monolithic fallback when not)
+/// must serialize the exact same `RunReport`. This is the sharded
+/// engine's whole contract: thread count is a performance knob, never
+/// an observable.
+fn assert_thread_count_invariant(name: &str, spec: &ScenarioSpec) {
+    use lsm::experiments::shard::run_scenario_threaded_with_solver;
+    for solver in [SolverMode::Incremental, SolverMode::Reference] {
+        let reports: Vec<String> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                run_scenario_threaded_with_solver(spec, threads, solver)
+                    .map(|r| serde_json::to_string_pretty(&r).expect("serializes"))
+                    .expect("runs")
+            })
+            .collect();
+        for (i, threads) in [2usize, 8].iter().enumerate() {
+            if reports[0] != reports[i + 1] {
+                let diff = reports[0]
+                    .lines()
+                    .zip(reports[i + 1].lines())
+                    .enumerate()
+                    .find(|(_, (x, y))| x != y);
+                panic!("{name} [{solver:?}]: --threads {threads} diverges from --threads 1 at {diff:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tracked_scenarios_are_thread_count_invariant() {
+    // The genuinely shardable fleet: 32 independent pair components.
+    assert_thread_count_invariant("scale1024-quick", &stress::scale1024_quick_spec());
+    // The rest of the tracked set exercises the partitioner's fallback
+    // (orchestrated, autonomic, single-component, or fault-bearing
+    // scenarios run monolithic at any thread count).
+    assert_thread_count_invariant("scale64-quick", &stress::scale64_quick_spec());
+    for (file, text) in [
+        ("demo.toml", include_str!("../../../scenarios/demo.toml")),
+        (
+            "evacuate.toml",
+            include_str!("../../../scenarios/evacuate.toml"),
+        ),
+        ("qos64.toml", include_str!("../../../scenarios/qos64.toml")),
+        (
+            "hotspot_drill.toml",
+            include_str!("../../../scenarios/hotspot_drill.toml"),
+        ),
+        (
+            "chaos_storm.toml",
+            include_str!("../../../scenarios/chaos_storm.toml"),
+        ),
+    ] {
+        let spec = ScenarioSpec::from_toml(text).expect("parses");
+        assert_thread_count_invariant(file, &spec);
+    }
+    for (file, spec) in faults::all() {
+        assert_thread_count_invariant(file, &spec);
+    }
+}
+
+/// The full 1024-node fleet (2048 VMs, 512 shards): byte-identical at
+/// `--threads 1/2/8` under both solvers. Six ~15–45 s runs — worth it
+/// before a release, too slow for every `cargo test`:
+/// `cargo test -p lsm --test determinism -- --ignored`.
+#[test]
+#[ignore = "six paper-scale runs; run explicitly with -- --ignored"]
+fn scale1024_full_is_thread_count_invariant() {
+    let spec =
+        ScenarioSpec::from_toml(include_str!("../../../scenarios/scale1024.toml")).expect("parses");
+    assert_thread_count_invariant("scale1024.toml", &spec);
+}
+
 /// The seed matters: "same seed ⇒ same run" must not be vacuous, so a
 /// *different* workload seed has to produce a genuinely different run.
 /// (Seeds live on the stochastic workloads — the Zipf hotspot writer

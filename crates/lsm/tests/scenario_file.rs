@@ -103,6 +103,35 @@ fn scale64_file_parses_to_the_paper_scale_shape() {
     assert_eq!(spec.migrations.len(), 128);
 }
 
+// ---------------- scenarios/scale1024.toml ----------------
+
+const SCALE1024: &str = include_str!("../../../scenarios/scale1024.toml");
+
+/// The checked-in 1024-node sharded-engine scenario must stay
+/// byte-identical to its generator, so `lsm bench` (which defaults to
+/// the generator) and `lsm run scenarios/scale1024.toml` run the same
+/// experiment.
+#[test]
+fn scale1024_file_matches_generator() {
+    let expected = lsm::experiments::stress::scale1024_spec()
+        .to_toml()
+        .expect("scenario serializes");
+    assert!(
+        SCALE1024 == expected,
+        "scenarios/scale1024.toml drifted from stress::scale1024_spec(); \
+         regenerate with `cargo run -p lsm-experiments --example regen_scale1024 \
+         > scenarios/scale1024.toml`"
+    );
+}
+
+#[test]
+fn scale1024_file_parses_to_the_fleet_shape() {
+    let spec = ScenarioSpec::from_toml(SCALE1024).expect("scale1024.toml parses");
+    assert_eq!(spec.cluster_config().nodes, 1024);
+    assert_eq!(spec.vms.len(), 2048);
+    assert_eq!(spec.migrations.len(), 2048);
+}
+
 // ---------------- scenarios/chaos_storm.toml ----------------
 
 const CHAOS_STORM: &str = include_str!("../../../scenarios/chaos_storm.toml");

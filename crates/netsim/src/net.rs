@@ -137,6 +137,9 @@ pub(crate) struct Flow {
     pub(crate) id: FlowId,
     pub(crate) src: NodeId,
     pub(crate) dst: NodeId,
+    /// Requested size at creation — the integer credited to the traffic
+    /// accounting when the flow finishes.
+    pub(crate) bytes: u64,
     /// Bytes left at `touched` (not at the network clock!).
     pub(crate) remaining: f64,
     pub(crate) rate: f64,
@@ -204,11 +207,21 @@ pub struct FlowNet {
     caps_list: Vec<f64>,
     next_id: u64,
     last_advance: SimTime,
-    /// Materialized bytes per traffic class (indexed by
-    /// [`TrafficTag::index`]); queries add the lazy projection on top.
-    delivered: [f64; NTAGS],
-    total_delivered: f64,
+    /// Bytes credited by *finished* flows (completed or cancelled) per
+    /// traffic class, indexed by [`TrafficTag::index`]. Integer on
+    /// purpose: summing per-shard counters is then order-independent, so
+    /// a sharded run's merged traffic report is bit-identical to the
+    /// monolithic one. Queries add the live flows' lazy projection on
+    /// top.
+    finished: [u64; NTAGS],
+    finished_total: u64,
     peak_active: usize,
+    /// Optional changepoint log of `(time, live-flow count)`, recorded
+    /// after every flow-set mutation (one entry per instant, last write
+    /// wins). The sharded runner enables this to reconstruct the exact
+    /// *global* concurrent-flow peak across shards; see
+    /// [`FlowNet::enable_load_log`].
+    load_log: Option<Vec<(SimTime, u32)>>,
     solver: SolverMode,
     /// True when the switch aggregate can never be the binding resource
     /// (see [`FlowNet::switch_decoupled`]); enables component-restricted
@@ -252,9 +265,10 @@ impl FlowNet {
             caps_list: Vec::new(),
             next_id: 0,
             last_advance: SimTime::ZERO,
-            delivered: [0.0; NTAGS],
-            total_delivered: 0.0,
+            finished: [0; NTAGS],
+            finished_total: 0,
             peak_active: 0,
+            load_log: None,
             solver: SolverMode::default(),
             decoupled,
             caps_flat,
@@ -310,9 +324,50 @@ impl FlowNet {
         self.flows.len()
     }
 
-    /// Highest number of concurrently live flows seen so far.
+    /// Highest number of concurrently live flows seen so far, sampled at
+    /// the end of every simulated instant (whenever the network clock
+    /// strictly advances past a batch of flow operations).
     pub fn peak_active(&self) -> usize {
         self.peak_active
+    }
+
+    /// Start recording `(time, live-flow count)` changepoints, one entry
+    /// per instant at which the flow set changed. The sharded engine
+    /// turns this on for every shard and sweep-merges the logs to
+    /// recover the global concurrent-flow peak exactly as the monolithic
+    /// engine would have sampled it.
+    pub fn enable_load_log(&mut self) {
+        if self.load_log.is_none() {
+            self.load_log = Some(Vec::new());
+        }
+    }
+
+    /// The recorded changepoint log (empty unless
+    /// [`Self::enable_load_log`] was called before any flow started).
+    pub fn load_log(&self) -> &[(SimTime, u32)] {
+        self.load_log.as_deref().unwrap_or(&[])
+    }
+
+    /// Sum of all live flows' allocated rates (bytes/second) — the load
+    /// the switch aggregate is carrying right now. The sharded runner's
+    /// window barrier sums this across shards to check the shared switch
+    /// budget.
+    pub fn rate_total(&self) -> f64 {
+        self.flows.iter().map(|f| f.rate).sum()
+    }
+
+    /// Record the current flow count against the current instant
+    /// (last write at the same instant wins: the log keeps only
+    /// end-of-instant states).
+    #[inline]
+    fn log_load(&mut self) {
+        if let Some(log) = &mut self.load_log {
+            let n = self.flows.len() as u32;
+            match log.last_mut() {
+                Some(e) if e.0 == self.last_advance => e.1 = n,
+                _ => log.push((self.last_advance, n)),
+            }
+        }
     }
 
     #[inline]
@@ -345,6 +400,7 @@ impl FlowNet {
             id,
             src,
             dst,
+            bytes,
             remaining: bytes as f64,
             rate: 0.0,
             cap,
@@ -364,7 +420,7 @@ impl FlowNet {
         self.count_all[src.idx()] += 1;
         self.count_all[n + dst.idx()] += 1;
         self.count_all[2 * n] += 1;
-        self.peak_active = self.peak_active.max(self.flows.len());
+        self.log_load();
         self.reallocate(src, dst);
         id
     }
@@ -400,8 +456,13 @@ impl FlowNet {
         let f = self.flows.remove(pos);
         self.remove_row(pos);
         self.uncount(f.src, f.dst);
+        let left = f.remaining.ceil().max(0.0) as u64;
+        let done = f.bytes.saturating_sub(left);
+        self.finished[f.tag.index()] += done;
+        self.finished_total += done;
+        self.log_load();
         self.reallocate(f.src, f.dst);
-        Some(f.remaining.ceil().max(0.0) as u64)
+        Some(left)
     }
 
     /// Mark a flow complete at `now` (which must be its completion time as
@@ -417,11 +478,13 @@ impl FlowNet {
             "flow completed with {} bytes left",
             f.remaining
         );
-        // Account for the sub-byte numerical residue so per-tag totals
-        // equal the requested sizes exactly.
-        self.delivered[f.tag.index()] += f.remaining;
-        self.total_delivered += f.remaining;
+        // Credit the requested size exactly (swallowing the sub-byte
+        // numerical residue), so per-tag totals equal the sum of flow
+        // sizes and are integers — order-independent across shards.
+        self.finished[f.tag.index()] += f.bytes;
+        self.finished_total += f.bytes;
         self.uncount(f.src, f.dst);
+        self.log_load();
         self.reallocate(f.src, f.dst);
     }
 
@@ -455,7 +518,15 @@ impl FlowNet {
     /// flow's rate changes (or on completion/cancellation/queries).
     pub fn advance(&mut self, now: SimTime) {
         debug_assert!(now >= self.last_advance, "network time went backwards");
-        self.last_advance = now;
+        if now > self.last_advance {
+            // The previous instant is over: sample the concurrency peak
+            // on its final flow set. End-of-instant sampling is
+            // insensitive to the order flow operations interleave
+            // *within* an instant, which is what lets the sharded merge
+            // reproduce the monolithic value exactly.
+            self.peak_active = self.peak_active.max(self.flows.len());
+            self.last_advance = now;
+        }
     }
 
     /// Materialize flow `pos`'s progress up to the network clock.
@@ -465,16 +536,15 @@ impl FlowNet {
         let moved = f.moved_until(now);
         f.remaining -= moved;
         f.touched = now;
-        self.delivered[f.tag.index()] += moved;
-        self.total_delivered += moved;
     }
 
-    /// Delivered bytes of one class including un-materialized progress.
+    /// Delivered bytes of one class: finished flows' integer credit plus
+    /// the live flows' projected progress.
     fn delivered_f64(&self, tag: TrafficTag) -> f64 {
-        let mut v = self.delivered[tag.index()];
+        let mut v = self.finished[tag.index()] as f64;
         for f in &self.flows {
             if f.tag == tag {
-                v += f.moved_until(self.last_advance);
+                v += f.bytes as f64 - f.remaining + f.moved_until(self.last_advance);
             }
         }
         v
@@ -487,9 +557,9 @@ impl FlowNet {
 
     /// Total bytes delivered across all classes.
     pub fn total_delivered(&self) -> u64 {
-        let mut v = self.total_delivered;
+        let mut v = self.finished_total as f64;
         for f in &self.flows {
-            v += f.moved_until(self.last_advance);
+            v += f.bytes as f64 - f.remaining + f.moved_until(self.last_advance);
         }
         v.round() as u64
     }
@@ -508,8 +578,8 @@ impl FlowNet {
     /// Record control-message bytes (modeled latency-only, but the bytes
     /// still appear in the traffic accounting).
     pub fn account_control(&mut self, bytes: u64) {
-        self.delivered[TrafficTag::Control.index()] += bytes as f64;
-        self.total_delivered += bytes as f64;
+        self.finished[TrafficTag::Control.index()] += bytes;
+        self.finished_total += bytes;
     }
 
     /// Current rate of a flow in bytes/second, if in flight.
@@ -799,13 +869,7 @@ impl FlowNet {
         let now = self.last_advance;
         let new_rates = std::mem::take(&mut self.scratch.new_rates);
         for (f, &new_rate) in self.flows.iter_mut().zip(new_rates.iter()) {
-            commit_rate(
-                f,
-                new_rate,
-                now,
-                &mut self.delivered,
-                &mut self.total_delivered,
-            );
+            commit_rate(f, new_rate, now);
         }
         self.scratch.new_rates = new_rates;
     }
@@ -818,13 +882,7 @@ impl FlowNet {
         // out to keep the borrow checker out of the inner loop.
         let mflows = std::mem::take(&mut self.scratch.mflows);
         for (&fi, &new_rate) in mflows.iter().zip(self.scratch.new_rates.iter()) {
-            commit_rate(
-                &mut self.flows[fi as usize],
-                new_rate,
-                now,
-                &mut self.delivered,
-                &mut self.total_delivered,
-            );
+            commit_rate(&mut self.flows[fi as usize], new_rate, now);
         }
         self.scratch.mflows = mflows;
     }
@@ -833,21 +891,14 @@ impl FlowNet {
 /// Commit one solved rate: materialize the flow's progress only when the
 /// rate actually changed (bitwise) and time has passed since the last
 /// materialization. Shared by the full-set and member-solve commit paths
-/// so their accounting cannot drift apart.
+/// so their progress tracking cannot drift apart.
 #[inline]
-fn commit_rate(
-    f: &mut Flow,
-    new_rate: f64,
-    now: SimTime,
-    delivered: &mut [f64; NTAGS],
-    total_delivered: &mut f64,
-) {
+fn commit_rate(f: &mut Flow, new_rate: f64, now: SimTime) {
     if f.rate.to_bits() == new_rate.to_bits() {
         return;
     }
     if f.touched == now {
-        // Rate changed again within the same instant: nothing moved,
-        // no need to touch the accounting.
+        // Rate changed again within the same instant: nothing moved.
         f.rate = new_rate;
         return;
     }
@@ -855,8 +906,6 @@ fn commit_rate(
     f.remaining -= moved;
     f.touched = now;
     f.rate = new_rate;
-    delivered[f.tag.index()] += moved;
-    *total_delivered += moved;
 }
 
 /// The progressive-filling core shared by the full-set and component

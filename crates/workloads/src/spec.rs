@@ -122,6 +122,39 @@ impl WorkloadSpec {
         })
     }
 
+    /// True when every I/O this workload will ever issue is a
+    /// chunk-aligned **write** (no reads, no partial-chunk edges) for
+    /// the given chunk size. Such workloads never touch chunks they did
+    /// not create — no page-cache read misses, no on-demand repository
+    /// fetches, no partial-edge read-modify-write — so all their data
+    /// movement stays on their own node (plus the migration pair). The
+    /// sharded runner's partitioner requires this to prove a node
+    /// component is closed under traffic.
+    pub fn chunk_aligned_write_only(&self, chunk: u64) -> bool {
+        if chunk == 0 {
+            return false;
+        }
+        let aligned = |v: u64| v.is_multiple_of(chunk);
+        match self {
+            WorkloadSpec::AsyncWr(p) => aligned(p.file_offset) && aligned(p.data_per_iter),
+            WorkloadSpec::SeqWrite {
+                offset,
+                total,
+                block,
+                ..
+            } => aligned(*offset) && aligned(*total) && aligned(*block) && *block > 0,
+            WorkloadSpec::HotspotWrite { offset, block, .. } => {
+                aligned(*offset) && aligned(*block) && *block > 0
+            }
+            WorkloadSpec::Idle { .. } => true,
+            // IOR and HotspotMixed read; CM1 reads its restart dump and
+            // exchanges halo traffic between ranks.
+            WorkloadSpec::Ior(_) | WorkloadSpec::Cm1(_) | WorkloadSpec::HotspotMixed { .. } => {
+                false
+            }
+        }
+    }
+
     /// Instantiate the driver.
     pub fn build(&self) -> Box<dyn Workload> {
         match self {
