@@ -1,0 +1,329 @@
+//! The diagnostic vocabulary: codes, severities, spans and rendering.
+//!
+//! Every lint the analyzer can raise has a stable `Lxxx` code (the
+//! contract the CLI, the CI gate and the tests key on), a default
+//! severity, and a [`Span`] pointing at the scenario section that
+//! triggered it. Codes are grouped by decade: `L00x` structural and
+//! feasibility proofs, `L01x` dead configuration, `L02x` conflicting
+//! configuration, `L03x` shard-admission explainer.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// How bad a diagnostic is.
+///
+/// `Error` means the run is provably broken (it cannot build, or a
+/// migration cannot meet its own constraints); `Warn` means the spec
+/// very likely does not describe the experiment the author intended;
+/// `Info` is explanatory output (the shard-admission explainer) and
+/// never fails a lint, not even under `--deny warnings`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Explanatory; never fails the lint.
+    Info,
+    /// Suspicious; fails under `--deny warnings`.
+    Warn,
+    /// Provably broken; always fails the lint.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label (`error` / `warn` / `info`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl Serialize for Severity {
+    fn to_value(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+/// Stable identifier of one lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiagCode {
+    /// `L000`: the spec would not build — bad index, bad parameter,
+    /// non-finite time, grouped-scenario override.
+    InvalidSpec,
+    /// `L001`: a migration (or the plan as a whole) provably cannot
+    /// finish within the horizon — the unconditional `bytes / bw`
+    /// lower bound already overruns it.
+    CapacityInfeasible,
+    /// `L002`: a statically-chosen Precopy/Mirror migration whose
+    /// workload re-dirties at ≥ 95 % of the effective wire bandwidth,
+    /// with nothing armed to bound it (no resilience, no deadline).
+    NonConvergent,
+    /// `L003`: a migration deadline below a conservatively discounted
+    /// transfer-time lower bound — the job is guaranteed to abort with
+    /// `DeadlineExceeded`.
+    DeadlineImpossible,
+    /// `L010`: a fault that provably has no effect (restore with no
+    /// prior fault, stall of a VM that never migrates, crash of a node
+    /// no traffic can touch).
+    DeadFault,
+    /// `L011`: a timed event scheduled after the horizon.
+    DeadEvent,
+    /// `L012`: a cancellation firing before its migration is even
+    /// requested (the migration can never run).
+    DeadCancellation,
+    /// `L013`: a QoS bandwidth cap at or above the NIC/migration speed
+    /// — shaping that never binds.
+    DeadQosCap,
+    /// `L014`: an admission cap at or above the total job count —
+    /// a queue that can never form.
+    DeadAdmissionCap,
+    /// `L020`: a downtime limit combined with post-copy control
+    /// transfer, which never performs the stop-and-copy the limit
+    /// governs.
+    ConflictDowntimePostcopy,
+    /// `L021`: a retry policy none of whose enabled causes can occur
+    /// in this scenario.
+    ConflictRetryUnreachable,
+    /// `L022`: an autonomic per-VM cooldown at or beyond the horizon.
+    ConflictCooldownHorizon,
+    /// `L030`: one reason the sharded runner would decline this
+    /// scenario (`lsm run --threads` would fall back to monolithic).
+    ShardInadmissible,
+    /// `L031`: the scenario admits sharded execution.
+    ShardOk,
+}
+
+impl DiagCode {
+    /// The stable `Lxxx` string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiagCode::InvalidSpec => "L000",
+            DiagCode::CapacityInfeasible => "L001",
+            DiagCode::NonConvergent => "L002",
+            DiagCode::DeadlineImpossible => "L003",
+            DiagCode::DeadFault => "L010",
+            DiagCode::DeadEvent => "L011",
+            DiagCode::DeadCancellation => "L012",
+            DiagCode::DeadQosCap => "L013",
+            DiagCode::DeadAdmissionCap => "L014",
+            DiagCode::ConflictDowntimePostcopy => "L020",
+            DiagCode::ConflictRetryUnreachable => "L021",
+            DiagCode::ConflictCooldownHorizon => "L022",
+            DiagCode::ShardInadmissible => "L030",
+            DiagCode::ShardOk => "L031",
+        }
+    }
+
+    /// The severity this code is raised at.
+    pub fn severity(self) -> Severity {
+        match self {
+            DiagCode::InvalidSpec | DiagCode::CapacityInfeasible | DiagCode::DeadlineImpossible => {
+                Severity::Error
+            }
+            DiagCode::NonConvergent
+            | DiagCode::DeadFault
+            | DiagCode::DeadEvent
+            | DiagCode::DeadCancellation
+            | DiagCode::DeadQosCap
+            | DiagCode::DeadAdmissionCap
+            | DiagCode::ConflictDowntimePostcopy
+            | DiagCode::ConflictRetryUnreachable
+            | DiagCode::ConflictCooldownHorizon => Severity::Warn,
+            DiagCode::ShardInadmissible | DiagCode::ShardOk => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for DiagCode {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+/// Where in the scenario document a diagnostic points.
+///
+/// Renders in TOML-path style (`migrations[2]`, `cluster`, …) so a
+/// reader can jump straight to the offending section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Span {
+    /// The scenario as a whole (top-level keys, cross-section facts).
+    Scenario,
+    /// The `[cluster]` section.
+    Cluster,
+    /// `[[vms]]` entry `i`.
+    Vm(usize),
+    /// `[[migrations]]` entry `i`.
+    Migration(usize),
+    /// `[[faults]]` entry `i`.
+    Fault(usize),
+    /// `[[cancellations]]` entry `i`.
+    Cancellation(usize),
+    /// `[[requests]]` entry `i`.
+    Request(usize),
+    /// The `[qos]` section.
+    Qos,
+    /// The `[resilience]` section.
+    Resilience,
+    /// The `[autonomic]` section.
+    Autonomic,
+    /// The `[orchestrator]` section.
+    Orchestrator,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Scenario => f.write_str("scenario"),
+            Span::Cluster => f.write_str("cluster"),
+            Span::Vm(i) => write!(f, "vms[{i}]"),
+            Span::Migration(i) => write!(f, "migrations[{i}]"),
+            Span::Fault(i) => write!(f, "faults[{i}]"),
+            Span::Cancellation(i) => write!(f, "cancellations[{i}]"),
+            Span::Request(i) => write!(f, "requests[{i}]"),
+            Span::Qos => f.write_str("qos"),
+            Span::Resilience => f.write_str("resilience"),
+            Span::Autonomic => f.write_str("autonomic"),
+            Span::Orchestrator => f.write_str("orchestrator"),
+        }
+    }
+}
+
+impl Serialize for Span {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+/// One diagnostic: a code, where it points, what it says, and
+/// (optionally) what to do about it.
+#[derive(Clone, Debug, Serialize)]
+pub struct Diag {
+    /// Stable rule identifier (`L001`, …).
+    pub code: DiagCode,
+    /// Effective severity (the code's default).
+    pub severity: Severity,
+    /// Scenario section the diagnostic points at.
+    pub span: Span,
+    /// Human-readable statement of the problem.
+    pub message: String,
+    /// Optional remediation hint.
+    pub suggestion: Option<String>,
+}
+
+impl Diag {
+    /// A diagnostic at the code's default severity.
+    pub fn new(code: DiagCode, span: Span, message: impl Into<String>) -> Self {
+        Diag {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach a remediation hint.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Self {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// True when any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diag]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// The lint verdict: should this report fail the invocation?
+/// Errors always fail; warnings fail only under `deny_warnings`;
+/// `Info` never fails.
+pub fn fails(diags: &[Diag], deny_warnings: bool) -> bool {
+    diags
+        .iter()
+        .any(|d| d.severity == Severity::Error || (deny_warnings && d.severity == Severity::Warn))
+}
+
+/// Render a report the way `lsm lint` prints it, one diagnostic per
+/// block, errors first.
+pub fn render(diags: &[Diag]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_ranked() {
+        assert_eq!(DiagCode::CapacityInfeasible.as_str(), "L001");
+        assert_eq!(DiagCode::ShardOk.as_str(), "L031");
+        assert_eq!(DiagCode::InvalidSpec.severity(), Severity::Error);
+        assert_eq!(DiagCode::DeadFault.severity(), Severity::Warn);
+        assert_eq!(DiagCode::ShardInadmissible.severity(), Severity::Info);
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+    }
+
+    #[test]
+    fn verdicts_follow_severity_and_deny_mode() {
+        let info = Diag::new(DiagCode::ShardOk, Span::Scenario, "ok");
+        let warn = Diag::new(DiagCode::DeadFault, Span::Fault(0), "dead");
+        let err = Diag::new(DiagCode::InvalidSpec, Span::Vm(1), "bad");
+        assert!(!fails(std::slice::from_ref(&info), true));
+        assert!(!fails(std::slice::from_ref(&warn), false));
+        assert!(fails(std::slice::from_ref(&warn), true));
+        assert!(fails(std::slice::from_ref(&err), false));
+        assert!(has_errors(&[err]));
+        assert!(!has_errors(&[info, warn]));
+    }
+
+    #[test]
+    fn rendering_is_grep_friendly() {
+        let d = Diag::new(DiagCode::DeadEvent, Span::Fault(3), "after the horizon")
+            .with_suggestion("drop it");
+        let s = d.to_string();
+        assert!(s.starts_with("warn[L011] faults[3]: after the horizon"));
+        assert!(s.contains("help: drop it"));
+    }
+
+    #[test]
+    fn diags_serialize_with_string_enums() {
+        let d = Diag::new(DiagCode::NonConvergent, Span::Migration(2), "m");
+        let v = serde::Serialize::to_value(&d);
+        assert_eq!(v.get("code"), Some(&Value::Str("L002".into())));
+        assert_eq!(v.get("severity"), Some(&Value::Str("warn".into())));
+        assert_eq!(v.get("span"), Some(&Value::Str("migrations[2]".into())));
+        assert_eq!(v.get("suggestion"), Some(&Value::Null));
+    }
+}

@@ -1,0 +1,247 @@
+//! A static rate model of each workload class.
+//!
+//! The drivers in `lsm-workloads` are closed-loop: a write completes,
+//! the guest thinks, the next write is issued. That loop has a
+//! well-defined steady-state rate as a function of the spec parameters
+//! and the cluster's page-cache bandwidths, which is all the linter
+//! needs — it never builds a driver. Rates here are *estimates* used
+//! by warn-level lints (convergence) and, discounted, by error-level
+//! feasibility proofs; the distinct-footprint and memory numbers are
+//! exact spec-level facts.
+
+use lsm_core::config::ClusterConfig;
+use lsm_workloads::{MemSpec, WorkloadSpec};
+
+/// Steady-state I/O behaviour of one workload, derived from its spec.
+#[derive(Clone, Debug)]
+pub struct WorkloadModel {
+    /// Short class label (same as [`WorkloadSpec::label`]).
+    pub label: &'static str,
+    /// Sustained storage write rate, bytes/second.
+    pub write_rate: f64,
+    /// Sustained storage read rate, bytes/second.
+    pub read_rate: f64,
+    /// Distinct bytes the workload ever writes (its modified
+    /// footprint; an upper bound that the run approaches).
+    pub distinct_write_bytes: f64,
+    /// Seconds from workload start until it stops writing.
+    pub write_duration_secs: f64,
+    /// True when cumulative writes exceed the distinct footprint —
+    /// the workload overwrites its own data (re-dirtying pressure).
+    pub rewrites: bool,
+    /// Memory behaviour (exact: the same [`MemSpec`] the engine uses).
+    pub mem: MemSpec,
+}
+
+impl WorkloadModel {
+    /// Derive the model from a spec under a cluster's cache bandwidths.
+    pub fn of(spec: &WorkloadSpec, cluster: &ClusterConfig) -> Self {
+        let cw = cluster.cache_write_bw;
+        let cr = cluster.cache_read_bw;
+        let mem = spec.mem_spec();
+        let label = spec.label();
+        // Closed-loop period of one op: think/compute time plus the
+        // op's page-cache service time.
+        let (write_rate, read_rate, distinct, duration, rewrites) = match spec {
+            WorkloadSpec::SeqWrite {
+                total,
+                block,
+                think_secs,
+                ..
+            } => {
+                let b = *block as f64;
+                let period = think_secs + b / cw;
+                let rate = b / period;
+                let total = *total as f64;
+                (rate, 0.0, total, total / rate, false)
+            }
+            WorkloadSpec::HotspotWrite {
+                region_blocks,
+                block,
+                count,
+                think_secs,
+                ..
+            } => {
+                let b = *block as f64;
+                let period = think_secs + b / cw;
+                let cumulative = (*count as f64) * b;
+                let distinct = ((*region_blocks as f64) * b).min(cumulative);
+                (
+                    b / period,
+                    0.0,
+                    distinct,
+                    (*count as f64) * period,
+                    cumulative > distinct,
+                )
+            }
+            WorkloadSpec::HotspotMixed {
+                region_blocks,
+                block,
+                count,
+                read_fraction,
+                think_secs,
+                ..
+            } => {
+                let b = *block as f64;
+                let wf = 1.0 - read_fraction;
+                // Reads and writes share the op stream; model the mean
+                // service time of the mix.
+                let svc = wf * (b / cw) + read_fraction * (b / cr);
+                let period = think_secs + svc;
+                let cumulative = (*count as f64) * b * wf;
+                let distinct = ((*region_blocks as f64) * b).min(cumulative);
+                (
+                    b * wf / period,
+                    b * read_fraction / period,
+                    distinct,
+                    (*count as f64) * period,
+                    cumulative > distinct,
+                )
+            }
+            WorkloadSpec::AsyncWr(p) => {
+                let d = p.data_per_iter as f64;
+                let period = p.compute_per_iter.as_secs_f64() + d / cw;
+                let total = (p.iterations as f64) * d;
+                (
+                    d / period,
+                    0.0,
+                    total,
+                    (p.iterations as f64) * period,
+                    false,
+                )
+            }
+            WorkloadSpec::Ior(p) => {
+                // One iteration: write the file, read it back.
+                let fs = p.file_size as f64;
+                let period = fs / cw + fs / cr;
+                let cumulative = (p.iterations as f64) * fs;
+                (
+                    fs / period,
+                    fs / period,
+                    fs,
+                    (p.iterations as f64) * period,
+                    cumulative > fs,
+                )
+            }
+            WorkloadSpec::Cm1(p) => {
+                let d = p.dump_bytes as f64;
+                let period = p.compute_per_iter.as_secs_f64() + d / cw;
+                let cumulative = (p.iterations as f64) * d;
+                let distinct = (p.dump_region_bytes as f64).min(cumulative);
+                (
+                    d / period,
+                    0.0,
+                    distinct,
+                    (p.iterations as f64) * period,
+                    cumulative > distinct,
+                )
+            }
+            WorkloadSpec::Idle { bursts, burst_secs } => {
+                (0.0, 0.0, 0.0, (*bursts as f64) * burst_secs, false)
+            }
+        };
+        WorkloadModel {
+            label,
+            write_rate,
+            read_rate,
+            distinct_write_bytes: distinct,
+            write_duration_secs: duration,
+            rewrites,
+            mem,
+        }
+    }
+
+    /// Distinct bytes modified by `t` seconds after workload start:
+    /// `min(write_rate · t, distinct_write_bytes)`. A lower bound on
+    /// what a migration requested then must pull off the source.
+    pub fn distinct_written_by(&self, t_secs: f64) -> f64 {
+        (self.write_rate * t_secs.max(0.0)).min(self.distinct_write_bytes)
+    }
+
+    /// True when the workload is still issuing writes `t` seconds
+    /// after its start (negative `t` — a migration requested before
+    /// the workload starts — counts as "still ahead", i.e. writing).
+    pub fn writing_at(&self, t_secs: f64) -> bool {
+        self.write_rate > 0.0 && t_secs < self.write_duration_secs
+    }
+
+    /// Memory re-dirty flux seen by a pre-copy style memory pass:
+    /// anonymous dirtying plus the page-cache dirtying its storage
+    /// writes induce (the engine's `io_mem_dirty_factor` coupling).
+    pub fn dirty_flux(&self, cluster: &ClusterConfig) -> f64 {
+        self.mem.anon_dirty_rate + cluster.io_mem_dirty_factor * self.write_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsm_simcore::units::MIB;
+
+    fn cluster() -> ClusterConfig {
+        ClusterConfig::default()
+    }
+
+    #[test]
+    fn seqwrite_rate_is_block_over_period() {
+        let spec = WorkloadSpec::SeqWrite {
+            offset: 0,
+            total: 100 * MIB,
+            block: MIB,
+            think_secs: 0.05,
+        };
+        let c = cluster();
+        let m = WorkloadModel::of(&spec, &c);
+        let period = 0.05 + MIB as f64 / c.cache_write_bw;
+        assert!((m.write_rate - MIB as f64 / period).abs() < 1e-6);
+        assert_eq!(m.distinct_write_bytes, (100 * MIB) as f64);
+        assert!(!m.rewrites);
+        assert!(m.writing_at(0.0));
+        assert!(!m.writing_at(m.write_duration_secs + 1.0));
+    }
+
+    #[test]
+    fn hotspot_distinct_is_capped_by_its_region() {
+        let spec = WorkloadSpec::HotspotWrite {
+            offset: 0,
+            region_blocks: 64,
+            block: 256 * 1024,
+            count: 12_000,
+            theta: 0.8,
+            think_secs: 0.01,
+            seed: 1,
+        };
+        let m = WorkloadModel::of(&spec, &cluster());
+        assert_eq!(m.distinct_write_bytes, (64 * 256 * 1024) as f64);
+        assert!(m.rewrites, "12000 writes into 64 blocks must rewrite");
+        // Early on the modified set is rate-limited, later region-limited.
+        assert!(m.distinct_written_by(0.1) < m.distinct_write_bytes);
+        assert_eq!(m.distinct_written_by(1e9), m.distinct_write_bytes);
+    }
+
+    #[test]
+    fn idle_never_writes_but_still_dirties_memory() {
+        let spec = WorkloadSpec::Idle {
+            bursts: 10,
+            burst_secs: 1.0,
+        };
+        let c = cluster();
+        let m = WorkloadModel::of(&spec, &c);
+        assert_eq!(m.write_rate, 0.0);
+        assert!(!m.writing_at(0.0));
+        assert!(m.dirty_flux(&c) > 0.0);
+    }
+
+    #[test]
+    fn dirty_flux_couples_io_writes() {
+        let spec = WorkloadSpec::SeqWrite {
+            offset: 0,
+            total: 100 * MIB,
+            block: MIB,
+            think_secs: 0.0,
+        };
+        let c = cluster();
+        let m = WorkloadModel::of(&spec, &c);
+        assert!(m.dirty_flux(&c) > m.mem.anon_dirty_rate);
+    }
+}

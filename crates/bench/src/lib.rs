@@ -16,6 +16,8 @@
 //! Paper-scale numbers (recorded in EXPERIMENTS.md) come from the CLI:
 //! `cargo run --release -p lsm-cli -- fig3` etc.
 
+#![forbid(unsafe_code)]
+
 /// Print a banner plus a result table once per bench target.
 pub fn print_once(title: &str, table: &lsm_experiments::table::Table) {
     println!("\n================ {title} ================");

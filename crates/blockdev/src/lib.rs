@@ -25,6 +25,7 @@
 //! Physical disk *time* is not modeled here: nodes use
 //! [`lsm_simcore::SharedResource`] for that. This crate is pure state.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

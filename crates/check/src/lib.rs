@@ -83,6 +83,7 @@
 //! `deep_scan_interval` events (full), and at `finish`. The cheap
 //! audits run on every event.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

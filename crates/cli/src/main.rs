@@ -1,7 +1,8 @@
 //! `lsm` — command-line driver for the HPDC'12 reproduction experiments.
 //!
 //! ```text
-//! lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check] [--threads <n>]
+//! lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check] [--threads <n>] [--lint]
+//! lsm lint <scenario.toml|scenario.json>... [--json] [--deny warnings]
 //! lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>] [--strict] [--threads <n>]
 //! lsm judge [--quick] [--csv] [--sweep]
 //! lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
@@ -16,6 +17,10 @@
 //! unknown panel/strategy names are usage errors with a nonzero exit,
 //! never silently ignored.
 
+// `forbid` would reject the `allow` on `reset_sigpipe` below — the one
+// place the workspace talks to libc directly.
+#![deny(unsafe_code)]
+
 use lsm_core::engine::{JobId, MigrationProgress, MigrationStatus, Milestone};
 use lsm_core::engine::{Observer, RunControl};
 use lsm_core::policy::StrategyKind;
@@ -27,7 +32,8 @@ use serde::Serialize;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
-  lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check] [--threads <n>]
+  lsm run <scenario.toml|scenario.json> [--json] [--progress] [--check] [--threads <n>] [--lint]
+  lsm lint <scenario.toml|scenario.json>... [--json] [--deny warnings]
   lsm bench [--quick] [--scenario <file>] [--out <path>] [--baseline <file>] [--strict] [--threads <n>]
   lsm judge [--quick] [--csv] [--sweep]
   lsm fig3 [--quick] [--panel time|traffic|throughput] [--csv]
@@ -41,6 +47,7 @@ const USAGE: &str = "usage:
 /// ignores SIGPIPE by default, which turns `lsm run ... | head` into a
 /// broken-pipe panic mid-report.
 #[cfg(unix)]
+#[allow(unsafe_code)]
 fn reset_sigpipe() {
     unsafe extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -150,9 +157,28 @@ fn real_main(raw: Vec<String>) -> Result<(), UsageError> {
             let json = args.flag("--json");
             let progress = args.flag("--progress");
             let check = args.flag("--check");
+            let lint = args.flag("--lint");
             let threads = parse_threads(&mut args)?;
             args.finish()?;
-            cmd_run(&path, json, progress, check, threads)
+            cmd_run(&path, json, progress, check, lint, threads)
+        }
+        "lint" => {
+            let json = args.flag("--json");
+            let deny_warnings = match args.value("--deny")? {
+                None => false,
+                Some(what) if what == "warnings" => true,
+                Some(other) => {
+                    return Err(UsageError(format!(
+                        "--deny understands only `warnings`, got `{other}`"
+                    )))
+                }
+            };
+            let mut files = vec![args.positional("scenario file")?];
+            while let Some(i) = args.rest.iter().position(|a| !a.starts_with("--")) {
+                files.push(args.rest.remove(i));
+            }
+            args.finish()?;
+            cmd_lint(&files, json, deny_warnings)
         }
         "bench" => {
             let quick = args.flag("--quick");
@@ -446,6 +472,7 @@ fn cmd_run_sharded(
     json: bool,
     check: bool,
     threads: usize,
+    lint_diags: Option<&[lsm_analyze::Diag]>,
 ) -> Result<bool, UsageError> {
     use lsm_experiments::shard;
     let sharded = shard::run_scenario_sharded_observed(
@@ -457,8 +484,11 @@ fn cmd_run_sharded(
     .map_err(|e| UsageError(format!("scenario rejected: {e}")))?;
     let run = match sharded {
         Ok(run) => run,
-        Err(why) => {
-            eprintln!("note: not shardable ({why}); running monolithic");
+        Err(reasons) => {
+            eprintln!(
+                "note: not shardable ({}); running monolithic",
+                shard::render_rejections(&reasons)
+            );
             return Ok(false);
         }
     };
@@ -469,11 +499,7 @@ fn cmd_run_sharded(
         threads.min(nshards)
     );
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&run.report)
-                .map_err(|e| UsageError(format!("cannot serialize report: {e}")))?
-        );
+        println!("{}", report_json(&run.report, lint_diags)?);
     } else {
         print_report(spec, &run.report);
     }
@@ -510,21 +536,66 @@ fn cmd_run_sharded(
     Ok(true)
 }
 
+/// Load and parse a scenario file (TOML by default, JSON by extension).
+fn load_spec(path: &str) -> Result<ScenarioSpec, UsageError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+    if path.ends_with(".json") {
+        ScenarioSpec::from_json(&text)
+    } else {
+        ScenarioSpec::from_toml(&text)
+    }
+    .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))
+}
+
+/// Serialize a run report, splicing the lint preflight in as a `lint`
+/// field when one was computed (`--json` always computes it, so the
+/// machine-readable report carries the static verdict alongside the
+/// dynamic outcome).
+fn report_json(
+    report: &RunReport,
+    lint_diags: Option<&[lsm_analyze::Diag]>,
+) -> Result<String, UsageError> {
+    let mut v = report.to_value();
+    if let (serde::Value::Map(entries), Some(diags)) = (&mut v, lint_diags) {
+        let seq = serde::Value::Seq(diags.iter().map(|d| d.to_value()).collect());
+        entries.push(("lint".to_string(), seq));
+    }
+    serde_json::to_string_pretty(&v)
+        .map_err(|e| UsageError(format!("cannot serialize report: {e}")))
+}
+
 fn cmd_run(
     path: &str,
     json: bool,
     progress: bool,
     check: bool,
+    lint: bool,
     threads: usize,
 ) -> Result<(), UsageError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
-    let spec = if path.ends_with(".json") {
-        ScenarioSpec::from_json(&text)
+    let spec = load_spec(path)?;
+
+    // Lint preflight: `--lint` prints it, `--json` embeds it in the
+    // report. Findings never stop the run — the point of running a
+    // flagged scenario is usually to watch the predicted failure.
+    let lint_diags = if lint || json {
+        Some(lsm_analyze::lint(&spec))
     } else {
-        ScenarioSpec::from_toml(&text)
+        None
+    };
+    if lint {
+        let diags = lint_diags.as_deref().unwrap_or(&[]);
+        eprint!("{}", lsm_analyze::render(diags));
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == lsm_analyze::Severity::Error)
+            .count();
+        let warnings = diags
+            .iter()
+            .filter(|d| d.severity == lsm_analyze::Severity::Warn)
+            .count();
+        eprintln!("lint: {errors} error(s), {warnings} warning(s)");
     }
-    .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))?;
 
     // `--progress` streams per-job status lines in global event order —
     // a serial notion; it pins the monolithic engine.
@@ -535,7 +606,7 @@ fn cmd_run(
         threads
     };
 
-    if threads > 1 && cmd_run_sharded(&spec, json, check, threads)? {
+    if threads > 1 && cmd_run_sharded(&spec, json, check, threads, lint_diags.as_deref())? {
         return Ok(());
     }
     // Partitioner said no (or --threads 1) — monolithic engine.
@@ -572,11 +643,7 @@ fn cmd_run(
     };
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report)
-                .map_err(|e| UsageError(format!("cannot serialize report: {e}")))?
-        );
+        println!("{}", report_json(&report, lint_diags.as_deref())?);
     } else {
         print_report(&spec, &report);
     }
@@ -600,6 +667,83 @@ fn cmd_run(
             }
             return Err(UsageError("invariant violations detected".to_string()));
         }
+    }
+    Ok(())
+}
+
+// ---------------- `lsm lint` ----------------
+
+/// Statically analyze scenario files without running them. Exit 0 when
+/// every file passes (info-level notes always pass), 1 when any file
+/// has errors — or warnings under `--deny warnings` — or fails to
+/// parse.
+fn cmd_lint(files: &[String], json: bool, deny_warnings: bool) -> Result<(), UsageError> {
+    let mut failed = false;
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut json_files: Vec<(String, serde::Value)> = Vec::new();
+    for path in files {
+        match load_spec(path) {
+            Err(UsageError(msg)) => {
+                // An unreadable or unparseable file fails the lint the
+                // same way a structural error does.
+                failed = true;
+                errors += 1;
+                if json {
+                    json_files.push((path.clone(), serde::Value::Str(msg)));
+                } else {
+                    println!("{path}: error: {msg}");
+                }
+            }
+            Ok(spec) => {
+                let diags = lsm_analyze::lint(&spec);
+                errors += diags
+                    .iter()
+                    .filter(|d| d.severity == lsm_analyze::Severity::Error)
+                    .count();
+                warnings += diags
+                    .iter()
+                    .filter(|d| d.severity == lsm_analyze::Severity::Warn)
+                    .count();
+                if lsm_analyze::fails(&diags, deny_warnings) {
+                    failed = true;
+                }
+                if json {
+                    let seq = serde::Value::Seq(diags.iter().map(|d| d.to_value()).collect());
+                    json_files.push((path.clone(), seq));
+                } else if diags.is_empty() {
+                    println!("{path}: clean");
+                } else {
+                    println!("{path}:");
+                    for d in &diags {
+                        for line in d.to_string().lines() {
+                            println!("  {line}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if json {
+        let doc = serde::Value::Map(vec![
+            ("files".to_string(), serde::Value::Map(json_files)),
+            ("failed".to_string(), serde::Value::Bool(failed)),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc)
+                .map_err(|e| UsageError(format!("cannot serialize lint report: {e}")))?
+        );
+    } else {
+        println!(
+            "lint: {} file(s), {errors} error(s), {warnings} warning(s)",
+            files.len()
+        );
+    }
+    if failed {
+        // A lint failure is a verdict, not a usage mistake — exit 1
+        // without the usage banner.
+        std::process::exit(1);
     }
     Ok(())
 }

@@ -565,3 +565,93 @@ fn run_deadline_scenario_reports_deadline_reason() {
     let text = stdout(&out);
     assert!(text.contains("DeadlineExceeded"), "{text}");
 }
+
+// ---------------- lint ----------------
+
+#[test]
+fn lint_shipped_scenario_is_clean_and_exits_zero() {
+    let scenario = repo_root().join("scenarios/demo.toml");
+    let out = lsm(&["lint", scenario.to_str().unwrap(), "--deny", "warnings"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("0 error(s), 0 warning(s)"), "{text}");
+    assert!(
+        text.contains("L031"),
+        "demo is shardable; the explainer should say so: {text}"
+    );
+}
+
+#[test]
+fn lint_bad_scenario_exits_one_with_typed_diagnostics() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("lsm-cli-test-lint-bad.toml");
+    std::fs::write(
+        &path,
+        "horizon_secs = 10.0\nstrategy = \"mirror\"\ngrouped = false\n\n\
+         [[vms]]\nnode = 99\nworkload = { Idle = { bursts = 1, burst_secs = 1.0 } }\n\n\
+         [[migrations]]\nvm = 0\ndest = 1\nat_secs = 1.0\n",
+    )
+    .unwrap();
+    let out = lsm(&["lint", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("error[L000]"), "{text}");
+    assert!(text.contains("out of 0..8"), "{text}");
+}
+
+#[test]
+fn lint_warnings_fail_only_under_deny() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("lsm-cli-test-lint-warn.toml");
+    // A dead cancellation (fires before its migration) is warn-level.
+    std::fs::write(
+        &path,
+        "horizon_secs = 60.0\nstrategy = \"hybrid\"\ngrouped = false\n\n\
+         [[vms]]\nnode = 0\nworkload = { Idle = { bursts = 1, burst_secs = 1.0 } }\n\n\
+         [[migrations]]\nvm = 0\ndest = 1\nat_secs = 5.0\n\n\
+         [[cancellations]]\nat_secs = 1.0\njob = 0\n",
+    )
+    .unwrap();
+    let lax = lsm(&["lint", path.to_str().unwrap()]);
+    let strict = lsm(&["lint", path.to_str().unwrap(), "--deny", "warnings"]);
+    std::fs::remove_file(&path).ok();
+    assert!(lax.status.success(), "stderr: {}", stderr(&lax));
+    assert!(stdout(&lax).contains("warn[L012]"), "{}", stdout(&lax));
+    assert_eq!(strict.status.code(), Some(1), "{}", stdout(&strict));
+}
+
+#[test]
+fn lint_json_reports_per_file_diagnostics() {
+    let scenario = repo_root().join("scenarios/chaos_storm.toml");
+    let out = lsm(&["lint", scenario.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"files\""), "{text}");
+    assert!(text.contains("\"failed\": false"), "{text}");
+    assert!(text.contains("L030"), "{text}");
+}
+
+#[test]
+fn run_json_carries_the_lint_report() {
+    let scenario = repo_root().join("scenarios/demo.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"lint\""), "{text}");
+    assert!(text.contains("L031"), "{text}");
+}
+
+#[test]
+fn run_lint_preflight_prints_findings_but_still_runs() {
+    let scenario = repo_root().join("scenarios/fault_deadline.toml");
+    let out = lsm(&["run", scenario.to_str().unwrap(), "--lint"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("lint:"), "preflight summary on stderr: {err}");
+    let text = stdout(&out);
+    assert!(
+        text.contains("scenario:"),
+        "the run must proceed after the preflight: {text}"
+    );
+}

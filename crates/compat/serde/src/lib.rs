@@ -115,6 +115,16 @@ pub trait Deserialize: Sized {
 
 // ---------------- primitive impls ----------------
 
+// `Value` is already the data model, so serializing it is the identity.
+// This lets callers parse a document, splice extra fields into the
+// parsed tree, and re-serialize it (e.g. `lsm run --json` adding its
+// `lint` preflight field to the report).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
         (**self).to_value()

@@ -46,12 +46,9 @@
 //! solvers. Memory migration time is common to every scheme and drops
 //! out of the argmin, so the model omits it.
 
+use super::bounds;
 use super::{PlanContext, Planner, SchemeEstimate};
 use crate::policy::StrategyKind;
-
-/// Re-dirty flux at or above this fraction of the NIC is treated as
-/// non-convergent for the pre-copy-style schemes.
-const CONVERGENCE_FRAC: f64 = 0.95;
 
 const GIB: f64 = (1u64 << 30) as f64;
 
@@ -82,37 +79,31 @@ pub fn estimate_scheme(ctx: &PlanContext<'_>, k: StrategyKind) -> SchemeEstimate
     let (time, bytes, sla) = match k {
         StrategyKind::Precopy => {
             let flux = vm.dirty_rate + vm.rewrite_rate;
-            if flux >= CONVERGENCE_FRAC * b {
-                (penalty, s_alloc * (1.0 + flux / b), penalty)
-            } else {
-                let t = s_alloc / (b - flux);
-                (t, t * b, t * (flux / b).min(1.0))
+            match bounds::precopy_time(s_alloc, flux, b) {
+                None => (penalty, s_alloc * (1.0 + flux / b), penalty),
+                Some(t) => (t, t * b, t * (flux / b).min(1.0)),
             }
         }
-        StrategyKind::Mirror => {
-            if vm.write_rate >= CONVERGENCE_FRAC * b {
-                (penalty, s_alloc * (1.0 + vm.write_rate / b), penalty)
-            } else {
-                let t = s_alloc / (b - vm.write_rate);
-                (
-                    t,
-                    s_alloc + vm.write_rate * t,
-                    t * (vm.write_rate / b).min(1.0),
-                )
-            }
-        }
+        StrategyKind::Mirror => match bounds::mirror_time(s_alloc, vm.write_rate, b) {
+            None => (penalty, s_alloc * (1.0 + vm.write_rate / b), penalty),
+            Some(t) => (
+                t,
+                s_alloc + vm.write_rate * t,
+                t * (vm.write_rate / b).min(1.0),
+            ),
+        },
         StrategyKind::Postcopy => {
-            let stall = 1.0 + ctx.cfg.cost_ondemand_penalty * (vm.read_rate / b).min(1.0);
-            let t = s_mod / b * stall;
+            let stall = bounds::pull_stall_factor(vm.read_rate, b, ctx.cfg.cost_ondemand_penalty);
+            let t = bounds::pull_time(s_mod, b, stall);
             (t, s_mod, t * read_stall)
         }
         StrategyKind::Hybrid => {
-            let hot = (vm.rewrite_rate * ctx.cfg.telemetry_window_secs).min(s_mod);
+            let hot =
+                bounds::hybrid_withheld(vm.rewrite_rate, ctx.cfg.telemetry_window_secs, s_mod);
             let push_time = (s_mod - hot) / b;
-            let repush =
-                (vm.rewrite_rate * push_time).min(ctx.threshold.saturating_sub(1) as f64 * hot);
-            let stall = 1.0 + ctx.cfg.cost_ondemand_penalty * (vm.read_rate / b).min(1.0);
-            let pull_time = hot / b * stall;
+            let repush = bounds::hybrid_repush(vm.rewrite_rate, push_time, ctx.threshold, hot);
+            let stall = bounds::pull_stall_factor(vm.read_rate, b, ctx.cfg.cost_ondemand_penalty);
+            let pull_time = bounds::pull_time(hot, b, stall);
             // Only the pull phase stalls reads; the push phase runs
             // with the guest live at the source.
             (

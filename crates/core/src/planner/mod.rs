@@ -36,6 +36,7 @@
 //! reports (the property `lsm/tests/determinism.rs` pins).
 
 mod adaptive;
+pub mod bounds;
 mod cost;
 mod fixed;
 

@@ -45,6 +45,7 @@
 //! every experiment goes through, [`table`] the plain text/CSV
 //! renderers, and [`sweep`] a scoped-thread parallel run launcher.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

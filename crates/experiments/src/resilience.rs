@@ -216,8 +216,8 @@ pub fn chaos_storm_spec() -> ScenarioSpec {
 /// threshold and the job completes inside its deadline; strip the
 /// section and the identical scenario grinds through the round cap
 /// into a deadline abort (the negative half is pinned by a test).
-/// Deadline retries are deliberately off so the comparison isolates
-/// the throttle.
+/// Retries are deliberately off (`max_attempts = 1`) so the
+/// comparison isolates the throttle.
 pub fn auto_converge_spec() -> ScenarioSpec {
     let mut res = ResilienceConfig {
         converge_frac: 0.03,
@@ -226,6 +226,7 @@ pub fn auto_converge_spec() -> ScenarioSpec {
         converge_max_steps: 4,
         ..ResilienceConfig::default()
     };
+    res.retry.max_attempts = 1;
     res.retry.retry_on.deadline = false;
     ScenarioSpec {
         name: Some("auto_converge".to_string()),

@@ -58,64 +58,236 @@ pub struct SubScenario {
     pub nodes: Vec<u32>,
 }
 
-/// Why a scenario cannot be sharded (diagnostic, shown by `lsm run
-/// --threads N` when it falls back to the monolithic engine).
-pub type ShardReject = &'static str;
+/// One reason a scenario cannot be sharded. [`partition`] collects
+/// *every* failed admission rule (not just the first), so `lsm run
+/// --threads N`'s fallback note and `lsm lint`'s shard-admission
+/// explainer can show everything that would have to change for the
+/// scenario to shard.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardRejection {
+    /// An `[orchestrator]` section takes fleet-global admission
+    /// decisions.
+    Orchestrator,
+    /// The `[autonomic]` rebalancer scans the whole fleet every tick.
+    Autonomic,
+    /// The `[resilience]` layer re-plans against fleet-global state.
+    Resilience,
+    /// Orchestration requests expand against fleet-global placement.
+    Requests,
+    /// Fault plans are not yet component-attributed.
+    Faults,
+    /// Cancellations record fleet-global resilience history.
+    Cancellations,
+    /// Grouped workloads exchange barrier traffic between components.
+    Grouped,
+    /// An adaptive-strategy migration reads planner telemetry.
+    AdaptiveMigration {
+        /// Index into `ScenarioSpec::migrations`.
+        migration: u32,
+    },
+    /// A VM under the SharedFs strategy stripes writes over every node.
+    SharedFs {
+        /// Index into `ScenarioSpec::vms`.
+        vm: u32,
+    },
+    /// A workload reads, or writes partial chunks — either could fetch
+    /// across components.
+    UnalignedWorkload {
+        /// Index into `ScenarioSpec::vms`.
+        vm: u32,
+        /// The workload's class label.
+        label: &'static str,
+    },
+    /// The switch aggregate couples components.
+    SwitchCoupled {
+        /// Configured switch aggregate, bytes/s.
+        switch_bw: f64,
+        /// The decoupling threshold `2 × Σ nic_bw`, bytes/s.
+        required: f64,
+    },
+    /// A VM names a node outside the cluster.
+    VmNodeOutOfRange {
+        /// Index into `ScenarioSpec::vms`.
+        vm: u32,
+        /// The out-of-range node.
+        node: u32,
+    },
+    /// A migration names a VM or node outside the cluster.
+    MigrationOutOfRange {
+        /// Index into `ScenarioSpec::migrations`.
+        migration: u32,
+    },
+    /// The migration graph is one connected component — nothing to
+    /// split.
+    SingleComponent,
+}
+
+impl std::fmt::Display for ShardRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardRejection::Orchestrator => {
+                write!(
+                    f,
+                    "an [orchestrator] section takes fleet-global admission decisions"
+                )
+            }
+            ShardRejection::Autonomic => {
+                write!(
+                    f,
+                    "the [autonomic] rebalancer scans the whole fleet every tick"
+                )
+            }
+            ShardRejection::Resilience => {
+                write!(
+                    f,
+                    "the [resilience] layer re-plans against fleet-global state"
+                )
+            }
+            ShardRejection::Requests => {
+                write!(
+                    f,
+                    "orchestration requests expand against fleet-global placement"
+                )
+            }
+            ShardRejection::Faults => write!(f, "fault plans are not yet component-attributed"),
+            ShardRejection::Cancellations => {
+                write!(f, "cancellations record fleet-global resilience history")
+            }
+            ShardRejection::Grouped => {
+                write!(
+                    f,
+                    "grouped workloads exchange barrier traffic between components"
+                )
+            }
+            ShardRejection::AdaptiveMigration { migration } => write!(
+                f,
+                "migration {migration} is adaptive-strategy (reads planner telemetry)"
+            ),
+            ShardRejection::SharedFs { vm } => write!(
+                f,
+                "vm {vm} uses the SharedFs strategy (stripes every write over the whole PVFS)"
+            ),
+            ShardRejection::UnalignedWorkload { vm, label } => write!(
+                f,
+                "not chunk-aligned write-only: workload class '{label}' on vm {vm} \
+                 (could fetch across components)"
+            ),
+            ShardRejection::SwitchCoupled {
+                switch_bw,
+                required,
+            } => write!(
+                f,
+                "switch-coupled: switch_bw {:.0} MB/s < 2 × Σ nic_bw = {:.0} MB/s",
+                switch_bw / 1.0e6,
+                required / 1.0e6
+            ),
+            ShardRejection::VmNodeOutOfRange { vm, node } => {
+                write!(f, "vm {vm} names node {node} outside the cluster")
+            }
+            ShardRejection::MigrationOutOfRange { migration } => {
+                write!(
+                    f,
+                    "migration {migration} names a VM or node outside the cluster"
+                )
+            }
+            ShardRejection::SingleComponent => {
+                write!(f, "the migration graph is one connected component")
+            }
+        }
+    }
+}
+
+/// Render a rejection list as one semicolon-joined line (the compact
+/// form the CLI fallback note and error contexts use).
+pub fn render_rejections(reasons: &[ShardRejection]) -> String {
+    reasons
+        .iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
 
 /// Prove `spec` partitions into ≥ 2 independent components and build
-/// the per-component sub-scenarios, or say why not.
-pub fn partition(spec: &ScenarioSpec) -> Result<Vec<SubScenario>, ShardReject> {
+/// the per-component sub-scenarios, or report **every** admission rule
+/// it fails.
+pub fn partition(spec: &ScenarioSpec) -> Result<Vec<SubScenario>, Vec<ShardRejection>> {
+    let mut rejections = Vec::new();
     if spec.orchestrator.is_some() {
-        return Err("an [orchestrator] section takes fleet-global admission decisions");
+        rejections.push(ShardRejection::Orchestrator);
     }
     if spec.autonomic.is_some() {
-        return Err("the [autonomic] rebalancer scans the whole fleet every tick");
+        rejections.push(ShardRejection::Autonomic);
     }
     if spec.resilience.is_some() {
-        return Err("the [resilience] layer re-plans against fleet-global state");
+        rejections.push(ShardRejection::Resilience);
     }
     if !spec.request_plan().is_empty() {
-        return Err("orchestration requests expand against fleet-global placement");
+        rejections.push(ShardRejection::Requests);
     }
     if !spec.fault_plan().is_empty() {
-        return Err("fault plans are not yet component-attributed");
+        rejections.push(ShardRejection::Faults);
     }
     if !spec.cancellation_plan().is_empty() {
-        return Err("cancellations record fleet-global resilience history");
+        rejections.push(ShardRejection::Cancellations);
     }
     if spec.grouped {
-        return Err("grouped workloads exchange barrier traffic between components");
+        rejections.push(ShardRejection::Grouped);
     }
-    if spec.migrations.iter().any(|m| m.adaptive == Some(true)) {
-        return Err("adaptive-strategy migrations read planner telemetry");
+    for (i, m) in spec.migrations.iter().enumerate() {
+        if m.adaptive == Some(true) {
+            rejections.push(ShardRejection::AdaptiveMigration {
+                migration: i as u32,
+            });
+        }
     }
     let cluster = spec.cluster_config();
     let nodes = cluster.nodes as usize;
-    if (0..spec.vms.len()).any(|i| spec.vm_strategy(i) == StrategyKind::SharedFs) {
-        return Err("the SharedFs strategy stripes every write over the whole PVFS");
+    for i in 0..spec.vms.len() {
+        if spec.vm_strategy(i) == StrategyKind::SharedFs {
+            rejections.push(ShardRejection::SharedFs { vm: i as u32 });
+        }
     }
-    if spec
-        .vms
-        .iter()
-        .any(|v| !v.workload.chunk_aligned_write_only(cluster.chunk_size))
-    {
-        return Err("a workload reads or writes partial chunks (could fetch across components)");
+    for (i, v) in spec.vms.iter().enumerate() {
+        if !v.workload.chunk_aligned_write_only(cluster.chunk_size) {
+            rejections.push(ShardRejection::UnalignedWorkload {
+                vm: i as u32,
+                label: v.workload.label(),
+            });
+        }
     }
     // Uniform NICs: the switch aggregate must dominate twice the summed
     // NIC capacity for components to be provably contention-free (the
     // monolithic solver's own decoupling condition).
-    if cluster.switch_bw < 2.0 * nodes as f64 * cluster.nic_bw {
-        return Err("the switch aggregate couples components (switch_bw < 2 × Σ nic_bw)");
+    let required = 2.0 * nodes as f64 * cluster.nic_bw;
+    if cluster.switch_bw < required {
+        rejections.push(ShardRejection::SwitchCoupled {
+            switch_bw: cluster.switch_bw,
+            required,
+        });
     }
-    for v in &spec.vms {
+    let mut indices_ok = true;
+    for (i, v) in spec.vms.iter().enumerate() {
         if v.node as usize >= nodes {
-            return Err("a VM names a node outside the cluster");
+            rejections.push(ShardRejection::VmNodeOutOfRange {
+                vm: i as u32,
+                node: v.node,
+            });
+            indices_ok = false;
         }
     }
-    for m in &spec.migrations {
+    for (i, m) in spec.migrations.iter().enumerate() {
         if m.vm as usize >= spec.vms.len() || m.dest as usize >= nodes {
-            return Err("a migration names a VM or node outside the cluster");
+            rejections.push(ShardRejection::MigrationOutOfRange {
+                migration: i as u32,
+            });
+            indices_ok = false;
         }
+    }
+    // Out-of-range indices would make the union-find below index out of
+    // bounds; the rejection list is complete enough without the
+    // component count.
+    if !indices_ok {
+        return Err(rejections);
     }
 
     // Union-find over nodes; each migration joins its VM's host with
@@ -171,7 +343,10 @@ pub fn partition(spec: &ScenarioSpec) -> Result<Vec<SubScenario>, ShardReject> {
         }
     }
     if live.len() < 2 {
-        return Err("the migration graph is one connected component");
+        rejections.push(ShardRejection::SingleComponent);
+    }
+    if !rejections.is_empty() {
+        return Err(rejections);
     }
 
     let mut subs = Vec::with_capacity(live.len());
@@ -274,10 +449,13 @@ pub fn run_scenario_threaded_with_solver(
     threads: usize,
     solver: SolverMode,
 ) -> Result<RunReport, EngineError> {
-    if threads <= 1 || partition(spec).is_err() {
+    if threads <= 1 {
         return run_scenario_with_solver(spec, solver);
     }
-    let subs = partition(spec).expect("checked above");
+    let subs = match partition(spec) {
+        Ok(subs) => subs,
+        Err(_) => return run_scenario_with_solver(spec, solver),
+    };
     let shards = build_shards(subs, solver)?;
     let shape = shape_of(spec);
     let horizon = horizon_of(spec)?;
@@ -313,14 +491,14 @@ pub struct ShardedRun<O> {
 
 /// Run a partitionable scenario sharded with one observer per shard,
 /// built by `make_obs` (called once per shard, in shard order).
-/// Returns `Err` with the partitioner's reason if the scenario is not
-/// shardable — the caller decides how to fall back.
+/// Returns `Err` with the partitioner's full rejection list if the
+/// scenario is not shardable — the caller decides how to fall back.
 pub fn run_scenario_sharded_observed<O, F>(
     spec: &ScenarioSpec,
     threads: usize,
     solver: SolverMode,
     mut make_obs: F,
-) -> Result<Result<ShardedRun<O>, ShardReject>, EngineError>
+) -> Result<Result<ShardedRun<O>, Vec<ShardRejection>>, EngineError>
 where
     O: Observer + Send,
     F: FnMut() -> O,

@@ -361,3 +361,72 @@ fn fixed_fault_cocktail_is_clean() {
     }
     assert_eq!(reports[0], reports[1], "cocktail reports diverge");
 }
+
+// --------------------------------------------------------------------
+// Lint cross-validation: the static analyzer's error-level verdicts
+// are claims about what the engine must do; hold them to it on the
+// same random plans the fault fuzzer generates.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness of the structural pass: whenever `lsm_analyze::lint`
+    /// reports an `L000` error, `build_scenario` must reject the spec
+    /// too — the linter never cries wolf about a spec that builds.
+    #[test]
+    fn lint_structural_errors_imply_build_failure(spec in scenario_strategy()) {
+        let diags = lsm_analyze::lint(&spec);
+        if diags.iter().any(|d| d.code == lsm_analyze::DiagCode::InvalidSpec) {
+            prop_assert!(
+                lsm_experiments::scenario::build_scenario(&spec).is_err(),
+                "lint flagged L000 but the spec builds:\n{}",
+                lsm_analyze::render(&diags)
+            );
+        }
+    }
+
+    /// Dynamic confirmation of `L003`: on a quiet plan (no faults, no
+    /// cancellations, no retries — nothing else can interfere with the
+    /// job), a migration the linter proves deadline-infeasible must
+    /// never complete, and when it ran at all it must have died of
+    /// exactly `DeadlineExceeded` (or been rejected outright, e.g. a
+    /// second migration of a still-migrating VM).
+    #[test]
+    fn lint_deadline_verdicts_are_confirmed_by_the_engine(spec in scenario_strategy()) {
+        let mut quiet = spec;
+        quiet.resilience = None;
+        quiet.faults = None;
+        quiet.cancellations = None;
+        let flagged: Vec<usize> = lsm_analyze::lint(&quiet)
+            .iter()
+            .filter(|d| d.code == lsm_analyze::DiagCode::DeadlineImpossible)
+            .filter_map(|d| match d.span {
+                lsm_analyze::Span::Migration(j) => Some(j),
+                _ => None,
+            })
+            .collect();
+        if flagged.is_empty() {
+            return Ok(()); // nothing predicted; nothing to confirm
+        }
+        let Ok(report) = lsm_experiments::scenario::run_scenario(&quiet) else {
+            prop_assume!(false); // invalid plan: rejected, skip
+            unreachable!()
+        };
+        for j in flagged {
+            let rec = &report.migrations[j];
+            prop_assert!(
+                !rec.completed,
+                "lint proved migration {j} cannot meet its deadline, yet it completed"
+            );
+            prop_assert!(
+                matches!(
+                    rec.failure,
+                    Some(lsm_core::FailureReason::DeadlineExceeded { .. })
+                        | Some(lsm_core::FailureReason::Rejected { .. })
+                ),
+                "migration {j}: expected DeadlineExceeded, got {:?}",
+                rec.failure
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Every programmatic scenario generator must produce specs that pass
+//! `lsm lint --deny warnings` — the same bar CI holds the shipped
+//! `scenarios/*.toml` files to. A generator drifting into dead or
+//! infeasible configuration is a bug in the generator, and this is
+//! where it surfaces.
+
+use lsm_analyze::{fails, lint};
+use lsm_experiments::scenario::ScenarioSpec;
+use lsm_experiments::{autonomic, faults, orchestration, resilience, stress};
+
+#[track_caller]
+fn assert_clean(spec: &ScenarioSpec) {
+    let diags = lint(spec);
+    assert!(
+        !fails(&diags, true),
+        "{} must lint clean under --deny warnings:\n{}",
+        spec.name.as_deref().unwrap_or("<unnamed>"),
+        lsm_analyze::render(&diags)
+    );
+}
+
+#[test]
+fn stress_generators_lint_clean() {
+    assert_clean(&stress::scale64_spec());
+    assert_clean(&stress::scale64_quick_spec());
+    assert_clean(&stress::scale1024_spec());
+    assert_clean(&stress::scale1024_quick_spec());
+}
+
+#[test]
+fn orchestration_generators_lint_clean() {
+    assert_clean(&orchestration::evacuate_spec());
+    assert_clean(&orchestration::adaptive64_spec());
+    assert_clean(&orchestration::cost64_spec());
+    assert_clean(&orchestration::qos64_spec());
+}
+
+#[test]
+fn autonomic_generators_lint_clean() {
+    assert_clean(&autonomic::hotspot_drill_spec());
+    assert_clean(&autonomic::slow_drain_spec());
+}
+
+#[test]
+fn fault_generators_lint_clean() {
+    assert_clean(&faults::dest_crash_spec());
+    assert_clean(&faults::degraded_link_spec());
+    assert_clean(&faults::deadline_spec());
+}
+
+#[test]
+fn resilience_generators_lint_clean() {
+    assert_clean(&resilience::chaos_storm_spec());
+    assert_clean(&resilience::auto_converge_spec());
+}

@@ -25,6 +25,7 @@
 //! All state machines are *pure*: the engine reports measured dirty bytes
 //! and transfer rates; the machines answer "what to send next".
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -66,6 +66,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lsm_blockdev as blockdev;
 pub use lsm_core as core;
 pub use lsm_experiments as experiments;

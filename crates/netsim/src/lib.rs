@@ -45,6 +45,7 @@
 //! assert!((later.as_secs_f64() - 2.0).abs() < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -17,6 +17,7 @@
 //! Both are *planning* models: they decide which nodes serve which bytes;
 //! the engine in `lsm-core` turns plans into flows and disk requests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -30,6 +30,7 @@
 //! assert_eq!((t.as_secs_f64(), ev), (1.0, "sooner"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

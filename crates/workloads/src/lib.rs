@@ -25,6 +25,7 @@
 //! timestamps, so the same driver runs identically under any storage
 //! transfer strategy — the whole point of the comparison.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
